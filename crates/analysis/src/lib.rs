@@ -1,0 +1,31 @@
+//! # noc-analysis
+//!
+//! Analytic models from the paper: the `F(N)` non-blocking matching
+//! recurrence and Table-2 probabilities (§3.2), and the Fig-2 VA / Fig-4
+//! SA arbiter-complexity comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use noc_analysis::{generic_non_blocking_probability, roco_non_blocking_probability};
+//!
+//! let generic = generic_non_blocking_probability(5);
+//! let roco = roco_non_blocking_probability();
+//! // "The RoCo router is almost six times more likely to achieve
+//! // maximal matching than a generic router (25% to 4.3%)."
+//! assert!(roco / generic > 5.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod complexity;
+mod matching;
+
+pub use complexity::{
+    generic_sa, generic_va, roco_sa, roco_va, ArbiterStage, SaComplexity, VaComplexity,
+};
+pub use matching::{
+    generic_non_blocking_probability, non_blocking_matchings, non_blocking_matchings_bruteforce,
+    path_sensitive_non_blocking_probability, roco_non_blocking_probability,
+};

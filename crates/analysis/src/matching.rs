@@ -1,0 +1,184 @@
+//! Non-blocking maximal-matching probabilities (Eq. 1 and Table 2).
+//!
+//! The paper models each crossbar input as requesting one of the
+//! `N − 1` other output ports uniformly at random and counts the
+//! request patterns in which **every** output port receives exactly one
+//! request (non-blocking maximal matching):
+//!
+//! ```text
+//! F(N) = N! − Σ_{j=1..N} C(N, j) · F(N − j),   F(1) = 0, F(2) = 1
+//! ```
+//!
+//! giving non-blocking probabilities of `F(5)/4^5 ≈ 0.043` for the
+//! generic 5-port router, `2/2⁴ = 0.125` for the Path-Sensitive router
+//! (2 of the 2⁴ chained request patterns are non-blocking) and
+//! `(1 − 0.5)² = 0.25` for RoCo (2 of the 2² patterns per module, two
+//! independent 2×2 modules).
+
+/// Binomial coefficient.
+fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1u64;
+    for i in 0..k {
+        result = result * (n - i) / (i + 1);
+    }
+    result
+}
+
+/// Factorial.
+fn factorial(n: u64) -> u64 {
+    (1..=n).product::<u64>().max(1)
+}
+
+/// The paper's `F(N)` recurrence (Eq. 1): the number of ways `N` inputs
+/// can each pick a distinct output other than their own, covering all
+/// `N` outputs — i.e. the number of derangement-like full matchings.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 20` (u64 overflow).
+pub fn non_blocking_matchings(n: u64) -> u64 {
+    assert!(n >= 1 && n <= 20, "F(N) supported for 1 <= N <= 20");
+    match n {
+        1 => 0,
+        2 => 1,
+        _ => {
+            // With F(0) = 1 (the empty matching) this is the classic
+            // derangement recurrence N! = Σ_j C(N,j)·F(N−j).
+            let mut f = vec![0u64; (n + 1) as usize];
+            f[0] = 1;
+            f[1] = 0;
+            f[2] = 1;
+            for m in 3..=n {
+                let mut sum = 0u64;
+                for j in 1..=m {
+                    sum += binomial(m, j) * f[(m - j) as usize];
+                }
+                f[m as usize] = factorial(m) - sum;
+            }
+            f[n as usize]
+        }
+    }
+}
+
+/// The generic router's non-blocking probability: `F(N) / (N−1)^N`
+/// (each of `N` inputs picks one of `N−1` outputs).
+pub fn generic_non_blocking_probability(n: u64) -> f64 {
+    non_blocking_matchings(n) as f64 / ((n - 1) as f64).powi(n as i32)
+}
+
+/// The Path-Sensitive router's non-blocking probability: 2 of the 2⁴
+/// chained request patterns are non-blocking (§3.2), i.e. 0.125.
+pub fn path_sensitive_non_blocking_probability() -> f64 {
+    2.0 / 2f64.powi(4)
+}
+
+/// The RoCo router's non-blocking probability per the paper's §3.2:
+/// `(1 − 0.5)² = 0.25` — two inputs each picking one of two outputs,
+/// independently per module.
+pub fn roco_non_blocking_probability() -> f64 {
+    (1.0 - 0.5) * (1.0 - 0.5)
+}
+
+/// Brute-force check of `F(N)`: enumerate every assignment of outputs
+/// to inputs (input `i` may not pick output `i`) and count those that
+/// cover all outputs. Exponential; for tests only.
+pub fn non_blocking_matchings_bruteforce(n: usize) -> u64 {
+    assert!(n >= 1 && n <= 8, "brute force limited to N <= 8");
+    let mut count = 0u64;
+    let choices = n - 1;
+    let total = (choices as u64).pow(n as u32);
+    for code in 0..total {
+        let mut c = code;
+        let mut used = vec![false; n];
+        let mut ok = true;
+        for i in 0..n {
+            let mut pick = (c % choices as u64) as usize;
+            c /= choices as u64;
+            if pick >= i {
+                pick += 1; // skip own port
+            }
+            if used[pick] {
+                ok = false;
+                break;
+            }
+            used[pick] = true;
+        }
+        if ok && used.iter().all(|&u| u) {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_cases() {
+        assert_eq!(non_blocking_matchings(1), 0);
+        assert_eq!(non_blocking_matchings(2), 1);
+    }
+
+    #[test]
+    fn matches_bruteforce() {
+        for n in 2..=7 {
+            assert_eq!(
+                non_blocking_matchings(n as u64),
+                non_blocking_matchings_bruteforce(n),
+                "F({n})"
+            );
+        }
+    }
+
+    #[test]
+    fn table2_values() {
+        // Generic 5-port: 0.043 (paper Table 2).
+        let g = generic_non_blocking_probability(5);
+        assert!((g - 0.043).abs() < 0.001, "generic {g}");
+        // Path-Sensitive: 2/2^4 = 0.125 (the paper's "2 out of 24" is
+        // a typeset superscript).
+        assert!((path_sensitive_non_blocking_probability() - 0.125).abs() < 1e-12);
+        // RoCo: 0.25 per module.
+        assert!((roco_non_blocking_probability() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roco_is_most_non_blocking() {
+        let g = generic_non_blocking_probability(5);
+        let p = path_sensitive_non_blocking_probability();
+        let r = roco_non_blocking_probability();
+        assert!(r > p && p > g, "paper §3.2 ordering");
+        // "almost six times more likely than a generic router".
+        assert!(r / g > 5.0 && r / g < 7.0);
+    }
+
+    #[test]
+    fn f_n_known_values() {
+        // F(3): 3 inputs, each picks one of the 2 other outputs, all
+        // outputs covered: the two 3-cycles.
+        assert_eq!(non_blocking_matchings(3), 2);
+        assert_eq!(non_blocking_matchings(4), 9);
+        assert_eq!(non_blocking_matchings(5), 44);
+    }
+
+    #[test]
+    fn derangement_identity() {
+        // F(N) equals the number of derangements of N elements
+        // (permutations with no fixed point), a known identity.
+        let derangements = [0u64, 0, 1, 2, 9, 44, 265, 1854];
+        for n in 1..8 {
+            assert_eq!(non_blocking_matchings(n as u64), derangements[n], "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "supported")]
+    fn zero_rejected() {
+        let _ = non_blocking_matchings(0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Round-robin arbitration.
+
+/// A rotating-priority (round-robin) arbiter over a fixed number of
+/// requesters, the building block of the paper's VA and SA units.
+///
+/// The arbiter grants the first requester strictly after the previous
+/// winner in circular order, which guarantees strong fairness: a
+/// persistent requester is served within `n` arbitrations.
+///
+/// # Examples
+///
+/// ```
+/// use noc_arbiter::RoundRobinArbiter;
+/// let mut arb = RoundRobinArbiter::new(3);
+/// assert_eq!(arb.arbitrate(&[true, true, false]), Some(0));
+/// // Requester 0 just won, so 1 now has priority.
+/// assert_eq!(arb.arbitrate(&[true, true, false]), Some(1));
+/// assert_eq!(arb.arbitrate(&[false, false, false]), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoundRobinArbiter {
+    n: usize,
+    /// Index of the most recent winner; the search starts after it.
+    last: usize,
+}
+
+impl RoundRobinArbiter {
+    /// Creates an arbiter over `n` requesters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "an arbiter needs at least one requester");
+        RoundRobinArbiter { n, last: n - 1 }
+    }
+
+    /// Number of requesters.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `false`; an arbiter always has at least one requester line.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Grants one of the asserted `requests`, rotating priority past the
+    /// winner. Returns `None` when no line is asserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len()` differs from the arbiter width.
+    pub fn arbitrate(&mut self, requests: &[bool]) -> Option<usize> {
+        assert_eq!(requests.len(), self.n, "request vector width mismatch");
+        let winner = self.peek(requests)?;
+        self.last = winner;
+        Some(winner)
+    }
+
+    /// Like [`RoundRobinArbiter::arbitrate`] but without updating the
+    /// priority state (used for speculative decisions that may be
+    /// squashed).
+    pub fn peek(&self, requests: &[bool]) -> Option<usize> {
+        assert_eq!(requests.len(), self.n, "request vector width mismatch");
+        (1..=self.n).map(|off| (self.last + off) % self.n).find(|&i| requests[i])
+    }
+
+    /// Commits `winner` as the most recent grant (pairs with
+    /// [`RoundRobinArbiter::peek`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `winner` is out of range.
+    pub fn commit(&mut self, winner: usize) {
+        assert!(winner < self.n, "winner out of range");
+        self.last = winner;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_only_requesters() {
+        let mut arb = RoundRobinArbiter::new(4);
+        for _ in 0..16 {
+            let g = arb.arbitrate(&[false, true, false, true]).unwrap();
+            assert!(g == 1 || g == 3);
+        }
+    }
+
+    #[test]
+    fn rotates_among_persistent_requesters() {
+        let mut arb = RoundRobinArbiter::new(3);
+        let seq: Vec<_> = (0..6).map(|_| arb.arbitrate(&[true, true, true]).unwrap()).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn no_request_no_grant() {
+        let mut arb = RoundRobinArbiter::new(2);
+        assert_eq!(arb.arbitrate(&[false, false]), None);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let arb = RoundRobinArbiter::new(3);
+        assert_eq!(arb.peek(&[true, true, true]), Some(0));
+        assert_eq!(arb.peek(&[true, true, true]), Some(0));
+    }
+
+    #[test]
+    fn commit_sets_priority() {
+        let mut arb = RoundRobinArbiter::new(3);
+        arb.commit(0);
+        assert_eq!(arb.peek(&[true, true, true]), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one requester")]
+    fn zero_width_panics() {
+        let _ = RoundRobinArbiter::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_panics() {
+        let mut arb = RoundRobinArbiter::new(2);
+        let _ = arb.arbitrate(&[true]);
+    }
+
+    #[test]
+    fn fairness_bound() {
+        // A persistent requester is served within n arbitrations even
+        // under full load.
+        let n = 8;
+        let mut arb = RoundRobinArbiter::new(n);
+        let all = vec![true; n];
+        let mut since_served = vec![0usize; n];
+        for _ in 0..100 {
+            let g = arb.arbitrate(&all).unwrap();
+            for (i, s) in since_served.iter_mut().enumerate() {
+                if i == g {
+                    *s = 0;
+                } else {
+                    *s += 1;
+                    assert!(*s < n, "requester {i} starved");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Separable (input-first) two-stage switch allocation, used by the
+//! generic router's monolithic SA and by the Path-Sensitive router's
+//! decomposed crossbar.
+
+use crate::rr::RoundRobinArbiter;
+
+/// One virtual channel's bid for crossbar passage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchRequest {
+    /// Crossbar input port index.
+    pub input: usize,
+    /// Requested crossbar output port index.
+    pub output: usize,
+    /// VC index within the input port (round-robined by stage 1).
+    pub vc: usize,
+}
+
+/// A granted crossbar connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchGrant {
+    /// Winning input port.
+    pub input: usize,
+    /// Granted output port.
+    pub output: usize,
+    /// Winning VC within the input port.
+    pub vc: usize,
+}
+
+/// Arbitration-effort statistics for one allocation pass (consumed by
+/// the energy model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocationEffort {
+    /// Stage-1 (per input port) arbitration operations performed.
+    pub local_ops: u64,
+    /// Stage-2 (per output port) arbitration operations performed.
+    pub global_ops: u64,
+}
+
+/// Input-first separable allocator: stage 1 picks one VC per input port
+/// (a `v:1` arbiter per port), stage 2 picks one input per output port
+/// (a `P:1` arbiter per output). The classic design the paper's Fig 2
+/// critiques for its arbitration depth.
+#[derive(Debug, Clone)]
+pub struct SeparableAllocator {
+    input_arbs: Vec<RoundRobinArbiter>,
+    output_arbs: Vec<RoundRobinArbiter>,
+    vcs_per_input: usize,
+}
+
+impl SeparableAllocator {
+    /// Creates an allocator for `inputs` ports of `vcs_per_input` VCs
+    /// each, switching onto `outputs` ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(inputs: usize, outputs: usize, vcs_per_input: usize) -> Self {
+        assert!(inputs > 0 && outputs > 0 && vcs_per_input > 0, "allocator dimensions must be non-zero");
+        SeparableAllocator {
+            input_arbs: (0..inputs).map(|_| RoundRobinArbiter::new(vcs_per_input)).collect(),
+            output_arbs: (0..outputs).map(|_| RoundRobinArbiter::new(inputs)).collect(),
+            vcs_per_input,
+        }
+    }
+
+    /// Number of crossbar input ports.
+    pub fn inputs(&self) -> usize {
+        self.input_arbs.len()
+    }
+
+    /// Number of crossbar output ports.
+    pub fn outputs(&self) -> usize {
+        self.output_arbs.len()
+    }
+
+    /// Performs one allocation pass over `requests`, returning the
+    /// conflict-free grant set and the arbitration effort expended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request indexes outside the allocator's dimensions.
+    pub fn allocate(&mut self, requests: &[SwitchRequest]) -> (Vec<SwitchGrant>, AllocationEffort) {
+        let mut effort = AllocationEffort::default();
+        // Stage 1: per input port, round-robin over requesting VCs.
+        let mut stage1: Vec<Option<SwitchRequest>> = vec![None; self.input_arbs.len()];
+        for (input, arb) in self.input_arbs.iter_mut().enumerate() {
+            let mut lines = vec![false; self.vcs_per_input];
+            let mut any = false;
+            for r in requests.iter().filter(|r| r.input == input) {
+                assert!(r.vc < self.vcs_per_input, "vc index out of range");
+                assert!(r.output < self.output_arbs.len(), "output index out of range");
+                lines[r.vc] = true;
+                any = true;
+            }
+            if any {
+                effort.local_ops += 1;
+                if let Some(vc) = arb.arbitrate(&lines) {
+                    stage1[input] = requests
+                        .iter()
+                        .find(|r| r.input == input && r.vc == vc)
+                        .copied();
+                }
+            }
+        }
+        // Stage 2: per output port, round-robin over stage-1 winners.
+        let mut grants = Vec::new();
+        for (output, arb) in self.output_arbs.iter_mut().enumerate() {
+            let lines: Vec<bool> = (0..self.input_arbs.len())
+                .map(|i| stage1[i].is_some_and(|r| r.output == output))
+                .collect();
+            if lines.iter().any(|&l| l) {
+                effort.global_ops += 1;
+                if let Some(input) = arb.arbitrate(&lines) {
+                    let r = stage1[input].expect("stage-1 winner exists");
+                    grants.push(SwitchGrant { input, output, vc: r.vc });
+                }
+            }
+        }
+        (grants, effort)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(input: usize, output: usize, vc: usize) -> SwitchRequest {
+        SwitchRequest { input, output, vc }
+    }
+
+    #[test]
+    fn grants_are_conflict_free() {
+        let mut alloc = SeparableAllocator::new(5, 5, 3);
+        let requests = vec![
+            req(0, 2, 0),
+            req(0, 2, 1),
+            req(1, 2, 0),
+            req(2, 3, 2),
+            req(3, 3, 0),
+            req(4, 0, 1),
+        ];
+        let (grants, effort) = alloc.allocate(&requests);
+        // One grant max per input and per output.
+        let mut inputs_seen = std::collections::HashSet::new();
+        let mut outputs_seen = std::collections::HashSet::new();
+        for g in &grants {
+            assert!(inputs_seen.insert(g.input));
+            assert!(outputs_seen.insert(g.output));
+            assert!(requests.contains(&req(g.input, g.output, g.vc)));
+        }
+        assert!(effort.local_ops >= grants.len() as u64);
+        assert!(effort.global_ops >= grants.len() as u64);
+    }
+
+    #[test]
+    fn single_request_is_granted() {
+        let mut alloc = SeparableAllocator::new(2, 2, 2);
+        let (grants, _) = alloc.allocate(&[req(1, 0, 1)]);
+        assert_eq!(grants, vec![SwitchGrant { input: 1, output: 0, vc: 1 }]);
+    }
+
+    #[test]
+    fn empty_request_set() {
+        let mut alloc = SeparableAllocator::new(2, 2, 2);
+        let (grants, effort) = alloc.allocate(&[]);
+        assert!(grants.is_empty());
+        assert_eq!(effort, AllocationEffort::default());
+    }
+
+    #[test]
+    fn head_of_line_blocking_is_possible() {
+        // Input 0's stage-1 winner may ask for a contested output while
+        // its other VC wanted a free one — the inefficiency the Mirroring
+        // Effect avoids. Verify the allocator models it: with inputs 0
+        // and 1 both preferring output 0, at most one wins output 0 and
+        // output 1 can go idle even though a request for it existed.
+        let mut alloc = SeparableAllocator::new(2, 2, 2);
+        let requests = vec![req(0, 0, 0), req(0, 1, 1), req(1, 0, 0)];
+        let mut idle_output1 = 0;
+        for _ in 0..10 {
+            let (grants, _) = alloc.allocate(&requests);
+            if !grants.iter().any(|g| g.output == 1) {
+                idle_output1 += 1;
+            }
+        }
+        assert!(idle_output1 > 0, "expected occasional HoL blocking of output 1");
+    }
+
+    #[test]
+    fn rotates_between_competing_inputs() {
+        let mut alloc = SeparableAllocator::new(2, 1, 1);
+        let requests = vec![req(0, 0, 0), req(1, 0, 0)];
+        let winners: Vec<usize> = (0..4)
+            .map(|_| alloc.allocate(&requests).0[0].input)
+            .collect();
+        assert_eq!(winners, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be non-zero")]
+    fn zero_dimension_panics() {
+        let _ = SeparableAllocator::new(0, 1, 1);
+    }
+}

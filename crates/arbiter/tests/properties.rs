@@ -1,0 +1,104 @@
+//! Property-based tests for the arbiter crate.
+
+use noc_arbiter::{
+    max_matching_2x2, MirrorAllocator, RoundRobinArbiter, SeparableAllocator, SwitchRequest,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// A round-robin grant always points at an asserted request line.
+    #[test]
+    fn rr_grant_subset_of_requests(
+        n in 1usize..12,
+        rounds in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 12), 1..50),
+    ) {
+        let mut arb = RoundRobinArbiter::new(n);
+        for round in rounds {
+            let requests = &round[..n];
+            match arb.arbitrate(requests) {
+                Some(g) => prop_assert!(requests[g]),
+                None => prop_assert!(requests.iter().all(|&r| !r)),
+            }
+        }
+    }
+
+    /// Under any request sequence in which line `i` is always asserted,
+    /// line `i` is granted at least once every `n` arbitrations.
+    #[test]
+    fn rr_no_starvation(
+        n in 2usize..10,
+        persistent in 0usize..10,
+        noise in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 10), 30),
+    ) {
+        let persistent = persistent % n;
+        let mut arb = RoundRobinArbiter::new(n);
+        let mut dry = 0usize;
+        for round in noise {
+            let mut requests: Vec<bool> = round[..n].to_vec();
+            requests[persistent] = true;
+            let g = arb.arbitrate(&requests).expect("a request is always asserted");
+            if g == persistent {
+                dry = 0;
+            } else {
+                dry += 1;
+                prop_assert!(dry < n, "persistent requester starved for {dry} rounds");
+            }
+        }
+    }
+
+    /// The mirror allocator always produces a maximal matching, from any
+    /// internal arbiter state.
+    #[test]
+    fn mirror_always_maximal(
+        warmup in proptest::collection::vec(0u8..16, 0..8),
+        pattern in 0u8..16,
+    ) {
+        let decode = |bits: u8| {
+            [
+                [bits & 1 != 0, bits & 2 != 0],
+                [bits & 4 != 0, bits & 8 != 0],
+            ]
+        };
+        let mut alloc = MirrorAllocator::new();
+        for w in warmup {
+            let _ = alloc.allocate(decode(w));
+        }
+        let p = decode(pattern);
+        let g = alloc.allocate(p);
+        prop_assert_eq!(g.matches(), max_matching_2x2(p));
+        if let Some(d) = g.port0 { prop_assert!(p[0][d]); }
+        if let Some(d) = g.port1 { prop_assert!(p[1][d]); }
+        if let (Some(a), Some(b)) = (g.port0, g.port1) { prop_assert_ne!(a, b); }
+    }
+
+    /// Separable allocation never grants conflicting connections and
+    /// only grants requested ones.
+    #[test]
+    fn separable_grants_valid(
+        inputs in 1usize..6,
+        outputs in 1usize..6,
+        vcs in 1usize..4,
+        raw in proptest::collection::vec((0usize..6, 0usize..6, 0usize..4), 0..20),
+    ) {
+        let mut alloc = SeparableAllocator::new(inputs, outputs, vcs);
+        let requests: Vec<SwitchRequest> = raw
+            .into_iter()
+            .map(|(i, o, v)| SwitchRequest { input: i % inputs, output: o % outputs, vc: v % vcs })
+            .collect();
+        let (grants, _) = alloc.allocate(&requests);
+        let mut in_seen = std::collections::HashSet::new();
+        let mut out_seen = std::collections::HashSet::new();
+        for g in &grants {
+            prop_assert!(in_seen.insert(g.input), "input granted twice");
+            prop_assert!(out_seen.insert(g.output), "output granted twice");
+            prop_assert!(requests
+                .iter()
+                .any(|r| r.input == g.input && r.output == g.output && r.vc == g.vc));
+        }
+        // If there was any request, at least one grant must be issued
+        // (the allocator is work-conserving at the request level).
+        if !requests.is_empty() {
+            prop_assert!(!grants.is_empty());
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Microbenchmarks for the router building blocks: arbiters, the
+//! Mirror allocator, separable allocation and route computation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use noc_arbiter::{MatrixArbiter, MirrorAllocator, RoundRobinArbiter, SeparableAllocator, SwitchRequest};
+use noc_core::{AxisOrder, Coord, MeshConfig, RoutingKind};
+use noc_routing::RouteComputer;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+fn bench_arbiters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arbiters");
+    let mut rr = RoundRobinArbiter::new(15);
+    let mut matrix = MatrixArbiter::new(15);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let patterns: Vec<Vec<bool>> =
+        (0..64).map(|_| (0..15).map(|_| rng.gen_bool(0.4)).collect()).collect();
+    let mut i = 0;
+    group.bench_function("round_robin_15", |b| {
+        b.iter(|| {
+            i = (i + 1) % patterns.len();
+            black_box(rr.arbitrate(&patterns[i]))
+        })
+    });
+    group.bench_function("matrix_15", |b| {
+        b.iter(|| {
+            i = (i + 1) % patterns.len();
+            black_box(matrix.arbitrate(&patterns[i]))
+        })
+    });
+    let mut mirror = MirrorAllocator::new();
+    group.bench_function("mirror_allocate", |b| {
+        let mut bits = 0u8;
+        b.iter(|| {
+            bits = bits.wrapping_add(7);
+            let req = [[bits & 1 != 0, bits & 2 != 0], [bits & 4 != 0, bits & 8 != 0]];
+            black_box(mirror.allocate(req))
+        })
+    });
+    let mut sep = SeparableAllocator::new(5, 5, 3);
+    let requests: Vec<SwitchRequest> = (0..8)
+        .map(|k| SwitchRequest { input: k % 5, output: (k * 3) % 5, vc: k % 3 })
+        .collect();
+    group.bench_function("separable_5x5", |b| b.iter(|| black_box(sep.allocate(&requests))));
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    let mesh = MeshConfig::new(8, 8);
+    let mut rng = SmallRng::seed_from_u64(2);
+    for routing in [RoutingKind::Xy, RoutingKind::Adaptive, RoutingKind::AdaptiveOddEven] {
+        let rc = RouteComputer::new(routing, mesh);
+        group.bench_function(format!("candidates_{routing}"), |b| {
+            b.iter(|| {
+                let src = Coord::new(rng.gen_range(0..8), rng.gen_range(0..8));
+                let dst = Coord::new(rng.gen_range(0..8), rng.gen_range(0..8));
+                black_box(rc.candidates(src, src, dst, AxisOrder::Xy))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arbiters, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Whole-network simulation benchmarks: cycles/second of the
+//! cycle-accurate simulator for each router architecture, plus one
+//! scaled-down representative of each figure family (latency, fault,
+//! energy) so regressions in any experiment path are caught.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_core::{RouterKind, RoutingKind};
+use noc_fault::{FaultCategory, FaultPlan};
+use noc_sim::{run, SimConfig, Simulation};
+use noc_traffic::TrafficKind;
+
+fn small(router: RouterKind, routing: RoutingKind, traffic: TrafficKind) -> SimConfig {
+    let mut cfg = SimConfig::paper_scaled(router, routing, traffic);
+    cfg.warmup_packets = 100;
+    cfg.measured_packets = 1_500;
+    cfg.injection_rate = 0.25;
+    cfg
+}
+
+fn bench_router_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_step");
+    group.sample_size(20);
+    for router in RouterKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(router), &router, |b, &router| {
+            b.iter_batched(
+                || {
+                    let mut sim =
+                        Simulation::new(small(router, RoutingKind::Xy, TrafficKind::Uniform));
+                    // Warm the network up so steps do real work.
+                    for _ in 0..200 {
+                        sim.step();
+                    }
+                    sim
+                },
+                |mut sim| {
+                    for _ in 0..100 {
+                        sim.step();
+                    }
+                    black_box(sim.cycle())
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    // Fig 8-family: fault-free latency run.
+    group.bench_function("fig08_point_roco_xy_uniform", |b| {
+        b.iter(|| black_box(run(small(RouterKind::RoCo, RoutingKind::Xy, TrafficKind::Uniform))))
+    });
+    // Fig 9-family: self-similar traffic.
+    group.bench_function("fig09_point_roco_xy_selfsimilar", |b| {
+        b.iter(|| {
+            black_box(run(small(RouterKind::RoCo, RoutingKind::Xy, TrafficKind::SelfSimilar)))
+        })
+    });
+    // Fig 10-family: transpose under adaptive routing.
+    group.bench_function("fig10_point_roco_adaptive_transpose", |b| {
+        b.iter(|| {
+            black_box(run(small(RouterKind::RoCo, RoutingKind::Adaptive, TrafficKind::Transpose)))
+        })
+    });
+    // Fig 11/12/14-family: faulty run.
+    group.bench_function("fig11_point_roco_xy_2faults", |b| {
+        b.iter(|| {
+            let mut cfg = small(RouterKind::RoCo, RoutingKind::Xy, TrafficKind::Uniform);
+            cfg.faults =
+                FaultPlan::random(FaultCategory::Isolating, 2, cfg.mesh, 7);
+            cfg.stall_window = 2_000;
+            black_box(run(cfg))
+        })
+    });
+    // Fig 13-family: energy accounting path (results() aggregation).
+    group.bench_function("fig13_point_generic_energy", |b| {
+        b.iter(|| {
+            let r = run(small(RouterKind::Generic, RoutingKind::Xy, TrafficKind::Uniform));
+            black_box(r.energy_per_packet)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_router_step, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Extension: mesh-size scaling sweep.
+use noc_bench::{experiments::scaling::scaling_table, Scale};
+fn main() {
+    scaling_table(Scale::from_env()).emit("ext_scaling");
+}

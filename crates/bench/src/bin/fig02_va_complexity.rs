@@ -1,0 +1,4 @@
+//! Regenerates Fig 2 (VA/SA arbiter complexity comparison).
+fn main() {
+    noc_bench::experiments::tables::fig2(3).emit("fig02_va_complexity");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig 9 (latency vs injection, self-similar traffic).
+use noc_bench::{experiments::latency::latency_figure, Scale};
+use noc_traffic::TrafficKind;
+fn main() {
+    let panels = latency_figure(TrafficKind::SelfSimilar, Scale::from_env());
+    for (i, t) in panels.into_iter().enumerate() {
+        t.emit_with_plot(&format!("fig09{}_selfsimilar", (b'a' + i as u8) as char), "average latency (cycles)");
+    }
+}

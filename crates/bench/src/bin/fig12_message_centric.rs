@@ -1,0 +1,10 @@
+//! Regenerates Fig 12 (completion probability, message-centric/
+//! non-critical faults, Hardware Recycling).
+use noc_bench::{experiments::faults::completion_figure, Scale};
+use noc_fault::FaultCategory;
+fn main() {
+    let panels = completion_figure(FaultCategory::Recyclable, Scale::from_env());
+    for (i, t) in panels.into_iter().enumerate() {
+        t.emit(&format!("fig12{}_message_centric", (b'a' + i as u8) as char));
+    }
+}

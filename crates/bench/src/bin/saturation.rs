@@ -1,0 +1,6 @@
+//! Saturation-throughput comparison across routers and routing
+//! algorithms (single-number summary of the Fig 8 curves).
+use noc_bench::{experiments::saturation::saturation_table, Scale};
+fn main() {
+    saturation_table(Scale::from_env()).emit("saturation");
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (RoCo VC buffer configuration).
+fn main() {
+    noc_bench::experiments::tables::table1().emit("table01_vc_config");
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (non-blocking probabilities).
+fn main() {
+    noc_bench::experiments::tables::table2().emit("table02_nonblocking");
+}

@@ -1,0 +1,91 @@
+//! Fig 3: switch-allocation contention probabilities vs injection rate
+//! (row input under XY, column input under XY, and overall under
+//! adaptive routing), measured on the cycle-accurate simulator exactly
+//! as §3.2 describes.
+
+use crate::{f3, run_batch, Table};
+use noc_core::{RouterKind, RoutingKind};
+use noc_sim::SimConfig;
+use noc_traffic::TrafficKind;
+
+/// Fig 3's x-axis (flits/node/cycle). The figure extends past
+/// saturation; contention runs are time-bounded rather than drained.
+pub const RATES: [f64; 7] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+
+fn contention_config(router: RouterKind, routing: RoutingKind, rate: f64) -> SimConfig {
+    let mut cfg = SimConfig::paper_scaled(router, routing, TrafficKind::Uniform);
+    cfg.injection_rate = rate;
+    // Time-bounded: generate "forever", stop at a fixed horizon.
+    cfg.warmup_packets = 0;
+    cfg.measured_packets = u64::MAX / 2;
+    cfg.max_cycles = 15_000;
+    cfg.stall_window = u64::MAX / 2;
+    cfg
+}
+
+/// Produces Fig 3's three panels: (a) contention at row inputs under
+/// XY, (b) at column inputs under XY, (c) overall under adaptive.
+pub fn fig3() -> Vec<Table> {
+    let mut panels = Vec::new();
+    for (panel, routing, axis_label) in [
+        ("a — row input, XY routing", RoutingKind::Xy, "x"),
+        ("b — column input, XY routing", RoutingKind::Xy, "y"),
+        ("c — adaptive routing (all inputs)", RoutingKind::Adaptive, "both"),
+    ] {
+        let mut configs = Vec::new();
+        for router in RouterKind::ALL {
+            for &rate in &RATES {
+                configs.push(contention_config(router, routing, rate));
+            }
+        }
+        let results = run_batch(configs);
+        let mut header: Vec<String> = vec!["Router".into()];
+        header.extend(RATES.iter().map(|r| format!("{r:.2}")));
+        let mut t = Table::new(
+            format!("Fig 3{panel}: contention probability"),
+            &header.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        );
+        for (ri, router) in RouterKind::ALL.iter().enumerate() {
+            let mut row = vec![router.to_string()];
+            for (ci, _) in RATES.iter().enumerate() {
+                let r = &results[ri * RATES.len() + ci];
+                let p = match axis_label {
+                    "x" => r.contention.x_contention_probability(),
+                    "y" => r.contention.y_contention_probability(),
+                    _ => r.contention.total_contention_probability(),
+                }
+                .unwrap_or(0.0);
+                row.push(f3(p));
+            }
+            t.push_row(row);
+        }
+        panels.push(t);
+    }
+    panels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contention_config_is_time_bounded() {
+        let cfg = contention_config(RouterKind::RoCo, RoutingKind::Xy, 0.5);
+        assert_eq!(cfg.max_cycles, 15_000);
+        assert!(cfg.measured_packets > 1_000_000_000);
+    }
+
+    #[test]
+    fn roco_contends_least_at_moderate_load() {
+        // One point of Fig 3a, shrunk: at 0.3 flits/node/cycle the RoCo
+        // row inputs must contend less than the generic router's.
+        let mut generic = contention_config(RouterKind::Generic, RoutingKind::Xy, 0.3);
+        let mut roco = contention_config(RouterKind::RoCo, RoutingKind::Xy, 0.3);
+        generic.max_cycles = 3_000;
+        roco.max_cycles = 3_000;
+        let results = run_batch(vec![generic, roco]);
+        let g = results[0].contention.x_contention_probability().unwrap();
+        let r = results[1].contention.x_contention_probability().unwrap();
+        assert!(r < g, "RoCo {r} should contend less than generic {g}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Fig 13: energy per packet for uniform, self-similar and transpose
+//! traffic at 30 % injection under XY routing.
+
+use crate::{run_batch, Scale, Table};
+use noc_core::{RouterKind, RoutingKind};
+use noc_sim::SimConfig;
+use noc_traffic::TrafficKind;
+
+/// The three workloads of Fig 13.
+pub const TRAFFICS: [TrafficKind; 3] =
+    [TrafficKind::Uniform, TrafficKind::SelfSimilar, TrafficKind::Transpose];
+
+/// Runs Fig 13: energy per packet (nJ), rows = routers, columns =
+/// workloads, 0.3 flits/node/cycle, XY routing.
+pub fn fig13(scale: Scale) -> Table {
+    let mut configs = Vec::new();
+    for router in RouterKind::ALL {
+        for traffic in TRAFFICS {
+            configs.push(
+                scale
+                    .apply(SimConfig::paper_scaled(router, RoutingKind::Xy, traffic))
+                    .with_rate(0.3),
+            );
+        }
+    }
+    let results = run_batch(configs);
+    let mut header: Vec<String> = vec!["Router".into()];
+    header.extend(TRAFFICS.iter().map(|t| t.to_string()));
+    let mut t = Table::new(
+        "Fig 13 — Energy per packet (nJ) at 0.3 flits/node/cycle, XY routing",
+        &header.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    for (ri, router) in RouterKind::ALL.iter().enumerate() {
+        let mut row = vec![router.to_string()];
+        for (ci, _) in TRAFFICS.iter().enumerate() {
+            let r = &results[ri * TRAFFICS.len() + ci];
+            row.push(format!("{:.3}", r.energy_per_packet * 1e9));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roco_uses_least_energy_per_packet() {
+        let scale = Scale { warmup: 100, measured: 1_500, fault_seeds: 1 };
+        let t = fig13(scale);
+        assert_eq!(t.rows.len(), 3);
+        for col in 1..=TRAFFICS.len() {
+            let generic: f64 = t.rows[0][col].parse().unwrap();
+            let ps: f64 = t.rows[1][col].parse().unwrap();
+            let roco: f64 = t.rows[2][col].parse().unwrap();
+            assert!(roco < generic, "column {col}: RoCo {roco} vs generic {generic}");
+            assert!(roco < ps, "column {col}: RoCo {roco} vs PS {ps}");
+            // §5.4: ~20 % below the generic router, ~6 % below PS.
+            let vs_generic = 1.0 - roco / generic;
+            assert!(
+                vs_generic > 0.05 && vs_generic < 0.45,
+                "column {col}: saving vs generic {vs_generic}"
+            );
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Figures 11 and 12: packet completion probability under injected
+//! hardware faults (router-centric/critical vs message-centric/
+//! non-critical), at 30 % injection (§5.4), averaged over several
+//! random fault patterns.
+
+use crate::{f3, run_batch, Scale, Table};
+use noc_core::{RouterKind, RoutingKind};
+use noc_fault::{FaultCategory, FaultPlan};
+use noc_sim::{SimConfig, SimResults};
+use noc_traffic::TrafficKind;
+
+/// Fault counts swept by Figs 11/12/14.
+pub const FAULT_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Injection rate of the faulty-network experiments (§5.4: 30 %).
+pub const FAULTY_RATE: f64 = 0.3;
+
+/// Builds the config set for one (router, routing, count) cell: one run
+/// per fault seed.
+fn cell_configs(
+    router: RouterKind,
+    routing: RoutingKind,
+    category: FaultCategory,
+    count: usize,
+    scale: Scale,
+) -> Vec<SimConfig> {
+    (0..scale.fault_seeds)
+        .map(|seed| {
+            let mut cfg = scale
+                .apply(SimConfig::paper_scaled(router, routing, TrafficKind::Uniform))
+                .with_rate(FAULTY_RATE);
+            cfg.faults = FaultPlan::random(category, count, cfg.mesh, 0xFA0 + seed);
+            cfg.stall_window = 5_000;
+            cfg
+        })
+        .collect()
+}
+
+/// Mean results over the fault seeds of one cell.
+#[derive(Debug, Clone, Copy)]
+pub struct CellSummary {
+    /// Mean completion probability.
+    pub completion: f64,
+    /// Mean average latency (of delivered packets).
+    pub latency: f64,
+    /// Mean energy per delivered packet.
+    pub energy_per_packet: f64,
+}
+
+/// Averages a cell's runs.
+pub fn summarize(runs: &[SimResults]) -> CellSummary {
+    let n = runs.len() as f64;
+    CellSummary {
+        completion: runs.iter().map(|r| r.completion_probability()).sum::<f64>() / n,
+        latency: runs.iter().map(|r| r.avg_latency).sum::<f64>() / n,
+        energy_per_packet: runs.iter().map(|r| r.energy_per_packet).sum::<f64>() / n,
+    }
+}
+
+/// Runs one completion-probability figure (Fig 11 for
+/// [`FaultCategory::Isolating`], Fig 12 for
+/// [`FaultCategory::Recyclable`]): one table per routing algorithm,
+/// rows = routers, columns = fault counts.
+pub fn completion_figure(category: FaultCategory, scale: Scale) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for routing in RoutingKind::ALL {
+        let mut configs = Vec::new();
+        for router in RouterKind::ALL {
+            for &count in &FAULT_COUNTS {
+                configs.extend(cell_configs(router, routing, category, count, scale));
+            }
+        }
+        let results = run_batch(configs);
+        let per_cell = scale.fault_seeds as usize;
+        let mut header: Vec<String> = vec!["Router".into()];
+        header.extend(FAULT_COUNTS.iter().map(|c| format!("{c} fault(s)")));
+        let mut t = Table::new(
+            format!("Packet completion probability — {category} faults, {routing} routing"),
+            &header.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        );
+        let mut idx = 0;
+        for router in RouterKind::ALL {
+            let mut row = vec![router.to_string()];
+            for _ in FAULT_COUNTS {
+                let cell = summarize(&results[idx..idx + per_cell]);
+                idx += per_cell;
+                row.push(f3(cell.completion));
+            }
+            t.push_row(row);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+/// Runs the full per-cell summaries used by the PEF figure (Fig 14):
+/// `(router, count) -> CellSummary` for one routing algorithm.
+pub fn fault_summaries(
+    category: FaultCategory,
+    routing: RoutingKind,
+    scale: Scale,
+) -> Vec<(RouterKind, usize, CellSummary)> {
+    let mut configs = Vec::new();
+    for router in RouterKind::ALL {
+        for &count in &FAULT_COUNTS {
+            configs.extend(cell_configs(router, routing, category, count, scale));
+        }
+    }
+    let results = run_batch(configs);
+    let per_cell = scale.fault_seeds as usize;
+    let mut out = Vec::new();
+    let mut idx = 0;
+    for router in RouterKind::ALL {
+        for &count in &FAULT_COUNTS {
+            out.push((router, count, summarize(&results[idx..idx + per_cell])));
+            idx += per_cell;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale { warmup: 50, measured: 800, fault_seeds: 2 }
+    }
+
+    #[test]
+    fn roco_survives_recyclable_faults_unscathed() {
+        let summaries = fault_summaries(FaultCategory::Recyclable, RoutingKind::Xy, tiny());
+        for (router, count, cell) in summaries {
+            if router == RouterKind::RoCo {
+                assert!(
+                    cell.completion > 0.999,
+                    "RoCo should recycle all {count} non-critical faults, got {}",
+                    cell.completion
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn completion_degrades_with_fault_count_for_baselines() {
+        let summaries = fault_summaries(FaultCategory::Isolating, RoutingKind::Xy, tiny());
+        let get = |router, count| {
+            summaries
+                .iter()
+                .find(|(r, c, _)| *r == router && *c == count)
+                .map(|(_, _, s)| s.completion)
+                .unwrap()
+        };
+        assert!(get(RouterKind::Generic, 4) < get(RouterKind::Generic, 1));
+        // RoCo always beats the generic router at the same fault count.
+        for count in FAULT_COUNTS {
+            assert!(get(RouterKind::RoCo, count) >= get(RouterKind::Generic, count));
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Figures 8, 9, 10 (and the MPEG extension): average latency vs
+//! injection rate for the three routers under the three routing
+//! algorithms.
+
+use crate::{f2, run_batch, Scale, Table};
+use noc_core::{RouterKind, RoutingKind};
+use noc_sim::SimConfig;
+use noc_traffic::TrafficKind;
+
+/// Injection rates swept by Figs 8–10 (flits/node/cycle).
+pub const RATES: [f64; 8] = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40];
+
+/// Runs one latency figure: `traffic` × 3 routings × 3 routers ×
+/// [`RATES`]. Returns one table per routing algorithm, in
+/// [`RoutingKind::ALL`] order, with a row per router and a column per
+/// rate.
+pub fn latency_figure(traffic: TrafficKind, scale: Scale) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for routing in RoutingKind::ALL {
+        let mut configs = Vec::new();
+        for router in RouterKind::ALL {
+            for &rate in &RATES {
+                let cfg = scale
+                    .apply(SimConfig::paper_scaled(router, routing, traffic))
+                    .with_rate(rate);
+                configs.push(cfg);
+            }
+        }
+        let results = run_batch(configs);
+        let mut header: Vec<String> = vec!["Router".into()];
+        header.extend(RATES.iter().map(|r| format!("{r:.2}")));
+        let mut t = Table::new(
+            format!("Average latency (cycles) — {traffic} traffic, {routing} routing"),
+            &header.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        );
+        for (ri, router) in RouterKind::ALL.iter().enumerate() {
+            let mut row = vec![router.to_string()];
+            for (ci, _) in RATES.iter().enumerate() {
+                let r = &results[ri * RATES.len() + ci];
+                let suffix = if r.stalled { "*" } else { "" };
+                row.push(format!("{}{}", f2(r.avg_latency), suffix));
+            }
+            t.push_row(row);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_uniform_figure_has_expected_shape() {
+        // A miniature version of Fig 8 to keep the test fast.
+        let scale = Scale { warmup: 50, measured: 500, fault_seeds: 1 };
+        let tables = latency_figure(TrafficKind::Uniform, scale);
+        assert_eq!(tables.len(), 3);
+        for t in &tables {
+            assert_eq!(t.rows.len(), 3);
+            assert_eq!(t.rows[0].len(), 1 + RATES.len());
+            // Latency grows with injection rate for every router.
+            for row in &t.rows {
+                let lo: f64 = row[1].trim_end_matches('*').parse().unwrap();
+                let hi: f64 = row[RATES.len()].trim_end_matches('*').parse().unwrap();
+                assert!(hi >= lo, "latency should not shrink with load");
+            }
+        }
+    }
+}

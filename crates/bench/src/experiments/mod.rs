@@ -1,0 +1,12 @@
+//! One module per paper table/figure (see DESIGN.md §5 for the index).
+
+pub mod ablation;
+pub mod contention;
+pub mod energy;
+pub mod faults;
+pub mod latency;
+pub mod pef;
+pub mod saturation;
+pub mod scaling;
+pub mod tables;
+pub mod thermal;

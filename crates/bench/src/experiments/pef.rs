@@ -1,0 +1,77 @@
+//! Fig 14: the Performance-Energy-Fault (PEF) metric —
+//! `EDP / completion probability` — vs fault count, for critical
+//! (router-centric) and non-critical (message-centric) faults, together
+//! with the average-latency curves the figure overlays.
+
+use crate::experiments::faults::{fault_summaries, FAULT_COUNTS};
+use crate::{f2, Scale, Table};
+use noc_core::{RouterKind, RoutingKind};
+use noc_fault::FaultCategory;
+use noc_power::PefInputs;
+
+/// Runs one Fig 14 panel. Columns per fault count: PEF (nJ·cycles /
+/// completion) and average latency (cycles).
+pub fn fig14_panel(category: FaultCategory, routing: RoutingKind, scale: Scale) -> Table {
+    let summaries = fault_summaries(category, routing, scale);
+    let mut header: Vec<String> = vec!["Router".into()];
+    for c in FAULT_COUNTS {
+        header.push(format!("PEF @{c}f"));
+        header.push(format!("latency @{c}f"));
+    }
+    let mut t = Table::new(
+        format!("Fig 14 — PEF under {category} faults ({routing} routing, 0.3 injection)"),
+        &header.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    for router in RouterKind::ALL {
+        let mut row = vec![router.to_string()];
+        for &count in &FAULT_COUNTS {
+            let cell = summaries
+                .iter()
+                .find(|(r, c, _)| *r == router && *c == count)
+                .map(|(_, _, s)| s)
+                .expect("cell present");
+            let pef = PefInputs {
+                avg_latency_cycles: cell.latency,
+                energy_per_packet: cell.energy_per_packet,
+                completion_probability: cell.completion.max(1e-9),
+            }
+            .pef();
+            row.push(f2(pef * 1e9)); // nJ·cycles per unit completion
+            row.push(f2(cell.latency));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Relative PEF improvement of RoCo over the other two routers,
+/// averaged across fault counts (the paper's "50 % vs generic, 35 % vs
+/// Path-Sensitive" headline).
+pub fn pef_improvement(table: &Table) -> (f64, f64) {
+    let pef_of = |row: usize| -> f64 {
+        let mut total = 0.0;
+        for (i, _) in FAULT_COUNTS.iter().enumerate() {
+            total += table.rows[row][1 + 2 * i].parse::<f64>().unwrap();
+        }
+        total / FAULT_COUNTS.len() as f64
+    };
+    let generic = pef_of(0);
+    let ps = pef_of(1);
+    let roco = pef_of(2);
+    (1.0 - roco / generic, 1.0 - roco / ps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roco_wins_the_pef_comparison() {
+        let scale = Scale { warmup: 50, measured: 1_000, fault_seeds: 2 };
+        let t = fig14_panel(FaultCategory::Isolating, RoutingKind::Xy, scale);
+        assert_eq!(t.rows.len(), 3);
+        let (vs_generic, vs_ps) = pef_improvement(&t);
+        assert!(vs_generic > 0.0, "RoCo must improve PEF vs generic, got {vs_generic}");
+        assert!(vs_ps > 0.0, "RoCo must improve PEF vs path-sensitive, got {vs_ps}");
+    }
+}

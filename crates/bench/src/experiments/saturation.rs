@@ -1,0 +1,90 @@
+//! Saturation-point finder: binary-search the injection rate at which
+//! a configuration's average latency exceeds a multiple of its
+//! zero-load latency — the standard single-number summary of a
+//! latency/throughput curve.
+
+use crate::{f3, Scale, Table};
+use noc_core::{RouterKind, RoutingKind};
+use noc_sim::SimConfig;
+use noc_traffic::TrafficKind;
+
+/// Latency blow-up factor defining "saturated".
+const SATURATION_FACTOR: f64 = 3.0;
+
+/// Measured latency at `rate` (∞ when the run stalls).
+fn latency_at(base: &SimConfig, rate: f64) -> f64 {
+    let cfg = base.clone().with_rate(rate);
+    let r = noc_sim::run(cfg);
+    if r.stalled || r.measured_delivered == 0 {
+        f64::INFINITY
+    } else {
+        r.avg_latency
+    }
+}
+
+/// Binary-searches the saturation injection rate of one configuration
+/// within `(lo, hi)` to a resolution of ~0.005 flits/node/cycle.
+pub fn saturation_rate(base: &SimConfig) -> f64 {
+    let zero_load = latency_at(base, 0.02);
+    let threshold = zero_load * SATURATION_FACTOR;
+    let (mut lo, mut hi) = (0.02f64, 1.0f64);
+    // Expand: if even 1.0 does not saturate (tiny meshes), report 1.0.
+    if latency_at(base, hi) < threshold {
+        return hi;
+    }
+    for _ in 0..8 {
+        let mid = 0.5 * (lo + hi);
+        if latency_at(base, mid) < threshold {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// The saturation-throughput comparison across routers × routings
+/// (uniform traffic).
+pub fn saturation_table(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Saturation injection rate (flits/node/cycle, uniform traffic, 3x zero-load latency)",
+        &["Router", "xy", "xy-yx", "adaptive"],
+    );
+    for router in RouterKind::ALL {
+        let mut row = vec![router.to_string()];
+        for routing in RoutingKind::ALL {
+            let mut base = scale.apply(SimConfig::paper_scaled(
+                router,
+                routing,
+                TrafficKind::Uniform,
+            ));
+            // Saturated runs never drain; bound them.
+            base.max_cycles = 60_000;
+            base.stall_window = 8_000;
+            row.push(f3(saturation_rate(&base)));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_rate_is_sensible_for_xy_generic() {
+        let mut base = SimConfig::paper_scaled(
+            RouterKind::Generic,
+            RoutingKind::Xy,
+            TrafficKind::Uniform,
+        );
+        base.warmup_packets = 200;
+        base.measured_packets = 3_000;
+        base.max_cycles = 40_000;
+        base.stall_window = 5_000;
+        let sat = saturation_rate(&base);
+        // An 8x8 mesh under XY with 3 VCs saturates well inside (0.2, 0.7).
+        assert!(sat > 0.2 && sat < 0.7, "saturation at {sat}");
+    }
+}

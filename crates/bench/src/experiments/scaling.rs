@@ -1,0 +1,58 @@
+//! Extension experiment: mesh-size scaling. §5.1 stresses that the
+//! simulator is "fully parameterizable, allowing the user to specify
+//! parameters such as network size"; this sweep shows how the three
+//! architectures scale from 4×4 to 16×16 at a fixed per-node load.
+
+use crate::{f2, run_batch, Scale, Table};
+use noc_core::{MeshConfig, RouterKind, RoutingKind};
+use noc_sim::SimConfig;
+use noc_traffic::TrafficKind;
+
+/// Mesh edge lengths swept.
+pub const SIZES: [u16; 4] = [4, 8, 12, 16];
+
+/// Latency vs mesh size at 0.15 flits/node/cycle (kept below the 16×16
+/// saturation point so every size stays in the linear regime).
+pub fn scaling_table(scale: Scale) -> Table {
+    let mut configs = Vec::new();
+    for router in RouterKind::ALL {
+        for &n in &SIZES {
+            let mut cfg = scale
+                .apply(SimConfig::paper_scaled(router, RoutingKind::Xy, TrafficKind::Uniform))
+                .with_rate(0.15);
+            cfg.mesh = MeshConfig::new(n, n);
+            configs.push(cfg);
+        }
+    }
+    let results = run_batch(configs);
+    let mut header: Vec<String> = vec!["Router".into()];
+    header.extend(SIZES.iter().map(|n| format!("{n}x{n}")));
+    let mut t = Table::new(
+        "Extension — latency vs mesh size (uniform, XY, 0.15 flits/node/cycle)",
+        &header.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    for (ri, router) in RouterKind::ALL.iter().enumerate() {
+        let mut row = vec![router.to_string()];
+        for (ci, _) in SIZES.iter().enumerate() {
+            row.push(f2(results[ri * SIZES.len() + ci].avg_latency));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_with_mesh_size() {
+        let scale = Scale { warmup: 50, measured: 800, fault_seeds: 1 };
+        let t = scaling_table(scale);
+        for row in &t.rows {
+            let small: f64 = row[1].parse().unwrap();
+            let large: f64 = row[SIZES.len()].parse().unwrap();
+            assert!(large > small, "{}: {small} -> {large}", row[0]);
+        }
+    }
+}

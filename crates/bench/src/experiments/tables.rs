@@ -1,0 +1,145 @@
+//! Table 1, Table 2 and Fig 2 — the analytic/configuration artifacts.
+
+use crate::Table;
+use noc_analysis::{
+    generic_non_blocking_probability, generic_sa, generic_va,
+    path_sensitive_non_blocking_probability, roco_non_blocking_probability, roco_sa, roco_va,
+};
+use noc_core::{RouterConfig, RouterKind, RoutingKind, VcAdmission};
+use noc_router::{table1_vcs, ModulePort};
+
+/// Table 1: the RoCo VC buffer configuration per routing algorithm.
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "Table 1 — RoCo VC buffer configuration per routing algorithm",
+        &["Routing", "Row port 1", "Row port 2", "Col port 1", "Col port 2"],
+    );
+    for routing in RoutingKind::ALL {
+        let cfg = RouterConfig::paper(RouterKind::RoCo, routing);
+        let specs = table1_vcs(&cfg);
+        let port_str = |p: ModulePort| {
+            specs
+                .iter()
+                .filter(|s| s.port == p)
+                .map(|s| match s.desc.admission {
+                    VcAdmission::Class(c) => c.to_string(),
+                    VcAdmission::Any => "any".to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        t.push_row(vec![
+            routing.to_string(),
+            port_str(ModulePort::RowP1),
+            port_str(ModulePort::RowP2),
+            port_str(ModulePort::ColP1),
+            port_str(ModulePort::ColP2),
+        ]);
+    }
+    t
+}
+
+/// Table 2: non-blocking probabilities for the three architectures.
+pub fn table2() -> Table {
+    let mut t = Table::new(
+        "Table 2 — Non-blocking maximal-matching probabilities (N = 5)",
+        &["Router", "Non-blocking probability", "Paper value"],
+    );
+    t.push_row(vec![
+        "generic".into(),
+        format!("{:.4}", generic_non_blocking_probability(5)),
+        "0.043".into(),
+    ]);
+    t.push_row(vec![
+        "path-sensitive".into(),
+        format!("{:.4}", path_sensitive_non_blocking_probability()),
+        "0.125".into(),
+    ]);
+    t.push_row(vec![
+        "roco".into(),
+        format!("{:.4}", roco_non_blocking_probability()),
+        "0.25".into(),
+    ]);
+    t
+}
+
+/// Fig 2: VA (and Fig 4: SA) arbiter inventories for v = 3.
+pub fn fig2(v: u32) -> Table {
+    let mut t = Table::new(
+        format!("Fig 2 — VA/SA arbiter complexity (v = {v})"),
+        &["Router", "Unit", "Stage", "Arbiters", "Size", "Cost (∝ size²)"],
+    );
+    let g = generic_va(v);
+    let r = roco_va(v);
+    for (router, va) in [("generic", g), ("roco", r)] {
+        t.push_row(vec![
+            router.into(),
+            "VA".into(),
+            "1st".into(),
+            va.first_stage.count.to_string(),
+            format!("{}:1", va.first_stage.size),
+            va.first_stage.cost().to_string(),
+        ]);
+        t.push_row(vec![
+            router.into(),
+            "VA".into(),
+            "2nd".into(),
+            va.second_stage.count.to_string(),
+            format!("{}:1", va.second_stage.size),
+            va.second_stage.cost().to_string(),
+        ]);
+    }
+    for (router, sa) in [("generic", generic_sa(v)), ("roco", roco_sa(v))] {
+        t.push_row(vec![
+            router.into(),
+            "SA".into(),
+            "local".into(),
+            sa.local.count.to_string(),
+            format!("{}:1", sa.local.size),
+            sa.local.cost().to_string(),
+        ]);
+        t.push_row(vec![
+            router.into(),
+            "SA".into(),
+            "global".into(),
+            sa.global.count.to_string(),
+            format!("{}:1", sa.global.size),
+            sa.global.cost().to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_layout() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 3);
+        // XY row: "dx dx Injxy | dx dx Injxy | dy txy Injyx | dy dy txy".
+        assert_eq!(t.rows[0][1], "dx dx Injxy");
+        assert_eq!(t.rows[0][2], "dx dx Injxy");
+        assert_eq!(t.rows[0][3], "dy txy Injyx");
+        assert_eq!(t.rows[0][4], "dy dy txy");
+        // Adaptive row's column port 2: "dy txy txy".
+        assert_eq!(t.rows[2][4], "dy txy txy");
+    }
+
+    #[test]
+    fn table2_reproduces_paper_numbers() {
+        let t = table2();
+        assert_eq!(t.rows[0][1], "0.0430");
+        assert_eq!(t.rows[1][1], "0.1250");
+        assert_eq!(t.rows[2][1], "0.2500");
+    }
+
+    #[test]
+    fn fig2_has_both_units() {
+        let t = fig2(3);
+        assert_eq!(t.rows.len(), 8);
+        assert!(t.rows.iter().any(|r| r[0] == "roco" && r[4] == "6:1"));
+        assert!(t.rows.iter().any(|r| r[0] == "generic" && r[4] == "15:1"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Extension experiment: thermal profiles (the paper's §6 future work).
+//!
+//! Runs the three routers under the three routing algorithms, derives
+//! each router tile's power from its activity counters, solves the
+//! steady-state temperature field and compares peak temperature and
+//! spatial gradient. The RoCo router's lower dynamic energy should
+//! translate into a cooler, flatter die.
+
+use crate::{f2, Scale, Table};
+use noc_core::{RouterKind, RoutingKind};
+use noc_sim::{SimConfig, Simulation};
+use noc_thermal::{power_map, steady_state, summarize, ThermalParams};
+use noc_traffic::TrafficKind;
+
+/// Runs the thermal comparison at 0.3 injection, uniform traffic.
+pub fn thermal_comparison(scale: Scale) -> Table {
+    let params = ThermalParams::default();
+    let mut t = Table::new(
+        "Extension — steady-state thermal profile (uniform, 0.3 flits/node/cycle)",
+        &["Router", "Routing", "peak °C", "avg °C", "gradient °C", "total W"],
+    );
+    for router in RouterKind::ALL {
+        for routing in RoutingKind::ALL {
+            let cfg = scale
+                .apply(SimConfig::paper_scaled(router, routing, TrafficKind::Uniform))
+                .with_rate(0.3);
+            let rcfg = cfg.router_config();
+            let mesh = cfg.mesh;
+            let mut sim = Simulation::new(cfg);
+            while !sim.finished() {
+                sim.step();
+            }
+            let report = sim.node_report();
+            let power = power_map(&report, &rcfg, &params);
+            let temps = steady_state(mesh, &power, &params);
+            let s = summarize(&temps);
+            t.push_row(vec![
+                router.to_string(),
+                routing.to_string(),
+                f2(s.max_c),
+                f2(s.avg_c),
+                f2(s.gradient_c),
+                format!("{:.3}", power.iter().sum::<f64>()),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roco_runs_cooler_than_generic() {
+        let scale = Scale { warmup: 100, measured: 1_500, fault_seeds: 1 };
+        let t = thermal_comparison(scale);
+        assert_eq!(t.rows.len(), 9);
+        // Compare XY rows (rows 0 and 6: generic-xy vs roco-xy).
+        let peak = |row: usize| t.rows[row][2].parse::<f64>().unwrap();
+        let generic_xy = peak(0);
+        let roco_xy = peak(6);
+        assert!(
+            roco_xy < generic_xy,
+            "RoCo peak {roco_xy} should be cooler than generic {generic_xy}"
+        );
+        // Everything stays in a plausible silicon band.
+        for row in &t.rows {
+            let p: f64 = row[2].parse().unwrap();
+            assert!(p > 45.0 && p < 125.0, "peak {p} outside plausible band");
+        }
+    }
+}

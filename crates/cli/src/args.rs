@@ -1,0 +1,122 @@
+//! A small, dependency-free `--flag value` argument parser.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Argument parsing failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed command line: one subcommand plus `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The first positional token, if any.
+    pub command: Option<String>,
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses raw tokens (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] for a flag with no value, an unexpected
+    /// positional argument, or a repeated flag.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut it = tokens.into_iter();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError(format!("--{name} requires a value")))?;
+                if args.flags.insert(name.to_string(), value).is_some() {
+                    return Err(ArgError(format!("--{name} given twice")));
+                }
+            } else if args.command.is_none() {
+                args.command = Some(tok);
+            } else {
+                return Err(ArgError(format!("unexpected argument: {tok}")));
+            }
+        }
+        Ok(args)
+    }
+
+    /// A raw string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    /// A parsed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when the value does not parse as `T`.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => {
+                v.parse().map_err(|_| ArgError(format!("--{name}: cannot parse '{v}'")))
+            }
+        }
+    }
+
+    /// Flags that were provided but not consumed by the command —
+    /// callers use this to reject typos.
+    pub fn unknown_flags(&self, known: &[&str]) -> Vec<String> {
+        self.flags.keys().filter(|k| !known.contains(&k.as_str())).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse("run --rate 0.3 --router roco").unwrap();
+        assert_eq!(a.command.as_deref(), Some("run"));
+        assert_eq!(a.get("rate"), Some("0.3"));
+        assert_eq!(a.get_or("rate", 0.1).unwrap(), 0.3);
+        assert_eq!(a.get_or("missing", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_dangling_flag() {
+        assert!(parse("run --rate").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_flag() {
+        assert!(parse("run --rate 0.1 --rate 0.2").is_err());
+    }
+
+    #[test]
+    fn rejects_second_positional() {
+        assert!(parse("run again").is_err());
+    }
+
+    #[test]
+    fn rejects_unparseable_value() {
+        let a = parse("run --rate banana").unwrap();
+        assert!(a.get_or("rate", 0.1f64).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_reported() {
+        let a = parse("run --rate 0.1 --typo x").unwrap();
+        assert_eq!(a.unknown_flags(&["rate"]), vec!["typo".to_string()]);
+    }
+}

@@ -1,0 +1,333 @@
+//! The `noc` subcommands: `run`, `sweep`, `fault`, `info`.
+
+use crate::{parse_mesh, parse_rates, parse_router, parse_routing, parse_traffic, ArgError, Args};
+use noc_core::{RouterKind, RoutingKind};
+use noc_fault::{FaultCategory, FaultPlan};
+use noc_sim::{SimConfig, SimResults, Simulation};
+use std::fmt::Write as _;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+noc — RoCo NoC simulator (ISCA 2006 reproduction)
+
+USAGE:
+  noc run   [--router R] [--routing A] [--traffic T] [--rate F] [--mesh WxH]
+            [--packets N] [--warmup N] [--seed N] [--heatmaps true]
+  noc sweep [--router R|all] [--routing A] [--traffic T] [--rates F,F,...]
+            [--mesh WxH] [--packets N] [--seed N]
+  noc fault [--router R|all] [--routing A] [--category critical|recyclable]
+            [--faults N] [--rate F] [--packets N] [--seed N]
+  noc thermal [--router R] [--routing A] [--traffic T] [--rate F] [--packets N]
+  noc info
+
+VALUES:
+  R: generic | path-sensitive | roco (default roco)
+  A: xy | xy-yx | adaptive | odd-even (default xy)
+  T: uniform | transpose | self-similar | mpeg | hotspot | bit-complement
+";
+
+fn base_config(args: &Args) -> Result<SimConfig, ArgError> {
+    // `--router all` is resolved by the sweep/fault loops; the base
+    // config then acts as a template whose router field is overwritten.
+    let router = match args.get("router") {
+        Some("all") => RouterKind::RoCo,
+        other => parse_router(other.unwrap_or("roco"))?,
+    };
+    let routing = parse_routing(args.get("routing").unwrap_or("xy"))?;
+    let traffic = parse_traffic(args.get("traffic").unwrap_or("uniform"))?;
+    let mut cfg = SimConfig::paper_scaled(router, routing, traffic);
+    cfg.mesh = parse_mesh(args.get("mesh").unwrap_or("8x8"))?;
+    cfg.injection_rate = args.get_or("rate", 0.25)?;
+    if cfg.injection_rate <= 0.0 || cfg.injection_rate > 1.0 {
+        return Err(ArgError("--rate must be in (0, 1]".into()));
+    }
+    cfg.measured_packets = args.get_or("packets", 10_000u64)?;
+    cfg.warmup_packets = args.get_or("warmup", cfg.measured_packets / 10)?;
+    cfg.seed = args.get_or("seed", 0xC0C0u64)?;
+    Ok(cfg)
+}
+
+fn summarize(r: &SimResults) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "  cycles              {}", r.cycles);
+    let _ = writeln!(
+        s,
+        "  packets             {} generated / {} injected / {} delivered / {} dropped",
+        r.generated_packets, r.injected_packets, r.delivered_packets, r.dropped_packets
+    );
+    let _ = writeln!(
+        s,
+        "  latency             avg {:.2}  p50 {}  p95 {}  p99 {}  max {} cycles",
+        r.avg_latency, r.latency_p50, r.latency_p95, r.latency_p99, r.max_latency
+    );
+    let _ = writeln!(s, "  throughput          {:.4} flits/node/cycle", r.throughput);
+    let _ = writeln!(s, "  completion          {:.4}", r.completion_probability());
+    let _ = writeln!(s, "  energy per packet   {:.4} nJ", r.energy_per_packet * 1e9);
+    let _ = writeln!(
+        s,
+        "  contention          x {:.3} / y {:.3}",
+        r.contention.x_contention_probability().unwrap_or(0.0),
+        r.contention.y_contention_probability().unwrap_or(0.0)
+    );
+    let _ = writeln!(s, "  PEF                 {:.3} nJ·cycles", r.pef_inputs().pef() * 1e9);
+    if r.stalled {
+        let _ = writeln!(s, "  [run ended on the inactivity detector]");
+    }
+    s
+}
+
+/// `noc run`: one simulation, full summary, optional heatmaps.
+pub fn cmd_run(args: &Args) -> Result<String, ArgError> {
+    let unknown = args.unknown_flags(&[
+        "router", "routing", "traffic", "rate", "mesh", "packets", "warmup", "seed", "heatmaps",
+    ]);
+    if !unknown.is_empty() {
+        return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
+    }
+    let cfg = base_config(args)?;
+    let heatmaps: bool = args.get_or("heatmaps", false)?;
+    let label = format!(
+        "{} router, {} routing, {} traffic @ {} flits/node/cycle on {}x{}",
+        cfg.router, cfg.routing, cfg.traffic, cfg.injection_rate, cfg.mesh.width, cfg.mesh.height
+    );
+    let mut sim = Simulation::new(cfg);
+    while !sim.finished() {
+        sim.step();
+    }
+    let results = sim.results();
+    let mut out = format!("{label}\n{}", summarize(&results));
+    if heatmaps {
+        let report = sim.node_report();
+        out.push('\n');
+        out.push_str(&report.crossbar_heatmap());
+        out.push('\n');
+        out.push_str(&report.contention_heatmap());
+    }
+    Ok(out)
+}
+
+fn routers_of(args: &Args) -> Result<Vec<RouterKind>, ArgError> {
+    match args.get("router") {
+        Some("all") => Ok(RouterKind::ALL.to_vec()),
+        Some(s) => Ok(vec![parse_router(s)?]),
+        None => Ok(vec![RouterKind::RoCo]),
+    }
+}
+
+/// `noc sweep`: latency/energy vs injection rate, CSV to stdout.
+pub fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
+    let unknown = args.unknown_flags(&[
+        "router", "routing", "traffic", "rates", "mesh", "packets", "warmup", "seed",
+    ]);
+    if !unknown.is_empty() {
+        return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
+    }
+    let routers = routers_of(args)?;
+    let rates = parse_rates(args.get("rates").unwrap_or("0.05,0.1,0.15,0.2,0.25,0.3"))?;
+    let mut out = String::from("router,rate,avg_latency,p95_latency,throughput,energy_nj,completion\n");
+    for router in routers {
+        for &rate in &rates {
+            let mut cfg = base_config(args)?;
+            cfg.router = router;
+            cfg.injection_rate = rate;
+            let r = noc_sim::run(cfg);
+            let _ = writeln!(
+                out,
+                "{router},{rate},{:.3},{},{:.4},{:.4},{:.4}",
+                r.avg_latency,
+                r.latency_p95,
+                r.throughput,
+                r.energy_per_packet * 1e9,
+                r.completion_probability()
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// `noc fault`: §4 fault experiment at one operating point.
+pub fn cmd_fault(args: &Args) -> Result<String, ArgError> {
+    let unknown = args.unknown_flags(&[
+        "router", "routing", "traffic", "rate", "mesh", "packets", "warmup", "seed", "category",
+        "faults",
+    ]);
+    if !unknown.is_empty() {
+        return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
+    }
+    let category = match args.get("category").unwrap_or("critical") {
+        "critical" | "router-centric" => FaultCategory::Isolating,
+        "recyclable" | "message-centric" | "non-critical" => FaultCategory::Recyclable,
+        other => {
+            return Err(ArgError(format!(
+                "unknown category '{other}' (expected critical | recyclable)"
+            )))
+        }
+    };
+    let count: usize = args.get_or("faults", 2usize)?;
+    let routers = routers_of(args)?;
+    let mut out = format!("{category} faults x{count}, 0.3 injection unless overridden\n");
+    for router in routers {
+        let mut cfg = base_config(args)?;
+        cfg.router = router;
+        if args.get("rate").is_none() {
+            cfg.injection_rate = 0.3;
+        }
+        cfg.stall_window = 5_000;
+        cfg.faults = FaultPlan::random(category, count, cfg.mesh, cfg.seed ^ 0xFA);
+        let r = noc_sim::run(cfg);
+        let _ = writeln!(
+            out,
+            "{router:>15}: completion {:.4}  latency {:>7.2}  blocked {:>5}  dropped {:>5}  PEF {:.2} nJ·cycles",
+            r.completion_probability(),
+            r.avg_latency,
+            r.counters.blocked_packets,
+            r.dropped_packets,
+            r.pef_inputs().pef() * 1e9,
+        );
+    }
+    Ok(out)
+}
+
+/// `noc thermal`: simulate, derive per-tile power, solve the
+/// steady-state temperature field and print its heatmap.
+pub fn cmd_thermal(args: &Args) -> Result<String, ArgError> {
+    let unknown = args.unknown_flags(&[
+        "router", "routing", "traffic", "rate", "mesh", "packets", "warmup", "seed",
+    ]);
+    if !unknown.is_empty() {
+        return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
+    }
+    let cfg = base_config(args)?;
+    let rcfg = cfg.router_config();
+    let mesh = cfg.mesh;
+    let label = format!("{} router, {} routing, {} traffic", cfg.router, cfg.routing, cfg.traffic);
+    let mut sim = Simulation::new(cfg);
+    while !sim.finished() {
+        sim.step();
+    }
+    let params = noc_thermal::ThermalParams::default();
+    let power = noc_thermal::power_map(&sim.node_report(), &rcfg, &params);
+    let temps = noc_thermal::steady_state(mesh, &power, &params);
+    let s = noc_thermal::summarize(&temps);
+    let mut out = format!("{label}\n");
+    let _ = writeln!(
+        out,
+        "  total power {:.3} W   peak {:.2} C   avg {:.2} C   gradient {:.2} C\n",
+        power.iter().sum::<f64>(),
+        s.max_c,
+        s.avg_c,
+        s.gradient_c
+    );
+    out.push_str(&noc_sim::render_heatmap(mesh, "temperature per tile", &temps));
+    Ok(out)
+}
+
+/// `noc info`: the analytic tables (Table 1/2, arbiter inventory).
+pub fn cmd_info() -> String {
+    use noc_analysis as an;
+    let mut out = String::new();
+    let _ = writeln!(out, "Non-blocking maximal-matching probabilities (Table 2):");
+    let _ = writeln!(out, "  generic        {:.4}", an::generic_non_blocking_probability(5));
+    let _ = writeln!(out, "  path-sensitive {:.4}", an::path_sensitive_non_blocking_probability());
+    let _ = writeln!(out, "  roco           {:.4}", an::roco_non_blocking_probability());
+    let _ = writeln!(out, "\nVA arbiters for v = 3 (Fig 2):");
+    let g = an::generic_va(3);
+    let r = an::roco_va(3);
+    let _ = writeln!(
+        out,
+        "  generic: {} x {}:1 second-stage arbiters   roco: {} x {}:1",
+        g.second_stage.count, g.second_stage.size, r.second_stage.count, r.second_stage.size
+    );
+    let _ = writeln!(out, "\nRoCo Table-1 VC configuration:");
+    for routing in RoutingKind::ALL {
+        let cfg = noc_core::RouterConfig::paper(RouterKind::RoCo, routing);
+        let hist = noc_router::class_histogram(&noc_router::table1_vcs(&cfg));
+        let desc: Vec<String> = hist.iter().map(|(k, v)| format!("{v}x{k}")).collect();
+        let _ = writeln!(out, "  {routing:>9}: {}", desc.join(" "));
+    }
+    let _ = writeln!(out, "\nWorkloads: uniform, transpose, self-similar, mpeg, hotspot, bit-complement");
+    let _ = writeln!(out, "Run `noc run --help` style usage:\n\n{USAGE}");
+    out
+}
+
+/// Dispatches a parsed command line.
+pub fn dispatch(args: &Args) -> Result<String, ArgError> {
+    match args.command.as_deref() {
+        Some("run") => cmd_run(args),
+        Some("sweep") => cmd_sweep(args),
+        Some("fault") => cmd_fault(args),
+        Some("thermal") => cmd_thermal(args),
+        Some("info") => Ok(cmd_info()),
+        Some("help") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(ArgError(format!("unknown command '{other}'\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn run_produces_summary() {
+        let out = dispatch(&parse("run --packets 300 --warmup 30 --rate 0.1")).unwrap();
+        assert!(out.contains("roco router"));
+        assert!(out.contains("completion          1.0000"));
+        assert!(out.contains("PEF"));
+    }
+
+    #[test]
+    fn run_with_heatmaps() {
+        let out =
+            dispatch(&parse("run --packets 200 --warmup 20 --rate 0.1 --heatmaps true")).unwrap();
+        assert!(out.contains("crossbar traversals per router"));
+        assert!(out.contains("SA contention probability"));
+    }
+
+    #[test]
+    fn sweep_emits_csv() {
+        let out = dispatch(&parse(
+            "sweep --router all --rates 0.1 --packets 200 --warmup 20",
+        ))
+        .unwrap();
+        assert!(out.starts_with("router,rate,"));
+        assert_eq!(out.lines().count(), 4, "header + one row per router");
+    }
+
+    #[test]
+    fn fault_reports_all_routers() {
+        let out = dispatch(&parse(
+            "fault --router all --faults 1 --packets 400 --warmup 40",
+        ))
+        .unwrap();
+        assert!(out.contains("generic"));
+        assert!(out.contains("roco"));
+        assert!(out.contains("completion"));
+    }
+
+    #[test]
+    fn thermal_prints_a_temperature_map() {
+        let out = dispatch(&parse("thermal --packets 300 --warmup 30 --rate 0.15")).unwrap();
+        assert!(out.contains("temperature per tile"));
+        assert!(out.contains("peak"));
+    }
+
+    #[test]
+    fn info_and_help() {
+        let info = dispatch(&parse("info")).unwrap();
+        assert!(info.contains("0.0430"));
+        assert!(info.contains("Table-1"));
+        let help = dispatch(&Args::default()).unwrap();
+        assert!(help.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_and_flags_error() {
+        assert!(dispatch(&parse("explode")).is_err());
+        assert!(dispatch(&parse("run --bogus 1")).is_err());
+        assert!(dispatch(&parse("run --rate 2.0")).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! # noc-cli
+//!
+//! The `noc` command-line frontend to the RoCo reproduction: run single
+//! simulations, sweep injection rates, inject faults and print
+//! heatmaps — without writing any Rust.
+//!
+//! ```text
+//! noc run   --router roco --routing xy --traffic uniform --rate 0.25
+//! noc sweep --router all --routing adaptive --rates 0.05,0.1,0.2,0.3
+//! noc fault --category critical --faults 4 --routing xy
+//! noc info
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+
+use noc_core::{MeshConfig, RouterKind, RoutingKind};
+use noc_traffic::TrafficKind;
+
+/// Parses a router name.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for an unknown name.
+pub fn parse_router(s: &str) -> Result<RouterKind, ArgError> {
+    match s {
+        "generic" => Ok(RouterKind::Generic),
+        "path-sensitive" | "ps" => Ok(RouterKind::PathSensitive),
+        "roco" => Ok(RouterKind::RoCo),
+        _ => Err(ArgError(format!(
+            "unknown router '{s}' (expected generic | path-sensitive | roco)"
+        ))),
+    }
+}
+
+/// Parses a routing-algorithm name.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for an unknown name.
+pub fn parse_routing(s: &str) -> Result<RoutingKind, ArgError> {
+    match s {
+        "xy" => Ok(RoutingKind::Xy),
+        "xy-yx" | "xyyx" => Ok(RoutingKind::XyYx),
+        "adaptive" => Ok(RoutingKind::Adaptive),
+        "odd-even" | "adaptive-odd-even" => Ok(RoutingKind::AdaptiveOddEven),
+        _ => Err(ArgError(format!(
+            "unknown routing '{s}' (expected xy | xy-yx | adaptive | odd-even)"
+        ))),
+    }
+}
+
+/// Parses a traffic-pattern name.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for an unknown name.
+pub fn parse_traffic(s: &str) -> Result<TrafficKind, ArgError> {
+    match s {
+        "uniform" => Ok(TrafficKind::Uniform),
+        "transpose" => Ok(TrafficKind::Transpose),
+        "self-similar" | "selfsimilar" => Ok(TrafficKind::SelfSimilar),
+        "mpeg" => Ok(TrafficKind::Mpeg),
+        "hotspot" => Ok(TrafficKind::Hotspot),
+        "bit-complement" | "bitcomplement" => Ok(TrafficKind::BitComplement),
+        _ => Err(ArgError(format!(
+            "unknown traffic '{s}' (expected uniform | transpose | self-similar | mpeg | \
+             hotspot | bit-complement)"
+        ))),
+    }
+}
+
+/// Parses `WxH` mesh dimensions.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for malformed or too-small dimensions.
+pub fn parse_mesh(s: &str) -> Result<MeshConfig, ArgError> {
+    let (w, h) = s
+        .split_once(['x', 'X'])
+        .ok_or_else(|| ArgError(format!("mesh '{s}' must look like 8x8")))?;
+    let w: u16 = w.parse().map_err(|_| ArgError(format!("bad mesh width '{w}'")))?;
+    let h: u16 = h.parse().map_err(|_| ArgError(format!("bad mesh height '{h}'")))?;
+    let mesh = MeshConfig::new(w, h);
+    mesh.validate().map_err(|e| ArgError(e.to_string()))?;
+    Ok(mesh)
+}
+
+/// Parses a comma-separated list of rates.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for malformed or out-of-range entries.
+pub fn parse_rates(s: &str) -> Result<Vec<f64>, ArgError> {
+    s.split(',')
+        .map(|tok| {
+            let r: f64 =
+                tok.trim().parse().map_err(|_| ArgError(format!("bad rate '{tok}'")))?;
+            if r <= 0.0 || r > 1.0 {
+                return Err(ArgError(format!("rate {r} outside (0, 1]")));
+            }
+            Ok(r)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_parsers() {
+        assert_eq!(parse_router("roco").unwrap(), RouterKind::RoCo);
+        assert_eq!(parse_router("ps").unwrap(), RouterKind::PathSensitive);
+        assert!(parse_router("bogus").is_err());
+        assert_eq!(parse_routing("xy-yx").unwrap(), RoutingKind::XyYx);
+        assert_eq!(parse_routing("odd-even").unwrap(), RoutingKind::AdaptiveOddEven);
+        assert!(parse_routing("zigzag").is_err());
+        assert_eq!(parse_traffic("hotspot").unwrap(), TrafficKind::Hotspot);
+        assert!(parse_traffic("noise").is_err());
+    }
+
+    #[test]
+    fn mesh_parser() {
+        let m = parse_mesh("8x8").unwrap();
+        assert_eq!((m.width, m.height), (8, 8));
+        assert_eq!(parse_mesh("4X12").unwrap().height, 12);
+        assert!(parse_mesh("8").is_err());
+        assert!(parse_mesh("1x8").is_err(), "too small");
+        assert!(parse_mesh("axb").is_err());
+    }
+
+    #[test]
+    fn rates_parser() {
+        assert_eq!(parse_rates("0.1,0.2").unwrap(), vec![0.1, 0.2]);
+        assert!(parse_rates("0.1,zero").is_err());
+        assert!(parse_rates("1.5").is_err());
+    }
+}

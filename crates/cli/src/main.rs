@@ -1,0 +1,18 @@
+//! The `noc` binary: see `noc help`.
+
+fn main() {
+    let args = match noc_cli::Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match noc_cli::commands::dispatch(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

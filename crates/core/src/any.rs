@@ -1,0 +1,101 @@
+//! Uniform dispatch over the three router architectures.
+
+use crate::{GenericRouter, PathSensitiveRouter, RocoRouter};
+use noc_core::{
+    ActivityCounters, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit,
+    MeshConfig, NodeStatus, RouterConfig, RouterKind, RouterNode, RouterOutputs, StepContext,
+    VcDescriptor,
+};
+
+/// A router of any of the three evaluated architectures.
+#[derive(Debug)]
+pub enum AnyRouter {
+    /// Generic 2-stage 5-port VC router.
+    Generic(GenericRouter),
+    /// Path-Sensitive router (DAC 2005).
+    PathSensitive(PathSensitiveRouter),
+    /// RoCo decoupled router (this paper).
+    RoCo(RocoRouter),
+}
+
+impl AnyRouter {
+    /// Builds a router of `cfg.router`'s architecture at `coord`.
+    pub fn build(coord: Coord, cfg: RouterConfig, mesh: MeshConfig) -> Self {
+        match cfg.router {
+            RouterKind::Generic => AnyRouter::Generic(GenericRouter::new(coord, cfg, mesh)),
+            RouterKind::PathSensitive => {
+                AnyRouter::PathSensitive(PathSensitiveRouter::new(coord, cfg, mesh))
+            }
+            RouterKind::RoCo => AnyRouter::RoCo(RocoRouter::new(coord, cfg, mesh)),
+        }
+    }
+
+    /// Wires the output towards `dir` to a neighbour's published VCs.
+    pub fn connect_output(&mut self, dir: Direction, descs: &[VcDescriptor]) {
+        match self {
+            AnyRouter::Generic(r) => r.connect_output(dir, descs),
+            AnyRouter::PathSensitive(r) => r.connect_output(dir, descs),
+            AnyRouter::RoCo(r) => r.connect_output(dir, descs),
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:expr, $r:ident => $body:expr) => {
+        match $self {
+            AnyRouter::Generic($r) => $body,
+            AnyRouter::PathSensitive($r) => $body,
+            AnyRouter::RoCo($r) => $body,
+        }
+    };
+}
+
+impl RouterNode for AnyRouter {
+    fn coord(&self) -> Coord {
+        dispatch!(self, r => r.coord())
+    }
+
+    fn config(&self) -> &RouterConfig {
+        dispatch!(self, r => r.config())
+    }
+
+    fn vcs_on_link(&self, dir: Direction) -> &[VcDescriptor] {
+        dispatch!(self, r => r.vcs_on_link(dir))
+    }
+
+    fn deliver_flit(&mut self, from: Direction, vc: u8, flit: Flit) {
+        dispatch!(self, r => r.deliver_flit(from, vc, flit))
+    }
+
+    fn deliver_credit(&mut self, output: Direction, credit: Credit) {
+        dispatch!(self, r => r.deliver_credit(output, credit))
+    }
+
+    fn try_inject(&mut self, flit: Flit, ctx: &mut StepContext<'_>) -> bool {
+        dispatch!(self, r => r.try_inject(flit, ctx))
+    }
+
+    fn step(&mut self, ctx: &mut StepContext<'_>) -> RouterOutputs {
+        dispatch!(self, r => r.step(ctx))
+    }
+
+    fn status(&self) -> NodeStatus {
+        dispatch!(self, r => r.status())
+    }
+
+    fn inject_fault(&mut self, fault: ComponentFault) {
+        dispatch!(self, r => r.inject_fault(fault))
+    }
+
+    fn counters(&self) -> &ActivityCounters {
+        dispatch!(self, r => r.counters())
+    }
+
+    fn contention(&self) -> &ContentionCounters {
+        dispatch!(self, r => r.contention())
+    }
+
+    fn occupancy(&self) -> usize {
+        dispatch!(self, r => r.occupancy())
+    }
+}

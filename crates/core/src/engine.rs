@@ -1,0 +1,825 @@
+//! Shared router machinery: virtual-channel state machines, the
+//! upstream view of downstream buffers, look-ahead routing + VA, switch
+//! traversal, injection, and fault bookkeeping.
+//!
+//! The three router architectures (generic, Path-Sensitive, RoCo) are
+//! thin wrappers around [`RouterCore`]: they define their VC layout and
+//! their switch-allocation structure, and delegate the rest here. The
+//! per-cycle contract follows the paper's two-stage pipeline: stage 1 =
+//! buffer write + look-ahead RC + VA + (speculative) SA, stage 2 =
+//! switch traversal, then one cycle of link propagation handled by the
+//! network.
+
+use noc_arbiter::RoundRobinArbiter;
+use noc_core::{
+    ActivityCounters, Axis, ContentionCounters, Coord, Cycle, Direction, Flit, ModuleHealth,
+    NodeStatus, RouterConfig, RouterOutputs, StepContext, VcDescriptor, VcRequest, EJECT_VC,
+};
+use noc_routing::{quadrant_mask, RouteComputer};
+use std::collections::VecDeque;
+
+/// Cycles a baseline router lets a fault-blocked packet wedge its VC
+/// (congesting the region around the fault) before its watchdog
+/// discards it. The RoCo router never waits: its §4.1 status handshake
+/// discards unserviceable packets immediately.
+pub const BLOCK_TIMEOUT: Cycle = 20;
+
+/// Allocation state of one virtual channel's resident packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcState {
+    /// No packet being processed.
+    Idle,
+    /// Head seen, but route computation is delayed one cycle (Double
+    /// Routing penalty when the upstream RC unit is faulty, §4.1).
+    RoutePending {
+        /// Output at the next router, already computed.
+        next_route: Direction,
+        /// Cycle at which VA may begin.
+        ready_at: Cycle,
+    },
+    /// Head waiting for a downstream virtual channel.
+    WaitingVa {
+        /// Output at the next router (look-ahead route).
+        next_route: Direction,
+    },
+    /// Blocked at a fault: the route requires a dead node/module and
+    /// this architecture has no graceful-discard handshake. The packet
+    /// wedges, back-pressure builds around the fault (the "excessive
+    /// congestion around the faulty nodes" of §5.4), and after
+    /// [`BLOCK_TIMEOUT`] cycles the router's watchdog discards it.
+    Blocked {
+        /// Cycle the packet wedged.
+        since: Cycle,
+    },
+    /// Downstream VC allocated; flits stream through SA/ST.
+    Active {
+        /// Output port at this router.
+        out: Direction,
+        /// Downstream input-VC index (or [`EJECT_VC`]).
+        dvc: u8,
+        /// Output at the next router, stamped on departing flits.
+        next_route: Direction,
+        /// First cycle the head may bid for the switch. Equal to the
+        /// VA-grant cycle under speculative SA (§3.1); one later in the
+        /// non-speculative 3-stage ablation.
+        sa_from: Cycle,
+    },
+}
+
+/// One virtual channel buffer plus its state machine.
+#[derive(Debug, Clone)]
+pub struct Vc {
+    /// Static descriptor (admission rules, capacity).
+    pub desc: VcDescriptor,
+    /// Link this VC is fed from (`Local` for injection VCs).
+    pub input_side: Direction,
+    /// Index of this VC within its link's published list (credit id).
+    pub link_index: u8,
+    /// Architecture tag: crossbar input port (generic), path set
+    /// (Path-Sensitive) or module-port (RoCo).
+    pub group: u8,
+    /// Buffered flits.
+    pub queue: VecDeque<Flit>,
+    /// Packet-processing state.
+    pub state: VcState,
+    /// Discarding a dropped packet's remaining flits (§4.1: fragmented
+    /// packets are discarded).
+    pub dropping: bool,
+    /// Taken out of service by a buffer fault (Virtual Queuing).
+    pub disabled: bool,
+    /// Flits written into this VC over the router's lifetime
+    /// (per-class utilization statistics).
+    pub writes: u64,
+}
+
+impl Vc {
+    /// Creates an idle VC.
+    pub fn new(desc: VcDescriptor, input_side: Direction, link_index: u8, group: u8) -> Self {
+        Vc {
+            desc,
+            input_side,
+            link_index,
+            group,
+            queue: VecDeque::new(),
+            state: VcState::Idle,
+            dropping: false,
+            disabled: false,
+            writes: 0,
+        }
+    }
+
+    /// Whether a new packet head may be injected/enqueued atomically.
+    pub fn ready_for_new_packet(&self) -> bool {
+        !self.disabled && self.state == VcState::Idle && self.queue.is_empty() && !self.dropping
+    }
+}
+
+/// Upstream bookkeeping for one downstream input VC.
+#[derive(Debug, Clone)]
+pub struct OutputVcState {
+    /// The downstream VC's descriptor.
+    pub desc: VcDescriptor,
+    /// Free buffer slots (credits).
+    pub credits: u8,
+    /// Whether the VC is free for allocation to a new packet.
+    pub free: bool,
+}
+
+/// Upstream view of one output link.
+#[derive(Debug, Clone)]
+pub struct OutputPort {
+    /// Downstream input VCs in link order.
+    pub vcs: Vec<OutputVcState>,
+}
+
+impl OutputPort {
+    fn new(descs: &[VcDescriptor]) -> Self {
+        OutputPort {
+            vcs: descs
+                .iter()
+                .map(|d| OutputVcState { desc: *d, credits: d.capacity, free: true })
+                .collect(),
+        }
+    }
+
+    /// Total free credits over VCs admissible for `req` — the
+    /// backpressure congestion signal used by adaptive look-ahead
+    /// selection.
+    pub fn credit_score(&self, req: &VcRequest) -> i64 {
+        self.vcs
+            .iter()
+            .filter(|v| v.desc.accepts(req))
+            .map(|v| v.credits as i64 + v.free as i64)
+            .sum()
+    }
+}
+
+/// A VA request: this VC wants that downstream VC.
+#[derive(Debug, Clone, Copy)]
+struct VaRequest {
+    vc_id: usize,
+    out: Direction,
+    dvc: u8,
+    next_route: Direction,
+}
+
+/// The shared state and pipeline of every router architecture.
+#[derive(Debug)]
+pub struct RouterCore {
+    /// Mesh position.
+    pub coord: Coord,
+    /// Configuration.
+    pub cfg: RouterConfig,
+    /// Route computation (look-ahead).
+    pub computer: RouteComputer,
+    /// All virtual channels.
+    pub vcs: Vec<Vc>,
+    /// Per input side: internal VC ids visible on that link, in credit
+    /// order. Index 4 (`Local`) lists the injection VCs.
+    pub link_map: [Vec<usize>; 5],
+    /// Cached descriptors per link (what `vcs_on_link` returns).
+    pub link_descs: [Vec<VcDescriptor>; 5],
+    /// Upstream view of each mesh output (None at mesh boundaries).
+    pub outputs: [Option<OutputPort>; 4],
+    /// Switch-traversal latch: SA winners of the previous cycle.
+    pub st_latch: Vec<(Direction, u8, Flit)>,
+    /// Early-ejected flits awaiting emission this cycle.
+    pub pending_ejects: Vec<Flit>,
+    /// Credits awaiting emission.
+    pub pending_credits: Vec<(Direction, noc_core::Credit)>,
+    /// Flits dropped by the fault logic awaiting emission.
+    pub pending_drops: Vec<Flit>,
+    /// Per-output, per-downstream-VC VA arbiters (second stage of Fig 2).
+    va_arbs: [Vec<RoundRobinArbiter>; 4],
+    /// Activity counters.
+    pub counters: ActivityCounters,
+    /// Contention counters (Fig 3).
+    pub contention: ContentionCounters,
+    /// Health of the Row (X) and Column (Y) modules. Generic and
+    /// Path-Sensitive routers fail as a unit: both entries move together.
+    pub module_health: [ModuleHealth; 2],
+    /// Routing Computation unit health.
+    pub rc_ok: bool,
+    /// Per-module SA-offload degradation (RoCo SA fault, Fig 7).
+    pub sa_degraded: [bool; 2],
+    /// Injection binding: the VC currently receiving a packet from the PE.
+    inj_vc: Option<usize>,
+    /// Discarding the remainder of an unserviceable injected packet.
+    inj_dropping: bool,
+    /// The most recent cycle seen by `va_stage` (watchdog timestamps).
+    last_cycle: Cycle,
+}
+
+impl RouterCore {
+    /// Builds a core from an architecture's VC layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link_map` references VC ids out of range or if a
+    /// link's VCs are not tagged with that `input_side`.
+    pub fn new(
+        coord: Coord,
+        cfg: RouterConfig,
+        computer: RouteComputer,
+        vcs: Vec<Vc>,
+        link_map: [Vec<usize>; 5],
+    ) -> Self {
+        for (side, ids) in link_map.iter().enumerate() {
+            for (li, &id) in ids.iter().enumerate() {
+                assert!(id < vcs.len(), "link map references VC {id} out of range");
+                assert_eq!(vcs[id].input_side, Direction::from_index(side));
+                assert_eq!(vcs[id].link_index as usize, li, "link index mismatch");
+            }
+        }
+        let link_descs = std::array::from_fn(|side| {
+            link_map[side].iter().map(|&id| vcs[id].desc).collect::<Vec<_>>()
+        });
+        RouterCore {
+            coord,
+            cfg,
+            computer,
+            vcs,
+            link_map,
+            link_descs,
+            outputs: [None, None, None, None],
+            st_latch: Vec::new(),
+            pending_ejects: Vec::new(),
+            pending_credits: Vec::new(),
+            pending_drops: Vec::new(),
+            va_arbs: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            counters: ActivityCounters::new(),
+            contention: ContentionCounters::new(),
+            module_health: [ModuleHealth::Healthy; 2],
+            rc_ok: true,
+            sa_degraded: [false; 2],
+            inj_vc: None,
+            inj_dropping: false,
+            last_cycle: 0,
+        }
+    }
+
+    /// Wires this router's `dir` output to a neighbour's published VC
+    /// list. Must be called after fault injection so faulted-out VCs
+    /// are advertised with zero capacity.
+    pub fn connect_output(&mut self, dir: Direction, descs: &[VcDescriptor]) {
+        let n = self.vcs.len().max(1);
+        self.va_arbs[dir.index()] = descs.iter().map(|_| RoundRobinArbiter::new(n)).collect();
+        self.outputs[dir.index()] = Some(OutputPort::new(descs));
+    }
+
+    /// Refreshes the published link descriptors (after fault injection).
+    pub fn refresh_link_descs(&mut self) {
+        for side in 0..5 {
+            self.link_descs[side] =
+                self.link_map[side].iter().map(|&id| self.vcs[id].desc).collect();
+        }
+    }
+
+    /// Current node status from the fault bookkeeping.
+    pub fn status(&self) -> NodeStatus {
+        NodeStatus { row: self.module_health[0], col: self.module_health[1], rc_ok: self.rc_ok }
+    }
+
+    /// Whether the whole node is off-line.
+    pub fn node_dead(&self) -> bool {
+        self.status().node_dead()
+    }
+
+    fn module_of(axis: Axis) -> usize {
+        match axis {
+            Axis::X => 0,
+            Axis::Y => 1,
+        }
+    }
+
+    /// Health index accessor for `axis` (0 = Row/X, 1 = Column/Y).
+    pub fn module_health_mut(&mut self, axis: Axis) -> &mut ModuleHealth {
+        &mut self.module_health[Self::module_of(axis)]
+    }
+
+    /// The VC descriptors visible on `side` (the `vcs_on_link` answer).
+    pub fn link_descriptors(&self, side: Direction) -> &[VcDescriptor] {
+        &self.link_descs[side.index()]
+    }
+
+    /// Accepts a flit from a link.
+    pub fn deliver_flit(&mut self, from: Direction, vc: u8, flit: Flit) {
+        if self.node_dead() {
+            self.pending_drops.push(flit);
+            return;
+        }
+        if vc == EJECT_VC {
+            // Early Ejection: straight off the input DEMUX to the PE.
+            self.counters.early_ejections += 1;
+            self.pending_ejects.push(flit);
+            return;
+        }
+        let id = self.link_map[from.index()][vc as usize];
+        self.counters.buffer_writes += 1;
+        self.vcs[id].writes += 1;
+        self.vcs[id].queue.push_back(flit);
+    }
+
+    /// Accepts a credit for output `output`.
+    pub fn deliver_credit(&mut self, output: Direction, credit: noc_core::Credit) {
+        let port = self.outputs[output.index()]
+            .as_mut()
+            .expect("credit arrived on an unwired output");
+        let vc = &mut port.vcs[credit.vc as usize];
+        vc.credits += 1;
+        debug_assert!(vc.credits <= vc.desc.capacity, "credit overflow");
+        // Note: `credit.vc_freed` is informational only; the VC was
+        // already marked reallocatable when the tail was transmitted.
+    }
+
+    /// Flits currently buffered or latched (for drain detection).
+    pub fn occupancy(&self) -> usize {
+        self.vcs.iter().map(|v| v.queue.len()).sum::<usize>()
+            + self.st_latch.len()
+            + self.pending_ejects.len()
+    }
+
+    /// Emits everything that leaves the router this cycle: last cycle's
+    /// ST winners, early ejections, credits and drops.
+    pub fn flush(&mut self, out: &mut RouterOutputs) {
+        for (dir, dvc, flit) in self.st_latch.drain(..) {
+            if dir == Direction::Local {
+                out.ejected.push(flit);
+            } else {
+                self.counters.link_traversals += 1;
+                out.flits.push((dir, dvc, flit));
+            }
+        }
+        out.ejected.append(&mut self.pending_ejects);
+        out.credits.append(&mut self.pending_credits);
+        out.dropped.append(&mut self.pending_drops);
+    }
+
+    /// Sends the credit for a flit leaving `vc_id`'s buffer.
+    fn send_credit(&mut self, vc_id: usize, is_tail: bool) {
+        let vc = &self.vcs[vc_id];
+        if vc.input_side != Direction::Local {
+            self.pending_credits.push((
+                vc.input_side,
+                noc_core::Credit { vc: vc.link_index, vc_freed: is_tail },
+            ));
+        }
+    }
+
+    /// Reaction to an unserviceable head: the RoCo router's fault
+    /// handshake discards it gracefully (§4.1: fragmented packets are
+    /// discarded); the baselines have no such mechanism, so the packet
+    /// blocks forever and congests the region around the fault.
+    fn drop_or_block(&mut self, vc_id: usize) {
+        if self.cfg.router == noc_core::RouterKind::RoCo {
+            self.start_drop(vc_id);
+        } else {
+            self.counters.blocked_packets += 1;
+            self.vcs[vc_id].state = VcState::Blocked { since: self.last_cycle };
+        }
+    }
+
+    /// Starts discarding the packet at the head of `vc_id` (fault drop).
+    fn start_drop(&mut self, vc_id: usize) {
+        let head = self.vcs[vc_id].queue.pop_front().expect("drop requires a head");
+        let is_tail = head.kind.is_tail();
+        self.send_credit(vc_id, is_tail);
+        self.pending_drops.push(head);
+        self.vcs[vc_id].state = VcState::Idle;
+        if !is_tail {
+            self.vcs[vc_id].dropping = true;
+            self.drain_dropping(vc_id);
+        }
+    }
+
+    /// Discards already-buffered flits of a dropping packet.
+    fn drain_dropping(&mut self, vc_id: usize) {
+        while self.vcs[vc_id].dropping {
+            let Some(flit) = self.vcs[vc_id].queue.pop_front() else { break };
+            let is_tail = flit.kind.is_tail();
+            self.send_credit(vc_id, is_tail);
+            self.pending_drops.push(flit);
+            if is_tail {
+                self.vcs[vc_id].dropping = false;
+            }
+        }
+    }
+
+    /// The look-ahead routing + virtual-channel allocation stage.
+    /// Returns per-axis VA activity (used by the SA-offload fault model).
+    pub fn va_stage(&mut self, ctx: &mut StepContext<'_>) -> [bool; 2] {
+        self.last_cycle = ctx.cycle;
+        let mut va_activity = [false; 2];
+        // Sub-pass 1: drain dropping packets, release RoutePending
+        // holds whose extra cycle elapsed, and fire the watchdog on
+        // fault-blocked packets that have wedged long enough.
+        for vc_id in 0..self.vcs.len() {
+            if self.vcs[vc_id].dropping {
+                self.drain_dropping(vc_id);
+            }
+            if let VcState::RoutePending { next_route, ready_at } = self.vcs[vc_id].state {
+                if ctx.cycle >= ready_at {
+                    self.vcs[vc_id].state = VcState::WaitingVa { next_route };
+                }
+            }
+            if let VcState::Blocked { since } = self.vcs[vc_id].state {
+                if ctx.cycle.saturating_sub(since) >= BLOCK_TIMEOUT
+                    && !self.vcs[vc_id].queue.is_empty()
+                {
+                    self.start_drop(vc_id);
+                }
+            }
+        }
+        // Sub-pass 2: heads newly at the front compute their look-ahead
+        // route (or get dropped if a fault makes them unserviceable).
+        for vc_id in 0..self.vcs.len() {
+            if self.vcs[vc_id].state != VcState::Idle || self.vcs[vc_id].dropping {
+                continue;
+            }
+            let Some(&head) = self.vcs[vc_id].queue.front() else { continue };
+            if !head.kind.is_head() {
+                // Stray body flit without a head: only possible for a
+                // packet whose head was dropped — keep draining.
+                self.vcs[vc_id].dropping = true;
+                self.drain_dropping(vc_id);
+                continue;
+            }
+            self.route_head(vc_id, head, ctx);
+        }
+        // Sub-pass 3: collect VA requests.
+        let mut requests: Vec<VaRequest> = Vec::new();
+        for vc_id in 0..self.vcs.len() {
+            let VcState::WaitingVa { next_route } = self.vcs[vc_id].state else { continue };
+            let Some(&head) = self.vcs[vc_id].queue.front() else { continue };
+            let out = head.next_out;
+            if next_route == Direction::Local && !self.downstream_eject_needs_vc() {
+                // Early Ejection downstream: no VC needed (§3.1).
+                let sa_from = self.sa_from(ctx.cycle);
+                self.vcs[vc_id].state =
+                    VcState::Active { out, dvc: EJECT_VC, next_route, sa_from };
+                if let Some(a) = out.axis() {
+                    va_activity[Self::module_of(a)] = true;
+                }
+                continue;
+            }
+            self.counters.va_local_arbs += 1;
+            let b = self
+                .coord
+                .neighbor(out, self.computer.mesh().width, self.computer.mesh().height)
+                .expect("minimal routes stay in the mesh");
+            let req = VcRequest {
+                in_dir: out.opposite(),
+                out_dir: next_route,
+                order: head.order,
+                quadrant_mask: quadrant_mask(b, head.dst),
+            };
+            let port = self.outputs[out.index()].as_ref().expect("output wired");
+            if let Some(dvc) = port
+                .vcs
+                .iter()
+                .position(|v| v.free && v.desc.capacity > 0 && v.desc.accepts(&req))
+            {
+                requests.push(VaRequest { vc_id, out, dvc: dvc as u8, next_route });
+            } else if matches!(
+                self.computer.routing(),
+                noc_core::RoutingKind::Adaptive | noc_core::RoutingKind::AdaptiveOddEven
+            ) {
+                // Adaptive re-selection: no admissible VC is available
+                // for the committed candidate this cycle, so return to
+                // routing and let the next cycle's look-ahead pick the
+                // currently least-congested legal direction instead.
+                // (Deterministic algorithms have a single legal route;
+                // recomputing it would change nothing.)
+                self.vcs[vc_id].state = VcState::Idle;
+            }
+        }
+        // Sub-pass 4: arbitrate per contested downstream VC and grant.
+        requests.sort_by_key(|r| (r.out.index(), r.dvc));
+        let mut i = 0;
+        while i < requests.len() {
+            let j = (i..requests.len())
+                .take_while(|&k| requests[k].out == requests[i].out && requests[k].dvc == requests[i].dvc)
+                .last()
+                .unwrap()
+                + 1;
+            let group = &requests[i..j];
+            self.counters.va_global_arbs += 1;
+            let winner = if group.len() == 1 {
+                group[0]
+            } else {
+                let mut lines = vec![false; self.vcs.len()];
+                for r in group {
+                    lines[r.vc_id] = true;
+                }
+                let arb = &mut self.va_arbs[group[0].out.index()][group[0].dvc as usize];
+                let w = arb.arbitrate(&lines).expect("at least one requester");
+                *group.iter().find(|r| r.vc_id == w).expect("winner requested")
+            };
+            let port = self.outputs[winner.out.index()].as_mut().expect("output wired");
+            port.vcs[winner.dvc as usize].free = false;
+            self.vcs[winner.vc_id].state = VcState::Active {
+                out: winner.out,
+                dvc: winner.dvc,
+                next_route: winner.next_route,
+                sa_from: self.sa_from(ctx.cycle),
+            };
+            if let Some(a) = winner.out.axis() {
+                va_activity[Self::module_of(a)] = true;
+            }
+            i = j;
+        }
+        va_activity
+    }
+
+    /// Whether flits addressed to the downstream PE must still be
+    /// allocated a VC there (true for the generic router, which lacks
+    /// Early Ejection).
+    fn downstream_eject_needs_vc(&self) -> bool {
+        self.cfg.router == noc_core::RouterKind::Generic
+    }
+
+    /// Last-resort reaction when the head's committed output leads into
+    /// a fault: try to re-route it out of a *different* output of this
+    /// router, and otherwise drop (RoCo) or block (baselines).
+    ///
+    /// Re-routing in place is only physically possible when the flit
+    /// sits in a direction-agnostic buffer — the generic router's
+    /// `Any`-admission VCs or a Path-Sensitive path set (whose two
+    /// outputs cover every minimal candidate) — and only adaptive
+    /// routing offers an alternative minimal direction at all. The RoCo
+    /// router's Guided Flit Queuing pins a flit to one module, so it
+    /// relies on its §4.1 handshake to discard the packet gracefully
+    /// upstream instead.
+    fn reroute_or_fail(&mut self, vc_id: usize, head: Flit, ctx: &mut StepContext<'_>) {
+        let adaptive = matches!(
+            self.computer.routing(),
+            noc_core::RoutingKind::Adaptive | noc_core::RoutingKind::AdaptiveOddEven
+        );
+        if adaptive && self.cfg.router != noc_core::RouterKind::RoCo {
+            let mesh = self.computer.mesh();
+            let mut cands =
+                self.computer.candidates(head.src, self.coord, head.dst, head.order);
+            // A usable alternative output: not the committed one, its
+            // next hop is alive, and the packet remains serviceable one
+            // hop further (either it ends there or some minimal
+            // candidate survives that node's module health).
+            cands.retain(|d| {
+                if d == head.next_out {
+                    return false;
+                }
+                let Some(c) = self.coord.neighbor(d, mesh.width, mesh.height) else {
+                    return false;
+                };
+                let Some(cstat) = ctx.neighbor_status(d) else { return false };
+                if cstat.node_dead() {
+                    return false;
+                }
+                if c == head.dst {
+                    return cstat.can_serve_output(Direction::Local);
+                }
+                let mut onward = self.computer.candidates(head.src, c, head.dst, head.order);
+                onward.retain(|o| cstat.can_serve_output(o));
+                !onward.is_empty()
+            });
+            let new_out = cands.iter().next();
+            if let Some(new_out) = new_out {
+                self.counters.rc_computations += 1;
+                if let Some(front) = self.vcs[vc_id].queue.front_mut() {
+                    front.next_out = new_out;
+                }
+                // Re-processed (with the new output) next cycle.
+                return;
+            }
+        }
+        self.drop_or_block(vc_id);
+    }
+
+    /// Computes the look-ahead route for the head of `vc_id` (Fig 1b's
+    /// Routing Logic), dropping the packet when faults make every
+    /// candidate unserviceable.
+    fn route_head(&mut self, vc_id: usize, head: Flit, ctx: &mut StepContext<'_>) {
+        let out = head.next_out;
+        if out == Direction::Local {
+            // Generic router: eject through the crossbar's PE column.
+            let sa_from = self.sa_from(ctx.cycle);
+            self.vcs[vc_id].state =
+                VcState::Active { out, dvc: EJECT_VC, next_route: Direction::Local, sa_from };
+            return;
+        }
+        let mesh = self.computer.mesh();
+        let Some(b) = self.coord.neighbor(out, mesh.width, mesh.height) else {
+            // A route can only point off-mesh after corruption; drop.
+            self.start_drop(vc_id);
+            return;
+        };
+        let bstat = ctx.neighbor_status(out).unwrap_or_default();
+        if bstat.node_dead() {
+            self.reroute_or_fail(vc_id, head, ctx);
+            return;
+        }
+        self.counters.rc_computations += 1;
+        let next_route = if b == head.dst {
+            Direction::Local
+        } else {
+            let mut cands = self.computer.candidates(head.src, b, head.dst, head.order);
+            cands.retain(|d| bstat.can_serve_output(d));
+            if cands.is_empty() {
+                self.reroute_or_fail(vc_id, head, ctx);
+                return;
+            }
+            let port = self.outputs[out.index()].as_ref().expect("output wired");
+            let in_dir = out.opposite();
+            let quadrant_mask = quadrant_mask(b, head.dst);
+            // Adaptive look-ahead selection: prefer the candidate whose
+            // admissible downstream buffers hold the most credits (the
+            // backpressure congestion signal); break ties randomly.
+            let scored: Vec<(i64, Direction)> = cands
+                .iter()
+                .map(|d| {
+                    let req =
+                        VcRequest { in_dir, out_dir: d, order: head.order, quadrant_mask };
+                    (port.credit_score(&req), d)
+                })
+                .collect();
+            let best = scored.iter().map(|&(s, _)| s).max().expect("non-empty");
+            let tied: Vec<Direction> =
+                scored.iter().filter(|&&(s, _)| s == best).map(|&(_, d)| d).collect();
+            tied[rand::Rng::gen_range(&mut *ctx.rng, 0..tied.len())]
+        };
+        self.vcs[vc_id].state = if self.rc_ok {
+            VcState::WaitingVa { next_route }
+        } else {
+            // RC fault: Double Routing adds one cycle (§4.1, Fig 5).
+            VcState::RoutePending { next_route, ready_at: ctx.cycle + 1 }
+        };
+    }
+
+    /// First cycle a freshly-VA'd head may bid for the switch.
+    fn sa_from(&self, cycle: Cycle) -> Cycle {
+        if self.cfg.speculative_sa {
+            cycle
+        } else {
+            cycle + 1
+        }
+    }
+
+    /// Whether `vc_id` may bid for the crossbar this cycle, and the
+    /// output it wants.
+    pub fn sa_candidate(&self, vc_id: usize) -> Option<Direction> {
+        let vc = &self.vcs[vc_id];
+        let VcState::Active { out, dvc, sa_from, .. } = vc.state else { return None };
+        if vc.queue.is_empty() || vc.disabled || self.last_cycle < sa_from {
+            return None;
+        }
+        if dvc != EJECT_VC {
+            let port = self.outputs[out.index()].as_ref()?;
+            if port.vcs[dvc as usize].credits == 0 {
+                return None;
+            }
+        }
+        Some(out)
+    }
+
+    /// Applies an SA grant to `vc_id`: reads the flit out of the buffer,
+    /// pushes it through the crossbar into the ST latch, sends the
+    /// credit upstream and updates the downstream VC state. Returns
+    /// `true` when a tail departure made a downstream VC reallocatable
+    /// (so the router can run a further VA iteration this cycle —
+    /// "multiple iterative arbitrations", §3.1).
+    pub fn apply_grant(&mut self, vc_id: usize) -> bool {
+        let VcState::Active { out, dvc, next_route, .. } = self.vcs[vc_id].state else {
+            panic!("SA grant for a VC without an active packet");
+        };
+        let mut flit = self.vcs[vc_id].queue.pop_front().expect("SA grant on empty VC");
+        self.counters.buffer_reads += 1;
+        self.counters.crossbar_traversals += 1;
+        let is_tail = flit.kind.is_tail();
+        self.send_credit(vc_id, is_tail);
+        if dvc != EJECT_VC {
+            let port = self.outputs[out.index()].as_mut().expect("output wired");
+            let d = &mut port.vcs[dvc as usize];
+            debug_assert!(d.credits > 0, "SA granted without credit");
+            d.credits -= 1;
+            if is_tail {
+                // Canonical VC reuse: the downstream VC is reallocatable
+                // as soon as the previous packet's tail has been sent
+                // into it; successor flits queue behind it in FIFO order.
+                d.free = true;
+            }
+        }
+        flit.next_out = next_route;
+        self.st_latch.push((out, dvc, flit));
+        if is_tail {
+            self.vcs[vc_id].state = VcState::Idle;
+            return dvc != EJECT_VC;
+        }
+        false
+    }
+
+    /// Shared injection implementation (see [`noc_core::RouterNode::try_inject`]).
+    ///
+    /// Packets whose every first hop is unserviceable because of faults
+    /// are accepted and immediately discarded (they count as injected
+    /// but lost — §4.1's discard semantics), flagged via `inj_dropping`.
+    pub fn try_inject(&mut self, mut flit: Flit, ctx: &mut StepContext<'_>) -> bool {
+        if self.node_dead() {
+            return false;
+        }
+        if flit.kind.is_head() {
+            if self.inj_vc.is_some() || self.inj_dropping {
+                return false; // previous packet still streaming in
+            }
+            let own = self.status();
+            let mut cands =
+                self.computer.candidates(flit.src, self.coord, flit.dst, flit.order);
+            cands.retain(|d| own.can_serve_output(d));
+            if cands.is_empty() {
+                // Every productive first hop needs a dead module: the
+                // packet can never leave this node. RoCo's handshake
+                // discards it; this only arises on a partially-dead
+                // node, which only RoCo can be.
+                flit.injected_at = ctx.cycle;
+                self.pending_drops.push(flit);
+                self.inj_dropping = !flit.kind.is_tail();
+                return true;
+            }
+            // Among serviceable first hops, prefer one with a free
+            // admissible injection VC; tie-break by downstream credit.
+            let quadrant_mask = quadrant_mask(self.coord, flit.dst);
+            let mut best: Option<(i64, Direction, usize)> = None;
+            for d in cands.iter() {
+                let req = VcRequest {
+                    in_dir: Direction::Local,
+                    out_dir: d,
+                    order: flit.order,
+                    quadrant_mask,
+                };
+                let Some(vc_id) = self.link_map[Direction::Local.index()]
+                    .iter()
+                    .copied()
+                    .find(|&id| self.vcs[id].ready_for_new_packet() && self.vcs[id].desc.accepts(&req))
+                else {
+                    continue;
+                };
+                let score = self.outputs[d.index()]
+                    .as_ref()
+                    .map_or(0, |p| p.credit_score(&VcRequest { in_dir: d.opposite(), ..req }));
+                if best.map_or(true, |(s, _, _)| score > s) {
+                    best = Some((score, d, vc_id));
+                }
+            }
+            let Some((_, out, vc_id)) = best else { return false };
+            self.counters.rc_computations += 1;
+            flit.next_out = out;
+            flit.injected_at = ctx.cycle;
+            self.counters.buffer_writes += 1;
+            self.vcs[vc_id].writes += 1;
+            self.vcs[vc_id].queue.push_back(flit);
+            self.inj_vc = Some(vc_id);
+            if flit.kind.is_tail() {
+                self.inj_vc = None;
+            }
+            true
+        } else {
+            if self.inj_dropping {
+                self.pending_drops.push(flit);
+                if flit.kind.is_tail() {
+                    self.inj_dropping = false;
+                }
+                return true;
+            }
+            let Some(vc_id) = self.inj_vc else { return false };
+            if self.vcs[vc_id].queue.len() >= self.vcs[vc_id].desc.capacity as usize {
+                return false;
+            }
+            flit.injected_at = ctx.cycle;
+            self.counters.buffer_writes += 1;
+            self.vcs[vc_id].writes += 1;
+            self.vcs[vc_id].queue.push_back(flit);
+            if flit.kind.is_tail() {
+                self.inj_vc = None;
+            }
+            true
+        }
+    }
+
+    /// Records an SA contention observation: a crossbar input with at
+    /// least one eligible request for an output on `axis` either won
+    /// (`granted`) or was blocked.
+    pub fn record_contention(&mut self, axis: Axis, granted: bool) {
+        match axis {
+            Axis::X => {
+                self.contention.x_requests += 1;
+                if !granted {
+                    self.contention.x_blocked += 1;
+                }
+            }
+            Axis::Y => {
+                self.contention.y_requests += 1;
+                if !granted {
+                    self.contention.y_blocked += 1;
+                }
+            }
+        }
+    }
+}

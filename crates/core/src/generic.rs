@@ -1,0 +1,156 @@
+//! The generic 2-stage 5-port virtual-channel router baseline (Fig 1a).
+//!
+//! A monolithic 5×5 crossbar, three `Any`-admission VCs per input port,
+//! separable input-first switch allocation, and ejection through the
+//! crossbar's PE column (no Early Ejection). Any hard fault blocks the
+//! whole node (§4.1).
+
+use crate::engine::{RouterCore, Vc};
+use noc_arbiter::{SeparableAllocator, SwitchRequest};
+use noc_core::{
+    ActivityCounters, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit,
+    MeshConfig, ModuleHealth, NodeStatus, RouterConfig, RouterKind, RouterNode, RouterOutputs,
+    StepContext, VcAdmission, VcDescriptor,
+};
+use noc_routing::RouteComputer;
+
+/// The generic 5-port VC router.
+#[derive(Debug)]
+pub struct GenericRouter {
+    core: RouterCore,
+    allocator: SeparableAllocator,
+}
+
+impl GenericRouter {
+    /// Builds a generic router at `coord`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.router != RouterKind::Generic` or the
+    /// configuration fails validation.
+    pub fn new(coord: Coord, cfg: RouterConfig, mesh: MeshConfig) -> Self {
+        assert_eq!(cfg.router, RouterKind::Generic, "configuration is for a different router");
+        cfg.validate().expect("invalid router configuration");
+        let computer = RouteComputer::new(cfg.routing, mesh);
+        let v = cfg.vcs_per_port as usize;
+        let mut vcs = Vec::with_capacity(5 * v);
+        let mut link_map: [Vec<usize>; 5] = Default::default();
+        for side in Direction::ALL {
+            for i in 0..v {
+                let desc = VcDescriptor::new(VcAdmission::Any, cfg.buffer_depth).with_arrival(side);
+                link_map[side.index()].push(vcs.len());
+                vcs.push(Vc::new(desc, side, i as u8, side.index() as u8));
+            }
+        }
+        let core = RouterCore::new(coord, cfg, computer, vcs, link_map);
+        GenericRouter { core, allocator: SeparableAllocator::new(5, 5, v) }
+    }
+
+    /// Wires the output towards `dir` to the downstream VC list.
+    pub fn connect_output(&mut self, dir: Direction, descs: &[VcDescriptor]) {
+        self.core.connect_output(dir, descs);
+    }
+}
+
+impl RouterNode for GenericRouter {
+    fn coord(&self) -> Coord {
+        self.core.coord
+    }
+
+    fn config(&self) -> &RouterConfig {
+        &self.core.cfg
+    }
+
+    fn vcs_on_link(&self, dir: Direction) -> &[VcDescriptor] {
+        self.core.link_descriptors(dir)
+    }
+
+    fn deliver_flit(&mut self, from: Direction, vc: u8, flit: Flit) {
+        self.core.deliver_flit(from, vc, flit);
+    }
+
+    fn deliver_credit(&mut self, output: Direction, credit: Credit) {
+        self.core.deliver_credit(output, credit);
+    }
+
+    fn try_inject(&mut self, flit: Flit, ctx: &mut StepContext<'_>) -> bool {
+        self.core.try_inject(flit, ctx)
+    }
+
+    fn step(&mut self, ctx: &mut StepContext<'_>) -> RouterOutputs {
+        self.core.counters.cycles += 1;
+        let mut out = RouterOutputs::new();
+        self.core.flush(&mut out);
+        if self.core.node_dead() {
+            return out;
+        }
+        self.core.va_stage(ctx);
+        // Monolithic separable SA over the 5×5 crossbar.
+        let v = self.core.cfg.vcs_per_port as usize;
+        let mut requests = Vec::new();
+        for side in Direction::ALL {
+            for i in 0..v {
+                let vc_id = self.core.link_map[side.index()][i];
+                if self.core.sa_candidate(vc_id).is_some() {
+                    let want = self.core.sa_candidate(vc_id).expect("checked");
+                    requests.push(SwitchRequest {
+                        input: side.index(),
+                        output: want.index(),
+                        vc: i,
+                    });
+                }
+            }
+        }
+        let (grants, effort) = self.allocator.allocate(&requests);
+        self.core.counters.sa_local_arbs += effort.local_ops;
+        self.core.counters.sa_global_arbs += effort.global_ops;
+        let mut freed = false;
+        for g in &grants {
+            let vc_id = self.core.link_map[g.input][g.vc];
+            freed |= self.core.apply_grant(vc_id);
+        }
+        if freed {
+            self.core.va_stage(ctx);
+        }
+        // Fig 3 contention accounting: one observation per eligible VC
+        // request, classified by its input link's axis ("row input" =
+        // the East/West ports, "column input" = North/South); the PE
+        // port is not a row/column input and is skipped.
+        for r in &requests {
+            let side = Direction::from_index(r.input);
+            let Some(axis) = side.axis() else { continue };
+            let granted =
+                grants.iter().any(|g| g.input == r.input && g.vc == r.vc);
+            self.core.record_contention(axis, granted);
+        }
+        out
+    }
+
+    fn status(&self) -> NodeStatus {
+        self.core.status()
+    }
+
+    fn inject_fault(&mut self, _fault: ComponentFault) {
+        // Unified control: any hard fault takes the whole node off-line
+        // (§4.1: "a hard failure may cause the entire node to be taken
+        // off-line, since the operation of the router is unified").
+        self.core.module_health = [ModuleHealth::Dead; 2];
+        for vc in &mut self.core.vcs {
+            vc.disabled = true;
+            vc.desc.capacity = 0;
+        }
+        self.core.refresh_link_descs();
+    }
+
+    fn counters(&self) -> &ActivityCounters {
+        &self.core.counters
+    }
+
+    fn contention(&self) -> &ContentionCounters {
+        &self.core.contention
+    }
+
+    fn occupancy(&self) -> usize {
+        self.core.occupancy()
+    }
+}

@@ -1,0 +1,42 @@
+//! # noc-router
+//!
+//! The three router microarchitectures of the RoCo paper (ISCA 2006):
+//!
+//! * [`RocoRouter`] — the paper's contribution: a Row-Column decoupled
+//!   router with dual 2×2 crossbars, Table-1 Guided Flit Queuing,
+//!   Mirroring-Effect switch allocation, Early Ejection and §4's
+//!   Hardware Recycling fault tolerance.
+//! * [`GenericRouter`] — the generic 2-stage 5-port virtual-channel
+//!   baseline with a monolithic 5×5 crossbar (Fig 1a).
+//! * [`PathSensitiveRouter`] — the DAC 2005 Path-Sensitive baseline
+//!   with quadrant path sets and a decomposed 4×4 crossbar.
+//!
+//! All three implement [`noc_core::RouterNode`] and are driven by the
+//! `noc-sim` network simulator; [`AnyRouter`] dispatches over them.
+//!
+//! # Examples
+//!
+//! ```
+//! use noc_core::{Coord, MeshConfig, RouterConfig, RouterKind, RouterNode, RoutingKind};
+//! use noc_router::AnyRouter;
+//!
+//! let cfg = RouterConfig::paper(RouterKind::RoCo, RoutingKind::Xy);
+//! let router = AnyRouter::build(Coord::new(3, 3), cfg, MeshConfig::new(8, 8));
+//! // Table 1: three VCs hang off the West input link under XY routing.
+//! assert_eq!(router.vcs_on_link(noc_core::Direction::West).len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod any;
+mod engine;
+mod generic;
+mod path_sensitive;
+mod roco;
+
+pub use any::AnyRouter;
+pub use engine::{OutputPort, OutputVcState, RouterCore, Vc, VcState};
+pub use generic::GenericRouter;
+pub use path_sensitive::PathSensitiveRouter;
+pub use roco::{class_histogram, table1_vcs, ModulePort, RocoRouter, RocoVcSpec};

@@ -1,0 +1,198 @@
+//! The Path-Sensitive router baseline (Kim et al., DAC 2005; §2).
+//!
+//! Arriving flits are grouped into four destination-quadrant *path
+//! sets* (NE, NW, SE, SW), each holding three VCs — one per possible
+//! arrival direction (the two compatible mesh ports plus the local PE).
+//! A 4×4 decomposed crossbar connects the sets to the four outputs;
+//! every output is shared by exactly two sets, producing the chained
+//! arbitration dependency that caps its non-blocking probability at
+//! 2/24 (Table 2). Look-ahead routing and arrival-time ejection are
+//! used as in the original design; like the generic router, any hard
+//! fault blocks the whole node.
+
+use crate::engine::{RouterCore, Vc};
+use noc_arbiter::{SeparableAllocator, SwitchRequest};
+use noc_core::{
+    ActivityCounters, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit,
+    MeshConfig, ModuleHealth, NodeStatus, RouterConfig, RouterKind, RouterNode, RouterOutputs,
+    StepContext, VcAdmission, VcDescriptor,
+};
+use noc_routing::{Quadrant, RouteComputer};
+
+/// The two mesh arrival ports whose traffic can be destined for `q`
+/// (plus `Local`, which always can).
+fn arrivals_of(q: Quadrant) -> [Direction; 2] {
+    // A flit moving North arrives on the South port, etc. The flits
+    // that can still need quadrant q's outputs are those moving one of
+    // q's two directions.
+    let [a, b] = q.directions();
+    [a.opposite(), b.opposite()]
+}
+
+/// The Path-Sensitive router.
+#[derive(Debug)]
+pub struct PathSensitiveRouter {
+    core: RouterCore,
+    /// Internal VC ids per path set (quadrant index order).
+    set_vcs: [Vec<usize>; 4],
+    allocator: SeparableAllocator,
+}
+
+impl PathSensitiveRouter {
+    /// Builds a Path-Sensitive router at `coord`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.router != RouterKind::PathSensitive` or the
+    /// configuration fails validation.
+    pub fn new(coord: Coord, cfg: RouterConfig, mesh: MeshConfig) -> Self {
+        assert_eq!(
+            cfg.router,
+            RouterKind::PathSensitive,
+            "configuration is for a different router"
+        );
+        cfg.validate().expect("invalid router configuration");
+        assert_eq!(cfg.vcs_per_port, 3, "a path set holds one VC per arrival group");
+        let computer = RouteComputer::new(cfg.routing, mesh);
+        let mut vcs = Vec::with_capacity(12);
+        let mut link_map: [Vec<usize>; 5] = Default::default();
+        let mut set_vcs: [Vec<usize>; 4] = Default::default();
+        for q in Quadrant::ALL {
+            let arrivals = arrivals_of(q);
+            for side in [arrivals[0], arrivals[1], Direction::Local] {
+                let desc = VcDescriptor::new(VcAdmission::Any, cfg.buffer_depth)
+                    .with_quadrant(q.index() as u8)
+                    .with_arrival(side);
+                let link_index = link_map[side.index()].len() as u8;
+                link_map[side.index()].push(vcs.len());
+                set_vcs[q.index()].push(vcs.len());
+                vcs.push(Vc::new(desc, side, link_index, q.index() as u8));
+            }
+        }
+        let core = RouterCore::new(coord, cfg, computer, vcs, link_map);
+        PathSensitiveRouter { core, set_vcs, allocator: SeparableAllocator::new(4, 4, 3) }
+    }
+
+    /// Wires the output towards `dir` to the downstream VC list.
+    pub fn connect_output(&mut self, dir: Direction, descs: &[VcDescriptor]) {
+        self.core.connect_output(dir, descs);
+    }
+}
+
+impl RouterNode for PathSensitiveRouter {
+    fn coord(&self) -> Coord {
+        self.core.coord
+    }
+
+    fn config(&self) -> &RouterConfig {
+        &self.core.cfg
+    }
+
+    fn vcs_on_link(&self, dir: Direction) -> &[VcDescriptor] {
+        self.core.link_descriptors(dir)
+    }
+
+    fn deliver_flit(&mut self, from: Direction, vc: u8, flit: Flit) {
+        self.core.deliver_flit(from, vc, flit);
+    }
+
+    fn deliver_credit(&mut self, output: Direction, credit: Credit) {
+        self.core.deliver_credit(output, credit);
+    }
+
+    fn try_inject(&mut self, flit: Flit, ctx: &mut StepContext<'_>) -> bool {
+        self.core.try_inject(flit, ctx)
+    }
+
+    fn step(&mut self, ctx: &mut StepContext<'_>) -> RouterOutputs {
+        self.core.counters.cycles += 1;
+        let mut out = RouterOutputs::new();
+        self.core.flush(&mut out);
+        if self.core.node_dead() {
+            return out;
+        }
+        self.core.va_stage(ctx);
+        // Decomposed 4×4 crossbar: inputs are the four path sets.
+        let mut requests = Vec::new();
+        for (set, ids) in self.set_vcs.iter().enumerate() {
+            for (i, &vc_id) in ids.iter().enumerate() {
+                if let Some(want) = self.core.sa_candidate(vc_id) {
+                    requests.push(SwitchRequest { input: set, output: want.index(), vc: i });
+                }
+            }
+        }
+        let (grants, effort) = self.allocator.allocate(&requests);
+        self.core.counters.sa_local_arbs += effort.local_ops;
+        self.core.counters.sa_global_arbs += effort.global_ops;
+        let mut freed = false;
+        for g in &grants {
+            let vc_id = self.set_vcs[g.input][g.vc];
+            freed |= self.core.apply_grant(vc_id);
+        }
+        if freed {
+            self.core.va_stage(ctx);
+        }
+        // Fig 3: one observation per eligible VC, classified by the
+        // arrival link's axis (injection VCs are skipped).
+        for r in &requests {
+            let vc_id = self.set_vcs[r.input][r.vc];
+            let Some(axis) = self.core.vcs[vc_id].input_side.axis() else { continue };
+            let granted = grants.iter().any(|g| g.input == r.input && g.vc == r.vc);
+            self.core.record_contention(axis, granted);
+        }
+        out
+    }
+
+    fn status(&self) -> NodeStatus {
+        self.core.status()
+    }
+
+    fn inject_fault(&mut self, _fault: ComponentFault) {
+        // Like the generic router: unified control, whole node blocked.
+        self.core.module_health = [ModuleHealth::Dead; 2];
+        for vc in &mut self.core.vcs {
+            vc.disabled = true;
+            vc.desc.capacity = 0;
+        }
+        self.core.refresh_link_descs();
+    }
+
+    fn counters(&self) -> &ActivityCounters {
+        &self.core.counters
+    }
+
+    fn contention(&self) -> &ContentionCounters {
+        &self.core.contention
+    }
+
+    fn occupancy(&self) -> usize {
+        self.core.occupancy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_match_quadrant_semantics() {
+        // NE-destined flits move North (arriving on the South port) or
+        // East (arriving on the West port).
+        let a = arrivals_of(Quadrant::Ne);
+        assert!(a.contains(&Direction::South));
+        assert!(a.contains(&Direction::West));
+        let a = arrivals_of(Quadrant::Sw);
+        assert!(a.contains(&Direction::North));
+        assert!(a.contains(&Direction::East));
+    }
+
+    #[test]
+    fn each_mesh_link_exposes_two_vcs() {
+        let cfg = RouterConfig::paper(RouterKind::PathSensitive, noc_core::RoutingKind::Xy);
+        let r = PathSensitiveRouter::new(Coord::new(3, 3), cfg, MeshConfig::new(8, 8));
+        for d in Direction::MESH {
+            assert_eq!(r.vcs_on_link(d).len(), 2, "{d}");
+        }
+        assert_eq!(r.vcs_on_link(Direction::Local).len(), 4);
+    }
+}

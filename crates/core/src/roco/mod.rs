@@ -1,0 +1,322 @@
+//! The Row-Column (RoCo) Decoupled Router (§3).
+//!
+//! Two operationally independent modules — Row (East/West) and Column
+//! (North/South) — each own a compact 2×2 crossbar, a small VA, and a
+//! Mirroring-Effect switch allocator (Fig 4). Guided Flit Queuing
+//! steers arriving flits into Table-1 path-set buffers, Early Ejection
+//! delivers destination flits straight off the input DEMUX, and the
+//! Hardware Recycling mechanisms of §4 let the router degrade
+//! gracefully instead of failing whole.
+
+mod vc_config;
+
+pub use vc_config::{class_histogram, table1_vcs, ModulePort, RocoVcSpec};
+
+use crate::engine::{RouterCore, Vc};
+use noc_arbiter::{MirrorAllocator, RoundRobinArbiter, SeparableAllocator, SwitchRequest};
+use noc_core::{
+    ActivityCounters, Axis, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit,
+    MeshConfig, ModuleHealth, NodeStatus, RouterConfig, RouterKind, RouterNode, RouterOutputs,
+    StepContext, VcDescriptor,
+};
+use noc_fault::{reaction, Reaction};
+use noc_routing::RouteComputer;
+
+/// Output direction served by `module` (0 = Row, 1 = Column) and
+/// crossbar slot `slot` (0 or 1).
+fn slot_direction(module: usize, slot: usize) -> Direction {
+    match (module, slot) {
+        (0, 0) => Direction::East,
+        (0, 1) => Direction::West,
+        (1, 0) => Direction::North,
+        (1, 1) => Direction::South,
+        _ => unreachable!("module/slot out of range"),
+    }
+}
+
+/// The RoCo decoupled router.
+#[derive(Debug)]
+pub struct RocoRouter {
+    core: RouterCore,
+    /// Internal VC ids per module-port (RowP1, RowP2, ColP1, ColP2).
+    port_vcs: [Vec<usize>; 4],
+    /// Per module-port, per direction-slot local SA arbiters (the two
+    /// v:1 arbiters of Fig 4's local arbitration).
+    dir_arbs: [[RoundRobinArbiter; 2]; 4],
+    /// One Mirror allocator per module (global arbitration).
+    mirrors: [MirrorAllocator; 2],
+    /// Ablation fallback: input-first separable allocation per module
+    /// when `cfg.mirror_allocator` is false.
+    separable: [SeparableAllocator; 2],
+}
+
+impl RocoRouter {
+    /// Builds a RoCo router at `coord`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.router != RouterKind::RoCo` or the configuration
+    /// fails validation.
+    pub fn new(coord: Coord, cfg: RouterConfig, mesh: MeshConfig) -> Self {
+        assert_eq!(cfg.router, RouterKind::RoCo, "configuration is for a different router");
+        cfg.validate().expect("invalid router configuration");
+        let computer = RouteComputer::new(cfg.routing, mesh);
+        let specs = table1_vcs(&cfg);
+        // Build VCs and the per-link DEMUX map.
+        let mut link_map: [Vec<usize>; 5] = Default::default();
+        let mut port_vcs: [Vec<usize>; 4] = Default::default();
+        let mut vcs = Vec::with_capacity(specs.len());
+        for (id, spec) in specs.iter().enumerate() {
+            let side = spec.desc.arrival.expect("Table-1 VCs have a unique arrival port");
+            let link_index = link_map[side.index()].len() as u8;
+            link_map[side.index()].push(id);
+            port_vcs[spec.port as usize].push(id);
+            vcs.push(Vc::new(spec.desc, side, link_index, spec.port as u8));
+        }
+        let core = RouterCore::new(coord, cfg, computer, vcs, link_map);
+        RocoRouter {
+            core,
+            port_vcs,
+            dir_arbs: std::array::from_fn(|_| {
+                std::array::from_fn(|_| RoundRobinArbiter::new(cfg.vcs_per_port as usize))
+            }),
+            mirrors: [MirrorAllocator::new(), MirrorAllocator::new()],
+            separable: [
+                SeparableAllocator::new(2, 2, cfg.vcs_per_port as usize),
+                SeparableAllocator::new(2, 2, cfg.vcs_per_port as usize),
+            ],
+        }
+    }
+
+    /// Ablation SA: plain input-first separable allocation on the 2×2
+    /// module (no Mirroring Effect, so head-of-line blocking between a
+    /// port's two directions is possible).
+    fn module_sa_separable(&mut self, module: usize) -> bool {
+        let mut freed = false;
+        let ports = [2 * module, 2 * module + 1];
+        let mut requests = Vec::new();
+        let mut port_had_request = [false; 2];
+        for (pi, &port) in ports.iter().enumerate() {
+            for (vi, &vc) in self.port_vcs[port].iter().enumerate() {
+                if let Some(want) = self.core.sa_candidate(vc) {
+                    let slot = (0..2)
+                        .find(|&s| slot_direction(module, s) == want)
+                        .expect("module VCs only want module outputs");
+                    requests.push(SwitchRequest { input: pi, output: slot, vc: vi });
+                    port_had_request[pi] = true;
+                }
+            }
+        }
+        let (grants, effort) = self.separable[module].allocate(&requests);
+        self.core.counters.sa_local_arbs += effort.local_ops;
+        self.core.counters.sa_global_arbs += effort.global_ops;
+        let mut port_granted = [false; 2];
+        for g in &grants {
+            let vc = self.port_vcs[ports[g.input]][g.vc];
+            freed |= self.core.apply_grant(vc);
+            port_granted[g.input] = true;
+        }
+        let axis = if module == 0 { Axis::X } else { Axis::Y };
+        for pi in 0..2 {
+            if port_had_request[pi] {
+                self.core.record_contention(axis, port_granted[pi]);
+            }
+        }
+        freed
+    }
+
+    /// Wires the output towards `dir` to the downstream VC list.
+    pub fn connect_output(&mut self, dir: Direction, descs: &[VcDescriptor]) {
+        self.core.connect_output(dir, descs);
+    }
+
+    /// Lifetime flit writes per Table-1 buffer class — quantifies the
+    /// §3.1 utilization claims (e.g. "the injection channel Injxy is
+    /// much more frequently used than Injyx" under XY routing).
+    pub fn class_utilization(&self) -> std::collections::BTreeMap<noc_core::VcClass, u64> {
+        let mut map = std::collections::BTreeMap::new();
+        for vc in &self.core.vcs {
+            if let noc_core::VcAdmission::Class(c) = vc.desc.admission {
+                *map.entry(c).or_insert(0) += vc.writes;
+            }
+        }
+        map
+    }
+
+    /// Switch allocation for one module using the Mirroring Effect.
+    /// Returns whether a tail departure freed a downstream VC.
+    fn module_sa(&mut self, module: usize) -> bool {
+        let mut freed = false;
+        let ports = [2 * module, 2 * module + 1];
+        // Local stage: per port, per direction, a v:1 arbiter picks one
+        // candidate VC (Fig 4's two arbiters per input port).
+        let mut cand: [[Option<usize>; 2]; 2] = [[None; 2]; 2];
+        let mut eligible: Vec<usize> = Vec::new();
+        for (pi, &port) in ports.iter().enumerate() {
+            for slot in 0..2 {
+                let want = slot_direction(module, slot);
+                let lines: Vec<bool> = self.port_vcs[port]
+                    .iter()
+                    .map(|&vc| self.core.sa_candidate(vc) == Some(want))
+                    .collect();
+                for (vi, &l) in lines.iter().enumerate() {
+                    if l && self.core.vcs[self.port_vcs[port][vi]].input_side != Direction::Local
+                    {
+                        eligible.push(self.port_vcs[port][vi]);
+                    }
+                }
+                if lines.iter().any(|&l| l) {
+                    self.core.counters.sa_local_arbs += 1;
+                    if let Some(w) = self.dir_arbs[port][slot].arbitrate(&lines) {
+                        cand[pi][slot] = Some(self.port_vcs[port][w]);
+                    }
+                }
+            }
+        }
+        let requests =
+            [[cand[0][0].is_some(), cand[0][1].is_some()], [cand[1][0].is_some(), cand[1][1].is_some()]];
+        if requests.iter().flatten().any(|&r| r) {
+            // Global stage: a single 2:1 mirror arbitration per module.
+            self.core.counters.sa_global_arbs += 1;
+            let grant = self.mirrors[module].allocate(requests);
+            let axis = if module == 0 { Axis::X } else { Axis::Y };
+            let mut granted_vcs = [None, None];
+            for (pi, slot) in [(0, grant.port0), (1, grant.port1)] {
+                if let Some(s) = slot {
+                    let vc = cand[pi][s].expect("mirror grants only requested slots");
+                    freed |= self.core.apply_grant(vc);
+                    granted_vcs[pi] = Some(vc);
+                }
+            }
+            // Fig 3: one observation per eligible network VC, on this
+            // module's axis (row module = row inputs, column = column).
+            for &vc in &eligible {
+                let granted = granted_vcs.iter().any(|g| *g == Some(vc));
+                self.core.record_contention(axis, granted);
+            }
+        }
+        freed
+    }
+}
+
+impl RouterNode for RocoRouter {
+    fn coord(&self) -> Coord {
+        self.core.coord
+    }
+
+    fn config(&self) -> &RouterConfig {
+        &self.core.cfg
+    }
+
+    fn vcs_on_link(&self, dir: Direction) -> &[VcDescriptor] {
+        self.core.link_descriptors(dir)
+    }
+
+    fn deliver_flit(&mut self, from: Direction, vc: u8, flit: Flit) {
+        self.core.deliver_flit(from, vc, flit);
+    }
+
+    fn deliver_credit(&mut self, output: Direction, credit: Credit) {
+        self.core.deliver_credit(output, credit);
+    }
+
+    fn try_inject(&mut self, flit: Flit, ctx: &mut StepContext<'_>) -> bool {
+        self.core.try_inject(flit, ctx)
+    }
+
+    fn step(&mut self, ctx: &mut StepContext<'_>) -> RouterOutputs {
+        self.core.counters.cycles += 1;
+        let mut out = RouterOutputs::new();
+        self.core.flush(&mut out);
+        if self.core.node_dead() {
+            return out;
+        }
+        let va_activity = self.core.va_stage(ctx);
+        let mut freed = false;
+        for module in 0..2 {
+            if self.core.module_health[module] == ModuleHealth::Dead {
+                continue;
+            }
+            // SA fault: arbitration is offloaded to the VA arbiters via
+            // 2-to-1 MUXes (Fig 7) and can only run in cycles where the
+            // VA left them idle.
+            if self.core.sa_degraded[module] && va_activity[module] {
+                continue;
+            }
+            freed |= if self.core.cfg.mirror_allocator {
+                self.module_sa(module)
+            } else {
+                self.module_sa_separable(module)
+            };
+        }
+        if freed {
+            // Tail departures freed downstream VCs: a further VA
+            // iteration lets waiting heads claim them without a bubble.
+            self.core.va_stage(ctx);
+        }
+        out
+    }
+
+    fn status(&self) -> NodeStatus {
+        self.core.status()
+    }
+
+    fn inject_fault(&mut self, fault: ComponentFault) {
+        match reaction(RouterKind::RoCo, fault.component) {
+            Reaction::ModuleBlocked => {
+                *self.core.module_health_mut(fault.axis) = ModuleHealth::Dead;
+                let module = if fault.axis == Axis::X { 0 } else { 1 };
+                for port in [2 * module, 2 * module + 1] {
+                    for &vc in &self.port_vcs[port] {
+                        self.core.vcs[vc].disabled = true;
+                        self.core.vcs[vc].desc.capacity = 0;
+                    }
+                }
+                self.core.refresh_link_descs();
+            }
+            Reaction::DoubleRouting => {
+                self.core.rc_ok = false;
+            }
+            Reaction::VirtualQueuing => {
+                // §4.1/Fig 6: the faulty buffer is bypassed — flits are
+                // physically stored at the previous node and virtually
+                // queued/arbitrated here through the bypass register.
+                // Model: the VC stays in service with an effective
+                // depth of one flit (the bypass latch), so it streams
+                // at the credit round-trip rate: degraded, never lost.
+                let module = if fault.axis == Axis::X { 0 } else { 1 };
+                let pool: Vec<usize> = self.port_vcs[2 * module]
+                    .iter()
+                    .chain(&self.port_vcs[2 * module + 1])
+                    .copied()
+                    .collect();
+                let vc = pool[fault.vc as usize % pool.len()];
+                self.core.vcs[vc].desc.capacity = 1;
+                if *self.core.module_health_mut(fault.axis) == ModuleHealth::Healthy {
+                    *self.core.module_health_mut(fault.axis) = ModuleHealth::Degraded;
+                }
+                self.core.refresh_link_descs();
+            }
+            Reaction::SaOffload => {
+                let module = if fault.axis == Axis::X { 0 } else { 1 };
+                self.core.sa_degraded[module] = true;
+                if *self.core.module_health_mut(fault.axis) == ModuleHealth::Healthy {
+                    *self.core.module_health_mut(fault.axis) = ModuleHealth::Degraded;
+                }
+            }
+            Reaction::NodeBlocked => unreachable!("RoCo never blocks the whole node (§4.1)"),
+        }
+    }
+
+    fn counters(&self) -> &ActivityCounters {
+        &self.core.counters
+    }
+
+    fn contention(&self) -> &ContentionCounters {
+        &self.core.contention
+    }
+
+    fn occupancy(&self) -> usize {
+        self.core.occupancy()
+    }
+}

@@ -1,0 +1,280 @@
+//! Table 1: the RoCo router's 12-VC buffer configuration for each
+//! routing algorithm.
+//!
+//! The router has four path-set ports of three VCs each: Row-Module
+//! ports 1 and 2 (feeding the East/West 2×2 crossbar) and Column-Module
+//! ports 1 and 2 (North/South). Guided Flit Queuing steers each arriving
+//! flit into the buffer class of its output path:
+//!
+//! | Routing  | Row port 1        | Row port 2      | Col port 1        | Col port 2      |
+//! |----------|-------------------|-----------------|-------------------|-----------------|
+//! | XY       | dx dx Injxy       | dx dx Injxy     | dy txy Injyx      | dy dy txy       |
+//! | XY-YX    | dx tyx Injxy      | dx dx tyx       | dy txy Injyx      | dy dy txy       |
+//! | Adaptive | dx tyx Injxy      | dx dx tyx       | dy txy Injyx      | dy txy txy      |
+//!
+//! Every buffer is fed by exactly one physical input (its *arrival*
+//! port), matching the per-input DEMUX fan-out of Fig 1(b); the paper's
+//! escape channels (the second dx of Row port 2 and the turn-restricted
+//! txy pair of Column port 2 under adaptive routing) are marked as such.
+
+use noc_core::{
+    Direction, RouterConfig, RoutingKind, VcAdmission, VcClass, VcDescriptor,
+};
+
+/// Which module-port a RoCo VC belongs to (the `group` tag used by the
+/// Mirror switch allocator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModulePort {
+    /// Row module, input port 1.
+    RowP1 = 0,
+    /// Row module, input port 2.
+    RowP2 = 1,
+    /// Column module, input port 1.
+    ColP1 = 2,
+    /// Column module, input port 2.
+    ColP2 = 3,
+}
+
+/// One Table-1 entry: descriptor plus its module-port assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocoVcSpec {
+    /// Buffer descriptor (class, arrival, capacity, escape, turns).
+    pub desc: VcDescriptor,
+    /// Module-port the VC belongs to.
+    pub port: ModulePort,
+}
+
+fn vc(class: VcClass, capacity: u8) -> VcDescriptor {
+    VcDescriptor::new(VcAdmission::Class(class), capacity)
+}
+
+/// Builds the 12 Table-1 VCs for `cfg`'s routing algorithm, in port
+/// order (Row p1, Row p2, Col p1, Col p2; three VCs each).
+///
+/// # Panics
+///
+/// Panics if `cfg.vcs_per_port != 3` (the Table-1 layout is fixed).
+pub fn table1_vcs(cfg: &RouterConfig) -> Vec<RocoVcSpec> {
+    assert_eq!(cfg.vcs_per_port, 3, "Table 1 defines exactly 3 VCs per path set");
+    use Direction::{East, Local, North, South, West};
+    use ModulePort::*;
+    use VcClass::*;
+    let d = cfg.buffer_depth;
+    let spec = |desc: VcDescriptor, port: ModulePort| RocoVcSpec { desc, port };
+    match cfg.routing {
+        // XY: no tyx turns exist; the spare buffers become extra dx/dy
+        // and a second Injxy to absorb the X-heavy load (§3.1).
+        RoutingKind::Xy => vec![
+            spec(vc(Dx, d).with_arrival(West), RowP1),
+            spec(vc(Dx, d).with_arrival(West), RowP1),
+            spec(vc(InjXy, d).with_arrival(Local), RowP1),
+            spec(vc(Dx, d).with_arrival(East), RowP2),
+            spec(vc(Dx, d).with_arrival(East), RowP2),
+            spec(vc(InjXy, d).with_arrival(Local), RowP2),
+            spec(vc(Dy, d).with_arrival(North), ColP1),
+            spec(vc(Txy, d).with_arrival(West), ColP1),
+            spec(vc(InjYx, d).with_arrival(Local), ColP1),
+            spec(vc(Dy, d).with_arrival(South), ColP2),
+            spec(vc(Dy, d).with_arrival(South), ColP2),
+            spec(vc(Txy, d).with_arrival(East), ColP2),
+        ],
+        // XY-YX: tyx channels appear for the YX class (northbound
+        // packets only — see RouteComputer::choose_order); the second
+        // dx of Row port 2 is the paper's extra deadlock-free channel.
+        RoutingKind::XyYx => vec![
+            spec(vc(Dx, d).with_arrival(West), RowP1),
+            spec(vc(Tyx, d).with_arrival(South), RowP1),
+            spec(vc(InjXy, d).with_arrival(Local), RowP1),
+            spec(vc(Dx, d).with_arrival(East), RowP2),
+            spec(vc(Dx, d).with_arrival(West).escape(), RowP2),
+            spec(vc(Tyx, d).with_arrival(South), RowP2),
+            spec(vc(Dy, d).with_arrival(North), ColP1),
+            spec(vc(Txy, d).with_arrival(West), ColP1),
+            spec(vc(InjYx, d).with_arrival(Local), ColP1),
+            // Northbound flits (arriving on the South port) get both
+            // port-2 dy buffers: the YX class only travels north, so
+            // the extra Y-dimension load is northbound.
+            spec(vc(Dy, d).with_arrival(South), ColP2),
+            spec(vc(Dy, d).with_arrival(South), ColP2),
+            spec(vc(Txy, d).with_arrival(East), ColP2),
+        ],
+        // Adaptive: two more txy channels, turn-restricted per §3.1
+        // ("the first txy VC … east to south, the second … east to
+        // north"). The odd-even extension uses the same Table-1 layout.
+        RoutingKind::Adaptive | RoutingKind::AdaptiveOddEven => vec![
+            spec(vc(Dx, d).with_arrival(West), RowP1),
+            spec(vc(Tyx, d).with_arrival(North), RowP1),
+            spec(vc(InjXy, d).with_arrival(Local), RowP1),
+            spec(vc(Dx, d).with_arrival(East), RowP2),
+            spec(vc(Dx, d).with_arrival(West).escape(), RowP2),
+            spec(vc(Tyx, d).with_arrival(South), RowP2),
+            spec(vc(Dy, d).with_arrival(North), ColP1),
+            spec(vc(Txy, d).with_arrival(West), ColP1),
+            spec(vc(InjYx, d).with_arrival(Local), ColP1),
+            spec(vc(Dy, d).with_arrival(South), ColP2),
+            spec(vc(Txy, d).with_arrival(East).with_turn(East, South).escape(), ColP2),
+            spec(vc(Txy, d).with_arrival(East).with_turn(East, North).escape(), ColP2),
+        ],
+    }
+}
+
+/// Counts of each VC class in a Table-1 configuration (for tests and
+/// the Table-1 bench target).
+pub fn class_histogram(specs: &[RocoVcSpec]) -> std::collections::BTreeMap<String, usize> {
+    let mut h = std::collections::BTreeMap::new();
+    for s in specs {
+        let VcAdmission::Class(c) = s.desc.admission else { continue };
+        *h.entry(c.to_string()).or_insert(0) += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::{AxisOrder, RouterKind, VcRequest};
+
+    fn cfg(routing: RoutingKind) -> RouterConfig {
+        RouterConfig::paper(RouterKind::RoCo, routing)
+    }
+
+    #[test]
+    fn always_twelve_vcs_three_per_port() {
+        for routing in RoutingKind::ALL {
+            let specs = table1_vcs(&cfg(routing));
+            assert_eq!(specs.len(), 12, "{routing}");
+            for port in [ModulePort::RowP1, ModulePort::RowP2, ModulePort::ColP1, ModulePort::ColP2]
+            {
+                assert_eq!(specs.iter().filter(|s| s.port == port).count(), 3, "{routing}");
+            }
+        }
+    }
+
+    #[test]
+    fn class_counts_match_table1() {
+        let h = class_histogram(&table1_vcs(&cfg(RoutingKind::Xy)));
+        assert_eq!(h["dx"], 4);
+        assert_eq!(h["dy"], 3);
+        assert_eq!(h["txy"], 2);
+        assert_eq!(h.get("tyx"), None);
+        assert_eq!(h["Injxy"], 2);
+        assert_eq!(h["Injyx"], 1);
+
+        let h = class_histogram(&table1_vcs(&cfg(RoutingKind::XyYx)));
+        assert_eq!(h["dx"], 3);
+        assert_eq!(h["dy"], 3);
+        assert_eq!(h["txy"], 2);
+        assert_eq!(h["tyx"], 2);
+        assert_eq!(h["Injxy"], 1);
+        assert_eq!(h["Injyx"], 1);
+
+        let h = class_histogram(&table1_vcs(&cfg(RoutingKind::Adaptive)));
+        assert_eq!(h["dx"], 3);
+        assert_eq!(h["dy"], 2);
+        assert_eq!(h["txy"], 3);
+        assert_eq!(h["tyx"], 2);
+        assert_eq!(h["Injxy"], 1);
+        assert_eq!(h["Injyx"], 1);
+    }
+
+    #[test]
+    fn row_ports_hold_x_output_classes_only() {
+        for routing in RoutingKind::ALL {
+            for s in table1_vcs(&cfg(routing)) {
+                let VcAdmission::Class(c) = s.desc.admission else { panic!() };
+                let is_row = matches!(s.port, ModulePort::RowP1 | ModulePort::RowP2);
+                let x_class = c.output_axis() == Some(noc_core::Axis::X);
+                assert_eq!(is_row, x_class, "{routing}: {c} in wrong module");
+            }
+        }
+    }
+
+    /// Every traffic class × arrival combination that the routing
+    /// algorithm can produce has at least one admissible VC.
+    #[test]
+    fn coverage_of_all_reachable_requests() {
+        use Direction::*;
+        for routing in RoutingKind::ALL {
+            let specs = table1_vcs(&cfg(routing));
+            // Enumerate all (in_dir, out_dir) pairs a minimal route can
+            // produce and check admission, per order class the
+            // algorithm generates.
+            let orders: &[AxisOrder] = match routing {
+                RoutingKind::XyYx => &[AxisOrder::Xy, AxisOrder::Yx],
+                _ => &[AxisOrder::Xy],
+            };
+            for &order in orders {
+                for in_dir in [North, East, South, West, Local] {
+                    for out_dir in [North, East, South, West] {
+                        if in_dir == out_dir {
+                            continue;
+                        }
+                        if !reachable(routing, order, in_dir, out_dir) {
+                            continue;
+                        }
+                        let req = VcRequest { in_dir, out_dir, order, quadrant_mask: 0b1111 };
+                        assert!(
+                            specs.iter().any(|s| s.desc.accepts(&req)),
+                            "{routing}/{order}: no VC admits {in_dir}->{out_dir}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether a minimal route under `routing`/`order` can move a flit
+    /// from input port `in_dir` to output `out_dir`.
+    fn reachable(
+        routing: RoutingKind,
+        order: AxisOrder,
+        in_dir: Direction,
+        out_dir: Direction,
+    ) -> bool {
+        use noc_core::Axis;
+        let in_axis = in_dir.axis(); // None for Local (injection)
+        let out_axis = out_dir.axis().expect("mesh output");
+        match (routing, order) {
+            // XY: X->X, X->Y turns, Y->Y, injection anywhere. Never Y->X.
+            (RoutingKind::Xy, _) => !(in_axis == Some(Axis::Y) && out_axis == Axis::X),
+            (RoutingKind::XyYx, AxisOrder::Xy) => {
+                !(in_axis == Some(Axis::Y) && out_axis == Axis::X)
+            }
+            // Restricted YX: northbound first leg, so southbound flits
+            // (arriving via the North port) never exist in this class,
+            // and X->Y turns never occur.
+            (RoutingKind::XyYx, AxisOrder::Yx) => {
+                if in_axis == Some(Axis::X) && out_axis == Axis::Y {
+                    return false; // YX packets never turn X->Y
+                }
+                // No southbound movement at all in the YX class.
+                !(in_dir == Direction::North || out_dir == Direction::South)
+            }
+            // Minimal adaptive (west-first or odd-even): every turn
+            // type can occur somewhere, except turns into West under
+            // west-first — covering them anyway is harmless.
+            (RoutingKind::Adaptive | RoutingKind::AdaptiveOddEven, _) => true,
+        }
+    }
+
+    #[test]
+    fn every_network_vc_has_a_unique_arrival_port() {
+        for routing in RoutingKind::ALL {
+            for s in table1_vcs(&cfg(routing)) {
+                assert!(
+                    s.desc.arrival.is_some(),
+                    "{routing}: every buffer is fed by exactly one DEMUX"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_escape_turns_match_paper() {
+        let specs = table1_vcs(&cfg(RoutingKind::Adaptive));
+        let turns: Vec<_> = specs.iter().filter_map(|s| s.desc.turn).collect();
+        assert_eq!(turns.len(), 2);
+        assert!(turns.iter().any(|t| t.in_dir == Direction::East && t.out_dir == Direction::South));
+        assert!(turns.iter().any(|t| t.in_dir == Direction::East && t.out_dir == Direction::North));
+    }
+}

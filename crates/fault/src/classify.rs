@@ -1,0 +1,221 @@
+//! Component fault classification (Table 3 of the paper) and the
+//! per-architecture reaction policy (§4.1).
+
+use noc_core::{FaultComponent, RouterKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How often a component is exercised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OperationRegime {
+    /// Driven only by header flits (RC, VA) — low utilization, shareable.
+    PerPacket,
+    /// Driven by every flit (buffers, SA, crossbar, MUX/DEMUX).
+    PerFlit,
+}
+
+/// Whether the component sits on the flit datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pathway {
+    /// Datapath (buffers without bypass, MUX/DEMUX, crossbar).
+    Critical,
+    /// Control logic (RC, VA, SA, buffers with a bypass path).
+    NonCritical,
+}
+
+/// Whether the component's function depends on router-wide state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Centricity {
+    /// Operates on a single message (RC, buffers, MUX/DEMUX).
+    MessageCentric,
+    /// Arbitrates across messages (VA, SA, crossbar).
+    RouterCentric,
+}
+
+/// Full Table-3 classification of one component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultClass {
+    /// Per-packet vs per-flit.
+    pub regime: OperationRegime,
+    /// Critical vs non-critical pathway.
+    pub pathway: Pathway,
+    /// Message-centric vs router-centric.
+    pub centricity: Centricity,
+}
+
+/// Classifies `component` per Table 3. `buffer_has_bypass` selects the
+/// buffer's column: with a bypass path a buffer fault is non-critical
+/// (Virtual Queuing applies); without one it is critical.
+pub fn classify(component: FaultComponent, buffer_has_bypass: bool) -> FaultClass {
+    use Centricity::*;
+    use FaultComponent::*;
+    use OperationRegime::*;
+    use Pathway::*;
+    match component {
+        RoutingComputation => {
+            FaultClass { regime: PerPacket, pathway: NonCritical, centricity: MessageCentric }
+        }
+        VcBuffer => FaultClass {
+            regime: PerFlit,
+            pathway: if buffer_has_bypass { NonCritical } else { Critical },
+            centricity: MessageCentric,
+        },
+        VaArbiter => {
+            FaultClass { regime: PerPacket, pathway: NonCritical, centricity: RouterCentric }
+        }
+        SaArbiter => FaultClass { regime: PerFlit, pathway: NonCritical, centricity: RouterCentric },
+        Crossbar => FaultClass { regime: PerFlit, pathway: Critical, centricity: RouterCentric },
+        MuxDemux => FaultClass { regime: PerFlit, pathway: Critical, centricity: MessageCentric },
+    }
+}
+
+/// The two fault families the paper's evaluation injects (Figs 11/12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultCategory {
+    /// Router-centric / critical-pathway faults: in RoCo they isolate
+    /// one module; in the baselines they block the whole node (Fig 11).
+    Isolating,
+    /// Message-centric / non-critical faults: RoCo bypasses them via
+    /// Hardware Recycling; the baselines still block the node (Fig 12).
+    Recyclable,
+}
+
+impl FaultCategory {
+    /// The components whose failure falls in this category.
+    pub fn components(self) -> &'static [FaultComponent] {
+        match self {
+            FaultCategory::Isolating => {
+                &[FaultComponent::VaArbiter, FaultComponent::Crossbar, FaultComponent::MuxDemux]
+            }
+            FaultCategory::Recyclable => &[
+                FaultComponent::RoutingComputation,
+                FaultComponent::VcBuffer,
+                FaultComponent::SaArbiter,
+            ],
+        }
+    }
+}
+
+impl fmt::Display for FaultCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultCategory::Isolating => f.write_str("router-centric/critical"),
+            FaultCategory::Recyclable => f.write_str("message-centric/non-critical"),
+        }
+    }
+}
+
+/// A router architecture's reaction to a component fault (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Reaction {
+    /// The whole node is taken off-line.
+    NodeBlocked,
+    /// Only the afflicted Row/Column module is isolated; the other
+    /// module and Early Ejection keep serving traffic.
+    ModuleBlocked,
+    /// Neighbours perform current-node + look-ahead routing for flits
+    /// leaving the faulty router (Fig 5).
+    DoubleRouting,
+    /// The faulty VC is taken out of service; flits are held upstream
+    /// and arbitrated remotely over the bypass path (Fig 6).
+    VirtualQueuing,
+    /// SA arbitrations are offloaded onto idle VA arbiters through
+    /// 2-to-1 MUXes (Fig 7): the module runs degraded.
+    SaOffload,
+}
+
+/// The reaction of `router` to a hard fault in `component`.
+///
+/// Generic and Path-Sensitive routers have unified control: any hard
+/// fault blocks the entire node. The RoCo router reacts per §4.1's
+/// recovery schemes.
+pub fn reaction(router: RouterKind, component: FaultComponent) -> Reaction {
+    match router {
+        RouterKind::Generic | RouterKind::PathSensitive => Reaction::NodeBlocked,
+        RouterKind::RoCo => match component {
+            FaultComponent::RoutingComputation => Reaction::DoubleRouting,
+            FaultComponent::VcBuffer => Reaction::VirtualQueuing,
+            FaultComponent::VaArbiter => Reaction::ModuleBlocked,
+            FaultComponent::SaArbiter => Reaction::SaOffload,
+            FaultComponent::Crossbar => Reaction::ModuleBlocked,
+            FaultComponent::MuxDemux => Reaction::ModuleBlocked,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_classifications() {
+        let rc = classify(FaultComponent::RoutingComputation, true);
+        assert_eq!(rc.regime, OperationRegime::PerPacket);
+        assert_eq!(rc.pathway, Pathway::NonCritical);
+        assert_eq!(rc.centricity, Centricity::MessageCentric);
+
+        let va = classify(FaultComponent::VaArbiter, true);
+        assert_eq!(va.regime, OperationRegime::PerPacket);
+        assert_eq!(va.centricity, Centricity::RouterCentric);
+
+        let sa = classify(FaultComponent::SaArbiter, true);
+        assert_eq!(sa.regime, OperationRegime::PerFlit);
+        assert_eq!(sa.pathway, Pathway::NonCritical);
+
+        let xbar = classify(FaultComponent::Crossbar, true);
+        assert_eq!(xbar.pathway, Pathway::Critical);
+        assert_eq!(xbar.centricity, Centricity::RouterCentric);
+
+        let mux = classify(FaultComponent::MuxDemux, true);
+        assert_eq!(mux.pathway, Pathway::Critical);
+        assert_eq!(mux.centricity, Centricity::MessageCentric);
+    }
+
+    #[test]
+    fn buffer_criticality_depends_on_bypass() {
+        assert_eq!(classify(FaultComponent::VcBuffer, true).pathway, Pathway::NonCritical);
+        assert_eq!(classify(FaultComponent::VcBuffer, false).pathway, Pathway::Critical);
+    }
+
+    #[test]
+    fn categories_partition_components() {
+        let mut all: Vec<FaultComponent> = FaultCategory::Isolating.components().to_vec();
+        all.extend(FaultCategory::Recyclable.components());
+        all.sort_by_key(|c| format!("{c:?}"));
+        let mut expected = FaultComponent::ALL.to_vec();
+        expected.sort_by_key(|c| format!("{c:?}"));
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn baselines_always_block_the_node() {
+        for component in FaultComponent::ALL {
+            assert_eq!(reaction(RouterKind::Generic, component), Reaction::NodeBlocked);
+            assert_eq!(reaction(RouterKind::PathSensitive, component), Reaction::NodeBlocked);
+        }
+    }
+
+    #[test]
+    fn roco_reactions_follow_section4() {
+        use FaultComponent::*;
+        assert_eq!(reaction(RouterKind::RoCo, RoutingComputation), Reaction::DoubleRouting);
+        assert_eq!(reaction(RouterKind::RoCo, VcBuffer), Reaction::VirtualQueuing);
+        assert_eq!(reaction(RouterKind::RoCo, VaArbiter), Reaction::ModuleBlocked);
+        assert_eq!(reaction(RouterKind::RoCo, SaArbiter), Reaction::SaOffload);
+        assert_eq!(reaction(RouterKind::RoCo, Crossbar), Reaction::ModuleBlocked);
+        assert_eq!(reaction(RouterKind::RoCo, MuxDemux), Reaction::ModuleBlocked);
+    }
+
+    #[test]
+    fn roco_never_loses_the_whole_node_to_one_fault() {
+        for component in FaultComponent::ALL {
+            assert_ne!(reaction(RouterKind::RoCo, component), Reaction::NodeBlocked);
+        }
+    }
+
+    #[test]
+    fn category_display() {
+        assert_eq!(FaultCategory::Isolating.to_string(), "router-centric/critical");
+        assert_eq!(FaultCategory::Recyclable.to_string(), "message-centric/non-critical");
+    }
+}

@@ -1,0 +1,29 @@
+//! # noc-fault
+//!
+//! The paper's §4 fault model: Table-3 component classification, the
+//! per-architecture reaction policy (Hardware Recycling for RoCo,
+//! whole-node blocking for the baselines), and reproducible random
+//! fault-injection plans for the Fig 11/12/14 experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use noc_core::{FaultComponent, RouterKind};
+//! use noc_fault::{reaction, Reaction};
+//!
+//! // A switch-allocator fault blocks a generic node outright, but the
+//! // RoCo router offloads SA onto its idle VA arbiters (Fig 7).
+//! assert_eq!(reaction(RouterKind::Generic, FaultComponent::SaArbiter), Reaction::NodeBlocked);
+//! assert_eq!(reaction(RouterKind::RoCo, FaultComponent::SaArbiter), Reaction::SaOffload);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod classify;
+mod plan;
+
+pub use classify::{
+    classify, reaction, Centricity, FaultCategory, FaultClass, OperationRegime, Pathway, Reaction,
+};
+pub use plan::FaultPlan;

@@ -1,0 +1,134 @@
+//! Fault-injection plans: which routers break, where, and how.
+
+use crate::classify::FaultCategory;
+use noc_core::{Axis, ComponentFault, Coord, FaultComponent, MeshConfig};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A reproducible set of permanent hardware faults to inject at
+/// simulation start (§5.4: "router faults were randomly injected").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct FaultPlan {
+    /// `(router position, fault)` pairs; at most one fault per router.
+    pub faults: Vec<(Coord, ComponentFault)>,
+}
+
+impl FaultPlan {
+    /// No faults (the fault-free baseline).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Draws `count` faults of `category` at distinct random routers of
+    /// `mesh`, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the node count.
+    pub fn random(category: FaultCategory, count: usize, mesh: MeshConfig, seed: u64) -> Self {
+        assert!(count <= mesh.nodes(), "more faults than routers");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut nodes: Vec<usize> = (0..mesh.nodes()).collect();
+        nodes.shuffle(&mut rng);
+        let faults = nodes
+            .into_iter()
+            .take(count)
+            .map(|idx| {
+                let coord = Coord::from_index(idx, mesh.width);
+                let component = *category
+                    .components()
+                    .choose(&mut rng)
+                    .expect("categories are non-empty");
+                let axis = if rng.gen_bool(0.5) { Axis::X } else { Axis::Y };
+                let fault = if component == FaultComponent::VcBuffer {
+                    ComponentFault::buffer(axis, rng.gen_range(0..6))
+                } else {
+                    ComponentFault::new(component, axis)
+                };
+                (coord, fault)
+            })
+            .collect();
+        FaultPlan { faults }
+    }
+
+    /// A single specific fault (useful in tests and examples).
+    pub fn single(coord: Coord, fault: ComponentFault) -> Self {
+        FaultPlan { faults: vec![(coord, fault)] }
+    }
+
+    /// Number of faulty routers.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` when fault-free.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The set of faulty router positions.
+    pub fn sites(&self) -> Vec<Coord> {
+        self.faults.iter().map(|(c, _)| *c).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plan_is_deterministic() {
+        let mesh = MeshConfig::new(8, 8);
+        let a = FaultPlan::random(FaultCategory::Isolating, 4, mesh, 99);
+        let b = FaultPlan::random(FaultCategory::Isolating, 4, mesh, 99);
+        assert_eq!(a, b);
+        let c = FaultPlan::random(FaultCategory::Isolating, 4, mesh, 100);
+        assert_ne!(a, c, "different seeds should give different plans");
+    }
+
+    #[test]
+    fn sites_are_distinct_and_in_mesh() {
+        let mesh = MeshConfig::new(8, 8);
+        let plan = FaultPlan::random(FaultCategory::Recyclable, 10, mesh, 5);
+        let sites = plan.sites();
+        let unique: std::collections::HashSet<_> = sites.iter().collect();
+        assert_eq!(unique.len(), 10);
+        for s in &sites {
+            assert!(s.x < 8 && s.y < 8);
+        }
+    }
+
+    #[test]
+    fn components_respect_category() {
+        let mesh = MeshConfig::new(8, 8);
+        for seed in 0..20 {
+            let plan = FaultPlan::random(FaultCategory::Isolating, 4, mesh, seed);
+            for (_, f) in &plan.faults {
+                assert!(FaultCategory::Isolating.components().contains(&f.component));
+            }
+            let plan = FaultPlan::random(FaultCategory::Recyclable, 4, mesh, seed);
+            for (_, f) in &plan.faults {
+                assert!(FaultCategory::Recyclable.components().contains(&f.component));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more faults than routers")]
+    fn too_many_faults_panics() {
+        let _ = FaultPlan::random(FaultCategory::Isolating, 17, MeshConfig::new(4, 4), 0);
+    }
+
+    #[test]
+    fn helpers() {
+        assert!(FaultPlan::none().is_empty());
+        let single = FaultPlan::single(
+            Coord::new(1, 1),
+            ComponentFault::new(FaultComponent::Crossbar, Axis::X),
+        );
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.sites(), vec![Coord::new(1, 1)]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Activity and contention counters.
+//!
+//! Routers increment these as they operate; the energy model
+//! (`noc-power`) multiplies activity counts by per-component energies
+//! (§5.2's back-annotation flow), and the contention counters reproduce
+//! the Fig 3 measurement.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts of energy-relevant micro-operations performed by one router.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivityCounters {
+    /// Flits written into VC buffers.
+    pub buffer_writes: u64,
+    /// Flits read out of VC buffers (on switch traversal or ejection).
+    pub buffer_reads: u64,
+    /// Flits that traversed a crossbar.
+    pub crossbar_traversals: u64,
+    /// First-stage (per input) VA arbitration operations.
+    pub va_local_arbs: u64,
+    /// Second-stage (per output VC) VA arbitration operations.
+    pub va_global_arbs: u64,
+    /// First-stage (per input port) SA arbitration operations.
+    pub sa_local_arbs: u64,
+    /// Second-stage (per output port / mirror) SA arbitration operations.
+    pub sa_global_arbs: u64,
+    /// Flits placed onto output links.
+    pub link_traversals: u64,
+    /// Route computations (look-ahead or current-node).
+    pub rc_computations: u64,
+    /// Flits ejected without SA/ST via Early Ejection (RoCo/PS only).
+    pub early_ejections: u64,
+    /// Cycles this router was clocked.
+    pub cycles: u64,
+    /// Packets that wedged permanently at this router because a fault
+    /// made their route unserviceable (baseline blocking behaviour).
+    pub blocked_packets: u64,
+}
+
+impl ActivityCounters {
+    /// Empty counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `other` into `self` (used when aggregating a whole network).
+    pub fn merge(&mut self, other: &ActivityCounters) {
+        self.buffer_writes += other.buffer_writes;
+        self.buffer_reads += other.buffer_reads;
+        self.crossbar_traversals += other.crossbar_traversals;
+        self.va_local_arbs += other.va_local_arbs;
+        self.va_global_arbs += other.va_global_arbs;
+        self.sa_local_arbs += other.sa_local_arbs;
+        self.sa_global_arbs += other.sa_global_arbs;
+        self.link_traversals += other.link_traversals;
+        self.rc_computations += other.rc_computations;
+        self.early_ejections += other.early_ejections;
+        self.cycles += other.cycles;
+        self.blocked_packets += other.blocked_packets;
+    }
+}
+
+/// Switch-allocation contention, classified by the requested output axis
+/// (X = row inputs, Y = column inputs) as in Fig 3.
+///
+/// A *request* is one VC bidding for crossbar passage in one cycle; the
+/// request is *blocked* when it loses arbitration to a competing request
+/// (rather than stalling for credits).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContentionCounters {
+    /// SA requests for X-axis (East/West) outputs.
+    pub x_requests: u64,
+    /// X-axis requests that lost arbitration.
+    pub x_blocked: u64,
+    /// SA requests for Y-axis (North/South) outputs.
+    pub y_requests: u64,
+    /// Y-axis requests that lost arbitration.
+    pub y_blocked: u64,
+}
+
+impl ContentionCounters {
+    /// Empty counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &ContentionCounters) {
+        self.x_requests += other.x_requests;
+        self.x_blocked += other.x_blocked;
+        self.y_requests += other.y_requests;
+        self.y_blocked += other.y_blocked;
+    }
+
+    /// Fraction of X-axis requests that lost arbitration (`None` when no
+    /// requests were observed).
+    pub fn x_contention_probability(&self) -> Option<f64> {
+        (self.x_requests > 0).then(|| self.x_blocked as f64 / self.x_requests as f64)
+    }
+
+    /// Fraction of Y-axis requests that lost arbitration.
+    pub fn y_contention_probability(&self) -> Option<f64> {
+        (self.y_requests > 0).then(|| self.y_blocked as f64 / self.y_requests as f64)
+    }
+
+    /// Contention over all requests regardless of axis.
+    pub fn total_contention_probability(&self) -> Option<f64> {
+        let requests = self.x_requests + self.y_requests;
+        (requests > 0).then(|| (self.x_blocked + self.y_blocked) as f64 / requests as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_all_fields() {
+        let mut a = ActivityCounters { buffer_writes: 1, cycles: 10, ..Default::default() };
+        let b = ActivityCounters {
+            buffer_writes: 2,
+            buffer_reads: 3,
+            crossbar_traversals: 4,
+            va_local_arbs: 5,
+            va_global_arbs: 6,
+            sa_local_arbs: 7,
+            sa_global_arbs: 8,
+            link_traversals: 9,
+            rc_computations: 10,
+            early_ejections: 11,
+            cycles: 12,
+            blocked_packets: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.buffer_writes, 3);
+        assert_eq!(a.buffer_reads, 3);
+        assert_eq!(a.crossbar_traversals, 4);
+        assert_eq!(a.va_local_arbs, 5);
+        assert_eq!(a.va_global_arbs, 6);
+        assert_eq!(a.sa_local_arbs, 7);
+        assert_eq!(a.sa_global_arbs, 8);
+        assert_eq!(a.link_traversals, 9);
+        assert_eq!(a.rc_computations, 10);
+        assert_eq!(a.early_ejections, 11);
+        assert_eq!(a.cycles, 22);
+    }
+
+    #[test]
+    fn contention_probabilities() {
+        let c = ContentionCounters { x_requests: 10, x_blocked: 3, y_requests: 0, y_blocked: 0 };
+        assert_eq!(c.x_contention_probability(), Some(0.3));
+        assert_eq!(c.y_contention_probability(), None);
+        assert_eq!(c.total_contention_probability(), Some(0.3));
+    }
+
+    #[test]
+    fn contention_merge() {
+        let mut a = ContentionCounters { x_requests: 1, x_blocked: 1, y_requests: 2, y_blocked: 0 };
+        a.merge(&ContentionCounters { x_requests: 3, x_blocked: 0, y_requests: 2, y_blocked: 2 });
+        assert_eq!(a.x_requests, 4);
+        assert_eq!(a.x_blocked, 1);
+        assert_eq!(a.y_requests, 4);
+        assert_eq!(a.y_blocked, 2);
+        assert_eq!(a.total_contention_probability(), Some(3.0 / 8.0));
+    }
+
+    #[test]
+    fn empty_counters_report_no_probability() {
+        let c = ContentionCounters::new();
+        assert_eq!(c.x_contention_probability(), None);
+        assert_eq!(c.total_contention_probability(), None);
+    }
+}

@@ -1,0 +1,48 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid configuration was supplied to a constructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates an error with a human-readable explanation.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError { message: message.into() }
+    }
+
+    /// The explanation supplied at construction.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = ConfigError::new("mesh too small");
+        assert_eq!(e.to_string(), "invalid configuration: mesh too small");
+        assert_eq!(e.message(), "mesh too small");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ConfigError>();
+    }
+}

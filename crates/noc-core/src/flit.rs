@@ -1,0 +1,197 @@
+//! Flits and packets: the units of wormhole-switched transfer.
+
+use crate::geometry::{AxisOrder, Coord, Direction};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Simulation time in router clock cycles.
+pub type Cycle = u64;
+
+/// Globally unique packet identifier, assigned at generation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PacketId(pub u64);
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt#{}", self.0)
+    }
+}
+
+/// Position of a flit within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlitKind {
+    /// First flit; carries the routing header and undergoes VA.
+    Head,
+    /// Middle flit; follows the wormhole opened by the head.
+    Body,
+    /// Last flit; releases the virtual channels it passes through.
+    Tail,
+    /// Single-flit packet (head and tail at once).
+    HeadTail,
+}
+
+impl FlitKind {
+    /// `true` for `Head` and `HeadTail`.
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// `true` for `Tail` and `HeadTail`.
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// A flow-control unit travelling through the network.
+///
+/// Every flit carries its packet header fields so that per-flit components
+/// (DEMUXes, early ejection, fault bypass logic) can be modelled without a
+/// side-channel. The *look-ahead route* ([`Flit::next_out`]) is the output
+/// port the flit must take at the router it is **arriving at** — computed
+/// one hop upstream, as in §3.1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flit {
+    /// Owning packet.
+    pub packet: PacketId,
+    /// Head/body/tail position.
+    pub kind: FlitKind,
+    /// Zero-based flit sequence number within the packet.
+    pub seq: u16,
+    /// Source node.
+    pub src: Coord,
+    /// Destination node.
+    pub dst: Coord,
+    /// Cycle the packet was offered to the network interface.
+    pub created_at: Cycle,
+    /// Cycle the head flit actually entered a router buffer.
+    pub injected_at: Cycle,
+    /// Look-ahead route: output port at the router this flit is arriving
+    /// at (or currently buffered in). [`Direction::Local`] means eject.
+    pub next_out: Direction,
+    /// Dimension traversal order the packet committed to at injection
+    /// (always [`AxisOrder::Xy`] for plain XY routing).
+    pub order: AxisOrder,
+    /// Whether the packet currently travels on escape (deadlock-free)
+    /// virtual channels; set by the upstream VA when it had to fall back.
+    pub escape: bool,
+}
+
+impl Flit {
+    /// Builds the flits of one packet. The head's `next_out` must still be
+    /// filled in by the injecting network interface via look-ahead routing.
+    pub fn packet_flits(
+        packet: PacketId,
+        src: Coord,
+        dst: Coord,
+        created_at: Cycle,
+        num_flits: u16,
+        order: AxisOrder,
+    ) -> Vec<Flit> {
+        assert!(num_flits > 0, "a packet must contain at least one flit");
+        (0..num_flits)
+            .map(|seq| {
+                let kind = match (seq, num_flits) {
+                    (0, 1) => FlitKind::HeadTail,
+                    (0, _) => FlitKind::Head,
+                    (s, n) if s + 1 == n => FlitKind::Tail,
+                    _ => FlitKind::Body,
+                };
+                Flit {
+                    packet,
+                    kind,
+                    seq,
+                    src,
+                    dst,
+                    created_at,
+                    injected_at: created_at,
+                    next_out: Direction::Local,
+                    order,
+                    escape: false,
+                }
+            })
+            .collect()
+    }
+}
+
+/// A packet awaiting injection at a network interface.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Unique id.
+    pub id: PacketId,
+    /// Source node.
+    pub src: Coord,
+    /// Destination node.
+    pub dst: Coord,
+    /// Cycle the packet was generated.
+    pub created_at: Cycle,
+    /// Number of flits (paper default: 4 × 128-bit flits).
+    pub num_flits: u16,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_flits_kinds() {
+        let flits = Flit::packet_flits(
+            PacketId(7),
+            Coord::new(0, 0),
+            Coord::new(3, 3),
+            10,
+            4,
+            AxisOrder::Xy,
+        );
+        assert_eq!(flits.len(), 4);
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert_eq!(flits[1].kind, FlitKind::Body);
+        assert_eq!(flits[2].kind, FlitKind::Body);
+        assert_eq!(flits[3].kind, FlitKind::Tail);
+        assert!(flits.iter().all(|f| f.packet == PacketId(7)));
+        assert!(flits.iter().enumerate().all(|(i, f)| f.seq as usize == i));
+    }
+
+    #[test]
+    fn single_flit_packet_is_head_tail() {
+        let flits = Flit::packet_flits(
+            PacketId(1),
+            Coord::new(0, 0),
+            Coord::new(1, 0),
+            0,
+            1,
+            AxisOrder::Xy,
+        );
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].kind, FlitKind::HeadTail);
+        assert!(flits[0].kind.is_head());
+        assert!(flits[0].kind.is_tail());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_flit_packet_panics() {
+        let _ = Flit::packet_flits(
+            PacketId(1),
+            Coord::new(0, 0),
+            Coord::new(1, 0),
+            0,
+            0,
+            AxisOrder::Xy,
+        );
+    }
+
+    #[test]
+    fn head_tail_predicates() {
+        assert!(FlitKind::Head.is_head());
+        assert!(!FlitKind::Head.is_tail());
+        assert!(FlitKind::Tail.is_tail());
+        assert!(!FlitKind::Tail.is_head());
+        assert!(!FlitKind::Body.is_head());
+        assert!(!FlitKind::Body.is_tail());
+    }
+
+    #[test]
+    fn packet_id_display() {
+        assert_eq!(PacketId(42).to_string(), "pkt#42");
+    }
+}

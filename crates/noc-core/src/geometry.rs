@@ -1,0 +1,317 @@
+//! Mesh geometry: node coordinates, port directions and dimension axes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node position in a 2D mesh, `x` growing eastward and `y` growing
+/// southward (row-major, origin at the north-west corner).
+///
+/// # Examples
+///
+/// ```
+/// use noc_core::{Coord, Direction};
+/// let a = Coord::new(1, 2);
+/// let b = Coord::new(4, 2);
+/// assert_eq!(a.direction_towards_x(b), Some(Direction::East));
+/// assert_eq!(a.manhattan_distance(b), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Coord {
+    /// Column index (0 = westmost).
+    pub x: u16,
+    /// Row index (0 = northmost).
+    pub y: u16,
+}
+
+impl Coord {
+    /// Creates a coordinate from column `x` and row `y`.
+    pub const fn new(x: u16, y: u16) -> Self {
+        Coord { x, y }
+    }
+
+    /// Manhattan (hop) distance to `other`.
+    pub fn manhattan_distance(self, other: Coord) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+
+    /// The direction of travel along the X axis needed to reach `dst`,
+    /// or `None` when already aligned in X.
+    pub fn direction_towards_x(self, dst: Coord) -> Option<Direction> {
+        match self.x.cmp(&dst.x) {
+            std::cmp::Ordering::Less => Some(Direction::East),
+            std::cmp::Ordering::Greater => Some(Direction::West),
+            std::cmp::Ordering::Equal => None,
+        }
+    }
+
+    /// The direction of travel along the Y axis needed to reach `dst`,
+    /// or `None` when already aligned in Y.
+    pub fn direction_towards_y(self, dst: Coord) -> Option<Direction> {
+        match self.y.cmp(&dst.y) {
+            std::cmp::Ordering::Less => Some(Direction::South),
+            std::cmp::Ordering::Greater => Some(Direction::North),
+            std::cmp::Ordering::Equal => None,
+        }
+    }
+
+    /// The neighbouring coordinate in `dir`, or `None` if it would fall
+    /// outside a `width × height` mesh (or if `dir` is [`Direction::Local`]).
+    pub fn neighbor(self, dir: Direction, width: u16, height: u16) -> Option<Coord> {
+        match dir {
+            Direction::North if self.y > 0 => Some(Coord::new(self.x, self.y - 1)),
+            Direction::South if self.y + 1 < height => Some(Coord::new(self.x, self.y + 1)),
+            Direction::West if self.x > 0 => Some(Coord::new(self.x - 1, self.y)),
+            Direction::East if self.x + 1 < width => Some(Coord::new(self.x + 1, self.y)),
+            _ => None,
+        }
+    }
+
+    /// Flattened row-major node index inside a mesh of the given `width`.
+    pub fn index(self, width: u16) -> usize {
+        self.y as usize * width as usize + self.x as usize
+    }
+
+    /// Inverse of [`Coord::index`].
+    pub fn from_index(index: usize, width: u16) -> Coord {
+        Coord::new((index % width as usize) as u16, (index / width as usize) as u16)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// One of the four mesh ports of a router, or the local PE port.
+///
+/// The numeric discriminants are stable and used as array indices
+/// throughout the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Direction {
+    /// Towards decreasing `y`.
+    North = 0,
+    /// Towards increasing `x`.
+    East = 1,
+    /// Towards increasing `y`.
+    South = 2,
+    /// Towards decreasing `x`.
+    West = 3,
+    /// The local processing element (injection/ejection).
+    Local = 4,
+}
+
+impl Direction {
+    /// The four mesh directions in index order (`North`, `East`, `South`,
+    /// `West`), excluding [`Direction::Local`].
+    pub const MESH: [Direction; 4] =
+        [Direction::North, Direction::East, Direction::South, Direction::West];
+
+    /// All five directions including [`Direction::Local`].
+    pub const ALL: [Direction; 5] = [
+        Direction::North,
+        Direction::East,
+        Direction::South,
+        Direction::West,
+        Direction::Local,
+    ];
+
+    /// The opposite mesh direction; `Local` is its own opposite.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+            Direction::Local => Direction::Local,
+        }
+    }
+
+    /// The axis this direction travels along (`Local` has no axis).
+    pub fn axis(self) -> Option<Axis> {
+        match self {
+            Direction::East | Direction::West => Some(Axis::X),
+            Direction::North | Direction::South => Some(Axis::Y),
+            Direction::Local => None,
+        }
+    }
+
+    /// Stable array index (0..=4).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Direction::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 4`.
+    pub fn from_index(index: usize) -> Direction {
+        match index {
+            0 => Direction::North,
+            1 => Direction::East,
+            2 => Direction::South,
+            3 => Direction::West,
+            4 => Direction::Local,
+            _ => panic!("direction index out of range: {index}"),
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::North => "N",
+            Direction::East => "E",
+            Direction::South => "S",
+            Direction::West => "W",
+            Direction::Local => "L",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A mesh dimension: `X` (East–West, served by the RoCo *Row* module) or
+/// `Y` (North–South, served by the *Column* module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Axis {
+    /// East–West.
+    X,
+    /// North–South.
+    Y,
+}
+
+impl Axis {
+    /// The other axis.
+    pub fn other(self) -> Axis {
+        match self {
+            Axis::X => Axis::Y,
+            Axis::Y => Axis::X,
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::X => f.write_str("X"),
+            Axis::Y => f.write_str("Y"),
+        }
+    }
+}
+
+/// Dimension traversal order chosen for a packet under oblivious routing:
+/// `Xy` exhausts X hops first (classic DOR), `Yx` exhausts Y hops first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AxisOrder {
+    /// X first, then Y (dimension-order / XY routing).
+    Xy,
+    /// Y first, then X.
+    Yx,
+}
+
+impl AxisOrder {
+    /// First axis traversed under this order.
+    pub fn first(self) -> Axis {
+        match self {
+            AxisOrder::Xy => Axis::X,
+            AxisOrder::Yx => Axis::Y,
+        }
+    }
+}
+
+impl fmt::Display for AxisOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AxisOrder::Xy => f.write_str("XY"),
+            AxisOrder::Yx => f.write_str("YX"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance_is_symmetric() {
+        let a = Coord::new(1, 5);
+        let b = Coord::new(6, 2);
+        assert_eq!(a.manhattan_distance(b), 8);
+        assert_eq!(b.manhattan_distance(a), 8);
+        assert_eq!(a.manhattan_distance(a), 0);
+    }
+
+    #[test]
+    fn direction_towards_axes() {
+        let a = Coord::new(3, 3);
+        assert_eq!(a.direction_towards_x(Coord::new(5, 0)), Some(Direction::East));
+        assert_eq!(a.direction_towards_x(Coord::new(0, 0)), Some(Direction::West));
+        assert_eq!(a.direction_towards_x(Coord::new(3, 7)), None);
+        assert_eq!(a.direction_towards_y(Coord::new(0, 5)), Some(Direction::South));
+        assert_eq!(a.direction_towards_y(Coord::new(0, 1)), Some(Direction::North));
+        assert_eq!(a.direction_towards_y(Coord::new(7, 3)), None);
+    }
+
+    #[test]
+    fn neighbor_respects_mesh_bounds() {
+        let c = Coord::new(0, 0);
+        assert_eq!(c.neighbor(Direction::North, 8, 8), None);
+        assert_eq!(c.neighbor(Direction::West, 8, 8), None);
+        assert_eq!(c.neighbor(Direction::East, 8, 8), Some(Coord::new(1, 0)));
+        assert_eq!(c.neighbor(Direction::South, 8, 8), Some(Coord::new(0, 1)));
+        let edge = Coord::new(7, 7);
+        assert_eq!(edge.neighbor(Direction::East, 8, 8), None);
+        assert_eq!(edge.neighbor(Direction::South, 8, 8), None);
+        assert_eq!(edge.neighbor(Direction::Local, 8, 8), None);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for y in 0..8 {
+            for x in 0..8 {
+                let c = Coord::new(x, y);
+                assert_eq!(Coord::from_index(c.index(8), 8), c);
+            }
+        }
+    }
+
+    #[test]
+    fn opposite_is_involutive() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    fn axis_assignment() {
+        assert_eq!(Direction::East.axis(), Some(Axis::X));
+        assert_eq!(Direction::West.axis(), Some(Axis::X));
+        assert_eq!(Direction::North.axis(), Some(Axis::Y));
+        assert_eq!(Direction::South.axis(), Some(Axis::Y));
+        assert_eq!(Direction::Local.axis(), None);
+        assert_eq!(Axis::X.other(), Axis::Y);
+    }
+
+    #[test]
+    fn direction_index_round_trips() {
+        for d in Direction::ALL {
+            assert_eq!(Direction::from_index(d.index()), d);
+        }
+    }
+
+    #[test]
+    fn axis_order_first() {
+        assert_eq!(AxisOrder::Xy.first(), Axis::X);
+        assert_eq!(AxisOrder::Yx.first(), Axis::Y);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Coord::new(2, 3).to_string(), "(2,3)");
+        assert_eq!(Direction::North.to_string(), "N");
+        assert_eq!(Axis::X.to_string(), "X");
+        assert_eq!(AxisOrder::Yx.to_string(), "YX");
+    }
+}

@@ -1,0 +1,46 @@
+//! # noc-core
+//!
+//! Shared data model for the RoCo (Row-Column decoupled router, ISCA
+//! 2006) reproduction: mesh geometry, flits and packets, virtual-channel
+//! classes, router/mesh configuration, the [`RouterNode`] abstraction
+//! driven by the cycle-accurate simulator, and activity counters for the
+//! energy model.
+//!
+//! Architecture-specific logic lives elsewhere: arbiters in
+//! `noc-arbiter`, routing functions in `noc-routing`, router
+//! microarchitectures in `noc-router`, and the network simulator in
+//! `noc-sim`.
+//!
+//! # Examples
+//!
+//! ```
+//! use noc_core::{Coord, Direction, VcClass};
+//!
+//! // A flit arriving from the West and continuing East is X-dimension
+//! // through-traffic, queued in a `dx` buffer by Guided Flit Queuing.
+//! let class = VcClass::derive(Direction::West, Direction::East);
+//! assert_eq!(class, VcClass::Dx);
+//! assert_eq!(Coord::new(0, 0).manhattan_distance(Coord::new(7, 7)), 14);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod counters;
+mod error;
+mod flit;
+mod geometry;
+mod node;
+mod vc;
+
+pub use config::{MeshConfig, RouterConfig, RouterKind, RoutingKind};
+pub use counters::{ActivityCounters, ContentionCounters};
+pub use error::ConfigError;
+pub use flit::{Cycle, Flit, FlitKind, Packet, PacketId};
+pub use geometry::{Axis, AxisOrder, Coord, Direction};
+pub use node::{
+    ComponentFault, FaultComponent, ModuleHealth, NodeStatus, RouterNode, RouterOutputs,
+    StepContext, EJECT_VC,
+};
+pub use vc::{Credit, TurnFilter, VcAdmission, VcClass, VcDescriptor, VcRef, VcRequest};

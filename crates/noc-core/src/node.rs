@@ -1,0 +1,342 @@
+//! The router-node abstraction the network simulator drives.
+//!
+//! Every router architecture (generic, Path-Sensitive, RoCo) implements
+//! [`RouterNode`]; the simulator in `noc-sim` is generic over it. The
+//! trait's contract encodes the paper's two-stage pipeline: flits and
+//! credits delivered at the start of a cycle may be acted upon by the
+//! same cycle's allocation stage, and `step` returns everything that
+//! leaves the router during that cycle (flits begin their single-cycle
+//! link traversal when `step` emits them).
+
+use crate::config::RouterConfig;
+use crate::counters::{ActivityCounters, ContentionCounters};
+use crate::flit::{Cycle, Flit};
+use crate::geometry::{Axis, Coord, Direction};
+use crate::vc::{Credit, VcDescriptor};
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel VC index used when transferring a flit that will be handled
+/// by Early Ejection downstream (no downstream VC is allocated).
+pub const EJECT_VC: u8 = u8::MAX;
+
+/// Health of one RoCo module (or of a whole generic/Path-Sensitive node,
+/// which degrades as a unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModuleHealth {
+    /// Fully functional.
+    Healthy,
+    /// Operating with a Hardware-Recycling workaround (§4): reduced
+    /// throughput but correct.
+    Degraded,
+    /// Isolated after a critical or router-centric fault.
+    Dead,
+}
+
+impl ModuleHealth {
+    /// `true` unless the module is [`ModuleHealth::Dead`].
+    pub fn is_operational(self) -> bool {
+        self != ModuleHealth::Dead
+    }
+}
+
+/// Operational state of a node, tracked by neighbouring routers through
+/// handshake signals (§4.1) and consulted by look-ahead routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeStatus {
+    /// Row (East–West) module health. For generic and Path-Sensitive
+    /// routers both fields move together: any hard fault kills the node.
+    pub row: ModuleHealth,
+    /// Column (North–South) module health.
+    pub col: ModuleHealth,
+    /// Whether the Routing Computation unit works; when `false`,
+    /// downstream neighbours must perform Double Routing (§4.1, Fig 5).
+    pub rc_ok: bool,
+}
+
+impl NodeStatus {
+    /// A fully healthy node.
+    pub fn healthy() -> Self {
+        NodeStatus { row: ModuleHealth::Healthy, col: ModuleHealth::Healthy, rc_ok: true }
+    }
+
+    /// Whether both modules are dead (the whole node is off-line).
+    pub fn node_dead(&self) -> bool {
+        self.row == ModuleHealth::Dead && self.col == ModuleHealth::Dead
+    }
+
+    /// Health of the module serving `axis`.
+    pub fn module(&self, axis: Axis) -> ModuleHealth {
+        match axis {
+            Axis::X => self.row,
+            Axis::Y => self.col,
+        }
+    }
+
+    /// Whether a flit requiring output `dir` *at this node* can be
+    /// served. Ejection survives single-module failures thanks to Early
+    /// Ejection, but not a whole-node failure.
+    pub fn can_serve_output(&self, dir: Direction) -> bool {
+        match dir.axis() {
+            Some(a) => self.module(a).is_operational(),
+            None => !self.node_dead(),
+        }
+    }
+}
+
+impl Default for NodeStatus {
+    fn default() -> Self {
+        NodeStatus::healthy()
+    }
+}
+
+/// Per-cycle context handed to [`RouterNode::step`].
+#[derive(Debug)]
+pub struct StepContext<'a> {
+    /// Current simulation cycle.
+    pub cycle: Cycle,
+    /// Deterministic per-network RNG (arbitration tie-breaks, XY-YX
+    /// coin flips, adaptive selection).
+    pub rng: &'a mut SmallRng,
+    /// Operational status of the four mesh neighbours (`None` at a mesh
+    /// boundary), indexed by [`Direction::index`].
+    pub neighbors: [Option<NodeStatus>; 4],
+}
+
+impl<'a> StepContext<'a> {
+    /// Creates a context; `neighbors` defaults to all-absent.
+    pub fn new(cycle: Cycle, rng: &'a mut SmallRng) -> Self {
+        StepContext { cycle, rng, neighbors: [None; 4] }
+    }
+
+    /// Status of the neighbour reached through `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dir` is [`Direction::Local`].
+    pub fn neighbor_status(&self, dir: Direction) -> Option<NodeStatus> {
+        assert!(dir != Direction::Local, "the local PE has no neighbour status");
+        self.neighbors[dir.index()]
+    }
+}
+
+/// Everything leaving a router in one cycle.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RouterOutputs {
+    /// Flits entering their output links: `(output direction, downstream
+    /// input-VC index or [`EJECT_VC`], flit)`.
+    pub flits: Vec<(Direction, u8, Flit)>,
+    /// Credits returned to upstream neighbours: `(input side the credit
+    /// leaves through, credit)`.
+    pub credits: Vec<(Direction, Credit)>,
+    /// Flits delivered to the local PE this cycle.
+    pub ejected: Vec<Flit>,
+    /// Flits discarded because a fault made their route unserviceable
+    /// (§4.1: "any fragmented packets are simply discarded").
+    pub dropped: Vec<Flit>,
+}
+
+impl RouterOutputs {
+    /// An empty output set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when nothing left the router.
+    pub fn is_empty(&self) -> bool {
+        self.flits.is_empty()
+            && self.credits.is_empty()
+            && self.ejected.is_empty()
+            && self.dropped.is_empty()
+    }
+}
+
+/// A wormhole-switched virtual-channel router that the mesh simulator
+/// can drive cycle by cycle.
+///
+/// # Contract
+///
+/// * `deliver_flit` / `deliver_credit` are called for everything arriving
+///   at the start of a cycle, then `try_inject` for local traffic, then
+///   `step` exactly once.
+/// * `step` must be deterministic given the delivered inputs and the
+///   context RNG.
+/// * Flits emitted from `step` arrive at the neighbour after the link
+///   delay; credits likewise.
+pub trait RouterNode {
+    /// This router's mesh position.
+    fn coord(&self) -> Coord;
+
+    /// The configuration the router was built with.
+    fn config(&self) -> &RouterConfig;
+
+    /// Descriptors of the input VCs reachable through the link arriving
+    /// on side `dir` (what the upstream router runs VA against). For
+    /// `Direction::Local` this is the injection VC set.
+    fn vcs_on_link(&self, dir: Direction) -> &[VcDescriptor];
+
+    /// Accepts a flit from the upstream neighbour on side `from` into
+    /// input VC `vc` (or hands it to Early Ejection when `vc == EJECT_VC`).
+    fn deliver_flit(&mut self, from: Direction, vc: u8, flit: Flit);
+
+    /// Accepts a credit returned by the downstream neighbour reached
+    /// through output `output`.
+    fn deliver_credit(&mut self, output: Direction, credit: Credit);
+
+    /// Offers one locally generated flit to the router. Returns `false`
+    /// when no admissible injection VC has space this cycle (the network
+    /// interface will retry).
+    fn try_inject(&mut self, flit: Flit, ctx: &mut StepContext<'_>) -> bool;
+
+    /// Advances the router one cycle: VA, SA and switch traversal.
+    fn step(&mut self, ctx: &mut StepContext<'_>) -> RouterOutputs;
+
+    /// Current operational status (consumed by neighbours next cycle).
+    fn status(&self) -> NodeStatus;
+
+    /// Injects a permanent hardware fault (§4).
+    fn inject_fault(&mut self, fault: ComponentFault);
+
+    /// Cumulative activity counters for the energy model.
+    fn counters(&self) -> &ActivityCounters;
+
+    /// Cumulative switch-allocation contention counters (Fig 3).
+    fn contention(&self) -> &ContentionCounters;
+
+    /// Number of flits currently buffered (for drain detection).
+    fn occupancy(&self) -> usize;
+}
+
+/// The six fundamental router components of §4.1's fault model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultComponent {
+    /// Routing Computation unit (per-packet, message-centric,
+    /// non-critical): recoverable by Double Routing.
+    RoutingComputation,
+    /// A VC buffer (per-flit, message-centric): recoverable through the
+    /// bypass path / Virtual Queuing.
+    VcBuffer,
+    /// Virtual-channel allocator (per-packet, router-centric): forces
+    /// module isolation.
+    VaArbiter,
+    /// Switch allocator (per-flit, router-centric): recoverable by
+    /// offloading onto idle VA arbiters.
+    SaArbiter,
+    /// Crossbar (per-flit, critical pathway): forces module isolation.
+    Crossbar,
+    /// Input MUX/DEMUX (per-flit, critical pathway): forces module
+    /// isolation.
+    MuxDemux,
+}
+
+impl FaultComponent {
+    /// All components, in Table 3 order.
+    pub const ALL: [FaultComponent; 6] = [
+        FaultComponent::RoutingComputation,
+        FaultComponent::VcBuffer,
+        FaultComponent::VaArbiter,
+        FaultComponent::SaArbiter,
+        FaultComponent::Crossbar,
+        FaultComponent::MuxDemux,
+    ];
+}
+
+/// A permanent hard fault affecting one component instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentFault {
+    /// Which component failed.
+    pub component: FaultComponent,
+    /// Which RoCo module the instance belongs to (Row = X, Column = Y).
+    /// Generic and Path-Sensitive routers ignore this: any hard fault
+    /// blocks the whole node (§4.1).
+    pub axis: Axis,
+    /// For [`FaultComponent::VcBuffer`], the index of the failed VC
+    /// within the afflicted module's buffer pool; ignored otherwise.
+    pub vc: u8,
+}
+
+impl ComponentFault {
+    /// A fault in `component` within the module serving `axis`.
+    pub fn new(component: FaultComponent, axis: Axis) -> Self {
+        ComponentFault { component, axis, vc: 0 }
+    }
+
+    /// A buffer fault targeting a specific VC.
+    pub fn buffer(axis: Axis, vc: u8) -> Self {
+        ComponentFault { component: FaultComponent::VcBuffer, axis, vc }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn healthy_status_serves_everything() {
+        let s = NodeStatus::healthy();
+        assert!(!s.node_dead());
+        for d in Direction::ALL {
+            assert!(s.can_serve_output(d));
+        }
+    }
+
+    #[test]
+    fn row_dead_blocks_only_x_outputs() {
+        let s = NodeStatus { row: ModuleHealth::Dead, ..NodeStatus::healthy() };
+        assert!(!s.can_serve_output(Direction::East));
+        assert!(!s.can_serve_output(Direction::West));
+        assert!(s.can_serve_output(Direction::North));
+        assert!(s.can_serve_output(Direction::South));
+        assert!(s.can_serve_output(Direction::Local), "early ejection survives module loss");
+        assert!(!s.node_dead());
+    }
+
+    #[test]
+    fn node_dead_blocks_ejection_too() {
+        let s = NodeStatus { row: ModuleHealth::Dead, col: ModuleHealth::Dead, rc_ok: true };
+        assert!(s.node_dead());
+        assert!(!s.can_serve_output(Direction::Local));
+    }
+
+    #[test]
+    fn degraded_module_is_operational() {
+        assert!(ModuleHealth::Degraded.is_operational());
+        assert!(ModuleHealth::Healthy.is_operational());
+        assert!(!ModuleHealth::Dead.is_operational());
+    }
+
+    #[test]
+    fn step_context_neighbor_lookup() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut ctx = StepContext::new(5, &mut rng);
+        assert_eq!(ctx.cycle, 5);
+        assert_eq!(ctx.neighbor_status(Direction::North), None);
+        ctx.neighbors[Direction::East.index()] = Some(NodeStatus::healthy());
+        assert!(ctx.neighbor_status(Direction::East).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "no neighbour status")]
+    fn step_context_rejects_local() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let ctx = StepContext::new(0, &mut rng);
+        let _ = ctx.neighbor_status(Direction::Local);
+    }
+
+    #[test]
+    fn outputs_empty_check() {
+        let o = RouterOutputs::new();
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn fault_constructors() {
+        let f = ComponentFault::new(FaultComponent::Crossbar, Axis::Y);
+        assert_eq!(f.component, FaultComponent::Crossbar);
+        assert_eq!(f.axis, Axis::Y);
+        let b = ComponentFault::buffer(Axis::X, 2);
+        assert_eq!(b.component, FaultComponent::VcBuffer);
+        assert_eq!(b.vc, 2);
+    }
+}

@@ -1,0 +1,397 @@
+//! Virtual-channel classes, descriptors and references.
+//!
+//! The RoCo router's *Guided Flit Queuing* (§3.1) steers every incoming
+//! flit into a buffer dedicated to its output path. The paper's Table 1
+//! names six buffer classes; this module encodes the classes, how a flit's
+//! class is derived from its look-ahead route, and the per-VC descriptors
+//! routers publish so the *upstream* router can run virtual-channel
+//! allocation against them.
+
+use crate::geometry::{Axis, Direction};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Traffic class of a flit at a router input, derived from the port it
+/// arrives on and the output port its look-ahead route selected
+/// (Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum VcClass {
+    /// Continuing along the X dimension (East–West through-traffic).
+    Dx,
+    /// Continuing along the Y dimension (North–South through-traffic).
+    Dy,
+    /// Turning from the X dimension into the Y dimension.
+    Txy,
+    /// Turning from the Y dimension into the X dimension.
+    Tyx,
+    /// Injected by the local PE, first leg along X.
+    InjXy,
+    /// Injected by the local PE, first leg along Y.
+    InjYx,
+    /// Destined for the local PE (ejection; never buffered by RoCo thanks
+    /// to Early Ejection, but a regular class for the generic router).
+    Eject,
+}
+
+impl VcClass {
+    /// Derives the class of a flit that arrives on input port `in_dir`
+    /// and departs through `out_dir` (its look-ahead route).
+    ///
+    /// `in_dir` is the port the flit arrives on: a flit travelling East
+    /// arrives on the *West* port. `in_dir == Local` means injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `in_dir == out_dir` for mesh directions (a minimal route
+    /// never sends a flit back out of the port it arrived on) and on
+    /// `Local -> Local` (a PE never sends to itself through the router).
+    pub fn derive(in_dir: Direction, out_dir: Direction) -> VcClass {
+        if out_dir == Direction::Local {
+            assert!(in_dir != Direction::Local, "local->local transfer never enters the router");
+            return VcClass::Eject;
+        }
+        if in_dir == Direction::Local {
+            return match out_dir.axis() {
+                Some(Axis::X) => VcClass::InjXy,
+                Some(Axis::Y) => VcClass::InjYx,
+                None => unreachable!(),
+            };
+        }
+        assert_ne!(in_dir, out_dir, "minimal routes never U-turn");
+        // A flit arriving on port `in_dir` was travelling along
+        // `in_dir`'s axis (e.g. the West port receives eastbound flits).
+        let in_axis = in_dir.axis().expect("mesh input port");
+        let out_axis = out_dir.axis().expect("mesh output port");
+        match (in_axis, out_axis) {
+            (Axis::X, Axis::X) => VcClass::Dx,
+            (Axis::Y, Axis::Y) => VcClass::Dy,
+            (Axis::X, Axis::Y) => VcClass::Txy,
+            (Axis::Y, Axis::X) => VcClass::Tyx,
+        }
+    }
+
+    /// The router module (axis) whose crossbar serves this class's output,
+    /// or `None` for ejection (which never crosses a crossbar in RoCo).
+    pub fn output_axis(self) -> Option<Axis> {
+        match self {
+            VcClass::Dx | VcClass::Tyx | VcClass::InjXy => Some(Axis::X),
+            VcClass::Dy | VcClass::Txy | VcClass::InjYx => Some(Axis::Y),
+            VcClass::Eject => None,
+        }
+    }
+}
+
+impl fmt::Display for VcClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VcClass::Dx => "dx",
+            VcClass::Dy => "dy",
+            VcClass::Txy => "txy",
+            VcClass::Tyx => "tyx",
+            VcClass::InjXy => "Injxy",
+            VcClass::InjYx => "Injyx",
+            VcClass::Eject => "eject",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which traffic a virtual channel admits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VcAdmission {
+    /// Any class (generic router VCs and Path-Sensitive path-set VCs).
+    Any,
+    /// Exactly one RoCo class from Table 1.
+    Class(VcClass),
+}
+
+impl VcAdmission {
+    /// Whether a flit of `class` may be queued in a VC with this admission.
+    pub fn admits(self, class: VcClass) -> bool {
+        match self {
+            VcAdmission::Any => true,
+            VcAdmission::Class(c) => c == class,
+        }
+    }
+}
+
+/// Restriction of an escape VC to a single (input port, output port)
+/// turn, used by the paper's deadlock-freedom argument (§3.1: "the first
+/// `txy` VC … is used for turning from the east to the south, and the
+/// second … from the east to the north").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TurnFilter {
+    /// Input port the flit must arrive on.
+    pub in_dir: Direction,
+    /// Output port the flit must depart through.
+    pub out_dir: Direction,
+}
+
+/// Everything the upstream VA needs to know about a flit to decide
+/// whether a downstream virtual channel may hold it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VcRequest {
+    /// Port at the downstream router the flit arrives on (`Local` for
+    /// injection requests evaluated at the local router).
+    pub in_dir: Direction,
+    /// Output port the flit takes at the downstream router (its
+    /// look-ahead route); `Local` means ejection there.
+    pub out_dir: Direction,
+    /// Dimension-traversal order the packet committed to.
+    pub order: crate::geometry::AxisOrder,
+    /// Bitmask of acceptable destination quadrants (bit 0 = NE, 1 = NW,
+    /// 2 = SE, 3 = SW) relative to the downstream router, used by the
+    /// Path-Sensitive router's path-set admission. Axis-aligned
+    /// destinations set two bits; `0` when the destination is the
+    /// downstream router itself.
+    pub quadrant_mask: u8,
+}
+
+/// Static description of one virtual channel at a router input, published
+/// to the upstream router so that VA can be performed remotely
+/// (look-ahead VA over the downstream buffer pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VcDescriptor {
+    /// Admissible traffic.
+    pub admission: VcAdmission,
+    /// Buffer depth in flits (0 after a buffer fault took the VC out of
+    /// service via Virtual Queuing).
+    pub capacity: u8,
+    /// Whether this VC belongs to the deadlock-free escape set (packets on
+    /// escape VCs must follow strict dimension order).
+    pub escape: bool,
+    /// Optional restriction to a single turn (only meaningful for escape
+    /// `txy`/`tyx` channels).
+    pub turn: Option<TurnFilter>,
+    /// Optional restriction to packets of one dimension-traversal order.
+    /// XY-YX routing keeps its two packet classes on disjoint channels
+    /// for deadlock freedom ("two additional dx VCs are required", §3.1).
+    pub order: Option<crate::geometry::AxisOrder>,
+    /// Optional restriction to one destination quadrant (Path-Sensitive
+    /// path sets; index per [`VcRequest::quadrant`]).
+    pub quadrant: Option<u8>,
+    /// Optional restriction to one arrival port ("three groups of VCs to
+    /// hold flits from possible directions from the previous router").
+    pub arrival: Option<Direction>,
+}
+
+impl VcDescriptor {
+    /// A non-escape channel admitting `admission` with `capacity` flits.
+    pub fn new(admission: VcAdmission, capacity: u8) -> Self {
+        VcDescriptor {
+            admission,
+            capacity,
+            escape: false,
+            turn: None,
+            order: None,
+            quadrant: None,
+            arrival: None,
+        }
+    }
+
+    /// Marks the channel as part of the escape set.
+    pub fn escape(mut self) -> Self {
+        self.escape = true;
+        self
+    }
+
+    /// Restricts the channel to a single turn.
+    pub fn with_turn(mut self, in_dir: Direction, out_dir: Direction) -> Self {
+        self.turn = Some(TurnFilter { in_dir, out_dir });
+        self
+    }
+
+    /// Restricts the channel to packets travelling in `order`.
+    pub fn with_order(mut self, order: crate::geometry::AxisOrder) -> Self {
+        self.order = Some(order);
+        self
+    }
+
+    /// Restricts the channel to one destination quadrant.
+    pub fn with_quadrant(mut self, quadrant: u8) -> Self {
+        self.quadrant = Some(quadrant);
+        self
+    }
+
+    /// Restricts the channel to flits arriving on `dir`.
+    pub fn with_arrival(mut self, dir: Direction) -> Self {
+        self.arrival = Some(dir);
+        self
+    }
+
+    /// Whether a flit described by `req` may be allocated this channel.
+    pub fn accepts(&self, req: &VcRequest) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        if !self.admission.admits(VcClass::derive(req.in_dir, req.out_dir)) {
+            return false;
+        }
+        if let Some(required) = self.order {
+            if required != req.order {
+                return false;
+            }
+        }
+        if let Some(q) = self.quadrant {
+            if req.quadrant_mask & (1 << q) == 0 {
+                return false;
+            }
+        }
+        if let Some(a) = self.arrival {
+            if a != req.in_dir {
+                return false;
+            }
+        }
+        match self.turn {
+            None => true,
+            Some(t) => t.in_dir == req.in_dir && t.out_dir == req.out_dir,
+        }
+    }
+}
+
+/// Reference to one virtual channel at a router: the input side it hangs
+/// off plus its index within that side's VC list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VcRef {
+    /// Input side (mesh direction of the link, or `Local` for injection).
+    pub dir: Direction,
+    /// Index within the input side's VC list.
+    pub idx: u8,
+}
+
+impl VcRef {
+    /// Creates a reference.
+    pub const fn new(dir: Direction, idx: u8) -> Self {
+        VcRef { dir, idx }
+    }
+}
+
+impl fmt::Display for VcRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.dir, self.idx)
+    }
+}
+
+/// A credit returned upstream when a flit leaves a VC buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Credit {
+    /// Index of the VC (within the receiving link's VC list) that freed a slot.
+    pub vc: u8,
+    /// `true` when the departing flit was the packet tail, making the VC
+    /// available for re-allocation upstream.
+    pub vc_freed: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Direction::*;
+
+    #[test]
+    fn class_derivation_matches_table_semantics() {
+        // Eastbound through-traffic: arrives on West port, leaves East.
+        assert_eq!(VcClass::derive(West, East), VcClass::Dx);
+        assert_eq!(VcClass::derive(East, West), VcClass::Dx);
+        assert_eq!(VcClass::derive(North, South), VcClass::Dy);
+        assert_eq!(VcClass::derive(South, North), VcClass::Dy);
+        // Turns.
+        assert_eq!(VcClass::derive(West, North), VcClass::Txy);
+        assert_eq!(VcClass::derive(East, South), VcClass::Txy);
+        assert_eq!(VcClass::derive(North, East), VcClass::Tyx);
+        assert_eq!(VcClass::derive(South, West), VcClass::Tyx);
+        // Injection.
+        assert_eq!(VcClass::derive(Local, East), VcClass::InjXy);
+        assert_eq!(VcClass::derive(Local, North), VcClass::InjYx);
+        // Ejection.
+        assert_eq!(VcClass::derive(East, Local), VcClass::Eject);
+    }
+
+    #[test]
+    #[should_panic(expected = "U-turn")]
+    fn u_turn_is_rejected() {
+        let _ = VcClass::derive(East, East);
+    }
+
+    #[test]
+    fn output_axis_per_class() {
+        assert_eq!(VcClass::Dx.output_axis(), Some(Axis::X));
+        assert_eq!(VcClass::Tyx.output_axis(), Some(Axis::X));
+        assert_eq!(VcClass::InjXy.output_axis(), Some(Axis::X));
+        assert_eq!(VcClass::Dy.output_axis(), Some(Axis::Y));
+        assert_eq!(VcClass::Txy.output_axis(), Some(Axis::Y));
+        assert_eq!(VcClass::InjYx.output_axis(), Some(Axis::Y));
+        assert_eq!(VcClass::Eject.output_axis(), None);
+    }
+
+    #[test]
+    fn admission_rules() {
+        assert!(VcAdmission::Any.admits(VcClass::Dx));
+        assert!(VcAdmission::Any.admits(VcClass::Eject));
+        assert!(VcAdmission::Class(VcClass::Txy).admits(VcClass::Txy));
+        assert!(!VcAdmission::Class(VcClass::Txy).admits(VcClass::Dx));
+    }
+
+    fn req(in_dir: Direction, out_dir: Direction) -> VcRequest {
+        VcRequest { in_dir, out_dir, order: crate::geometry::AxisOrder::Xy, quadrant_mask: 0b1111 }
+    }
+
+    #[test]
+    fn descriptor_turn_filter() {
+        let vc = VcDescriptor::new(VcAdmission::Class(VcClass::Txy), 5)
+            .escape()
+            .with_turn(East, South);
+        assert!(vc.accepts(&req(East, South)));
+        // Same class, wrong turn.
+        assert!(!vc.accepts(&req(East, North)));
+        assert!(!vc.accepts(&req(West, South)));
+        // Wrong class entirely.
+        assert!(!vc.accepts(&req(West, East)));
+        assert!(vc.escape);
+    }
+
+    #[test]
+    fn descriptor_without_turn_accepts_whole_class() {
+        let vc = VcDescriptor::new(VcAdmission::Class(VcClass::Dx), 5);
+        assert!(vc.accepts(&req(West, East)));
+        assert!(vc.accepts(&req(East, West)));
+        assert!(!vc.accepts(&req(West, North)));
+    }
+
+    #[test]
+    fn descriptor_order_filter() {
+        use crate::geometry::AxisOrder::Yx;
+        let vc = VcDescriptor::new(VcAdmission::Class(VcClass::Dx), 5).with_order(Yx);
+        let mut r = req(West, East);
+        r.order = Yx;
+        assert!(vc.accepts(&r));
+        assert!(!vc.accepts(&req(West, East)), "XY packets excluded from a YX-class channel");
+    }
+
+    #[test]
+    fn descriptor_quadrant_and_arrival_filters() {
+        // A Path-Sensitive NE path-set VC reserved for flits arriving
+        // from the West port.
+        let vc = VcDescriptor::new(VcAdmission::Any, 5).with_quadrant(0).with_arrival(West);
+        let mut r = req(West, East);
+        r.quadrant_mask = 0b0001; // NE only
+        assert!(vc.accepts(&r));
+        r.quadrant_mask = 0b0100; // SE only
+        assert!(!vc.accepts(&r), "wrong quadrant rejected");
+        r.quadrant_mask = 0b0101; // aligned destination: NE or SE
+        assert!(vc.accepts(&r), "aligned destinations match both sets");
+        let mut r = req(South, North);
+        r.quadrant_mask = 0b0001;
+        assert!(!vc.accepts(&r), "wrong arrival port rejected");
+    }
+
+    #[test]
+    fn zero_capacity_vc_rejects_everything() {
+        let vc = VcDescriptor::new(VcAdmission::Any, 0);
+        assert!(!vc.accepts(&req(West, East)), "a faulted-out VC admits nothing");
+    }
+
+    #[test]
+    fn vc_ref_display() {
+        assert_eq!(VcRef::new(East, 2).to_string(), "E#2");
+    }
+}

@@ -1,0 +1,133 @@
+//! Energy accounting: activity counters × energy profile.
+
+use crate::profile::RouterEnergyProfile;
+use noc_core::ActivityCounters;
+use serde::{Deserialize, Serialize};
+
+/// Energy consumed by one router (or a whole network of identical
+/// routers), broken down by component. All values in joules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Buffer read + write energy.
+    pub buffers: f64,
+    /// Crossbar traversal energy.
+    pub crossbar: f64,
+    /// VA + SA arbitration energy.
+    pub arbitration: f64,
+    /// Route-computation energy.
+    pub routing: f64,
+    /// Link traversal energy.
+    pub links: f64,
+    /// Leakage energy over the clocked cycles.
+    pub leakage: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total dynamic energy (everything but leakage).
+    pub fn dynamic(&self) -> f64 {
+        self.buffers + self.crossbar + self.arbitration + self.routing + self.links
+    }
+
+    /// Total energy including leakage.
+    pub fn total(&self) -> f64 {
+        self.dynamic() + self.leakage
+    }
+
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        self.buffers += other.buffers;
+        self.crossbar += other.crossbar;
+        self.arbitration += other.arbitration;
+        self.routing += other.routing;
+        self.links += other.links;
+        self.leakage += other.leakage;
+    }
+}
+
+/// Converts activity counters into energy using a router profile
+/// (the paper's back-annotation step, §5.2).
+pub fn energy_of(counters: &ActivityCounters, profile: &RouterEnergyProfile) -> EnergyBreakdown {
+    EnergyBreakdown {
+        buffers: counters.buffer_writes as f64 * profile.buffer_write
+            + counters.buffer_reads as f64 * profile.buffer_read,
+        crossbar: counters.crossbar_traversals as f64 * profile.crossbar,
+        arbitration: counters.va_local_arbs as f64 * profile.va_local
+            + counters.va_global_arbs as f64 * profile.va_global
+            + counters.sa_local_arbs as f64 * profile.sa_local
+            + counters.sa_global_arbs as f64 * profile.sa_global,
+        routing: counters.rc_computations as f64 * profile.rc,
+        links: counters.link_traversals as f64 * profile.link,
+        leakage: counters.cycles as f64 * profile.leakage_per_cycle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::{RouterConfig, RouterKind, RoutingKind};
+
+    fn profile() -> RouterEnergyProfile {
+        RouterEnergyProfile::synthesized(&RouterConfig::paper(RouterKind::RoCo, RoutingKind::Xy))
+    }
+
+    #[test]
+    fn zero_activity_only_leaks() {
+        let counters = ActivityCounters { cycles: 100, ..Default::default() };
+        let e = energy_of(&counters, &profile());
+        assert_eq!(e.dynamic(), 0.0);
+        assert!(e.leakage > 0.0);
+        assert_eq!(e.total(), e.leakage);
+    }
+
+    #[test]
+    fn accounting_is_linear_in_activity() {
+        let c1 = ActivityCounters {
+            buffer_writes: 10,
+            buffer_reads: 10,
+            crossbar_traversals: 10,
+            link_traversals: 10,
+            va_local_arbs: 5,
+            va_global_arbs: 5,
+            sa_local_arbs: 5,
+            sa_global_arbs: 5,
+            rc_computations: 5,
+            early_ejections: 2,
+            cycles: 50,
+            blocked_packets: 0,
+        };
+        let mut c2 = c1;
+        c2.merge(&c1);
+        let p = profile();
+        let e1 = energy_of(&c1, &p);
+        let e2 = energy_of(&c2, &p);
+        assert!((e2.total() - 2.0 * e1.total()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn merge_sums_components() {
+        let a = EnergyBreakdown { buffers: 1.0, crossbar: 2.0, ..Default::default() };
+        let mut b = EnergyBreakdown { links: 3.0, leakage: 4.0, ..Default::default() };
+        b.merge(&a);
+        assert_eq!(b.buffers, 1.0);
+        assert_eq!(b.crossbar, 2.0);
+        assert_eq!(b.links, 3.0);
+        assert_eq!(b.leakage, 4.0);
+        assert_eq!(b.dynamic(), 6.0);
+        assert_eq!(b.total(), 10.0);
+    }
+
+    #[test]
+    fn early_ejection_saves_energy() {
+        // A flit handled by Early Ejection skips crossbar traversal; the
+        // same traffic with crossbar passes must cost more.
+        let p = profile();
+        let early = ActivityCounters { buffer_writes: 1, early_ejections: 1, ..Default::default() };
+        let through = ActivityCounters {
+            buffer_writes: 1,
+            buffer_reads: 1,
+            crossbar_traversals: 1,
+            ..Default::default()
+        };
+        assert!(energy_of(&early, &p).total() < energy_of(&through, &p).total());
+    }
+}

@@ -1,0 +1,31 @@
+//! # noc-power
+//!
+//! Energy modelling for the RoCo reproduction: per-component energy
+//! profiles derived from structural scaling laws (the substitution for
+//! the paper's 90 nm synthesis numbers — see DESIGN.md §4), activity-
+//! counter-based accounting, and the Performance-Energy-Fault (PEF)
+//! metric of §5.3.
+//!
+//! # Examples
+//!
+//! ```
+//! use noc_core::{ActivityCounters, RouterConfig, RouterKind, RoutingKind};
+//! use noc_power::{energy_of, RouterEnergyProfile};
+//!
+//! let cfg = RouterConfig::paper(RouterKind::RoCo, RoutingKind::Xy);
+//! let profile = RouterEnergyProfile::synthesized(&cfg);
+//! let counters = ActivityCounters { buffer_writes: 100, cycles: 1_000, ..Default::default() };
+//! let energy = energy_of(&counters, &profile);
+//! assert!(energy.total() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod account;
+mod pef;
+mod profile;
+
+pub use account::{energy_of, EnergyBreakdown};
+pub use pef::PefInputs;
+pub use profile::RouterEnergyProfile;

@@ -1,0 +1,87 @@
+//! The Performance-Energy-Fault-tolerance (PEF) metric (§5.3).
+//!
+//! `PEF = (average latency × energy per packet) / completion probability`
+//! — the Energy-Delay Product divided by the packet completion
+//! probability, so that in a fault-free network (completion = 1) PEF
+//! reduces to EDP.
+
+use serde::{Deserialize, Serialize};
+
+/// The three measurements PEF combines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PefInputs {
+    /// Average end-to-end packet latency in cycles.
+    pub avg_latency_cycles: f64,
+    /// Total network energy divided by delivered packets, in joules.
+    pub energy_per_packet: f64,
+    /// Received messages / injected messages, in `[0, 1]`.
+    pub completion_probability: f64,
+}
+
+impl PefInputs {
+    /// Energy-Delay Product in joule-cycles.
+    pub fn edp(&self) -> f64 {
+        self.avg_latency_cycles * self.energy_per_packet
+    }
+
+    /// The PEF metric in joule-cycles per unit completion probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `completion_probability` is not in `(0, 1]` — a
+    /// network that delivered nothing has no meaningful PEF.
+    pub fn pef(&self) -> f64 {
+        assert!(
+            self.completion_probability > 0.0 && self.completion_probability <= 1.0,
+            "completion probability must be in (0, 1]"
+        );
+        self.edp() / self.completion_probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_pef_equals_edp() {
+        let m = PefInputs {
+            avg_latency_cycles: 25.0,
+            energy_per_packet: 0.8e-9,
+            completion_probability: 1.0,
+        };
+        assert!((m.pef() - m.edp()).abs() < 1e-24);
+    }
+
+    #[test]
+    fn lower_completion_raises_pef() {
+        let good = PefInputs {
+            avg_latency_cycles: 25.0,
+            energy_per_packet: 0.8e-9,
+            completion_probability: 1.0,
+        };
+        let faulty = PefInputs { completion_probability: 0.5, ..good };
+        assert!((faulty.pef() - 2.0 * good.pef()).abs() < 1e-24);
+    }
+
+    #[test]
+    fn edp_value() {
+        let m = PefInputs {
+            avg_latency_cycles: 10.0,
+            energy_per_packet: 2.0,
+            completion_probability: 1.0,
+        };
+        assert_eq!(m.edp(), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "completion probability")]
+    fn zero_completion_panics() {
+        let m = PefInputs {
+            avg_latency_cycles: 10.0,
+            energy_per_packet: 2.0,
+            completion_probability: 0.0,
+        };
+        let _ = m.pef();
+    }
+}

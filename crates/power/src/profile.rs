@@ -1,0 +1,178 @@
+//! Per-component energy profiles for the three router architectures.
+//!
+//! The paper extracts dynamic and leakage power from Synopsys DC
+//! synthesis of RTL in TSMC 90 nm (1 V, 500 MHz, 50 % switching) and
+//! back-annotates the numbers into the simulator (§5.2). Without the
+//! authors' standard-cell flow we instead *derive* each component's
+//! per-operation energy from structural scaling laws — buffer energy ∝
+//! flit width, crossbar energy ∝ port count × width (with a
+//! connectivity factor for decomposed fabrics), arbiter energy ∝
+//! (requester count)², link energy ∝ width — normalized so the generic
+//! 5-port router lands at published 90 nm Orion-class magnitudes
+//! (≈ 1 nJ per packet network-wide at 0.3 injection, matching Fig 13's
+//! axis). Every §5 energy claim is relative, and the relative numbers
+//! come from exactly these structural differences. See DESIGN.md §4.
+
+use noc_core::{RouterConfig, RouterKind};
+use serde::{Deserialize, Serialize};
+
+/// Joules per bit written into a buffer (90 nm register-file write).
+const E_BIT_WRITE: f64 = 62.5e-15;
+/// Joules per bit read out of a buffer.
+const E_BIT_READ: f64 = 47.0e-15;
+/// Joules per bit per crossbar port at 90 nm.
+const E_BIT_XBAR_PORT: f64 = 14.0e-15;
+/// Joules per arbiter requester-pair (energy ∝ requesters²).
+const E_ARB_UNIT: f64 = 14.0e-15;
+/// Joules per bit for one inter-router link traversal (~1 mm at 90 nm).
+const E_BIT_LINK: f64 = 100.0e-15;
+/// Joules per route computation (small combinational block).
+const E_RC: f64 = 0.5e-12;
+/// Leakage joules per buffered bit per cycle.
+const LEAK_PER_BIT_CYCLE: f64 = 1.3e-16;
+/// Leakage joules per crossbar cross-point per cycle.
+const LEAK_PER_XPOINT_CYCLE: f64 = 20.0e-15;
+
+/// Per-operation dynamic energies and per-cycle leakage for one router.
+///
+/// All values are in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouterEnergyProfile {
+    /// Energy per flit buffer write.
+    pub buffer_write: f64,
+    /// Energy per flit buffer read.
+    pub buffer_read: f64,
+    /// Energy per flit crossbar traversal.
+    pub crossbar: f64,
+    /// Energy per first-stage VA arbitration.
+    pub va_local: f64,
+    /// Energy per second-stage VA arbitration.
+    pub va_global: f64,
+    /// Energy per first-stage SA arbitration.
+    pub sa_local: f64,
+    /// Energy per second-stage SA arbitration.
+    pub sa_global: f64,
+    /// Energy per route computation.
+    pub rc: f64,
+    /// Energy per flit link traversal.
+    pub link: f64,
+    /// Leakage energy per clocked cycle for the whole router.
+    pub leakage_per_cycle: f64,
+}
+
+/// Quadratic arbiter energy for an `r`-requester arbiter.
+fn arb_energy(requesters: f64) -> f64 {
+    E_ARB_UNIT * requesters * requesters
+}
+
+impl RouterEnergyProfile {
+    /// Derives the profile for `cfg` from the structural scaling laws
+    /// described in the module docs, mirroring the architectural
+    /// differences of Fig 1, Fig 2 and Fig 4:
+    ///
+    /// * generic — monolithic 5×5 crossbar, `5v:1` VA arbiters, `5:1`
+    ///   SA output arbiters;
+    /// * Path-Sensitive — 4×4 decomposed crossbar with half the
+    ///   connections, two path sets competing per output;
+    /// * RoCo — two 2×2 crossbars, `2v:1` VA arbiters, a single `2:1`
+    ///   mirror arbiter per module.
+    pub fn synthesized(cfg: &RouterConfig) -> Self {
+        let bits = cfg.flit_bits as f64;
+        let v = cfg.vcs_per_port as f64;
+        let (xbar_ports, xbar_connectivity, va_global_r, sa_global_r) = match cfg.router {
+            // 5 ports, full crossbar; Fig 2 left: 5v:1 second-stage VA.
+            RouterKind::Generic => (5.0, 1.0, 5.0 * v, 5.0),
+            // 4×4 decomposed crossbar "with half the connections of a
+            // full crossbar" (§2); two quadrant sets per output.
+            RouterKind::PathSensitive => (4.0, 0.75, 2.0 * v + 2.0, 2.0),
+            // Two 2×2 modules; Fig 2 right: 2v:1 VA; Fig 4: one 2:1
+            // mirror arbiter per module.
+            RouterKind::RoCo => (2.0, 1.0, 2.0 * v, 2.0),
+        };
+        let buffer_bits = cfg.total_buffer_flits() as f64 * bits;
+        let xpoints = xbar_ports * xbar_ports * xbar_connectivity
+            * if cfg.router == RouterKind::RoCo { 2.0 } else { 1.0 };
+        RouterEnergyProfile {
+            buffer_write: bits * E_BIT_WRITE,
+            buffer_read: bits * E_BIT_READ,
+            crossbar: bits * E_BIT_XBAR_PORT * xbar_ports * xbar_connectivity,
+            va_local: arb_energy(v),
+            va_global: arb_energy(va_global_r),
+            sa_local: arb_energy(v),
+            sa_global: arb_energy(sa_global_r),
+            rc: E_RC,
+            link: bits * E_BIT_LINK,
+            leakage_per_cycle: buffer_bits * LEAK_PER_BIT_CYCLE
+                + xpoints * LEAK_PER_XPOINT_CYCLE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::RoutingKind;
+
+    fn profile(kind: RouterKind) -> RouterEnergyProfile {
+        RouterEnergyProfile::synthesized(&RouterConfig::paper(kind, RoutingKind::Xy))
+    }
+
+    #[test]
+    fn crossbar_energy_ordering_matches_structure() {
+        let g = profile(RouterKind::Generic);
+        let p = profile(RouterKind::PathSensitive);
+        let r = profile(RouterKind::RoCo);
+        assert!(g.crossbar > p.crossbar, "5x5 beats decomposed 4x4");
+        assert!(p.crossbar > r.crossbar, "decomposed 4x4 beats 2x2");
+        // §3.1: RoCo's 2x2 traversal should be markedly cheaper.
+        assert!(r.crossbar < 0.5 * g.crossbar);
+    }
+
+    #[test]
+    fn va_arbiter_energy_ordering() {
+        let g = profile(RouterKind::Generic);
+        let r = profile(RouterKind::RoCo);
+        // Fig 2: 5v:1 vs 2v:1 arbiters => quadratic energy gap.
+        assert!(g.va_global > 4.0 * r.va_global);
+    }
+
+    #[test]
+    fn buffer_energy_identical_across_architectures() {
+        // All three designs hold 60 flits of 128-bit buffering (§5.4).
+        let g = profile(RouterKind::Generic);
+        let p = profile(RouterKind::PathSensitive);
+        let r = profile(RouterKind::RoCo);
+        assert_eq!(g.buffer_write, p.buffer_write);
+        assert_eq!(g.buffer_write, r.buffer_write);
+        assert_eq!(g.buffer_read, r.buffer_read);
+    }
+
+    #[test]
+    fn leakage_ordering() {
+        let g = profile(RouterKind::Generic);
+        let p = profile(RouterKind::PathSensitive);
+        let r = profile(RouterKind::RoCo);
+        assert!(g.leakage_per_cycle > p.leakage_per_cycle);
+        assert!(p.leakage_per_cycle > r.leakage_per_cycle);
+    }
+
+    #[test]
+    fn magnitudes_are_plausible_90nm() {
+        let g = profile(RouterKind::Generic);
+        // Buffer write for a 128-bit flit: single-digit picojoules.
+        assert!(g.buffer_write > 1e-12 && g.buffer_write < 20e-12);
+        assert!(g.crossbar > 5e-12 && g.crossbar < 30e-12);
+        assert!(g.link > 5e-12 && g.link < 30e-12);
+        assert!(g.leakage_per_cycle > 0.1e-12 && g.leakage_per_cycle < 10e-12);
+    }
+
+    #[test]
+    fn scaling_with_flit_width() {
+        let mut cfg = RouterConfig::paper(RouterKind::Generic, RoutingKind::Xy);
+        let narrow = RouterEnergyProfile::synthesized(&cfg);
+        cfg.flit_bits = 256;
+        let wide = RouterEnergyProfile::synthesized(&cfg);
+        assert!((wide.buffer_write / narrow.buffer_write - 2.0).abs() < 1e-9);
+        assert!((wide.link / narrow.link - 2.0).abs() < 1e-9);
+    }
+}

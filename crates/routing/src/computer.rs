@@ -1,0 +1,226 @@
+//! The route computer shared by all router architectures.
+//!
+//! Routers perform *look-ahead* routing (§3.1): the output port a flit
+//! takes at router `B` is computed one hop upstream at `A`, so the flit
+//! can be steered into the correct path-set buffer by `B`'s input DEMUX
+//! the moment it arrives (Guided Flit Queuing).
+
+use crate::dor::{ordered_route, DirSet};
+use crate::odd_even::odd_even_candidates;
+use crate::west_first::west_first_candidates;
+use noc_core::{AxisOrder, Coord, Direction, MeshConfig, RoutingKind};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Stateless route computation for one mesh under one routing algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteComputer {
+    routing: RoutingKind,
+    mesh: MeshConfig,
+}
+
+impl RouteComputer {
+    /// Creates a computer for `routing` over `mesh`.
+    pub fn new(routing: RoutingKind, mesh: MeshConfig) -> Self {
+        RouteComputer { routing, mesh }
+    }
+
+    /// The routing algorithm in use.
+    pub fn routing(&self) -> RoutingKind {
+        self.routing
+    }
+
+    /// The mesh dimensions.
+    pub fn mesh(&self) -> MeshConfig {
+        self.mesh
+    }
+
+    /// Picks the dimension order a freshly injected packet commits to.
+    ///
+    /// Under XY-YX routing, *northbound* packets flip a fair coin
+    /// between XY and YX; southbound and Y-aligned packets always use
+    /// XY. Forbidding southbound→X turns is what makes the oblivious
+    /// mix provably deadlock-free on shared channels (a turn-model
+    /// argument: any channel-dependency cycle must traverse a southbound
+    /// segment and exit it through a southbound→X turn, which never
+    /// occurs) — a documented deviation from an unrestricted 50/50 mix,
+    /// see DESIGN.md.
+    pub fn choose_order(&self, src: Coord, dst: Coord, rng: &mut SmallRng) -> AxisOrder {
+        match self.routing {
+            RoutingKind::XyYx if dst.y < src.y => {
+                if rng.gen_bool(0.5) {
+                    AxisOrder::Xy
+                } else {
+                    AxisOrder::Yx
+                }
+            }
+            _ => AxisOrder::Xy,
+        }
+    }
+
+    /// The deterministic (escape-compliant) route at `cur` towards
+    /// `dst` for a packet committed to `order`. This is the only legal
+    /// route under XY and XY-YX, and the escape route under adaptive
+    /// routing. Returns [`Direction::Local`] at the destination.
+    pub fn deterministic_route(&self, cur: Coord, dst: Coord, order: AxisOrder) -> Direction {
+        match self.routing {
+            RoutingKind::Xy | RoutingKind::Adaptive | RoutingKind::AdaptiveOddEven => {
+                ordered_route(AxisOrder::Xy, cur, dst)
+            }
+            RoutingKind::XyYx => ordered_route(order, cur, dst),
+        }
+    }
+
+    /// All legal output directions at `cur` for a packet from `src`
+    /// towards `dst` committed to `order`. Deterministic algorithms
+    /// return a singleton; adaptive routing returns the west-first
+    /// (default) or odd-even (extension) candidate set. An empty set
+    /// means "eject here".
+    pub fn candidates(&self, src: Coord, cur: Coord, dst: Coord, order: AxisOrder) -> DirSet {
+        if cur == dst {
+            return DirSet::new();
+        }
+        match self.routing {
+            RoutingKind::Xy => DirSet::single(ordered_route(AxisOrder::Xy, cur, dst)),
+            RoutingKind::XyYx => DirSet::single(ordered_route(order, cur, dst)),
+            RoutingKind::Adaptive => west_first_candidates(cur, dst),
+            RoutingKind::AdaptiveOddEven => odd_even_candidates(src, cur, dst),
+        }
+    }
+
+    /// Look-ahead route selection: at the router upstream of `next`,
+    /// choose the output port the packet will take *at* `next`. The
+    /// `score` closure rates each candidate (higher = less congested,
+    /// e.g. free downstream credits); ties and empty information fall
+    /// back to a random choice among the best.
+    ///
+    /// Returns [`Direction::Local`] when `next == dst`.
+    pub fn lookahead_route(
+        &self,
+        src: Coord,
+        next: Coord,
+        dst: Coord,
+        order: AxisOrder,
+        rng: &mut SmallRng,
+        mut score: impl FnMut(Direction) -> i64,
+    ) -> Direction {
+        let cands = self.candidates(src, next, dst, order);
+        match cands.len() {
+            0 => Direction::Local,
+            1 => cands.iter().next().expect("len checked"),
+            _ => {
+                let best = cands.iter().map(&mut score).max().expect("non-empty");
+                let tied: Vec<Direction> =
+                    cands.iter().filter(|&d| score(d) == best).collect();
+                tied[rng.gen_range(0..tied.len())]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn computer(kind: RoutingKind) -> RouteComputer {
+        RouteComputer::new(kind, MeshConfig::new(8, 8))
+    }
+
+    #[test]
+    fn order_choice_per_algorithm() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let north = (Coord::new(3, 5), Coord::new(6, 1)); // dst north of src
+        let south = (Coord::new(3, 1), Coord::new(6, 5));
+        assert_eq!(
+            computer(RoutingKind::Xy).choose_order(north.0, north.1, &mut rng),
+            AxisOrder::Xy
+        );
+        assert_eq!(
+            computer(RoutingKind::Adaptive).choose_order(north.0, north.1, &mut rng),
+            AxisOrder::Xy
+        );
+        let c = computer(RoutingKind::XyYx);
+        let picks: Vec<AxisOrder> =
+            (0..100).map(|_| c.choose_order(north.0, north.1, &mut rng)).collect();
+        assert!(picks.contains(&AxisOrder::Xy));
+        assert!(picks.contains(&AxisOrder::Yx), "northbound packets mix in YX");
+        // Southbound packets never pick YX (deadlock-freedom restriction).
+        for _ in 0..100 {
+            assert_eq!(c.choose_order(south.0, south.1, &mut rng), AxisOrder::Xy);
+        }
+    }
+
+    #[test]
+    fn deterministic_routes() {
+        let cur = Coord::new(2, 2);
+        let dst = Coord::new(5, 5);
+        assert_eq!(
+            computer(RoutingKind::Xy).deterministic_route(cur, dst, AxisOrder::Xy),
+            Direction::East
+        );
+        assert_eq!(
+            computer(RoutingKind::XyYx).deterministic_route(cur, dst, AxisOrder::Yx),
+            Direction::South
+        );
+        // Adaptive escape ignores the packet order and uses XY.
+        assert_eq!(
+            computer(RoutingKind::Adaptive).deterministic_route(cur, dst, AxisOrder::Yx),
+            Direction::East
+        );
+    }
+
+    #[test]
+    fn candidates_cardinality() {
+        let src = Coord::new(0, 0);
+        let dst = Coord::new(5, 5);
+        assert_eq!(computer(RoutingKind::Xy).candidates(src, src, dst, AxisOrder::Xy).len(), 1);
+        assert_eq!(computer(RoutingKind::XyYx).candidates(src, src, dst, AxisOrder::Yx).len(), 1);
+        let a = computer(RoutingKind::Adaptive).candidates(src, src, dst, AxisOrder::Xy);
+        assert!(a.len() >= 1);
+        assert!(computer(RoutingKind::Xy).candidates(src, dst, dst, AxisOrder::Xy).is_empty());
+    }
+
+    #[test]
+    fn lookahead_prefers_high_score() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let c = computer(RoutingKind::Adaptive);
+        // At (1,1) from (1,1) to (4,4): odd column -> both E and S legal.
+        let src = Coord::new(1, 1);
+        let dst = Coord::new(4, 4);
+        let picked = c.lookahead_route(src, src, dst, AxisOrder::Xy, &mut rng, |d| {
+            if d == Direction::South {
+                10
+            } else {
+                0
+            }
+        });
+        assert_eq!(picked, Direction::South);
+    }
+
+    #[test]
+    fn lookahead_at_destination_is_local() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let c = computer(RoutingKind::Xy);
+        let dst = Coord::new(3, 3);
+        assert_eq!(
+            c.lookahead_route(Coord::new(0, 0), dst, dst, AxisOrder::Xy, &mut rng, |_| 0),
+            Direction::Local
+        );
+    }
+
+    #[test]
+    fn lookahead_ties_are_random_but_legal() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let c = computer(RoutingKind::Adaptive);
+        let src = Coord::new(1, 1);
+        let dst = Coord::new(6, 6);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let d = c.lookahead_route(src, src, dst, AxisOrder::Xy, &mut rng, |_| 0);
+            assert!(c.candidates(src, src, dst, AxisOrder::Xy).contains(d));
+            seen.insert(d);
+        }
+        assert!(seen.len() > 1, "ties should explore multiple candidates");
+    }
+}

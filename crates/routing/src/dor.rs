@@ -1,0 +1,214 @@
+//! Deterministic dimension-order routing (XY / YX) and minimal-route
+//! helpers.
+
+use noc_core::{AxisOrder, Coord, Direction};
+
+/// A set of up to two candidate output directions (a minimal route in a
+/// 2D mesh never has more than two productive directions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirSet {
+    dirs: [Option<Direction>; 2],
+}
+
+impl DirSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A singleton set.
+    pub fn single(dir: Direction) -> Self {
+        DirSet { dirs: [Some(dir), None] }
+    }
+
+    /// Adds a direction (ignored if already present).
+    ///
+    /// # Panics
+    ///
+    /// Panics when inserting a third distinct direction.
+    pub fn push(&mut self, dir: Direction) {
+        if self.contains(dir) {
+            return;
+        }
+        if self.dirs[0].is_none() {
+            self.dirs[0] = Some(dir);
+        } else if self.dirs[1].is_none() {
+            self.dirs[1] = Some(dir);
+        } else {
+            panic!("a minimal route has at most two productive directions");
+        }
+    }
+
+    /// Whether `dir` is in the set.
+    pub fn contains(&self, dir: Direction) -> bool {
+        self.dirs.iter().flatten().any(|&d| d == dir)
+    }
+
+    /// Number of directions held (0–2).
+    pub fn len(&self) -> usize {
+        self.dirs.iter().flatten().count()
+    }
+
+    /// `true` when no direction is held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over the held directions.
+    pub fn iter(&self) -> impl Iterator<Item = Direction> + '_ {
+        self.dirs.iter().flatten().copied()
+    }
+
+    /// Removes directions not satisfying `keep`.
+    pub fn retain(&mut self, mut keep: impl FnMut(Direction) -> bool) {
+        let kept: Vec<Direction> = self.iter().filter(|&d| keep(d)).collect();
+        self.dirs = [None, None];
+        for d in kept {
+            self.push(d);
+        }
+    }
+}
+
+impl FromIterator<Direction> for DirSet {
+    fn from_iter<T: IntoIterator<Item = Direction>>(iter: T) -> Self {
+        let mut s = DirSet::new();
+        for d in iter {
+            s.push(d);
+        }
+        s
+    }
+}
+
+/// Dimension-order XY route: exhaust X hops, then Y hops.
+/// Returns [`Direction::Local`] when `cur == dst`.
+pub fn xy_route(cur: Coord, dst: Coord) -> Direction {
+    cur.direction_towards_x(dst)
+        .or_else(|| cur.direction_towards_y(dst))
+        .unwrap_or(Direction::Local)
+}
+
+/// YX route: exhaust Y hops, then X hops.
+pub fn yx_route(cur: Coord, dst: Coord) -> Direction {
+    cur.direction_towards_y(dst)
+        .or_else(|| cur.direction_towards_x(dst))
+        .unwrap_or(Direction::Local)
+}
+
+/// Route under the given dimension order.
+pub fn ordered_route(order: AxisOrder, cur: Coord, dst: Coord) -> Direction {
+    match order {
+        AxisOrder::Xy => xy_route(cur, dst),
+        AxisOrder::Yx => yx_route(cur, dst),
+    }
+}
+
+/// All productive (distance-reducing) directions from `cur` towards
+/// `dst`; empty when already there.
+pub fn productive_directions(cur: Coord, dst: Coord) -> DirSet {
+    let mut set = DirSet::new();
+    if let Some(d) = cur.direction_towards_x(dst) {
+        set.push(d);
+    }
+    if let Some(d) = cur.direction_towards_y(dst) {
+        set.push(d);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xy_exhausts_x_first() {
+        let cur = Coord::new(2, 2);
+        assert_eq!(xy_route(cur, Coord::new(5, 0)), Direction::East);
+        assert_eq!(xy_route(cur, Coord::new(0, 7)), Direction::West);
+        assert_eq!(xy_route(cur, Coord::new(2, 0)), Direction::North);
+        assert_eq!(xy_route(cur, Coord::new(2, 5)), Direction::South);
+        assert_eq!(xy_route(cur, cur), Direction::Local);
+    }
+
+    #[test]
+    fn yx_exhausts_y_first() {
+        let cur = Coord::new(2, 2);
+        assert_eq!(yx_route(cur, Coord::new(5, 0)), Direction::North);
+        assert_eq!(yx_route(cur, Coord::new(5, 2)), Direction::East);
+        assert_eq!(yx_route(cur, cur), Direction::Local);
+    }
+
+    #[test]
+    fn ordered_route_dispatches() {
+        let cur = Coord::new(1, 1);
+        let dst = Coord::new(3, 3);
+        assert_eq!(ordered_route(AxisOrder::Xy, cur, dst), Direction::East);
+        assert_eq!(ordered_route(AxisOrder::Yx, cur, dst), Direction::South);
+    }
+
+    #[test]
+    fn productive_directions_cases() {
+        let cur = Coord::new(3, 3);
+        let both = productive_directions(cur, Coord::new(5, 1));
+        assert_eq!(both.len(), 2);
+        assert!(both.contains(Direction::East));
+        assert!(both.contains(Direction::North));
+
+        let one = productive_directions(cur, Coord::new(3, 6));
+        assert_eq!(one.len(), 1);
+        assert!(one.contains(Direction::South));
+
+        assert!(productive_directions(cur, cur).is_empty());
+    }
+
+    #[test]
+    fn xy_routes_are_minimal_everywhere() {
+        // Following xy_route step by step always reaches dst in exactly
+        // the Manhattan distance.
+        for sy in 0..5u16 {
+            for sx in 0..5u16 {
+                for dy in 0..5u16 {
+                    for dx in 0..5u16 {
+                        let dst = Coord::new(dx, dy);
+                        let mut cur = Coord::new(sx, sy);
+                        let mut hops = 0;
+                        while cur != dst {
+                            let dir = xy_route(cur, dst);
+                            cur = cur.neighbor(dir, 5, 5).expect("route stays in mesh");
+                            hops += 1;
+                            assert!(hops <= 8, "route is not minimal");
+                        }
+                        assert_eq!(hops, Coord::new(sx, sy).manhattan_distance(dst));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dirset_push_and_retain() {
+        let mut s = DirSet::new();
+        s.push(Direction::East);
+        s.push(Direction::East);
+        assert_eq!(s.len(), 1);
+        s.push(Direction::North);
+        assert_eq!(s.len(), 2);
+        s.retain(|d| d == Direction::North);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(Direction::North));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most two")]
+    fn dirset_rejects_third_direction() {
+        let mut s = DirSet::new();
+        s.push(Direction::East);
+        s.push(Direction::North);
+        s.push(Direction::West);
+    }
+
+    #[test]
+    fn dirset_from_iterator() {
+        let s: DirSet = [Direction::East, Direction::North, Direction::East].into_iter().collect();
+        assert_eq!(s.len(), 2);
+    }
+}

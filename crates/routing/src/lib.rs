@@ -1,0 +1,33 @@
+//! # noc-routing
+//!
+//! Routing algorithms for the RoCo reproduction: deterministic XY,
+//! oblivious XY-YX, minimal adaptive routing under the odd-even turn
+//! model, look-ahead (one-hop-ahead) route computation, and the
+//! destination-quadrant classification used by the Path-Sensitive
+//! baseline router.
+//!
+//! # Examples
+//!
+//! ```
+//! use noc_core::{AxisOrder, Coord, Direction, MeshConfig, RoutingKind};
+//! use noc_routing::RouteComputer;
+//!
+//! let rc = RouteComputer::new(RoutingKind::Xy, MeshConfig::new(8, 8));
+//! let dir = rc.deterministic_route(Coord::new(0, 0), Coord::new(3, 5), AxisOrder::Xy);
+//! assert_eq!(dir, Direction::East); // X hops first under XY routing
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod computer;
+mod dor;
+mod odd_even;
+mod quadrant;
+mod west_first;
+
+pub use computer::RouteComputer;
+pub use dor::{ordered_route, productive_directions, xy_route, yx_route, DirSet};
+pub use odd_even::odd_even_candidates;
+pub use quadrant::{quadrant_mask, quadrant_of, Quadrant};
+pub use west_first::west_first_candidates;

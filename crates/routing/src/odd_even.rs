@@ -1,0 +1,182 @@
+//! Minimal adaptive routing under the odd-even turn model.
+//!
+//! The paper evaluates "minimal adaptive routing" without pinning down
+//! the turn-restriction scheme; its DyAD citation ([13]) uses Chiu's
+//! odd-even turn model, which is deadlock-free for minimal routing
+//! without dedicated escape resources, so we adopt it here (documented
+//! substitution in DESIGN.md). The Table-1 escape channels are still
+//! instantiated and used as the paper describes — they carry the
+//! XY-compliant subset of traffic.
+//!
+//! Odd-even turn rules (columns indexed by `x`):
+//! * **Rule 1**: no East→North turn at a node in an even column, and no
+//!   North→West turn at a node in an odd column.
+//! * **Rule 2**: no East→South turn at a node in an even column, and no
+//!   South→West turn at a node in an odd column.
+
+use crate::dor::DirSet;
+use noc_core::{Coord, Direction};
+
+/// Whether a column index is even.
+fn even(x: u16) -> bool {
+    x % 2 == 0
+}
+
+/// The set of minimal directions a packet from `src` may take at `cur`
+/// towards `dst` under the odd-even turn model. Empty only when
+/// `cur == dst`.
+///
+/// The construction follows the `ROUTE` function of Chiu's paper (and
+/// its well-known Noxim implementation): westbound packets may only
+/// leave the West column-path at even columns; eastbound packets may
+/// only turn north/south at odd columns (or in the source column) and
+/// must not take their last East hop into an even destination column
+/// unless the vertical offset is already zero.
+pub fn odd_even_candidates(src: Coord, cur: Coord, dst: Coord) -> DirSet {
+    let mut set = DirSet::new();
+    if cur == dst {
+        return set;
+    }
+    let vertical = cur.direction_towards_y(dst);
+    match cur.direction_towards_x(dst) {
+        None => {
+            // Same column: straight vertical run (never restricted).
+            set.push(vertical.expect("cur != dst and aligned in X"));
+        }
+        Some(Direction::East) => {
+            match vertical {
+                None => set.push(Direction::East),
+                Some(v) => {
+                    // Turning E->N / E->S is forbidden at even columns
+                    // (rules 1 & 2), except in the source column where
+                    // the packet has not yet taken an East hop.
+                    if !even(cur.x) || cur.x == src.x {
+                        set.push(v);
+                    }
+                    // Continuing East is allowed unless the next column
+                    // is the (even) destination column, where the still
+                    // pending N->W/S->W-free completion would need a
+                    // forbidden turn pattern.
+                    if !even(dst.x) || dst.x.abs_diff(cur.x) != 1 {
+                        set.push(Direction::East);
+                    }
+                }
+            }
+        }
+        Some(Direction::West) => {
+            set.push(Direction::West);
+            // N->W / S->W turns happen at even columns only (rules 1&2
+            // dual); equivalently, a westbound packet may move
+            // vertically only when at an even column.
+            if let Some(v) = vertical {
+                if even(cur.x) {
+                    set.push(v);
+                }
+            }
+        }
+        Some(_) => unreachable!("direction_towards_x returns E/W only"),
+    }
+    assert!(!set.is_empty(), "odd-even candidates must be non-empty for cur != dst");
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustively walks every (src, dst) pair in a 6×6 mesh following
+    /// every possible candidate choice, asserting minimality and
+    /// termination (the candidate set is never a trap).
+    #[test]
+    fn all_paths_are_minimal_and_terminate() {
+        let n = 6u16;
+        for si in 0..(n * n) {
+            for di in 0..(n * n) {
+                let src = Coord::new(si % n, si / n);
+                let dst = Coord::new(di % n, di / n);
+                // DFS over all reachable (cur) states.
+                let mut stack = vec![src];
+                let mut seen = std::collections::HashSet::new();
+                while let Some(cur) = stack.pop() {
+                    if cur == dst || !seen.insert(cur) {
+                        continue;
+                    }
+                    let cands = odd_even_candidates(src, cur, dst);
+                    assert!(!cands.is_empty(), "trap at {cur} for {src}->{dst}");
+                    for d in cands.iter() {
+                        let next = cur.neighbor(d, n, n).expect("candidates stay in mesh");
+                        assert_eq!(
+                            next.manhattan_distance(dst) + 1,
+                            cur.manhattan_distance(dst),
+                            "non-minimal candidate {d} at {cur} for {src}->{dst}"
+                        );
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rule1_no_en_turn_at_even_column() {
+        // A packet that has already travelled East (src strictly west of
+        // cur) and sits at an even column with remaining E and N hops
+        // must not be offered the vertical turn.
+        let src = Coord::new(0, 4);
+        let cur = Coord::new(2, 4); // even column, not source column
+        let dst = Coord::new(5, 1);
+        let cands = odd_even_candidates(src, cur, dst);
+        assert!(cands.contains(Direction::East));
+        assert!(!cands.contains(Direction::North), "EN turn offered at even column");
+    }
+
+    #[test]
+    fn turns_allowed_at_odd_columns_eastbound() {
+        let src = Coord::new(0, 4);
+        let cur = Coord::new(3, 4); // odd column
+        let dst = Coord::new(5, 1);
+        let cands = odd_even_candidates(src, cur, dst);
+        assert!(cands.contains(Direction::North));
+    }
+
+    #[test]
+    fn westbound_vertical_only_at_even_columns() {
+        let src = Coord::new(5, 0);
+        let dst = Coord::new(0, 3);
+        let odd_col = Coord::new(3, 1);
+        let cands = odd_even_candidates(src, odd_col, dst);
+        assert!(cands.contains(Direction::West));
+        assert!(!cands.contains(Direction::South));
+
+        let even_col = Coord::new(2, 1);
+        let cands = odd_even_candidates(src, even_col, dst);
+        assert!(cands.contains(Direction::West));
+        assert!(cands.contains(Direction::South));
+    }
+
+    #[test]
+    fn source_column_turn_is_free() {
+        // In the source column an eastbound packet may turn vertically
+        // even at an even column (it has taken no East hop yet).
+        let src = Coord::new(2, 4);
+        let dst = Coord::new(5, 1);
+        let cands = odd_even_candidates(src, src, dst);
+        assert!(cands.contains(Direction::North));
+    }
+
+    #[test]
+    fn aligned_routes_are_straight() {
+        let src = Coord::new(1, 1);
+        assert!(odd_even_candidates(src, Coord::new(1, 3), Coord::new(1, 7))
+            .contains(Direction::South));
+        let c = odd_even_candidates(src, Coord::new(3, 1), Coord::new(6, 1));
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(Direction::East));
+    }
+
+    #[test]
+    fn destination_reached_is_empty() {
+        let c = Coord::new(4, 4);
+        assert!(odd_even_candidates(c, c, c).is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! Destination-quadrant classification for the Path-Sensitive router
+//! (Kim et al., DAC 2005; §2 of the RoCo paper).
+//!
+//! The Path-Sensitive router buffers arriving flits in one of four
+//! *path sets* according to the quadrant their destination lies in
+//! relative to the current node (NE, NW, SE, SW). Each path set may
+//! drive exactly the two output ports of its quadrant.
+
+use noc_core::{Coord, Direction};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four destination quadrants / path sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Quadrant {
+    /// Destination north-east of the current node.
+    Ne = 0,
+    /// Destination north-west.
+    Nw = 1,
+    /// Destination south-east.
+    Se = 2,
+    /// Destination south-west.
+    Sw = 3,
+}
+
+impl Quadrant {
+    /// All quadrants in index order.
+    pub const ALL: [Quadrant; 4] = [Quadrant::Ne, Quadrant::Nw, Quadrant::Se, Quadrant::Sw];
+
+    /// Stable array index (0..=3).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The two output ports this path set can drive.
+    pub fn directions(self) -> [Direction; 2] {
+        match self {
+            Quadrant::Ne => [Direction::North, Direction::East],
+            Quadrant::Nw => [Direction::North, Direction::West],
+            Quadrant::Se => [Direction::South, Direction::East],
+            Quadrant::Sw => [Direction::South, Direction::West],
+        }
+    }
+
+    /// Whether `dir` is one of this quadrant's outputs.
+    pub fn serves(self, dir: Direction) -> bool {
+        self.directions().contains(&dir)
+    }
+}
+
+impl fmt::Display for Quadrant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Quadrant::Ne => "NE",
+            Quadrant::Nw => "NW",
+            Quadrant::Se => "SE",
+            Quadrant::Sw => "SW",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Bitmask of every quadrant whose closed half-planes contain `dst`
+/// relative to `cur` (bit `q.index()` set). Strictly diagonal
+/// destinations match one quadrant; axis-aligned destinations match the
+/// two quadrants sharing that axis — either path set can legally hold
+/// the flit, which is essential because each arrival link only exposes
+/// two of the four sets. Returns 0 when `cur == dst`.
+pub fn quadrant_mask(cur: Coord, dst: Coord) -> u8 {
+    if cur == dst {
+        return 0;
+    }
+    let mut mask = 0u8;
+    let east_ok = dst.x >= cur.x;
+    let west_ok = dst.x <= cur.x;
+    let north_ok = dst.y <= cur.y;
+    let south_ok = dst.y >= cur.y;
+    if east_ok && north_ok {
+        mask |= 1 << Quadrant::Ne.index();
+    }
+    if west_ok && north_ok {
+        mask |= 1 << Quadrant::Nw.index();
+    }
+    if east_ok && south_ok {
+        mask |= 1 << Quadrant::Se.index();
+    }
+    if west_ok && south_ok {
+        mask |= 1 << Quadrant::Sw.index();
+    }
+    mask
+}
+
+/// The quadrant of `dst` relative to `cur`, or `None` when equal
+/// (ejection).
+///
+/// Axis-aligned destinations are assigned by a fixed convention that
+/// spreads load over all four sets: due East → NE, due West → SW,
+/// due North → NW, due South → SE. Admission checks should prefer
+/// [`quadrant_mask`], which keeps both legal sets for aligned
+/// destinations.
+pub fn quadrant_of(cur: Coord, dst: Coord) -> Option<Quadrant> {
+    use std::cmp::Ordering::*;
+    match (dst.x.cmp(&cur.x), dst.y.cmp(&cur.y)) {
+        (Equal, Equal) => None,
+        (Greater, Less) => Some(Quadrant::Ne),
+        (Greater, Greater) => Some(Quadrant::Se),
+        (Less, Less) => Some(Quadrant::Nw),
+        (Less, Greater) => Some(Quadrant::Sw),
+        // Axis-aligned tie conventions.
+        (Greater, Equal) => Some(Quadrant::Ne),
+        (Less, Equal) => Some(Quadrant::Sw),
+        (Equal, Less) => Some(Quadrant::Nw),
+        (Equal, Greater) => Some(Quadrant::Se),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_quadrants() {
+        let c = Coord::new(4, 4);
+        assert_eq!(quadrant_of(c, Coord::new(6, 2)), Some(Quadrant::Ne));
+        assert_eq!(quadrant_of(c, Coord::new(2, 2)), Some(Quadrant::Nw));
+        assert_eq!(quadrant_of(c, Coord::new(6, 6)), Some(Quadrant::Se));
+        assert_eq!(quadrant_of(c, Coord::new(2, 6)), Some(Quadrant::Sw));
+        assert_eq!(quadrant_of(c, c), None);
+    }
+
+    #[test]
+    fn aligned_conventions() {
+        let c = Coord::new(4, 4);
+        assert_eq!(quadrant_of(c, Coord::new(7, 4)), Some(Quadrant::Ne));
+        assert_eq!(quadrant_of(c, Coord::new(0, 4)), Some(Quadrant::Sw));
+        assert_eq!(quadrant_of(c, Coord::new(4, 0)), Some(Quadrant::Nw));
+        assert_eq!(quadrant_of(c, Coord::new(4, 7)), Some(Quadrant::Se));
+    }
+
+    #[test]
+    fn quadrant_serves_its_productive_directions() {
+        // Every minimal productive direction towards dst is served by
+        // the chosen quadrant's output ports.
+        for cy in 0..5u16 {
+            for cx in 0..5u16 {
+                for dy in 0..5u16 {
+                    for dx in 0..5u16 {
+                        let cur = Coord::new(cx, cy);
+                        let dst = Coord::new(dx, dy);
+                        if cur == dst {
+                            continue;
+                        }
+                        let q = quadrant_of(cur, dst).unwrap();
+                        for d in crate::productive_directions(cur, dst).iter() {
+                            assert!(q.serves(d), "{q} does not serve {d} for {cur}->{dst}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn output_sharing_pattern() {
+        // Each output port is served by exactly two quadrants — the
+        // source of the Path-Sensitive router's chained dependency
+        // (Table 2: 2/24 non-blocking matches).
+        for dir in Direction::MESH {
+            let servers = Quadrant::ALL.iter().filter(|q| q.serves(dir)).count();
+            assert_eq!(servers, 2, "{dir} must be shared by exactly 2 path sets");
+        }
+    }
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(Quadrant::Ne.to_string(), "NE");
+        for (i, q) in Quadrant::ALL.iter().enumerate() {
+            assert_eq!(q.index(), i);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Minimal adaptive routing under the west-first turn model
+//! (Glass & Ni).
+//!
+//! A packet with remaining westward hops must take them first (its only
+//! candidate is West); once no West hops remain, every productive
+//! direction (a subset of {East, North, South}) is a candidate. The two
+//! forbidden turns — North→West and South→West — make the channel
+//! dependency graph acyclic, so the scheme is deadlock-free for
+//! wormhole switching even when the look-ahead pipeline *commits* a
+//! packet to one candidate a hop early (the turn-model argument is
+//! independent of how candidates are chosen).
+//!
+//! This is the default `RoutingKind::Adaptive` policy; the odd-even
+//! model is available as `RoutingKind::AdaptiveOddEven` for the
+//! ablation study (odd-even concentrates vertical turns on even
+//! columns, which starves the RoCo router's single-VC turn channels —
+//! see DESIGN.md).
+
+use crate::dor::{productive_directions, DirSet};
+use noc_core::{Coord, Direction};
+
+/// The west-first candidate set at `cur` towards `dst`; empty only when
+/// `cur == dst`.
+pub fn west_first_candidates(cur: Coord, dst: Coord) -> DirSet {
+    if dst.x < cur.x {
+        DirSet::single(Direction::West)
+    } else {
+        productive_directions(cur, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn westbound_goes_west_first() {
+        let cands = west_first_candidates(Coord::new(5, 2), Coord::new(1, 6));
+        assert_eq!(cands.len(), 1);
+        assert!(cands.contains(Direction::West));
+    }
+
+    #[test]
+    fn eastbound_is_fully_adaptive() {
+        let cands = west_first_candidates(Coord::new(1, 1), Coord::new(5, 5));
+        assert_eq!(cands.len(), 2);
+        assert!(cands.contains(Direction::East));
+        assert!(cands.contains(Direction::South));
+    }
+
+    #[test]
+    fn aligned_cases() {
+        assert!(west_first_candidates(Coord::new(2, 2), Coord::new(2, 5))
+            .contains(Direction::South));
+        assert!(west_first_candidates(Coord::new(2, 2), Coord::new(2, 0))
+            .contains(Direction::North));
+        assert!(west_first_candidates(Coord::new(2, 2), Coord::new(6, 2))
+            .contains(Direction::East));
+        assert!(west_first_candidates(Coord::new(2, 2), Coord::new(2, 2)).is_empty());
+    }
+
+    #[test]
+    fn forbidden_turns_never_offered() {
+        // A packet that has exhausted its West hops never needs West
+        // again; a packet with West hops is never offered N/S. Hence
+        // N->W and S->W turns cannot occur.
+        for cy in 0..6u16 {
+            for cx in 0..6u16 {
+                for dy in 0..6u16 {
+                    for dx in 0..6u16 {
+                        let cur = Coord::new(cx, cy);
+                        let dst = Coord::new(dx, dy);
+                        let cands = west_first_candidates(cur, dst);
+                        if dst.x < cur.x {
+                            assert_eq!(cands.len(), if cur == dst { 0 } else { 1 });
+                        } else {
+                            assert!(!cands.contains(Direction::West));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_walks_are_minimal_and_terminate() {
+        let n = 6u16;
+        for si in 0..(n * n) {
+            for di in 0..(n * n) {
+                let src = Coord::new(si % n, si / n);
+                let dst = Coord::new(di % n, di / n);
+                let mut stack = vec![src];
+                let mut seen = std::collections::HashSet::new();
+                while let Some(cur) = stack.pop() {
+                    if cur == dst || !seen.insert(cur) {
+                        continue;
+                    }
+                    let cands = west_first_candidates(cur, dst);
+                    assert!(!cands.is_empty());
+                    for d in cands.iter() {
+                        let next = cur.neighbor(d, n, n).expect("stays in mesh");
+                        assert_eq!(
+                            next.manhattan_distance(dst) + 1,
+                            cur.manhattan_distance(dst)
+                        );
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for routing algorithms.
+
+use noc_core::{AxisOrder, Coord, Direction, MeshConfig, RoutingKind};
+use noc_routing::{
+    odd_even_candidates, ordered_route, productive_directions, quadrant_of, RouteComputer,
+};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = Coord> {
+    (0u16..8, 0u16..8).prop_map(|(x, y)| Coord::new(x, y))
+}
+
+proptest! {
+    /// Every dimension-order step reduces the Manhattan distance by one.
+    #[test]
+    fn ordered_routes_are_minimal(src in coord(), dst in coord(), yx in any::<bool>()) {
+        let order = if yx { AxisOrder::Yx } else { AxisOrder::Xy };
+        let mut cur = src;
+        let mut hops = 0u32;
+        while cur != dst {
+            let dir = ordered_route(order, cur, dst);
+            prop_assert_ne!(dir, Direction::Local);
+            let next = cur.neighbor(dir, 8, 8).expect("in mesh");
+            prop_assert_eq!(next.manhattan_distance(dst) + 1, cur.manhattan_distance(dst));
+            cur = next;
+            hops += 1;
+            prop_assert!(hops <= 14);
+        }
+        prop_assert_eq!(hops, src.manhattan_distance(dst));
+    }
+
+    /// Odd-even candidates are always a subset of the productive set and
+    /// non-empty away from the destination.
+    #[test]
+    fn odd_even_subset_of_productive(src in coord(), cur in coord(), dst in coord()) {
+        let cands = odd_even_candidates(src, cur, dst);
+        if cur == dst {
+            prop_assert!(cands.is_empty());
+        } else {
+            prop_assert!(!cands.is_empty());
+            let productive = productive_directions(cur, dst);
+            for d in cands.iter() {
+                prop_assert!(productive.contains(d));
+            }
+        }
+    }
+
+    /// The quadrant chosen for any non-local destination serves every
+    /// productive direction.
+    #[test]
+    fn quadrant_covers_productive(cur in coord(), dst in coord()) {
+        match quadrant_of(cur, dst) {
+            None => prop_assert_eq!(cur, dst),
+            Some(q) => {
+                for d in productive_directions(cur, dst).iter() {
+                    prop_assert!(q.serves(d));
+                }
+            }
+        }
+    }
+
+    /// The route computer's look-ahead choice is always a legal
+    /// candidate (or Local at the destination), for every algorithm.
+    #[test]
+    fn lookahead_choice_is_legal(
+        src in coord(),
+        next in coord(),
+        dst in coord(),
+        seed in any::<u64>(),
+        alg in 0u8..3,
+    ) {
+        use rand::SeedableRng;
+        let routing = [RoutingKind::Xy, RoutingKind::XyYx, RoutingKind::Adaptive][alg as usize];
+        let rc = RouteComputer::new(routing, MeshConfig::new(8, 8));
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let order = rc.choose_order(src, dst, &mut rng);
+        let picked = rc.lookahead_route(src, next, dst, order, &mut rng, |_| 0);
+        if next == dst {
+            prop_assert_eq!(picked, Direction::Local);
+        } else {
+            prop_assert!(rc.candidates(src, next, dst, order).contains(picked));
+        }
+    }
+
+    /// Following adaptive candidates with a worst-case (adversarial
+    /// always-first) selection still terminates minimally.
+    #[test]
+    fn adaptive_adversarial_walk_terminates(src in coord(), dst in coord()) {
+        let mut cur = src;
+        let mut hops = 0u32;
+        while cur != dst {
+            let cands = odd_even_candidates(src, cur, dst);
+            let dir = cands.iter().next().expect("non-empty");
+            cur = cur.neighbor(dir, 8, 8).expect("in mesh");
+            hops += 1;
+            prop_assert!(hops <= 14);
+        }
+        prop_assert_eq!(hops, src.manhattan_distance(dst));
+    }
+}

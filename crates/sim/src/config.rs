@@ -1,0 +1,132 @@
+//! Experiment configuration.
+
+use noc_core::{MeshConfig, RouterConfig, RouterKind, RoutingKind};
+use noc_fault::FaultPlan;
+use noc_traffic::TrafficKind;
+use serde::{Deserialize, Serialize};
+
+/// Full description of one simulation run (§5.4's experimental setup).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Router architecture.
+    pub router: RouterKind,
+    /// Routing algorithm.
+    pub routing: RoutingKind,
+    /// Mesh dimensions (paper: 8×8).
+    pub mesh: MeshConfig,
+    /// Workload family.
+    pub traffic: TrafficKind,
+    /// Offered load in flits/node/cycle (the paper's x-axis).
+    pub injection_rate: f64,
+    /// Unmeasured warm-up packets (paper: 20 000).
+    pub warmup_packets: u64,
+    /// Measured packets injected after warm-up (paper: 1 000 000).
+    pub measured_packets: u64,
+    /// RNG seed (traffic, arbitration tie-breaks, fault sites).
+    pub seed: u64,
+    /// Permanent faults injected before the first cycle.
+    pub faults: FaultPlan,
+    /// Hard wall-clock cap in cycles (safety net).
+    pub max_cycles: u64,
+    /// Terminate after this many cycles without a delivery or drop once
+    /// generation has finished (the paper's "long period of inactivity").
+    pub stall_window: u64,
+    /// Whether the RoCo router uses the Mirroring-Effect allocator
+    /// (ablation toggle; ignored by the other architectures).
+    pub mirror_allocator: bool,
+    /// Override of the paper's VCs-per-port (generic router ablations;
+    /// the RoCo Table-1 layout requires exactly 3).
+    pub vcs_per_port: Option<u8>,
+    /// Override of the paper's per-VC buffer depth.
+    pub buffer_depth: Option<u8>,
+    /// Whether heads may bid for the switch in their VA cycle
+    /// (speculative 2-stage pipeline; `false` = 3-stage ablation).
+    pub speculative_sa: bool,
+}
+
+impl SimConfig {
+    /// A scaled-down version of the paper's setup that regenerates every
+    /// figure in seconds: 1 000 warm-up + 20 000 measured packets on an
+    /// 8×8 mesh. Scale `warmup_packets`/`measured_packets` up to
+    /// 20 000 / 1 000 000 for the full-size runs.
+    pub fn paper_scaled(router: RouterKind, routing: RoutingKind, traffic: TrafficKind) -> Self {
+        SimConfig {
+            router,
+            routing,
+            mesh: MeshConfig::new(8, 8),
+            traffic,
+            injection_rate: 0.3,
+            warmup_packets: 1_000,
+            measured_packets: 20_000,
+            seed: 0xC0C0,
+            faults: FaultPlan::none(),
+            max_cycles: 2_000_000,
+            stall_window: 10_000,
+            mirror_allocator: true,
+            vcs_per_port: None,
+            buffer_depth: None,
+            speculative_sa: true,
+        }
+    }
+
+    /// The per-router configuration implied by this run.
+    pub fn router_config(&self) -> RouterConfig {
+        let mut cfg = RouterConfig::paper(self.router, self.routing);
+        cfg.mirror_allocator = self.mirror_allocator;
+        if let Some(v) = self.vcs_per_port {
+            cfg.vcs_per_port = v;
+        }
+        if let Some(d) = self.buffer_depth {
+            cfg.buffer_depth = d;
+        }
+        cfg.speculative_sa = self.speculative_sa;
+        cfg
+    }
+
+    /// Sets the injection rate (builder style).
+    pub fn with_rate(mut self, rate: f64) -> Self {
+        self.injection_rate = rate;
+        self
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fault plan (builder style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Total packets to generate.
+    pub fn total_packets(&self) -> u64 {
+        self.warmup_packets + self.measured_packets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_defaults() {
+        let c = SimConfig::paper_scaled(RouterKind::RoCo, RoutingKind::Xy, TrafficKind::Uniform);
+        assert_eq!(c.mesh.nodes(), 64);
+        assert_eq!(c.total_packets(), 21_000);
+        assert!(c.faults.is_empty());
+        assert_eq!(c.router_config().buffer_depth, 5);
+    }
+
+    #[test]
+    fn builders() {
+        let c = SimConfig::paper_scaled(RouterKind::Generic, RoutingKind::Xy, TrafficKind::Uniform)
+            .with_rate(0.1)
+            .with_seed(7);
+        assert_eq!(c.injection_rate, 0.1);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.router_config().buffer_depth, 4);
+    }
+}

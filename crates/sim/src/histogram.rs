@@ -1,0 +1,189 @@
+//! A fixed-memory latency histogram with percentile queries.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of unit-width buckets before switching to overflow handling.
+const UNIT_BUCKETS: usize = 1024;
+/// Width of the coarse buckets covering the tail.
+const COARSE_WIDTH: u64 = 64;
+/// Number of coarse buckets (covers up to 1024 + 64·1024 ≈ 66.5k cycles).
+const COARSE_BUCKETS: usize = 1024;
+
+/// A latency histogram: exact counts for latencies below
+/// 1024 cycles, 64-cycle buckets up to ~66 000 cycles, and a single
+/// overflow bucket beyond — bounded memory at any run size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    unit: Vec<u64>,
+    coarse: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            unit: vec![0; UNIT_BUCKETS],
+            coarse: vec![0; COARSE_BUCKETS],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: u64) {
+        self.count += 1;
+        self.sum += latency as u128;
+        self.max = self.max.max(latency);
+        if latency < UNIT_BUCKETS as u64 {
+            self.unit[latency as usize] += 1;
+        } else {
+            let idx = ((latency - UNIT_BUCKETS as u64) / COARSE_WIDTH) as usize;
+            if idx < COARSE_BUCKETS {
+                self.coarse[idx] += 1;
+            } else {
+                self.overflow += 1;
+            }
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `p`-th percentile (0.0–1.0), resolved to bucket granularity
+    /// (exact below 1024 cycles). Returns 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64 * p).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (latency, &c) in self.unit.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return latency as u64;
+            }
+        }
+        for (idx, &c) in self.coarse.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Report the bucket's upper edge.
+                return UNIT_BUCKETS as u64 + (idx as u64 + 1) * COARSE_WIDTH - 1;
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.unit.iter_mut().zip(&other.unit) {
+            *a += b;
+        }
+        for (a, b) in self.coarse.iter_mut().zip(&other.coarse) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn exact_percentiles_in_unit_range() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile(0.5), 50);
+        assert_eq!(h.percentile(0.95), 95);
+        assert_eq!(h.percentile(1.0), 100);
+        assert_eq!(h.percentile(0.0), 1);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn coarse_range_is_bucketed() {
+        let mut h = LatencyHistogram::new();
+        h.record(2_000);
+        let p = h.percentile(1.0);
+        assert!(p >= 2_000 && p < 2_000 + 64, "bucketed tail estimate, got {p}");
+    }
+
+    #[test]
+    fn overflow_reports_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000_000);
+        assert_eq!(h.percentile(0.99), 1_000_000);
+        assert_eq!(h.max(), 1_000_000);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in 1..=50 {
+            a.record(v);
+        }
+        for v in 51..=100 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        assert_eq!(a.percentile(0.5), 50);
+        assert_eq!(a.max(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn bad_percentile_panics() {
+        let h = LatencyHistogram::new();
+        let _ = h.percentile(1.5);
+    }
+}

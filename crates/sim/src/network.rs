@@ -1,0 +1,391 @@
+//! The flit-level, cycle-accurate mesh simulator (§5.1).
+//!
+//! Per cycle: (1) flits and credits emitted in the previous cycle are
+//! delivered across their one-cycle links; (2) the traffic model offers
+//! new packets to the network interfaces, which inject at most one flit
+//! per node per cycle; (3) every router executes one pipeline step
+//! (stage 1 = look-ahead RC + VA + speculative SA, stage 2 = switch
+//! traversal of the previous cycle's winners). All randomness flows
+//! from a single seeded RNG, so runs are exactly reproducible.
+
+use crate::config::SimConfig;
+use crate::report::{NodeReport, NodeSummary};
+use crate::stats::{SimResults, StatsCollector};
+use crate::trace::{TraceEvent, TraceSink};
+use noc_core::{
+    Coord, Credit, Cycle, Direction, Flit, NodeStatus, PacketId, RouterNode, StepContext,
+};
+use noc_power::{energy_of, EnergyBreakdown, RouterEnergyProfile};
+use noc_router::AnyRouter;
+use noc_routing::RouteComputer;
+use noc_traffic::{build_traffic, Traffic};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// A flit in flight on a link, due at `node` on side `from`.
+#[derive(Debug, Clone)]
+struct FlitInFlight {
+    node: usize,
+    from: Direction,
+    vc: u8,
+    flit: Flit,
+}
+
+/// A credit in flight, due at `node`'s output `output`.
+#[derive(Debug, Clone, Copy)]
+struct CreditInFlight {
+    node: usize,
+    output: Direction,
+    credit: Credit,
+}
+
+/// A running simulation. Most callers use [`Simulation::run`]; the
+/// stepping API exists for tests and interactive tooling.
+#[derive(Debug)]
+pub struct Simulation {
+    cfg: SimConfig,
+    routers: Vec<AnyRouter>,
+    traffic: Box<dyn Traffic>,
+    computer: RouteComputer,
+    sources: Vec<VecDeque<Flit>>,
+    flits_in_flight: Vec<FlitInFlight>,
+    credits_in_flight: Vec<CreditInFlight>,
+    rng: SmallRng,
+    cycle: Cycle,
+    stats: StatsCollector,
+    per_node: Vec<NodeSummary>,
+    trace: Option<Box<dyn TraceSink>>,
+    next_packet: u64,
+    last_progress: Cycle,
+    stalled: bool,
+}
+
+impl Simulation {
+    /// Builds the network, injects the fault plan and wires the links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation.
+    pub fn new(cfg: SimConfig) -> Self {
+        let rcfg = cfg.router_config();
+        let traffic = build_traffic(cfg.traffic, cfg.mesh, cfg.injection_rate, rcfg.num_flits);
+        Self::with_traffic(cfg, traffic)
+    }
+
+    /// Like [`Simulation::new`] but with a caller-supplied traffic
+    /// generator (e.g. [`noc_traffic::ReplayTraffic`] to replay a
+    /// recorded schedule; the config's `traffic`/`injection_rate`
+    /// fields are then only documentation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation.
+    pub fn with_traffic(cfg: SimConfig, traffic: Box<dyn Traffic>) -> Self {
+        cfg.mesh.validate().expect("invalid mesh");
+        let rcfg = cfg.router_config();
+        rcfg.validate().expect("invalid router config");
+        let mesh = cfg.mesh;
+        let mut routers: Vec<AnyRouter> = (0..mesh.nodes())
+            .map(|i| AnyRouter::build(Coord::from_index(i, mesh.width), rcfg, mesh))
+            .collect();
+        // Faults first: the wiring below publishes post-fault VC lists,
+        // modelling the neighbour handshake of §4.1.
+        for (coord, fault) in &cfg.faults.faults {
+            routers[coord.index(mesh.width)].inject_fault(*fault);
+        }
+        // Wire each output to the neighbour's opposite-side VC list.
+        for i in 0..routers.len() {
+            let coord = Coord::from_index(i, mesh.width);
+            for dir in Direction::MESH {
+                if let Some(n) = coord.neighbor(dir, mesh.width, mesh.height) {
+                    let descs = routers[n.index(mesh.width)]
+                        .vcs_on_link(dir.opposite())
+                        .to_vec();
+                    routers[i].connect_output(dir, &descs);
+                }
+            }
+        }
+        let computer = RouteComputer::new(cfg.routing, mesh);
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        let nodes = mesh.nodes();
+        Simulation {
+            cfg,
+            routers,
+            traffic,
+            computer,
+            sources: vec![VecDeque::new(); nodes],
+            flits_in_flight: Vec::new(),
+            credits_in_flight: Vec::new(),
+            rng,
+            cycle: 0,
+            stats: StatsCollector::new(),
+            per_node: vec![NodeSummary::default(); nodes],
+            trace: None,
+            next_packet: 0,
+            last_progress: 0,
+            stalled: false,
+        }
+    }
+
+    /// Attaches a trace sink receiving every packet lifecycle event.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Detaches and returns the trace sink, if any.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.record(event);
+        }
+    }
+
+    /// The current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Read access to the routers (tests, tooling).
+    pub fn routers(&self) -> &[AnyRouter] {
+        &self.routers
+    }
+
+    /// Flits currently anywhere in the system (buffers, links, sources).
+    pub fn flits_in_system(&self) -> usize {
+        self.routers.iter().map(|r| r.occupancy()).sum::<usize>()
+            + self.flits_in_flight.len()
+            + self.sources.iter().map(|s| s.len()).sum::<usize>()
+    }
+
+    /// Whether the run has finished (drained or stalled).
+    pub fn finished(&self) -> bool {
+        if self.cycle >= self.cfg.max_cycles || self.stalled {
+            return true;
+        }
+        self.generation_done() && self.flits_in_system() == 0
+    }
+
+    fn generation_done(&self) -> bool {
+        self.next_packet >= self.cfg.total_packets()
+    }
+
+    /// Whether a packet serial number falls in the measured window.
+    fn measured(&self, serial: u64) -> bool {
+        serial >= self.cfg.warmup_packets
+    }
+
+    /// Advances the simulation one cycle.
+    pub fn step(&mut self) {
+        let mesh = self.cfg.mesh;
+        // Phase 1: link delivery.
+        for f in std::mem::take(&mut self.flits_in_flight) {
+            self.routers[f.node].deliver_flit(f.from, f.vc, f.flit);
+        }
+        for c in std::mem::take(&mut self.credits_in_flight) {
+            self.routers[c.node].deliver_credit(c.output, c.credit);
+        }
+        // Phase 2: traffic generation and injection.
+        self.generate_traffic();
+        self.inject();
+        // Phase 3: router pipelines.
+        let statuses: Vec<NodeStatus> = self.routers.iter().map(|r| r.status()).collect();
+        for i in 0..self.routers.len() {
+            let coord = Coord::from_index(i, mesh.width);
+            let mut ctx = StepContext::new(self.cycle, &mut self.rng);
+            for dir in Direction::MESH {
+                ctx.neighbors[dir.index()] = coord
+                    .neighbor(dir, mesh.width, mesh.height)
+                    .map(|n| statuses[n.index(mesh.width)]);
+            }
+            let out = self.routers[i].step(&mut ctx);
+            for (dir, vc, flit) in out.flits {
+                let n = coord
+                    .neighbor(dir, mesh.width, mesh.height)
+                    .expect("emitted flit must have a neighbour");
+                self.emit(TraceEvent::Hop {
+                    cycle: self.cycle,
+                    packet: flit.packet,
+                    seq: flit.seq,
+                    node: coord,
+                    out: dir,
+                });
+                self.flits_in_flight.push(FlitInFlight {
+                    node: n.index(mesh.width),
+                    from: dir.opposite(),
+                    vc,
+                    flit,
+                });
+            }
+            for (side, credit) in out.credits {
+                let n = coord
+                    .neighbor(side, mesh.width, mesh.height)
+                    .expect("credits only flow to real neighbours");
+                self.credits_in_flight.push(CreditInFlight {
+                    node: n.index(mesh.width),
+                    output: side.opposite(),
+                    credit,
+                });
+            }
+            for flit in out.ejected {
+                debug_assert_eq!(flit.dst, coord, "flit ejected at the wrong node");
+                if flit.kind.is_tail() {
+                    let latency = self.cycle - flit.created_at;
+                    let measured = self.measured(flit.packet.0);
+                    self.stats.record_delivery(latency, measured);
+                    let node = &mut self.per_node[i];
+                    node.delivered += 1;
+                    node.latency_sum += latency;
+                    self.last_progress = self.cycle;
+                    self.emit(TraceEvent::Delivered {
+                        cycle: self.cycle,
+                        packet: flit.packet,
+                        latency,
+                    });
+                }
+                self.stats.delivered_flits += 1;
+            }
+            for flit in out.dropped {
+                if flit.kind.is_head() {
+                    self.stats.dropped += 1;
+                    self.per_node[i].dropped += 1;
+                    self.last_progress = self.cycle;
+                    self.emit(TraceEvent::Dropped {
+                        cycle: self.cycle,
+                        packet: flit.packet,
+                        node: coord,
+                    });
+                }
+            }
+        }
+        // Stall detection: once generation has ended, a long silence
+        // means the remaining packets are wedged behind faults.
+        if self.generation_done()
+            && self.flits_in_system() > 0
+            && self.cycle.saturating_sub(self.last_progress) > self.cfg.stall_window
+        {
+            self.stalled = true;
+        }
+        self.cycle += 1;
+    }
+
+    fn generate_traffic(&mut self) {
+        if self.generation_done() {
+            return;
+        }
+        let mesh = self.cfg.mesh;
+        let flits_per_packet = self.cfg.router_config().num_flits;
+        for i in 0..self.routers.len() {
+            if self.generation_done() {
+                break;
+            }
+            let node = Coord::from_index(i, mesh.width);
+            if self.routers[i].status().node_dead() {
+                // A dead router's PE cannot reach the network at all; it
+                // stops offering traffic (documented in DESIGN.md).
+                continue;
+            }
+            if let Some(dst) = self.traffic.generate(node, self.cycle, &mut self.rng) {
+                let id = PacketId(self.next_packet);
+                self.next_packet += 1;
+                let order = self.computer.choose_order(node, dst, &mut self.rng);
+                let flits =
+                    Flit::packet_flits(id, node, dst, self.cycle, flits_per_packet, order);
+                self.sources[i].extend(flits);
+                self.stats.generated += 1;
+                self.emit(TraceEvent::Generated { cycle: self.cycle, packet: id, src: node, dst });
+            }
+        }
+    }
+
+    fn inject(&mut self) {
+        for i in 0..self.routers.len() {
+            let Some(&flit) = self.sources[i].front() else { continue };
+            let mut ctx = StepContext::new(self.cycle, &mut self.rng);
+            if self.routers[i].try_inject(flit, &mut ctx) {
+                self.sources[i].pop_front();
+                if flit.kind.is_head() {
+                    self.stats.injected += 1;
+                    self.per_node[i].injected += 1;
+                    if self.measured(flit.packet.0) {
+                        self.stats.measured_injected += 1;
+                    }
+                    self.emit(TraceEvent::Injected {
+                        cycle: self.cycle,
+                        packet: flit.packet,
+                        node: Coord::from_index(i, self.cfg.mesh.width),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Runs to completion and aggregates the results.
+    pub fn run(mut self) -> SimResults {
+        while !self.finished() {
+            self.step();
+        }
+        self.results()
+    }
+
+    /// Per-node report: traffic summaries plus each router's activity
+    /// and contention counters (heatmap-ready).
+    pub fn node_report(&self) -> NodeReport {
+        NodeReport {
+            mesh: self.cfg.mesh,
+            nodes: self.per_node.clone(),
+            activity: self.routers.iter().map(|r| *r.counters()).collect(),
+            contention: self.routers.iter().map(|r| *r.contention()).collect(),
+        }
+    }
+
+    /// The measured-latency histogram (percentile queries).
+    pub fn latency_histogram(&self) -> &crate::histogram::LatencyHistogram {
+        &self.stats.histogram
+    }
+
+    /// Aggregates results at the current point of the run.
+    pub fn results(&self) -> SimResults {
+        let profile = RouterEnergyProfile::synthesized(&self.cfg.router_config());
+        let mut counters = noc_core::ActivityCounters::new();
+        let mut contention = noc_core::ContentionCounters::new();
+        let mut energy = EnergyBreakdown::default();
+        for r in &self.routers {
+            counters.merge(r.counters());
+            contention.merge(r.contention());
+            energy.merge(&energy_of(r.counters(), &profile));
+        }
+        // Link energy is accounted from the same counters (one link
+        // traversal per emitted flit), already inside `energy`.
+        let delivered = self.stats.delivered.max(1);
+        let nodes = self.cfg.mesh.nodes() as f64;
+        SimResults {
+            cycles: self.cycle,
+            generated_packets: self.stats.generated,
+            injected_packets: self.stats.injected,
+            measured_injected: self.stats.measured_injected,
+            delivered_packets: self.stats.delivered,
+            measured_delivered: self.stats.measured_delivered,
+            dropped_packets: self.stats.dropped,
+            avg_latency: self.stats.avg_latency(),
+            max_latency: self.stats.max_latency,
+            latency_p50: self.stats.histogram.percentile(0.50),
+            latency_p95: self.stats.histogram.percentile(0.95),
+            latency_p99: self.stats.histogram.percentile(0.99),
+            throughput: self.stats.delivered_flits as f64 / (self.cycle.max(1) as f64 * nodes),
+            counters,
+            contention,
+            energy,
+            energy_per_packet: energy.total() / delivered as f64,
+            stalled: self.stalled,
+        }
+    }
+}
+
+/// Convenience: build and run in one call.
+pub fn run(cfg: SimConfig) -> SimResults {
+    Simulation::new(cfg).run()
+}

@@ -1,0 +1,136 @@
+//! Per-node summaries and ASCII heatmap rendering for run reports.
+
+use noc_core::{ActivityCounters, ContentionCounters, Coord, MeshConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Per-node measurements collected over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeSummary {
+    /// Packets this node's PE offered to the network.
+    pub injected: u64,
+    /// Packets delivered *to* this node.
+    pub delivered: u64,
+    /// Sum of latencies of packets delivered to this node.
+    pub latency_sum: u64,
+    /// Packets dropped at this router by fault handling.
+    pub dropped: u64,
+}
+
+impl NodeSummary {
+    /// Mean latency of packets terminating here (0 when none).
+    pub fn avg_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.delivered as f64
+        }
+    }
+}
+
+/// A full per-node report for one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeReport {
+    /// Mesh dimensions.
+    pub mesh: MeshConfig,
+    /// Traffic summaries in row-major node order.
+    pub nodes: Vec<NodeSummary>,
+    /// Per-router activity counters in the same order.
+    pub activity: Vec<ActivityCounters>,
+    /// Per-router contention counters in the same order.
+    pub contention: Vec<ContentionCounters>,
+}
+
+impl NodeReport {
+    /// The summary for `coord`.
+    pub fn node(&self, coord: Coord) -> &NodeSummary {
+        &self.nodes[coord.index(self.mesh.width)]
+    }
+
+    /// Renders an ASCII heatmap of an arbitrary per-node metric.
+    pub fn heatmap(&self, title: &str, metric: impl Fn(usize) -> f64) -> String {
+        let values: Vec<f64> = (0..self.nodes.len()).map(metric).collect();
+        render_heatmap(self.mesh, title, &values)
+    }
+
+    /// Heatmap of crossbar traversals per router (hotspot detection).
+    pub fn crossbar_heatmap(&self) -> String {
+        self.heatmap("crossbar traversals per router", |i| {
+            self.activity[i].crossbar_traversals as f64
+        })
+    }
+
+    /// Heatmap of contention probability per router.
+    pub fn contention_heatmap(&self) -> String {
+        self.heatmap("SA contention probability per router", |i| {
+            self.contention[i].total_contention_probability().unwrap_or(0.0)
+        })
+    }
+
+    /// Heatmap of packets dropped per router (fault impact).
+    pub fn drop_heatmap(&self) -> String {
+        self.heatmap("packets dropped per router", |i| self.nodes[i].dropped as f64)
+    }
+}
+
+/// Renders `values` (row-major) as a fixed-width ASCII grid with a
+/// 0–9 shade per cell plus the min/max legend.
+pub fn render_heatmap(mesh: MeshConfig, title: &str, values: &[f64]) -> String {
+    assert_eq!(values.len(), mesh.nodes(), "one value per node");
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}  [min {min:.2}, max {max:.2}]");
+    for y in 0..mesh.height {
+        let _ = write!(out, "  ");
+        for x in 0..mesh.width {
+            let v = values[Coord::new(x, y).index(mesh.width)];
+            let shade = if max > min { ((v - min) / (max - min) * 9.0).round() as u32 } else { 0 };
+            let _ = write!(out, "{shade} ");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_summary_latency() {
+        let n = NodeSummary { injected: 5, delivered: 4, latency_sum: 100, dropped: 0 };
+        assert_eq!(n.avg_latency(), 25.0);
+        assert_eq!(NodeSummary::default().avg_latency(), 0.0);
+    }
+
+    #[test]
+    fn heatmap_shape_and_shading() {
+        let mesh = MeshConfig::new(3, 2);
+        let values = vec![0.0, 1.0, 2.0, 3.0, 4.0, 9.0];
+        let map = render_heatmap(mesh, "demo", &values);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 3, "title + 2 rows");
+        assert!(lines[0].contains("demo"));
+        assert!(lines[0].contains("max 9.00"));
+        assert!(lines[1].trim().starts_with('0'), "minimum shades to 0");
+        assert!(lines[2].trim().ends_with('9'), "maximum shades to 9");
+    }
+
+    #[test]
+    fn constant_field_renders_zero_shades() {
+        let mesh = MeshConfig::new(2, 2);
+        let map = render_heatmap(mesh, "flat", &[5.0; 4]);
+        for line in map.lines().skip(1) {
+            for token in line.split_whitespace() {
+                assert_eq!(token, "0");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per node")]
+    fn wrong_cardinality_panics() {
+        let _ = render_heatmap(MeshConfig::new(2, 2), "bad", &[1.0]);
+    }
+}

@@ -1,0 +1,242 @@
+//! # noc-thermal
+//!
+//! A steady-state on-chip thermal model for the RoCo reproduction —
+//! the paper's stated future work ("we plan to investigate the
+//! temperature effects when using the proposed router with XY-YX and
+//! adaptive routing", §6).
+//!
+//! Each router tile dissipates the power implied by its simulated
+//! activity counters; heat leaves vertically through the heat-sink
+//! resistance and laterally to the four neighbouring tiles:
+//!
+//! ```text
+//! Gv·(Tᵢ − Tₐ) + Σⱼ Gl·(Tᵢ − Tⱼ) = Pᵢ
+//! ```
+//!
+//! solved by Jacobi iteration. The `ext_thermal` bench target uses it
+//! to compare the thermal profiles of the three router architectures.
+//!
+//! # Examples
+//!
+//! ```
+//! use noc_core::MeshConfig;
+//! use noc_thermal::{steady_state, ThermalParams};
+//!
+//! let mesh = MeshConfig::new(4, 4);
+//! let mut power = vec![0.05; 16]; // 50 mW per router
+//! power[5] = 0.5; // a hotspot
+//! let temps = steady_state(mesh, &power, &ThermalParams::default());
+//! let hottest = temps.iter().cloned().fold(f64::MIN, f64::max);
+//! assert_eq!(temps[5], hottest, "the hotspot tile is the hottest");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use noc_core::{Coord, MeshConfig, RouterConfig};
+use noc_power::{energy_of, RouterEnergyProfile};
+use noc_sim::NodeReport;
+use serde::{Deserialize, Serialize};
+
+/// Thermal constants of the package (defaults are typical 90 nm-era
+/// flip-chip values at tile granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalParams {
+    /// Ambient (heat-sink) temperature in °C.
+    pub ambient_c: f64,
+    /// Vertical tile-to-ambient thermal resistance in °C/W.
+    pub rth_vertical: f64,
+    /// Lateral tile-to-tile thermal resistance in °C/W.
+    pub rth_lateral: f64,
+    /// Router clock in Hz (converts per-cycle energy into power).
+    pub clock_hz: f64,
+    /// Jacobi convergence threshold in °C.
+    pub tolerance: f64,
+}
+
+impl Default for ThermalParams {
+    fn default() -> Self {
+        ThermalParams {
+            ambient_c: 45.0,
+            rth_vertical: 60.0,
+            rth_lateral: 25.0,
+            // §5.2: the synthesized routers run at 500 MHz.
+            clock_hz: 500.0e6,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+/// Solves the steady-state temperature field for `power` watts per
+/// tile (row-major). Returns one temperature (°C) per tile.
+///
+/// # Panics
+///
+/// Panics if `power.len()` differs from the mesh node count or any
+/// parameter is non-positive.
+pub fn steady_state(mesh: MeshConfig, power: &[f64], params: &ThermalParams) -> Vec<f64> {
+    assert_eq!(power.len(), mesh.nodes(), "one power value per tile");
+    assert!(
+        params.rth_vertical > 0.0 && params.rth_lateral > 0.0 && params.tolerance > 0.0,
+        "thermal parameters must be positive"
+    );
+    let gv = 1.0 / params.rth_vertical;
+    let gl = 1.0 / params.rth_lateral;
+    let mut temps = vec![params.ambient_c; power.len()];
+    let mut next = temps.clone();
+    // Jacobi iteration: strictly diagonally dominant system, always
+    // converges; cap iterations defensively.
+    for _ in 0..100_000 {
+        let mut delta: f64 = 0.0;
+        for i in 0..temps.len() {
+            let coord = Coord::from_index(i, mesh.width);
+            let mut neighbor_sum = 0.0;
+            let mut degree = 0.0;
+            for dir in noc_core::Direction::MESH {
+                if let Some(n) = coord.neighbor(dir, mesh.width, mesh.height) {
+                    neighbor_sum += temps[n.index(mesh.width)];
+                    degree += 1.0;
+                }
+            }
+            let t = (power[i] + gv * params.ambient_c + gl * neighbor_sum)
+                / (gv + gl * degree);
+            delta = delta.max((t - temps[i]).abs());
+            next[i] = t;
+        }
+        std::mem::swap(&mut temps, &mut next);
+        if delta < params.tolerance {
+            break;
+        }
+    }
+    temps
+}
+
+/// Per-tile power (watts) implied by a run's [`NodeReport`]: each
+/// router's total energy divided by its wall-clock time at
+/// `params.clock_hz`.
+pub fn power_map(
+    report: &NodeReport,
+    router_cfg: &RouterConfig,
+    params: &ThermalParams,
+) -> Vec<f64> {
+    let profile = RouterEnergyProfile::synthesized(router_cfg);
+    report
+        .activity
+        .iter()
+        .map(|counters| {
+            let energy = energy_of(counters, &profile).total();
+            let seconds = counters.cycles.max(1) as f64 / params.clock_hz;
+            energy / seconds
+        })
+        .collect()
+}
+
+/// Summary statistics of a temperature field.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalSummary {
+    /// Hottest tile (°C).
+    pub max_c: f64,
+    /// Mean tile temperature (°C).
+    pub avg_c: f64,
+    /// Max − min spatial gradient (°C) — thermal-hotspot severity.
+    pub gradient_c: f64,
+}
+
+/// Summarizes a temperature field.
+///
+/// # Panics
+///
+/// Panics on an empty field.
+pub fn summarize(temps: &[f64]) -> ThermalSummary {
+    assert!(!temps.is_empty(), "temperature field must be non-empty");
+    let max = temps.iter().cloned().fold(f64::MIN, f64::max);
+    let min = temps.iter().cloned().fold(f64::MAX, f64::min);
+    let avg = temps.iter().sum::<f64>() / temps.len() as f64;
+    ThermalSummary { max_c: max, avg_c: avg, gradient_c: max - min }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> MeshConfig {
+        MeshConfig::new(8, 8)
+    }
+
+    #[test]
+    fn zero_power_sits_at_ambient() {
+        let t = steady_state(mesh(), &vec![0.0; 64], &ThermalParams::default());
+        for v in t {
+            assert!((v - 45.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn uniform_power_gives_a_flat_field() {
+        // Every tile has the same vertical path to ambient and no net
+        // lateral flow exists between equal-temperature neighbours, so
+        // uniform power must produce a uniform field at Ta + P·Rth_v.
+        let t = steady_state(mesh(), &vec![0.1; 64], &ThermalParams::default());
+        let first = t[0];
+        for v in &t {
+            assert!((v - first).abs() < 1e-5, "uniform power gives a uniform field");
+        }
+        // Each tile: T = Ta + P·Rth_v = 45 + 0.1·60 = 51.
+        assert!((first - 51.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hotspot_decays_with_distance() {
+        let mut power = vec![0.02; 64];
+        let hotspot = Coord::new(4, 4).index(8);
+        power[hotspot] = 1.0;
+        let t = steady_state(mesh(), &power, &ThermalParams::default());
+        let at = |x: u16, y: u16| t[Coord::new(x, y).index(8)];
+        assert!(at(4, 4) > at(3, 4));
+        assert!(at(3, 4) > at(2, 4));
+        assert!(at(2, 4) > at(0, 4));
+        assert!(at(4, 4) > 50.0, "hotspot is meaningfully hot: {}", at(4, 4));
+    }
+
+    #[test]
+    fn superposition_holds() {
+        // The system is linear: temperatures for P1+P2 equal the sum of
+        // the fields minus one ambient offset.
+        let p1: Vec<f64> = (0..64).map(|i| (i % 5) as f64 * 0.01).collect();
+        let p2: Vec<f64> = (0..64).map(|i| (i % 3) as f64 * 0.02).collect();
+        let sum: Vec<f64> = p1.iter().zip(&p2).map(|(a, b)| a + b).collect();
+        let params = ThermalParams::default();
+        let t1 = steady_state(mesh(), &p1, &params);
+        let t2 = steady_state(mesh(), &p2, &params);
+        let ts = steady_state(mesh(), &sum, &params);
+        for i in 0..64 {
+            let expect = t1[i] + t2[i] - params.ambient_c;
+            assert!((ts[i] - expect).abs() < 1e-4, "tile {i}");
+        }
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = summarize(&[40.0, 50.0, 60.0]);
+        assert_eq!(s.max_c, 60.0);
+        assert_eq!(s.avg_c, 50.0);
+        assert_eq!(s.gradient_c, 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one power value per tile")]
+    fn wrong_power_cardinality_panics() {
+        let _ = steady_state(mesh(), &[1.0], &ThermalParams::default());
+    }
+
+    #[test]
+    fn more_lateral_conduction_flattens_the_field() {
+        let mut power = vec![0.02; 64];
+        power[Coord::new(4, 4).index(8)] = 0.8;
+        let stiff = ThermalParams { rth_lateral: 100.0, ..Default::default() };
+        let fluid = ThermalParams { rth_lateral: 5.0, ..Default::default() };
+        let g_stiff = summarize(&steady_state(mesh(), &power, &stiff)).gradient_c;
+        let g_fluid = summarize(&steady_state(mesh(), &power, &fluid)).gradient_c;
+        assert!(g_fluid < g_stiff, "better lateral spreading reduces the gradient");
+    }
+}

@@ -1,0 +1,200 @@
+//! MPEG-2-style video-stream traffic.
+//!
+//! The paper cites Caminero et al.'s MPEG-2 multimedia traces [3]
+//! (results omitted there "due to space constraints"; we include the
+//! experiment as an extension). Real traces are not distributable, so
+//! this generator reproduces their defining structure synthetically:
+//! constant frame rate, a repeating 9-frame Group of Pictures
+//! (I B B P B B P B B), and per-frame payload sizes that are large for
+//! I frames, medium for P frames and small for B frames, with
+//! multiplicative (lognormal-like) jitter. Each node streams to a fixed
+//! partner half a mesh away, emitting at most one packet per cycle and
+//! carrying a backlog across frames.
+
+use crate::Traffic;
+use noc_core::{Coord, Cycle, MeshConfig};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The Group-of-Pictures frame pattern.
+pub const GOP_PATTERN: [FrameKind; 9] = [
+    FrameKind::I,
+    FrameKind::B,
+    FrameKind::B,
+    FrameKind::P,
+    FrameKind::B,
+    FrameKind::B,
+    FrameKind::P,
+    FrameKind::B,
+    FrameKind::B,
+];
+
+/// MPEG frame types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Intra-coded frame (largest).
+    I,
+    /// Predicted frame (medium).
+    P,
+    /// Bidirectionally predicted frame (smallest).
+    B,
+}
+
+impl FrameKind {
+    /// Relative size of this frame type versus the GoP mean frame size.
+    pub fn relative_size(self) -> f64 {
+        match self {
+            FrameKind::I => 3.0,
+            FrameKind::P => 1.2,
+            FrameKind::B => 0.5,
+        }
+    }
+}
+
+/// Cycles between successive frames.
+const FRAME_PERIOD: u64 = 256;
+
+/// Per-node video-stream generator.
+#[derive(Debug, Clone)]
+pub struct MpegTraffic {
+    mesh: MeshConfig,
+    rate_flits: f64,
+    /// Mean packets per frame (before per-frame-type scaling).
+    mean_frame_packets: f64,
+    /// Outstanding packets per node awaiting emission.
+    backlog: Vec<u32>,
+    /// Next frame boundary per node (staggered across nodes).
+    next_frame: Vec<Cycle>,
+    /// Next GoP position per node.
+    gop_pos: Vec<usize>,
+    initialized: bool,
+}
+
+impl MpegTraffic {
+    /// Creates the generator.
+    pub fn new(mesh: MeshConfig, rate_flits: f64, flits_per_packet: u16) -> Self {
+        let packet_rate = rate_flits / flits_per_packet as f64;
+        // Mean GoP relative size:
+        let mean_rel: f64 =
+            GOP_PATTERN.iter().map(|f| f.relative_size()).sum::<f64>() / GOP_PATTERN.len() as f64;
+        let mean_frame_packets = packet_rate * FRAME_PERIOD as f64 / mean_rel;
+        let n = mesh.nodes();
+        MpegTraffic {
+            mesh,
+            rate_flits,
+            mean_frame_packets,
+            backlog: vec![0; n],
+            next_frame: vec![0; n],
+            gop_pos: vec![0; n],
+            initialized: false,
+        }
+    }
+
+    /// The fixed streaming partner of `node`: the node half a mesh away
+    /// in both dimensions (torus-style offset, so the pattern is a
+    /// permutation and self-traffic never occurs on meshes ≥ 2×2).
+    pub fn partner(&self, node: Coord) -> Coord {
+        Coord::new(
+            (node.x + self.mesh.width / 2) % self.mesh.width,
+            (node.y + self.mesh.height / 2) % self.mesh.height,
+        )
+    }
+
+    fn frame_packets(&self, kind: FrameKind, rng: &mut SmallRng) -> u32 {
+        // Multiplicative jitter in [0.6, 1.4), approximating the
+        // lognormal spread of real frame-size traces.
+        let jitter = rng.gen_range(0.6..1.4);
+        (self.mean_frame_packets * kind.relative_size() * jitter).round().max(0.0) as u32
+    }
+}
+
+impl Traffic for MpegTraffic {
+    fn generate(&mut self, node: Coord, cycle: Cycle, rng: &mut SmallRng) -> Option<Coord> {
+        let idx = node.index(self.mesh.width);
+        if !self.initialized && cycle == 0 {
+            // Stagger stream phases so I-frames do not align mesh-wide.
+            for (i, nf) in self.next_frame.iter_mut().enumerate() {
+                *nf = (i as u64 * 37) % FRAME_PERIOD;
+            }
+            self.initialized = true;
+        }
+        if cycle >= self.next_frame[idx] {
+            let kind = GOP_PATTERN[self.gop_pos[idx]];
+            self.gop_pos[idx] = (self.gop_pos[idx] + 1) % GOP_PATTERN.len();
+            let pkts = self.frame_packets(kind, rng);
+            self.backlog[idx] = self.backlog[idx].saturating_add(pkts);
+            self.next_frame[idx] += FRAME_PERIOD;
+        }
+        if self.backlog[idx] > 0 {
+            self.backlog[idx] -= 1;
+            Some(self.partner(node))
+        } else {
+            None
+        }
+    }
+
+    fn offered_load(&self) -> f64 {
+        self.rate_flits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gop_pattern_shape() {
+        assert_eq!(GOP_PATTERN.len(), 9);
+        assert_eq!(GOP_PATTERN.iter().filter(|f| **f == FrameKind::I).count(), 1);
+        assert_eq!(GOP_PATTERN.iter().filter(|f| **f == FrameKind::P).count(), 2);
+        assert_eq!(GOP_PATTERN.iter().filter(|f| **f == FrameKind::B).count(), 6);
+        assert!(FrameKind::I.relative_size() > FrameKind::P.relative_size());
+        assert!(FrameKind::P.relative_size() > FrameKind::B.relative_size());
+    }
+
+    #[test]
+    fn partner_is_fixed_and_not_self() {
+        let t = MpegTraffic::new(MeshConfig::new(8, 8), 0.2, 4);
+        for y in 0..8 {
+            for x in 0..8 {
+                let node = Coord::new(x, y);
+                let p = t.partner(node);
+                assert_ne!(p, node);
+                assert_eq!(t.partner(node), p, "partner must be stable");
+            }
+        }
+    }
+
+    #[test]
+    fn long_run_rate_approximates_target() {
+        let mesh = MeshConfig::new(8, 8);
+        let mut t = MpegTraffic::new(mesh, 0.3, 4);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let node = Coord::new(5, 1);
+        let cycles = 200_000u64;
+        let packets = (0..cycles).filter(|&c| t.generate(node, c, &mut rng).is_some()).count();
+        let measured = packets as f64 * 4.0 / cycles as f64;
+        assert!((measured - 0.3).abs() < 0.05, "measured {measured}");
+    }
+
+    #[test]
+    fn frames_arrive_in_bursts() {
+        let mesh = MeshConfig::new(8, 8);
+        let mut t = MpegTraffic::new(mesh, 0.2, 4);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let node = Coord::new(0, 0);
+        // Count per-frame-period emissions; I frames should produce
+        // periods with several times the B-frame volume.
+        let mut per_period = Vec::new();
+        for f in 0..36u64 {
+            let count = (0..FRAME_PERIOD)
+                .filter(|i| t.generate(node, f * FRAME_PERIOD + i, &mut rng).is_some())
+                .count();
+            per_period.push(count);
+        }
+        let max = *per_period.iter().max().unwrap();
+        let min = *per_period.iter().min().unwrap();
+        assert!(max >= 2 * min.max(1), "expected I/B volume contrast, got {per_period:?}");
+    }
+}

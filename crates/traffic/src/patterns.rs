@@ -1,0 +1,231 @@
+//! Memoryless traffic patterns: uniform, transpose, hotspot and
+//! bit-complement.
+
+use crate::Traffic;
+use noc_core::{Coord, Cycle, MeshConfig};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Bernoulli coin shared by the memoryless generators: converts a flit
+/// rate into a per-cycle packet-generation probability.
+fn packet_probability(rate_flits: f64, flits_per_packet: u16) -> f64 {
+    rate_flits / flits_per_packet as f64
+}
+
+/// Uniform random traffic: each node flips a Bernoulli coin every cycle
+/// and addresses a uniformly random *other* node.
+#[derive(Debug, Clone)]
+pub struct UniformTraffic {
+    mesh: MeshConfig,
+    rate_flits: f64,
+    p: f64,
+}
+
+impl UniformTraffic {
+    /// Creates the generator.
+    pub fn new(mesh: MeshConfig, rate_flits: f64, flits_per_packet: u16) -> Self {
+        UniformTraffic { mesh, rate_flits, p: packet_probability(rate_flits, flits_per_packet) }
+    }
+}
+
+impl Traffic for UniformTraffic {
+    fn generate(&mut self, node: Coord, _cycle: Cycle, rng: &mut SmallRng) -> Option<Coord> {
+        if !rng.gen_bool(self.p) {
+            return None;
+        }
+        // Uniform over the other N-1 nodes.
+        let n = self.mesh.nodes();
+        let mut idx = rng.gen_range(0..n - 1);
+        if idx >= node.index(self.mesh.width) {
+            idx += 1;
+        }
+        Some(Coord::from_index(idx, self.mesh.width))
+    }
+
+    fn offered_load(&self) -> f64 {
+        self.rate_flits
+    }
+}
+
+/// Matrix-transpose traffic: node `(x, y)` sends to `(y, x)`; diagonal
+/// nodes stay silent. A classic adversarial pattern for XY routing [7].
+#[derive(Debug, Clone)]
+pub struct TransposeTraffic {
+    rate_flits: f64,
+    p: f64,
+}
+
+impl TransposeTraffic {
+    /// Creates the generator (the mesh should be square for the pattern
+    /// to be a permutation, but rectangular meshes are clamped).
+    pub fn new(_mesh: MeshConfig, rate_flits: f64, flits_per_packet: u16) -> Self {
+        TransposeTraffic { rate_flits, p: packet_probability(rate_flits, flits_per_packet) }
+    }
+}
+
+impl Traffic for TransposeTraffic {
+    fn generate(&mut self, node: Coord, _cycle: Cycle, rng: &mut SmallRng) -> Option<Coord> {
+        let dst = Coord::new(node.y, node.x);
+        if dst == node || !rng.gen_bool(self.p) {
+            return None;
+        }
+        Some(dst)
+    }
+
+    fn offered_load(&self) -> f64 {
+        self.rate_flits
+    }
+}
+
+/// Uniform traffic with a `hotspot_fraction` of packets redirected to a
+/// single hotspot node at the mesh centre (extension workload).
+#[derive(Debug, Clone)]
+pub struct HotspotTraffic {
+    uniform: UniformTraffic,
+    hotspot: Coord,
+    fraction: f64,
+}
+
+impl HotspotTraffic {
+    /// Creates the generator; `fraction` of generated packets are
+    /// re-addressed to the central hotspot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn new(mesh: MeshConfig, rate_flits: f64, flits_per_packet: u16, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "hotspot fraction must be in [0, 1]");
+        HotspotTraffic {
+            uniform: UniformTraffic::new(mesh, rate_flits, flits_per_packet),
+            hotspot: Coord::new(mesh.width / 2, mesh.height / 2),
+            fraction,
+        }
+    }
+
+    /// The hotspot node.
+    pub fn hotspot(&self) -> Coord {
+        self.hotspot
+    }
+}
+
+impl Traffic for HotspotTraffic {
+    fn generate(&mut self, node: Coord, cycle: Cycle, rng: &mut SmallRng) -> Option<Coord> {
+        let dst = self.uniform.generate(node, cycle, rng)?;
+        if node != self.hotspot && rng.gen_bool(self.fraction) {
+            Some(self.hotspot)
+        } else {
+            Some(dst)
+        }
+    }
+
+    fn offered_load(&self) -> f64 {
+        self.uniform.offered_load()
+    }
+}
+
+/// Bit-complement traffic: `(x, y)` sends to `(W-1-x, H-1-y)`
+/// (extension workload; every packet crosses the mesh centre).
+#[derive(Debug, Clone)]
+pub struct BitComplementTraffic {
+    mesh: MeshConfig,
+    rate_flits: f64,
+    p: f64,
+}
+
+impl BitComplementTraffic {
+    /// Creates the generator.
+    pub fn new(mesh: MeshConfig, rate_flits: f64, flits_per_packet: u16) -> Self {
+        BitComplementTraffic {
+            mesh,
+            rate_flits,
+            p: packet_probability(rate_flits, flits_per_packet),
+        }
+    }
+}
+
+impl Traffic for BitComplementTraffic {
+    fn generate(&mut self, node: Coord, _cycle: Cycle, rng: &mut SmallRng) -> Option<Coord> {
+        let dst = Coord::new(self.mesh.width - 1 - node.x, self.mesh.height - 1 - node.y);
+        if dst == node || !rng.gen_bool(self.p) {
+            return None;
+        }
+        Some(dst)
+    }
+
+    fn offered_load(&self) -> f64 {
+        self.rate_flits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn mesh() -> MeshConfig {
+        MeshConfig::new(8, 8)
+    }
+
+    #[test]
+    fn uniform_rate_is_calibrated() {
+        let mut t = UniformTraffic::new(mesh(), 0.4, 4);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let cycles = 20_000u64;
+        let node = Coord::new(3, 3);
+        let packets = (0..cycles).filter(|&c| t.generate(node, c, &mut rng).is_some()).count();
+        let measured_flits = packets as f64 * 4.0 / cycles as f64;
+        assert!((measured_flits - 0.4).abs() < 0.02, "measured {measured_flits}");
+    }
+
+    #[test]
+    fn uniform_destinations_cover_mesh() {
+        let mut t = UniformTraffic::new(mesh(), 1.0, 1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let node = Coord::new(0, 0);
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..5_000 {
+            if let Some(d) = t.generate(node, c, &mut rng) {
+                assert_ne!(d, node);
+                seen.insert(d);
+            }
+        }
+        assert_eq!(seen.len(), 63, "all other nodes should be hit");
+    }
+
+    #[test]
+    fn transpose_targets_mirror() {
+        let mut t = TransposeTraffic::new(mesh(), 1.0, 1);
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(t.generate(Coord::new(2, 5), 0, &mut rng), Some(Coord::new(5, 2)));
+        // Diagonal nodes never send.
+        for c in 0..100 {
+            assert_eq!(t.generate(Coord::new(4, 4), c, &mut rng), None);
+        }
+    }
+
+    #[test]
+    fn hotspot_skews_towards_center() {
+        let mut t = HotspotTraffic::new(mesh(), 1.0, 1, 0.5);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let hotspot = t.hotspot();
+        let node = Coord::new(0, 0);
+        let hits = (0..4_000)
+            .filter(|&c| t.generate(node, c, &mut rng) == Some(hotspot))
+            .count();
+        // ~50% redirected + ~1/63 natural.
+        assert!(hits > 1_500, "hotspot hits {hits} too low");
+    }
+
+    #[test]
+    fn bit_complement_targets() {
+        let mut t = BitComplementTraffic::new(mesh(), 1.0, 1);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(t.generate(Coord::new(1, 2), 0, &mut rng), Some(Coord::new(6, 5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "hotspot fraction")]
+    fn invalid_hotspot_fraction() {
+        let _ = HotspotTraffic::new(mesh(), 0.1, 4, 1.5);
+    }
+}

@@ -1,0 +1,199 @@
+//! Self-similar traffic via Pareto on/off sources.
+//!
+//! The paper uses "self-similar web traffic" generated per Barford &
+//! Crovella (SIGMETRICS '98) [1]. That generator's key mechanism is the
+//! superposition of on/off sources whose on- and off-period lengths are
+//! heavy-tailed (Pareto) — the canonical construction of self-similar
+//! aggregate traffic (Hurst parameter `H = (3 − α) / 2 ≈ 0.875` for
+//! `α = 1.25`). We reproduce exactly that mechanism per node, with
+//! uniformly random destinations.
+
+use crate::Traffic;
+use noc_core::{Coord, Cycle, MeshConfig};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Pareto shape parameter for both on and off periods.
+const ALPHA: f64 = 1.25;
+/// Mean on-period length in cycles.
+const MEAN_ON: f64 = 40.0;
+/// Duty cycle (fraction of time a source is on). The on-period injection
+/// probability is scaled so the long-run average hits the target rate.
+const DUTY: f64 = 0.25;
+
+/// Samples a Pareto-distributed duration with shape [`ALPHA`] and the
+/// given mean, truncated to at least one cycle.
+fn pareto(mean: f64, rng: &mut SmallRng) -> u64 {
+    // For Pareto(x_m, α): mean = α·x_m/(α−1)  ⇒  x_m = mean·(α−1)/α.
+    let x_m = mean * (ALPHA - 1.0) / ALPHA;
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (x_m * u.powf(-1.0 / ALPHA)).ceil().max(1.0) as u64
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    On,
+    Off,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SourceState {
+    phase: Phase,
+    /// Cycle at which the current phase ends.
+    until: Cycle,
+    initialized: bool,
+}
+
+impl Default for SourceState {
+    fn default() -> Self {
+        SourceState { phase: Phase::Off, until: 0, initialized: false }
+    }
+}
+
+/// Per-node Pareto on/off burst source with uniform destinations.
+#[derive(Debug, Clone)]
+pub struct SelfSimilarTraffic {
+    mesh: MeshConfig,
+    rate_flits: f64,
+    /// Packet-generation probability while a source is on.
+    p_on: f64,
+    /// Effective duty cycle after clamping `p_on` to 1.
+    duty: f64,
+    states: Vec<SourceState>,
+}
+
+impl SelfSimilarTraffic {
+    /// Creates the generator.
+    pub fn new(mesh: MeshConfig, rate_flits: f64, flits_per_packet: u16) -> Self {
+        let packet_rate = rate_flits / flits_per_packet as f64;
+        // Aim for DUTY; if the required on-probability would exceed 1,
+        // widen the duty cycle instead.
+        let mut duty = DUTY;
+        let mut p_on = packet_rate / duty;
+        if p_on > 1.0 {
+            duty = packet_rate;
+            p_on = 1.0;
+        }
+        SelfSimilarTraffic {
+            mesh,
+            rate_flits,
+            p_on,
+            duty,
+            states: vec![SourceState::default(); mesh.nodes()],
+        }
+    }
+
+    /// The burst-phase injection probability (packets/cycle while on).
+    pub fn on_probability(&self) -> f64 {
+        self.p_on
+    }
+
+    fn advance_phase(state: &mut SourceState, cycle: Cycle, duty: f64, rng: &mut SmallRng) {
+        if !state.initialized {
+            // Start each source at a random point of an off period so
+            // sources are not phase-aligned at cycle 0.
+            state.initialized = true;
+            state.phase = if rng.gen_bool(duty) { Phase::On } else { Phase::Off };
+            state.until = cycle + rng.gen_range(1..=MEAN_ON as u64);
+            return;
+        }
+        while cycle >= state.until {
+            let mean_off = MEAN_ON * (1.0 - duty) / duty;
+            match state.phase {
+                Phase::On => {
+                    state.phase = Phase::Off;
+                    state.until += pareto(mean_off, rng);
+                }
+                Phase::Off => {
+                    state.phase = Phase::On;
+                    state.until += pareto(MEAN_ON, rng);
+                }
+            }
+        }
+    }
+}
+
+impl Traffic for SelfSimilarTraffic {
+    fn generate(&mut self, node: Coord, cycle: Cycle, rng: &mut SmallRng) -> Option<Coord> {
+        let idx = node.index(self.mesh.width);
+        let state = &mut self.states[idx];
+        Self::advance_phase(state, cycle, self.duty, rng);
+        if !matches!(state.phase, Phase::On) || !rng.gen_bool(self.p_on) {
+            return None;
+        }
+        let n = self.mesh.nodes();
+        let mut d = rng.gen_range(0..n - 1);
+        if d >= idx {
+            d += 1;
+        }
+        Some(Coord::from_index(d, self.mesh.width))
+    }
+
+    fn offered_load(&self) -> f64 {
+        self.rate_flits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn long_run_rate_approximates_target() {
+        let mesh = MeshConfig::new(8, 8);
+        let mut t = SelfSimilarTraffic::new(mesh, 0.3, 4);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let cycles = 400_000u64;
+        let node = Coord::new(2, 2);
+        let packets = (0..cycles).filter(|&c| t.generate(node, c, &mut rng).is_some()).count();
+        let measured = packets as f64 * 4.0 / cycles as f64;
+        // Heavy-tailed periods converge slowly; allow 25% tolerance.
+        assert!(
+            (measured - 0.3).abs() < 0.075,
+            "measured flit rate {measured} too far from 0.3"
+        );
+    }
+
+    #[test]
+    fn traffic_is_bursty() {
+        // Variance of per-window packet counts should far exceed a
+        // Poisson process of the same mean (index of dispersion >> 1).
+        let mesh = MeshConfig::new(8, 8);
+        let mut t = SelfSimilarTraffic::new(mesh, 0.2, 4);
+        let mut rng = SmallRng::seed_from_u64(23);
+        let node = Coord::new(1, 1);
+        let window = 100u64;
+        let windows = 2_000;
+        let mut counts = Vec::with_capacity(windows);
+        for w in 0..windows as u64 {
+            let c = (0..window)
+                .filter(|i| t.generate(node, w * window + i, &mut rng).is_some())
+                .count();
+            counts.push(c as f64);
+        }
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        let var =
+            counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
+        let dispersion = var / mean;
+        assert!(dispersion > 2.0, "index of dispersion {dispersion} not bursty");
+    }
+
+    #[test]
+    fn pareto_samples_have_heavy_tail() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let samples: Vec<u64> = (0..50_000).map(|_| pareto(40.0, &mut rng)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!((mean - 40.0).abs() < 8.0, "mean {mean}");
+        let max = *samples.iter().max().unwrap();
+        assert!(max > 400, "no heavy tail observed (max {max})");
+        assert!(samples.iter().all(|&s| s >= 1));
+    }
+
+    #[test]
+    fn high_rate_widens_duty_cycle() {
+        let t = SelfSimilarTraffic::new(MeshConfig::new(4, 4), 1.0, 1);
+        assert!((t.on_probability() - 1.0).abs() < 1e-12);
+        assert!((t.offered_load() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,47 @@
+//! Building a custom experiment against the public API: a 12×12 mesh,
+//! a hand-placed crossbar fault next to a hotspot, a per-cycle stepping
+//! loop with live inspection, and PEF evaluation at the end.
+//!
+//! Run with `cargo run --release --example custom_experiment`.
+
+use roco_noc::core::{Axis, ComponentFault, Coord, FaultComponent, MeshConfig};
+use roco_noc::prelude::*;
+
+fn main() {
+    // A larger mesh than the paper's, to show the simulator is fully
+    // parameterizable (§5.1).
+    let mut cfg = SimConfig::paper_scaled(RouterKind::RoCo, RoutingKind::Adaptive, TrafficKind::Hotspot);
+    cfg.mesh = MeshConfig::new(12, 12);
+    cfg.warmup_packets = 500;
+    cfg.measured_packets = 6_000;
+    cfg.injection_rate = 0.15;
+    cfg.stall_window = 4_000;
+    // Break the Row module's crossbar right next to the hotspot node.
+    cfg.faults = FaultPlan::single(
+        Coord::new(6, 6),
+        ComponentFault::new(FaultComponent::Crossbar, Axis::X),
+    );
+
+    let mut sim = Simulation::new(cfg);
+    // Drive the simulation manually and sample the in-flight population.
+    let mut peak_in_flight = 0;
+    while !sim.finished() {
+        sim.step();
+        if sim.cycle() % 64 == 0 {
+            peak_in_flight = peak_in_flight.max(sim.flits_in_system());
+        }
+    }
+    let results = sim.results();
+
+    println!("12×12 mesh, hotspot traffic, adaptive routing, Row-module crossbar fault at (6,6)\n");
+    println!("cycles simulated     {}", results.cycles);
+    println!("peak flits in flight {peak_in_flight}");
+    println!("avg latency          {:.2} cycles", results.avg_latency);
+    println!("completion           {:.4}", results.completion_probability());
+    println!("energy per packet    {:.3} nJ", results.energy_per_packet * 1e9);
+    println!("PEF                  {:.2} nJ·cycles/completion", results.pef_inputs().pef() * 1e9);
+    println!();
+    println!("Adaptive routing detours around the dead Row module, so completion");
+    println!("stays near 1.0 even though the faulty node can no longer forward");
+    println!("East/West traffic. Early Ejection keeps node (6,6) itself reachable.");
+}

@@ -1,0 +1,57 @@
+//! Graceful degradation demo (§4): inject hard faults into the mesh and
+//! watch how each architecture reacts — the baselines lose whole nodes,
+//! while the RoCo router isolates single modules (critical faults) or
+//! recycles hardware to bypass the failure entirely (non-critical
+//! faults).
+//!
+//! Run with `cargo run --release --example graceful_degradation`.
+
+use roco_noc::prelude::*;
+
+fn run_with_faults(router: RouterKind, category: FaultCategory, faults: usize) -> SimResults {
+    let mut cfg = SimConfig::paper_scaled(router, RoutingKind::Xy, TrafficKind::Uniform);
+    cfg.warmup_packets = 500;
+    cfg.measured_packets = 8_000;
+    cfg.injection_rate = 0.3;
+    cfg.stall_window = 4_000;
+    cfg.faults = FaultPlan::random(category, faults, cfg.mesh, 2026);
+    roco_noc::sim::run(cfg)
+}
+
+fn main() {
+    println!("Fault tolerance through Hardware Recycling (paper §4)\n");
+    println!("Reactions to a component fault:");
+    for component in [
+        FaultComponent::RoutingComputation,
+        FaultComponent::VcBuffer,
+        FaultComponent::VaArbiter,
+        FaultComponent::SaArbiter,
+        FaultComponent::Crossbar,
+    ] {
+        println!(
+            "  {component:?}: generic ⇒ {:?}, RoCo ⇒ {:?}",
+            roco_noc::fault::reaction(RouterKind::Generic, component),
+            roco_noc::fault::reaction(RouterKind::RoCo, component),
+        );
+    }
+
+    for (category, label) in [
+        (FaultCategory::Isolating, "router-centric / critical faults (Fig 11)"),
+        (FaultCategory::Recyclable, "message-centric / non-critical faults (Fig 12)"),
+    ] {
+        println!("\n== {label} ==");
+        println!("{:>15} | {:>10} {:>10} {:>10}", "router", "1 fault", "2 faults", "4 faults");
+        for router in RouterKind::ALL {
+            let mut cells = Vec::new();
+            for n in [1, 2, 4] {
+                let r = run_with_faults(router, category, n);
+                cells.push(format!("{:>10.3}", r.completion_probability()));
+            }
+            println!("{router:>15} | {}", cells.join(" "));
+        }
+    }
+
+    println!("\nThe RoCo router completes every packet under non-critical faults");
+    println!("(Hardware Recycling) and degrades most gracefully under critical ones");
+    println!("(one module isolated instead of the whole node).");
+}

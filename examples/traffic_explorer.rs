@@ -1,0 +1,32 @@
+//! Workload explorer: sweep every traffic family (including the
+//! hotspot / bit-complement / MPEG-2 extensions) over the three routing
+//! algorithms on the RoCo router, and print the latency landscape.
+//!
+//! Run with `cargo run --release --example traffic_explorer`.
+
+use roco_noc::prelude::*;
+
+fn main() {
+    println!("RoCo router — latency (cycles) per workload and routing algorithm");
+    println!("8×8 mesh, 0.25 flits/node/cycle\n");
+    println!(
+        "{:>15} | {:>9} {:>9} {:>9}",
+        "traffic", "xy", "xy-yx", "adaptive"
+    );
+    for traffic in TrafficKind::ALL {
+        let mut cells = Vec::new();
+        for routing in RoutingKind::ALL {
+            let mut cfg = SimConfig::paper_scaled(RouterKind::RoCo, routing, traffic);
+            cfg.warmup_packets = 500;
+            cfg.measured_packets = 8_000;
+            cfg.injection_rate = 0.25;
+            let r = roco_noc::sim::run(cfg);
+            let flag = if r.stalled { "*" } else { "" };
+            cells.push(format!("{:>8.1}{flag}", r.avg_latency));
+        }
+        println!("{:>15} | {}", traffic.to_string(), cells.join(" "));
+    }
+    println!("\nAdaptive routing helps the adversarial permutations (transpose,");
+    println!("bit-complement) and the hotspot most; uniform traffic favours XY,");
+    println!("as §3.2 notes. (* = run hit the inactivity detector.)");
+}

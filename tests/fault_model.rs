@@ -1,0 +1,176 @@
+//! Targeted fault-model integration tests (§4): specific component
+//! failures at specific routers, and the reactions they must provoke.
+
+use roco_noc::core::{Axis, ComponentFault, Coord, FaultComponent, MeshConfig};
+use roco_noc::prelude::*;
+
+fn base(router: RouterKind, routing: RoutingKind) -> SimConfig {
+    let mut cfg = SimConfig::paper_scaled(router, routing, TrafficKind::Uniform);
+    cfg.warmup_packets = 200;
+    cfg.measured_packets = 2_500;
+    cfg.injection_rate = 0.25;
+    cfg.stall_window = 3_000;
+    cfg
+}
+
+fn center_fault(component: FaultComponent, axis: Axis) -> FaultPlan {
+    FaultPlan::single(Coord::new(4, 4), ComponentFault::new(component, axis))
+}
+
+#[test]
+fn crossbar_fault_blocks_generic_node_but_only_roco_module() {
+    let plan = center_fault(FaultComponent::Crossbar, Axis::X);
+
+    let generic =
+        roco_noc::sim::run(base(RouterKind::Generic, RoutingKind::Xy).with_faults(plan.clone()));
+    let roco = roco_noc::sim::run(base(RouterKind::RoCo, RoutingKind::Xy).with_faults(plan));
+
+    assert!(generic.completion_probability() < 1.0, "generic node must go dark");
+    assert!(
+        roco.completion_probability() > generic.completion_probability(),
+        "RoCo {:.3} must beat generic {:.3}",
+        roco.completion_probability(),
+        generic.completion_probability()
+    );
+    // With the Row module dead, packets transiting (4,4) in their
+    // X-phase are lost under XY (~5-6 % of uniform traffic), but all
+    // pure-Y, turning and ejection traffic survives.
+    assert!(roco.completion_probability() > 0.90);
+}
+
+#[test]
+fn roco_module_fault_keeps_the_node_reachable() {
+    // Early Ejection survives a single-module failure: packets whose
+    // destination IS the faulty node still arrive.
+    let plan = center_fault(FaultComponent::Crossbar, Axis::Y);
+    let r = roco_noc::sim::run(base(RouterKind::RoCo, RoutingKind::Adaptive).with_faults(plan));
+    // Adaptive routing detours around the dead Column module; only
+    // column-aligned traffic with no minimal detour is lost.
+    assert!(r.completion_probability() > 0.90, "got {:.3}", r.completion_probability());
+}
+
+#[test]
+fn rc_fault_costs_latency_but_no_packets() {
+    let healthy = roco_noc::sim::run(base(RouterKind::RoCo, RoutingKind::Xy));
+    let faulty = roco_noc::sim::run(
+        base(RouterKind::RoCo, RoutingKind::Xy)
+            .with_faults(center_fault(FaultComponent::RoutingComputation, Axis::X)),
+    );
+    assert_eq!(faulty.completion_probability(), 1.0, "Double Routing loses nothing");
+    assert!(
+        faulty.avg_latency >= healthy.avg_latency,
+        "Double Routing adds a cycle per head at the faulty router"
+    );
+}
+
+#[test]
+fn buffer_fault_is_absorbed_by_virtual_queuing() {
+    let faulty = roco_noc::sim::run(
+        base(RouterKind::RoCo, RoutingKind::Xy)
+            .with_faults(FaultPlan::single(
+                Coord::new(4, 4),
+                ComponentFault::buffer(Axis::Y, 0),
+            )),
+    );
+    assert_eq!(faulty.completion_probability(), 1.0, "one lost VC must not lose packets");
+    assert!(!faulty.stalled);
+}
+
+#[test]
+fn sa_fault_degrades_but_does_not_block() {
+    let healthy = roco_noc::sim::run(base(RouterKind::RoCo, RoutingKind::Xy));
+    let faulty = roco_noc::sim::run(
+        base(RouterKind::RoCo, RoutingKind::Xy)
+            .with_faults(center_fault(FaultComponent::SaArbiter, Axis::X)),
+    );
+    assert_eq!(faulty.completion_probability(), 1.0, "SA offload must not lose packets");
+    assert!(
+        faulty.avg_latency >= healthy.avg_latency * 0.99,
+        "sharing VA arbiters cannot make the router faster"
+    );
+}
+
+#[test]
+fn va_fault_isolates_one_module() {
+    let plan = center_fault(FaultComponent::VaArbiter, Axis::X);
+    let r = roco_noc::sim::run(base(RouterKind::RoCo, RoutingKind::Xy).with_faults(plan));
+    // Same effect class as a crossbar fault: partial service continues.
+    assert!(r.completion_probability() > 0.90 && r.completion_probability() < 1.0);
+}
+
+#[test]
+fn dead_destination_loses_only_its_own_traffic() {
+    // Kill a whole generic node; under uniform traffic 1/63 of packets
+    // address it and a share of XY routes transit it.
+    let plan = center_fault(FaultComponent::Crossbar, Axis::X);
+    let r = roco_noc::sim::run(base(RouterKind::Generic, RoutingKind::Xy).with_faults(plan));
+    let completion = r.completion_probability();
+    assert!(completion > 0.80, "losses should be bounded, got {completion:.3}");
+    assert!(completion < 1.0);
+    assert!(r.dropped_packets > 0);
+}
+
+#[test]
+fn adaptive_routing_routes_around_whole_node_faults_better_than_xy() {
+    let plan = center_fault(FaultComponent::Crossbar, Axis::X);
+    let xy =
+        roco_noc::sim::run(base(RouterKind::Generic, RoutingKind::Xy).with_faults(plan.clone()));
+    let adaptive =
+        roco_noc::sim::run(base(RouterKind::Generic, RoutingKind::Adaptive).with_faults(plan));
+    assert!(
+        adaptive.completion_probability() >= xy.completion_probability(),
+        "adaptive {:.3} vs xy {:.3}",
+        adaptive.completion_probability(),
+        xy.completion_probability()
+    );
+}
+
+#[test]
+fn double_module_fault_kills_the_roco_node() {
+    let mut plan = FaultPlan::single(
+        Coord::new(4, 4),
+        ComponentFault::new(FaultComponent::Crossbar, Axis::X),
+    );
+    plan.faults.push((
+        Coord::new(4, 4),
+        ComponentFault::new(FaultComponent::Crossbar, Axis::Y),
+    ));
+    let r = roco_noc::sim::run(base(RouterKind::RoCo, RoutingKind::Xy).with_faults(plan));
+    // Both modules dead = whole node dark, like the generic case.
+    assert!(r.completion_probability() < 1.0);
+}
+
+#[test]
+fn boundary_fault_sites_work() {
+    for coord in [Coord::new(0, 0), Coord::new(7, 0), Coord::new(0, 7), Coord::new(7, 7)] {
+        let plan =
+            FaultPlan::single(coord, ComponentFault::new(FaultComponent::Crossbar, Axis::X));
+        let r = roco_noc::sim::run(base(RouterKind::RoCo, RoutingKind::Xy).with_faults(plan));
+        assert!(r.completion_probability() > 0.9, "corner fault at {coord}");
+    }
+}
+
+#[test]
+fn fault_free_and_single_fault_runs_share_no_state() {
+    // Running a faulty config must not perturb a following clean run
+    // (everything is value-owned; this guards against accidental
+    // global state).
+    let faulty = roco_noc::sim::run(
+        base(RouterKind::RoCo, RoutingKind::Xy)
+            .with_faults(center_fault(FaultComponent::Crossbar, Axis::X)),
+    );
+    let clean_a = roco_noc::sim::run(base(RouterKind::RoCo, RoutingKind::Xy));
+    let clean_b = roco_noc::sim::run(base(RouterKind::RoCo, RoutingKind::Xy));
+    assert!(faulty.completion_probability() < 1.0);
+    assert_eq!(clean_a.avg_latency, clean_b.avg_latency);
+}
+
+#[test]
+fn mesh_with_many_faults_still_terminates() {
+    let mut cfg = base(RouterKind::Generic, RoutingKind::Xy);
+    cfg.faults = FaultPlan::random(FaultCategory::Isolating, 12, MeshConfig::new(8, 8), 9);
+    cfg.stall_window = 2_000;
+    let max_cycles = cfg.max_cycles;
+    let r = roco_noc::sim::run(cfg);
+    assert!(r.cycles < max_cycles, "run must terminate via drain or stall detector");
+}

@@ -1,0 +1,90 @@
+//! Property-based integration tests over the whole stack.
+
+use proptest::prelude::*;
+use roco_noc::prelude::*;
+
+fn cfg_for(
+    router_idx: u8,
+    routing_idx: u8,
+    rate_milli: u16,
+    seed: u64,
+    width: u16,
+    height: u16,
+) -> SimConfig {
+    let router = RouterKind::ALL[router_idx as usize % 3];
+    let routing = RoutingKind::ALL[routing_idx as usize % 3];
+    let mut cfg = SimConfig::paper_scaled(router, routing, TrafficKind::Uniform);
+    cfg.mesh = roco_noc::core::MeshConfig::new(width, height);
+    cfg.warmup_packets = 20;
+    cfg.measured_packets = 300;
+    cfg.injection_rate = 0.05 + (rate_milli % 200) as f64 / 1000.0; // 0.05..0.25
+    cfg.seed = seed;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any fault-free configuration delivers every generated packet,
+    /// on any mesh from 3×3 to 8×8, at any sub-saturation rate.
+    #[test]
+    fn fault_free_always_completes(
+        router_idx in 0u8..3,
+        routing_idx in 0u8..3,
+        rate_milli in 0u16..200,
+        seed in 0u64..1_000,
+        width in 3u16..8,
+        height in 3u16..8,
+    ) {
+        let cfg = cfg_for(router_idx, routing_idx, rate_milli, seed, width, height);
+        let r = roco_noc::sim::run(cfg);
+        prop_assert!(!r.stalled);
+        prop_assert_eq!(r.delivered_packets, r.generated_packets);
+        prop_assert_eq!(r.dropped_packets, 0);
+        // Latency at least the minimum hop pipeline.
+        prop_assert!(r.avg_latency >= 4.0);
+    }
+
+    /// Faulty runs never deliver more than they inject, always
+    /// terminate, and completion stays within [0, 1].
+    #[test]
+    fn faulty_runs_have_sane_accounting(
+        router_idx in 0u8..3,
+        fault_count in 1usize..4,
+        category_critical in any::<bool>(),
+        seed in 0u64..1_000,
+    ) {
+        let mut cfg = cfg_for(router_idx, 0, 100, seed, 8, 8);
+        cfg.stall_window = 1_500;
+        let category = if category_critical {
+            FaultCategory::Isolating
+        } else {
+            FaultCategory::Recyclable
+        };
+        cfg.faults = FaultPlan::random(category, fault_count, cfg.mesh, seed);
+        let r = roco_noc::sim::run(cfg);
+        prop_assert!(r.measured_delivered <= r.measured_injected);
+        prop_assert!(r.delivered_packets + r.dropped_packets <= r.generated_packets);
+        let c = r.completion_probability();
+        prop_assert!((0.0..=1.0).contains(&c));
+    }
+
+    /// Energy accounting is strictly positive and finite whenever
+    /// anything moved, and the PEF metric is well-defined for runs that
+    /// delivered packets.
+    #[test]
+    fn energy_and_pef_are_well_defined(
+        router_idx in 0u8..3,
+        routing_idx in 0u8..3,
+        seed in 0u64..500,
+    ) {
+        let cfg = cfg_for(router_idx, routing_idx, 100, seed, 6, 6);
+        let r = roco_noc::sim::run(cfg);
+        prop_assert!(r.energy.total().is_finite());
+        prop_assert!(r.energy.total() > 0.0);
+        prop_assert!(r.energy.dynamic() > 0.0);
+        prop_assert!(r.energy.leakage > 0.0);
+        let pef = r.pef_inputs().pef();
+        prop_assert!(pef.is_finite() && pef > 0.0);
+    }
+}
