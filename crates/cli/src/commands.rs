@@ -1,10 +1,16 @@
-//! The `noc` subcommands: `run`, `sweep`, `fault`, `info`.
+//! The `noc` subcommands: `run`, `sweep`, `fault`, `timeline`, `info`.
 
 use crate::{parse_mesh, parse_rates, parse_router, parse_routing, parse_traffic, ArgError, Args};
 use noc_core::{RouterKind, RoutingKind};
 use noc_fault::{FaultCategory, FaultPlan};
-use noc_sim::{SimConfig, SimResults, Simulation};
+use noc_sim::{
+    CsvTraceSink, IntervalSample, JsonlMetricsSink, JsonlTraceSink, MetricsSink,
+    PerfettoTraceSink, SimConfig, SimResults, Simulation, TraceSink,
+};
+use std::cell::RefCell;
 use std::fmt::Write as _;
+use std::io::BufWriter;
+use std::rc::Rc;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -13,10 +19,14 @@ noc — RoCo NoC simulator (ISCA 2006 reproduction)
 USAGE:
   noc run   [--router R] [--routing A] [--traffic T] [--rate F] [--mesh WxH]
             [--packets N] [--warmup N] [--seed N] [--heatmaps true]
+            [--metrics-out F.jsonl] [--trace-out F.perfetto.json|F.jsonl|F.csv]
+            [--sample-window N] [--postmortem-out F.json]
   noc sweep [--router R|all] [--routing A] [--traffic T] [--rates F,F,...]
             [--mesh WxH] [--packets N] [--seed N]
   noc fault [--router R|all] [--routing A] [--category critical|recyclable]
             [--faults N] [--rate F] [--packets N] [--seed N]
+  noc timeline [--router R] [--routing A] [--traffic T] [--rate F] [--mesh WxH]
+            [--packets N] [--warmup N] [--seed N] [--sample-window N]
   noc thermal [--router R] [--routing A] [--traffic T] [--rate F] [--packets N]
   noc info
 
@@ -24,6 +34,11 @@ VALUES:
   R: generic | path-sensitive | roco (default roco)
   A: xy | xy-yx | adaptive | odd-even (default xy)
   T: uniform | transpose | self-similar | mpeg | hotspot | bit-complement
+
+TELEMETRY:
+  --metrics-out streams one JSON object per sample window (JSONL);
+  --trace-out picks its format from the extension: .perfetto.json / .json
+  (Chrome trace events, open in ui.perfetto.dev), .csv, else JSONL.
 ";
 
 fn base_config(args: &Args) -> Result<SimConfig, ArgError> {
@@ -76,24 +91,69 @@ fn summarize(r: &SimResults) -> String {
     s
 }
 
-/// `noc run`: one simulation, full summary, optional heatmaps.
+/// Opens `path` as a JSONL metrics sink.
+fn open_metrics_sink(path: &str) -> Result<Box<dyn MetricsSink>, ArgError> {
+    let file = std::fs::File::create(path)
+        .map_err(|e| ArgError(format!("cannot create '{path}': {e}")))?;
+    Ok(Box::new(JsonlMetricsSink::new(BufWriter::new(file))))
+}
+
+/// Opens `path` as a trace sink, picking the format from the extension:
+/// `.perfetto.json` / `.json` → Chrome trace events, `.csv` → CSV,
+/// anything else → JSONL.
+fn open_trace_sink(path: &str) -> Result<Box<dyn TraceSink>, ArgError> {
+    let file = std::fs::File::create(path)
+        .map_err(|e| ArgError(format!("cannot create '{path}': {e}")))?;
+    let writer = BufWriter::new(file);
+    let io_err = |e: std::io::Error| ArgError(format!("cannot write '{path}': {e}"));
+    if path.ends_with(".json") {
+        Ok(Box::new(PerfettoTraceSink::new(writer).map_err(io_err)?))
+    } else if path.ends_with(".csv") {
+        Ok(Box::new(CsvTraceSink::new(writer).map_err(io_err)?))
+    } else {
+        Ok(Box::new(JsonlTraceSink::new(writer)))
+    }
+}
+
+/// `noc run`: one simulation, full summary, optional heatmaps and
+/// telemetry exports.
 pub fn cmd_run(args: &Args) -> Result<String, ArgError> {
     let unknown = args.unknown_flags(&[
-        "router", "routing", "traffic", "rate", "mesh", "packets", "warmup", "seed", "heatmaps",
+        "router",
+        "routing",
+        "traffic",
+        "rate",
+        "mesh",
+        "packets",
+        "warmup",
+        "seed",
+        "heatmaps",
+        "metrics-out",
+        "trace-out",
+        "sample-window",
+        "postmortem-out",
     ]);
     if !unknown.is_empty() {
         return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
     }
-    let cfg = base_config(args)?;
+    let mut cfg = base_config(args)?;
+    cfg.sample_window = args.get_or("sample-window", cfg.sample_window)?;
     let heatmaps: bool = args.get_or("heatmaps", false)?;
     let label = format!(
         "{} router, {} routing, {} traffic @ {} flits/node/cycle on {}x{}",
         cfg.router, cfg.routing, cfg.traffic, cfg.injection_rate, cfg.mesh.width, cfg.mesh.height
     );
     let mut sim = Simulation::new(cfg);
+    if let Some(path) = args.get("metrics-out") {
+        sim.set_metrics_sink(open_metrics_sink(path)?);
+    }
+    if let Some(path) = args.get("trace-out") {
+        sim.set_trace_sink(open_trace_sink(path)?);
+    }
     while !sim.finished() {
         sim.step();
     }
+    sim.finish_observability();
     let results = sim.results();
     let mut out = format!("{label}\n{}", summarize(&results));
     if heatmaps {
@@ -102,6 +162,104 @@ pub fn cmd_run(args: &Args) -> Result<String, ArgError> {
         out.push_str(&report.crossbar_heatmap());
         out.push('\n');
         out.push_str(&report.contention_heatmap());
+        out.push('\n');
+        out.push_str(&report.latency_heatmap());
+        out.push('\n');
+        out.push_str(&report.occupancy_heatmap());
+        out.push('\n');
+        out.push_str(&report.credit_stall_heatmap());
+    }
+    if let Some(pm) = results.postmortem.as_ref() {
+        out.push('\n');
+        out.push_str(&pm.render());
+        if let Some(path) = args.get("postmortem-out") {
+            std::fs::write(path, pm.to_json())
+                .map_err(|e| ArgError(format!("cannot write '{path}': {e}")))?;
+        }
+    }
+    Ok(out)
+}
+
+/// A metrics sink sharing its sample buffer with the caller (the
+/// `timeline` command reads it back after the run).
+#[derive(Debug, Default)]
+struct SharedMetrics(Rc<RefCell<Vec<IntervalSample>>>);
+
+impl MetricsSink for SharedMetrics {
+    fn record_sample(&mut self, sample: &IntervalSample) {
+        self.0.borrow_mut().push(sample.clone());
+    }
+}
+
+/// One character per window, scaled 0..max over an ASCII density ramp.
+fn sparkline(values: &[f64]) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let max = values.iter().copied().filter(|v| v.is_finite()).fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                '?'
+            } else if max <= 0.0 {
+                ' '
+            } else {
+                let idx = (v / max * (RAMP.len() - 1) as f64).round() as usize;
+                RAMP[idx.min(RAMP.len() - 1)] as char
+            }
+        })
+        .collect()
+}
+
+/// `noc timeline`: run with the interval sampler attached and print
+/// ASCII sparklines of the per-window time-series.
+pub fn cmd_timeline(args: &Args) -> Result<String, ArgError> {
+    let unknown = args.unknown_flags(&[
+        "router", "routing", "traffic", "rate", "mesh", "packets", "warmup", "seed",
+        "sample-window",
+    ]);
+    if !unknown.is_empty() {
+        return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
+    }
+    let mut cfg = base_config(args)?;
+    cfg.sample_window = args.get_or("sample-window", cfg.sample_window)?;
+    let window = cfg.sample_window;
+    let label = format!(
+        "{} router, {} routing, {} traffic @ {} flits/node/cycle on {}x{}",
+        cfg.router, cfg.routing, cfg.traffic, cfg.injection_rate, cfg.mesh.width, cfg.mesh.height
+    );
+    let samples = Rc::new(RefCell::new(Vec::new()));
+    let mut sim = Simulation::new(cfg);
+    sim.set_metrics_sink(Box::new(SharedMetrics(Rc::clone(&samples))));
+    while !sim.finished() {
+        sim.step();
+    }
+    sim.finish_observability();
+    let samples = samples.borrow();
+    let mut out = format!("{label}\n{} windows of {window} cycles\n", samples.len());
+    let rows: [(&str, Vec<f64>); 7] = [
+        ("injected/window", samples.iter().map(|s| s.injected as f64).collect()),
+        ("delivered/window", samples.iter().map(|s| s.delivered as f64).collect()),
+        ("throughput", samples.iter().map(IntervalSample::throughput).collect()),
+        ("mean latency", samples.iter().map(|s| s.latency_mean).collect()),
+        ("p99 latency", samples.iter().map(|s| s.latency_p99 as f64).collect()),
+        (
+            "buffered flits",
+            samples
+                .iter()
+                .map(|s| s.routers.iter().map(|r| r.occupancy).sum::<u64>() as f64)
+                .collect(),
+        ),
+        (
+            "credit stalls",
+            samples
+                .iter()
+                .map(|s| s.routers.iter().map(|r| r.credit_stall_cycles).sum::<u64>() as f64)
+                .collect(),
+        ),
+    ];
+    for (name, values) in rows {
+        let max = values.iter().copied().filter(|v| v.is_finite()).fold(0.0f64, f64::max);
+        let _ = writeln!(out, "  {name:>16} |{}| max {max:.2}", sparkline(&values));
     }
     Ok(out)
 }
@@ -256,6 +414,7 @@ pub fn dispatch(args: &Args) -> Result<String, ArgError> {
         Some("run") => cmd_run(args),
         Some("sweep") => cmd_sweep(args),
         Some("fault") => cmd_fault(args),
+        Some("timeline") => cmd_timeline(args),
         Some("thermal") => cmd_thermal(args),
         Some("info") => Ok(cmd_info()),
         Some("help") | None => Ok(USAGE.to_string()),
@@ -329,5 +488,57 @@ mod tests {
         assert!(dispatch(&parse("explode")).is_err());
         assert!(dispatch(&parse("run --bogus 1")).is_err());
         assert!(dispatch(&parse("run --rate 2.0")).is_err());
+    }
+
+    #[test]
+    fn run_exports_metrics_and_perfetto_trace() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let metrics = dir.join(format!("noc-cli-test-{pid}-m.jsonl"));
+        let trace = dir.join(format!("noc-cli-test-{pid}-t.perfetto.json"));
+        let cmd = format!(
+            "run --packets 300 --warmup 30 --rate 0.1 --sample-window 50 \
+             --metrics-out {} --trace-out {}",
+            metrics.display(),
+            trace.display()
+        );
+        let out = dispatch(&parse(&cmd)).unwrap();
+        assert!(out.contains("completion"));
+        let mtext = std::fs::read_to_string(&metrics).unwrap();
+        assert!(mtext.lines().count() > 1, "several 50-cycle windows elapsed");
+        for line in mtext.lines() {
+            let v = noc_sim::json::Json::parse(line).expect("each metrics line parses");
+            assert!(v.get("latency_mean").is_some());
+            assert!(v.get("throughput").is_some());
+            let routers = v.get("routers").unwrap().as_arr().unwrap();
+            assert_eq!(routers.len(), 64, "one entry per router of the 8x8 mesh");
+            assert!(routers[0].get("occupancy").is_some());
+        }
+        let ttext = std::fs::read_to_string(&trace).unwrap();
+        let v = noc_sim::json::Json::parse(&ttext).expect("the Perfetto document parses");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.get("ph").is_some() && e.get("ts").is_some()));
+        let _ = std::fs::remove_file(&metrics);
+        let _ = std::fs::remove_file(&trace);
+    }
+
+    #[test]
+    fn timeline_prints_sparklines() {
+        let out = dispatch(&parse(
+            "timeline --packets 300 --warmup 30 --rate 0.1 --sample-window 50",
+        ))
+        .unwrap();
+        assert!(out.contains("windows of 50 cycles"));
+        assert!(out.contains("delivered/window"));
+        assert!(out.contains("p99 latency"));
+        assert!(out.contains('|'));
+    }
+
+    #[test]
+    fn sparkline_scales_zero_to_max() {
+        assert_eq!(sparkline(&[0.0, 9.0]), " @");
+        assert_eq!(sparkline(&[0.0, 0.0]), "  ", "an all-zero series stays blank");
+        assert_eq!(sparkline(&[f64::NAN, 1.0]), "?@");
     }
 }

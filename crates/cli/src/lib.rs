@@ -1,13 +1,15 @@
 //! # noc-cli
 //!
 //! The `noc` command-line frontend to the RoCo reproduction: run single
-//! simulations, sweep injection rates, inject faults and print
-//! heatmaps — without writing any Rust.
+//! simulations, sweep injection rates, inject faults, print heatmaps
+//! and export telemetry — without writing any Rust.
 //!
 //! ```text
-//! noc run   --router roco --routing xy --traffic uniform --rate 0.25
-//! noc sweep --router all --routing adaptive --rates 0.05,0.1,0.2,0.3
-//! noc fault --category critical --faults 4 --routing xy
+//! noc run      --router roco --routing xy --traffic uniform --rate 0.25
+//! noc run      --rate 0.25 --metrics-out m.jsonl --trace-out t.perfetto.json
+//! noc sweep    --router all --routing adaptive --rates 0.05,0.1,0.2,0.3
+//! noc fault    --category critical --faults 4 --routing xy
+//! noc timeline --rate 0.3 --sample-window 100
 //! noc info
 //! ```
 

@@ -4,7 +4,7 @@ use crate::{GenericRouter, PathSensitiveRouter, RocoRouter};
 use noc_core::{
     ActivityCounters, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit,
     MeshConfig, NodeStatus, RouterConfig, RouterKind, RouterNode, RouterOutputs, StepContext,
-    VcDescriptor,
+    VcDescriptor, VcSnapshot,
 };
 
 /// A router of any of the three evaluated architectures.
@@ -97,5 +97,13 @@ impl RouterNode for AnyRouter {
 
     fn occupancy(&self) -> usize {
         dispatch!(self, r => r.occupancy())
+    }
+
+    fn vc_snapshots(&self) -> Vec<VcSnapshot> {
+        dispatch!(self, r => r.vc_snapshots())
+    }
+
+    fn credit_map(&self) -> Vec<(Direction, Vec<u8>)> {
+        dispatch!(self, r => r.credit_map())
     }
 }

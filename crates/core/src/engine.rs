@@ -13,15 +13,17 @@
 use noc_arbiter::RoundRobinArbiter;
 use noc_core::{
     ActivityCounters, Axis, ContentionCounters, Coord, Cycle, Direction, Flit, ModuleHealth,
-    NodeStatus, RouterConfig, RouterOutputs, StepContext, VcDescriptor, VcRequest, EJECT_VC,
+    NodeStatus, RouterConfig, RouterOutputs, StepContext, VcDescriptor, VcPhase, VcRequest,
+    VcSnapshot, EJECT_VC,
 };
 use noc_routing::{quadrant_mask, RouteComputer};
 use std::collections::VecDeque;
 
-/// Cycles a baseline router lets a fault-blocked packet wedge its VC
-/// (congesting the region around the fault) before its watchdog
-/// discards it. The RoCo router never waits: its §4.1 status handshake
-/// discards unserviceable packets immediately.
+/// Default for [`RouterConfig::block_timeout`]: cycles a baseline
+/// router lets a fault-blocked packet wedge its VC (congesting the
+/// region around the fault) before its watchdog discards it. The RoCo
+/// router never waits: its §4.1 status handshake discards
+/// unserviceable packets immediately.
 pub const BLOCK_TIMEOUT: Cycle = 20;
 
 /// Allocation state of one virtual channel's resident packet.
@@ -339,6 +341,82 @@ impl RouterCore {
             + self.pending_ejects.len()
     }
 
+    /// Whether an `Active` VC with flits to send is starved of credits
+    /// on its downstream VC (ejection never starves: it needs no VC).
+    fn vc_credit_starved(&self, vc: &Vc) -> bool {
+        match vc.state {
+            VcState::Active { out, dvc, .. } if dvc != EJECT_VC && !vc.queue.is_empty() => self
+                .outputs[out.index()]
+                .as_ref()
+                .is_some_and(|p| p.vcs[dvc as usize].credits == 0),
+            _ => false,
+        }
+    }
+
+    /// Per-cycle telemetry probe: tracks the buffer-occupancy high-water
+    /// mark and counts cycles in which at least one VC is credit-starved.
+    /// Called once per `step` by every router architecture.
+    pub fn probe_cycle(&mut self) {
+        let buffered = self.vcs.iter().map(|v| v.queue.len()).sum::<usize>() as u64;
+        if buffered > self.counters.occupancy_high_water {
+            self.counters.occupancy_high_water = buffered;
+        }
+        if self.vcs.iter().any(|vc| self.vc_credit_starved(vc)) {
+            self.counters.credit_stall_cycles += 1;
+        }
+    }
+
+    /// Point-in-time snapshots of every input VC (see
+    /// [`noc_core::RouterNode::vc_snapshots`]).
+    pub fn vc_snapshots(&self) -> Vec<VcSnapshot> {
+        self.vcs
+            .iter()
+            .map(|vc| {
+                let (phase, out, downstream_vc, blocked_since) = match vc.state {
+                    VcState::Idle => {
+                        let phase =
+                            if vc.queue.is_empty() { VcPhase::Idle } else { VcPhase::Routing };
+                        (phase, None, None, None)
+                    }
+                    VcState::RoutePending { .. } => (VcPhase::Routing, None, None, None),
+                    VcState::WaitingVa { .. } => {
+                        (VcPhase::WaitingVa, vc.queue.front().map(|f| f.next_out), None, None)
+                    }
+                    VcState::Blocked { since } => (VcPhase::Blocked, None, None, Some(since)),
+                    VcState::Active { out, dvc, .. } => {
+                        (VcPhase::Active, Some(out), Some(dvc), None)
+                    }
+                };
+                VcSnapshot {
+                    input_side: vc.input_side,
+                    link_index: vc.link_index,
+                    buffered: vc.queue.len(),
+                    head_packet: vc.queue.front().map(|f| f.packet),
+                    phase,
+                    out,
+                    downstream_vc,
+                    credit_starved: self.vc_credit_starved(vc),
+                    blocked_since,
+                    dropping: vc.dropping,
+                    disabled: vc.disabled,
+                }
+            })
+            .collect()
+    }
+
+    /// Remaining credits per downstream VC on each wired mesh output
+    /// (see [`noc_core::RouterNode::credit_map`]).
+    pub fn credit_map(&self) -> Vec<(Direction, Vec<u8>)> {
+        Direction::MESH
+            .iter()
+            .filter_map(|&dir| {
+                self.outputs[dir.index()]
+                    .as_ref()
+                    .map(|p| (dir, p.vcs.iter().map(|v| v.credits).collect()))
+            })
+            .collect()
+    }
+
     /// Emits everything that leaves the router this cycle: last cycle's
     /// ST winners, early ejections, credits and drops.
     pub fn flush(&mut self, out: &mut RouterOutputs) {
@@ -423,7 +501,7 @@ impl RouterCore {
                 }
             }
             if let VcState::Blocked { since } = self.vcs[vc_id].state {
-                if ctx.cycle.saturating_sub(since) >= BLOCK_TIMEOUT
+                if ctx.cycle.saturating_sub(since) >= self.cfg.block_timeout
                     && !self.vcs[vc_id].queue.is_empty()
                 {
                     self.start_drop(vc_id);
@@ -480,17 +558,21 @@ impl RouterCore {
                 .position(|v| v.free && v.desc.capacity > 0 && v.desc.accepts(&req))
             {
                 requests.push(VaRequest { vc_id, out, dvc: dvc as u8, next_route });
-            } else if matches!(
-                self.computer.routing(),
-                noc_core::RoutingKind::Adaptive | noc_core::RoutingKind::AdaptiveOddEven
-            ) {
-                // Adaptive re-selection: no admissible VC is available
-                // for the committed candidate this cycle, so return to
-                // routing and let the next cycle's look-ahead pick the
-                // currently least-congested legal direction instead.
-                // (Deterministic algorithms have a single legal route;
-                // recomputing it would change nothing.)
-                self.vcs[vc_id].state = VcState::Idle;
+            } else {
+                // No admissible downstream VC is free this cycle.
+                self.counters.va_failures += 1;
+                if matches!(
+                    self.computer.routing(),
+                    noc_core::RoutingKind::Adaptive | noc_core::RoutingKind::AdaptiveOddEven
+                ) {
+                    // Adaptive re-selection: no admissible VC is available
+                    // for the committed candidate this cycle, so return to
+                    // routing and let the next cycle's look-ahead pick the
+                    // currently least-congested legal direction instead.
+                    // (Deterministic algorithms have a single legal route;
+                    // recomputing it would change nothing.)
+                    self.vcs[vc_id].state = VcState::Idle;
+                }
             }
         }
         // Sub-pass 4: arbitrate per contested downstream VC and grant.
@@ -504,6 +586,8 @@ impl RouterCore {
                 + 1;
             let group = &requests[i..j];
             self.counters.va_global_arbs += 1;
+            // Every requester but the winner fails this cycle.
+            self.counters.va_failures += group.len() as u64 - 1;
             let winner = if group.len() == 1 {
                 group[0]
             } else {

@@ -10,7 +10,7 @@ use noc_arbiter::{SeparableAllocator, SwitchRequest};
 use noc_core::{
     ActivityCounters, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit,
     MeshConfig, ModuleHealth, NodeStatus, RouterConfig, RouterKind, RouterNode, RouterOutputs,
-    StepContext, VcAdmission, VcDescriptor,
+    StepContext, VcAdmission, VcDescriptor, VcSnapshot,
 };
 use noc_routing::RouteComputer;
 
@@ -79,6 +79,7 @@ impl RouterNode for GenericRouter {
 
     fn step(&mut self, ctx: &mut StepContext<'_>) -> RouterOutputs {
         self.core.counters.cycles += 1;
+        self.core.probe_cycle();
         let mut out = RouterOutputs::new();
         self.core.flush(&mut out);
         if self.core.node_dead() {
@@ -152,5 +153,13 @@ impl RouterNode for GenericRouter {
 
     fn occupancy(&self) -> usize {
         self.core.occupancy()
+    }
+
+    fn vc_snapshots(&self) -> Vec<VcSnapshot> {
+        self.core.vc_snapshots()
+    }
+
+    fn credit_map(&self) -> Vec<(Direction, Vec<u8>)> {
+        self.core.credit_map()
     }
 }

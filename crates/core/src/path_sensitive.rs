@@ -15,7 +15,7 @@ use noc_arbiter::{SeparableAllocator, SwitchRequest};
 use noc_core::{
     ActivityCounters, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit,
     MeshConfig, ModuleHealth, NodeStatus, RouterConfig, RouterKind, RouterNode, RouterOutputs,
-    StepContext, VcAdmission, VcDescriptor,
+    StepContext, VcAdmission, VcDescriptor, VcSnapshot,
 };
 use noc_routing::{Quadrant, RouteComputer};
 
@@ -106,6 +106,7 @@ impl RouterNode for PathSensitiveRouter {
 
     fn step(&mut self, ctx: &mut StepContext<'_>) -> RouterOutputs {
         self.core.counters.cycles += 1;
+        self.core.probe_cycle();
         let mut out = RouterOutputs::new();
         self.core.flush(&mut out);
         if self.core.node_dead() {
@@ -167,6 +168,14 @@ impl RouterNode for PathSensitiveRouter {
 
     fn occupancy(&self) -> usize {
         self.core.occupancy()
+    }
+
+    fn vc_snapshots(&self) -> Vec<VcSnapshot> {
+        self.core.vc_snapshots()
+    }
+
+    fn credit_map(&self) -> Vec<(Direction, Vec<u8>)> {
+        self.core.credit_map()
     }
 }
 

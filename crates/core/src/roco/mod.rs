@@ -17,7 +17,7 @@ use noc_arbiter::{MirrorAllocator, RoundRobinArbiter, SeparableAllocator, Switch
 use noc_core::{
     ActivityCounters, Axis, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit,
     MeshConfig, ModuleHealth, NodeStatus, RouterConfig, RouterKind, RouterNode, RouterOutputs,
-    StepContext, VcDescriptor,
+    StepContext, VcDescriptor, VcSnapshot,
 };
 use noc_fault::{reaction, Reaction};
 use noc_routing::RouteComputer;
@@ -226,6 +226,7 @@ impl RouterNode for RocoRouter {
 
     fn step(&mut self, ctx: &mut StepContext<'_>) -> RouterOutputs {
         self.core.counters.cycles += 1;
+        self.core.probe_cycle();
         let mut out = RouterOutputs::new();
         self.core.flush(&mut out);
         if self.core.node_dead() {
@@ -318,5 +319,13 @@ impl RouterNode for RocoRouter {
 
     fn occupancy(&self) -> usize {
         self.core.occupancy()
+    }
+
+    fn vc_snapshots(&self) -> Vec<VcSnapshot> {
+        self.core.vc_snapshots()
+    }
+
+    fn credit_map(&self) -> Vec<(Direction, Vec<u8>)> {
+        self.core.credit_map()
     }
 }

@@ -287,6 +287,20 @@ fn find_cycle(adj: &HashMap<Channel, Vec<Channel>>) -> Option<Vec<Channel>> {
     None
 }
 
+/// Cycle detection over an arbitrary channel wait-for graph: returns
+/// the cycle's channel sequence (first element repeated at the end) if
+/// one exists.
+///
+/// The static analyzer builds its graph from the routing function's
+/// *possible* dependencies; this entry point lets a *runtime* observer
+/// (the simulator's stall post-mortem) feed in the actually-observed
+/// wait-for edges of a wedged network and ask whether they close a
+/// loop — the signature of a true deadlock rather than plain
+/// fault-induced blocking.
+pub fn find_channel_cycle(adj: &HashMap<Channel, Vec<Channel>>) -> Option<Vec<Channel>> {
+    find_cycle(adj)
+}
+
 /// Convenience: analyze one configuration on a small mesh and return
 /// whether it is deadlock-free.
 pub fn verify(router: RouterKind, routing: RoutingKind, mesh: MeshConfig) -> Analysis {

@@ -98,6 +98,18 @@ pub struct RouterConfig {
     /// classic 3-stage pipeline where SA follows VA by a cycle — the
     /// ablation baseline.
     pub speculative_sa: bool,
+    /// Cycles a baseline router lets a fault-blocked packet wedge an
+    /// input VC before the watchdog discards it (default 20). Set to
+    /// `u64::MAX` to disable the watchdog and let blocked packets wedge
+    /// forever, as the paper describes the non-recycling baselines —
+    /// used by the stall-detector and post-mortem tests.
+    #[serde(default = "default_block_timeout")]
+    pub block_timeout: u64,
+}
+
+/// Serde default for [`RouterConfig::block_timeout`].
+fn default_block_timeout() -> u64 {
+    20
 }
 
 impl RouterConfig {
@@ -116,6 +128,7 @@ impl RouterConfig {
             flit_bits: 128,
             mirror_allocator: true,
             speculative_sa: true,
+            block_timeout: default_block_timeout(),
         }
     }
 

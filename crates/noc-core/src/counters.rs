@@ -35,6 +35,16 @@ pub struct ActivityCounters {
     /// Packets that wedged permanently at this router because a fault
     /// made their route unserviceable (baseline blocking behaviour).
     pub blocked_packets: u64,
+    /// High-water mark of flits buffered across all of this router's VCs
+    /// at any single cycle boundary (merged with `max`, not `+`).
+    pub occupancy_high_water: u64,
+    /// VA requests that failed to obtain a downstream VC: either no
+    /// admissible free VC existed, or the request lost second-stage
+    /// arbitration to a competing input.
+    pub va_failures: u64,
+    /// Cycles in which at least one Active VC held flits but could not
+    /// bid for the switch because its downstream VC had zero credits.
+    pub credit_stall_cycles: u64,
 }
 
 impl ActivityCounters {
@@ -57,6 +67,9 @@ impl ActivityCounters {
         self.early_ejections += other.early_ejections;
         self.cycles += other.cycles;
         self.blocked_packets += other.blocked_packets;
+        self.occupancy_high_water = self.occupancy_high_water.max(other.occupancy_high_water);
+        self.va_failures += other.va_failures;
+        self.credit_stall_cycles += other.credit_stall_cycles;
     }
 }
 
@@ -130,6 +143,9 @@ mod tests {
             early_ejections: 11,
             cycles: 12,
             blocked_packets: 0,
+            occupancy_high_water: 13,
+            va_failures: 14,
+            credit_stall_cycles: 15,
         };
         a.merge(&b);
         assert_eq!(a.buffer_writes, 3);
@@ -143,6 +159,17 @@ mod tests {
         assert_eq!(a.rc_computations, 10);
         assert_eq!(a.early_ejections, 11);
         assert_eq!(a.cycles, 22);
+        assert_eq!(a.va_failures, 14);
+        assert_eq!(a.credit_stall_cycles, 15);
+    }
+
+    #[test]
+    fn merge_takes_the_larger_high_water_mark() {
+        let mut a = ActivityCounters { occupancy_high_water: 7, ..Default::default() };
+        a.merge(&ActivityCounters { occupancy_high_water: 4, ..Default::default() });
+        assert_eq!(a.occupancy_high_water, 7, "merging a smaller mark keeps ours");
+        a.merge(&ActivityCounters { occupancy_high_water: 12, ..Default::default() });
+        assert_eq!(a.occupancy_high_water, 12, "merging a larger mark adopts it");
     }
 
     #[test]

@@ -32,6 +32,7 @@ mod error;
 mod flit;
 mod geometry;
 mod node;
+mod probe;
 mod vc;
 
 pub use config::{MeshConfig, RouterConfig, RouterKind, RoutingKind};
@@ -43,4 +44,5 @@ pub use node::{
     ComponentFault, FaultComponent, ModuleHealth, NodeStatus, RouterNode, RouterOutputs,
     StepContext, EJECT_VC,
 };
+pub use probe::{VcPhase, VcSnapshot};
 pub use vc::{Credit, TurnFilter, VcAdmission, VcClass, VcDescriptor, VcRef, VcRequest};

@@ -12,6 +12,7 @@ use crate::config::RouterConfig;
 use crate::counters::{ActivityCounters, ContentionCounters};
 use crate::flit::{Cycle, Flit};
 use crate::geometry::{Axis, Coord, Direction};
+use crate::probe::VcSnapshot;
 use crate::vc::{Credit, VcDescriptor};
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
@@ -205,6 +206,14 @@ pub trait RouterNode {
 
     /// Number of flits currently buffered (for drain detection).
     fn occupancy(&self) -> usize;
+
+    /// A point-in-time snapshot of every input VC, for telemetry probes
+    /// and stall post-mortems.
+    fn vc_snapshots(&self) -> Vec<VcSnapshot>;
+
+    /// Remaining credits per downstream VC, keyed by output direction.
+    /// Only mesh outputs that physically exist on this router appear.
+    fn credit_map(&self) -> Vec<(Direction, Vec<u8>)>;
 }
 
 /// The six fundamental router components of §4.1's fault model.

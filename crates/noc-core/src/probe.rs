@@ -1,0 +1,93 @@
+//! Pipeline probe types: per-VC state snapshots routers expose for
+//! telemetry and stall post-mortems.
+//!
+//! Every router model can describe the instantaneous state of each of
+//! its input virtual channels as a [`VcSnapshot`]. The simulator's
+//! interval sampler and the stall post-mortem both consume these to
+//! answer "where is every flit right now, and what is it waiting for?"
+//! without reaching into router internals.
+
+use crate::flit::{Cycle, PacketId};
+use crate::geometry::Direction;
+use serde::{Deserialize, Serialize};
+
+/// The pipeline phase an input VC is in, abstracted over the three
+/// router microarchitectures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VcPhase {
+    /// No packet occupies the VC.
+    Idle,
+    /// A head flit is waiting for (or completing) route computation.
+    Routing,
+    /// The head holds a route but has not yet won a downstream VC.
+    WaitingVa,
+    /// A fault made the route unserviceable; the packet is wedged until
+    /// the watchdog fires (baseline blocking behaviour).
+    Blocked,
+    /// The VC owns a downstream VC and competes for switch traversal.
+    Active,
+}
+
+impl VcPhase {
+    /// Short lower-case label used in post-mortem and timeline output.
+    pub fn label(self) -> &'static str {
+        match self {
+            VcPhase::Idle => "idle",
+            VcPhase::Routing => "routing",
+            VcPhase::WaitingVa => "waiting-va",
+            VcPhase::Blocked => "blocked",
+            VcPhase::Active => "active",
+        }
+    }
+}
+
+/// A point-in-time description of one input virtual channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VcSnapshot {
+    /// The input side the VC sits on (`Local` for injection VCs).
+    pub input_side: Direction,
+    /// The VC's index on that input link.
+    pub link_index: u8,
+    /// Flits currently buffered in the VC.
+    pub buffered: usize,
+    /// The packet whose flit is at the head of the buffer, if any.
+    pub head_packet: Option<PacketId>,
+    /// Current pipeline phase.
+    pub phase: VcPhase,
+    /// The output direction the VC is (or wants to be) routed towards,
+    /// when known.
+    pub out: Option<Direction>,
+    /// The downstream VC held by an `Active` channel
+    /// ([`crate::node::EJECT_VC`] denotes ejection).
+    pub downstream_vc: Option<u8>,
+    /// `true` when the VC is `Active` with flits to send but its
+    /// downstream VC has zero credits — the credit-starvation signal.
+    pub credit_starved: bool,
+    /// The cycle a `Blocked` VC wedged at.
+    pub blocked_since: Option<Cycle>,
+    /// Whether the VC is discarding the remainder of a dropped packet.
+    pub dropping: bool,
+    /// Whether a fault disabled the VC.
+    pub disabled: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_labels_are_distinct() {
+        let phases = [
+            VcPhase::Idle,
+            VcPhase::Routing,
+            VcPhase::WaitingVa,
+            VcPhase::Blocked,
+            VcPhase::Active,
+        ];
+        for (i, a) in phases.iter().enumerate() {
+            for b in &phases[i + 1..] {
+                assert_ne!(a.label(), b.label());
+            }
+        }
+    }
+}

@@ -93,7 +93,7 @@ mod tests {
             rc_computations: 5,
             early_ejections: 2,
             cycles: 50,
-            blocked_packets: 0,
+            ..Default::default()
         };
         let mut c2 = c1;
         c2.merge(&c1);

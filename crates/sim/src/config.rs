@@ -42,6 +42,21 @@ pub struct SimConfig {
     /// Whether heads may bid for the switch in their VA cycle
     /// (speculative 2-stage pipeline; `false` = 3-stage ablation).
     pub speculative_sa: bool,
+    /// Interval-sampler window in cycles: every `sample_window` cycles
+    /// the simulation snapshots network-wide and per-router time-series
+    /// into the attached `MetricsSink` (no-op without one).
+    #[serde(default = "default_sample_window")]
+    pub sample_window: u64,
+    /// Override of the baseline routers' blocked-packet watchdog timeout
+    /// (`u64::MAX` disables the watchdog so fault-blocked packets wedge
+    /// forever; used to exercise the stall detector and post-mortem).
+    #[serde(default)]
+    pub block_timeout: Option<u64>,
+}
+
+/// Serde default for [`SimConfig::sample_window`].
+fn default_sample_window() -> u64 {
+    100
 }
 
 impl SimConfig {
@@ -66,6 +81,8 @@ impl SimConfig {
             vcs_per_port: None,
             buffer_depth: None,
             speculative_sa: true,
+            sample_window: default_sample_window(),
+            block_timeout: None,
         }
     }
 
@@ -80,6 +97,9 @@ impl SimConfig {
             cfg.buffer_depth = d;
         }
         cfg.speculative_sa = self.speculative_sa;
+        if let Some(t) = self.block_timeout {
+            cfg.block_timeout = t;
+        }
         cfg
     }
 

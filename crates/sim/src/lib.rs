@@ -26,14 +26,22 @@
 
 mod config;
 mod histogram;
+pub mod json;
+mod metrics;
 mod network;
+mod postmortem;
 mod report;
 mod stats;
 mod trace;
 
 pub use config::SimConfig;
 pub use histogram::LatencyHistogram;
+pub use metrics::{IntervalSample, JsonlMetricsSink, MetricsSink, RouterWindow, VecMetricsSink};
 pub use network::{run, Simulation};
+pub use postmortem::{CreditLine, RouterDiagnosis, StallPostmortem, WedgedPacket};
 pub use report::{render_heatmap, NodeReport, NodeSummary};
 pub use stats::{SimResults, StatsCollector};
-pub use trace::{replay_entries, CsvTraceSink, TraceEvent, TraceSink, VecTraceSink};
+pub use trace::{
+    replay_entries, CsvTraceSink, JsonlTraceSink, PerfettoTraceSink, TraceEvent, TraceSink,
+    VecTraceSink,
+};

@@ -9,19 +9,23 @@
 //! from a single seeded RNG, so runs are exactly reproducible.
 
 use crate::config::SimConfig;
+use crate::metrics::{IntervalSample, MetricsSink, RouterWindow};
+use crate::postmortem::{CreditLine, RouterDiagnosis, StallPostmortem, WedgedPacket};
 use crate::report::{NodeReport, NodeSummary};
 use crate::stats::{SimResults, StatsCollector};
 use crate::trace::{TraceEvent, TraceSink};
 use noc_core::{
-    Coord, Credit, Cycle, Direction, Flit, NodeStatus, PacketId, RouterNode, StepContext,
+    ActivityCounters, Coord, Credit, Cycle, Direction, Flit, NodeStatus, PacketId, RouterNode,
+    StepContext, VcPhase, EJECT_VC,
 };
+use noc_deadlock::{find_channel_cycle, Channel};
 use noc_power::{energy_of, EnergyBreakdown, RouterEnergyProfile};
 use noc_router::AnyRouter;
 use noc_routing::RouteComputer;
 use noc_traffic::{build_traffic, Traffic};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// A flit in flight on a link, due at `node` on side `from`.
 #[derive(Debug, Clone)]
@@ -40,6 +44,47 @@ struct CreditInFlight {
     credit: Credit,
 }
 
+/// Interval-sampler state: the baselines captured at the previous
+/// window boundary, subtracted from the live totals to form per-window
+/// deltas.
+#[derive(Debug)]
+struct Sampler {
+    /// Index of the window currently accumulating.
+    window: u64,
+    /// Cycle the current window started at.
+    window_start: Cycle,
+    /// Per-router counter baselines.
+    counters: Vec<ActivityCounters>,
+    /// Per-node injected-packet baselines.
+    injected: Vec<u64>,
+    /// Per-node delivered-packet baselines.
+    delivered: Vec<u64>,
+    /// Network-wide baselines.
+    generated: u64,
+    injected_total: u64,
+    delivered_total: u64,
+    dropped: u64,
+    /// Latencies of packets delivered during the current window.
+    latencies: Vec<u64>,
+}
+
+impl Sampler {
+    fn new(nodes: usize) -> Self {
+        Sampler {
+            window: 0,
+            window_start: 0,
+            counters: vec![ActivityCounters::default(); nodes],
+            injected: vec![0; nodes],
+            delivered: vec![0; nodes],
+            generated: 0,
+            injected_total: 0,
+            delivered_total: 0,
+            dropped: 0,
+            latencies: Vec::new(),
+        }
+    }
+}
+
 /// A running simulation. Most callers use [`Simulation::run`]; the
 /// stepping API exists for tests and interactive tooling.
 #[derive(Debug)]
@@ -56,9 +101,12 @@ pub struct Simulation {
     stats: StatsCollector,
     per_node: Vec<NodeSummary>,
     trace: Option<Box<dyn TraceSink>>,
+    metrics: Option<Box<dyn MetricsSink>>,
+    sampler: Sampler,
     next_packet: u64,
     last_progress: Cycle,
     stalled: bool,
+    postmortem: Option<StallPostmortem>,
 }
 
 impl Simulation {
@@ -122,9 +170,12 @@ impl Simulation {
             stats: StatsCollector::new(),
             per_node: vec![NodeSummary::default(); nodes],
             trace: None,
+            metrics: None,
+            sampler: Sampler::new(nodes),
             next_packet: 0,
             last_progress: 0,
             stalled: false,
+            postmortem: None,
         }
     }
 
@@ -136,6 +187,38 @@ impl Simulation {
     /// Detaches and returns the trace sink, if any.
     pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
         self.trace.take()
+    }
+
+    /// Attaches a metrics sink receiving one [`IntervalSample`] every
+    /// `sample_window` cycles. The sampler baseline resets to the
+    /// current state, so a sink attached mid-run sees deltas from this
+    /// point onward only.
+    pub fn set_metrics_sink(&mut self, sink: Box<dyn MetricsSink>) {
+        self.reset_sampler();
+        self.metrics = Some(sink);
+    }
+
+    /// Detaches and returns the metrics sink, if any.
+    pub fn take_metrics_sink(&mut self) -> Option<Box<dyn MetricsSink>> {
+        self.metrics.take()
+    }
+
+    /// The stall diagnosis, present once the inactivity detector fired.
+    pub fn postmortem(&self) -> Option<&StallPostmortem> {
+        self.postmortem.as_ref()
+    }
+
+    fn reset_sampler(&mut self) {
+        self.sampler.window = 0;
+        self.sampler.window_start = self.cycle;
+        self.sampler.counters = self.routers.iter().map(|r| *r.counters()).collect();
+        self.sampler.injected = self.per_node.iter().map(|n| n.injected).collect();
+        self.sampler.delivered = self.per_node.iter().map(|n| n.delivered).collect();
+        self.sampler.generated = self.stats.generated;
+        self.sampler.injected_total = self.stats.injected;
+        self.sampler.delivered_total = self.stats.delivered;
+        self.sampler.dropped = self.stats.dropped;
+        self.sampler.latencies.clear();
     }
 
     fn emit(&mut self, event: TraceEvent) {
@@ -239,6 +322,9 @@ impl Simulation {
                     let node = &mut self.per_node[i];
                     node.delivered += 1;
                     node.latency_sum += latency;
+                    if self.metrics.is_some() {
+                        self.sampler.latencies.push(latency);
+                    }
                     self.last_progress = self.cycle;
                     self.emit(TraceEvent::Delivered {
                         cycle: self.cycle,
@@ -268,8 +354,188 @@ impl Simulation {
             && self.cycle.saturating_sub(self.last_progress) > self.cfg.stall_window
         {
             self.stalled = true;
+            self.postmortem = Some(self.build_postmortem());
         }
         self.cycle += 1;
+        if self.metrics.is_some()
+            && self.cfg.sample_window > 0
+            && self.cycle.saturating_sub(self.sampler.window_start) >= self.cfg.sample_window
+        {
+            self.flush_window();
+        }
+    }
+
+    /// Emits the sample for the window ending at the current cycle and
+    /// advances the sampler baseline.
+    fn flush_window(&mut self) {
+        let mesh = self.cfg.mesh;
+        let mut latencies = std::mem::take(&mut self.sampler.latencies);
+        latencies.sort_unstable();
+        let (latency_mean, latency_p99, latency_max) = if latencies.is_empty() {
+            (0.0, 0, 0)
+        } else {
+            let sum: u128 = latencies.iter().map(|&l| l as u128).sum();
+            let mean = sum as f64 / latencies.len() as f64;
+            let idx = ((latencies.len() as f64 * 0.99).ceil() as usize)
+                .saturating_sub(1)
+                .min(latencies.len() - 1);
+            (mean, latencies[idx], *latencies.last().expect("non-empty"))
+        };
+        let mut routers = Vec::with_capacity(self.routers.len());
+        for i in 0..self.routers.len() {
+            let now = *self.routers[i].counters();
+            let prev = self.sampler.counters[i];
+            routers.push(RouterWindow {
+                node: Coord::from_index(i, mesh.width),
+                occupancy: self.routers[i].occupancy() as u64,
+                occupancy_high_water: now.occupancy_high_water,
+                injected: self.per_node[i].injected - self.sampler.injected[i],
+                delivered: self.per_node[i].delivered - self.sampler.delivered[i],
+                credit_stall_cycles: now.credit_stall_cycles - prev.credit_stall_cycles,
+                va_failures: now.va_failures - prev.va_failures,
+                blocked_packets: now.blocked_packets,
+                rc: now.rc_computations - prev.rc_computations,
+                va: (now.va_local_arbs + now.va_global_arbs)
+                    - (prev.va_local_arbs + prev.va_global_arbs),
+                sa: (now.sa_local_arbs + now.sa_global_arbs)
+                    - (prev.sa_local_arbs + prev.sa_global_arbs),
+                st: now.crossbar_traversals - prev.crossbar_traversals,
+                lt: now.link_traversals - prev.link_traversals,
+            });
+            self.sampler.counters[i] = now;
+            self.sampler.injected[i] = self.per_node[i].injected;
+            self.sampler.delivered[i] = self.per_node[i].delivered;
+        }
+        let sample = IntervalSample {
+            window: self.sampler.window,
+            cycle_start: self.sampler.window_start,
+            cycle_end: self.cycle,
+            generated: self.stats.generated - self.sampler.generated,
+            injected: self.stats.injected - self.sampler.injected_total,
+            delivered: self.stats.delivered - self.sampler.delivered_total,
+            dropped: self.stats.dropped - self.sampler.dropped,
+            latency_mean,
+            latency_p99,
+            latency_max,
+            flits_in_system: self.flits_in_system() as u64,
+            routers,
+        };
+        self.sampler.window += 1;
+        self.sampler.window_start = self.cycle;
+        self.sampler.generated = self.stats.generated;
+        self.sampler.injected_total = self.stats.injected;
+        self.sampler.delivered_total = self.stats.delivered;
+        self.sampler.dropped = self.stats.dropped;
+        if let Some(sink) = self.metrics.as_mut() {
+            sink.record_sample(&sample);
+        }
+    }
+
+    /// Freezes the wedged network state into a structured diagnosis.
+    fn build_postmortem(&self) -> StallPostmortem {
+        let mesh = self.cfg.mesh;
+        let mut wedged = Vec::new();
+        let mut adj: HashMap<Channel, Vec<Channel>> = HashMap::new();
+        for (i, router) in self.routers.iter().enumerate() {
+            let coord = Coord::from_index(i, mesh.width);
+            for s in router.vc_snapshots() {
+                if s.buffered == 0 {
+                    continue;
+                }
+                wedged.push(WedgedPacket {
+                    packet: s.head_packet,
+                    node: coord,
+                    input_side: s.input_side,
+                    vc: s.link_index,
+                    phase: s.phase,
+                    out: s.out,
+                    buffered: s.buffered,
+                    credit_starved: s.credit_starved,
+                    blocked_since: s.blocked_since,
+                });
+                // Observed wait-for edges: an Active VC starved of
+                // credits waits on the specific downstream VC it holds;
+                // a VC stuck in VA waits (over-approximately) on every
+                // VC of the link it requested. A cycle among these
+                // edges is a deadlock signature; fault blocking
+                // produces only chains.
+                let here = Channel { node: coord, side: s.input_side, vc: s.link_index };
+                let Some(out) = s.out else { continue };
+                if out == Direction::Local {
+                    continue;
+                }
+                let Some(n) = coord.neighbor(out, mesh.width, mesh.height) else { continue };
+                let side = out.opposite();
+                match s.phase {
+                    VcPhase::Active if s.credit_starved => {
+                        if let Some(dvc) = s.downstream_vc.filter(|&v| v != EJECT_VC) {
+                            adj.entry(here).or_default().push(Channel { node: n, side, vc: dvc });
+                        }
+                    }
+                    VcPhase::WaitingVa => {
+                        let count = self.routers[n.index(mesh.width)].vcs_on_link(side).len();
+                        adj.entry(here)
+                            .or_default()
+                            .extend((0..count as u8).map(|vc| Channel { node: n, side, vc }));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let routers = self
+            .routers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| {
+                let c = r.counters();
+                let buffered = r.occupancy() as u64;
+                (buffered > 0 || c.blocked_packets > 0).then(|| RouterDiagnosis {
+                    node: Coord::from_index(i, mesh.width),
+                    blocked_packets: c.blocked_packets,
+                    buffered,
+                    credit_stall_cycles: c.credit_stall_cycles,
+                })
+            })
+            .collect();
+        let credit_map = self
+            .routers
+            .iter()
+            .enumerate()
+            .flat_map(|(i, r)| {
+                let node = Coord::from_index(i, mesh.width);
+                r.credit_map()
+                    .into_iter()
+                    .map(move |(output, credits)| CreditLine { node, output, credits })
+            })
+            .collect();
+        let suspected_loop = find_channel_cycle(&adj).map(|cycle| {
+            cycle.iter().map(|ch| format!("{} {}#{}", ch.node, ch.side, ch.vc)).collect()
+        });
+        StallPostmortem {
+            cycle: self.cycle,
+            last_progress: self.last_progress,
+            flits_in_system: self.flits_in_system() as u64,
+            wedged,
+            routers,
+            credit_map,
+            suspected_loop,
+        }
+    }
+
+    /// Flushes the final (possibly partial) sample window and calls
+    /// `finish` on the metrics and trace sinks. [`Simulation::run`]
+    /// does this automatically; drivers that step manually and then
+    /// take the sinks back should call it once the run has finished.
+    pub fn finish_observability(&mut self) {
+        if self.metrics.is_some() && self.cycle > self.sampler.window_start {
+            self.flush_window();
+        }
+        if let Some(sink) = self.metrics.as_mut() {
+            sink.finish();
+        }
+        if let Some(sink) = self.trace.as_mut() {
+            sink.finish();
+        }
     }
 
     fn generate_traffic(&mut self) {
@@ -328,6 +594,7 @@ impl Simulation {
         while !self.finished() {
             self.step();
         }
+        self.finish_observability();
         self.results()
     }
 
@@ -360,7 +627,7 @@ impl Simulation {
         }
         // Link energy is accounted from the same counters (one link
         // traversal per emitted flit), already inside `energy`.
-        let delivered = self.stats.delivered.max(1);
+        let delivered = self.stats.delivered;
         let nodes = self.cfg.mesh.nodes() as f64;
         SimResults {
             cycles: self.cycle,
@@ -379,8 +646,13 @@ impl Simulation {
             counters,
             contention,
             energy,
-            energy_per_packet: energy.total() / delivered as f64,
+            energy_per_packet: if delivered == 0 {
+                0.0
+            } else {
+                energy.total() / delivered as f64
+            },
             stalled: self.stalled,
+            postmortem: self.postmortem.clone(),
         }
     }
 }

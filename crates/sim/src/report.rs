@@ -71,22 +71,67 @@ impl NodeReport {
     pub fn drop_heatmap(&self) -> String {
         self.heatmap("packets dropped per router", |i| self.nodes[i].dropped as f64)
     }
+
+    /// Heatmap of mean end-to-end latency per *destination* node.
+    /// Nodes that received nothing render as `-` (no data, not zero).
+    pub fn latency_heatmap(&self) -> String {
+        self.heatmap("mean latency per destination (cycles)", |i| {
+            if self.nodes[i].delivered == 0 {
+                f64::NAN
+            } else {
+                self.nodes[i].avg_latency()
+            }
+        })
+    }
+
+    /// Heatmap of buffer-occupancy high-water marks per router.
+    pub fn occupancy_heatmap(&self) -> String {
+        self.heatmap("buffer occupancy high-water mark per router (flits)", |i| {
+            self.activity[i].occupancy_high_water as f64
+        })
+    }
+
+    /// Heatmap of credit-starved cycles per router (backpressure).
+    pub fn credit_stall_heatmap(&self) -> String {
+        self.heatmap("credit-stall cycles per router", |i| {
+            self.activity[i].credit_stall_cycles as f64
+        })
+    }
+
+    /// Heatmap of failed VA requests per router (VC scarcity).
+    pub fn va_failure_heatmap(&self) -> String {
+        self.heatmap("VA failures per router", |i| self.activity[i].va_failures as f64)
+    }
 }
 
 /// Renders `values` (row-major) as a fixed-width ASCII grid with a
 /// 0–9 shade per cell plus the min/max legend.
+///
+/// Non-finite values (NaN, ±inf — "no data" markers) are excluded from
+/// the min/max scale and render as `-` cells, so one hole cannot poison
+/// the whole map.
 pub fn render_heatmap(mesh: MeshConfig, title: &str, values: &[f64]) -> String {
     assert_eq!(values.len(), mesh.nodes(), "one value per node");
-    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let finite = values.iter().copied().filter(|v| v.is_finite());
+    let min = finite.clone().fold(f64::INFINITY, f64::min);
+    let max = finite.fold(f64::NEG_INFINITY, f64::max);
     let mut out = String::new();
-    let _ = writeln!(out, "{title}  [min {min:.2}, max {max:.2}]");
+    if min.is_finite() {
+        let _ = writeln!(out, "{title}  [min {min:.2}, max {max:.2}]");
+    } else {
+        let _ = writeln!(out, "{title}  [no finite values]");
+    }
     for y in 0..mesh.height {
         let _ = write!(out, "  ");
         for x in 0..mesh.width {
             let v = values[Coord::new(x, y).index(mesh.width)];
-            let shade = if max > min { ((v - min) / (max - min) * 9.0).round() as u32 } else { 0 };
-            let _ = write!(out, "{shade} ");
+            if v.is_finite() {
+                let shade =
+                    if max > min { ((v - min) / (max - min) * 9.0).round() as u32 } else { 0 };
+                let _ = write!(out, "{shade} ");
+            } else {
+                let _ = write!(out, "- ");
+            }
         }
         let _ = writeln!(out);
     }
@@ -132,5 +177,49 @@ mod tests {
     #[should_panic(expected = "one value per node")]
     fn wrong_cardinality_panics() {
         let _ = render_heatmap(MeshConfig::new(2, 2), "bad", &[1.0]);
+    }
+
+    #[test]
+    fn non_finite_cells_render_as_dashes() {
+        let mesh = MeshConfig::new(2, 2);
+        let map = render_heatmap(mesh, "holes", &[1.0, f64::NAN, 3.0, f64::INFINITY]);
+        let lines: Vec<&str> = map.lines().collect();
+        assert!(lines[0].contains("min 1.00"), "NaN does not poison the scale: {}", lines[0]);
+        assert!(lines[0].contains("max 3.00"), "inf does not poison the scale: {}", lines[0]);
+        assert_eq!(lines[1].trim(), "0 -");
+        assert_eq!(lines[2].trim(), "9 -");
+    }
+
+    #[test]
+    fn all_non_finite_renders_placeholder_legend() {
+        let mesh = MeshConfig::new(2, 1);
+        let map = render_heatmap(mesh, "void", &[f64::NAN, f64::NEG_INFINITY]);
+        assert!(map.lines().next().unwrap().contains("no finite values"));
+        assert_eq!(map.lines().nth(1).unwrap().trim(), "- -");
+    }
+
+    #[test]
+    fn telemetry_heatmaps_read_their_counters() {
+        let mesh = MeshConfig::new(2, 1);
+        let mut activity = vec![ActivityCounters::default(); 2];
+        activity[1].occupancy_high_water = 8;
+        activity[1].credit_stall_cycles = 4;
+        activity[1].va_failures = 2;
+        let report = NodeReport {
+            mesh,
+            nodes: vec![
+                NodeSummary { injected: 1, delivered: 2, latency_sum: 20, dropped: 0 },
+                NodeSummary::default(),
+            ],
+            activity,
+            contention: vec![ContentionCounters::default(); 2],
+        };
+        let latency = report.latency_heatmap();
+        assert!(latency.contains("mean latency"));
+        assert!(latency.contains('-'), "the silent node renders as a hole");
+        assert!(latency.contains("min 10.00"), "20 cycles over 2 packets: {latency}");
+        assert!(report.occupancy_heatmap().contains("high-water"));
+        assert!(report.credit_stall_heatmap().contains("credit-stall"));
+        assert!(report.va_failure_heatmap().contains("VA failures"));
     }
 }

@@ -127,6 +127,10 @@ pub fn replay_entries(events: &[TraceEvent]) -> Vec<noc_traffic::ReplayEntry> {
 pub trait TraceSink: fmt::Debug {
     /// Called once per event, in simulation order.
     fn record(&mut self, event: TraceEvent);
+
+    /// Called once when the run ends (or the sink is taken back from
+    /// the simulation), letting exporters emit trailers and flush.
+    fn finish(&mut self) {}
 }
 
 /// Collects every event into memory.
@@ -171,6 +175,231 @@ impl<W: std::io::Write + fmt::Debug> CsvTraceSink<W> {
 impl<W: std::io::Write + fmt::Debug> TraceSink for CsvTraceSink<W> {
     fn record(&mut self, event: TraceEvent) {
         let _ = writeln!(self.writer, "{}", event.to_csv_line());
+    }
+}
+
+impl TraceEvent {
+    /// Serializes the event as one JSON object (a single JSONL line,
+    /// without the trailing newline).
+    pub fn to_json_line(&self) -> String {
+        use std::fmt::Write as _;
+        fn node(out: &mut String, first: &mut bool, key: &str, c: Coord) {
+            crate::json::write_key(out, first, key);
+            let _ = write!(out, "[{},{}]", c.x, c.y);
+        }
+        let mut out = String::with_capacity(96);
+        out.push('{');
+        let mut first = true;
+        crate::json::write_key(&mut out, &mut first, "cycle");
+        let _ = write!(out, "{}", self.cycle());
+        crate::json::write_key(&mut out, &mut first, "event");
+        let kind = match self {
+            TraceEvent::Generated { .. } => "generated",
+            TraceEvent::Injected { .. } => "injected",
+            TraceEvent::Hop { .. } => "hop",
+            TraceEvent::Delivered { .. } => "delivered",
+            TraceEvent::Dropped { .. } => "dropped",
+        };
+        crate::json::write_str(&mut out, kind);
+        crate::json::write_key(&mut out, &mut first, "packet");
+        let _ = write!(out, "{}", self.packet().0);
+        match *self {
+            TraceEvent::Generated { src, dst, .. } => {
+                node(&mut out, &mut first, "src", src);
+                node(&mut out, &mut first, "dst", dst);
+            }
+            TraceEvent::Injected { node: n, .. } => node(&mut out, &mut first, "node", n),
+            TraceEvent::Hop { seq, node: n, out: dir, .. } => {
+                crate::json::write_key(&mut out, &mut first, "seq");
+                let _ = write!(out, "{seq}");
+                node(&mut out, &mut first, "node", n);
+                crate::json::write_key(&mut out, &mut first, "out");
+                crate::json::write_str(&mut out, &dir.to_string());
+            }
+            TraceEvent::Delivered { latency, .. } => {
+                crate::json::write_key(&mut out, &mut first, "latency");
+                let _ = write!(out, "{latency}");
+            }
+            TraceEvent::Dropped { node: n, .. } => node(&mut out, &mut first, "node", n),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Streams events as JSON Lines — one standalone JSON object per event.
+#[derive(Debug)]
+pub struct JsonlTraceSink<W: std::io::Write + fmt::Debug> {
+    writer: W,
+}
+
+impl<W: std::io::Write + fmt::Debug> JsonlTraceSink<W> {
+    /// Wraps `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonlTraceSink { writer }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: std::io::Write + fmt::Debug> TraceSink for JsonlTraceSink<W> {
+    fn record(&mut self, event: TraceEvent) {
+        let _ = writeln!(self.writer, "{}", event.to_json_line());
+    }
+
+    fn finish(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Exports the run in Chrome-trace ("Trace Event") JSON, openable in
+/// `ui.perfetto.dev` or `chrome://tracing`.
+///
+/// Each packet becomes one async track (`cat:"packet"`, `id` = packet
+/// id): `Generated` opens it with a `"b"` begin event, `Injected` and
+/// every `Hop` land on it as `"n"` instants, and `Delivered`/`Dropped`
+/// close it with an `"e"` end event. Timestamps are simulation cycles
+/// (interpreted as µs by the viewers — only relative scale matters).
+/// Packets still in flight when [`TraceSink::finish`] runs are closed
+/// at their last observed cycle so every `"b"` pairs with an `"e"`.
+#[derive(Debug)]
+pub struct PerfettoTraceSink<W: std::io::Write + fmt::Debug> {
+    writer: W,
+    /// Whether any event has been written (comma management).
+    wrote_event: bool,
+    /// Open async tracks: packet id → last event cycle seen.
+    open: std::collections::HashMap<u64, Cycle>,
+    /// Guards against double-finishing (take + drop both finish).
+    finished: bool,
+}
+
+impl<W: std::io::Write + fmt::Debug> PerfettoTraceSink<W> {
+    /// Wraps `writer` and emits the JSON preamble.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the writer's I/O error.
+    pub fn new(mut writer: W) -> std::io::Result<Self> {
+        write!(writer, "{{\"traceEvents\":[")?;
+        Ok(PerfettoTraceSink {
+            writer,
+            wrote_event: false,
+            open: std::collections::HashMap::new(),
+            finished: false,
+        })
+    }
+
+    /// Unwraps the inner writer (after `finish`).
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+
+    fn emit(&mut self, phase: &str, name: &str, id: u64, ts: Cycle, args: &[(&str, String)]) {
+        let mut line = String::with_capacity(128);
+        if self.wrote_event {
+            line.push(',');
+        }
+        self.wrote_event = true;
+        line.push('{');
+        let mut first = true;
+        crate::json::write_key(&mut line, &mut first, "ph");
+        crate::json::write_str(&mut line, phase);
+        crate::json::write_key(&mut line, &mut first, "cat");
+        crate::json::write_str(&mut line, "packet");
+        crate::json::write_key(&mut line, &mut first, "name");
+        crate::json::write_str(&mut line, name);
+        crate::json::write_key(&mut line, &mut first, "id");
+        crate::json::write_str(&mut line, &format!("{id:#x}"));
+        crate::json::write_key(&mut line, &mut first, "ts");
+        {
+            use std::fmt::Write as _;
+            let _ = write!(line, "{ts}");
+        }
+        crate::json::write_key(&mut line, &mut first, "pid");
+        line.push('0');
+        crate::json::write_key(&mut line, &mut first, "tid");
+        line.push('0');
+        if !args.is_empty() {
+            crate::json::write_key(&mut line, &mut first, "args");
+            line.push('{');
+            let mut af = true;
+            for (k, v) in args {
+                crate::json::write_key(&mut line, &mut af, k);
+                crate::json::write_str(&mut line, v);
+            }
+            line.push('}');
+        }
+        line.push('}');
+        let _ = write!(self.writer, "{line}");
+    }
+}
+
+impl<W: std::io::Write + fmt::Debug> TraceSink for PerfettoTraceSink<W> {
+    fn record(&mut self, event: TraceEvent) {
+        if self.finished {
+            return;
+        }
+        let id = event.packet().0;
+        let cycle = event.cycle();
+        let track = format!("pkt{id}");
+        match event {
+            TraceEvent::Generated { src, dst, .. } => {
+                self.emit(
+                    "b",
+                    &track,
+                    id,
+                    cycle,
+                    &[("src", src.to_string()), ("dst", dst.to_string())],
+                );
+                self.open.insert(id, cycle);
+            }
+            TraceEvent::Injected { node, .. } => {
+                self.emit("n", &track, id, cycle, &[("at", format!("inject {node}"))]);
+                self.open.entry(id).and_modify(|c| *c = cycle);
+            }
+            TraceEvent::Hop { seq, node, out, .. } => {
+                self.emit(
+                    "n",
+                    &track,
+                    id,
+                    cycle,
+                    &[("at", format!("hop {node}->{out} seq {seq}"))],
+                );
+                self.open.entry(id).and_modify(|c| *c = cycle);
+            }
+            TraceEvent::Delivered { latency, .. } => {
+                self.emit("e", &track, id, cycle, &[("latency", latency.to_string())]);
+                self.open.remove(&id);
+            }
+            TraceEvent::Dropped { node, .. } => {
+                self.emit("e", &track, id, cycle, &[("dropped_at", node.to_string())]);
+                self.open.remove(&id);
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        // Close tracks of packets still in flight so begins/ends pair.
+        let mut in_flight: Vec<(u64, Cycle)> = self.open.drain().collect();
+        in_flight.sort_unstable();
+        for (id, last_cycle) in in_flight {
+            self.emit(
+                "e",
+                &format!("pkt{id}"),
+                id,
+                last_cycle,
+                &[("note", "in flight at trace end".to_string())],
+            );
+        }
+        let _ = write!(self.writer, "]}}");
+        let _ = self.writer.flush();
+        self.finished = true;
     }
 }
 
@@ -220,5 +449,52 @@ mod tests {
         let text = String::from_utf8(sink.into_inner()).unwrap();
         assert!(text.starts_with("cycle,event,packet"));
         assert!(text.contains("3,dropped,1,(2,2),"));
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_carry_the_event_fields() {
+        let e = TraceEvent::Hop {
+            cycle: 9,
+            packet: PacketId(7),
+            seq: 2,
+            node: Coord::new(1, 0),
+            out: Direction::East,
+        };
+        let v = crate::json::Json::parse(&e.to_json_line()).expect("valid JSON");
+        assert_eq!(v.get("cycle").unwrap().as_u64(), Some(9));
+        assert_eq!(v.get("event").unwrap().as_str(), Some("hop"));
+        assert_eq!(v.get("packet").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("seq").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("out").unwrap().as_str(), Some("E"));
+    }
+
+    #[test]
+    fn perfetto_sink_pairs_begin_and_end_and_closes_strays() {
+        let mut sink = PerfettoTraceSink::new(Vec::new()).unwrap();
+        let src = Coord::new(0, 0);
+        let dst = Coord::new(2, 0);
+        sink.record(TraceEvent::Generated { cycle: 1, packet: PacketId(0), src, dst });
+        sink.record(TraceEvent::Injected { cycle: 2, packet: PacketId(0), node: src });
+        sink.record(TraceEvent::Delivered { cycle: 9, packet: PacketId(0), latency: 8 });
+        // Packet 1 never completes: finish() must close its track.
+        sink.record(TraceEvent::Generated { cycle: 3, packet: PacketId(1), src, dst });
+        sink.finish();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let v = crate::json::Json::parse(&text).expect("valid Chrome-trace JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let phases = |id: &str, ph: &str| {
+            events
+                .iter()
+                .filter(|e| {
+                    e.get("id").unwrap().as_str() == Some(id)
+                        && e.get("ph").unwrap().as_str() == Some(ph)
+                })
+                .count()
+        };
+        assert_eq!(phases("0x0", "b"), 1);
+        assert_eq!(phases("0x0", "e"), 1);
+        assert_eq!(phases("0x0", "n"), 1);
+        assert_eq!(phases("0x1", "b"), 1);
+        assert_eq!(phases("0x1", "e"), 1, "stray track closed at finish");
     }
 }

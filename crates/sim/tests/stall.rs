@@ -1,0 +1,99 @@
+//! Stall-detector and post-mortem integration: an induced wedge must
+//! terminate the run promptly and produce a structured diagnosis.
+
+use noc_core::{Axis, ComponentFault, Coord, FaultComponent, PacketId, RouterKind, RoutingKind};
+use noc_fault::FaultPlan;
+use noc_sim::{json::Json, SimConfig, Simulation};
+use noc_traffic::{ReplayTraffic, TrafficKind};
+
+/// One packet from (0,1) to (3,1) under XY routing, with router (2,1)
+/// killed by a crossbar fault and the blocked-packet watchdog disabled:
+/// the packet wedges permanently en route, which must trip the stall
+/// detector.
+fn wedged_config() -> (SimConfig, ReplayTraffic) {
+    let mut cfg =
+        SimConfig::paper_scaled(RouterKind::Generic, RoutingKind::Xy, TrafficKind::Uniform);
+    cfg.mesh = noc_core::MeshConfig::new(4, 4);
+    cfg.warmup_packets = 0;
+    cfg.measured_packets = 1;
+    cfg.stall_window = 100;
+    cfg.max_cycles = 5_000;
+    cfg.block_timeout = Some(u64::MAX);
+    cfg.faults = FaultPlan::single(
+        Coord::new(2, 1),
+        ComponentFault::new(FaultComponent::Crossbar, Axis::X),
+    );
+    let flits = cfg.router_config().num_flits;
+    let traffic =
+        ReplayTraffic::new(cfg.mesh, vec![(0, Coord::new(0, 1), Coord::new(3, 1))], flits);
+    (cfg, traffic)
+}
+
+#[test]
+fn induced_wedge_trips_the_detector_within_the_stall_window() {
+    let (cfg, traffic) = wedged_config();
+    let max_cycles = cfg.max_cycles;
+    let results = Simulation::with_traffic(cfg, Box::new(traffic)).run();
+    assert!(results.stalled, "the wedged packet must trip the stall detector");
+    assert_eq!(results.delivered_packets, 0);
+    assert!(
+        results.cycles < 500,
+        "detector fires ~stall_window cycles after the last progress, not at \
+         max_cycles ({max_cycles}); took {}",
+        results.cycles
+    );
+    // Satellite: with zero deliveries, energy-per-packet must be a
+    // clean 0.0, not a division by zero.
+    assert_eq!(results.energy_per_packet, 0.0);
+    assert!(results.energy_per_packet.is_finite());
+}
+
+#[test]
+fn stall_emits_a_structured_postmortem() {
+    let (cfg, traffic) = wedged_config();
+    let mut sim = Simulation::with_traffic(cfg, Box::new(traffic));
+    while !sim.finished() {
+        sim.step();
+    }
+    sim.finish_observability();
+    let pm = sim.postmortem().expect("stalled run captures a post-mortem").clone();
+    let results = sim.results();
+    assert_eq!(results.postmortem.as_ref(), Some(&pm), "results carry the same diagnosis");
+
+    assert!(!pm.wedged.is_empty(), "the stuck packet appears in the wedged list");
+    assert!(
+        pm.wedged.iter().any(|w| w.packet == Some(PacketId(0))),
+        "packet 0 is identified: {:?}",
+        pm.wedged
+    );
+    assert!(pm.wedged.iter().all(|w| w.buffered > 0));
+    assert!(!pm.routers.is_empty(), "routers holding flits are diagnosed");
+    assert!(!pm.credit_map.is_empty(), "the credit map is captured");
+    assert!(
+        pm.suspected_loop.is_none(),
+        "fault blocking is a chain, not a wait-for cycle: {:?}",
+        pm.suspected_loop
+    );
+    assert!(pm.flits_in_system > 0);
+    assert!(pm.cycle > pm.last_progress);
+
+    let text = pm.render();
+    assert!(text.contains("stall post-mortem"));
+    assert!(text.contains("pkt 0"));
+    assert!(text.contains("not a deadlock"));
+
+    let json = Json::parse(&pm.to_json()).expect("post-mortem serializes to valid JSON");
+    assert!(!json.get("wedged").unwrap().as_arr().unwrap().is_empty());
+}
+
+#[test]
+fn clean_runs_carry_no_postmortem() {
+    let mut cfg =
+        SimConfig::paper_scaled(RouterKind::RoCo, RoutingKind::Xy, TrafficKind::Uniform);
+    cfg.warmup_packets = 10;
+    cfg.measured_packets = 100;
+    cfg.injection_rate = 0.1;
+    let results = noc_sim::run(cfg);
+    assert!(!results.stalled);
+    assert!(results.postmortem.is_none());
+}

@@ -1,0 +1,118 @@
+//! Trace-exporter integration: the JSONL and Perfetto writers must
+//! produce parseable documents whose events respect packet causality.
+
+use noc_core::{RouterKind, RoutingKind};
+use noc_sim::json::Json;
+use noc_sim::{JsonlTraceSink, PerfettoTraceSink, SimConfig, Simulation};
+use noc_traffic::TrafficKind;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A byte buffer shared between the boxed sink and the test.
+#[derive(Debug, Clone, Default)]
+struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn small_config() -> SimConfig {
+    let mut cfg =
+        SimConfig::paper_scaled(RouterKind::RoCo, RoutingKind::Xy, TrafficKind::Uniform);
+    cfg.warmup_packets = 20;
+    cfg.measured_packets = 200;
+    cfg.injection_rate = 0.15;
+    cfg
+}
+
+fn run_with_sink(sink: Box<dyn noc_sim::TraceSink>) -> (noc_sim::SimResults, ()) {
+    let mut sim = Simulation::new(small_config());
+    sim.set_trace_sink(sink);
+    while !sim.finished() {
+        sim.step();
+    }
+    sim.finish_observability();
+    (sim.results(), ())
+}
+
+#[test]
+fn jsonl_export_round_trips_with_causal_event_ordering() {
+    let buf = SharedBuf::default();
+    let (results, ()) = run_with_sink(Box::new(JsonlTraceSink::new(buf.clone())));
+    let text = String::from_utf8(buf.0.borrow().clone()).unwrap();
+    assert!(!text.is_empty());
+
+    // (generated, injected, last_hop, delivered) cycles per packet.
+    let mut timeline: HashMap<u64, [Option<u64>; 4]> = HashMap::new();
+    let mut lines = 0u64;
+    for line in text.lines() {
+        lines += 1;
+        let v = Json::parse(line).expect("every line is a standalone JSON document");
+        let cycle = v.get("cycle").unwrap().as_u64().unwrap();
+        let packet = v.get("packet").unwrap().as_u64().unwrap();
+        let slot = match v.get("event").unwrap().as_str().unwrap() {
+            "generated" => 0,
+            "injected" => 1,
+            "hop" => 2,
+            "delivered" | "dropped" => 3,
+            other => panic!("unknown event kind '{other}'"),
+        };
+        let entry = timeline.entry(packet).or_default();
+        entry[slot] = Some(entry[slot].map_or(cycle, |c: u64| c.max(cycle)));
+    }
+    assert!(
+        lines >= 3 * results.generated_packets,
+        "at least generated/injected/delivered per packet: {lines} lines"
+    );
+    assert_eq!(timeline.len() as u64, results.generated_packets);
+    for (packet, [generated, injected, hop, delivered]) in &timeline {
+        let g = generated.expect("generated");
+        let i = injected.expect("injected");
+        let d = delivered.expect("fault-free: delivered");
+        assert!(g <= i, "packet {packet}: generated {g} <= injected {i}");
+        if let Some(h) = hop {
+            assert!(i <= *h, "packet {packet}: injected {i} <= last hop {h}");
+            assert!(*h <= d, "packet {packet}: last hop {h} <= delivered {d}");
+        }
+        assert!(i <= d, "packet {packet}: injected {i} <= delivered {d}");
+    }
+}
+
+#[test]
+fn perfetto_export_is_valid_chrome_trace_json_with_paired_events() {
+    let buf = SharedBuf::default();
+    let sink = PerfettoTraceSink::new(buf.clone()).expect("preamble write");
+    let (results, ()) = run_with_sink(Box::new(sink));
+    let text = String::from_utf8(buf.0.borrow().clone()).unwrap();
+
+    let doc = Json::parse(&text).expect("the whole document is one JSON object");
+    let events = doc.get("traceEvents").expect("Chrome trace container").as_arr().unwrap();
+    assert!(!events.is_empty());
+
+    let mut begins: HashMap<String, u64> = HashMap::new();
+    let mut ends: HashMap<String, u64> = HashMap::new();
+    for e in events {
+        let ph = e.get("ph").unwrap().as_str().unwrap();
+        let id = e.get("id").unwrap().as_str().unwrap().to_string();
+        assert_eq!(e.get("cat").unwrap().as_str(), Some("packet"));
+        let ts = e.get("ts").unwrap().as_u64().expect("timestamps are non-negative");
+        assert!(ts <= results.cycles, "event time within the run");
+        match ph {
+            "b" => *begins.entry(id).or_default() += 1,
+            "e" => *ends.entry(id).or_default() += 1,
+            "n" => {}
+            other => panic!("unexpected phase '{other}'"),
+        }
+    }
+    assert_eq!(begins.len() as u64, results.generated_packets, "one async track per packet");
+    assert_eq!(begins, ends, "every begin is closed exactly once");
+    assert!(begins.values().all(|&n| n == 1));
+}
