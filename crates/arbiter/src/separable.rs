@@ -45,6 +45,10 @@ pub struct SeparableAllocator {
     input_arbs: Vec<RoundRobinArbiter>,
     output_arbs: Vec<RoundRobinArbiter>,
     vcs_per_input: usize,
+    /// Reusable stage-1 winner scratch (one slot per input port).
+    stage1: Vec<Option<SwitchRequest>>,
+    /// Reusable request-line scratch for both arbitration stages.
+    lines: Vec<bool>,
 }
 
 impl SeparableAllocator {
@@ -60,6 +64,8 @@ impl SeparableAllocator {
             input_arbs: (0..inputs).map(|_| RoundRobinArbiter::new(vcs_per_input)).collect(),
             output_arbs: (0..outputs).map(|_| RoundRobinArbiter::new(inputs)).collect(),
             vcs_per_input,
+            stage1: vec![None; inputs],
+            lines: Vec::with_capacity(vcs_per_input.max(inputs)),
         }
     }
 
@@ -76,15 +82,45 @@ impl SeparableAllocator {
     /// Performs one allocation pass over `requests`, returning the
     /// conflict-free grant set and the arbitration effort expended.
     ///
+    /// Convenience wrapper over [`SeparableAllocator::allocate_into`]
+    /// that allocates a fresh grant vector; the simulator's hot loop
+    /// uses `allocate_into` with a reusable buffer instead.
+    ///
     /// # Panics
     ///
     /// Panics if a request indexes outside the allocator's dimensions.
     pub fn allocate(&mut self, requests: &[SwitchRequest]) -> (Vec<SwitchGrant>, AllocationEffort) {
+        let mut grants = Vec::new();
+        let effort = self.allocate_into(requests, &mut grants);
+        (grants, effort)
+    }
+
+    /// Performs one allocation pass over `requests`, writing the
+    /// conflict-free grant set into the caller-owned `grants` buffer
+    /// (cleared on entry) and returning the arbitration effort. Uses
+    /// internal scratch instead of per-call allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request indexes outside the allocator's dimensions.
+    pub fn allocate_into(
+        &mut self,
+        requests: &[SwitchRequest],
+        grants: &mut Vec<SwitchGrant>,
+    ) -> AllocationEffort {
+        grants.clear();
         let mut effort = AllocationEffort::default();
+        if requests.is_empty() {
+            return effort;
+        }
         // Stage 1: per input port, round-robin over requesting VCs.
-        let mut stage1: Vec<Option<SwitchRequest>> = vec![None; self.input_arbs.len()];
+        let mut stage1 = std::mem::take(&mut self.stage1);
+        let mut lines = std::mem::take(&mut self.lines);
+        stage1.clear();
+        stage1.resize(self.input_arbs.len(), None);
         for (input, arb) in self.input_arbs.iter_mut().enumerate() {
-            let mut lines = vec![false; self.vcs_per_input];
+            lines.clear();
+            lines.resize(self.vcs_per_input, false);
             let mut any = false;
             for r in requests.iter().filter(|r| r.input == input) {
                 assert!(r.vc < self.vcs_per_input, "vc index out of range");
@@ -103,11 +139,10 @@ impl SeparableAllocator {
             }
         }
         // Stage 2: per output port, round-robin over stage-1 winners.
-        let mut grants = Vec::new();
         for (output, arb) in self.output_arbs.iter_mut().enumerate() {
-            let lines: Vec<bool> = (0..self.input_arbs.len())
-                .map(|i| stage1[i].is_some_and(|r| r.output == output))
-                .collect();
+            lines.clear();
+            lines.extend((0..self.input_arbs.len())
+                .map(|i| stage1[i].is_some_and(|r| r.output == output)));
             if lines.iter().any(|&l| l) {
                 effort.global_ops += 1;
                 if let Some(input) = arb.arbitrate(&lines) {
@@ -116,7 +151,9 @@ impl SeparableAllocator {
                 }
             }
         }
-        (grants, effort)
+        self.stage1 = stage1;
+        self.lines = lines;
+        effort
     }
 }
 

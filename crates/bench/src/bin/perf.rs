@@ -1,0 +1,248 @@
+//! Simulator throughput benchmark (`BENCH_sim_throughput.json`).
+//!
+//! Sweeps {router architecture × injection rate × mesh size}, runs each
+//! point under both cycle kernels ([`noc_sim::KernelMode::Reference`]
+//! steps every router every cycle; `Optimized` is the wake-set kernel)
+//! and reports simulated cycles/second and flit-hops/second for each,
+//! plus the wall-clock speedup. Every point also asserts that the two
+//! kernels produce bit-identical [`SimResults`] — the benchmark doubles
+//! as an equivalence check, and exits non-zero on any divergence.
+//!
+//! Sizing follows `NOC_SCALE` (`quick` default); the report lands at
+//! `BENCH_sim_throughput.json` in the workspace root.
+
+use noc_bench::Scale;
+use noc_core::{MeshConfig, RouterKind, RoutingKind};
+use noc_sim::json::{write_f64, write_key, write_str};
+use noc_sim::{KernelMode, SimConfig, SimResults};
+use noc_traffic::TrafficKind;
+use std::time::Instant;
+
+/// One measured kernel run.
+struct KernelRun {
+    wall_s: f64,
+    cycles_per_s: f64,
+    hops_per_s: f64,
+    digest: u64,
+}
+
+/// One sweep point (both kernels).
+struct Point {
+    router: RouterKind,
+    mesh: MeshConfig,
+    rate: f64,
+    cycles: u64,
+    flit_hops: u64,
+    reference: KernelRun,
+    optimized: KernelRun,
+}
+
+/// FNV-1a over every result field, floats by bit pattern. Equal digests
+/// ⇔ (up to hash collision) bit-identical results; the benchmark also
+/// compares a few headline fields directly for a readable failure.
+fn digest(r: &SimResults) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    mix(r.cycles);
+    mix(r.generated_packets);
+    mix(r.injected_packets);
+    mix(r.measured_injected);
+    mix(r.delivered_packets);
+    mix(r.measured_delivered);
+    mix(r.dropped_packets);
+    mix(r.avg_latency.to_bits());
+    mix(r.max_latency);
+    mix(r.latency_p50);
+    mix(r.latency_p95);
+    mix(r.latency_p99);
+    mix(r.throughput.to_bits());
+    mix(r.counters.cycles);
+    mix(r.counters.rc_computations);
+    mix(r.counters.va_local_arbs);
+    mix(r.counters.va_global_arbs);
+    mix(r.counters.va_failures);
+    mix(r.counters.sa_local_arbs);
+    mix(r.counters.sa_global_arbs);
+    mix(r.counters.crossbar_traversals);
+    mix(r.counters.link_traversals);
+    mix(r.counters.buffer_writes);
+    mix(r.counters.buffer_reads);
+    mix(r.counters.credit_stall_cycles);
+    mix(r.counters.early_ejections);
+    mix(r.counters.blocked_packets);
+    mix(r.counters.occupancy_high_water);
+    mix(r.contention.x_requests);
+    mix(r.contention.x_blocked);
+    mix(r.contention.y_requests);
+    mix(r.contention.y_blocked);
+    mix(r.energy.total().to_bits());
+    mix(r.energy_per_packet.to_bits());
+    mix(r.stalled as u64);
+    h
+}
+
+fn time_kernel(cfg: &SimConfig, kernel: KernelMode) -> (SimResults, KernelRun) {
+    let mut cfg = cfg.clone();
+    cfg.kernel = kernel;
+    let start = Instant::now();
+    let results = noc_sim::run(cfg);
+    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+    let run = KernelRun {
+        wall_s,
+        cycles_per_s: results.cycles as f64 / wall_s,
+        hops_per_s: results.counters.link_traversals as f64 / wall_s,
+        digest: digest(&results),
+    };
+    (results, run)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let scale_name = match std::env::var("NOC_SCALE").as_deref() {
+        Ok("paper") => "paper",
+        Ok("full") => "full",
+        _ => "quick",
+    };
+    let routers = [RouterKind::RoCo, RouterKind::Generic, RouterKind::PathSensitive];
+    let rates = [0.05, 0.1, 0.2];
+    let meshes = [MeshConfig::new(4, 4), MeshConfig::new(8, 8)];
+
+    let mut points = Vec::new();
+    let mut mismatches = 0u32;
+    for router in routers {
+        for mesh in meshes {
+            for rate in rates {
+                let mut cfg = scale.apply(SimConfig::paper_scaled(
+                    router,
+                    RoutingKind::Xy,
+                    TrafficKind::Uniform,
+                ));
+                cfg.mesh = mesh;
+                cfg.injection_rate = rate;
+                let (rres, reference) = time_kernel(&cfg, KernelMode::Reference);
+                let (ores, optimized) = time_kernel(&cfg, KernelMode::Optimized);
+                if reference.digest != optimized.digest {
+                    mismatches += 1;
+                    eprintln!(
+                        "DIGEST MISMATCH: {router:?} {}x{} rate {rate}: \
+                         cycles {} vs {}, delivered {} vs {}, avg latency {} vs {}",
+                        mesh.width,
+                        mesh.height,
+                        rres.cycles,
+                        ores.cycles,
+                        rres.delivered_packets,
+                        ores.delivered_packets,
+                        rres.avg_latency,
+                        ores.avg_latency,
+                    );
+                }
+                println!(
+                    "{router:?} {}x{} rate {rate}: {} cycles, ref {:.2}s opt {:.2}s \
+                     ({:.2}x, {:.0} cycles/s, {:.0} hops/s)",
+                    mesh.width,
+                    mesh.height,
+                    ores.cycles,
+                    reference.wall_s,
+                    optimized.wall_s,
+                    reference.wall_s / optimized.wall_s,
+                    optimized.cycles_per_s,
+                    optimized.hops_per_s,
+                );
+                points.push(Point {
+                    router,
+                    mesh,
+                    rate,
+                    cycles: ores.cycles,
+                    flit_hops: ores.counters.link_traversals,
+                    reference,
+                    optimized,
+                });
+            }
+        }
+    }
+
+    let geomean_speedup = {
+        let log_sum: f64 = points
+            .iter()
+            .map(|p| (p.reference.wall_s / p.optimized.wall_s).ln())
+            .sum();
+        (log_sum / points.len() as f64).exp()
+    };
+    println!("geomean speedup: {geomean_speedup:.2}x");
+
+    let json = render_json(scale_name, &points, geomean_speedup, mismatches);
+    let path = noc_bench::results_dir()
+        .parent()
+        .map(|p| p.join("BENCH_sim_throughput.json"))
+        .expect("results dir has a parent");
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("[wrote {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+
+    if mismatches > 0 {
+        eprintln!("{mismatches} sweep point(s) diverged between kernels");
+        std::process::exit(1);
+    }
+}
+
+fn render_json(scale: &str, points: &[Point], geomean: f64, mismatches: u32) -> String {
+    let mut out = String::new();
+    out.push('{');
+    let mut first = true;
+    write_key(&mut out, &mut first, "benchmark");
+    write_str(&mut out, "sim_throughput");
+    write_key(&mut out, &mut first, "status");
+    write_str(&mut out, if mismatches == 0 { "ok" } else { "kernel-divergence" });
+    write_key(&mut out, &mut first, "scale");
+    write_str(&mut out, scale);
+    write_key(&mut out, &mut first, "generated_by");
+    write_str(&mut out, "cargo run --release -p noc-bench --bin perf");
+    write_key(&mut out, &mut first, "geomean_speedup");
+    write_f64(&mut out, geomean);
+    write_key(&mut out, &mut first, "runs");
+    out.push('[');
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        let mut f = true;
+        write_key(&mut out, &mut f, "router");
+        write_str(&mut out, &format!("{:?}", p.router));
+        write_key(&mut out, &mut f, "mesh");
+        write_str(&mut out, &format!("{}x{}", p.mesh.width, p.mesh.height));
+        write_key(&mut out, &mut f, "injection_rate");
+        write_f64(&mut out, p.rate);
+        write_key(&mut out, &mut f, "cycles");
+        write_f64(&mut out, p.cycles as f64);
+        write_key(&mut out, &mut f, "flit_hops");
+        write_f64(&mut out, p.flit_hops as f64);
+        for (name, run) in [("reference", &p.reference), ("optimized", &p.optimized)] {
+            write_key(&mut out, &mut f, name);
+            out.push('{');
+            let mut g = true;
+            write_key(&mut out, &mut g, "wall_s");
+            write_f64(&mut out, run.wall_s);
+            write_key(&mut out, &mut g, "cycles_per_s");
+            write_f64(&mut out, run.cycles_per_s);
+            write_key(&mut out, &mut g, "flit_hops_per_s");
+            write_f64(&mut out, run.hops_per_s);
+            out.push('}');
+        }
+        write_key(&mut out, &mut f, "speedup");
+        write_f64(&mut out, p.reference.wall_s / p.optimized.wall_s);
+        write_key(&mut out, &mut f, "digest_match");
+        out.push_str(if p.reference.digest == p.optimized.digest { "true" } else { "false" });
+        out.push('}');
+    }
+    out.push(']');
+    out.push('}');
+    out.push('\n');
+    out
+}

@@ -67,22 +67,21 @@ impl Scale {
 }
 
 /// Runs a batch of independent simulations across CPU cores, preserving
-/// input order.
+/// input order. Work is handed out through a lock-free shared index:
+/// each worker claims the next unclaimed config with a `fetch_add`, so
+/// there is no queue mutex to contend on between (long) simulations.
 pub fn run_batch(configs: Vec<SimConfig>) -> Vec<SimResults> {
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let jobs = std::sync::Mutex::new(configs.into_iter().enumerate().collect::<Vec<_>>());
+    let next = std::sync::atomic::AtomicUsize::new(0);
     let mut results: Vec<Option<SimResults>> = Vec::new();
-    {
-        let n_jobs = jobs.lock().unwrap().len();
-        results.resize_with(n_jobs, || None);
-    }
+    results.resize_with(configs.len(), || None);
     let results = std::sync::Mutex::new(results);
     std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for _ in 0..threads.min(configs.len()) {
             scope.spawn(|| loop {
-                let job = jobs.lock().unwrap().pop();
-                let Some((idx, cfg)) = job else { break };
-                let r = noc_sim::run(cfg);
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(cfg) = configs.get(idx) else { break };
+                let r = noc_sim::run(cfg.clone());
                 results.lock().unwrap()[idx] = Some(r);
             });
         }

@@ -21,6 +21,7 @@ USAGE:
             [--packets N] [--warmup N] [--seed N] [--heatmaps true]
             [--metrics-out F.jsonl] [--trace-out F.perfetto.json|F.jsonl|F.csv]
             [--sample-window N] [--postmortem-out F.json]
+            [--kernel optimized|reference]
   noc sweep [--router R|all] [--routing A] [--traffic T] [--rates F,F,...]
             [--mesh WxH] [--packets N] [--seed N]
   noc fault [--router R|all] [--routing A] [--category critical|recyclable]
@@ -59,6 +60,15 @@ fn base_config(args: &Args) -> Result<SimConfig, ArgError> {
     cfg.measured_packets = args.get_or("packets", 10_000u64)?;
     cfg.warmup_packets = args.get_or("warmup", cfg.measured_packets / 10)?;
     cfg.seed = args.get_or("seed", 0xC0C0u64)?;
+    // Both kernels are bit-identical (DESIGN.md §10); `reference`
+    // exists for benchmarking the wake-set and for bisecting.
+    cfg.kernel = match args.get("kernel") {
+        None | Some("optimized") => noc_sim::KernelMode::Optimized,
+        Some("reference") => noc_sim::KernelMode::Reference,
+        Some(other) => {
+            return Err(ArgError(format!("--kernel: 'optimized' or 'reference', got '{other}'")))
+        }
+    };
     Ok(cfg)
 }
 

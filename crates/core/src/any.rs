@@ -75,8 +75,16 @@ impl RouterNode for AnyRouter {
         dispatch!(self, r => r.try_inject(flit, ctx))
     }
 
-    fn step(&mut self, ctx: &mut StepContext<'_>) -> RouterOutputs {
-        dispatch!(self, r => r.step(ctx))
+    fn step(&mut self, ctx: &mut StepContext<'_>, out: &mut RouterOutputs) {
+        dispatch!(self, r => r.step(ctx, out))
+    }
+
+    fn is_quiescent(&self) -> bool {
+        dispatch!(self, r => r.is_quiescent())
+    }
+
+    fn tick_idle(&mut self) {
+        dispatch!(self, r => r.tick_idle())
     }
 
     fn status(&self) -> NodeStatus {

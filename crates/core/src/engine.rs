@@ -210,6 +210,10 @@ pub struct RouterCore {
     inj_dropping: bool,
     /// The most recent cycle seen by `va_stage` (watchdog timestamps).
     last_cycle: Cycle,
+    /// Reusable VA-request scratch (cleared every `va_stage` call).
+    va_requests: Vec<VaRequest>,
+    /// Reusable arbiter request-line scratch.
+    va_lines: Vec<bool>,
 }
 
 impl RouterCore {
@@ -257,6 +261,8 @@ impl RouterCore {
             inj_vc: None,
             inj_dropping: false,
             last_cycle: 0,
+            va_requests: Vec::new(),
+            va_lines: Vec::new(),
         }
     }
 
@@ -339,6 +345,33 @@ impl RouterCore {
         self.vcs.iter().map(|v| v.queue.len()).sum::<usize>()
             + self.st_latch.len()
             + self.pending_ejects.len()
+    }
+
+    /// Whether a full `step` would change nothing but the clocked-cycle
+    /// counter (see [`noc_core::RouterNode::is_quiescent`]): nothing
+    /// buffered, latched or pending, every VC idle, and no packet
+    /// mid-injection. A quiescent router's `va_stage` touches no VC,
+    /// its SA sees no candidates (so every arbiter stays untouched and
+    /// every effort counter stays zero), `probe_cycle` observes nothing,
+    /// and no context RNG is consumed.
+    pub fn is_quiescent(&self) -> bool {
+        self.st_latch.is_empty()
+            && self.pending_ejects.is_empty()
+            && self.pending_credits.is_empty()
+            && self.pending_drops.is_empty()
+            && !self.inj_dropping
+            && self.inj_vc.is_none()
+            && self
+                .vcs
+                .iter()
+                .all(|v| v.queue.is_empty() && v.state == VcState::Idle && !v.dropping)
+    }
+
+    /// Accounts one clocked (but skipped) cycle: the leakage-energy
+    /// bookkeeping that must stay bit-identical to a full `step` on a
+    /// quiescent router.
+    pub fn tick_idle(&mut self) {
+        self.counters.cycles += 1;
     }
 
     /// Whether an `Active` VC with flits to send is starved of credits
@@ -524,8 +557,10 @@ impl RouterCore {
             }
             self.route_head(vc_id, head, ctx);
         }
-        // Sub-pass 3: collect VA requests.
-        let mut requests: Vec<VaRequest> = Vec::new();
+        // Sub-pass 3: collect VA requests (reusing the scratch buffer —
+        // the steady-state path allocates nothing).
+        let mut requests = std::mem::take(&mut self.va_requests);
+        requests.clear();
         for vc_id in 0..self.vcs.len() {
             let VcState::WaitingVa { next_route } = self.vcs[vc_id].state else { continue };
             let Some(&head) = self.vcs[vc_id].queue.front() else { continue };
@@ -576,7 +611,10 @@ impl RouterCore {
             }
         }
         // Sub-pass 4: arbitrate per contested downstream VC and grant.
-        requests.sort_by_key(|r| (r.out.index(), r.dvc));
+        // Unstable sort: never allocates, and within-group order is
+        // immaterial (the winner is picked by vc_id via the arbiter).
+        requests.sort_unstable_by_key(|r| (r.out.index(), r.dvc));
+        let mut lines = std::mem::take(&mut self.va_lines);
         let mut i = 0;
         while i < requests.len() {
             let j = (i..requests.len())
@@ -591,7 +629,8 @@ impl RouterCore {
             let winner = if group.len() == 1 {
                 group[0]
             } else {
-                let mut lines = vec![false; self.vcs.len()];
+                lines.clear();
+                lines.resize(self.vcs.len(), false);
                 for r in group {
                     lines[r.vc_id] = true;
                 }
@@ -612,6 +651,8 @@ impl RouterCore {
             }
             i = j;
         }
+        self.va_lines = lines;
+        self.va_requests = requests;
         va_activity
     }
 
@@ -716,19 +757,26 @@ impl RouterCore {
             let quadrant_mask = quadrant_mask(b, head.dst);
             // Adaptive look-ahead selection: prefer the candidate whose
             // admissible downstream buffers hold the most credits (the
-            // backpressure congestion signal); break ties randomly.
-            let scored: Vec<(i64, Direction)> = cands
-                .iter()
-                .map(|d| {
-                    let req =
-                        VcRequest { in_dir, out_dir: d, order: head.order, quadrant_mask };
-                    (port.credit_score(&req), d)
-                })
-                .collect();
-            let best = scored.iter().map(|&(s, _)| s).max().expect("non-empty");
-            let tied: Vec<Direction> =
-                scored.iter().filter(|&&(s, _)| s == best).map(|&(_, d)| d).collect();
-            tied[rand::Rng::gen_range(&mut *ctx.rng, 0..tied.len())]
+            // backpressure congestion signal); break ties randomly. A
+            // minimal route has at most two candidates, so fixed arrays
+            // suffice (no heap).
+            let mut scored = [(0i64, Direction::Local); 2];
+            let mut n = 0;
+            for d in cands.iter() {
+                let req = VcRequest { in_dir, out_dir: d, order: head.order, quadrant_mask };
+                scored[n] = (port.credit_score(&req), d);
+                n += 1;
+            }
+            let best = scored[..n].iter().map(|&(s, _)| s).max().expect("non-empty");
+            let mut tied = [Direction::Local; 2];
+            let mut t = 0;
+            for &(s, d) in &scored[..n] {
+                if s == best {
+                    tied[t] = d;
+                    t += 1;
+                }
+            }
+            tied[rand::Rng::gen_range(&mut *ctx.rng, 0..t)]
         };
         self.vcs[vc_id].state = if self.rc_ok {
             VcState::WaitingVa { next_route }

@@ -6,7 +6,7 @@
 //! whole node (§4.1).
 
 use crate::engine::{RouterCore, Vc};
-use noc_arbiter::{SeparableAllocator, SwitchRequest};
+use noc_arbiter::{SeparableAllocator, SwitchGrant, SwitchRequest};
 use noc_core::{
     ActivityCounters, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit,
     MeshConfig, ModuleHealth, NodeStatus, RouterConfig, RouterKind, RouterNode, RouterOutputs,
@@ -19,6 +19,9 @@ use noc_routing::RouteComputer;
 pub struct GenericRouter {
     core: RouterCore,
     allocator: SeparableAllocator,
+    /// Reusable SA request/grant scratch (cleared every step).
+    sa_requests: Vec<SwitchRequest>,
+    sa_grants: Vec<SwitchGrant>,
 }
 
 impl GenericRouter {
@@ -43,7 +46,12 @@ impl GenericRouter {
             }
         }
         let core = RouterCore::new(coord, cfg, computer, vcs, link_map);
-        GenericRouter { core, allocator: SeparableAllocator::new(5, 5, v) }
+        GenericRouter {
+            core,
+            allocator: SeparableAllocator::new(5, 5, v),
+            sa_requests: Vec::new(),
+            sa_grants: Vec::new(),
+        }
     }
 
     /// Wires the output towards `dir` to the downstream VC list.
@@ -77,23 +85,23 @@ impl RouterNode for GenericRouter {
         self.core.try_inject(flit, ctx)
     }
 
-    fn step(&mut self, ctx: &mut StepContext<'_>) -> RouterOutputs {
+    fn step(&mut self, ctx: &mut StepContext<'_>, out: &mut RouterOutputs) {
+        out.clear();
         self.core.counters.cycles += 1;
         self.core.probe_cycle();
-        let mut out = RouterOutputs::new();
-        self.core.flush(&mut out);
+        self.core.flush(out);
         if self.core.node_dead() {
-            return out;
+            return;
         }
         self.core.va_stage(ctx);
         // Monolithic separable SA over the 5×5 crossbar.
         let v = self.core.cfg.vcs_per_port as usize;
-        let mut requests = Vec::new();
+        let requests = &mut self.sa_requests;
+        requests.clear();
         for side in Direction::ALL {
             for i in 0..v {
                 let vc_id = self.core.link_map[side.index()][i];
-                if self.core.sa_candidate(vc_id).is_some() {
-                    let want = self.core.sa_candidate(vc_id).expect("checked");
+                if let Some(want) = self.core.sa_candidate(vc_id) {
                     requests.push(SwitchRequest {
                         input: side.index(),
                         output: want.index(),
@@ -102,11 +110,11 @@ impl RouterNode for GenericRouter {
                 }
             }
         }
-        let (grants, effort) = self.allocator.allocate(&requests);
+        let effort = self.allocator.allocate_into(requests, &mut self.sa_grants);
         self.core.counters.sa_local_arbs += effort.local_ops;
         self.core.counters.sa_global_arbs += effort.global_ops;
         let mut freed = false;
-        for g in &grants {
+        for g in &self.sa_grants {
             let vc_id = self.core.link_map[g.input][g.vc];
             freed |= self.core.apply_grant(vc_id);
         }
@@ -117,14 +125,21 @@ impl RouterNode for GenericRouter {
         // request, classified by its input link's axis ("row input" =
         // the East/West ports, "column input" = North/South); the PE
         // port is not a row/column input and is skipped.
-        for r in &requests {
+        for r in &self.sa_requests {
             let side = Direction::from_index(r.input);
             let Some(axis) = side.axis() else { continue };
             let granted =
-                grants.iter().any(|g| g.input == r.input && g.vc == r.vc);
+                self.sa_grants.iter().any(|g| g.input == r.input && g.vc == r.vc);
             self.core.record_contention(axis, granted);
         }
-        out
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.core.is_quiescent()
+    }
+
+    fn tick_idle(&mut self) {
+        self.core.tick_idle();
     }
 
     fn status(&self) -> NodeStatus {

@@ -11,7 +11,7 @@
 //! fault blocks the whole node.
 
 use crate::engine::{RouterCore, Vc};
-use noc_arbiter::{SeparableAllocator, SwitchRequest};
+use noc_arbiter::{SeparableAllocator, SwitchGrant, SwitchRequest};
 use noc_core::{
     ActivityCounters, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit,
     MeshConfig, ModuleHealth, NodeStatus, RouterConfig, RouterKind, RouterNode, RouterOutputs,
@@ -36,6 +36,9 @@ pub struct PathSensitiveRouter {
     /// Internal VC ids per path set (quadrant index order).
     set_vcs: [Vec<usize>; 4],
     allocator: SeparableAllocator,
+    /// Reusable SA request/grant scratch (cleared every step).
+    sa_requests: Vec<SwitchRequest>,
+    sa_grants: Vec<SwitchGrant>,
 }
 
 impl PathSensitiveRouter {
@@ -70,7 +73,13 @@ impl PathSensitiveRouter {
             }
         }
         let core = RouterCore::new(coord, cfg, computer, vcs, link_map);
-        PathSensitiveRouter { core, set_vcs, allocator: SeparableAllocator::new(4, 4, 3) }
+        PathSensitiveRouter {
+            core,
+            set_vcs,
+            allocator: SeparableAllocator::new(4, 4, 3),
+            sa_requests: Vec::new(),
+            sa_grants: Vec::new(),
+        }
     }
 
     /// Wires the output towards `dir` to the downstream VC list.
@@ -104,17 +113,18 @@ impl RouterNode for PathSensitiveRouter {
         self.core.try_inject(flit, ctx)
     }
 
-    fn step(&mut self, ctx: &mut StepContext<'_>) -> RouterOutputs {
+    fn step(&mut self, ctx: &mut StepContext<'_>, out: &mut RouterOutputs) {
+        out.clear();
         self.core.counters.cycles += 1;
         self.core.probe_cycle();
-        let mut out = RouterOutputs::new();
-        self.core.flush(&mut out);
+        self.core.flush(out);
         if self.core.node_dead() {
-            return out;
+            return;
         }
         self.core.va_stage(ctx);
         // Decomposed 4×4 crossbar: inputs are the four path sets.
-        let mut requests = Vec::new();
+        let requests = &mut self.sa_requests;
+        requests.clear();
         for (set, ids) in self.set_vcs.iter().enumerate() {
             for (i, &vc_id) in ids.iter().enumerate() {
                 if let Some(want) = self.core.sa_candidate(vc_id) {
@@ -122,11 +132,11 @@ impl RouterNode for PathSensitiveRouter {
                 }
             }
         }
-        let (grants, effort) = self.allocator.allocate(&requests);
+        let effort = self.allocator.allocate_into(requests, &mut self.sa_grants);
         self.core.counters.sa_local_arbs += effort.local_ops;
         self.core.counters.sa_global_arbs += effort.global_ops;
         let mut freed = false;
-        for g in &grants {
+        for g in &self.sa_grants {
             let vc_id = self.set_vcs[g.input][g.vc];
             freed |= self.core.apply_grant(vc_id);
         }
@@ -135,13 +145,20 @@ impl RouterNode for PathSensitiveRouter {
         }
         // Fig 3: one observation per eligible VC, classified by the
         // arrival link's axis (injection VCs are skipped).
-        for r in &requests {
+        for r in &self.sa_requests {
             let vc_id = self.set_vcs[r.input][r.vc];
             let Some(axis) = self.core.vcs[vc_id].input_side.axis() else { continue };
-            let granted = grants.iter().any(|g| g.input == r.input && g.vc == r.vc);
+            let granted = self.sa_grants.iter().any(|g| g.input == r.input && g.vc == r.vc);
             self.core.record_contention(axis, granted);
         }
-        out
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.core.is_quiescent()
+    }
+
+    fn tick_idle(&mut self) {
+        self.core.tick_idle();
     }
 
     fn status(&self) -> NodeStatus {

@@ -13,7 +13,7 @@ mod vc_config;
 pub use vc_config::{class_histogram, table1_vcs, ModulePort, RocoVcSpec};
 
 use crate::engine::{RouterCore, Vc};
-use noc_arbiter::{MirrorAllocator, RoundRobinArbiter, SeparableAllocator, SwitchRequest};
+use noc_arbiter::{MirrorAllocator, RoundRobinArbiter, SeparableAllocator, SwitchGrant, SwitchRequest};
 use noc_core::{
     ActivityCounters, Axis, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit,
     MeshConfig, ModuleHealth, NodeStatus, RouterConfig, RouterKind, RouterNode, RouterOutputs,
@@ -48,6 +48,11 @@ pub struct RocoRouter {
     /// Ablation fallback: input-first separable allocation per module
     /// when `cfg.mirror_allocator` is false.
     separable: [SeparableAllocator; 2],
+    /// Reusable SA scratch buffers (cleared every use).
+    sa_requests: Vec<SwitchRequest>,
+    sa_grants: Vec<SwitchGrant>,
+    sa_lines: Vec<bool>,
+    sa_eligible: Vec<usize>,
 }
 
 impl RocoRouter {
@@ -85,6 +90,10 @@ impl RocoRouter {
                 SeparableAllocator::new(2, 2, cfg.vcs_per_port as usize),
                 SeparableAllocator::new(2, 2, cfg.vcs_per_port as usize),
             ],
+            sa_requests: Vec::new(),
+            sa_grants: Vec::new(),
+            sa_lines: Vec::new(),
+            sa_eligible: Vec::new(),
         }
     }
 
@@ -94,7 +103,8 @@ impl RocoRouter {
     fn module_sa_separable(&mut self, module: usize) -> bool {
         let mut freed = false;
         let ports = [2 * module, 2 * module + 1];
-        let mut requests = Vec::new();
+        let requests = &mut self.sa_requests;
+        requests.clear();
         let mut port_had_request = [false; 2];
         for (pi, &port) in ports.iter().enumerate() {
             for (vi, &vc) in self.port_vcs[port].iter().enumerate() {
@@ -107,11 +117,11 @@ impl RocoRouter {
                 }
             }
         }
-        let (grants, effort) = self.separable[module].allocate(&requests);
+        let effort = self.separable[module].allocate_into(requests, &mut self.sa_grants);
         self.core.counters.sa_local_arbs += effort.local_ops;
         self.core.counters.sa_global_arbs += effort.global_ops;
         let mut port_granted = [false; 2];
-        for g in &grants {
+        for g in &self.sa_grants {
             let vc = self.port_vcs[ports[g.input]][g.vc];
             freed |= self.core.apply_grant(vc);
             port_granted[g.input] = true;
@@ -151,14 +161,18 @@ impl RocoRouter {
         // Local stage: per port, per direction, a v:1 arbiter picks one
         // candidate VC (Fig 4's two arbiters per input port).
         let mut cand: [[Option<usize>; 2]; 2] = [[None; 2]; 2];
-        let mut eligible: Vec<usize> = Vec::new();
+        let mut eligible = std::mem::take(&mut self.sa_eligible);
+        let mut lines = std::mem::take(&mut self.sa_lines);
+        eligible.clear();
         for (pi, &port) in ports.iter().enumerate() {
             for slot in 0..2 {
                 let want = slot_direction(module, slot);
-                let lines: Vec<bool> = self.port_vcs[port]
-                    .iter()
-                    .map(|&vc| self.core.sa_candidate(vc) == Some(want))
-                    .collect();
+                lines.clear();
+                lines.extend(
+                    self.port_vcs[port]
+                        .iter()
+                        .map(|&vc| self.core.sa_candidate(vc) == Some(want)),
+                );
                 for (vi, &l) in lines.iter().enumerate() {
                     if l && self.core.vcs[self.port_vcs[port][vi]].input_side != Direction::Local
                     {
@@ -195,6 +209,8 @@ impl RocoRouter {
                 self.core.record_contention(axis, granted);
             }
         }
+        self.sa_eligible = eligible;
+        self.sa_lines = lines;
         freed
     }
 }
@@ -224,13 +240,13 @@ impl RouterNode for RocoRouter {
         self.core.try_inject(flit, ctx)
     }
 
-    fn step(&mut self, ctx: &mut StepContext<'_>) -> RouterOutputs {
+    fn step(&mut self, ctx: &mut StepContext<'_>, out: &mut RouterOutputs) {
+        out.clear();
         self.core.counters.cycles += 1;
         self.core.probe_cycle();
-        let mut out = RouterOutputs::new();
-        self.core.flush(&mut out);
+        self.core.flush(out);
         if self.core.node_dead() {
-            return out;
+            return;
         }
         let va_activity = self.core.va_stage(ctx);
         let mut freed = false;
@@ -255,7 +271,14 @@ impl RouterNode for RocoRouter {
             // iteration lets waiting heads claim them without a bubble.
             self.core.va_stage(ctx);
         }
-        out
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.core.is_quiescent()
+    }
+
+    fn tick_idle(&mut self) {
+        self.core.tick_idle();
     }
 
     fn status(&self) -> NodeStatus {

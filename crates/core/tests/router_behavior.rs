@@ -41,7 +41,9 @@ fn step(r: &mut AnyRouter, cycle: u64, rng: &mut SmallRng) -> noc_core::RouterOu
     for d in Direction::MESH {
         ctx.neighbors[d.index()] = Some(noc_core::NodeStatus::healthy());
     }
-    r.step(&mut ctx)
+    let mut out = noc_core::RouterOutputs::new();
+    r.step(&mut ctx, &mut out);
+    out
 }
 
 #[test]

@@ -77,8 +77,52 @@ pub struct Flit {
 }
 
 impl Flit {
-    /// Builds the flits of one packet. The head's `next_out` must still be
-    /// filled in by the injecting network interface via look-ahead routing.
+    /// Yields the flits of one packet without heap allocation — the
+    /// network interface extends its source queue directly from this
+    /// iterator in the simulator's hot loop. The head's `next_out` must
+    /// still be filled in by the injecting network interface via
+    /// look-ahead routing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_flits` is zero.
+    pub fn packet_flit_iter(
+        packet: PacketId,
+        src: Coord,
+        dst: Coord,
+        created_at: Cycle,
+        num_flits: u16,
+        order: AxisOrder,
+    ) -> impl Iterator<Item = Flit> {
+        assert!(num_flits > 0, "a packet must contain at least one flit");
+        (0..num_flits).map(move |seq| {
+            let kind = match (seq, num_flits) {
+                (0, 1) => FlitKind::HeadTail,
+                (0, _) => FlitKind::Head,
+                (s, n) if s + 1 == n => FlitKind::Tail,
+                _ => FlitKind::Body,
+            };
+            Flit {
+                packet,
+                kind,
+                seq,
+                src,
+                dst,
+                created_at,
+                injected_at: created_at,
+                next_out: Direction::Local,
+                order,
+                escape: false,
+            }
+        })
+    }
+
+    /// Builds the flits of one packet as a vector (convenience wrapper
+    /// over [`Flit::packet_flit_iter`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_flits` is zero.
     pub fn packet_flits(
         packet: PacketId,
         src: Coord,
@@ -87,29 +131,7 @@ impl Flit {
         num_flits: u16,
         order: AxisOrder,
     ) -> Vec<Flit> {
-        assert!(num_flits > 0, "a packet must contain at least one flit");
-        (0..num_flits)
-            .map(|seq| {
-                let kind = match (seq, num_flits) {
-                    (0, 1) => FlitKind::HeadTail,
-                    (0, _) => FlitKind::Head,
-                    (s, n) if s + 1 == n => FlitKind::Tail,
-                    _ => FlitKind::Body,
-                };
-                Flit {
-                    packet,
-                    kind,
-                    seq,
-                    src,
-                    dst,
-                    created_at,
-                    injected_at: created_at,
-                    next_out: Direction::Local,
-                    order,
-                    escape: false,
-                }
-            })
-            .collect()
+        Self::packet_flit_iter(packet, src, dst, created_at, num_flits, order).collect()
     }
 }
 

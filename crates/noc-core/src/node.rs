@@ -150,6 +150,16 @@ impl RouterOutputs {
             && self.ejected.is_empty()
             && self.dropped.is_empty()
     }
+
+    /// Empties every list while keeping the allocations, so one
+    /// `RouterOutputs` can serve as a reusable scratch buffer across
+    /// routers and cycles ([`RouterNode::step`] calls this on entry).
+    pub fn clear(&mut self) {
+        self.flits.clear();
+        self.credits.clear();
+        self.ejected.clear();
+        self.dropped.clear();
+    }
 }
 
 /// A wormhole-switched virtual-channel router that the mesh simulator
@@ -190,7 +200,24 @@ pub trait RouterNode {
     fn try_inject(&mut self, flit: Flit, ctx: &mut StepContext<'_>) -> bool;
 
     /// Advances the router one cycle: VA, SA and switch traversal.
-    fn step(&mut self, ctx: &mut StepContext<'_>) -> RouterOutputs;
+    ///
+    /// Everything leaving the router this cycle is written into `out`,
+    /// a caller-owned scratch buffer that the router clears on entry —
+    /// the steady-state hot loop performs no heap allocation this way.
+    fn step(&mut self, ctx: &mut StepContext<'_>, out: &mut RouterOutputs);
+
+    /// Whether the router holds no flits, no pending emissions and no
+    /// non-idle pipeline state, so that a [`RouterNode::step`] call
+    /// would change nothing except the clocked-cycle counter and
+    /// consume no context RNG. The simulator's active-router scheduler
+    /// replaces `step` with [`RouterNode::tick_idle`] for such routers.
+    fn is_quiescent(&self) -> bool;
+
+    /// Accounts one clocked cycle without running the pipeline — the
+    /// leakage-energy bookkeeping a skipped quiescent router still
+    /// needs. Must leave the router bit-identical to a full `step` on
+    /// a quiescent router.
+    fn tick_idle(&mut self);
 
     /// Current operational status (consumed by neighbours next cycle).
     fn status(&self) -> NodeStatus;

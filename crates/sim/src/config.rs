@@ -5,6 +5,22 @@ use noc_fault::FaultPlan;
 use noc_traffic::TrafficKind;
 use serde::{Deserialize, Serialize};
 
+/// Cycle-kernel selection for [`crate::Simulation`].
+///
+/// Both kernels produce bit-identical [`crate::SimResults`] for a given
+/// config and seed (the determinism tests and the `perf` benchmark
+/// binary assert this); `Reference` exists as the equivalence baseline
+/// and for measuring the wake-set speedup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum KernelMode {
+    /// Step every router every cycle (the pre-optimization kernel).
+    Reference,
+    /// Active-router scheduling: quiescent routers are skipped and only
+    /// tick their clocked-cycle counter (the default).
+    #[default]
+    Optimized,
+}
+
 /// Full description of one simulation run (§5.4's experimental setup).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -52,6 +68,10 @@ pub struct SimConfig {
     /// forever; used to exercise the stall detector and post-mortem).
     #[serde(default)]
     pub block_timeout: Option<u64>,
+    /// Which cycle kernel drives the routers (results are identical
+    /// either way; see [`KernelMode`]).
+    #[serde(default)]
+    pub kernel: KernelMode,
 }
 
 /// Serde default for [`SimConfig::sample_window`].
@@ -83,6 +103,7 @@ impl SimConfig {
             speculative_sa: true,
             sample_window: default_sample_window(),
             block_timeout: None,
+            kernel: KernelMode::default(),
         }
     }
 

@@ -34,10 +34,10 @@ mod report;
 mod stats;
 mod trace;
 
-pub use config::SimConfig;
+pub use config::{KernelMode, SimConfig};
 pub use histogram::LatencyHistogram;
 pub use metrics::{IntervalSample, JsonlMetricsSink, MetricsSink, RouterWindow, VecMetricsSink};
-pub use network::{run, Simulation};
+pub use network::{neighbor_table, run, Simulation};
 pub use postmortem::{CreditLine, RouterDiagnosis, StallPostmortem, WedgedPacket};
 pub use report::{render_heatmap, NodeReport, NodeSummary};
 pub use stats::{SimResults, StatsCollector};

@@ -7,16 +7,23 @@
 //! (stage 1 = look-ahead RC + VA + speculative SA, stage 2 = switch
 //! traversal of the previous cycle's winners). All randomness flows
 //! from a single seeded RNG, so runs are exactly reproducible.
+//!
+//! The cycle kernel is allocation-free in steady state: topology is
+//! precomputed into index tables, in-flight lists and router outputs
+//! are recycled as double/scratch buffers, and under the default
+//! [`KernelMode::Optimized`] a wake-set skips routers that are provably
+//! quiescent (see DESIGN.md §10 for the invariant and the proof
+//! obligations that keep both kernels bit-identical).
 
-use crate::config::SimConfig;
+use crate::config::{KernelMode, SimConfig};
 use crate::metrics::{IntervalSample, MetricsSink, RouterWindow};
 use crate::postmortem::{CreditLine, RouterDiagnosis, StallPostmortem, WedgedPacket};
 use crate::report::{NodeReport, NodeSummary};
 use crate::stats::{SimResults, StatsCollector};
 use crate::trace::{TraceEvent, TraceSink};
 use noc_core::{
-    ActivityCounters, Coord, Credit, Cycle, Direction, Flit, NodeStatus, PacketId, RouterNode,
-    StepContext, VcPhase, EJECT_VC,
+    ActivityCounters, Coord, Credit, Cycle, Direction, Flit, MeshConfig, NodeStatus, PacketId,
+    RouterNode, RouterOutputs, StepContext, VcDescriptor, VcPhase, EJECT_VC,
 };
 use noc_deadlock::{find_channel_cycle, Channel};
 use noc_power::{energy_of, EnergyBreakdown, RouterEnergyProfile};
@@ -26,6 +33,26 @@ use noc_traffic::{build_traffic, Traffic};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, VecDeque};
+
+/// Precomputed adjacency: for each node index, the node index of the
+/// neighbour in every mesh direction (indexed by [`Direction::index`];
+/// `None` at a mesh edge). Built once per simulation so the hot loop
+/// never recomputes [`Coord::neighbor`]; the `kernel_equivalence`
+/// tests check it against the coordinate arithmetic exhaustively for
+/// every mesh shape from 2×2 to 9×7.
+pub fn neighbor_table(mesh: MeshConfig) -> Vec<[Option<usize>; 4]> {
+    (0..mesh.nodes())
+        .map(|i| {
+            let coord = Coord::from_index(i, mesh.width);
+            let mut row = [None; 4];
+            for dir in Direction::MESH {
+                row[dir.index()] =
+                    coord.neighbor(dir, mesh.width, mesh.height).map(|n| n.index(mesh.width));
+            }
+            row
+        })
+        .collect()
+}
 
 /// A flit in flight on a link, due at `node` on side `from`.
 #[derive(Debug, Clone)]
@@ -96,6 +123,32 @@ pub struct Simulation {
     sources: Vec<VecDeque<Flit>>,
     flits_in_flight: Vec<FlitInFlight>,
     credits_in_flight: Vec<CreditInFlight>,
+    /// Double buffers for the in-flight lists: swapped with
+    /// `*_in_flight` at the top of every cycle and drained, so the
+    /// steady state reuses two allocations instead of growing new ones.
+    flits_arriving: Vec<FlitInFlight>,
+    credits_arriving: Vec<CreditInFlight>,
+    /// Precomputed per-node coordinates (index ↔ coord cache).
+    coords: Vec<Coord>,
+    /// Precomputed per-node neighbour indices ([`neighbor_table`]).
+    neighbor_idx: Vec<[Option<usize>; 4]>,
+    /// Per-node status buffer, refreshed in place each cycle.
+    statuses: Vec<NodeStatus>,
+    /// Reusable router-output scratch ([`RouterNode::step`] contract).
+    outputs: RouterOutputs,
+    /// Wake-set: `active[i]` means router `i` may do observable work
+    /// this cycle and must be stepped. Set on flit/credit delivery and
+    /// successful injection; cleared after a step that leaves the
+    /// router quiescent. Ignored under [`KernelMode::Reference`].
+    active: Vec<bool>,
+    /// Last observed per-router occupancy (valid after each phase 3:
+    /// a router's occupancy only changes in cycles it is stepped in).
+    occ_cache: Vec<usize>,
+    /// Σ `occ_cache` — buffered flits network-wide, kept incrementally.
+    occ_total: usize,
+    /// Σ `sources[i].len()` — flits awaiting injection, kept
+    /// incrementally so [`Simulation::flits_in_system`] is O(1).
+    source_total: usize,
     rng: SmallRng,
     cycle: Cycle,
     stats: StatsCollector,
@@ -143,13 +196,16 @@ impl Simulation {
             routers[coord.index(mesh.width)].inject_fault(*fault);
         }
         // Wire each output to the neighbour's opposite-side VC list.
+        // One scratch vector bridges the `routers[n]` read / `routers[i]`
+        // write borrow conflict for all links instead of a fresh copy
+        // per link.
+        let neighbor_idx = neighbor_table(mesh);
+        let mut descs: Vec<VcDescriptor> = Vec::new();
         for i in 0..routers.len() {
-            let coord = Coord::from_index(i, mesh.width);
             for dir in Direction::MESH {
-                if let Some(n) = coord.neighbor(dir, mesh.width, mesh.height) {
-                    let descs = routers[n.index(mesh.width)]
-                        .vcs_on_link(dir.opposite())
-                        .to_vec();
+                if let Some(n) = neighbor_idx[i][dir.index()] {
+                    descs.clear();
+                    descs.extend_from_slice(routers[n].vcs_on_link(dir.opposite()));
                     routers[i].connect_output(dir, &descs);
                 }
             }
@@ -157,6 +213,7 @@ impl Simulation {
         let computer = RouteComputer::new(cfg.routing, mesh);
         let rng = SmallRng::seed_from_u64(cfg.seed);
         let nodes = mesh.nodes();
+        let statuses = routers.iter().map(|r| r.status()).collect();
         Simulation {
             cfg,
             routers,
@@ -165,6 +222,18 @@ impl Simulation {
             sources: vec![VecDeque::new(); nodes],
             flits_in_flight: Vec::new(),
             credits_in_flight: Vec::new(),
+            flits_arriving: Vec::new(),
+            credits_arriving: Vec::new(),
+            coords: (0..nodes).map(|i| Coord::from_index(i, mesh.width)).collect(),
+            neighbor_idx,
+            statuses,
+            outputs: RouterOutputs::new(),
+            // All routers start on the wake-set: the first step settles
+            // each one into its true quiescence state.
+            active: vec![true; nodes],
+            occ_cache: vec![0; nodes],
+            occ_total: 0,
+            source_total: 0,
             rng,
             cycle: 0,
             stats: StatsCollector::new(),
@@ -238,10 +307,19 @@ impl Simulation {
     }
 
     /// Flits currently anywhere in the system (buffers, links, sources).
+    /// O(1): maintained incrementally by the cycle kernel.
     pub fn flits_in_system(&self) -> usize {
-        self.routers.iter().map(|r| r.occupancy()).sum::<usize>()
-            + self.flits_in_flight.len()
-            + self.sources.iter().map(|s| s.len()).sum::<usize>()
+        debug_assert_eq!(
+            self.occ_total,
+            self.routers.iter().map(|r| r.occupancy()).sum::<usize>(),
+            "incremental occupancy diverged from the router buffers"
+        );
+        debug_assert_eq!(
+            self.source_total,
+            self.sources.iter().map(|s| s.len()).sum::<usize>(),
+            "incremental source count diverged from the source queues"
+        );
+        self.occ_total + self.flits_in_flight.len() + self.source_total
     }
 
     /// Whether the run has finished (drained or stalled).
@@ -261,33 +339,49 @@ impl Simulation {
         serial >= self.cfg.warmup_packets
     }
 
-    /// Advances the simulation one cycle.
+    /// Advances the simulation one cycle. Allocation-free in steady
+    /// state: every buffer below is recycled across cycles.
     pub fn step(&mut self) {
-        let mesh = self.cfg.mesh;
-        // Phase 1: link delivery.
-        for f in std::mem::take(&mut self.flits_in_flight) {
+        // Phase 1: link delivery. Swap last cycle's in-flight lists
+        // into the arriving double buffers and drain them, so the
+        // emission lists below refill the (already sized) originals.
+        std::mem::swap(&mut self.flits_in_flight, &mut self.flits_arriving);
+        std::mem::swap(&mut self.credits_in_flight, &mut self.credits_arriving);
+        for f in self.flits_arriving.drain(..) {
             self.routers[f.node].deliver_flit(f.from, f.vc, f.flit);
+            self.active[f.node] = true;
         }
-        for c in std::mem::take(&mut self.credits_in_flight) {
+        for c in self.credits_arriving.drain(..) {
             self.routers[c.node].deliver_credit(c.output, c.credit);
+            self.active[c.node] = true;
         }
         // Phase 2: traffic generation and injection.
         self.generate_traffic();
         self.inject();
-        // Phase 3: router pipelines.
-        let statuses: Vec<NodeStatus> = self.routers.iter().map(|r| r.status()).collect();
+        // Phase 3: router pipelines. Statuses are refreshed in place
+        // (they only change through construction-time faults today, but
+        // the refresh keeps the kernel honest if that ever changes).
+        for (s, r) in self.statuses.iter_mut().zip(&self.routers) {
+            *s = r.status();
+        }
+        let wake_all = self.cfg.kernel == KernelMode::Reference;
+        let mut out = std::mem::take(&mut self.outputs);
         for i in 0..self.routers.len() {
-            let coord = Coord::from_index(i, mesh.width);
+            if !wake_all && !self.active[i] {
+                // Quiescent and nothing arrived: stepping would only
+                // advance the clocked-cycle counter (DESIGN.md §10).
+                self.routers[i].tick_idle();
+                continue;
+            }
+            let coord = self.coords[i];
             let mut ctx = StepContext::new(self.cycle, &mut self.rng);
             for dir in Direction::MESH {
-                ctx.neighbors[dir.index()] = coord
-                    .neighbor(dir, mesh.width, mesh.height)
-                    .map(|n| statuses[n.index(mesh.width)]);
+                ctx.neighbors[dir.index()] =
+                    self.neighbor_idx[i][dir.index()].map(|n| self.statuses[n]);
             }
-            let out = self.routers[i].step(&mut ctx);
-            for (dir, vc, flit) in out.flits {
-                let n = coord
-                    .neighbor(dir, mesh.width, mesh.height)
+            self.routers[i].step(&mut ctx, &mut out);
+            for &(dir, vc, flit) in &out.flits {
+                let n = self.neighbor_idx[i][dir.index()]
                     .expect("emitted flit must have a neighbour");
                 self.emit(TraceEvent::Hop {
                     cycle: self.cycle,
@@ -296,24 +390,18 @@ impl Simulation {
                     node: coord,
                     out: dir,
                 });
-                self.flits_in_flight.push(FlitInFlight {
-                    node: n.index(mesh.width),
-                    from: dir.opposite(),
-                    vc,
-                    flit,
-                });
+                self.flits_in_flight.push(FlitInFlight { node: n, from: dir.opposite(), vc, flit });
             }
-            for (side, credit) in out.credits {
-                let n = coord
-                    .neighbor(side, mesh.width, mesh.height)
+            for &(side, credit) in &out.credits {
+                let n = self.neighbor_idx[i][side.index()]
                     .expect("credits only flow to real neighbours");
                 self.credits_in_flight.push(CreditInFlight {
-                    node: n.index(mesh.width),
+                    node: n,
                     output: side.opposite(),
                     credit,
                 });
             }
-            for flit in out.ejected {
+            for &flit in &out.ejected {
                 debug_assert_eq!(flit.dst, coord, "flit ejected at the wrong node");
                 if flit.kind.is_tail() {
                     let latency = self.cycle - flit.created_at;
@@ -334,7 +422,7 @@ impl Simulation {
                 }
                 self.stats.delivered_flits += 1;
             }
-            for flit in out.dropped {
+            for &flit in &out.dropped {
                 if flit.kind.is_head() {
                     self.stats.dropped += 1;
                     self.per_node[i].dropped += 1;
@@ -346,7 +434,15 @@ impl Simulation {
                     });
                 }
             }
+            // Wake-set + occupancy bookkeeping. Only stepped routers
+            // can change occupancy, so refreshing here keeps the
+            // incremental total exact.
+            let occ = self.routers[i].occupancy();
+            self.occ_total = self.occ_total - self.occ_cache[i] + occ;
+            self.occ_cache[i] = occ;
+            self.active[i] = !self.routers[i].is_quiescent();
         }
+        self.outputs = out;
         // Stall detection: once generation has ended, a long silence
         // means the remaining packets are wedged behind faults.
         if self.generation_done()
@@ -542,13 +638,12 @@ impl Simulation {
         if self.generation_done() {
             return;
         }
-        let mesh = self.cfg.mesh;
         let flits_per_packet = self.cfg.router_config().num_flits;
         for i in 0..self.routers.len() {
             if self.generation_done() {
                 break;
             }
-            let node = Coord::from_index(i, mesh.width);
+            let node = self.coords[i];
             if self.routers[i].status().node_dead() {
                 // A dead router's PE cannot reach the network at all; it
                 // stops offering traffic (documented in DESIGN.md).
@@ -558,9 +653,15 @@ impl Simulation {
                 let id = PacketId(self.next_packet);
                 self.next_packet += 1;
                 let order = self.computer.choose_order(node, dst, &mut self.rng);
-                let flits =
-                    Flit::packet_flits(id, node, dst, self.cycle, flits_per_packet, order);
-                self.sources[i].extend(flits);
+                self.sources[i].extend(Flit::packet_flit_iter(
+                    id,
+                    node,
+                    dst,
+                    self.cycle,
+                    flits_per_packet,
+                    order,
+                ));
+                self.source_total += flits_per_packet as usize;
                 self.stats.generated += 1;
                 self.emit(TraceEvent::Generated { cycle: self.cycle, packet: id, src: node, dst });
             }
@@ -573,6 +674,8 @@ impl Simulation {
             let mut ctx = StepContext::new(self.cycle, &mut self.rng);
             if self.routers[i].try_inject(flit, &mut ctx) {
                 self.sources[i].pop_front();
+                self.source_total -= 1;
+                self.active[i] = true;
                 if flit.kind.is_head() {
                     self.stats.injected += 1;
                     self.per_node[i].injected += 1;
@@ -582,7 +685,7 @@ impl Simulation {
                     self.emit(TraceEvent::Injected {
                         cycle: self.cycle,
                         packet: flit.packet,
-                        node: Coord::from_index(i, self.cfg.mesh.width),
+                        node: self.coords[i],
                     });
                 }
             }

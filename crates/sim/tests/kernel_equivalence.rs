@@ -1,0 +1,114 @@
+//! Old-vs-new cycle-kernel equivalence: the wake-set kernel
+//! (`KernelMode::Optimized`) must produce bit-identical results to the
+//! reference kernel that steps every router every cycle, for every
+//! architecture, with and without faults. DESIGN.md §10 states the
+//! invariant these tests enforce.
+
+use noc_core::{MeshConfig, RouterKind, RoutingKind};
+use noc_fault::{FaultCategory, FaultPlan};
+use noc_sim::{run, KernelMode, SimConfig, SimResults};
+use noc_traffic::TrafficKind;
+
+fn cfg(router: RouterKind, rate: f64) -> SimConfig {
+    let mut cfg = SimConfig::paper_scaled(router, RoutingKind::Xy, TrafficKind::Uniform);
+    cfg.warmup_packets = 100;
+    cfg.measured_packets = 1_500;
+    cfg.injection_rate = rate;
+    cfg
+}
+
+/// Field-by-field bitwise comparison (floats by bit pattern, so even
+/// ULP-level divergence fails loudly with the field name).
+fn assert_identical(a: &SimResults, b: &SimResults, what: &str) {
+    assert_eq!(a.cycles, b.cycles, "{what}: cycles");
+    assert_eq!(a.generated_packets, b.generated_packets, "{what}: generated");
+    assert_eq!(a.injected_packets, b.injected_packets, "{what}: injected");
+    assert_eq!(a.measured_injected, b.measured_injected, "{what}: measured_injected");
+    assert_eq!(a.delivered_packets, b.delivered_packets, "{what}: delivered");
+    assert_eq!(a.measured_delivered, b.measured_delivered, "{what}: measured_delivered");
+    assert_eq!(a.dropped_packets, b.dropped_packets, "{what}: dropped");
+    assert_eq!(a.avg_latency.to_bits(), b.avg_latency.to_bits(), "{what}: avg_latency");
+    assert_eq!(a.max_latency, b.max_latency, "{what}: max_latency");
+    assert_eq!(a.latency_p50, b.latency_p50, "{what}: p50");
+    assert_eq!(a.latency_p95, b.latency_p95, "{what}: p95");
+    assert_eq!(a.latency_p99, b.latency_p99, "{what}: p99");
+    assert_eq!(a.throughput.to_bits(), b.throughput.to_bits(), "{what}: throughput");
+    assert_eq!(a.counters, b.counters, "{what}: activity counters");
+    assert_eq!(a.contention, b.contention, "{what}: contention counters");
+    assert_eq!(a.energy.total().to_bits(), b.energy.total().to_bits(), "{what}: energy");
+    assert_eq!(
+        a.energy_per_packet.to_bits(),
+        b.energy_per_packet.to_bits(),
+        "{what}: energy_per_packet"
+    );
+    assert_eq!(a.stalled, b.stalled, "{what}: stalled");
+    assert_eq!(a.postmortem.is_some(), b.postmortem.is_some(), "{what}: postmortem presence");
+}
+
+fn both_kernels(cfg: SimConfig) -> (SimResults, SimResults) {
+    let mut reference = cfg.clone();
+    reference.kernel = KernelMode::Reference;
+    let mut optimized = cfg;
+    optimized.kernel = KernelMode::Optimized;
+    (run(reference), run(optimized))
+}
+
+#[test]
+fn kernels_agree_fault_free() {
+    for router in [RouterKind::RoCo, RouterKind::Generic, RouterKind::PathSensitive] {
+        for rate in [0.05, 0.25] {
+            let (r, o) = both_kernels(cfg(router, rate));
+            assert_identical(&r, &o, &format!("{router:?} @ {rate}"));
+            assert!(o.delivered_packets > 0, "{router:?} @ {rate}: sanity");
+        }
+    }
+}
+
+#[test]
+fn kernels_agree_under_faults() {
+    for router in [RouterKind::RoCo, RouterKind::Generic, RouterKind::PathSensitive] {
+        let mut c = cfg(router, 0.1);
+        c.faults = FaultPlan::random(FaultCategory::Isolating, 2, c.mesh, 0xFA_17);
+        c.stall_window = 2_000;
+        let (r, o) = both_kernels(c);
+        assert_identical(&r, &o, &format!("{router:?} with faults"));
+    }
+}
+
+#[test]
+fn kernels_agree_across_seeds_and_meshes() {
+    for seed in [1u64, 0xDEAD] {
+        let mut c = cfg(RouterKind::RoCo, 0.15).with_seed(seed);
+        c.mesh = MeshConfig::new(5, 4);
+        let (r, o) = both_kernels(c);
+        assert_identical(&r, &o, &format!("RoCo 5x4 seed {seed}"));
+    }
+}
+
+#[test]
+fn neighbor_table_matches_coordinate_arithmetic() {
+    // Exhaustive over every mesh shape from 2×2 to 9×7: the
+    // precomputed table must agree with `Coord::neighbor` for every
+    // node and direction (ISSUE: the tables replace the per-cycle
+    // neighbour recomputation, so any divergence silently rewires the
+    // mesh).
+    use noc_core::{Coord, Direction};
+    for width in 2u16..=9 {
+        for height in 2u16..=7 {
+            let mesh = MeshConfig::new(width, height);
+            let table = noc_sim::neighbor_table(mesh);
+            assert_eq!(table.len(), mesh.nodes());
+            for (i, row) in table.iter().enumerate() {
+                let coord = Coord::from_index(i, width);
+                for dir in Direction::MESH {
+                    let expect = coord.neighbor(dir, width, height).map(|n| n.index(width));
+                    assert_eq!(
+                        row[dir.index()],
+                        expect,
+                        "{width}x{height} node {i} dir {dir}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Steady-state allocation check: once every recycled buffer has
+//! reached its high-water capacity, `Simulation::step` must not touch
+//! the heap at all. A counting global allocator is armed after a
+//! warm-up period and every allocation/reallocation is counted.
+//!
+//! This file must hold exactly one test: the `#[global_allocator]` is
+//! binary-wide, and a sibling test running on another thread would
+//! pollute the count.
+
+use noc_core::{RouterKind, RoutingKind};
+use noc_sim::{SimConfig, Simulation};
+use noc_traffic::TrafficKind;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates verbatim to `System`; the only extra work is a
+// relaxed counter bump, which allocates nothing.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_step_is_allocation_free() {
+    for router in [RouterKind::RoCo, RouterKind::Generic, RouterKind::PathSensitive] {
+        let mut cfg = SimConfig::paper_scaled(router, RoutingKind::Xy, TrafficKind::Uniform);
+        // Enough packets that generation never finishes mid-test.
+        cfg.warmup_packets = 1_000_000;
+        cfg.measured_packets = 1_000_000;
+        cfg.injection_rate = 0.1;
+        let mut sim = Simulation::new(cfg);
+        // Warm-up: let every recycled buffer (in-flight lists, router
+        // scratch, source queues, arbiter lines) hit its high water.
+        for _ in 0..5_000 {
+            sim.step();
+        }
+        ALLOCS.store(0, Ordering::SeqCst);
+        ARMED.store(true, Ordering::SeqCst);
+        for _ in 0..1_000 {
+            sim.step();
+        }
+        ARMED.store(false, Ordering::SeqCst);
+        let n = ALLOCS.load(Ordering::SeqCst);
+        assert_eq!(
+            n, 0,
+            "{router:?}: {n} heap allocation(s) in 1000 steady-state cycles"
+        );
+    }
+}
