@@ -1,0 +1,402 @@
+//! Graceful-degradation campaign: §4 evaluated *dynamically*.
+//!
+//! The paper's fault experiments inject a fixed fault pattern before
+//! cycle 0. This harness instead sweeps a Monte Carlo grid of
+//! fault-arrival rates (mean time between faults) × router
+//! architectures, with faults landing mid-run from a seeded
+//! [`FaultSchedule`] and optionally healing after a fixed repair time.
+//! Each cell runs against a fault-free baseline of the same seed and
+//! reports per-window time-series — availability (delivered/generated),
+//! throughput retention vs the baseline, and a PEF-over-time proxy —
+//! plus end-to-end recovery totals. Everything is deterministic per
+//! seed: reruns byte-match, which the CI smoke job asserts.
+
+use noc_core::{MeshConfig, RouterKind, RoutingKind};
+use noc_fault::{FaultCategory, FaultSchedule};
+use noc_sim::json::{write_f64, write_key, write_str};
+use noc_sim::{IntervalSample, MetricsSink, RecoveryConfig, SimConfig, Simulation};
+use noc_traffic::TrafficKind;
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// One campaign's sweep grid and per-run sizing.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Mesh dimensions.
+    pub mesh: MeshConfig,
+    /// Architectures to compare.
+    pub routers: Vec<RouterKind>,
+    /// Routing algorithm.
+    pub routing: RoutingKind,
+    /// Workload family.
+    pub traffic: TrafficKind,
+    /// Offered load in flits/node/cycle.
+    pub injection_rate: f64,
+    /// Mean-time-between-faults sweep, in cycles (one campaign column
+    /// per value; smaller = harsher).
+    pub mtbfs: Vec<f64>,
+    /// Component population faults are drawn from.
+    pub category: FaultCategory,
+    /// `Some(d)`: every fault is transient and heals `d` cycles after
+    /// onset. `None`: every fault is permanent.
+    pub repair_after: Option<u64>,
+    /// Monte Carlo replications per (router, mtbf) cell.
+    pub seeds: u64,
+    /// Base RNG seed; replication `k` runs with `base_seed + k`.
+    pub base_seed: u64,
+    /// Unmeasured warm-up packets per run.
+    pub warmup_packets: u64,
+    /// Measured packets per run.
+    pub measured_packets: u64,
+    /// Interval-sampler window in cycles.
+    pub sample_window: u64,
+    /// End-to-end retransmission layer (`None` disables it).
+    pub recovery: Option<RecoveryConfig>,
+}
+
+impl CampaignConfig {
+    /// A small deterministic campaign that finishes in seconds: 4×4
+    /// mesh, all three routers, one harsh mtbf column, transient
+    /// faults, recovery on. The CI smoke job runs exactly this.
+    pub fn smoke() -> Self {
+        CampaignConfig {
+            mesh: MeshConfig::new(4, 4),
+            routers: RouterKind::ALL.to_vec(),
+            routing: RoutingKind::Xy,
+            traffic: TrafficKind::Uniform,
+            injection_rate: 0.15,
+            mtbfs: vec![600.0],
+            category: FaultCategory::Recyclable,
+            repair_after: Some(400),
+            seeds: 1,
+            base_seed: 0xCA_4A,
+            warmup_packets: 100,
+            measured_packets: 2_000,
+            sample_window: 250,
+            recovery: Some(RecoveryConfig::default()),
+        }
+    }
+}
+
+/// One (router × mtbf × seed) campaign cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCell {
+    /// Architecture under test.
+    pub router: RouterKind,
+    /// Mean time between faults for this cell, in cycles.
+    pub mtbf: f64,
+    /// Replication seed.
+    pub seed: u64,
+    /// Fault + repair events the schedule actually fired.
+    pub fault_events: u64,
+    /// Cycles the faulted run took.
+    pub cycles: u64,
+    /// Packets generated / delivered / dropped (drop events count per
+    /// attempt) in the faulted run.
+    pub generated: u64,
+    /// Delivered packets (first copies only).
+    pub delivered: u64,
+    /// Drop events (a retried packet may count several times).
+    pub dropped: u64,
+    /// Retransmissions the recovery layer issued (0 without recovery).
+    pub retransmissions: u64,
+    /// Packets whose retry eventually arrived.
+    pub recovered: u64,
+    /// Packets abandoned after the retry budget.
+    pub abandoned: u64,
+    /// Measured completion probability of the faulted run.
+    pub completion: f64,
+    /// Whole-run PEF of the faulted run, in J·cycles.
+    pub pef: f64,
+    /// Per-window availability: delivered/generated (1.0 when the
+    /// window generated nothing).
+    pub availability: Vec<f64>,
+    /// Per-window delivered throughput as a fraction of the fault-free
+    /// baseline's steady-state mean.
+    pub retention: Vec<f64>,
+    /// Per-window PEF proxy: window mean latency × run energy/packet ÷
+    /// window availability (rises while faults bite, falls back after
+    /// repairs).
+    pub pef_over_time: Vec<f64>,
+}
+
+/// A full campaign: the grid plus every cell's series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Mesh dimensions.
+    pub mesh: MeshConfig,
+    /// Routing algorithm.
+    pub routing: RoutingKind,
+    /// Offered load.
+    pub injection_rate: f64,
+    /// Sampler window in cycles.
+    pub sample_window: u64,
+    /// Transient heal time (`None` = permanent faults).
+    pub repair_after: Option<u64>,
+    /// Whether the retransmission layer was active.
+    pub recovery: bool,
+    /// Every (router × mtbf × seed) cell, in grid order.
+    pub cells: Vec<CampaignCell>,
+}
+
+/// A metrics sink sharing its sample store with the harness.
+#[derive(Debug, Default)]
+struct SharedMetrics(Rc<RefCell<Vec<IntervalSample>>>);
+
+impl MetricsSink for SharedMetrics {
+    fn record_sample(&mut self, sample: &IntervalSample) {
+        self.0.borrow_mut().push(sample.clone());
+    }
+}
+
+/// Runs `cfg` to completion with an interval sampler attached.
+fn run_sampled(cfg: SimConfig) -> (noc_sim::SimResults, Vec<IntervalSample>) {
+    let store = Rc::new(RefCell::new(Vec::new()));
+    let mut sim = Simulation::new(cfg);
+    sim.set_metrics_sink(Box::new(SharedMetrics(store.clone())));
+    while !sim.finished() {
+        sim.step();
+    }
+    sim.finish_observability();
+    let results = sim.results();
+    drop(sim);
+    (results, Rc::try_unwrap(store).expect("sole owner").into_inner())
+}
+
+fn base_config(c: &CampaignConfig, router: RouterKind, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper_scaled(router, c.routing, c.traffic);
+    cfg.mesh = c.mesh;
+    cfg.injection_rate = c.injection_rate;
+    cfg.warmup_packets = c.warmup_packets;
+    cfg.measured_packets = c.measured_packets;
+    cfg.sample_window = c.sample_window;
+    cfg.seed = seed;
+    cfg.stall_window = 5_000;
+    cfg
+}
+
+/// Mean delivered packets per complete window, skipping the cold-start
+/// window (index 0) and any trailing partial window.
+fn steady_mean_delivered(samples: &[IntervalSample], window: u64) -> f64 {
+    let picked: Vec<u64> = samples
+        .iter()
+        .skip(1)
+        .filter(|s| s.cycle_end - s.cycle_start == window)
+        .map(|s| s.delivered)
+        .collect();
+    if picked.is_empty() {
+        return 0.0;
+    }
+    picked.iter().sum::<u64>() as f64 / picked.len() as f64
+}
+
+/// Runs the whole campaign grid. Cells run sequentially in grid order
+/// (router, then mtbf, then seed) so the report is fully deterministic.
+pub fn run_campaign(c: &CampaignConfig) -> CampaignReport {
+    let mut cells = Vec::new();
+    for &router in &c.routers {
+        for k in 0..c.seeds {
+            let seed = c.base_seed.wrapping_add(k);
+            // Fault-free baseline: provides the retention denominator
+            // and the horizon faults are drawn over.
+            let (baseline, base_samples) = run_sampled(base_config(c, router, seed));
+            let base_mean = steady_mean_delivered(&base_samples, c.sample_window);
+            for &mtbf in &c.mtbfs {
+                let vcs = base_config(c, router, seed).router_config().vcs_per_port;
+                let schedule = FaultSchedule::random_mtbf(
+                    c.category,
+                    c.mesh,
+                    mtbf,
+                    c.repair_after,
+                    baseline.cycles,
+                    vcs,
+                    seed ^ mtbf.to_bits(),
+                );
+                let mut cfg = base_config(c, router, seed).with_schedule(schedule.clone());
+                if let Some(rc) = c.recovery {
+                    cfg = cfg.with_recovery(rc);
+                }
+                let (results, samples) = run_sampled(cfg);
+                let epp = results.energy_per_packet;
+                let availability: Vec<f64> = samples
+                    .iter()
+                    .map(|s| {
+                        if s.generated == 0 {
+                            1.0
+                        } else {
+                            (s.delivered as f64 / s.generated as f64).min(1.0)
+                        }
+                    })
+                    .collect();
+                let retention: Vec<f64> = samples
+                    .iter()
+                    .map(|s| if base_mean > 0.0 { s.delivered as f64 / base_mean } else { 0.0 })
+                    .collect();
+                let pef_over_time: Vec<f64> = samples
+                    .iter()
+                    .zip(&availability)
+                    .map(|(s, a)| s.latency_mean * epp / a.max(1e-3))
+                    .collect();
+                let rec = results.recovery.unwrap_or_default();
+                cells.push(CampaignCell {
+                    router,
+                    mtbf,
+                    seed,
+                    fault_events: samples.iter().map(|s| s.fault_events).sum(),
+                    cycles: results.cycles,
+                    generated: results.generated_packets,
+                    delivered: results.delivered_packets,
+                    dropped: results.dropped_packets,
+                    retransmissions: rec.retransmissions,
+                    recovered: rec.recovered_packets,
+                    abandoned: rec.abandoned_packets,
+                    completion: results.completion_probability(),
+                    pef: results.pef_inputs().pef(),
+                    availability,
+                    retention,
+                    pef_over_time,
+                });
+            }
+        }
+    }
+    CampaignReport {
+        mesh: c.mesh,
+        routing: c.routing,
+        injection_rate: c.injection_rate,
+        sample_window: c.sample_window,
+        repair_after: c.repair_after,
+        recovery: c.recovery.is_some(),
+        cells,
+    }
+}
+
+fn write_f64_arr(out: &mut String, values: &[f64]) {
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_f64(out, *v);
+    }
+    out.push(']');
+}
+
+impl CampaignReport {
+    /// Serializes the whole report as one JSON document. Byte-stable
+    /// for a given config: the CI smoke job diffs two same-seed runs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024 + 512 * self.cells.len());
+        out.push('{');
+        let mut first = true;
+        write_key(&mut out, &mut first, "mesh");
+        let _ = write!(out, "[{},{}]", self.mesh.width, self.mesh.height);
+        write_key(&mut out, &mut first, "routing");
+        write_str(&mut out, &self.routing.to_string());
+        write_key(&mut out, &mut first, "injection_rate");
+        write_f64(&mut out, self.injection_rate);
+        write_key(&mut out, &mut first, "sample_window");
+        let _ = write!(out, "{}", self.sample_window);
+        write_key(&mut out, &mut first, "repair_after");
+        match self.repair_after {
+            Some(d) => {
+                let _ = write!(out, "{d}");
+            }
+            None => out.push_str("null"),
+        }
+        write_key(&mut out, &mut first, "recovery");
+        let _ = write!(out, "{}", self.recovery);
+        write_key(&mut out, &mut first, "cells");
+        out.push('[');
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            let mut cf = true;
+            write_key(&mut out, &mut cf, "router");
+            write_str(&mut out, &cell.router.to_string());
+            write_key(&mut out, &mut cf, "mtbf");
+            write_f64(&mut out, cell.mtbf);
+            for (key, value) in [
+                ("seed", cell.seed),
+                ("fault_events", cell.fault_events),
+                ("cycles", cell.cycles),
+                ("generated", cell.generated),
+                ("delivered", cell.delivered),
+                ("dropped", cell.dropped),
+                ("retransmissions", cell.retransmissions),
+                ("recovered", cell.recovered),
+                ("abandoned", cell.abandoned),
+            ] {
+                write_key(&mut out, &mut cf, key);
+                let _ = write!(out, "{value}");
+            }
+            write_key(&mut out, &mut cf, "completion");
+            write_f64(&mut out, cell.completion);
+            write_key(&mut out, &mut cf, "pef");
+            write_f64(&mut out, cell.pef);
+            write_key(&mut out, &mut cf, "availability");
+            write_f64_arr(&mut out, &cell.availability);
+            write_key(&mut out, &mut cf, "retention");
+            write_f64_arr(&mut out, &cell.retention);
+            write_key(&mut out, &mut cf, "pef_over_time");
+            write_f64_arr(&mut out, &cell.pef_over_time);
+            out.push('}');
+        }
+        out.push(']');
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_config_is_small() {
+        let c = CampaignConfig::smoke();
+        assert_eq!(c.mesh.nodes(), 16);
+        assert_eq!(c.routers.len(), 3);
+        assert!(c.recovery.is_some());
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = CampaignReport {
+            mesh: MeshConfig::new(4, 4),
+            routing: RoutingKind::Xy,
+            injection_rate: 0.15,
+            sample_window: 250,
+            repair_after: Some(400),
+            recovery: true,
+            cells: vec![CampaignCell {
+                router: RouterKind::RoCo,
+                mtbf: 600.0,
+                seed: 7,
+                fault_events: 4,
+                cycles: 3_000,
+                generated: 2_100,
+                delivered: 2_050,
+                dropped: 60,
+                retransmissions: 55,
+                recovered: 40,
+                abandoned: 10,
+                completion: 0.97,
+                pef: 1.5e-7,
+                availability: vec![1.0, 0.8, 0.95],
+                retention: vec![1.02, 0.7, 0.98],
+                pef_over_time: vec![1.1e-7, 2.0e-7, 1.2e-7],
+            }],
+        };
+        let v = noc_sim::json::Json::parse(&report.to_json()).expect("valid JSON");
+        assert_eq!(v.get("sample_window").unwrap().as_u64(), Some(250));
+        assert_eq!(v.get("repair_after").unwrap().as_u64(), Some(400));
+        let cells = v.get("cells").unwrap().as_arr().unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].get("router").unwrap().as_str(), Some("roco"));
+        assert_eq!(cells[0].get("fault_events").unwrap().as_u64(), Some(4));
+        assert_eq!(cells[0].get("availability").unwrap().as_arr().unwrap().len(), 3);
+    }
+}

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod plot;
 

@@ -1,0 +1,58 @@
+//! The CI `fault-campaign` smoke job: a tiny 4×4 graceful-degradation
+//! campaign over all three routers must finish quickly, emit a
+//! schema-complete JSON report, exercise at least a couple of fault
+//! events, and be byte-identical across same-seed reruns.
+
+use noc_bench::campaign::{run_campaign, CampaignConfig};
+use noc_sim::json::Json;
+
+#[test]
+fn smoke_campaign_covers_the_grid_and_is_deterministic() {
+    let cfg = CampaignConfig::smoke();
+    let report = run_campaign(&cfg);
+    assert_eq!(report.cells.len(), 3, "3 routers x 1 mtbf x 1 seed");
+
+    let json = report.to_json();
+    let v = Json::parse(&json).expect("report is valid JSON");
+    assert_eq!(v.get("mesh").unwrap().as_arr().unwrap().len(), 2);
+    assert_eq!(v.get("recovery"), Some(&Json::Bool(true)));
+    let cells = v.get("cells").unwrap().as_arr().unwrap();
+    assert_eq!(cells.len(), 3);
+    let mut routers_seen = Vec::new();
+    for cell in cells {
+        routers_seen.push(cell.get("router").unwrap().as_str().unwrap().to_string());
+        for key in [
+            "mtbf",
+            "seed",
+            "fault_events",
+            "cycles",
+            "generated",
+            "delivered",
+            "dropped",
+            "retransmissions",
+            "recovered",
+            "abandoned",
+            "completion",
+            "pef",
+        ] {
+            assert!(cell.get(key).is_some(), "cell is missing '{key}'");
+        }
+        let windows = cell.get("availability").unwrap().as_arr().unwrap().len();
+        assert!(windows > 2, "several sample windows per run, got {windows}");
+        assert_eq!(cell.get("retention").unwrap().as_arr().unwrap().len(), windows);
+        assert_eq!(cell.get("pef_over_time").unwrap().as_arr().unwrap().len(), windows);
+        assert!(cell.get("generated").unwrap().as_u64().unwrap() > 0);
+    }
+    routers_seen.sort();
+    assert_eq!(routers_seen, ["generic", "path-sensitive", "roco"]);
+
+    // The harsh mtbf column must actually land faults mid-run (inject +
+    // repair events both count).
+    let total_events: u64 =
+        cells.iter().map(|c| c.get("fault_events").unwrap().as_u64().unwrap()).sum();
+    assert!(total_events >= 2, "expected at least 2 fault events, got {total_events}");
+
+    // Same seed, same grid → byte-identical report.
+    let rerun = run_campaign(&cfg);
+    assert_eq!(rerun.to_json(), json, "campaign must be deterministic per seed");
+}

@@ -1,11 +1,13 @@
-//! The `noc` subcommands: `run`, `sweep`, `fault`, `timeline`, `info`.
+//! The `noc` subcommands: `run`, `sweep`, `fault`, `campaign`,
+//! `timeline`, `info`.
 
 use crate::{parse_mesh, parse_rates, parse_router, parse_routing, parse_traffic, ArgError, Args};
+use noc_bench::campaign::{run_campaign, CampaignConfig};
 use noc_core::{RouterKind, RoutingKind};
 use noc_fault::{FaultCategory, FaultPlan};
 use noc_sim::{
     CsvTraceSink, IntervalSample, JsonlMetricsSink, JsonlTraceSink, MetricsSink,
-    PerfettoTraceSink, SimConfig, SimResults, Simulation, TraceSink,
+    PerfettoTraceSink, RecoveryConfig, SimConfig, SimResults, Simulation, TraceSink,
 };
 use std::cell::RefCell;
 use std::fmt::Write as _;
@@ -26,6 +28,11 @@ USAGE:
             [--mesh WxH] [--packets N] [--seed N]
   noc fault [--router R|all] [--routing A] [--category critical|recyclable]
             [--faults N] [--rate F] [--packets N] [--seed N]
+  noc campaign [--router R|all] [--routing A] [--traffic T] [--rate F]
+            [--mesh WxH] [--packets N] [--warmup N] [--seed N]
+            [--mtbfs C,C,...] [--repair N|0] [--seeds N] [--recovery true]
+            [--category critical|recyclable] [--sample-window N]
+            [--json-out F.json]
   noc timeline [--router R] [--routing A] [--traffic T] [--rate F] [--mesh WxH]
             [--packets N] [--warmup N] [--seed N] [--sample-window N]
   noc thermal [--router R] [--routing A] [--traffic T] [--rate F] [--packets N]
@@ -322,15 +329,7 @@ pub fn cmd_fault(args: &Args) -> Result<String, ArgError> {
     if !unknown.is_empty() {
         return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
     }
-    let category = match args.get("category").unwrap_or("critical") {
-        "critical" | "router-centric" => FaultCategory::Isolating,
-        "recyclable" | "message-centric" | "non-critical" => FaultCategory::Recyclable,
-        other => {
-            return Err(ArgError(format!(
-                "unknown category '{other}' (expected critical | recyclable)"
-            )))
-        }
-    };
+    let category = parse_category(args, "critical")?;
     let count: usize = args.get_or("faults", 2usize)?;
     let routers = routers_of(args)?;
     let mut out = format!("{category} faults x{count}, 0.3 injection unless overridden\n");
@@ -352,6 +351,117 @@ pub fn cmd_fault(args: &Args) -> Result<String, ArgError> {
             r.dropped_packets,
             r.pef_inputs().pef() * 1e9,
         );
+    }
+    Ok(out)
+}
+
+/// Parses the fault-category flag (shared by `fault` and `campaign`).
+fn parse_category(args: &Args, default: &str) -> Result<FaultCategory, ArgError> {
+    match args.get("category").unwrap_or(default) {
+        "critical" | "router-centric" => Ok(FaultCategory::Isolating),
+        "recyclable" | "message-centric" | "non-critical" => Ok(FaultCategory::Recyclable),
+        other => {
+            Err(ArgError(format!("unknown category '{other}' (expected critical | recyclable)")))
+        }
+    }
+}
+
+/// `noc campaign`: the graceful-degradation campaign — Monte Carlo
+/// mid-run fault arrivals swept over fault rate × router, with
+/// per-window availability / throughput-retention / PEF timelines and
+/// an optional deterministic JSON report.
+pub fn cmd_campaign(args: &Args) -> Result<String, ArgError> {
+    let unknown = args.unknown_flags(&[
+        "router", "routing", "traffic", "rate", "mesh", "packets", "warmup", "seed", "mtbfs",
+        "repair", "seeds", "recovery", "category", "sample-window", "json-out",
+    ]);
+    if !unknown.is_empty() {
+        return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
+    }
+    let mtbfs: Vec<f64> = args
+        .get("mtbfs")
+        .unwrap_or("500,2000")
+        .split(',')
+        .map(|tok| {
+            let v: f64 = tok.trim().parse().map_err(|_| ArgError(format!("bad mtbf '{tok}'")))?;
+            if v <= 0.0 {
+                return Err(ArgError(format!("mtbf {v} must be > 0 cycles")));
+            }
+            Ok(v)
+        })
+        .collect::<Result<_, _>>()?;
+    let repair: u64 = args.get_or("repair", 400u64)?;
+    let base = base_config(args)?;
+    let campaign = CampaignConfig {
+        mesh: base.mesh,
+        routers: routers_of(args)?,
+        routing: base.routing,
+        traffic: base.traffic,
+        injection_rate: base.injection_rate,
+        mtbfs,
+        category: parse_category(args, "recyclable")?,
+        repair_after: if repair == 0 { None } else { Some(repair) },
+        seeds: args.get_or("seeds", 2u64)?,
+        base_seed: base.seed,
+        warmup_packets: base.warmup_packets,
+        measured_packets: base.measured_packets,
+        sample_window: args.get_or("sample-window", base.sample_window)?,
+        recovery: if args.get_or("recovery", true)? {
+            Some(RecoveryConfig::default())
+        } else {
+            None
+        },
+    };
+    let report = run_campaign(&campaign);
+    let repair_desc = match campaign.repair_after {
+        Some(d) => format!("transient, heal after {d}"),
+        None => "permanent".to_string(),
+    };
+    let mut out = format!(
+        "graceful-degradation campaign: {}x{} mesh, {} routing, {} faults ({repair_desc}), \
+         recovery {}\n",
+        campaign.mesh.width,
+        campaign.mesh.height,
+        campaign.routing,
+        campaign.category,
+        if campaign.recovery.is_some() { "on" } else { "off" },
+    );
+    for cell in &report.cells {
+        let min_of = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+        let _ = writeln!(
+            out,
+            "{:>15} mtbf {:>7} seed {}: {} fault events, completion {:.4}, \
+             delivered {}/{}, retrans {} (recovered {}, abandoned {}), PEF {:.2} nJ·cycles",
+            cell.router.to_string(),
+            cell.mtbf,
+            cell.seed,
+            cell.fault_events,
+            cell.completion,
+            cell.delivered,
+            cell.generated,
+            cell.retransmissions,
+            cell.recovered,
+            cell.abandoned,
+            cell.pef * 1e9,
+        );
+        let _ = writeln!(
+            out,
+            "     availability |{}| min {:.3}",
+            sparkline(&cell.availability),
+            min_of(&cell.availability)
+        );
+        let _ = writeln!(
+            out,
+            "     retention    |{}| min {:.3}",
+            sparkline(&cell.retention),
+            min_of(&cell.retention)
+        );
+        let _ = writeln!(out, "     PEF/time     |{}|", sparkline(&cell.pef_over_time));
+    }
+    if let Some(path) = args.get("json-out") {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| ArgError(format!("cannot write '{path}': {e}")))?;
+        let _ = writeln!(out, "[wrote {path}]");
     }
     Ok(out)
 }
@@ -424,6 +534,7 @@ pub fn dispatch(args: &Args) -> Result<String, ArgError> {
         Some("run") => cmd_run(args),
         Some("sweep") => cmd_sweep(args),
         Some("fault") => cmd_fault(args),
+        Some("campaign") => cmd_campaign(args),
         Some("timeline") => cmd_timeline(args),
         Some("thermal") => cmd_thermal(args),
         Some("info") => Ok(cmd_info()),
@@ -475,6 +586,29 @@ mod tests {
         assert!(out.contains("generic"));
         assert!(out.contains("roco"));
         assert!(out.contains("completion"));
+    }
+
+    #[test]
+    fn campaign_reports_and_writes_deterministic_json() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("noc-cli-test-{}-campaign.json", std::process::id()));
+        let cmd = format!(
+            "campaign --router roco --mesh 4x4 --rate 0.15 --packets 800 --warmup 80 \
+             --mtbfs 400 --repair 300 --seeds 1 --sample-window 200 --json-out {}",
+            path.display()
+        );
+        let out = dispatch(&parse(&cmd)).unwrap();
+        assert!(out.contains("graceful-degradation campaign"));
+        assert!(out.contains("availability"));
+        assert!(out.contains("retention"));
+        let first = std::fs::read_to_string(&path).unwrap();
+        let v = noc_sim::json::Json::parse(&first).expect("report parses");
+        assert_eq!(v.get("cells").unwrap().as_arr().unwrap().len(), 1);
+        // Same seed, same flags → byte-identical report.
+        dispatch(&parse(&cmd)).unwrap();
+        let second = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(first, second, "campaign JSON must be deterministic per seed");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

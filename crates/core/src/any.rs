@@ -95,6 +95,22 @@ impl RouterNode for AnyRouter {
         dispatch!(self, r => r.inject_fault(fault))
     }
 
+    fn clear_faults(&mut self) {
+        dispatch!(self, r => r.clear_faults())
+    }
+
+    fn purge_faulted(&mut self) {
+        dispatch!(self, r => r.purge_faulted())
+    }
+
+    fn resync_output(&mut self, dir: Direction, descs: &[VcDescriptor]) {
+        dispatch!(self, r => r.resync_output(dir, descs))
+    }
+
+    fn reset_input_link(&mut self, from: Direction) {
+        dispatch!(self, r => r.reset_input_link(from))
+    }
+
     fn counters(&self) -> &ActivityCounters {
         dispatch!(self, r => r.counters())
     }

@@ -13,8 +13,8 @@
 use noc_arbiter::RoundRobinArbiter;
 use noc_core::{
     ActivityCounters, Axis, ContentionCounters, Coord, Cycle, Direction, Flit, ModuleHealth,
-    NodeStatus, RouterConfig, RouterOutputs, StepContext, VcDescriptor, VcPhase, VcRequest,
-    VcSnapshot, EJECT_VC,
+    NodeStatus, PacketId, RouterConfig, RouterOutputs, StepContext, VcDescriptor, VcPhase,
+    VcRequest, VcSnapshot, EJECT_VC,
 };
 use noc_routing::{quadrant_mask, RouteComputer};
 use std::collections::VecDeque;
@@ -89,6 +89,10 @@ pub struct Vc {
     pub dropping: bool,
     /// Taken out of service by a buffer fault (Virtual Queuing).
     pub disabled: bool,
+    /// The fault-free buffer capacity this VC was built with; repair
+    /// ([`RouterCore::clear_all_faults`]) restores `desc.capacity` to
+    /// this value.
+    pub nominal_capacity: u8,
     /// Flits written into this VC over the router's lifetime
     /// (per-class utilization statistics).
     pub writes: u64,
@@ -106,6 +110,7 @@ impl Vc {
             state: VcState::Idle,
             dropping: false,
             disabled: false,
+            nominal_capacity: desc.capacity,
             writes: 0,
         }
     }
@@ -323,6 +328,28 @@ impl RouterCore {
             return;
         }
         let id = self.link_map[from.index()][vc as usize];
+        if self.vcs[id].disabled {
+            // Mid-run buffer fault: the upstream neighbour keeps
+            // streaming until the §4.1 availability republication
+            // reaches it; flits landing in the dead buffer are lost.
+            // The credit still returns upstream so the sender's books
+            // stay leak-free even when the fault heals before the
+            // republication fires.
+            self.send_credit(id, flit.kind.is_tail());
+            self.pending_drops.push(flit);
+            return;
+        }
+        let v = &self.vcs[id];
+        if !flit.kind.is_head() && !v.dropping && v.queue.is_empty() && v.state == VcState::Idle {
+            // Orphan continuation: the head was discarded while this VC
+            // was disabled (a transient fault healing before the §4.1
+            // republication reaches the sender). A live stream always
+            // has its head buffered or an Active/Blocked state, so the
+            // rest of the wormhole is discarded as it arrives.
+            self.send_credit(id, flit.kind.is_tail());
+            self.pending_drops.push(flit);
+            return;
+        }
         self.counters.buffer_writes += 1;
         self.vcs[id].writes += 1;
         self.vcs[id].queue.push_back(flit);
@@ -334,10 +361,158 @@ impl RouterCore {
             .as_mut()
             .expect("credit arrived on an unwired output");
         let vc = &mut port.vcs[credit.vc as usize];
-        vc.credits += 1;
-        debug_assert!(vc.credits <= vc.desc.capacity, "credit overflow");
+        // Saturate instead of asserting: a mid-run capacity shrink
+        // (buffer fault) can leave more credits in flight than the new
+        // capacity; the §4.1 resynchronisation makes the clamp exact.
+        vc.credits = (vc.credits + 1).min(vc.desc.capacity);
         // Note: `credit.vc_freed` is informational only; the VC was
         // already marked reallocatable when the tail was transmitted.
+    }
+
+    /// Tears down whatever packet occupies `vc_id` after a mid-run
+    /// fault: releases the downstream VC it holds, closes an
+    /// already-departed wormhole with a poison tail (see
+    /// [`Flit::poison`]) and discards everything still buffered.
+    /// `credit_upstream` selects whether the discarded flits return
+    /// credits to the upstream neighbour — yes while that link stays
+    /// alive, no when the link's bookkeeping is itself being rebuilt by
+    /// the §4.1 status republication.
+    fn abort_stream(&mut self, vc_id: usize, credit_upstream: bool) {
+        if let VcState::Active { out, dvc, next_route, .. } = self.vcs[vc_id].state {
+            if dvc != EJECT_VC {
+                let head_still_here =
+                    self.vcs[vc_id].queue.front().is_some_and(|f| f.kind.is_head());
+                if head_still_here {
+                    // Nothing was forwarded yet: just release the VC.
+                    let port = self.outputs[out.index()].as_mut().expect("output wired");
+                    port.vcs[dvc as usize].free = true;
+                } else {
+                    // The head already moved on: close the wormhole with
+                    // a poison tail so every downstream hop releases its
+                    // VC (§4.1: the fragment is discarded in flight).
+                    let (packet, src, dst) = match self.vcs[vc_id].queue.front() {
+                        Some(f) => (f.packet, f.src, f.dst),
+                        None => (PacketId(u64::MAX), self.coord, self.coord),
+                    };
+                    let port = self.outputs[out.index()].as_mut().expect("output wired");
+                    let d = &mut port.vcs[dvc as usize];
+                    d.credits = d.credits.saturating_sub(1);
+                    d.free = true;
+                    let poison = Flit::poison_tail(packet, src, dst, next_route);
+                    self.st_latch.push((out, dvc, poison));
+                }
+            }
+        }
+        while let Some(flit) = self.vcs[vc_id].queue.pop_front() {
+            if credit_upstream {
+                self.send_credit(vc_id, flit.kind.is_tail());
+            }
+            self.pending_drops.push(flit);
+        }
+        self.vcs[vc_id].state = VcState::Idle;
+        self.vcs[vc_id].dropping = false;
+        if self.inj_vc == Some(vc_id) {
+            // The PE is still streaming this packet in; discard the
+            // remainder as it arrives.
+            self.inj_vc = None;
+            self.inj_dropping = true;
+        }
+    }
+
+    /// Discards every resident packet that a freshly-injected fault
+    /// made unserviceable: streams in disabled VCs and streams
+    /// committed to an output this node can no longer drive (§4:
+    /// packets fragmented by a fault are discarded, not repaired).
+    /// Called by the network right after a mid-run `inject_fault` (and
+    /// after a repair re-applies the remaining faults).
+    pub fn purge_faulted(&mut self) {
+        let own = self.status();
+        for vc_id in 0..self.vcs.len() {
+            let vc = &self.vcs[vc_id];
+            if vc.queue.is_empty() && vc.state == VcState::Idle && !vc.dropping {
+                continue;
+            }
+            let committed_out = match vc.state {
+                VcState::Active { out, .. } => Some(out),
+                _ => vc.queue.front().filter(|f| f.kind.is_head()).map(|f| f.next_out),
+            };
+            let dead_route =
+                committed_out.is_some_and(|o| o != Direction::Local && !own.can_serve_output(o));
+            if vc.disabled || dead_route {
+                // Credits always flow upstream, dead buffer or not: the
+                // upstream books must never leak a credit for a flit it
+                // sent, and the §4.1 resynchronisation only reconciles
+                // genuinely in-flight flits against the new capacity.
+                self.abort_stream(vc_id, true);
+            }
+        }
+        if let Some(id) = self.inj_vc {
+            if self.vcs[id].disabled {
+                self.inj_vc = None;
+                self.inj_dropping = true;
+            }
+        }
+    }
+
+    /// Repairs the router: restores every module, the RC unit, the SA
+    /// arbiters and all VC buffers to their fault-free state, and
+    /// republishes the link descriptors. In-flight state (queues,
+    /// arbiter pointers, credits) is untouched — the network follows up
+    /// with the §4.1 handshake so neighbours resynchronise.
+    pub fn clear_all_faults(&mut self) {
+        self.module_health = [ModuleHealth::Healthy; 2];
+        self.rc_ok = true;
+        self.sa_degraded = [false; 2];
+        for vc in &mut self.vcs {
+            vc.disabled = false;
+            vc.desc.capacity = vc.nominal_capacity;
+        }
+        self.refresh_link_descs();
+    }
+
+    /// Resynchronises the upstream view of the `dir` output with the
+    /// neighbour's republished VC descriptors (the §4.1 availability
+    /// handshake, delivered `handshake_latency` cycles after the fault
+    /// or repair). Credits are recomputed so that flits still counted
+    /// as outstanding stay outstanding; streams holding a downstream VC
+    /// that vanished are aborted.
+    pub fn resync_output(&mut self, dir: Direction, descs: &[VcDescriptor]) {
+        let Some(port) = self.outputs[dir.index()].as_mut() else { return };
+        debug_assert_eq!(port.vcs.len(), descs.len(), "link VC count is fixed at build time");
+        for (v, d) in port.vcs.iter_mut().zip(descs.iter()) {
+            let old_cap = v.desc.capacity;
+            let outstanding = old_cap.saturating_sub(v.credits);
+            v.desc = *d;
+            v.credits = d.capacity.saturating_sub(outstanding);
+            if d.capacity == 0 {
+                v.free = false;
+            } else if old_cap == 0 {
+                v.free = true;
+            }
+        }
+        for vc_id in 0..self.vcs.len() {
+            if let VcState::Active { out, dvc, .. } = self.vcs[vc_id].state {
+                if out == dir && dvc != EJECT_VC {
+                    let gone = self.outputs[dir.index()]
+                        .as_ref()
+                        .map_or(true, |p| p.vcs[dvc as usize].desc.capacity == 0);
+                    if gone {
+                        self.abort_stream(vc_id, true);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Clears every stream arriving on the `from` link after it was
+    /// re-established by a repair (§4.1 handshake): fragments a faulty
+    /// upstream left behind are discarded so the rebuilt credit and VC
+    /// bookkeeping starts from empty buffers.
+    pub fn reset_input_link(&mut self, from: Direction) {
+        let ids = self.link_map[from.index()].clone();
+        for vc_id in ids {
+            self.abort_stream(vc_id, false);
+        }
     }
 
     /// Flits currently buffered or latched (for drain detection).
@@ -565,6 +740,17 @@ impl RouterCore {
             let VcState::WaitingVa { next_route } = self.vcs[vc_id].state else { continue };
             let Some(&head) = self.vcs[vc_id].queue.front() else { continue };
             let out = head.next_out;
+            if out != Direction::Local {
+                let bstat = ctx.neighbor_status(out).unwrap_or_default();
+                if bstat.node_dead() || !bstat.can_serve_output(next_route) {
+                    // The committed next hop lost serviceability after
+                    // this route was computed (mid-run fault): re-route
+                    // from scratch or discard.
+                    self.vcs[vc_id].state = VcState::Idle;
+                    self.reroute_or_fail(vc_id, head, ctx);
+                    continue;
+                }
+            }
             if next_route == Direction::Local && !self.downstream_eject_needs_vc() {
                 // Early Ejection downstream: no VC needed (§3.1).
                 let sa_from = self.sa_from(ctx.cycle);
@@ -729,6 +915,13 @@ impl RouterCore {
             let sa_from = self.sa_from(ctx.cycle);
             self.vcs[vc_id].state =
                 VcState::Active { out, dvc: EJECT_VC, next_route: Direction::Local, sa_from };
+            return;
+        }
+        if !self.status().can_serve_output(out) {
+            // The committed output's own module died after this route
+            // was stamped one hop upstream (mid-run fault): there is no
+            // crossbar lane left to reach it.
+            self.reroute_or_fail(vc_id, head, ctx);
             return;
         }
         let mesh = self.computer.mesh();

@@ -332,6 +332,22 @@ impl RouterNode for RocoRouter {
         }
     }
 
+    fn clear_faults(&mut self) {
+        self.core.clear_all_faults();
+    }
+
+    fn purge_faulted(&mut self) {
+        self.core.purge_faulted();
+    }
+
+    fn resync_output(&mut self, dir: Direction, descs: &[VcDescriptor]) {
+        self.core.resync_output(dir, descs);
+    }
+
+    fn reset_input_link(&mut self, from: Direction) {
+        self.core.reset_input_link(from);
+    }
+
     fn counters(&self) -> &ActivityCounters {
         &self.core.counters
     }

@@ -22,8 +22,10 @@
 
 mod classify;
 mod plan;
+mod schedule;
 
 pub use classify::{
     classify, reaction, Centricity, FaultCategory, FaultClass, OperationRegime, Pathway, Reaction,
 };
 pub use plan::FaultPlan;
+pub use schedule::{FaultAction, FaultEvent, FaultSchedule};

@@ -22,13 +22,35 @@ impl FaultPlan {
     }
 
     /// Draws `count` faults of `category` at distinct random routers of
-    /// `mesh`, deterministically from `seed`.
+    /// `mesh`, deterministically from `seed`, assuming the paper's 3
+    /// VCs per port (see [`FaultPlan::random_for_vcs`]).
     ///
     /// # Panics
     ///
     /// Panics if `count` exceeds the node count.
     pub fn random(category: FaultCategory, count: usize, mesh: MeshConfig, seed: u64) -> Self {
+        Self::random_for_vcs(category, count, mesh, seed, 3)
+    }
+
+    /// Like [`FaultPlan::random`], but buffer-fault VC slots are drawn
+    /// from `0..2 * vcs_per_port` — the size of one RoCo module's VC
+    /// pool (two ports' worth) — so non-default VC configurations never
+    /// receive out-of-range buffer faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the node count or `vcs_per_port` is
+    /// zero.
+    pub fn random_for_vcs(
+        category: FaultCategory,
+        count: usize,
+        mesh: MeshConfig,
+        seed: u64,
+        vcs_per_port: u8,
+    ) -> Self {
         assert!(count <= mesh.nodes(), "more faults than routers");
+        assert!(vcs_per_port > 0, "vcs_per_port must be > 0");
+        let slots = 2 * vcs_per_port as u32;
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut nodes: Vec<usize> = (0..mesh.nodes()).collect();
         nodes.shuffle(&mut rng);
@@ -43,7 +65,7 @@ impl FaultPlan {
                     .expect("categories are non-empty");
                 let axis = if rng.gen_bool(0.5) { Axis::X } else { Axis::Y };
                 let fault = if component == FaultComponent::VcBuffer {
-                    ComponentFault::buffer(axis, rng.gen_range(0..6))
+                    ComponentFault::buffer(axis, rng.gen_range(0..slots) as u8)
                 } else {
                     ComponentFault::new(component, axis)
                 };
@@ -112,6 +134,39 @@ mod tests {
             for (_, f) in &plan.faults {
                 assert!(FaultCategory::Recyclable.components().contains(&f.component));
             }
+        }
+    }
+
+    #[test]
+    fn buffer_slots_respect_configured_vc_count() {
+        let mesh = MeshConfig::new(8, 8);
+        for seed in 0..50u64 {
+            for vcs in [1u8, 2, 3, 5] {
+                let plan = FaultPlan::random_for_vcs(FaultCategory::Recyclable, 8, mesh, seed, vcs);
+                for (_, f) in &plan.faults {
+                    if f.component == FaultComponent::VcBuffer {
+                        assert!(
+                            f.vc < 2 * vcs,
+                            "slot {} out of range for {vcs} VCs/port",
+                            f.vc
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_matches_paper_vc_count() {
+        // `random` must stay seed-compatible with the original 0..6
+        // slot range (3 VCs/port), so every existing seeded experiment
+        // keeps its exact fault set.
+        let mesh = MeshConfig::new(8, 8);
+        for seed in 0..20u64 {
+            assert_eq!(
+                FaultPlan::random(FaultCategory::Recyclable, 6, mesh, seed),
+                FaultPlan::random_for_vcs(FaultCategory::Recyclable, 6, mesh, seed, 3),
+            );
         }
     }
 

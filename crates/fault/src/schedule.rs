@@ -1,0 +1,365 @@
+//! Timed fault/repair schedules: the dynamic generalization of
+//! [`FaultPlan`](crate::FaultPlan).
+//!
+//! A [`FaultSchedule`] is a cycle-ordered list of [`FaultEvent`]s. Each
+//! event either injects a [`ComponentFault`] at a router or repairs one
+//! previously injected there. Builders expand the three fault kinds the
+//! evaluation needs — permanent, transient (inject + one repair after a
+//! fixed duration), and intermittent (Pareto-distributed on/off
+//! episodes) — into plain event pairs, so the simulator only ever sees
+//! the flat timeline. Random generation draws fault arrivals from an
+//! exponential inter-arrival distribution (mean time between faults),
+//! matching how ongoing wear-out faults reach a fielded chip.
+//!
+//! All randomness is hand-rolled inverse-CDF sampling over a seeded
+//! [`SmallRng`], so a given seed always yields the same schedule.
+
+use crate::classify::FaultCategory;
+use noc_core::{Axis, ComponentFault, Coord, FaultComponent, MeshConfig};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// What a [`FaultEvent`] does to its site when its cycle arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultAction {
+    /// The component fault becomes active at the site.
+    Inject(ComponentFault),
+    /// A previously injected fault is repaired. The router re-applies
+    /// whatever faults remain active at the site afterwards.
+    Repair(ComponentFault),
+}
+
+impl FaultAction {
+    /// The component fault this action injects or repairs.
+    pub fn fault(&self) -> ComponentFault {
+        match self {
+            FaultAction::Inject(f) | FaultAction::Repair(f) => *f,
+        }
+    }
+
+    /// `true` for injections.
+    pub fn is_inject(&self) -> bool {
+        matches!(self, FaultAction::Inject(_))
+    }
+}
+
+/// One timed fault or repair at one router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Simulation cycle at which the action takes effect.
+    pub cycle: u64,
+    /// The afflicted router.
+    pub site: Coord,
+    /// Inject or repair.
+    pub action: FaultAction,
+}
+
+/// A cycle-ordered timeline of fault and repair events.
+///
+/// Events with equal cycles keep their insertion order (stable sort),
+/// so schedules are fully deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (the fault-free baseline).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Wraps the static [`FaultPlan`](crate::FaultPlan): every fault is
+    /// injected permanently at cycle 0.
+    pub fn from_plan(plan: &crate::FaultPlan) -> Self {
+        let mut s = Self::none();
+        for &(site, fault) in &plan.faults {
+            s.push_permanent(0, site, fault);
+        }
+        s
+    }
+
+    /// Adds a permanent fault at `cycle`.
+    pub fn push_permanent(&mut self, cycle: u64, site: Coord, fault: ComponentFault) {
+        self.push(FaultEvent { cycle, site, action: FaultAction::Inject(fault) });
+    }
+
+    /// Adds a transient fault: injected at `cycle`, repaired
+    /// `duration` cycles later.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `duration` is zero (the repair would precede the
+    /// injection's effects).
+    pub fn push_transient(
+        &mut self,
+        cycle: u64,
+        site: Coord,
+        fault: ComponentFault,
+        duration: u64,
+    ) {
+        assert!(duration > 0, "transient faults need a non-zero duration");
+        self.push(FaultEvent { cycle, site, action: FaultAction::Inject(fault) });
+        self.push(FaultEvent {
+            cycle: cycle.saturating_add(duration),
+            site,
+            action: FaultAction::Repair(fault),
+        });
+    }
+
+    /// Adds an intermittent fault: `episodes` on/off cycles starting at
+    /// `cycle`, with on- and off-durations drawn from Pareto
+    /// distributions (`scale * u^(-1/alpha)`, the standard inverse-CDF
+    /// form), deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `episodes` is zero or a scale/shape parameter is not
+    /// strictly positive.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_intermittent(
+        &mut self,
+        cycle: u64,
+        site: Coord,
+        fault: ComponentFault,
+        episodes: u32,
+        on_scale: f64,
+        off_scale: f64,
+        alpha: f64,
+        seed: u64,
+    ) {
+        assert!(episodes > 0, "intermittent faults need at least one episode");
+        assert!(on_scale > 0.0 && off_scale > 0.0 && alpha > 0.0, "Pareto parameters must be > 0");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut t = cycle;
+        for _ in 0..episodes {
+            let on = pareto(&mut rng, on_scale, alpha);
+            let off = pareto(&mut rng, off_scale, alpha);
+            self.push_transient(t, site, fault, on);
+            t = t.saturating_add(on).saturating_add(off);
+        }
+    }
+
+    /// Draws a random schedule with exponentially distributed fault
+    /// inter-arrival times of mean `mtbf` cycles, over `[0, horizon)`.
+    ///
+    /// Each arrival picks a uniform site, a component of `category`, a
+    /// random axis and (for buffer faults) a VC slot in
+    /// `0..2 * vcs_per_port` — the size of one RoCo module's VC pool.
+    /// When `repair_after` is `Some(d)`, every fault is transient and
+    /// heals `d` cycles after onset; `None` makes every fault permanent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mtbf` is not strictly positive or `vcs_per_port`
+    /// is zero.
+    pub fn random_mtbf(
+        category: FaultCategory,
+        mesh: MeshConfig,
+        mtbf: f64,
+        repair_after: Option<u64>,
+        horizon: u64,
+        vcs_per_port: u8,
+        seed: u64,
+    ) -> Self {
+        assert!(mtbf > 0.0, "mean time between faults must be > 0");
+        assert!(vcs_per_port > 0, "vcs_per_port must be > 0");
+        let slots = 2 * vcs_per_port as u32;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut schedule = Self::none();
+        let mut t = 0.0f64;
+        loop {
+            // Exponential inter-arrival via inverse CDF.
+            let u: f64 = rng.gen();
+            t += -mtbf * (1.0 - u).ln();
+            if !t.is_finite() || t >= horizon as f64 {
+                break;
+            }
+            let cycle = t as u64;
+            let site = Coord::from_index(rng.gen_range(0..mesh.nodes()), mesh.width);
+            let component =
+                *category.components().choose(&mut rng).expect("categories are non-empty");
+            let axis = if rng.gen_bool(0.5) { Axis::X } else { Axis::Y };
+            let fault = if component == FaultComponent::VcBuffer {
+                ComponentFault::buffer(axis, rng.gen_range(0..slots) as u8)
+            } else {
+                ComponentFault::new(component, axis)
+            };
+            match repair_after {
+                Some(d) if d > 0 => schedule.push_transient(cycle, site, fault, d),
+                _ => schedule.push_permanent(cycle, site, fault),
+            }
+        }
+        schedule
+    }
+
+    /// Appends one event, keeping the timeline cycle-ordered.
+    pub fn push(&mut self, event: FaultEvent) {
+        self.events.push(event);
+        self.events.sort_by_key(|e| e.cycle);
+    }
+
+    /// The ordered event list.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The cycle of the last event, if any.
+    pub fn last_cycle(&self) -> Option<u64> {
+        self.events.last().map(|e| e.cycle)
+    }
+}
+
+/// A Pareto-distributed duration, rounded to at least one cycle.
+fn pareto(rng: &mut SmallRng, scale: f64, alpha: f64) -> u64 {
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let x = scale * u.powf(-1.0 / alpha);
+    if x.is_finite() {
+        (x as u64).max(1)
+    } else {
+        u64::MAX / 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultPlan;
+
+    fn any_fault() -> ComponentFault {
+        ComponentFault::new(FaultComponent::Crossbar, Axis::X)
+    }
+
+    #[test]
+    fn events_stay_sorted_and_ties_keep_insertion_order() {
+        let mut s = FaultSchedule::none();
+        let f = any_fault();
+        s.push_permanent(50, Coord::new(1, 1), f);
+        s.push_permanent(10, Coord::new(2, 2), f);
+        s.push_permanent(10, Coord::new(3, 3), f);
+        let cycles: Vec<u64> = s.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![10, 10, 50]);
+        assert_eq!(s.events()[0].site, Coord::new(2, 2), "stable tie-break");
+        assert_eq!(s.events()[1].site, Coord::new(3, 3));
+    }
+
+    #[test]
+    fn transient_expands_to_inject_then_repair() {
+        let mut s = FaultSchedule::none();
+        let f = any_fault();
+        s.push_transient(100, Coord::new(1, 0), f, 40);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.events()[0].cycle, 100);
+        assert!(s.events()[0].action.is_inject());
+        assert_eq!(s.events()[1].cycle, 140);
+        assert_eq!(s.events()[1].action, FaultAction::Repair(f));
+        assert_eq!(s.events()[1].action.fault(), f);
+        assert_eq!(s.last_cycle(), Some(140));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero duration")]
+    fn zero_duration_transient_panics() {
+        FaultSchedule::none().push_transient(0, Coord::new(0, 0), any_fault(), 0);
+    }
+
+    #[test]
+    fn intermittent_alternates_and_is_deterministic() {
+        let mut a = FaultSchedule::none();
+        a.push_intermittent(0, Coord::new(1, 1), any_fault(), 4, 30.0, 60.0, 1.5, 7);
+        let mut b = FaultSchedule::none();
+        b.push_intermittent(0, Coord::new(1, 1), any_fault(), 4, 30.0, 60.0, 1.5, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8, "4 episodes = 4 inject + 4 repair");
+        // Events alternate inject/repair once ordered, and each on
+        // duration is at least the Pareto scale.
+        let ev = a.events();
+        for pair in ev.chunks(2) {
+            assert!(pair[0].action.is_inject());
+            assert!(!pair[1].action.is_inject());
+            assert!(pair[1].cycle - pair[0].cycle >= 30);
+        }
+    }
+
+    #[test]
+    fn from_plan_injects_everything_at_cycle_zero() {
+        let plan = FaultPlan::random(FaultCategory::Isolating, 3, MeshConfig::new(4, 4), 11);
+        let s = FaultSchedule::from_plan(&plan);
+        assert_eq!(s.len(), 3);
+        assert!(s.events().iter().all(|e| e.cycle == 0 && e.action.is_inject()));
+    }
+
+    #[test]
+    fn random_mtbf_is_deterministic_and_bounded() {
+        let mesh = MeshConfig::new(4, 4);
+        let gen = |seed: u64| {
+            FaultSchedule::random_mtbf(
+                FaultCategory::Recyclable,
+                mesh,
+                500.0,
+                Some(300),
+                10_000,
+                3,
+                seed,
+            )
+        };
+        let a = gen(42);
+        let b = gen(42);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "10k cycles at mtbf 500 should produce arrivals");
+        for e in a.events() {
+            assert!(e.site.x < 4 && e.site.y < 4);
+            if e.action.is_inject() {
+                assert!(e.cycle < 10_000, "injections stay inside the horizon");
+                assert!(
+                    FaultCategory::Recyclable.components().contains(&e.action.fault().component)
+                );
+            }
+        }
+        let c = gen(43);
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn random_mtbf_buffer_slots_respect_vc_count() {
+        let mesh = MeshConfig::new(8, 8);
+        for seed in 0..10u64 {
+            let s = FaultSchedule::random_mtbf(
+                FaultCategory::Recyclable,
+                mesh,
+                100.0,
+                None,
+                20_000,
+                2,
+                seed,
+            );
+            for e in s.events() {
+                let f = e.action.fault();
+                if f.component == FaultComponent::VcBuffer {
+                    assert!(f.vc < 4, "slot {} out of range for 2 VCs/port", f.vc);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_respects_scale_floor() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = pareto(&mut rng, 25.0, 2.0);
+            assert!(x >= 25);
+        }
+    }
+}

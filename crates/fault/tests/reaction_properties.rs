@@ -1,0 +1,108 @@
+//! Exhaustive property coverage for the §4.1 reaction policy
+//! (`noc_fault::classify::reaction`): every `(RouterKind,
+//! FaultComponent)` pair must yield a reaction consistent with
+//! DESIGN.md §3, and only the RoCo router may ever answer with a
+//! Hardware-Recycling reaction.
+
+use noc_core::{FaultComponent, RouterKind};
+use noc_fault::{classify, reaction, Centricity, FaultCategory, Pathway, Reaction};
+
+/// `true` for the reactions that keep (part of) the router in service —
+/// the Hardware-Recycling family plus module isolation.
+fn is_recycling(r: Reaction) -> bool {
+    !matches!(r, Reaction::NodeBlocked)
+}
+
+#[test]
+fn every_pair_has_a_reaction_and_only_roco_recycles() {
+    for router in RouterKind::ALL {
+        for component in FaultComponent::ALL {
+            let r = reaction(router, component);
+            match router {
+                RouterKind::Generic | RouterKind::PathSensitive => {
+                    assert_eq!(
+                        r,
+                        Reaction::NodeBlocked,
+                        "{router} must block the node on a {component:?} fault"
+                    );
+                }
+                RouterKind::RoCo => {
+                    assert!(
+                        is_recycling(r),
+                        "RoCo must never lose the whole node to one {component:?} fault"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn roco_reactions_match_design_section3_table() {
+    // DESIGN.md §3 / paper §4.1: RC → Double Routing, VC buffer →
+    // Virtual Queuing, SA → SA-on-VA offload, and the router-centric
+    // critical components (VA, crossbar, MUX/DEMUX) → module isolation.
+    use FaultComponent::*;
+    let expected = [
+        (RoutingComputation, Reaction::DoubleRouting),
+        (VcBuffer, Reaction::VirtualQueuing),
+        (VaArbiter, Reaction::ModuleBlocked),
+        (SaArbiter, Reaction::SaOffload),
+        (Crossbar, Reaction::ModuleBlocked),
+        (MuxDemux, Reaction::ModuleBlocked),
+    ];
+    for (component, want) in expected {
+        assert_eq!(reaction(RouterKind::RoCo, component), want, "{component:?}");
+    }
+}
+
+#[test]
+fn recyclable_category_gets_true_recycling_reactions_in_roco() {
+    // The message-centric / non-critical components must map to the
+    // three bypass schemes (not mere isolation); the isolating category
+    // must map to module isolation.
+    for &component in FaultCategory::Recyclable.components() {
+        let r = reaction(RouterKind::RoCo, component);
+        assert!(
+            matches!(
+                r,
+                Reaction::DoubleRouting | Reaction::VirtualQueuing | Reaction::SaOffload
+            ),
+            "{component:?} should be bypassed, got {r:?}"
+        );
+    }
+    for &component in FaultCategory::Isolating.components() {
+        assert_eq!(
+            reaction(RouterKind::RoCo, component),
+            Reaction::ModuleBlocked,
+            "{component:?} should isolate one module"
+        );
+    }
+}
+
+#[test]
+fn reactions_are_consistent_with_table3_classification() {
+    // A component RoCo merely isolates (ModuleBlocked) must be on the
+    // critical pathway or router-centric; every component RoCo bypasses
+    // must be non-critical given the bypass path exists.
+    for component in FaultComponent::ALL {
+        let class = classify(component, true);
+        match reaction(RouterKind::RoCo, component) {
+            Reaction::ModuleBlocked => {
+                assert!(
+                    class.pathway == Pathway::Critical
+                        || class.centricity == Centricity::RouterCentric,
+                    "{component:?} was isolated despite being bypassable"
+                );
+            }
+            Reaction::DoubleRouting | Reaction::VirtualQueuing | Reaction::SaOffload => {
+                assert_eq!(
+                    class.pathway,
+                    Pathway::NonCritical,
+                    "{component:?} was bypassed despite sitting on the critical pathway"
+                );
+            }
+            Reaction::NodeBlocked => unreachable!("RoCo never blocks the node"),
+        }
+    }
+}

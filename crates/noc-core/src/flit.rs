@@ -74,6 +74,13 @@ pub struct Flit {
     /// Whether the packet currently travels on escape (deadlock-free)
     /// virtual channels; set by the upstream VA when it had to fall back.
     pub escape: bool,
+    /// Whether this is a *poison tail*: a synthetic tail emitted when a
+    /// mid-run fault fragments a packet whose head already moved on. It
+    /// chases the fragment down its allocated wormhole, releasing VCs
+    /// and credits hop by hop, and is discarded (never delivered) at
+    /// the ejection port.
+    #[serde(default)]
+    pub poison: bool,
 }
 
 impl Flit {
@@ -113,8 +120,29 @@ impl Flit {
                 next_out: Direction::Local,
                 order,
                 escape: false,
+                poison: false,
             }
         })
+    }
+
+    /// Builds the poison tail that closes the wormhole of a fragmented
+    /// packet (see [`Flit::poison`]). `next_out` must be the output the
+    /// already-forwarded fragment was allocated at the router emitting
+    /// the poison.
+    pub fn poison_tail(packet: PacketId, src: Coord, dst: Coord, next_out: Direction) -> Flit {
+        Flit {
+            packet,
+            kind: FlitKind::Tail,
+            seq: u16::MAX,
+            src,
+            dst,
+            created_at: 0,
+            injected_at: 0,
+            next_out,
+            order: AxisOrder::Xy,
+            escape: false,
+            poison: true,
+        }
     }
 
     /// Builds the flits of one packet as a vector (convenience wrapper

@@ -222,8 +222,36 @@ pub trait RouterNode {
     /// Current operational status (consumed by neighbours next cycle).
     fn status(&self) -> NodeStatus;
 
-    /// Injects a permanent hardware fault (§4).
+    /// Injects a hardware fault (§4). May be called mid-run; the
+    /// simulator follows up with [`RouterNode::purge_faulted`] so
+    /// in-flight flits caught at the afflicted component are discarded
+    /// or fragmented per §4.1.
     fn inject_fault(&mut self, fault: ComponentFault);
+
+    /// Repairs every active fault: restores module health, RC, SA and
+    /// all VC capacities to their built state. The simulator re-injects
+    /// whatever faults remain scheduled as active afterwards.
+    fn clear_faults(&mut self);
+
+    /// Post-fault cleanup for mid-run injection: aborts streams wedged
+    /// in now-disabled VCs (discarding their buffered flits, crediting
+    /// the upstream router, and emitting poison tails for fragments
+    /// whose head already moved on — see [`Flit::poison`]).
+    fn purge_faulted(&mut self);
+
+    /// Re-synchronizes this router's view of the downstream VCs behind
+    /// output `dir` after the neighbour republished its operational
+    /// state (the §4.1 handshake): adopts the new descriptors and
+    /// clamps credit/free state, without resetting arbiters.
+    fn resync_output(&mut self, dir: Direction, descs: &[VcDescriptor]);
+
+    /// Discards all state of the input VCs fed by the link arriving on
+    /// side `from` — buffered flits, stream state, drop latches —
+    /// without returning upstream credits. Used when a repaired
+    /// neighbour's output port toward this router is rebuilt from
+    /// scratch, so both ends restart from an empty, fully credited
+    /// link.
+    fn reset_input_link(&mut self, from: Direction);
 
     /// Cumulative activity counters for the energy model.
     fn counters(&self) -> &ActivityCounters;

@@ -1,7 +1,7 @@
 //! Experiment configuration.
 
 use noc_core::{MeshConfig, RouterConfig, RouterKind, RoutingKind};
-use noc_fault::FaultPlan;
+use noc_fault::{FaultPlan, FaultSchedule};
 use noc_traffic::TrafficKind;
 use serde::{Deserialize, Serialize};
 
@@ -72,11 +72,58 @@ pub struct SimConfig {
     /// either way; see [`KernelMode`]).
     #[serde(default)]
     pub kernel: KernelMode,
+    /// Timed mid-run fault/repair events, applied when their cycle
+    /// arrives (empty = static faults only). The static `faults` plan
+    /// still fires before cycle 0, exactly as before.
+    #[serde(default)]
+    pub schedule: FaultSchedule,
+    /// Cycles between a mid-run fault (or repair) taking effect inside
+    /// a router and its updated availability reaching the neighbours
+    /// through the §4.1 handshake signals. Until the republication
+    /// lands, neighbours keep acting on the stale status. `0` models an
+    /// ideal instant handshake.
+    #[serde(default = "default_handshake_latency")]
+    pub handshake_latency: u64,
+    /// End-to-end recovery: source network interfaces retransmit
+    /// timed-out packets and sinks suppress late duplicates. `None`
+    /// (the default) disables the whole layer.
+    #[serde(default)]
+    pub recovery: Option<RecoveryConfig>,
 }
 
 /// Serde default for [`SimConfig::sample_window`].
 fn default_sample_window() -> u64 {
     100
+}
+
+/// Serde default for [`SimConfig::handshake_latency`].
+fn default_handshake_latency() -> u64 {
+    4
+}
+
+/// Source-retransmission parameters for the end-to-end recovery layer.
+///
+/// A source keeps every injected packet in an outstanding table until
+/// the sink's delivery is observed. A packet that stays outstanding for
+/// `timeout` cycles is re-sent from the network interface; each retry
+/// doubles the wait (capped at `backoff_cap`) until `max_retries`
+/// attempts have failed, after which the packet is abandoned and
+/// counted in [`crate::RecoveryStats::abandoned_packets`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Cycles a packet may stay outstanding before its first
+    /// retransmission.
+    pub timeout: u64,
+    /// Maximum number of retransmission attempts per packet.
+    pub max_retries: u32,
+    /// Upper bound on the exponentially backed-off timeout.
+    pub backoff_cap: u64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig { timeout: 200, max_retries: 4, backoff_cap: 2_000 }
+    }
 }
 
 impl SimConfig {
@@ -104,6 +151,9 @@ impl SimConfig {
             sample_window: default_sample_window(),
             block_timeout: None,
             kernel: KernelMode::default(),
+            schedule: FaultSchedule::none(),
+            handshake_latency: default_handshake_latency(),
+            recovery: None,
         }
     }
 
@@ -142,6 +192,18 @@ impl SimConfig {
         self
     }
 
+    /// Sets the mid-run fault/repair schedule (builder style).
+    pub fn with_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Enables end-to-end recovery (builder style).
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = Some(recovery);
+        self
+    }
+
     /// Total packets to generate.
     pub fn total_packets(&self) -> u64 {
         self.warmup_packets + self.measured_packets
@@ -158,6 +220,8 @@ mod tests {
         assert_eq!(c.mesh.nodes(), 64);
         assert_eq!(c.total_packets(), 21_000);
         assert!(c.faults.is_empty());
+        assert!(c.schedule.is_empty());
+        assert!(c.recovery.is_none());
         assert_eq!(c.router_config().buffer_depth, 5);
     }
 

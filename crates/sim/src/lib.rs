@@ -34,13 +34,15 @@ mod report;
 mod stats;
 mod trace;
 
-pub use config::{KernelMode, SimConfig};
+pub use config::{KernelMode, RecoveryConfig, SimConfig};
 pub use histogram::LatencyHistogram;
 pub use metrics::{IntervalSample, JsonlMetricsSink, MetricsSink, RouterWindow, VecMetricsSink};
 pub use network::{neighbor_table, run, Simulation};
-pub use postmortem::{CreditLine, RouterDiagnosis, StallPostmortem, WedgedPacket};
+pub use postmortem::{
+    CreditLine, FaultTimelineEntry, RouterDiagnosis, StallPostmortem, WedgedPacket,
+};
 pub use report::{render_heatmap, NodeReport, NodeSummary};
-pub use stats::{SimResults, StatsCollector};
+pub use stats::{RecoveryStats, SimResults, StatsCollector};
 pub use trace::{
     replay_entries, CsvTraceSink, JsonlTraceSink, PerfettoTraceSink, TraceEvent, TraceSink,
     VecTraceSink,

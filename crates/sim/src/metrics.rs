@@ -72,6 +72,9 @@ pub struct IntervalSample {
     pub latency_max: u64,
     /// Flits in flight (buffered or on links) at the sample instant.
     pub flits_in_system: u64,
+    /// Mid-run fault/repair events applied during the window.
+    #[serde(default)]
+    pub fault_events: u64,
     /// Per-router breakdown, in node-index order.
     pub routers: Vec<RouterWindow>,
 }
@@ -111,6 +114,7 @@ impl IntervalSample {
             ("latency_p99", self.latency_p99),
             ("latency_max", self.latency_max),
             ("flits_in_system", self.flits_in_system),
+            ("fault_events", self.fault_events),
         ] {
             write_key(&mut out, &mut first, key);
             let _ = write!(out, "{value}");
@@ -229,6 +233,7 @@ mod tests {
             latency_p99: 44,
             latency_max: 51,
             flits_in_system: 12,
+            fault_events: 0,
             routers: vec![RouterWindow {
                 node: Coord::new(3, 4),
                 occupancy: 5,

@@ -1,6 +1,8 @@
 //! The flit-level, cycle-accurate mesh simulator (§5.1).
 //!
-//! Per cycle: (1) flits and credits emitted in the previous cycle are
+//! Per cycle: (0) scheduled fault/repair events fire, §4.1 status
+//! republications land, and end-to-end recovery timeouts retransmit;
+//! then (1) flits and credits emitted in the previous cycle are
 //! delivered across their one-cycle links; (2) the traffic model offers
 //! new packets to the network interfaces, which inject at most one flit
 //! per node per cycle; (3) every router executes one pipeline step
@@ -17,22 +19,26 @@
 
 use crate::config::{KernelMode, SimConfig};
 use crate::metrics::{IntervalSample, MetricsSink, RouterWindow};
-use crate::postmortem::{CreditLine, RouterDiagnosis, StallPostmortem, WedgedPacket};
+use crate::postmortem::{
+    CreditLine, FaultTimelineEntry, RouterDiagnosis, StallPostmortem, WedgedPacket,
+};
 use crate::report::{NodeReport, NodeSummary};
-use crate::stats::{SimResults, StatsCollector};
+use crate::stats::{RecoveryStats, SimResults, StatsCollector};
 use crate::trace::{TraceEvent, TraceSink};
 use noc_core::{
-    ActivityCounters, Coord, Credit, Cycle, Direction, Flit, MeshConfig, NodeStatus, PacketId,
-    RouterNode, RouterOutputs, StepContext, VcDescriptor, VcPhase, EJECT_VC,
+    ActivityCounters, ComponentFault, Coord, Credit, Cycle, Direction, Flit, MeshConfig,
+    NodeStatus, PacketId, RouterNode, RouterOutputs, StepContext, VcDescriptor, VcPhase, EJECT_VC,
 };
 use noc_deadlock::{find_channel_cycle, Channel};
+use noc_fault::{FaultAction, FaultEvent};
 use noc_power::{energy_of, EnergyBreakdown, RouterEnergyProfile};
 use noc_router::AnyRouter;
 use noc_routing::RouteComputer;
 use noc_traffic::{build_traffic, Traffic};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Precomputed adjacency: for each node index, the node index of the
 /// neighbour in every mesh direction (indexed by [`Direction::index`];
@@ -71,6 +77,21 @@ struct CreditInFlight {
     credit: Credit,
 }
 
+/// End-to-end recovery bookkeeping for one not-yet-delivered packet.
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    src: Coord,
+    dst: Coord,
+    created_at: Cycle,
+    /// Retransmission attempts issued so far (0 = original send).
+    attempt: u32,
+    /// Cycle the current attempt times out at.
+    deadline: Cycle,
+    /// Whether the head has been counted in the injected statistics
+    /// (retries re-inject the same packet without re-counting it).
+    injected_counted: bool,
+}
+
 /// Interval-sampler state: the baselines captured at the previous
 /// window boundary, subtracted from the live totals to form per-window
 /// deltas.
@@ -91,6 +112,7 @@ struct Sampler {
     injected_total: u64,
     delivered_total: u64,
     dropped: u64,
+    fault_events: u64,
     /// Latencies of packets delivered during the current window.
     latencies: Vec<u64>,
 }
@@ -107,6 +129,7 @@ impl Sampler {
             injected_total: 0,
             delivered_total: 0,
             dropped: 0,
+            fault_events: 0,
             latencies: Vec::new(),
         }
     }
@@ -132,7 +155,11 @@ pub struct Simulation {
     coords: Vec<Coord>,
     /// Precomputed per-node neighbour indices ([`neighbor_table`]).
     neighbor_idx: Vec<[Option<usize>; 4]>,
-    /// Per-node status buffer, refreshed in place each cycle.
+    /// Per-node status as last *published* to the neighbours through
+    /// the §4.1 handshake. A mid-run fault or repair changes the
+    /// afflicted router immediately, but this buffer — and therefore
+    /// every neighbour's look-ahead decision — only updates when the
+    /// republication fires `handshake_latency` cycles later.
     statuses: Vec<NodeStatus>,
     /// Reusable router-output scratch ([`RouterNode::step`] contract).
     outputs: RouterOutputs,
@@ -160,6 +187,27 @@ pub struct Simulation {
     last_progress: Cycle,
     stalled: bool,
     postmortem: Option<StallPostmortem>,
+    /// Index of the next unfired event in `cfg.schedule`.
+    schedule_cursor: usize,
+    /// Faults currently active at each node (repairs remove theirs,
+    /// then re-inject the remainder).
+    active_faults: Vec<Vec<ComponentFault>>,
+    /// Pending §4.1 republications: `(due cycle, node index)`, pushed
+    /// in nondecreasing due order because the handshake latency is
+    /// constant.
+    republish_queue: VecDeque<(Cycle, usize)>,
+    /// Every applied fault/repair event, for the stall post-mortem.
+    fault_log: Vec<FaultTimelineEntry>,
+    /// Cumulative applied fault/repair events (interval-sampler source).
+    fault_events_total: u64,
+    /// Outstanding-packet table of the recovery layer, keyed by packet
+    /// id (empty when recovery is disabled).
+    outstanding: HashMap<u64, Outstanding>,
+    /// Retransmission deadlines: a min-heap of `(deadline, packet id,
+    /// attempt)` with lazy deletion (stale attempts are skipped).
+    timeouts: BinaryHeap<Reverse<(Cycle, u64, u32)>>,
+    /// Recovery outcome counters (reported when recovery is enabled).
+    recovery: RecoveryStats,
 }
 
 impl Simulation {
@@ -191,9 +239,13 @@ impl Simulation {
             .map(|i| AnyRouter::build(Coord::from_index(i, mesh.width), rcfg, mesh))
             .collect();
         // Faults first: the wiring below publishes post-fault VC lists,
-        // modelling the neighbour handshake of §4.1.
+        // modelling the neighbour handshake of §4.1. Construction
+        // faults also seed the active-fault registry, so a scheduled
+        // mid-run repair at the same node re-applies them correctly.
+        let mut active_faults: Vec<Vec<ComponentFault>> = vec![Vec::new(); mesh.nodes()];
         for (coord, fault) in &cfg.faults.faults {
             routers[coord.index(mesh.width)].inject_fault(*fault);
+            active_faults[coord.index(mesh.width)].push(*fault);
         }
         // Wire each output to the neighbour's opposite-side VC list.
         // One scratch vector bridges the `routers[n]` read / `routers[i]`
@@ -245,6 +297,14 @@ impl Simulation {
             last_progress: 0,
             stalled: false,
             postmortem: None,
+            schedule_cursor: 0,
+            active_faults,
+            republish_queue: VecDeque::new(),
+            fault_log: Vec::new(),
+            fault_events_total: 0,
+            outstanding: HashMap::new(),
+            timeouts: BinaryHeap::new(),
+            recovery: RecoveryStats::default(),
         }
     }
 
@@ -287,6 +347,7 @@ impl Simulation {
         self.sampler.injected_total = self.stats.injected;
         self.sampler.delivered_total = self.stats.delivered;
         self.sampler.dropped = self.stats.dropped;
+        self.sampler.fault_events = self.fault_events_total;
         self.sampler.latencies.clear();
     }
 
@@ -322,12 +383,14 @@ impl Simulation {
         self.occ_total + self.flits_in_flight.len() + self.source_total
     }
 
-    /// Whether the run has finished (drained or stalled).
+    /// Whether the run has finished (drained or stalled). With recovery
+    /// enabled the run also waits for the outstanding-packet table to
+    /// empty, so pending retransmissions still get their chance.
     pub fn finished(&self) -> bool {
         if self.cycle >= self.cfg.max_cycles || self.stalled {
             return true;
         }
-        self.generation_done() && self.flits_in_system() == 0
+        self.generation_done() && self.flits_in_system() == 0 && self.outstanding.is_empty()
     }
 
     fn generation_done(&self) -> bool {
@@ -342,6 +405,15 @@ impl Simulation {
     /// Advances the simulation one cycle. Allocation-free in steady
     /// state: every buffer below is recycled across cycles.
     pub fn step(&mut self) {
+        // Phase 0: dynamic faults and recovery. Scheduled fault/repair
+        // events strike the afflicted router immediately; the updated
+        // availability reaches the neighbours when the §4.1
+        // republication fires `handshake_latency` cycles later.
+        // Recovery timeouts fire here so retransmitted flits reach the
+        // source queues before this cycle's injection phase.
+        self.process_schedule();
+        self.process_republications();
+        self.process_timeouts();
         // Phase 1: link delivery. Swap last cycle's in-flight lists
         // into the arriving double buffers and drain them, so the
         // emission lists below refill the (already sized) originals.
@@ -358,12 +430,10 @@ impl Simulation {
         // Phase 2: traffic generation and injection.
         self.generate_traffic();
         self.inject();
-        // Phase 3: router pipelines. Statuses are refreshed in place
-        // (they only change through construction-time faults today, but
-        // the refresh keeps the kernel honest if that ever changes).
-        for (s, r) in self.statuses.iter_mut().zip(&self.routers) {
-            *s = r.status();
-        }
+        // Phase 3: router pipelines. Neighbour statuses come from the
+        // published-status buffer, which only changes when a §4.1
+        // republication fires — routers act on the last published
+        // availability, not the instantaneous one.
         let wake_all = self.cfg.kernel == KernelMode::Reference;
         let mut out = std::mem::take(&mut self.outputs);
         for i in 0..self.routers.len() {
@@ -402,23 +472,61 @@ impl Simulation {
                 });
             }
             for &flit in &out.ejected {
+                if flit.poison {
+                    // The poison tail chasing a fragmented packet made
+                    // it to the ejection port: the fragment is
+                    // discarded here (§4.1), never delivered. (A
+                    // sentinel id means the aborting router no longer
+                    // knew which packet the wormhole carried.)
+                    self.stats.dropped += 1;
+                    self.per_node[i].dropped += 1;
+                    self.last_progress = self.cycle;
+                    if flit.packet.0 != u64::MAX {
+                        self.emit(TraceEvent::Dropped {
+                            cycle: self.cycle,
+                            packet: flit.packet,
+                            node: coord,
+                        });
+                    }
+                    continue;
+                }
                 debug_assert_eq!(flit.dst, coord, "flit ejected at the wrong node");
                 if flit.kind.is_tail() {
-                    let latency = self.cycle - flit.created_at;
-                    let measured = self.measured(flit.packet.0);
-                    self.stats.record_delivery(latency, measured);
-                    let node = &mut self.per_node[i];
-                    node.delivered += 1;
-                    node.latency_sum += latency;
-                    if self.metrics.is_some() {
-                        self.sampler.latencies.push(latency);
+                    let mut deliver = true;
+                    if self.cfg.recovery.is_some() {
+                        match self.outstanding.remove(&flit.packet.0) {
+                            Some(o) => {
+                                if o.attempt > 0 {
+                                    self.recovery.recovered_packets += 1;
+                                }
+                            }
+                            None => {
+                                // An earlier attempt already delivered
+                                // this packet: sink-side duplicate
+                                // suppression.
+                                self.recovery.duplicates_suppressed += 1;
+                                self.last_progress = self.cycle;
+                                deliver = false;
+                            }
+                        }
                     }
-                    self.last_progress = self.cycle;
-                    self.emit(TraceEvent::Delivered {
-                        cycle: self.cycle,
-                        packet: flit.packet,
-                        latency,
-                    });
+                    if deliver {
+                        let latency = self.cycle - flit.created_at;
+                        let measured = self.measured(flit.packet.0);
+                        self.stats.record_delivery(latency, measured);
+                        let node = &mut self.per_node[i];
+                        node.delivered += 1;
+                        node.latency_sum += latency;
+                        if self.metrics.is_some() {
+                            self.sampler.latencies.push(latency);
+                        }
+                        self.last_progress = self.cycle;
+                        self.emit(TraceEvent::Delivered {
+                            cycle: self.cycle,
+                            packet: flit.packet,
+                            latency,
+                        });
+                    }
                 }
                 self.stats.delivered_flits += 1;
             }
@@ -514,6 +622,7 @@ impl Simulation {
             latency_p99,
             latency_max,
             flits_in_system: self.flits_in_system() as u64,
+            fault_events: self.fault_events_total - self.sampler.fault_events,
             routers,
         };
         self.sampler.window += 1;
@@ -522,6 +631,7 @@ impl Simulation {
         self.sampler.injected_total = self.stats.injected;
         self.sampler.delivered_total = self.stats.delivered;
         self.sampler.dropped = self.stats.dropped;
+        self.sampler.fault_events = self.fault_events_total;
         if let Some(sink) = self.metrics.as_mut() {
             sink.record_sample(&sample);
         }
@@ -615,6 +725,8 @@ impl Simulation {
             routers,
             credit_map,
             suspected_loop,
+            fault_timeline: self.fault_log.clone(),
+            abandoned_packets: self.recovery.abandoned_packets,
         }
     }
 
@@ -663,6 +775,21 @@ impl Simulation {
                 ));
                 self.source_total += flits_per_packet as usize;
                 self.stats.generated += 1;
+                if let Some(rc) = self.cfg.recovery {
+                    let deadline = self.cycle + rc.timeout.max(1);
+                    self.outstanding.insert(
+                        id.0,
+                        Outstanding {
+                            src: node,
+                            dst,
+                            created_at: self.cycle,
+                            attempt: 0,
+                            deadline,
+                            injected_counted: false,
+                        },
+                    );
+                    self.timeouts.push(Reverse((deadline, id.0, 0)));
+                }
                 self.emit(TraceEvent::Generated { cycle: self.cycle, packet: id, src: node, dst });
             }
         }
@@ -677,10 +804,23 @@ impl Simulation {
                 self.source_total -= 1;
                 self.active[i] = true;
                 if flit.kind.is_head() {
-                    self.stats.injected += 1;
-                    self.per_node[i].injected += 1;
-                    if self.measured(flit.packet.0) {
-                        self.stats.measured_injected += 1;
+                    // Retransmitted heads re-enter the network but must
+                    // not inflate the injected (completion-denominator)
+                    // statistics: each packet is counted once.
+                    let count = if self.cfg.recovery.is_none() {
+                        true
+                    } else {
+                        match self.outstanding.get_mut(&flit.packet.0) {
+                            Some(o) => !std::mem::replace(&mut o.injected_counted, true),
+                            None => false,
+                        }
+                    };
+                    if count {
+                        self.stats.injected += 1;
+                        self.per_node[i].injected += 1;
+                        if self.measured(flit.packet.0) {
+                            self.stats.measured_injected += 1;
+                        }
                     }
                     self.emit(TraceEvent::Injected {
                         cycle: self.cycle,
@@ -689,6 +829,173 @@ impl Simulation {
                     });
                 }
             }
+        }
+    }
+
+    /// Puts router `i` back on the wake-set and refreshes its entry in
+    /// the incremental occupancy total. Any mutation of a router that
+    /// happens outside its normal pipeline step (fault injection,
+    /// purges, resyncs, retransmission enqueues) must route through
+    /// this so the `Optimized` kernel stays digest-identical to the
+    /// `Reference` kernel (DESIGN.md §10).
+    fn wake_and_refresh(&mut self, i: usize) {
+        let occ = self.routers[i].occupancy();
+        self.occ_total = self.occ_total - self.occ_cache[i] + occ;
+        self.occ_cache[i] = occ;
+        self.active[i] = true;
+    }
+
+    /// Applies every schedule event due at or before the current cycle.
+    fn process_schedule(&mut self) {
+        while let Some(&ev) = self.cfg.schedule.events().get(self.schedule_cursor) {
+            if ev.cycle > self.cycle {
+                break;
+            }
+            self.schedule_cursor += 1;
+            self.apply_fault_event(ev);
+        }
+    }
+
+    /// Applies one fault or repair event to the target router: updates
+    /// the active-fault registry, reconfigures the router, discards
+    /// in-flight fragments through the faulted module (§4), and queues
+    /// the §4.1 status republication `handshake_latency` cycles out.
+    fn apply_fault_event(&mut self, ev: FaultEvent) {
+        let site = ev.site.index(self.cfg.mesh.width);
+        let fault = ev.action.fault();
+        match ev.action {
+            FaultAction::Inject(_) => {
+                self.active_faults[site].push(fault);
+                self.routers[site].inject_fault(fault);
+                self.emit(TraceEvent::Fault { cycle: self.cycle, node: ev.site, fault });
+            }
+            FaultAction::Repair(_) => {
+                if let Some(pos) = self.active_faults[site].iter().position(|f| *f == fault) {
+                    self.active_faults[site].remove(pos);
+                }
+                // Faults overlap arbitrarily (a node may carry several at
+                // once), so a repair rebuilds the router's fault state
+                // from scratch: clear everything, re-apply the survivors.
+                self.routers[site].clear_faults();
+                for i in 0..self.active_faults[site].len() {
+                    let f = self.active_faults[site][i];
+                    self.routers[site].inject_fault(f);
+                }
+                self.emit(TraceEvent::Repair { cycle: self.cycle, node: ev.site, fault });
+            }
+        }
+        // §4: packets caught mid-wormhole through a newly faulted (or
+        // just-reconfigured) module are discarded on the spot; poison
+        // tails chase the fragments out of downstream routers.
+        self.routers[site].purge_faulted();
+        self.fault_log.push(FaultTimelineEntry {
+            cycle: self.cycle,
+            node: ev.site,
+            repair: !ev.action.is_inject(),
+            fault,
+        });
+        self.fault_events_total += 1;
+        self.wake_and_refresh(site);
+        // A dead node's PE is cut off entirely: flush its source queue,
+        // counting each waiting packet as dropped at the source.
+        if self.routers[site].status().node_dead() && !self.sources[site].is_empty() {
+            let flushed = std::mem::take(&mut self.sources[site]);
+            self.source_total -= flushed.len();
+            let node = self.coords[site];
+            for flit in flushed {
+                if flit.kind.is_head() {
+                    self.stats.dropped += 1;
+                    self.per_node[site].dropped += 1;
+                    self.emit(TraceEvent::Dropped { cycle: self.cycle, packet: flit.packet, node });
+                }
+            }
+            self.last_progress = self.cycle;
+        }
+        self.republish_queue.push_back((self.cycle + self.cfg.handshake_latency, site));
+    }
+
+    /// Fires every queued §4.1 status republication that has come due.
+    /// `handshake_latency` is constant, so the queue is naturally
+    /// sorted by due cycle and a FIFO scan suffices.
+    fn process_republications(&mut self) {
+        while let Some(&(due, site)) = self.republish_queue.front() {
+            if due > self.cycle {
+                break;
+            }
+            self.republish_queue.pop_front();
+            self.republish(site);
+        }
+    }
+
+    /// Publishes router `site`'s current status and VC availability to
+    /// its neighbours (§4.1): neighbours resynchronise their output-side
+    /// credit books against the router's post-fault VC capacities, and
+    /// links that just came back into service get their demux state
+    /// cleared.
+    fn republish(&mut self, site: usize) {
+        let prev = self.statuses[site];
+        let now = self.routers[site].status();
+        let mut descs: Vec<VcDescriptor> = Vec::new();
+        for dir in Direction::MESH {
+            let Some(n) = self.neighbor_idx[site][dir.index()] else { continue };
+            if !prev.can_serve_output(dir) && now.can_serve_output(dir) {
+                // The output module covering `dir` was repaired: any
+                // stale mid-wormhole demux state on the input side of
+                // that link belongs to packets that no longer exist.
+                self.routers[site].reset_input_link(dir);
+            }
+            descs.clear();
+            descs.extend_from_slice(self.routers[site].vcs_on_link(dir));
+            self.routers[n].resync_output(dir.opposite(), &descs);
+            self.wake_and_refresh(n);
+        }
+        self.statuses[site] = now;
+        self.wake_and_refresh(site);
+    }
+
+    /// Retransmission clock: expires overdue outstanding packets,
+    /// re-enqueueing a fresh copy at the source with exponential
+    /// backoff until the retry budget runs out.
+    fn process_timeouts(&mut self) {
+        let Some(rc) = self.cfg.recovery else { return };
+        let flits_per_packet = self.cfg.router_config().num_flits;
+        while let Some(&Reverse((due, id, attempt))) = self.timeouts.peek() {
+            if due > self.cycle {
+                break;
+            }
+            self.timeouts.pop();
+            // Lazy deletion: entries for delivered packets or stale
+            // attempts stay in the heap and are skipped here.
+            let Some(&o) = self.outstanding.get(&id) else { continue };
+            if o.attempt != attempt {
+                continue;
+            }
+            let src = o.src.index(self.cfg.mesh.width);
+            if o.attempt >= rc.max_retries || self.routers[src].status().node_dead() {
+                self.outstanding.remove(&id);
+                self.recovery.abandoned_packets += 1;
+                self.last_progress = self.cycle;
+                continue;
+            }
+            let attempt = o.attempt + 1;
+            let backoff =
+                rc.timeout.saturating_mul(1u64 << attempt.min(20)).min(rc.backoff_cap.max(1));
+            let deadline = self.cycle + backoff.max(1);
+            let order = self.computer.choose_order(o.src, o.dst, &mut self.rng);
+            self.sources[src].extend(Flit::packet_flit_iter(
+                PacketId(id),
+                o.src,
+                o.dst,
+                o.created_at,
+                flits_per_packet,
+                order,
+            ));
+            self.source_total += flits_per_packet as usize;
+            self.active[src] = true;
+            self.outstanding.insert(id, Outstanding { attempt, deadline, ..o });
+            self.timeouts.push(Reverse((deadline, id, attempt)));
+            self.recovery.retransmissions += 1;
+            self.last_progress = self.cycle;
         }
     }
 
@@ -756,6 +1063,7 @@ impl Simulation {
             },
             stalled: self.stalled,
             postmortem: self.postmortem.clone(),
+            recovery: self.cfg.recovery.is_some().then_some(self.recovery),
         }
     }
 }

@@ -11,9 +11,22 @@
 //! wait-for edges — a suspected deadlock loop when one exists.
 
 use crate::json::{write_key, write_str};
-use noc_core::{Coord, Cycle, Direction, PacketId, VcPhase};
+use noc_core::{ComponentFault, Coord, Cycle, Direction, PacketId, VcPhase};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
+
+/// One entry of the fault/repair history leading up to a stall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultTimelineEntry {
+    /// Cycle the event took effect.
+    pub cycle: Cycle,
+    /// Afflicted router.
+    pub node: Coord,
+    /// `true` for a repair, `false` for a fault injection.
+    pub repair: bool,
+    /// The fault injected or repaired.
+    pub fault: ComponentFault,
+}
 
 /// One packet (or packet fragment) stuck in the network at stall time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -83,6 +96,16 @@ pub struct StallPostmortem {
     /// end — present only when the observed dependencies actually close
     /// a cycle (a true deadlock signature, not mere fault blocking).
     pub suspected_loop: Option<Vec<String>>,
+    /// Every mid-run fault/repair event applied before the stall, in
+    /// order — a stall right after an injection usually implicates it.
+    #[serde(default)]
+    pub fault_timeline: Vec<FaultTimelineEntry>,
+    /// Packets the end-to-end recovery layer gave up on after
+    /// exhausting its retry budget. These left the system deliberately —
+    /// they are *not* wedged — so they are classified separately from
+    /// the `wedged` list.
+    #[serde(default)]
+    pub abandoned_packets: u64,
 }
 
 impl StallPostmortem {
@@ -95,6 +118,27 @@ impl StallPostmortem {
              flits in system)",
             self.last_progress, self.cycle, self.flits_in_system
         );
+        if !self.fault_timeline.is_empty() {
+            let _ = writeln!(out, "  fault/repair timeline ({} events):", self.fault_timeline.len());
+            for e in &self.fault_timeline {
+                let _ = writeln!(
+                    out,
+                    "    cycle {}: {} {:?} ({}-axis) at {}",
+                    e.cycle,
+                    if e.repair { "repair" } else { "fault" },
+                    e.fault.component,
+                    e.fault.axis,
+                    e.node
+                );
+            }
+        }
+        if self.abandoned_packets > 0 {
+            let _ = writeln!(
+                out,
+                "  abandoned after retry budget: {} packets (recovery gave up; not wedged)",
+                self.abandoned_packets
+            );
+        }
         let _ = writeln!(out, "  wedged packets ({}):", self.wedged.len());
         for w in &self.wedged {
             let packet = match w.packet {
@@ -259,6 +303,27 @@ impl StallPostmortem {
             }
             None => out.push_str("null"),
         }
+        write_key(&mut out, &mut first, "fault_timeline");
+        out.push('[');
+        for (i, e) in self.fault_timeline.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            let mut ef = true;
+            write_key(&mut out, &mut ef, "cycle");
+            let _ = write!(out, "{}", e.cycle);
+            write_key(&mut out, &mut ef, "node");
+            let _ = write!(out, "[{},{}]", e.node.x, e.node.y);
+            write_key(&mut out, &mut ef, "action");
+            write_str(&mut out, if e.repair { "repair" } else { "fault" });
+            write_key(&mut out, &mut ef, "component");
+            write_str(&mut out, &format!("{:?}", e.fault.component));
+            out.push('}');
+        }
+        out.push(']');
+        write_key(&mut out, &mut first, "abandoned_packets");
+        let _ = write!(out, "{}", self.abandoned_packets);
         out.push('}');
         out
     }
@@ -297,6 +362,16 @@ mod tests {
                 credits: vec![0, 5, 5],
             }],
             suspected_loop: None,
+            fault_timeline: vec![FaultTimelineEntry {
+                cycle: 405,
+                node: Coord::new(1, 1),
+                repair: false,
+                fault: ComponentFault::new(
+                    noc_core::FaultComponent::Crossbar,
+                    noc_core::Axis::X,
+                ),
+            }],
+            abandoned_packets: 2,
         }
     }
 
@@ -309,6 +384,8 @@ mod tests {
         assert!(text.contains("blocked since cycle 410"));
         assert!(text.contains("1 blocked packets"));
         assert!(text.contains("not a deadlock"));
+        assert!(text.contains("cycle 405: fault Crossbar"));
+        assert!(text.contains("abandoned after retry budget: 2 packets"));
     }
 
     #[test]
@@ -323,6 +400,11 @@ mod tests {
         let credits =
             v.get("credit_map").unwrap().as_arr().unwrap()[0].get("credits").unwrap();
         assert_eq!(credits.as_arr().unwrap()[0].as_u64(), Some(0));
+        let timeline = v.get("fault_timeline").unwrap().as_arr().unwrap();
+        assert_eq!(timeline.len(), 1);
+        assert_eq!(timeline[0].get("action").unwrap().as_str(), Some("fault"));
+        assert_eq!(timeline[0].get("component").unwrap().as_str(), Some("Crossbar"));
+        assert_eq!(v.get("abandoned_packets").unwrap().as_u64(), Some(2));
     }
 
     #[test]

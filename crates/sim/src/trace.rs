@@ -3,9 +3,11 @@
 //! Attach a [`TraceSink`] to a [`crate::Simulation`] to receive every
 //! packet lifecycle event (generation, injection, per-hop link
 //! transfer, delivery, drop) as it happens — for debugging, replay, or
-//! export to external analysis tools.
+//! export to external analysis tools. Mid-run fault injections and
+//! repairs appear in the same stream as packet-less [`TraceEvent::Fault`]
+//! / [`TraceEvent::Repair`] markers.
 
-use noc_core::{Coord, Cycle, Direction, PacketId};
+use noc_core::{ComponentFault, Coord, Cycle, Direction, PacketId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -63,17 +65,37 @@ pub enum TraceEvent {
         /// Node that discarded it.
         node: Coord,
     },
+    /// A hardware fault struck `node` mid-run (§4).
+    Fault {
+        /// Event cycle.
+        cycle: Cycle,
+        /// Afflicted router.
+        node: Coord,
+        /// The injected component fault.
+        fault: ComponentFault,
+    },
+    /// A previously injected fault at `node` was repaired.
+    Repair {
+        /// Event cycle.
+        cycle: Cycle,
+        /// Recovering router.
+        node: Coord,
+        /// The fault that was repaired.
+        fault: ComponentFault,
+    },
 }
 
 impl TraceEvent {
-    /// The packet this event concerns.
-    pub fn packet(&self) -> PacketId {
+    /// The packet this event concerns (`None` for the packet-less
+    /// fault/repair markers).
+    pub fn packet(&self) -> Option<PacketId> {
         match *self {
             TraceEvent::Generated { packet, .. }
             | TraceEvent::Injected { packet, .. }
             | TraceEvent::Hop { packet, .. }
             | TraceEvent::Delivered { packet, .. }
-            | TraceEvent::Dropped { packet, .. } => packet,
+            | TraceEvent::Dropped { packet, .. } => Some(packet),
+            TraceEvent::Fault { .. } | TraceEvent::Repair { .. } => None,
         }
     }
 
@@ -84,7 +106,9 @@ impl TraceEvent {
             | TraceEvent::Injected { cycle, .. }
             | TraceEvent::Hop { cycle, .. }
             | TraceEvent::Delivered { cycle, .. }
-            | TraceEvent::Dropped { cycle, .. } => cycle,
+            | TraceEvent::Dropped { cycle, .. }
+            | TraceEvent::Fault { cycle, .. }
+            | TraceEvent::Repair { cycle, .. } => cycle,
         }
     }
 
@@ -106,6 +130,12 @@ impl TraceEvent {
             }
             TraceEvent::Dropped { cycle, packet, node } => {
                 format!("{cycle},dropped,{},{node},", packet.0)
+            }
+            TraceEvent::Fault { cycle, node, fault } => {
+                format!("{cycle},fault,,{node},{:?}", fault.component)
+            }
+            TraceEvent::Repair { cycle, node, fault } => {
+                format!("{cycle},repair,,{node},{:?}", fault.component)
             }
         }
     }
@@ -199,10 +229,14 @@ impl TraceEvent {
             TraceEvent::Hop { .. } => "hop",
             TraceEvent::Delivered { .. } => "delivered",
             TraceEvent::Dropped { .. } => "dropped",
+            TraceEvent::Fault { .. } => "fault",
+            TraceEvent::Repair { .. } => "repair",
         };
         crate::json::write_str(&mut out, kind);
-        crate::json::write_key(&mut out, &mut first, "packet");
-        let _ = write!(out, "{}", self.packet().0);
+        if let Some(packet) = self.packet() {
+            crate::json::write_key(&mut out, &mut first, "packet");
+            let _ = write!(out, "{}", packet.0);
+        }
         match *self {
             TraceEvent::Generated { src, dst, .. } => {
                 node(&mut out, &mut first, "src", src);
@@ -221,6 +255,12 @@ impl TraceEvent {
                 let _ = write!(out, "{latency}");
             }
             TraceEvent::Dropped { node: n, .. } => node(&mut out, &mut first, "node", n),
+            TraceEvent::Fault { node: n, fault, .. }
+            | TraceEvent::Repair { node: n, fault, .. } => {
+                node(&mut out, &mut first, "node", n);
+                crate::json::write_key(&mut out, &mut first, "component");
+                crate::json::write_str(&mut out, &format!("{:?}", fault.component));
+            }
         }
         out.push('}');
         out
@@ -265,6 +305,8 @@ impl<W: std::io::Write + fmt::Debug> TraceSink for JsonlTraceSink<W> {
 /// (interpreted as µs by the viewers — only relative scale matters).
 /// Packets still in flight when [`TraceSink::finish`] runs are closed
 /// at their last observed cycle so every `"b"` pairs with an `"e"`.
+/// Mid-run fault and repair events appear as `"i"` instant markers
+/// under `cat:"fault"`, so they line up against the packet tracks.
 #[derive(Debug)]
 pub struct PerfettoTraceSink<W: std::io::Write + fmt::Debug> {
     writer: W,
@@ -297,7 +339,15 @@ impl<W: std::io::Write + fmt::Debug> PerfettoTraceSink<W> {
         self.writer
     }
 
-    fn emit(&mut self, phase: &str, name: &str, id: u64, ts: Cycle, args: &[(&str, String)]) {
+    fn emit(
+        &mut self,
+        phase: &str,
+        cat: &str,
+        name: &str,
+        id: u64,
+        ts: Cycle,
+        args: &[(&str, String)],
+    ) {
         let mut line = String::with_capacity(128);
         if self.wrote_event {
             line.push(',');
@@ -308,7 +358,7 @@ impl<W: std::io::Write + fmt::Debug> PerfettoTraceSink<W> {
         crate::json::write_key(&mut line, &mut first, "ph");
         crate::json::write_str(&mut line, phase);
         crate::json::write_key(&mut line, &mut first, "cat");
-        crate::json::write_str(&mut line, "packet");
+        crate::json::write_str(&mut line, cat);
         crate::json::write_key(&mut line, &mut first, "name");
         crate::json::write_str(&mut line, name);
         crate::json::write_key(&mut line, &mut first, "id");
@@ -342,13 +392,14 @@ impl<W: std::io::Write + fmt::Debug> TraceSink for PerfettoTraceSink<W> {
         if self.finished {
             return;
         }
-        let id = event.packet().0;
         let cycle = event.cycle();
+        let id = event.packet().map_or(0, |p| p.0);
         let track = format!("pkt{id}");
         match event {
             TraceEvent::Generated { src, dst, .. } => {
                 self.emit(
                     "b",
+                    "packet",
                     &track,
                     id,
                     cycle,
@@ -357,12 +408,13 @@ impl<W: std::io::Write + fmt::Debug> TraceSink for PerfettoTraceSink<W> {
                 self.open.insert(id, cycle);
             }
             TraceEvent::Injected { node, .. } => {
-                self.emit("n", &track, id, cycle, &[("at", format!("inject {node}"))]);
+                self.emit("n", "packet", &track, id, cycle, &[("at", format!("inject {node}"))]);
                 self.open.entry(id).and_modify(|c| *c = cycle);
             }
             TraceEvent::Hop { seq, node, out, .. } => {
                 self.emit(
                     "n",
+                    "packet",
                     &track,
                     id,
                     cycle,
@@ -371,12 +423,34 @@ impl<W: std::io::Write + fmt::Debug> TraceSink for PerfettoTraceSink<W> {
                 self.open.entry(id).and_modify(|c| *c = cycle);
             }
             TraceEvent::Delivered { latency, .. } => {
-                self.emit("e", &track, id, cycle, &[("latency", latency.to_string())]);
+                self.emit("e", "packet", &track, id, cycle, &[("latency", latency.to_string())]);
                 self.open.remove(&id);
             }
             TraceEvent::Dropped { node, .. } => {
-                self.emit("e", &track, id, cycle, &[("dropped_at", node.to_string())]);
+                self.emit("e", "packet", &track, id, cycle, &[("dropped_at", node.to_string())]);
                 self.open.remove(&id);
+            }
+            TraceEvent::Fault { node, fault, .. } => {
+                // Global instant marker on its own category, so fault
+                // strikes line up visually against the packet tracks.
+                self.emit(
+                    "i",
+                    "fault",
+                    &format!("fault {node}"),
+                    0,
+                    cycle,
+                    &[("component", format!("{:?}", fault.component)), ("node", node.to_string())],
+                );
+            }
+            TraceEvent::Repair { node, fault, .. } => {
+                self.emit(
+                    "i",
+                    "fault",
+                    &format!("repair {node}"),
+                    0,
+                    cycle,
+                    &[("component", format!("{:?}", fault.component)), ("node", node.to_string())],
+                );
             }
         }
     }
@@ -391,6 +465,7 @@ impl<W: std::io::Write + fmt::Debug> TraceSink for PerfettoTraceSink<W> {
         for (id, last_cycle) in in_flight {
             self.emit(
                 "e",
+                "packet",
                 &format!("pkt{id}"),
                 id,
                 last_cycle,
@@ -424,8 +499,26 @@ mod tests {
             out: Direction::East,
         };
         assert_eq!(e.to_csv_line(), "9,hop,7,(1,0):2,E");
-        assert_eq!(e.packet(), PacketId(7));
+        assert_eq!(e.packet(), Some(PacketId(7)));
         assert_eq!(e.cycle(), 9);
+    }
+
+    #[test]
+    fn fault_events_render_without_a_packet() {
+        let fault = ComponentFault::new(
+            noc_core::FaultComponent::VaArbiter,
+            noc_core::Axis::X,
+        );
+        let e = TraceEvent::Fault { cycle: 42, node: Coord::new(1, 2), fault };
+        assert_eq!(e.packet(), None);
+        assert_eq!(e.cycle(), 42);
+        assert_eq!(e.to_csv_line(), "42,fault,,(1,2),VaArbiter");
+        let v = crate::json::Json::parse(&e.to_json_line()).expect("valid JSON");
+        assert_eq!(v.get("event").unwrap().as_str(), Some("fault"));
+        assert!(v.get("packet").is_none());
+        assert_eq!(v.get("component").unwrap().as_str(), Some("VaArbiter"));
+        let e = TraceEvent::Repair { cycle: 50, node: Coord::new(1, 2), fault };
+        assert_eq!(e.to_csv_line(), "50,repair,,(1,2),VaArbiter");
     }
 
     #[test]

@@ -43,6 +43,7 @@ fn assert_identical(a: &SimResults, b: &SimResults, what: &str) {
     );
     assert_eq!(a.stalled, b.stalled, "{what}: stalled");
     assert_eq!(a.postmortem.is_some(), b.postmortem.is_some(), "{what}: postmortem presence");
+    assert_eq!(a.recovery, b.recovery, "{what}: recovery stats");
 }
 
 fn both_kernels(cfg: SimConfig) -> (SimResults, SimResults) {
@@ -72,6 +73,35 @@ fn kernels_agree_under_faults() {
         c.stall_window = 2_000;
         let (r, o) = both_kernels(c);
         assert_identical(&r, &o, &format!("{router:?} with faults"));
+    }
+}
+
+#[test]
+fn kernels_agree_with_midrun_fault_schedules() {
+    use noc_core::{Axis, ComponentFault, Coord, FaultComponent};
+    use noc_fault::FaultSchedule;
+    for router in [RouterKind::RoCo, RouterKind::Generic, RouterKind::PathSensitive] {
+        for seed in [3u64, 0xBEEF] {
+            // A transient crossbar fault that heals mid-run plus a
+            // permanent buffer fault landing later: both kernels must
+            // walk the §4.1 handshake, purges and retransmissions in
+            // lockstep.
+            let mut schedule = FaultSchedule::none();
+            schedule.push_transient(
+                400,
+                Coord::new(1, 1),
+                ComponentFault::new(FaultComponent::Crossbar, Axis::X),
+                600,
+            );
+            schedule.push_permanent(900, Coord::new(2, 0), ComponentFault::buffer(Axis::Y, 1));
+            let mut c = cfg(router, 0.1)
+                .with_seed(seed)
+                .with_schedule(schedule)
+                .with_recovery(noc_sim::RecoveryConfig::default());
+            c.stall_window = 2_000;
+            let (r, o) = both_kernels(c);
+            assert_identical(&r, &o, &format!("{router:?} mid-run schedule seed {seed}"));
+        }
     }
 }
 

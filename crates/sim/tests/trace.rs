@@ -68,7 +68,7 @@ fn every_packet_has_a_complete_lifecycle() {
                 delivered.insert(*packet, *latency);
             }
             TraceEvent::Hop { packet, .. } => *hops.entry(*packet).or_default() += 1,
-            TraceEvent::Dropped { .. } => {}
+            TraceEvent::Dropped { .. } | TraceEvent::Fault { .. } | TraceEvent::Repair { .. } => {}
         }
     }
     assert_eq!(generated.len(), 220, "every generated packet traced");
@@ -93,8 +93,9 @@ fn events_are_causally_ordered_per_packet() {
             TraceEvent::Injected { .. } => 1,
             TraceEvent::Hop { .. } => 2,
             TraceEvent::Delivered { .. } | TraceEvent::Dropped { .. } => 3,
+            TraceEvent::Fault { .. } | TraceEvent::Repair { .. } => continue,
         };
-        let p = e.packet();
+        let p = e.packet().expect("packet lifecycle event");
         let prev = last_stage.insert(p, stage).unwrap_or(0);
         assert!(stage >= prev || stage == 2, "stage regression for {p}");
         let prev_cycle = last_cycle.insert(p, e.cycle()).unwrap_or(0);
