@@ -1,0 +1,60 @@
+//! Differential fuzz harness (ISSUE 4): random small configs under
+//! both cycle kernels with the invariant auditor on.
+//!
+//! Environment:
+//! - `NOC_FUZZ_ITERS` — number of cases (default 240).
+//! - `NOC_FUZZ_SEED`  — base seed (default `0x5EED_CAFE`).
+//!
+//! On failure the shrunk, copy-pasteable reproduction snippet is
+//! printed and written to `results/fuzz_repro_case<N>.txt`, and the
+//! process exits non-zero (CI uploads the repro as an artifact).
+
+use noc_bench::fuzz::{run_fuzz, DEFAULT_ITERS, DEFAULT_SEED};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .or_else(|_| u64::from_str_radix(v.trim().trim_start_matches("0x"), 16))
+            .unwrap_or_else(|_| panic!("{name} must be an integer, got {v:?}")),
+        Err(_) => default,
+    }
+}
+
+fn main() {
+    let iters = env_u64("NOC_FUZZ_ITERS", DEFAULT_ITERS);
+    let seed = env_u64("NOC_FUZZ_SEED", DEFAULT_SEED);
+    eprintln!("[fuzz] {iters} cases under base seed {seed:#x}");
+
+    let outcome = run_fuzz(iters, seed, |case| {
+        if (case + 1) % 20 == 0 {
+            eprintln!("[fuzz] {}/{iters} cases clean", case + 1);
+        }
+    });
+
+    match outcome.failure {
+        None => {
+            println!(
+                "fuzz: {} cases clean (audits passed, kernels digest-identical)",
+                outcome.cases_run
+            );
+        }
+        Some(failure) => {
+            let repro = failure.render_repro();
+            eprintln!("fuzz: case {} FAILED after shrinking:\n{repro}", failure.case);
+            let path = noc_bench::results_dir().join(format!(
+                "fuzz_repro_case{}.txt",
+                failure.case
+            ));
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            match std::fs::write(&path, &repro) {
+                Ok(()) => eprintln!("[wrote {}]", path.display()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            }
+            std::process::exit(1);
+        }
+    }
+}

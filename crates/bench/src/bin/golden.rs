@@ -1,0 +1,22 @@
+//! Golden regression corpus runner (ISSUE 4).
+//!
+//! Re-runs every scenario in `crates/bench/src/golden.rs` and diffs
+//! the results against the committed files under `goldens/`. Pending
+//! files are recorded; populated files gate. `--update` (or
+//! `NOC_GOLDEN_UPDATE=1`) regenerates the whole corpus for an
+//! intentional behaviour change.
+
+use noc_bench::golden::check_all;
+
+fn main() {
+    let update = std::env::args().any(|a| a == "--update")
+        || std::env::var("NOC_GOLDEN_UPDATE").is_ok_and(|v| v == "1");
+    if update {
+        eprintln!("[golden] regenerating the corpus (--update)");
+    }
+    let summary = check_all(update);
+    print!("{}", summary.render());
+    if summary.failed() {
+        std::process::exit(1);
+    }
+}

@@ -10,12 +10,20 @@
 //!
 //! Sizing follows `NOC_SCALE` (`quick` default); the report lands at
 //! `BENCH_sim_throughput.json` in the workspace root.
+//!
+//! The benchmark is also a **performance gate**: when the committed
+//! report has `status: "ok"`, the fresh run's optimized-kernel
+//! flit-hops/second are compared point-by-point against it and the
+//! process exits non-zero when the geometric-mean ratio drops below
+//! 0.90 (a >10% regression). `NOC_BENCH_GATE=0` disables the gate
+//! (the comparison is still printed); a `pending` baseline skips it.
 
 use noc_bench::Scale;
 use noc_core::{MeshConfig, RouterKind, RoutingKind};
-use noc_sim::json::{write_f64, write_key, write_str};
+use noc_sim::json::{write_f64, write_key, write_str, Json};
 use noc_sim::{KernelMode, SimConfig, SimResults};
 use noc_traffic::TrafficKind;
+use std::path::Path;
 use std::time::Instant;
 
 /// One measured kernel run.
@@ -37,55 +45,6 @@ struct Point {
     optimized: KernelRun,
 }
 
-/// FNV-1a over every result field, floats by bit pattern. Equal digests
-/// ⇔ (up to hash collision) bit-identical results; the benchmark also
-/// compares a few headline fields directly for a readable failure.
-fn digest(r: &SimResults) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |v: u64| {
-        for b in v.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        }
-    };
-    mix(r.cycles);
-    mix(r.generated_packets);
-    mix(r.injected_packets);
-    mix(r.measured_injected);
-    mix(r.delivered_packets);
-    mix(r.measured_delivered);
-    mix(r.dropped_packets);
-    mix(r.avg_latency.to_bits());
-    mix(r.max_latency);
-    mix(r.latency_p50);
-    mix(r.latency_p95);
-    mix(r.latency_p99);
-    mix(r.throughput.to_bits());
-    mix(r.counters.cycles);
-    mix(r.counters.rc_computations);
-    mix(r.counters.va_local_arbs);
-    mix(r.counters.va_global_arbs);
-    mix(r.counters.va_failures);
-    mix(r.counters.sa_local_arbs);
-    mix(r.counters.sa_global_arbs);
-    mix(r.counters.crossbar_traversals);
-    mix(r.counters.link_traversals);
-    mix(r.counters.buffer_writes);
-    mix(r.counters.buffer_reads);
-    mix(r.counters.credit_stall_cycles);
-    mix(r.counters.early_ejections);
-    mix(r.counters.blocked_packets);
-    mix(r.counters.occupancy_high_water);
-    mix(r.contention.x_requests);
-    mix(r.contention.x_blocked);
-    mix(r.contention.y_requests);
-    mix(r.contention.y_blocked);
-    mix(r.energy.total().to_bits());
-    mix(r.energy_per_packet.to_bits());
-    mix(r.stalled as u64);
-    h
-}
-
 fn time_kernel(cfg: &SimConfig, kernel: KernelMode) -> (SimResults, KernelRun) {
     let mut cfg = cfg.clone();
     cfg.kernel = kernel;
@@ -96,9 +55,38 @@ fn time_kernel(cfg: &SimConfig, kernel: KernelMode) -> (SimResults, KernelRun) {
         wall_s,
         cycles_per_s: results.cycles as f64 / wall_s,
         hops_per_s: results.counters.link_traversals as f64 / wall_s,
-        digest: digest(&results),
+        // The canonical digest (DESIGN.md §10); equal digests ⇔ (up to
+        // hash collision) bit-identical results.
+        digest: results.digest(),
     };
     (results, run)
+}
+
+/// The stable identity of a sweep point, used to match fresh runs
+/// against committed baseline runs.
+fn point_key(router: &str, mesh: &str, rate: f64) -> String {
+    format!("{router} {mesh} @{rate}")
+}
+
+/// Loads the committed report's optimized-kernel throughput per point.
+/// Returns `None` (gate skipped) when the file is absent, unparsable,
+/// or not a populated `status: "ok"` report.
+fn load_baseline(path: &Path) -> Option<Vec<(String, f64)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v = Json::parse(&text).ok()?;
+    if v.get("status")?.as_str()? != "ok" {
+        return None;
+    }
+    let mut out = Vec::new();
+    for run in v.get("runs")?.as_arr()? {
+        let key = point_key(
+            run.get("router")?.as_str()?,
+            run.get("mesh")?.as_str()?,
+            run.get("injection_rate")?.as_f64()?,
+        );
+        out.push((key, run.get("optimized")?.get("flit_hops_per_s")?.as_f64()?));
+    }
+    (!out.is_empty()).then_some(out)
 }
 
 fn main() {
@@ -175,11 +163,59 @@ fn main() {
     };
     println!("geomean speedup: {geomean_speedup:.2}x");
 
-    let json = render_json(scale_name, &points, geomean_speedup, mismatches);
     let path = noc_bench::results_dir()
         .parent()
         .map(|p| p.join("BENCH_sim_throughput.json"))
         .expect("results dir has a parent");
+
+    // Performance gate against the committed baseline — evaluated
+    // before the fresh report overwrites it.
+    let gate_enabled = std::env::var("NOC_BENCH_GATE").map(|v| v != "0").unwrap_or(true);
+    let mut regressed = false;
+    match load_baseline(&path) {
+        None => println!("perf gate: no populated baseline (status != \"ok\"); comparison skipped"),
+        Some(baseline) => {
+            let mut log_sum = 0.0f64;
+            let mut matched = 0u32;
+            for p in &points {
+                let key = point_key(
+                    &format!("{:?}", p.router),
+                    &format!("{}x{}", p.mesh.width, p.mesh.height),
+                    p.rate,
+                );
+                let Some((_, base_hops)) = baseline.iter().find(|(k, _)| *k == key) else {
+                    continue;
+                };
+                if *base_hops > 0.0 && p.optimized.hops_per_s > 0.0 {
+                    log_sum += (p.optimized.hops_per_s / base_hops).ln();
+                    matched += 1;
+                }
+            }
+            if matched == 0 {
+                println!("perf gate: no sweep points matched the baseline; comparison skipped");
+            } else {
+                let ratio = (log_sum / matched as f64).exp();
+                println!(
+                    "perf gate: geomean {:.3}x of committed throughput over {matched} matched point(s)",
+                    ratio
+                );
+                if ratio < 0.90 {
+                    if gate_enabled {
+                        regressed = true;
+                        eprintln!(
+                            "perf gate: >10% geomean throughput regression \
+                             (set NOC_BENCH_GATE=0 to bypass, or regenerate the baseline \
+                             and commit it if the slowdown is intentional)"
+                        );
+                    } else {
+                        eprintln!("perf gate: regression detected but NOC_BENCH_GATE=0");
+                    }
+                }
+            }
+        }
+    }
+
+    let json = render_json(scale_name, &points, geomean_speedup, mismatches);
     match std::fs::write(&path, json) {
         Ok(()) => eprintln!("[wrote {}]", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
@@ -187,6 +223,8 @@ fn main() {
 
     if mismatches > 0 {
         eprintln!("{mismatches} sweep point(s) diverged between kernels");
+    }
+    if mismatches > 0 || regressed {
         std::process::exit(1);
     }
 }

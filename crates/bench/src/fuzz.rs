@@ -1,0 +1,472 @@
+//! Differential fuzzing of the simulator (ISSUE 4).
+//!
+//! Each fuzz case draws a small random configuration — mesh size,
+//! router architecture, routing algorithm, traffic pattern, static
+//! and/or scheduled faults, optional end-to-end recovery — and runs it
+//! under **both** cycle kernels with the runtime invariant auditor
+//! enabled. A case passes when
+//!
+//! 1. the [`noc_sim::Auditor`] reports zero violations under either
+//!    kernel (flit conservation, credit books, VC legality, status
+//!    coherence),
+//! 2. the Reference and Optimized kernels produce bit-identical
+//!    [`SimResults::digest`]s, and
+//! 3. recovery accounting closes: on a cleanly drained run with
+//!    recovery enabled, every generated packet is either delivered or
+//!    abandoned.
+//!
+//! Failures are *shrunk* — the harness greedily simplifies the config
+//! (drop the fault schedule, drop static faults, drop recovery, shrink
+//! the mesh, shorten the run) while the failure persists — and rendered
+//! as a copy-pasteable Rust snippet so a failing case becomes a unit
+//! test in seconds.
+//!
+//! Everything is deterministic: case `i` under base seed `s` is always
+//! the same configuration, so a CI failure reproduces locally with
+//! `NOC_FUZZ_SEED=<s> NOC_FUZZ_ITERS=<i+1> cargo run --release -p
+//! noc-bench --bin fuzz`.
+
+use noc_core::{MeshConfig, RouterKind, RoutingKind};
+use noc_fault::{FaultAction, FaultCategory, FaultEvent, FaultPlan, FaultSchedule};
+use noc_sim::{AuditConfig, KernelMode, RecoveryConfig, SimConfig, SimResults, Simulation};
+use noc_traffic::TrafficKind;
+
+/// Default iteration count for a full fuzz run (ISSUE 4 acceptance:
+/// ≥ 200 configs across all three routers).
+pub const DEFAULT_ITERS: u64 = 240;
+
+/// Default base seed; override with `NOC_FUZZ_SEED`.
+pub const DEFAULT_SEED: u64 = 0x5EED_CAFE;
+
+/// splitmix64 — a dependency-free, statistically solid generator for
+/// drawing configuration parameters. (The simulation itself uses its
+/// own seeded RNGs; this one only *builds* configs.)
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// How a fuzz case perturbs the network, cycled deterministically so
+/// every run covers all modes regardless of the random draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultMode {
+    /// No faults at all (pure kernel-equivalence check).
+    None,
+    /// A static [`FaultPlan`] applied before cycle 0.
+    Static,
+    /// A mid-run [`FaultSchedule`] (MTBF-driven injections + repairs).
+    Dynamic,
+}
+
+/// The deterministic configuration for fuzz case `case` under
+/// `base_seed`.
+///
+/// Coverage is round-robin on the case index — router `case % 3`,
+/// fault mode `(case / 3) % 3`, recovery `(case / 9) % 2` — so the
+/// first 18 cases already cross every router with every fault mode and
+/// recovery setting; the remaining knobs (mesh, routing, traffic,
+/// load, seeds, fault details) are drawn from [`SplitMix64`].
+pub fn case_config(case: u64, base_seed: u64) -> SimConfig {
+    let mut rng = SplitMix64::new(base_seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let router = RouterKind::ALL[(case % 3) as usize];
+    let fault_mode = match (case / 3) % 3 {
+        0 => FaultMode::None,
+        1 => FaultMode::Static,
+        _ => FaultMode::Dynamic,
+    };
+    let recovery_on = (case / 9) % 2 == 1;
+
+    let routing = RoutingKind::ALL[rng.below(3) as usize];
+    let traffic = TrafficKind::ALL[rng.below(TrafficKind::ALL.len() as u64) as usize];
+    let (w, h) = [(3, 3), (4, 3), (4, 4), (5, 4)][rng.below(4) as usize];
+
+    let mut cfg = SimConfig::paper_scaled(router, routing, traffic);
+    cfg.mesh = MeshConfig::new(w, h);
+    cfg.injection_rate = 0.05 + rng.unit_f64() * 0.30;
+    cfg.warmup_packets = 10 + rng.below(40);
+    cfg.measured_packets = 60 + rng.below(240);
+    cfg.seed = rng.next_u64();
+    cfg.max_cycles = 40_000;
+    cfg.stall_window = 2_000;
+    cfg.handshake_latency = rng.below(8);
+    cfg.audit = Some(AuditConfig { interval: 1, max_recorded: 8 });
+
+    let category = if rng.below(2) == 0 {
+        FaultCategory::Isolating
+    } else {
+        FaultCategory::Recyclable
+    };
+    match fault_mode {
+        FaultMode::None => {}
+        FaultMode::Static => {
+            let count = 1 + rng.below(3) as usize;
+            cfg.faults = FaultPlan::random(category, count, cfg.mesh, rng.next_u64());
+        }
+        FaultMode::Dynamic => {
+            let repair = if rng.below(2) == 0 { Some(400 + rng.below(1_600)) } else { None };
+            let mtbf = 1_500.0 + rng.unit_f64() * 3_000.0;
+            cfg.schedule = FaultSchedule::random_mtbf(
+                category,
+                cfg.mesh,
+                mtbf,
+                repair,
+                10_000,
+                3,
+                rng.next_u64(),
+            );
+        }
+    }
+    if recovery_on {
+        cfg.recovery = Some(RecoveryConfig {
+            timeout: 200 + rng.below(400),
+            max_retries: 1 + rng.below(3) as u32,
+            backoff_cap: 2_000,
+        });
+    }
+    cfg
+}
+
+/// Runs `cfg` under both kernels and applies the three fuzz oracles.
+///
+/// Returns `Err(description)` on the first violated oracle; the
+/// description embeds the audit report / digests involved.
+pub fn check_config(cfg: &SimConfig) -> Result<(), String> {
+    let mut reference = cfg.clone();
+    reference.kernel = KernelMode::Reference;
+    let mut optimized = cfg.clone();
+    optimized.kernel = KernelMode::Optimized;
+    let r = Simulation::new(reference).run();
+    let o = Simulation::new(optimized).run();
+
+    for (kernel, res) in [("reference", &r), ("optimized", &o)] {
+        if let Some(report) = &res.audit {
+            if !report.clean() {
+                return Err(format!("{kernel} kernel audit violations:\n{}", report.render()));
+            }
+        } else {
+            return Err(format!("{kernel} kernel produced no audit report"));
+        }
+        if let Some(problem) = recovery_mismatch(cfg, res) {
+            return Err(format!("{kernel} kernel {problem}"));
+        }
+    }
+    if r.digest() != o.digest() {
+        return Err(format!(
+            "kernel divergence: reference digest {:#018x} != optimized digest {:#018x} \
+             (ref: {} delivered / {} dropped in {} cycles; opt: {} delivered / {} dropped in {} cycles)",
+            r.digest(),
+            o.digest(),
+            r.delivered_packets,
+            r.dropped_packets,
+            r.cycles,
+            o.delivered_packets,
+            o.dropped_packets,
+            o.cycles,
+        ));
+    }
+    Ok(())
+}
+
+/// The recovery-accounting oracle: on a cleanly drained run with
+/// recovery enabled, `delivered + abandoned == generated`.
+fn recovery_mismatch(cfg: &SimConfig, res: &SimResults) -> Option<String> {
+    let rec = res.recovery.as_ref()?;
+    cfg.recovery?;
+    let drained = !res.stalled && res.cycles < cfg.max_cycles;
+    if !drained {
+        return None;
+    }
+    let closed = res.delivered_packets + rec.abandoned_packets;
+    if closed != res.generated_packets {
+        return Some(format!(
+            "recovery accounting open: delivered {} + abandoned {} = {} != generated {}",
+            res.delivered_packets, rec.abandoned_packets, closed, res.generated_packets,
+        ));
+    }
+    None
+}
+
+/// A failing fuzz case, already shrunk.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// Index of the failing case under the run's base seed.
+    pub case: u64,
+    /// Base seed of the run.
+    pub base_seed: u64,
+    /// The shrunk configuration that still fails.
+    pub config: SimConfig,
+    /// The oracle's description of the (post-shrink) failure.
+    pub reason: String,
+}
+
+impl FuzzFailure {
+    /// The copy-pasteable Rust reproduction snippet for this failure.
+    pub fn render_repro(&self) -> String {
+        render_repro(self.case, self.base_seed, &self.config, &self.reason)
+    }
+}
+
+/// Outcome of a fuzz run: how many cases ran, and the first shrunk
+/// failure (if any).
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// Cases executed (stops at the first failure).
+    pub cases_run: u64,
+    /// The first failure, shrunk; `None` when every case passed.
+    pub failure: Option<FuzzFailure>,
+}
+
+impl FuzzOutcome {
+    /// `true` when every case passed.
+    pub fn clean(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Runs `iters` fuzz cases under `base_seed`, stopping (and shrinking)
+/// at the first failure. `progress` is called after each passing case
+/// with the case index.
+pub fn run_fuzz(iters: u64, base_seed: u64, mut progress: impl FnMut(u64)) -> FuzzOutcome {
+    for case in 0..iters {
+        let cfg = case_config(case, base_seed);
+        if let Err(reason) = check_config(&cfg) {
+            let (config, reason) = shrink(&cfg, reason);
+            return FuzzOutcome {
+                cases_run: case + 1,
+                failure: Some(FuzzFailure { case, base_seed, config, reason }),
+            };
+        }
+        progress(case);
+    }
+    FuzzOutcome { cases_run: iters, failure: None }
+}
+
+/// Greedily shrinks a failing configuration.
+///
+/// Transforms are tried in order — drop the fault schedule, drop static
+/// faults, drop recovery, shrink the mesh to 3×3, shorten the run,
+/// simplify traffic/routing, zero the handshake latency — and each is
+/// kept only when the shrunk config *still fails*. The loop restarts
+/// after every accepted shrink and stops at a fixpoint or after a
+/// bounded number of re-runs.
+pub fn shrink(cfg: &SimConfig, reason: String) -> (SimConfig, String) {
+    let transforms: &[fn(&SimConfig) -> Option<SimConfig>] = &[
+        |c| {
+            (!c.schedule.is_empty()).then(|| {
+                let mut d = c.clone();
+                d.schedule = FaultSchedule::none();
+                d
+            })
+        },
+        |c| {
+            (!c.faults.is_empty()).then(|| {
+                let mut d = c.clone();
+                d.faults = FaultPlan::none();
+                d
+            })
+        },
+        |c| {
+            c.recovery.is_some().then(|| {
+                let mut d = c.clone();
+                d.recovery = None;
+                d
+            })
+        },
+        |c| {
+            (c.mesh.nodes() > 9).then(|| {
+                let mut d = c.clone();
+                d.mesh = MeshConfig::new(3, 3);
+                // Retarget fault sites: keep only those still on the mesh.
+                d.faults.faults.retain(|(site, _)| site.x < 3 && site.y < 3);
+                let kept: Vec<FaultEvent> = d
+                    .schedule
+                    .events()
+                    .iter()
+                    .copied()
+                    .filter(|e| e.site.x < 3 && e.site.y < 3)
+                    .collect();
+                d.schedule = FaultSchedule::none();
+                for e in kept {
+                    d.schedule.push(e);
+                }
+                d
+            })
+        },
+        |c| {
+            (c.measured_packets > 40).then(|| {
+                let mut d = c.clone();
+                d.measured_packets = (d.measured_packets / 2).max(40);
+                d.warmup_packets = 0;
+                d
+            })
+        },
+        |c| {
+            (c.traffic != TrafficKind::Uniform).then(|| {
+                let mut d = c.clone();
+                d.traffic = TrafficKind::Uniform;
+                d
+            })
+        },
+        |c| {
+            (c.routing != RoutingKind::Xy).then(|| {
+                let mut d = c.clone();
+                d.routing = RoutingKind::Xy;
+                d
+            })
+        },
+        |c| {
+            (c.handshake_latency != 0).then(|| {
+                let mut d = c.clone();
+                d.handshake_latency = 0;
+                d
+            })
+        },
+    ];
+
+    let mut best = cfg.clone();
+    let mut best_reason = reason;
+    let mut budget: u32 = 32;
+    'outer: loop {
+        for t in transforms {
+            if budget == 0 {
+                break 'outer;
+            }
+            let Some(candidate) = t(&best) else { continue };
+            budget -= 1;
+            if let Err(new_reason) = check_config(&candidate) {
+                best = candidate;
+                best_reason = new_reason;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (best, best_reason)
+}
+
+/// Renders a failing config as a copy-pasteable Rust snippet.
+pub fn render_repro(case: u64, base_seed: u64, cfg: &SimConfig, reason: &str) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "// Fuzz failure: case {case} under base seed {base_seed:#x}.\n\
+         // Re-run with: NOC_FUZZ_SEED={base_seed} NOC_FUZZ_ITERS={} \\\n\
+         //     cargo run --release -p noc-bench --bin fuzz\n//\n",
+        case + 1
+    ));
+    for line in reason.lines() {
+        s.push_str(&format!("// {line}\n"));
+    }
+    s.push_str(&format!(
+        "let mut cfg = SimConfig::paper_scaled(\n    RouterKind::{:?},\n    RoutingKind::{:?},\n    TrafficKind::{:?},\n);\n",
+        cfg.router, cfg.routing, cfg.traffic
+    ));
+    s.push_str(&format!("cfg.mesh = MeshConfig::new({}, {});\n", cfg.mesh.width, cfg.mesh.height));
+    s.push_str(&format!("cfg.injection_rate = {:?};\n", cfg.injection_rate));
+    s.push_str(&format!("cfg.warmup_packets = {};\n", cfg.warmup_packets));
+    s.push_str(&format!("cfg.measured_packets = {};\n", cfg.measured_packets));
+    s.push_str(&format!("cfg.seed = {:#018x};\n", cfg.seed));
+    s.push_str(&format!("cfg.max_cycles = {};\n", cfg.max_cycles));
+    s.push_str(&format!("cfg.stall_window = {};\n", cfg.stall_window));
+    s.push_str(&format!("cfg.handshake_latency = {};\n", cfg.handshake_latency));
+    s.push_str("cfg.audit = Some(AuditConfig { interval: 1, max_recorded: 8 });\n");
+    for (site, fault) in &cfg.faults.faults {
+        s.push_str(&format!(
+            "cfg.faults.faults.push((Coord::new({}, {}), {}));\n",
+            site.x,
+            site.y,
+            fault_expr(fault)
+        ));
+    }
+    for e in cfg.schedule.events() {
+        let action = match e.action {
+            FaultAction::Inject(f) => format!("FaultAction::Inject({})", fault_expr(&f)),
+            FaultAction::Repair(f) => format!("FaultAction::Repair({})", fault_expr(&f)),
+        };
+        s.push_str(&format!(
+            "cfg.schedule.push(FaultEvent {{ cycle: {}, site: Coord::new({}, {}), action: {} }});\n",
+            e.cycle, e.site.x, e.site.y, action
+        ));
+    }
+    if let Some(rec) = cfg.recovery {
+        s.push_str(&format!(
+            "cfg.recovery = Some(RecoveryConfig {{ timeout: {}, max_retries: {}, backoff_cap: {} }});\n",
+            rec.timeout, rec.max_retries, rec.backoff_cap
+        ));
+    }
+    s.push_str("// Run under both kernels; compare digests and inspect results.audit.\n");
+    s
+}
+
+/// Renders a [`noc_core::ComponentFault`] as a Rust expression.
+fn fault_expr(f: &noc_core::ComponentFault) -> String {
+    format!(
+        "ComponentFault {{ component: FaultComponent::{:?}, axis: Axis::{:?}, vc: {} }}",
+        f.component, f.axis, f.vc
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_generation_is_deterministic() {
+        for case in [0, 7, 23] {
+            assert_eq!(case_config(case, DEFAULT_SEED), case_config(case, DEFAULT_SEED));
+        }
+        assert_ne!(case_config(0, DEFAULT_SEED).seed, case_config(1, DEFAULT_SEED).seed);
+    }
+
+    #[test]
+    fn round_robin_covers_every_router_and_fault_mode() {
+        let mut saw_faults = false;
+        let mut saw_schedule = false;
+        let mut saw_recovery = false;
+        let mut routers = std::collections::HashSet::new();
+        for case in 0..18 {
+            let cfg = case_config(case, DEFAULT_SEED);
+            routers.insert(cfg.router);
+            saw_faults |= !cfg.faults.is_empty();
+            saw_schedule |= !cfg.schedule.is_empty();
+            saw_recovery |= cfg.recovery.is_some();
+        }
+        assert_eq!(routers.len(), 3);
+        assert!(saw_faults && saw_schedule && saw_recovery);
+    }
+
+    #[test]
+    fn repro_snippet_mentions_every_knob() {
+        let cfg = case_config(14, DEFAULT_SEED);
+        let text = render_repro(14, DEFAULT_SEED, &cfg, "synthetic reason");
+        assert!(text.contains("SimConfig::paper_scaled"));
+        assert!(text.contains("cfg.seed ="));
+        assert!(text.contains("synthetic reason"));
+        if !cfg.schedule.is_empty() {
+            assert!(text.contains("cfg.schedule.push"));
+        }
+    }
+}

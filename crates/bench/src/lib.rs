@@ -16,6 +16,8 @@
 
 pub mod campaign;
 pub mod experiments;
+pub mod fuzz;
+pub mod golden;
 pub mod plot;
 
 use noc_sim::{SimConfig, SimResults};

@@ -1,0 +1,15 @@
+//! Smoke test for the differential fuzz harness: a handful of cases
+//! spanning all three routers must pass the audit + kernel-equivalence
+//! oracles. The full run lives in CI (`NOC_FUZZ_ITERS=240`).
+
+use noc_bench::fuzz::{run_fuzz, DEFAULT_SEED};
+
+#[test]
+fn first_fuzz_cases_are_clean() {
+    // Cases 0..6 cover every router under the none/static fault modes.
+    let outcome = run_fuzz(6, DEFAULT_SEED, |_| {});
+    if let Some(failure) = &outcome.failure {
+        panic!("fuzz case {} failed:\n{}", failure.case, failure.render_repro());
+    }
+    assert_eq!(outcome.cases_run, 6);
+}

@@ -1,5 +1,5 @@
 //! The `noc` subcommands: `run`, `sweep`, `fault`, `campaign`,
-//! `timeline`, `info`.
+//! `timeline`, `audit`, `golden`, `info`.
 
 use crate::{parse_mesh, parse_rates, parse_router, parse_routing, parse_traffic, ArgError, Args};
 use noc_bench::campaign::{run_campaign, CampaignConfig};
@@ -36,6 +36,11 @@ USAGE:
   noc timeline [--router R] [--routing A] [--traffic T] [--rate F] [--mesh WxH]
             [--packets N] [--warmup N] [--seed N] [--sample-window N]
   noc thermal [--router R] [--routing A] [--traffic T] [--rate F] [--packets N]
+  noc audit [--router R] [--routing A] [--traffic T] [--rate F] [--mesh WxH]
+            [--packets N] [--warmup N] [--seed N] [--kernel optimized|reference]
+            [--interval N] [--faults N] [--category critical|recyclable]
+            [--recovery true]
+  noc golden [--update true]
   noc info
 
 VALUES:
@@ -466,6 +471,60 @@ pub fn cmd_campaign(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// `noc audit`: one simulation with the runtime invariant auditor
+/// enabled every `--interval` cycles; prints the audit report and
+/// exits non-zero when any invariant fired.
+pub fn cmd_audit(args: &Args) -> Result<String, ArgError> {
+    let unknown = args.unknown_flags(&[
+        "router", "routing", "traffic", "rate", "mesh", "packets", "warmup", "seed", "kernel",
+        "interval", "faults", "category", "recovery",
+    ]);
+    if !unknown.is_empty() {
+        return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
+    }
+    let mut cfg = base_config(args)?;
+    cfg.audit = Some(noc_sim::AuditConfig {
+        interval: args.get_or("interval", 1u64)?.max(1),
+        max_recorded: 16,
+    });
+    let count: usize = args.get_or("faults", 0usize)?;
+    if count > 0 {
+        cfg.faults =
+            FaultPlan::random(parse_category(args, "recyclable")?, count, cfg.mesh, cfg.seed ^ 0xFA);
+        cfg.stall_window = 5_000;
+    }
+    if args.get_or("recovery", false)? {
+        cfg.recovery = Some(RecoveryConfig::default());
+    }
+    let label = format!(
+        "audit: {} router, {} routing, {} traffic @ {} flits/node/cycle on {}x{}",
+        cfg.router, cfg.routing, cfg.traffic, cfg.injection_rate, cfg.mesh.width, cfg.mesh.height
+    );
+    let r = noc_sim::run(cfg);
+    let report = r.audit.as_ref().expect("audit was enabled");
+    if !report.clean() {
+        return Err(ArgError(format!("invariant violations detected\n{}", report.render())));
+    }
+    Ok(format!("{label}\n{}{}", summarize(&r), report.render()))
+}
+
+/// `noc golden`: the golden regression corpus — re-runs every
+/// committed scenario and diffs digests and headline statistics;
+/// `--update true` regenerates the corpus after an intentional change.
+pub fn cmd_golden(args: &Args) -> Result<String, ArgError> {
+    let unknown = args.unknown_flags(&["update"]);
+    if !unknown.is_empty() {
+        return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
+    }
+    let update: bool = args.get_or("update", false)?;
+    let summary = noc_bench::golden::check_all(update);
+    let rendered = summary.render();
+    if summary.failed() {
+        return Err(ArgError(format!("golden corpus drift\n{rendered}")));
+    }
+    Ok(rendered)
+}
+
 /// `noc thermal`: simulate, derive per-tile power, solve the
 /// steady-state temperature field and print its heatmap.
 pub fn cmd_thermal(args: &Args) -> Result<String, ArgError> {
@@ -536,6 +595,8 @@ pub fn dispatch(args: &Args) -> Result<String, ArgError> {
         Some("fault") => cmd_fault(args),
         Some("campaign") => cmd_campaign(args),
         Some("timeline") => cmd_timeline(args),
+        Some("audit") => cmd_audit(args),
+        Some("golden") => cmd_golden(args),
         Some("thermal") => cmd_thermal(args),
         Some("info") => Ok(cmd_info()),
         Some("help") | None => Ok(USAGE.to_string()),
@@ -609,6 +670,19 @@ mod tests {
         let second = std::fs::read_to_string(&path).unwrap();
         assert_eq!(first, second, "campaign JSON must be deterministic per seed");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn audit_passes_on_clean_and_faulted_runs() {
+        let out =
+            dispatch(&parse("audit --mesh 4x4 --packets 300 --warmup 30 --rate 0.15")).unwrap();
+        assert!(out.contains("0 violation(s)"), "{out}");
+        let out = dispatch(&parse(
+            "audit --mesh 4x4 --packets 300 --warmup 30 --rate 0.15 --faults 2 \
+             --category recyclable --recovery true --interval 2",
+        ))
+        .unwrap();
+        assert!(out.contains("0 violation(s)"), "{out}");
     }
 
     #[test]

@@ -38,6 +38,18 @@ impl AnyRouter {
             AnyRouter::RoCo(r) => r.connect_output(dir, descs),
         }
     }
+
+    /// Mutable access to the shared engine, for mutation-style negative
+    /// tests that deliberately corrupt flow-control state to prove the
+    /// audit layer notices. Never call this from simulation code.
+    #[doc(hidden)]
+    pub fn test_core_mut(&mut self) -> &mut crate::engine::RouterCore {
+        match self {
+            AnyRouter::Generic(r) => r.test_core_mut(),
+            AnyRouter::PathSensitive(r) => r.test_core_mut(),
+            AnyRouter::RoCo(r) => r.test_core_mut(),
+        }
+    }
 }
 
 macro_rules! dispatch {
@@ -129,5 +141,9 @@ impl RouterNode for AnyRouter {
 
     fn credit_map(&self) -> Vec<(Direction, Vec<u8>)> {
         dispatch!(self, r => r.credit_map())
+    }
+
+    fn audit_probe(&self) -> noc_core::AuditProbe {
+        dispatch!(self, r => r.audit_probe())
     }
 }

@@ -12,9 +12,9 @@
 
 use noc_arbiter::RoundRobinArbiter;
 use noc_core::{
-    ActivityCounters, Axis, ContentionCounters, Coord, Cycle, Direction, Flit, ModuleHealth,
-    NodeStatus, PacketId, RouterConfig, RouterOutputs, StepContext, VcDescriptor, VcPhase,
-    VcRequest, VcSnapshot, EJECT_VC,
+    ActivityCounters, AuditProbe, Axis, ContentionCounters, Coord, CreditBook, Cycle, Direction,
+    Flit, LatchedFlit, ModuleHealth, NodeStatus, PacketId, RouterConfig, RouterOutputs,
+    StepContext, VcAudit, VcDescriptor, VcPhase, VcRequest, VcSnapshot, EJECT_VC,
 };
 use noc_routing::{quadrant_mask, RouteComputer};
 use std::collections::VecDeque;
@@ -610,6 +610,77 @@ impl RouterCore {
                 }
             })
             .collect()
+    }
+
+    /// A complete audit snapshot of the shared engine's flow-control
+    /// state (see [`noc_core::RouterNode::audit_probe`]).
+    pub fn audit_probe(&self) -> AuditProbe {
+        let vcs = self
+            .vcs
+            .iter()
+            .map(|vc| {
+                let (phase, active_out, active_dvc) = match vc.state {
+                    VcState::Idle => {
+                        let phase =
+                            if vc.queue.is_empty() { VcPhase::Idle } else { VcPhase::Routing };
+                        (phase, None, None)
+                    }
+                    VcState::RoutePending { .. } => (VcPhase::Routing, None, None),
+                    VcState::WaitingVa { .. } => (VcPhase::WaitingVa, None, None),
+                    VcState::Blocked { .. } => (VcPhase::Blocked, None, None),
+                    VcState::Active { out, dvc, .. } => (VcPhase::Active, Some(out), Some(dvc)),
+                };
+                VcAudit {
+                    input_side: vc.input_side,
+                    link_index: vc.link_index,
+                    queue_len: vc.queue.len(),
+                    poison_queued: vc.queue.iter().filter(|f| f.poison).count(),
+                    head_is_head_kind: vc.queue.front().map(|f| f.kind.is_head()),
+                    capacity: vc.desc.capacity,
+                    nominal_capacity: vc.nominal_capacity,
+                    disabled: vc.disabled,
+                    dropping: vc.dropping,
+                    phase,
+                    active_out,
+                    active_dvc,
+                }
+            })
+            .collect();
+        let outputs = std::array::from_fn(|d| {
+            self.outputs[d]
+                .as_ref()
+                .map(|p| {
+                    p.vcs
+                        .iter()
+                        .map(|v| CreditBook {
+                            credits: v.credits,
+                            capacity: v.desc.capacity,
+                            free: v.free,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default()
+        });
+        let latched = self
+            .st_latch
+            .iter()
+            .map(|(out, dvc, f)| LatchedFlit {
+                out: *out,
+                dvc: *dvc,
+                packet: f.packet.0,
+                is_tail: f.kind.is_tail(),
+                poison: f.poison,
+            })
+            .collect();
+        let pending_credits = self.pending_credits.iter().map(|&(side, c)| (side, c.vc)).collect();
+        AuditProbe {
+            vcs,
+            outputs,
+            latched,
+            pending_credits,
+            pending_ejects: self.pending_ejects.len(),
+            pending_drops: self.pending_drops.len(),
+        }
     }
 
     /// Remaining credits per downstream VC on each wired mesh output

@@ -58,6 +58,14 @@ impl GenericRouter {
     pub fn connect_output(&mut self, dir: Direction, descs: &[VcDescriptor]) {
         self.core.connect_output(dir, descs);
     }
+
+    /// Mutable access to the shared engine, for mutation-style negative
+    /// tests that deliberately corrupt flow-control state to prove the
+    /// audit layer notices. Never call this from simulation code.
+    #[doc(hidden)]
+    pub fn test_core_mut(&mut self) -> &mut RouterCore {
+        &mut self.core
+    }
 }
 
 impl RouterNode for GenericRouter {
@@ -192,5 +200,9 @@ impl RouterNode for GenericRouter {
 
     fn credit_map(&self) -> Vec<(Direction, Vec<u8>)> {
         self.core.credit_map()
+    }
+
+    fn audit_probe(&self) -> noc_core::AuditProbe {
+        self.core.audit_probe()
     }
 }

@@ -86,6 +86,14 @@ impl PathSensitiveRouter {
     pub fn connect_output(&mut self, dir: Direction, descs: &[VcDescriptor]) {
         self.core.connect_output(dir, descs);
     }
+
+    /// Mutable access to the shared engine, for mutation-style negative
+    /// tests that deliberately corrupt flow-control state to prove the
+    /// audit layer notices. Never call this from simulation code.
+    #[doc(hidden)]
+    pub fn test_core_mut(&mut self) -> &mut RouterCore {
+        &mut self.core
+    }
 }
 
 impl RouterNode for PathSensitiveRouter {
@@ -209,6 +217,10 @@ impl RouterNode for PathSensitiveRouter {
 
     fn credit_map(&self) -> Vec<(Direction, Vec<u8>)> {
         self.core.credit_map()
+    }
+
+    fn audit_probe(&self) -> noc_core::AuditProbe {
+        self.core.audit_probe()
     }
 }
 

@@ -140,6 +140,14 @@ impl RocoRouter {
         self.core.connect_output(dir, descs);
     }
 
+    /// Mutable access to the shared engine, for mutation-style negative
+    /// tests that deliberately corrupt flow-control state to prove the
+    /// audit layer notices. Never call this from simulation code.
+    #[doc(hidden)]
+    pub fn test_core_mut(&mut self) -> &mut RouterCore {
+        &mut self.core
+    }
+
     /// Lifetime flit writes per Table-1 buffer class — quantifies the
     /// §3.1 utilization claims (e.g. "the injection channel Injxy is
     /// much more frequently used than Injyx" under XY routing).
@@ -366,5 +374,9 @@ impl RouterNode for RocoRouter {
 
     fn credit_map(&self) -> Vec<(Direction, Vec<u8>)> {
         self.core.credit_map()
+    }
+
+    fn audit_probe(&self) -> noc_core::AuditProbe {
+        self.core.audit_probe()
     }
 }

@@ -44,5 +44,5 @@ pub use node::{
     ComponentFault, FaultComponent, ModuleHealth, NodeStatus, RouterNode, RouterOutputs,
     StepContext, EJECT_VC,
 };
-pub use probe::{VcPhase, VcSnapshot};
+pub use probe::{AuditProbe, CreditBook, LatchedFlit, VcAudit, VcPhase, VcSnapshot};
 pub use vc::{Credit, TurnFilter, VcAdmission, VcClass, VcDescriptor, VcRef, VcRequest};

@@ -12,7 +12,7 @@ use crate::config::RouterConfig;
 use crate::counters::{ActivityCounters, ContentionCounters};
 use crate::flit::{Cycle, Flit};
 use crate::geometry::{Axis, Coord, Direction};
-use crate::probe::VcSnapshot;
+use crate::probe::{AuditProbe, VcSnapshot};
 use crate::vc::{Credit, VcDescriptor};
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
@@ -269,6 +269,11 @@ pub trait RouterNode {
     /// Remaining credits per downstream VC, keyed by output direction.
     /// Only mesh outputs that physically exist on this router appear.
     fn credit_map(&self) -> Vec<(Direction, Vec<u8>)>;
+
+    /// A complete audit snapshot (credit books, VC states, latched
+    /// flits) for the runtime invariant checker. Called only when
+    /// auditing is enabled.
+    fn audit_probe(&self) -> AuditProbe;
 }
 
 /// The six fundamental router components of §4.1's fault model.

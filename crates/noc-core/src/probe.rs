@@ -71,6 +71,86 @@ pub struct VcSnapshot {
     pub disabled: bool,
 }
 
+/// Audit-grade snapshot of one input virtual channel: everything the
+/// runtime invariant checker needs that [`VcSnapshot`] does not carry
+/// (capacities, poison counts, the dropping latch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VcAudit {
+    /// The input side the VC sits on (`Local` for injection VCs).
+    pub input_side: Direction,
+    /// The VC's index on that input link (its credit id).
+    pub link_index: u8,
+    /// Flits currently buffered.
+    pub queue_len: usize,
+    /// Buffered poison tails (emergency control flits that may
+    /// transiently exceed the credited capacity).
+    pub poison_queued: usize,
+    /// Whether the flit at the front of the buffer is a head flit.
+    pub head_is_head_kind: Option<bool>,
+    /// Current (possibly fault-reduced) buffer capacity.
+    pub capacity: u8,
+    /// The fault-free capacity the VC was built with.
+    pub nominal_capacity: u8,
+    /// Taken out of service by a buffer fault.
+    pub disabled: bool,
+    /// Discarding the remainder of a dropped packet.
+    pub dropping: bool,
+    /// Current pipeline phase.
+    pub phase: VcPhase,
+    /// Output direction held by an `Active` stream.
+    pub active_out: Option<Direction>,
+    /// Downstream VC held by an `Active` stream
+    /// ([`crate::node::EJECT_VC`] denotes ejection).
+    pub active_dvc: Option<u8>,
+}
+
+/// The sender-side credit book for one downstream input VC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CreditBook {
+    /// Free downstream slots this router believes it may still use.
+    pub credits: u8,
+    /// The downstream VC's capacity as last published (§4.1 handshake).
+    pub capacity: u8,
+    /// Whether the downstream VC is free for allocation to a new packet.
+    pub free: bool,
+}
+
+/// One flit sitting in the switch-traversal latch, awaiting emission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatchedFlit {
+    /// Output direction the flit leaves through.
+    pub out: Direction,
+    /// Downstream VC index (or [`crate::node::EJECT_VC`]).
+    pub dvc: u8,
+    /// Raw packet id (`u64::MAX` for sentinel poison tails).
+    pub packet: u64,
+    /// Whether the flit is a tail (closes its wormhole).
+    pub is_tail: bool,
+    /// Whether the flit is a poison tail (§4.1 abort marker).
+    pub poison: bool,
+}
+
+/// A complete audit snapshot of one router, consumed by the simulator's
+/// invariant checker ([`crate::node::RouterNode::audit_probe`]). Built
+/// only when auditing is enabled; the hot path never allocates it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditProbe {
+    /// Every input VC's audit state.
+    pub vcs: Vec<VcAudit>,
+    /// Credit books per mesh output (indexed by
+    /// [`Direction::index`]; empty at unwired mesh edges).
+    pub outputs: [Vec<CreditBook>; 4],
+    /// Flits latched for switch traversal this cycle.
+    pub latched: Vec<LatchedFlit>,
+    /// Credits awaiting emission: `(input side they leave through,
+    /// downstream VC index)`.
+    pub pending_credits: Vec<(Direction, u8)>,
+    /// Early-ejected flits awaiting delivery to the PE.
+    pub pending_ejects: usize,
+    /// Fault-dropped flits awaiting emission.
+    pub pending_drops: usize,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

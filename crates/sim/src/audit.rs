@@ -1,0 +1,1447 @@
+//! Runtime invariant auditing (the simulation audit layer).
+//!
+//! When [`crate::SimConfig::audit`] is set, an [`Auditor`] rides inside
+//! every [`crate::Simulation::step`] and checks that the simulator's
+//! flow-control and accounting machinery never drifts from the
+//! protocol it claims to implement:
+//!
+//! * **Flit conservation** — every generated packet is eventually
+//!   delivered, dropped, or abandoned, exactly once; no packet is
+//!   delivered twice and no event references a packet that was never
+//!   generated. Poison tails and recovery retransmissions are folded
+//!   into the ledger (a retried packet may fragment several times but
+//!   resolves exactly once).
+//! * **Credit-book consistency** — for every link and VC, the sender's
+//!   credit counter equals the downstream capacity minus the flits and
+//!   credits provably in the pipeline (switch latch, link, receiver
+//!   buffer, pending and in-flight credits). Links touched by a mid-run
+//!   fault or repair are *tainted* — §4.1 deliberately lets the books
+//!   desynchronise until the availability republication and clamps heal
+//!   them — and only re-checked exactly once the link is fully at rest.
+//! * **VC state-machine legality** — heads open streams, bodies and
+//!   tails continue them in sequence order, nothing interleaves within
+//!   a link VC (Early Ejection transfers excepted, which are per-flit),
+//!   every `Active` stream holds a downstream VC that is marked
+//!   non-free, no two streams hold the same downstream VC, and buffers
+//!   never exceed their nominal capacity (poison tails excepted).
+//! * **Fault-status coherence** — no non-poison flit is emitted toward
+//!   a node whose *published* status is dead, once the §4.1
+//!   republication that published it is more than the one-cycle
+//!   switch-latch grace old.
+//! * **Quiescence / accounting** — under the `Optimized` kernel a
+//!   router off the wake-set is provably quiescent, and the incremental
+//!   occupancy/source totals match a from-scratch re-derivation (the
+//!   release-mode version of the kernel's debug assertions).
+//!
+//! Violations are recorded as structured [`AuditViolation`]s (cycle,
+//! router, link/VC, packet, post-mortem-style detail) and surfaced in
+//! [`crate::SimResults::audit`]; the differential fuzz harness and the
+//! `noc audit` CLI subcommand both gate on [`AuditReport::clean`].
+
+use crate::config::{AuditConfig, KernelMode};
+use crate::network::Simulation;
+use noc_core::{AuditProbe, Coord, Cycle, Direction, Flit, NodeStatus, RouterNode, EJECT_VC};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// The invariant families the auditor distinguishes. Mutation-style
+/// negative tests assert that a seeded corruption is reported under the
+/// exact kind it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AuditKind {
+    /// A packet was lost, duplicated, or resolved inconsistently.
+    Conservation,
+    /// A sender's credit counter disagrees with the derived number of
+    /// outstanding flits on a healthy link.
+    CreditBook,
+    /// Head/body/tail ordering was broken on a link VC.
+    StreamOrder,
+    /// A router's VC or allocation state is illegal.
+    VcState,
+    /// A flit was emitted toward a node published as dead.
+    StatusCoherence,
+    /// A non-quiescent router was left off the wake-set.
+    Quiescence,
+    /// The incremental statistics diverged from a re-derivation.
+    Accounting,
+}
+
+impl AuditKind {
+    /// Every kind, in reporting order.
+    pub const ALL: [AuditKind; 7] = [
+        AuditKind::Conservation,
+        AuditKind::CreditBook,
+        AuditKind::StreamOrder,
+        AuditKind::VcState,
+        AuditKind::StatusCoherence,
+        AuditKind::Quiescence,
+        AuditKind::Accounting,
+    ];
+
+    /// Stable index into per-kind count arrays.
+    fn index(self) -> usize {
+        match self {
+            AuditKind::Conservation => 0,
+            AuditKind::CreditBook => 1,
+            AuditKind::StreamOrder => 2,
+            AuditKind::VcState => 3,
+            AuditKind::StatusCoherence => 4,
+            AuditKind::Quiescence => 5,
+            AuditKind::Accounting => 6,
+        }
+    }
+
+    /// Short lower-case label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AuditKind::Conservation => "conservation",
+            AuditKind::CreditBook => "credit-book",
+            AuditKind::StreamOrder => "stream-order",
+            AuditKind::VcState => "vc-state",
+            AuditKind::StatusCoherence => "status-coherence",
+            AuditKind::Quiescence => "quiescence",
+            AuditKind::Accounting => "accounting",
+        }
+    }
+}
+
+/// One detected invariant violation, with enough context to start a
+/// post-mortem without re-running the simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditViolation {
+    /// Cycle the violation was detected at.
+    pub cycle: Cycle,
+    /// Which invariant family was broken.
+    pub kind: AuditKind,
+    /// The router the violation localises to, when it does.
+    pub node: Option<Coord>,
+    /// The link (output direction at `node`) involved, when one is.
+    pub link: Option<Direction>,
+    /// The VC index involved, when one is.
+    pub vc: Option<u8>,
+    /// The packet id involved, when one is.
+    pub packet: Option<u64>,
+    /// Human-readable context dump (expected vs observed).
+    pub detail: String,
+}
+
+impl AuditViolation {
+    /// One-line rendering for logs and the CLI.
+    pub fn render_line(&self) -> String {
+        let mut line = format!("cycle {:>8}  [{}]", self.cycle, self.kind.label());
+        if let Some(n) = self.node {
+            line.push_str(&format!("  {n}"));
+        }
+        if let Some(l) = self.link {
+            line.push_str(&format!("  {l}"));
+        }
+        if let Some(v) = self.vc {
+            line.push_str(&format!("#{v}"));
+        }
+        if let Some(p) = self.packet {
+            line.push_str(&format!("  pkt {p}"));
+        }
+        line.push_str("  ");
+        line.push_str(&self.detail);
+        line
+    }
+}
+
+/// Aggregated audit outcome of one run, attached to
+/// [`crate::SimResults::audit`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// Global invariant sweeps executed.
+    pub checks_run: u64,
+    /// Link flit transfers observed by the per-flit checks.
+    pub flits_observed: u64,
+    /// Total violations detected (all kinds, recorded or not).
+    pub total_violations: u64,
+    /// Violations per kind (only kinds that fired appear).
+    pub counts: Vec<(AuditKind, u64)>,
+    /// The first violations verbatim, capped at
+    /// [`crate::AuditConfig::max_recorded`].
+    pub violations: Vec<AuditViolation>,
+}
+
+impl AuditReport {
+    /// Whether the run passed every check.
+    pub fn clean(&self) -> bool {
+        self.total_violations == 0
+    }
+
+    /// Multi-line human-readable rendering for the CLI.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "audit: {} sweep(s), {} link flits observed, {} violation(s)\n",
+            self.checks_run, self.flits_observed, self.total_violations
+        );
+        for &(kind, n) in &self.counts {
+            out.push_str(&format!("  {:>6}x {}\n", n, kind.label()));
+        }
+        for v in &self.violations {
+            out.push_str("  ");
+            out.push_str(&v.render_line());
+            out.push('\n');
+        }
+        if self.total_violations as usize > self.violations.len() {
+            out.push_str(&format!(
+                "  ... {} more violation(s) not recorded verbatim\n",
+                self.total_violations as usize - self.violations.len()
+            ));
+        }
+        out
+    }
+}
+
+/// Per-link-VC stream state of the head/body/tail order checker.
+#[derive(Debug, Clone, Copy)]
+struct Stream {
+    /// The packet whose wormhole is open on this link VC.
+    packet: u64,
+    /// Sequence number of the last flit observed.
+    last_seq: u16,
+}
+
+/// Outcome of a ledger resolution attempt.
+enum Resolution {
+    /// The packet was live and is now resolved.
+    Fresh,
+    /// The packet had already been resolved (a later fragment event).
+    Already,
+    /// The packet was never generated — always a violation.
+    Unknown,
+}
+
+/// The runtime invariant checker. One instance rides inside a
+/// [`Simulation`] when [`crate::SimConfig::audit`] is set; the hot path
+/// calls its per-event hooks every cycle and its global [`check`] sweep
+/// every [`AuditConfig::interval`] cycles.
+///
+/// [`check`]: Auditor::check
+#[derive(Debug)]
+pub struct Auditor {
+    /// Sweep pacing and recording cap.
+    cfg: AuditConfig,
+    /// Mesh width, for index → coordinate rendering.
+    width: u16,
+    /// Whether end-to-end recovery is on (changes ledger resolution).
+    recovery: bool,
+    /// Whether the run carries no faults at all (enables the strict
+    /// variants of the buffer-bound checks).
+    fault_free: bool,
+    /// Open wormholes per `(node, arrival-side index, vc)` link VC.
+    streams: HashMap<(usize, u8, u8), Stream>,
+    /// Generated but not yet resolved packet ids.
+    live: HashSet<u64>,
+    /// Resolved (delivered / dropped / abandoned) packet ids.
+    resolved: HashSet<u64>,
+    /// Ledger counters, cross-checked against the simulator's.
+    generated: u64,
+    delivered: u64,
+    abandoned: u64,
+    /// Last §4.1 republication cycle per node (0 = construction).
+    last_republish: Vec<Cycle>,
+    /// Directed links `(sender node, direction index)` whose credit
+    /// books §4.1 currently allows to be desynchronised. Set on every
+    /// fault/repair event touching either endpoint; cleared once the
+    /// link is observed fully at rest.
+    tainted: HashSet<(usize, u8)>,
+    /// Report accumulators.
+    checks_run: u64,
+    flits_observed: u64,
+    total: u64,
+    counts: [u64; 7],
+    recorded: Vec<AuditViolation>,
+    /// Whether the final end-of-run checks have fired.
+    done: bool,
+}
+
+impl Auditor {
+    /// Builds an auditor for a simulation of `sim_cfg`'s shape.
+    pub(crate) fn new(cfg: AuditConfig, sim_cfg: &crate::SimConfig) -> Self {
+        Auditor {
+            cfg,
+            width: sim_cfg.mesh.width,
+            recovery: sim_cfg.recovery.is_some(),
+            fault_free: sim_cfg.faults.is_empty() && sim_cfg.schedule.is_empty(),
+            streams: HashMap::new(),
+            live: HashSet::new(),
+            resolved: HashSet::new(),
+            generated: 0,
+            delivered: 0,
+            abandoned: 0,
+            last_republish: vec![0; sim_cfg.mesh.nodes()],
+            tainted: HashSet::new(),
+            checks_run: 0,
+            flits_observed: 0,
+            total: 0,
+            counts: [0; 7],
+            recorded: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// The sweep interval (≥ 1).
+    pub(crate) fn interval(&self) -> u64 {
+        self.cfg.interval.max(1)
+    }
+
+    /// Snapshot of the accumulated report.
+    pub(crate) fn report(&self) -> AuditReport {
+        AuditReport {
+            checks_run: self.checks_run,
+            flits_observed: self.flits_observed,
+            total_violations: self.total,
+            counts: AuditKind::ALL
+                .iter()
+                .filter(|k| self.counts[k.index()] > 0)
+                .map(|&k| (k, self.counts[k.index()]))
+                .collect(),
+            violations: self.recorded.clone(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn violate(
+        &mut self,
+        kind: AuditKind,
+        cycle: Cycle,
+        node: Option<Coord>,
+        link: Option<Direction>,
+        vc: Option<u8>,
+        packet: Option<u64>,
+        detail: String,
+    ) {
+        self.total += 1;
+        self.counts[kind.index()] += 1;
+        if self.recorded.len() < self.cfg.max_recorded {
+            self.recorded.push(AuditViolation { cycle, kind, node, link, vc, packet, detail });
+        }
+    }
+
+    fn coord(&self, i: usize) -> Coord {
+        Coord::from_index(i, self.width)
+    }
+
+    // ------------------------------------------------------------------
+    // Conservation ledger
+    // ------------------------------------------------------------------
+
+    fn resolve(&mut self, id: u64) -> Resolution {
+        if self.live.remove(&id) {
+            self.resolved.insert(id);
+            Resolution::Fresh
+        } else if self.resolved.contains(&id) {
+            Resolution::Already
+        } else {
+            Resolution::Unknown
+        }
+    }
+
+    fn known(&self, id: u64) -> bool {
+        self.live.contains(&id) || self.resolved.contains(&id)
+    }
+
+    /// A new packet left the traffic generator.
+    pub(crate) fn on_generated(&mut self, cycle: Cycle, id: u64) {
+        self.generated += 1;
+        if self.resolved.contains(&id) || !self.live.insert(id) {
+            self.violate(
+                AuditKind::Accounting,
+                cycle,
+                None,
+                None,
+                None,
+                Some(id),
+                "packet id generated twice".into(),
+            );
+        }
+    }
+
+    /// A tail was ejected at its destination and counted as delivered.
+    pub(crate) fn on_delivered(&mut self, cycle: Cycle, node: Coord, id: u64) {
+        self.delivered += 1;
+        match self.resolve(id) {
+            Resolution::Fresh => {}
+            Resolution::Already => self.violate(
+                AuditKind::Conservation,
+                cycle,
+                Some(node),
+                None,
+                None,
+                Some(id),
+                "packet delivered twice (already resolved)".into(),
+            ),
+            Resolution::Unknown => self.violate(
+                AuditKind::Conservation,
+                cycle,
+                Some(node),
+                None,
+                None,
+                Some(id),
+                "delivery of a packet that was never generated".into(),
+            ),
+        }
+    }
+
+    /// A late duplicate delivery was suppressed at the sink.
+    pub(crate) fn on_duplicate(&mut self, cycle: Cycle, node: Coord, id: u64) {
+        if self.live.contains(&id) {
+            self.violate(
+                AuditKind::Conservation,
+                cycle,
+                Some(node),
+                None,
+                None,
+                Some(id),
+                "duplicate suppressed while the packet is still outstanding".into(),
+            );
+        } else if !self.resolved.contains(&id) {
+            self.violate(
+                AuditKind::Conservation,
+                cycle,
+                Some(node),
+                None,
+                None,
+                Some(id),
+                "duplicate of a packet that was never generated".into(),
+            );
+        }
+    }
+
+    /// A fragment of `id` was provably destroyed. Without recovery this
+    /// resolves the packet (it can never complete); with recovery the
+    /// packet stays live until delivery or abandonment.
+    fn resolve_fragment(&mut self, cycle: Cycle, node: Coord, id: u64, what: &str) {
+        if self.recovery {
+            if !self.known(id) {
+                self.violate(
+                    AuditKind::Conservation,
+                    cycle,
+                    Some(node),
+                    None,
+                    None,
+                    Some(id),
+                    format!("{what} of a packet that was never generated"),
+                );
+            }
+            return;
+        }
+        if let Resolution::Unknown = self.resolve(id) {
+            self.violate(
+                AuditKind::Conservation,
+                cycle,
+                Some(node),
+                None,
+                None,
+                Some(id),
+                format!("{what} of a packet that was never generated"),
+            );
+        }
+    }
+
+    /// A flit surfaced in a router's drop list (fault discard paths) or
+    /// a dead node's source-queue flush.
+    pub(crate) fn on_dropped(&mut self, cycle: Cycle, node: Coord, flit: &Flit) {
+        let id = flit.packet.0;
+        if flit.poison {
+            // A discarded poison tail is pure control traffic; resolve
+            // its packet when the aborting router still knew it.
+            if id != u64::MAX {
+                self.resolve_fragment(cycle, node, id, "poison drop");
+            }
+            return;
+        }
+        if flit.kind.is_head() || flit.kind.is_tail() {
+            self.resolve_fragment(cycle, node, id, "drop");
+        } else if !self.known(id) {
+            self.violate(
+                AuditKind::Conservation,
+                cycle,
+                Some(node),
+                None,
+                None,
+                Some(id),
+                "dropped body flit of a packet that was never generated".into(),
+            );
+        }
+    }
+
+    /// A poison tail reached an ejection port.
+    pub(crate) fn on_poison_ejected(&mut self, cycle: Cycle, node: Coord, raw_id: u64) {
+        if raw_id != u64::MAX {
+            self.resolve_fragment(cycle, node, raw_id, "poison ejection");
+        }
+        // Sentinel poisons resolve on the link where they crossed an
+        // open stream (the stream state names the truncated packet).
+    }
+
+    /// The recovery layer gave a packet up.
+    pub(crate) fn on_abandoned(&mut self, cycle: Cycle, id: u64) {
+        self.abandoned += 1;
+        match self.resolve(id) {
+            Resolution::Fresh => {}
+            _ => self.violate(
+                AuditKind::Conservation,
+                cycle,
+                None,
+                None,
+                None,
+                Some(id),
+                "abandoned packet was not outstanding".into(),
+            ),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Link stream checker
+    // ------------------------------------------------------------------
+
+    /// A flit is being delivered across a link: `node` receives it on
+    /// side `from`, destined for input VC `vc`.
+    pub(crate) fn on_link_flit(
+        &mut self,
+        cycle: Cycle,
+        node: usize,
+        from: Direction,
+        vc: u8,
+        flit: &Flit,
+    ) {
+        self.flits_observed += 1;
+        if vc == EJECT_VC {
+            // Early Ejection transfers are per-flit: flits of different
+            // packets legally interleave on the link's ejection lane.
+            return;
+        }
+        let coord = self.coord(node);
+        let key = (node, from.index() as u8, vc);
+        let id = flit.packet.0;
+        if flit.poison {
+            if let Some(s) = self.streams.remove(&key) {
+                if id != u64::MAX && id != s.packet {
+                    self.violate(
+                        AuditKind::StreamOrder,
+                        cycle,
+                        Some(coord),
+                        Some(from),
+                        Some(vc),
+                        Some(id),
+                        format!("poison tail names packet {id} but stream {} is open", s.packet),
+                    );
+                }
+                // The open stream can never complete: its wormhole was
+                // just closed by force.
+                let truncated = s.packet;
+                self.resolve_fragment(cycle, coord, truncated, "poison-closed stream");
+            } else if id != u64::MAX {
+                self.resolve_fragment(cycle, coord, id, "poison transfer");
+            }
+            return;
+        }
+        if flit.kind.is_head() {
+            if let Some(s) = self.streams.get(&key) {
+                let open = s.packet;
+                self.violate(
+                    AuditKind::StreamOrder,
+                    cycle,
+                    Some(coord),
+                    Some(from),
+                    Some(vc),
+                    Some(id),
+                    format!("head arrived while packet {open}'s wormhole is still open"),
+                );
+            }
+            if flit.seq != 0 {
+                self.violate(
+                    AuditKind::StreamOrder,
+                    cycle,
+                    Some(coord),
+                    Some(from),
+                    Some(vc),
+                    Some(id),
+                    format!("head flit carries sequence {} (expected 0)", flit.seq),
+                );
+            }
+            if flit.kind.is_tail() {
+                self.streams.remove(&key);
+            } else {
+                self.streams.insert(key, Stream { packet: id, last_seq: flit.seq });
+            }
+            return;
+        }
+        // Body or tail: must continue the open stream in order.
+        match self.streams.get_mut(&key) {
+            None => {
+                self.violate(
+                    AuditKind::StreamOrder,
+                    cycle,
+                    Some(coord),
+                    Some(from),
+                    Some(vc),
+                    Some(id),
+                    format!("{:?} flit arrived with no wormhole open", flit.kind),
+                );
+            }
+            Some(s) => {
+                if s.packet != id {
+                    let open = s.packet;
+                    self.violate(
+                        AuditKind::StreamOrder,
+                        cycle,
+                        Some(coord),
+                        Some(from),
+                        Some(vc),
+                        Some(id),
+                        format!("flit of packet {id} interleaved into packet {open}'s wormhole"),
+                    );
+                } else {
+                    let expected = s.last_seq.wrapping_add(1);
+                    if flit.seq != expected {
+                        let got = flit.seq;
+                        self.violate(
+                            AuditKind::StreamOrder,
+                            cycle,
+                            Some(coord),
+                            Some(from),
+                            Some(vc),
+                            Some(id),
+                            format!("sequence gap: expected {expected}, got {got}"),
+                        );
+                    }
+                    s.last_seq = flit.seq;
+                }
+                if flit.kind.is_tail() {
+                    self.streams.remove(&key);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Status coherence
+    // ------------------------------------------------------------------
+
+    /// A router emitted a flit toward neighbour `receiver` (published
+    /// status `status`).
+    pub(crate) fn on_emission(
+        &mut self,
+        cycle: Cycle,
+        receiver: usize,
+        receiver_coord: Coord,
+        status: NodeStatus,
+        flit: &Flit,
+    ) {
+        if flit.poison || !status.node_dead() {
+            return;
+        }
+        // One-cycle grace: flits latched for switch traversal before
+        // the republication landed legally flush the cycle it lands.
+        if cycle > self.last_republish[receiver] {
+            self.violate(
+                AuditKind::StatusCoherence,
+                cycle,
+                Some(receiver_coord),
+                None,
+                None,
+                Some(flit.packet.0),
+                "flit emitted toward a node published as dead".into(),
+            );
+        }
+    }
+
+    /// A fault or repair event fired at `site`: §4.1 allows every link
+    /// touching it to desynchronise until republication + rest.
+    pub(crate) fn on_fault_event(&mut self, site: usize, neighbors: [Option<usize>; 4]) {
+        for dir in Direction::MESH {
+            if let Some(n) = neighbors[dir.index()] {
+                self.tainted.insert((site, dir.index() as u8));
+                self.tainted.insert((n, dir.opposite().index() as u8));
+            }
+        }
+    }
+
+    /// A §4.1 status republication for `site` landed.
+    pub(crate) fn on_republish(&mut self, cycle: Cycle, site: usize) {
+        self.last_republish[site] = cycle;
+    }
+
+    // ------------------------------------------------------------------
+    // Global sweep
+    // ------------------------------------------------------------------
+
+    /// Runs the global invariant sweep against the simulation state at
+    /// the end of a cycle's phase 3 (credit books, VC legality,
+    /// quiescence, incremental-accounting re-derivation).
+    pub(crate) fn check(&mut self, sim: &Simulation) {
+        self.checks_run += 1;
+        let cycle = sim.cycle;
+        let nodes = sim.routers.len();
+        let probes: Vec<AuditProbe> = sim.routers.iter().map(|r| r.audit_probe()).collect();
+
+        // Receiver-side index: (node, side, link_index) -> probe VC slot.
+        let mut rcv: Vec<[Vec<usize>; 5]> = Vec::with_capacity(nodes);
+        for p in &probes {
+            let mut m: [Vec<usize>; 5] = Default::default();
+            for (k, v) in p.vcs.iter().enumerate() {
+                let side = v.input_side.index();
+                let li = v.link_index as usize;
+                if m[side].len() <= li {
+                    m[side].resize(li + 1, usize::MAX);
+                }
+                m[side][li] = k;
+            }
+            rcv.push(m);
+        }
+
+        // In-pipeline flit/credit tallies keyed by link VC.
+        let mut latched: HashMap<(usize, u8, u8), u32> = HashMap::new();
+        let mut pend_credits: HashMap<(usize, u8, u8), u32> = HashMap::new();
+        for (i, p) in probes.iter().enumerate() {
+            for l in &p.latched {
+                if l.out != Direction::Local && l.dvc != EJECT_VC {
+                    *latched.entry((i, l.out.index() as u8, l.dvc)).or_insert(0) += 1;
+                }
+            }
+            for &(side, vc) in &p.pending_credits {
+                *pend_credits.entry((i, side.index() as u8, vc)).or_insert(0) += 1;
+            }
+        }
+        let mut on_link: HashMap<(usize, u8, u8), u32> = HashMap::new();
+        for f in &sim.flits_in_flight {
+            if f.vc != EJECT_VC {
+                *on_link.entry((f.node, f.from.index() as u8, f.vc)).or_insert(0) += 1;
+            }
+        }
+        let mut cred_link: HashMap<(usize, u8, u8), u32> = HashMap::new();
+        for c in &sim.credits_in_flight {
+            *cred_link.entry((c.node, c.output.index() as u8, c.credit.vc)).or_insert(0) += 1;
+        }
+
+        // Credit books, link by link.
+        for i in 0..nodes {
+            let coord = self.coord(i);
+            for dir in Direction::MESH {
+                let Some(n) = sim.neighbor_idx[i][dir.index()] else { continue };
+                let books = &probes[i].outputs[dir.index()];
+                let opp = dir.opposite();
+                let d_idx = dir.index() as u8;
+                let o_idx = opp.index() as u8;
+                let mut at_rest = true;
+                for (v, book) in books.iter().enumerate() {
+                    let vu = v as u8;
+                    if book.credits > book.capacity {
+                        self.violate(
+                            AuditKind::CreditBook,
+                            cycle,
+                            Some(coord),
+                            Some(dir),
+                            Some(vu),
+                            None,
+                            format!(
+                                "credits {} exceed downstream capacity {}",
+                                book.credits, book.capacity
+                            ),
+                        );
+                    }
+                    let in_latch = latched.get(&(i, d_idx, vu)).copied().unwrap_or(0);
+                    let in_flight = on_link.get(&(n, o_idx, vu)).copied().unwrap_or(0);
+                    let in_queue = rcv[n][opp.index()]
+                        .get(v)
+                        .copied()
+                        .filter(|&k| k != usize::MAX)
+                        .map_or(0u32, |k| probes[n].vcs[k].queue_len as u32);
+                    let cred_pend = pend_credits.get(&(n, o_idx, vu)).copied().unwrap_or(0);
+                    let cred_fly = cred_link.get(&(i, d_idx, vu)).copied().unwrap_or(0);
+                    let outstanding = in_latch + in_flight + in_queue + cred_pend + cred_fly;
+                    if outstanding != 0 || book.credits != book.capacity {
+                        at_rest = false;
+                    }
+                    let expected = (book.capacity as u32).saturating_sub(outstanding) as u8;
+                    if !self.tainted.contains(&(i, d_idx)) && book.credits != expected {
+                        self.violate(
+                            AuditKind::CreditBook,
+                            cycle,
+                            Some(coord),
+                            Some(dir),
+                            Some(vu),
+                            None,
+                            format!(
+                                "credits {} != capacity {} - outstanding {} \
+                                 (latch {in_latch} + link {in_flight} + queue {in_queue} \
+                                 + credits pending {cred_pend} + in flight {cred_fly})",
+                                book.credits, book.capacity, outstanding
+                            ),
+                        );
+                    }
+                }
+                if at_rest {
+                    // §4.1's transients have provably drained: the link
+                    // goes back to exact checking.
+                    self.tainted.remove(&(i, d_idx));
+                }
+            }
+        }
+
+        // VC state legality, router by router.
+        for (i, p) in probes.iter().enumerate() {
+            let coord = self.coord(i);
+            let mut holders: HashSet<(u8, u8)> = HashSet::new();
+            for v in &p.vcs {
+                let vc = v.link_index;
+                let side = v.input_side;
+                let overflow_bound = v.nominal_capacity as usize + v.poison_queued;
+                if v.queue_len > overflow_bound {
+                    self.violate(
+                        AuditKind::VcState,
+                        cycle,
+                        Some(coord),
+                        Some(side),
+                        Some(vc),
+                        None,
+                        format!(
+                            "buffer holds {} flits, nominal capacity {} (+{} poison)",
+                            v.queue_len, v.nominal_capacity, v.poison_queued
+                        ),
+                    );
+                }
+                if self.fault_free {
+                    if v.queue_len > v.capacity as usize {
+                        self.violate(
+                            AuditKind::VcState,
+                            cycle,
+                            Some(coord),
+                            Some(side),
+                            Some(vc),
+                            None,
+                            format!(
+                                "buffer holds {} flits over capacity {} in a fault-free run",
+                                v.queue_len, v.capacity
+                            ),
+                        );
+                    }
+                    if v.poison_queued > 0 || v.disabled {
+                        self.violate(
+                            AuditKind::VcState,
+                            cycle,
+                            Some(coord),
+                            Some(side),
+                            Some(vc),
+                            None,
+                            "poisoned or disabled VC in a fault-free run".into(),
+                        );
+                    }
+                }
+                if matches!(
+                    v.phase,
+                    noc_core::VcPhase::Routing
+                        | noc_core::VcPhase::WaitingVa
+                        | noc_core::VcPhase::Blocked
+                ) && !v.dropping
+                    && v.head_is_head_kind == Some(false)
+                {
+                    self.violate(
+                        AuditKind::VcState,
+                        cycle,
+                        Some(coord),
+                        Some(side),
+                        Some(vc),
+                        None,
+                        format!("{:?} VC fronts a non-head flit", v.phase),
+                    );
+                }
+                let (Some(out), Some(dvc)) = (v.active_out, v.active_dvc) else { continue };
+                if dvc == EJECT_VC {
+                    continue;
+                }
+                if out == Direction::Local {
+                    self.violate(
+                        AuditKind::VcState,
+                        cycle,
+                        Some(coord),
+                        Some(side),
+                        Some(vc),
+                        None,
+                        "active stream holds a non-ejection VC on the local port".into(),
+                    );
+                    continue;
+                }
+                let books = &p.outputs[out.index()];
+                match books.get(dvc as usize) {
+                    None => self.violate(
+                        AuditKind::VcState,
+                        cycle,
+                        Some(coord),
+                        Some(out),
+                        Some(dvc),
+                        None,
+                        "active stream holds a downstream VC that does not exist".into(),
+                    ),
+                    Some(b) if b.free => self.violate(
+                        AuditKind::VcState,
+                        cycle,
+                        Some(coord),
+                        Some(out),
+                        Some(dvc),
+                        None,
+                        "downstream VC marked free while a stream still holds it".into(),
+                    ),
+                    Some(_) => {}
+                }
+                if !holders.insert((out.index() as u8, dvc)) {
+                    self.violate(
+                        AuditKind::VcState,
+                        cycle,
+                        Some(coord),
+                        Some(out),
+                        Some(dvc),
+                        None,
+                        "two input VCs hold the same downstream VC".into(),
+                    );
+                }
+            }
+        }
+
+        // Quiescence (wake-set soundness) and incremental accounting.
+        let mut derived_occ_total = 0usize;
+        for (i, p) in probes.iter().enumerate() {
+            let derived: usize = p.vcs.iter().map(|v| v.queue_len).sum::<usize>()
+                + p.latched.len()
+                + p.pending_ejects;
+            derived_occ_total += derived;
+            if derived != sim.occ_cache[i] {
+                self.violate(
+                    AuditKind::Accounting,
+                    cycle,
+                    Some(self.coord(i)),
+                    None,
+                    None,
+                    None,
+                    format!(
+                        "cached occupancy {} != derived occupancy {derived}",
+                        sim.occ_cache[i]
+                    ),
+                );
+            }
+            if sim.cfg.kernel == KernelMode::Optimized
+                && !sim.active[i]
+                && !sim.routers[i].is_quiescent()
+            {
+                self.violate(
+                    AuditKind::Quiescence,
+                    cycle,
+                    Some(self.coord(i)),
+                    None,
+                    None,
+                    None,
+                    "router is off the wake-set but not quiescent".into(),
+                );
+            }
+        }
+        if derived_occ_total != sim.occ_total {
+            self.violate(
+                AuditKind::Accounting,
+                cycle,
+                None,
+                None,
+                None,
+                None,
+                format!("incremental occupancy {} != derived {derived_occ_total}", sim.occ_total),
+            );
+        }
+        let derived_sources: usize = sim.sources.iter().map(|s| s.len()).sum();
+        if derived_sources != sim.source_total {
+            self.violate(
+                AuditKind::Accounting,
+                cycle,
+                None,
+                None,
+                None,
+                None,
+                format!("incremental source count {} != derived {derived_sources}", sim.source_total),
+            );
+        }
+
+        // Ledger vs simulator statistics.
+        if self.generated != sim.stats.generated {
+            self.violate(
+                AuditKind::Accounting,
+                cycle,
+                None,
+                None,
+                None,
+                None,
+                format!(
+                    "auditor saw {} generated packets, stats say {}",
+                    self.generated, sim.stats.generated
+                ),
+            );
+        }
+        if self.delivered != sim.stats.delivered {
+            self.violate(
+                AuditKind::Accounting,
+                cycle,
+                None,
+                None,
+                None,
+                None,
+                format!(
+                    "auditor saw {} delivered packets, stats say {}",
+                    self.delivered, sim.stats.delivered
+                ),
+            );
+        }
+        if self.recovery {
+            if self.abandoned != sim.recovery.abandoned_packets {
+                self.violate(
+                    AuditKind::Accounting,
+                    cycle,
+                    None,
+                    None,
+                    None,
+                    None,
+                    format!(
+                        "auditor saw {} abandoned packets, recovery stats say {}",
+                        self.abandoned, sim.recovery.abandoned_packets
+                    ),
+                );
+            }
+            if self.live.len() != sim.outstanding.len() {
+                self.violate(
+                    AuditKind::Conservation,
+                    cycle,
+                    None,
+                    None,
+                    None,
+                    None,
+                    format!(
+                        "{} packets unresolved in the ledger but {} outstanding in recovery",
+                        self.live.len(),
+                        sim.outstanding.len()
+                    ),
+                );
+            }
+        }
+    }
+
+    /// End-of-run checks: on a clean drain (not stalled, not clipped by
+    /// `max_cycles`) every packet must be resolved and every wormhole
+    /// closed. Runs one final sweep either way. Idempotent.
+    pub(crate) fn finish(&mut self, sim: &Simulation) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        self.check(sim);
+        let drained = sim.next_packet >= sim.cfg.total_packets()
+            && sim.flits_in_system() == 0
+            && sim.outstanding.is_empty();
+        let clean = drained && !sim.stalled && sim.cycle < sim.cfg.max_cycles;
+        if !clean {
+            return;
+        }
+        let cycle = sim.cycle;
+        let mut leftovers: Vec<u64> = self.live.iter().copied().collect();
+        leftovers.sort_unstable();
+        for id in leftovers {
+            self.violate(
+                AuditKind::Conservation,
+                cycle,
+                None,
+                None,
+                None,
+                Some(id),
+                "packet neither delivered, dropped nor abandoned at clean drain".into(),
+            );
+        }
+        let mut open: Vec<(usize, u8, u8, u64)> =
+            self.streams.iter().map(|(&(n, s, v), st)| (n, s, v, st.packet)).collect();
+        open.sort_unstable();
+        for (n, s, v, packet) in open {
+            let node = self.coord(n);
+            let side = Direction::ALL[s as usize];
+            self.violate(
+                AuditKind::StreamOrder,
+                cycle,
+                Some(node),
+                Some(side),
+                Some(v),
+                Some(packet),
+                "wormhole still open at clean drain".into(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AuditConfig, RecoveryConfig, SimConfig};
+    use crate::network::{FlitInFlight, Simulation};
+    use noc_core::{
+        Axis, AxisOrder, ComponentFault, FaultComponent, MeshConfig, ModuleHealth, PacketId,
+        RouterKind, RoutingKind, VcPhase,
+    };
+    use noc_fault::FaultSchedule;
+    use noc_traffic::TrafficKind;
+
+    fn small_cfg(router: RouterKind) -> SimConfig {
+        let mut cfg = SimConfig::paper_scaled(router, RoutingKind::Xy, TrafficKind::Uniform);
+        cfg.mesh = MeshConfig::new(4, 4);
+        cfg.injection_rate = 0.25;
+        cfg.warmup_packets = 20;
+        cfg.measured_packets = 200;
+        cfg.max_cycles = 50_000;
+        cfg.audit = Some(AuditConfig::default());
+        cfg
+    }
+
+    fn count_of(report: &AuditReport, kind: AuditKind) -> u64 {
+        report.counts.iter().find(|(k, _)| *k == kind).map_or(0, |&(_, n)| n)
+    }
+
+    fn dead_status() -> NodeStatus {
+        NodeStatus { row: ModuleHealth::Dead, col: ModuleHealth::Dead, rc_ok: false }
+    }
+
+    #[test]
+    fn clean_runs_audit_clean_for_every_router() {
+        for router in RouterKind::ALL {
+            let results = Simulation::new(small_cfg(router)).run();
+            let report = results.audit.expect("audit was enabled");
+            assert!(report.clean(), "{router:?}: {}", report.render());
+            assert!(report.checks_run > 0);
+            assert!(report.flits_observed > 0, "{router:?} never moved a flit");
+            assert!(!results.stalled);
+        }
+    }
+
+    #[test]
+    fn faulted_recovery_runs_audit_clean() {
+        for router in [RouterKind::RoCo, RouterKind::Generic] {
+            let mut cfg = small_cfg(router);
+            let mut schedule = FaultSchedule::none();
+            schedule.push_transient(
+                200,
+                Coord::new(1, 1),
+                ComponentFault::new(FaultComponent::Crossbar, Axis::X),
+                400,
+            );
+            schedule.push_permanent(
+                500,
+                Coord::new(2, 2),
+                ComponentFault::new(FaultComponent::VaArbiter, Axis::Y),
+            );
+            cfg.schedule = schedule;
+            cfg.recovery = Some(RecoveryConfig { timeout: 300, max_retries: 3, backoff_cap: 2_000 });
+            let results = Simulation::new(cfg).run();
+            let report = results.audit.expect("audit was enabled");
+            assert!(report.clean(), "{router:?}: {}", report.render());
+        }
+    }
+
+    #[test]
+    fn auditing_never_changes_the_results() {
+        let audited = Simulation::new(small_cfg(RouterKind::RoCo)).run();
+        let mut plain_cfg = small_cfg(RouterKind::RoCo);
+        plain_cfg.audit = None;
+        let plain = Simulation::new(plain_cfg).run();
+        assert_eq!(audited.digest(), plain.digest(), "auditing perturbed the simulation");
+        let mut ref_cfg = small_cfg(RouterKind::RoCo);
+        ref_cfg.kernel = crate::KernelMode::Reference;
+        let reference = Simulation::new(ref_cfg).run();
+        assert_eq!(audited.digest(), reference.digest(), "kernels diverged");
+    }
+
+    #[test]
+    fn corrupted_credit_counter_flags_credit_book() {
+        let mut sim = Simulation::new(small_cfg(RouterKind::RoCo));
+        for _ in 0..50 {
+            sim.step();
+        }
+        sim.audit_sweep_now();
+        assert!(sim.results().audit.expect("enabled").clean(), "corrupted before mutation");
+        let mut hit = false;
+        'outer: for i in 0..sim.routers.len() {
+            let core = sim.routers[i].test_core_mut();
+            for d in 0..4 {
+                if let Some(p) = core.outputs[d].as_mut() {
+                    if let Some(v) = p.vcs.iter_mut().find(|v| v.credits > 0) {
+                        v.credits -= 1;
+                        hit = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(hit, "no credited output VC found to corrupt");
+        sim.audit_sweep_now();
+        let report = sim.results().audit.expect("enabled");
+        assert!(count_of(&report, AuditKind::CreditBook) > 0, "{}", report.render());
+    }
+
+    #[test]
+    fn stolen_in_flight_flit_flags_credit_book() {
+        let mut sim = Simulation::new(small_cfg(RouterKind::RoCo));
+        let mut victim = None;
+        for _ in 0..500 {
+            sim.step();
+            if let Some(pos) =
+                sim.flits_in_flight.iter().position(|f| f.vc != noc_core::EJECT_VC)
+            {
+                victim = Some(pos);
+                break;
+            }
+        }
+        let pos = victim.expect("no mesh-link flit ever in flight");
+        sim.flits_in_flight.swap_remove(pos);
+        sim.audit_sweep_now();
+        let report = sim.results().audit.expect("enabled");
+        assert!(count_of(&report, AuditKind::CreditBook) > 0, "{}", report.render());
+    }
+
+    #[test]
+    fn forged_body_flit_flags_stream_order() {
+        let mut sim = Simulation::new(small_cfg(RouterKind::Generic));
+        for _ in 0..10 {
+            sim.step();
+        }
+        // An interior node, on a link VC that is idle, empty, and not
+        // about to receive a genuine flit: the forged body is an orphan.
+        let node = Coord::new(1, 1).index(4);
+        let probe = sim.routers[node].audit_probe();
+        let slot = probe
+            .vcs
+            .iter()
+            .find(|v| {
+                v.input_side != Direction::Local
+                    && v.queue_len == 0
+                    && v.phase == VcPhase::Idle
+                    && !sim.flits_in_flight.iter().any(|f| {
+                        f.node == node && f.from == v.input_side && f.vc == v.link_index
+                    })
+            })
+            .expect("no idle link VC at the interior node");
+        let forged = Flit::packet_flit_iter(
+            PacketId(999_999_999),
+            Coord::new(0, 0),
+            Coord::new(3, 3),
+            0,
+            4,
+            AxisOrder::Xy,
+        )
+        .nth(1)
+        .expect("packet has a second flit");
+        sim.flits_in_flight.push(FlitInFlight {
+            node,
+            from: slot.input_side,
+            vc: slot.link_index,
+            flit: forged,
+        });
+        sim.step();
+        let report = sim.results().audit.expect("enabled");
+        assert!(count_of(&report, AuditKind::StreamOrder) > 0, "{}", report.render());
+    }
+
+    #[test]
+    fn killed_published_status_flags_status_coherence() {
+        let mut cfg = small_cfg(RouterKind::Generic);
+        cfg.injection_rate = 0.35;
+        let mut sim = Simulation::new(cfg);
+        for _ in 0..30 {
+            sim.step();
+        }
+        // Lie to the network: publish a healthy interior router as dead.
+        // Streams already committed toward it keep emitting, which the
+        // status-coherence check must flag.
+        sim.statuses[Coord::new(1, 1).index(4)] = dead_status();
+        let mut found = false;
+        for _ in 0..2_000 {
+            sim.step();
+            let report = sim.results().audit.expect("enabled");
+            if count_of(&report, AuditKind::StatusCoherence) > 0 {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no emission toward the dead-published node was flagged");
+    }
+
+    #[test]
+    fn off_wake_set_busy_router_flags_quiescence() {
+        let mut sim = Simulation::new(small_cfg(RouterKind::RoCo));
+        let mut target = None;
+        for _ in 0..500 {
+            sim.step();
+            if let Some(i) = (0..sim.routers.len()).find(|&i| sim.active[i] && sim.occ_cache[i] > 0)
+            {
+                target = Some(i);
+                break;
+            }
+        }
+        let i = target.expect("no busy router found");
+        sim.active[i] = false;
+        sim.audit_sweep_now();
+        let report = sim.results().audit.expect("enabled");
+        assert!(count_of(&report, AuditKind::Quiescence) > 0, "{}", report.render());
+    }
+
+    #[test]
+    fn inflated_generated_stat_flags_accounting() {
+        let mut sim = Simulation::new(small_cfg(RouterKind::RoCo));
+        for _ in 0..20 {
+            sim.step();
+        }
+        sim.stats.generated += 1;
+        sim.audit_sweep_now();
+        let report = sim.results().audit.expect("enabled");
+        assert!(count_of(&report, AuditKind::Accounting) > 0, "{}", report.render());
+    }
+
+    #[test]
+    fn corrupted_occupancy_total_flags_accounting() {
+        let mut sim = Simulation::new(small_cfg(RouterKind::RoCo));
+        for _ in 0..20 {
+            sim.step();
+        }
+        sim.occ_total += 1;
+        sim.audit_sweep_now();
+        let report = sim.results().audit.expect("enabled");
+        assert!(count_of(&report, AuditKind::Accounting) > 0, "{}", report.render());
+    }
+
+    #[test]
+    fn freed_held_downstream_vc_flags_vc_state() {
+        let mut sim = Simulation::new(small_cfg(RouterKind::RoCo));
+        let mut target = None;
+        'search: for _ in 0..500 {
+            sim.step();
+            for i in 0..sim.routers.len() {
+                let probe = sim.routers[i].audit_probe();
+                for v in &probe.vcs {
+                    if let (Some(out), Some(dvc)) = (v.active_out, v.active_dvc) {
+                        if out != Direction::Local && dvc != EJECT_VC {
+                            target = Some((i, out, dvc));
+                            break 'search;
+                        }
+                    }
+                }
+            }
+        }
+        let (i, out, dvc) = target.expect("no active stream found");
+        let core = sim.routers[i].test_core_mut();
+        core.outputs[out.index()].as_mut().expect("wired output").vcs[dvc as usize].free = true;
+        sim.audit_sweep_now();
+        let report = sim.results().audit.expect("enabled");
+        assert!(count_of(&report, AuditKind::VcState) > 0, "{}", report.render());
+    }
+
+    // ---- direct hook tests: exact violation-class mapping ----
+
+    fn bare_auditor() -> Auditor {
+        Auditor::new(AuditConfig::default(), &small_cfg(RouterKind::RoCo))
+    }
+
+    fn packet_flits(id: u64) -> Vec<Flit> {
+        Flit::packet_flit_iter(
+            PacketId(id),
+            Coord::new(0, 0),
+            Coord::new(3, 3),
+            0,
+            4,
+            AxisOrder::Xy,
+        )
+        .collect()
+    }
+
+    #[test]
+    fn double_delivery_is_conservation() {
+        let mut a = bare_auditor();
+        a.on_generated(0, 42);
+        a.on_delivered(5, Coord::new(3, 3), 42);
+        assert_eq!(a.total, 0);
+        a.on_delivered(6, Coord::new(3, 3), 42);
+        assert_eq!(count_of(&a.report(), AuditKind::Conservation), 1);
+    }
+
+    #[test]
+    fn delivery_of_unknown_packet_is_conservation() {
+        let mut a = bare_auditor();
+        a.on_delivered(5, Coord::new(3, 3), 77);
+        assert_eq!(count_of(&a.report(), AuditKind::Conservation), 1);
+    }
+
+    #[test]
+    fn stream_machine_flags_interleave_gap_and_orphan() {
+        let mut a = bare_auditor();
+        a.on_generated(0, 1);
+        a.on_generated(0, 2);
+        let p1 = packet_flits(1);
+        let p2 = packet_flits(2);
+        // Proper head..tail sequence on one link VC: no violation.
+        for f in &p1 {
+            a.on_link_flit(1, 5, Direction::West, 0, f);
+        }
+        assert_eq!(a.total, 0, "{}", a.report().render());
+        // Head of packet 2 while packet 1's wormhole is re-opened and
+        // left dangling: interleave.
+        a.on_link_flit(2, 5, Direction::West, 0, &p1[0]);
+        a.on_link_flit(3, 5, Direction::West, 0, &p2[0]);
+        assert_eq!(count_of(&a.report(), AuditKind::StreamOrder), 1);
+        // A sequence gap within packet 2 (skip seq 1).
+        a.on_link_flit(4, 5, Direction::West, 0, &p2[2]);
+        assert_eq!(count_of(&a.report(), AuditKind::StreamOrder), 2);
+        // A body with no wormhole open on a fresh link VC.
+        a.on_link_flit(5, 6, Direction::East, 1, &p1[1]);
+        assert_eq!(count_of(&a.report(), AuditKind::StreamOrder), 3);
+    }
+
+    #[test]
+    fn poison_closes_and_resolves_the_open_stream() {
+        let mut a = bare_auditor();
+        a.on_generated(0, 9);
+        let p = packet_flits(9);
+        a.on_link_flit(1, 5, Direction::West, 0, &p[0]);
+        a.on_link_flit(2, 5, Direction::West, 0, &p[1]);
+        // Sentinel poison: the aborting router no longer knew the id.
+        let poison =
+            Flit::poison_tail(PacketId(u64::MAX), Coord::new(0, 0), Coord::new(3, 3), Direction::East);
+        a.on_link_flit(3, 5, Direction::West, 0, &poison);
+        assert_eq!(a.total, 0, "{}", a.report().render());
+        assert!(a.live.is_empty(), "poisoned packet must resolve via the stream state");
+        assert!(a.streams.is_empty(), "poison must close the wormhole");
+    }
+
+    #[test]
+    fn emission_toward_published_dead_node_is_status_coherence() {
+        let mut a = bare_auditor();
+        a.on_generated(0, 3);
+        let p = packet_flits(3);
+        // Republication landed this cycle: one-cycle switch-latch grace.
+        a.on_republish(10, 5);
+        a.on_emission(10, 5, Coord::new(1, 1), dead_status(), &p[0]);
+        assert_eq!(a.total, 0);
+        // Past the grace window: violation.
+        a.on_emission(11, 5, Coord::new(1, 1), dead_status(), &p[1]);
+        assert_eq!(count_of(&a.report(), AuditKind::StatusCoherence), 1);
+        // Poison tails legally chase fragments into dead territory.
+        let poison =
+            Flit::poison_tail(PacketId(3), Coord::new(0, 0), Coord::new(1, 1), Direction::East);
+        a.on_emission(12, 5, Coord::new(1, 1), dead_status(), &poison);
+        assert_eq!(count_of(&a.report(), AuditKind::StatusCoherence), 1);
+    }
+
+    #[test]
+    fn recorded_violations_are_capped_but_all_are_counted() {
+        let cfg = small_cfg(RouterKind::RoCo);
+        let mut a = Auditor::new(AuditConfig { interval: 1, max_recorded: 2 }, &cfg);
+        for id in 0..5 {
+            a.on_delivered(1, Coord::new(0, 0), id);
+        }
+        let report = a.report();
+        assert_eq!(report.total_violations, 5);
+        assert_eq!(report.violations.len(), 2);
+        assert!(!report.clean());
+        assert!(report.render().contains("3 more"));
+    }
+}

@@ -22,7 +22,7 @@ pub enum KernelMode {
 }
 
 /// Full description of one simulation run (§5.4's experimental setup).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Router architecture.
     pub router: RouterKind,
@@ -89,6 +89,13 @@ pub struct SimConfig {
     /// (the default) disables the whole layer.
     #[serde(default)]
     pub recovery: Option<RecoveryConfig>,
+    /// Runtime invariant auditing: when set, an [`crate::Auditor`] runs
+    /// inside every [`crate::Simulation::step`], checking flit
+    /// conservation, credit-book consistency, VC state-machine legality
+    /// and fault-status coherence. `None` (the default) keeps the hot
+    /// path audit-free.
+    #[serde(default)]
+    pub audit: Option<AuditConfig>,
 }
 
 /// Serde default for [`SimConfig::sample_window`].
@@ -126,6 +133,39 @@ impl Default for RecoveryConfig {
     }
 }
 
+/// Parameters of the runtime invariant auditor (see `crate::audit`).
+///
+/// Per-flit checks (stream ordering, the conservation ledger, status
+/// coherence) always run every cycle while auditing is on; `interval`
+/// only paces the global state sweep (credit books, VC legality,
+/// quiescence), which walks every router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditConfig {
+    /// Cycles between global invariant sweeps (1 = every cycle).
+    #[serde(default = "default_audit_interval")]
+    pub interval: u64,
+    /// At most this many violations are recorded verbatim in the
+    /// report (all violations are still *counted*).
+    #[serde(default = "default_audit_max_recorded")]
+    pub max_recorded: usize,
+}
+
+/// Serde default for [`AuditConfig::interval`].
+fn default_audit_interval() -> u64 {
+    1
+}
+
+/// Serde default for [`AuditConfig::max_recorded`].
+fn default_audit_max_recorded() -> usize {
+    16
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig { interval: default_audit_interval(), max_recorded: default_audit_max_recorded() }
+    }
+}
+
 impl SimConfig {
     /// A scaled-down version of the paper's setup that regenerates every
     /// figure in seconds: 1 000 warm-up + 20 000 measured packets on an
@@ -154,6 +194,7 @@ impl SimConfig {
             schedule: FaultSchedule::none(),
             handshake_latency: default_handshake_latency(),
             recovery: None,
+            audit: None,
         }
     }
 
@@ -201,6 +242,12 @@ impl SimConfig {
     /// Enables end-to-end recovery (builder style).
     pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
         self.recovery = Some(recovery);
+        self
+    }
+
+    /// Enables runtime invariant auditing (builder style).
+    pub fn with_audit(mut self, audit: AuditConfig) -> Self {
+        self.audit = Some(audit);
         self
     }
 

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod audit;
 mod config;
 mod histogram;
 pub mod json;
@@ -34,7 +35,8 @@ mod report;
 mod stats;
 mod trace;
 
-pub use config::{KernelMode, RecoveryConfig, SimConfig};
+pub use audit::{AuditKind, AuditReport, AuditViolation, Auditor};
+pub use config::{AuditConfig, KernelMode, RecoveryConfig, SimConfig};
 pub use histogram::LatencyHistogram;
 pub use metrics::{IntervalSample, JsonlMetricsSink, MetricsSink, RouterWindow, VecMetricsSink};
 pub use network::{neighbor_table, run, Simulation};

@@ -17,6 +17,7 @@
 //! quiescent (see DESIGN.md §10 for the invariant and the proof
 //! obligations that keep both kernels bit-identical).
 
+use crate::audit::Auditor;
 use crate::config::{KernelMode, SimConfig};
 use crate::metrics::{IntervalSample, MetricsSink, RouterWindow};
 use crate::postmortem::{
@@ -62,19 +63,19 @@ pub fn neighbor_table(mesh: MeshConfig) -> Vec<[Option<usize>; 4]> {
 
 /// A flit in flight on a link, due at `node` on side `from`.
 #[derive(Debug, Clone)]
-struct FlitInFlight {
-    node: usize,
-    from: Direction,
-    vc: u8,
-    flit: Flit,
+pub(crate) struct FlitInFlight {
+    pub(crate) node: usize,
+    pub(crate) from: Direction,
+    pub(crate) vc: u8,
+    pub(crate) flit: Flit,
 }
 
 /// A credit in flight, due at `node`'s output `output`.
 #[derive(Debug, Clone, Copy)]
-struct CreditInFlight {
-    node: usize,
-    output: Direction,
-    credit: Credit,
+pub(crate) struct CreditInFlight {
+    pub(crate) node: usize,
+    pub(crate) output: Direction,
+    pub(crate) credit: Credit,
 }
 
 /// End-to-end recovery bookkeeping for one not-yet-delivered packet.
@@ -139,53 +140,53 @@ impl Sampler {
 /// stepping API exists for tests and interactive tooling.
 #[derive(Debug)]
 pub struct Simulation {
-    cfg: SimConfig,
-    routers: Vec<AnyRouter>,
+    pub(crate) cfg: SimConfig,
+    pub(crate) routers: Vec<AnyRouter>,
     traffic: Box<dyn Traffic>,
     computer: RouteComputer,
-    sources: Vec<VecDeque<Flit>>,
-    flits_in_flight: Vec<FlitInFlight>,
-    credits_in_flight: Vec<CreditInFlight>,
+    pub(crate) sources: Vec<VecDeque<Flit>>,
+    pub(crate) flits_in_flight: Vec<FlitInFlight>,
+    pub(crate) credits_in_flight: Vec<CreditInFlight>,
     /// Double buffers for the in-flight lists: swapped with
     /// `*_in_flight` at the top of every cycle and drained, so the
     /// steady state reuses two allocations instead of growing new ones.
     flits_arriving: Vec<FlitInFlight>,
     credits_arriving: Vec<CreditInFlight>,
     /// Precomputed per-node coordinates (index ↔ coord cache).
-    coords: Vec<Coord>,
+    pub(crate) coords: Vec<Coord>,
     /// Precomputed per-node neighbour indices ([`neighbor_table`]).
-    neighbor_idx: Vec<[Option<usize>; 4]>,
+    pub(crate) neighbor_idx: Vec<[Option<usize>; 4]>,
     /// Per-node status as last *published* to the neighbours through
     /// the §4.1 handshake. A mid-run fault or repair changes the
     /// afflicted router immediately, but this buffer — and therefore
     /// every neighbour's look-ahead decision — only updates when the
     /// republication fires `handshake_latency` cycles later.
-    statuses: Vec<NodeStatus>,
+    pub(crate) statuses: Vec<NodeStatus>,
     /// Reusable router-output scratch ([`RouterNode::step`] contract).
     outputs: RouterOutputs,
     /// Wake-set: `active[i]` means router `i` may do observable work
     /// this cycle and must be stepped. Set on flit/credit delivery and
     /// successful injection; cleared after a step that leaves the
     /// router quiescent. Ignored under [`KernelMode::Reference`].
-    active: Vec<bool>,
+    pub(crate) active: Vec<bool>,
     /// Last observed per-router occupancy (valid after each phase 3:
     /// a router's occupancy only changes in cycles it is stepped in).
-    occ_cache: Vec<usize>,
+    pub(crate) occ_cache: Vec<usize>,
     /// Σ `occ_cache` — buffered flits network-wide, kept incrementally.
-    occ_total: usize,
+    pub(crate) occ_total: usize,
     /// Σ `sources[i].len()` — flits awaiting injection, kept
     /// incrementally so [`Simulation::flits_in_system`] is O(1).
-    source_total: usize,
+    pub(crate) source_total: usize,
     rng: SmallRng,
-    cycle: Cycle,
-    stats: StatsCollector,
+    pub(crate) cycle: Cycle,
+    pub(crate) stats: StatsCollector,
     per_node: Vec<NodeSummary>,
     trace: Option<Box<dyn TraceSink>>,
     metrics: Option<Box<dyn MetricsSink>>,
     sampler: Sampler,
-    next_packet: u64,
+    pub(crate) next_packet: u64,
     last_progress: Cycle,
-    stalled: bool,
+    pub(crate) stalled: bool,
     postmortem: Option<StallPostmortem>,
     /// Index of the next unfired event in `cfg.schedule`.
     schedule_cursor: usize,
@@ -202,12 +203,18 @@ pub struct Simulation {
     fault_events_total: u64,
     /// Outstanding-packet table of the recovery layer, keyed by packet
     /// id (empty when recovery is disabled).
-    outstanding: HashMap<u64, Outstanding>,
+    pub(crate) outstanding: HashMap<u64, Outstanding>,
     /// Retransmission deadlines: a min-heap of `(deadline, packet id,
     /// attempt)` with lazy deletion (stale attempts are skipped).
     timeouts: BinaryHeap<Reverse<(Cycle, u64, u32)>>,
     /// Recovery outcome counters (reported when recovery is enabled).
-    recovery: RecoveryStats,
+    pub(crate) recovery: RecoveryStats,
+    /// The runtime invariant checker, present when [`SimConfig::audit`]
+    /// is set. Boxed: the checker carries per-packet/per-stream tables
+    /// that would bloat the `Simulation` footprint, and it is taken out
+    /// and put back around every sweep so it can borrow the simulation
+    /// immutably.
+    auditor: Option<Box<Auditor>>,
 }
 
 impl Simulation {
@@ -266,6 +273,7 @@ impl Simulation {
         let rng = SmallRng::seed_from_u64(cfg.seed);
         let nodes = mesh.nodes();
         let statuses = routers.iter().map(|r| r.status()).collect();
+        let auditor = cfg.audit.map(|a| Box::new(Auditor::new(a, &cfg)));
         Simulation {
             cfg,
             routers,
@@ -305,6 +313,7 @@ impl Simulation {
             outstanding: HashMap::new(),
             timeouts: BinaryHeap::new(),
             recovery: RecoveryStats::default(),
+            auditor,
         }
     }
 
@@ -420,6 +429,9 @@ impl Simulation {
         std::mem::swap(&mut self.flits_in_flight, &mut self.flits_arriving);
         std::mem::swap(&mut self.credits_in_flight, &mut self.credits_arriving);
         for f in self.flits_arriving.drain(..) {
+            if let Some(a) = self.auditor.as_deref_mut() {
+                a.on_link_flit(self.cycle, f.node, f.from, f.vc, &f.flit);
+            }
             self.routers[f.node].deliver_flit(f.from, f.vc, f.flit);
             self.active[f.node] = true;
         }
@@ -453,6 +465,9 @@ impl Simulation {
             for &(dir, vc, flit) in &out.flits {
                 let n = self.neighbor_idx[i][dir.index()]
                     .expect("emitted flit must have a neighbour");
+                if let Some(a) = self.auditor.as_deref_mut() {
+                    a.on_emission(self.cycle, n, self.coords[n], self.statuses[n], &flit);
+                }
                 self.emit(TraceEvent::Hop {
                     cycle: self.cycle,
                     packet: flit.packet,
@@ -473,6 +488,9 @@ impl Simulation {
             }
             for &flit in &out.ejected {
                 if flit.poison {
+                    if let Some(a) = self.auditor.as_deref_mut() {
+                        a.on_poison_ejected(self.cycle, coord, flit.packet.0);
+                    }
                     // The poison tail chasing a fragmented packet made
                     // it to the ejection port: the fragment is
                     // discarded here (§4.1), never delivered. (A
@@ -507,6 +525,9 @@ impl Simulation {
                                 self.recovery.duplicates_suppressed += 1;
                                 self.last_progress = self.cycle;
                                 deliver = false;
+                                if let Some(a) = self.auditor.as_deref_mut() {
+                                    a.on_duplicate(self.cycle, coord, flit.packet.0);
+                                }
                             }
                         }
                     }
@@ -514,6 +535,9 @@ impl Simulation {
                         let latency = self.cycle - flit.created_at;
                         let measured = self.measured(flit.packet.0);
                         self.stats.record_delivery(latency, measured);
+                        if let Some(a) = self.auditor.as_deref_mut() {
+                            a.on_delivered(self.cycle, coord, flit.packet.0);
+                        }
                         let node = &mut self.per_node[i];
                         node.delivered += 1;
                         node.latency_sum += latency;
@@ -531,6 +555,9 @@ impl Simulation {
                 self.stats.delivered_flits += 1;
             }
             for &flit in &out.dropped {
+                if let Some(a) = self.auditor.as_deref_mut() {
+                    a.on_dropped(self.cycle, coord, &flit);
+                }
                 if flit.kind.is_head() {
                     self.stats.dropped += 1;
                     self.per_node[i].dropped += 1;
@@ -559,6 +586,15 @@ impl Simulation {
         {
             self.stalled = true;
             self.postmortem = Some(self.build_postmortem());
+        }
+        // Audit sweep: taken out so the checker can borrow the whole
+        // simulation immutably. Read-only — the sweep never perturbs a
+        // run, so digests are identical with auditing on or off.
+        if let Some(mut a) = self.auditor.take() {
+            if self.cycle % a.interval() == 0 {
+                a.check(self);
+            }
+            self.auditor = Some(a);
         }
         self.cycle += 1;
         if self.metrics.is_some()
@@ -735,6 +771,10 @@ impl Simulation {
     /// does this automatically; drivers that step manually and then
     /// take the sinks back should call it once the run has finished.
     pub fn finish_observability(&mut self) {
+        if let Some(mut a) = self.auditor.take() {
+            a.finish(self);
+            self.auditor = Some(a);
+        }
         if self.metrics.is_some() && self.cycle > self.sampler.window_start {
             self.flush_window();
         }
@@ -775,6 +815,9 @@ impl Simulation {
                 ));
                 self.source_total += flits_per_packet as usize;
                 self.stats.generated += 1;
+                if let Some(a) = self.auditor.as_deref_mut() {
+                    a.on_generated(self.cycle, id.0);
+                }
                 if let Some(rc) = self.cfg.recovery {
                     let deadline = self.cycle + rc.timeout.max(1);
                     self.outstanding.insert(
@@ -896,6 +939,9 @@ impl Simulation {
         });
         self.fault_events_total += 1;
         self.wake_and_refresh(site);
+        if let Some(a) = self.auditor.as_deref_mut() {
+            a.on_fault_event(site, self.neighbor_idx[site]);
+        }
         // A dead node's PE is cut off entirely: flush its source queue,
         // counting each waiting packet as dropped at the source.
         if self.routers[site].status().node_dead() && !self.sources[site].is_empty() {
@@ -903,6 +949,9 @@ impl Simulation {
             self.source_total -= flushed.len();
             let node = self.coords[site];
             for flit in flushed {
+                if let Some(a) = self.auditor.as_deref_mut() {
+                    a.on_dropped(self.cycle, node, &flit);
+                }
                 if flit.kind.is_head() {
                     self.stats.dropped += 1;
                     self.per_node[site].dropped += 1;
@@ -951,6 +1000,9 @@ impl Simulation {
         }
         self.statuses[site] = now;
         self.wake_and_refresh(site);
+        if let Some(a) = self.auditor.as_deref_mut() {
+            a.on_republish(self.cycle, site);
+        }
     }
 
     /// Retransmission clock: expires overdue outstanding packets,
@@ -975,6 +1027,9 @@ impl Simulation {
                 self.outstanding.remove(&id);
                 self.recovery.abandoned_packets += 1;
                 self.last_progress = self.cycle;
+                if let Some(a) = self.auditor.as_deref_mut() {
+                    a.on_abandoned(self.cycle, id);
+                }
                 continue;
             }
             let attempt = o.attempt + 1;
@@ -996,6 +1051,17 @@ impl Simulation {
             self.timeouts.push(Reverse((deadline, id, attempt)));
             self.recovery.retransmissions += 1;
             self.last_progress = self.cycle;
+        }
+    }
+
+    /// Runs one audit sweep immediately, outside the normal cadence, so
+    /// mutation-style negative tests can corrupt state and observe the
+    /// verdict without waiting for (or perturbing) a full step.
+    #[cfg(test)]
+    pub(crate) fn audit_sweep_now(&mut self) {
+        if let Some(mut a) = self.auditor.take() {
+            a.check(self);
+            self.auditor = Some(a);
         }
     }
 
@@ -1064,6 +1130,7 @@ impl Simulation {
             stalled: self.stalled,
             postmortem: self.postmortem.clone(),
             recovery: self.cfg.recovery.is_some().then_some(self.recovery),
+            audit: self.auditor.as_ref().map(|a| a.report()),
         }
     }
 }
