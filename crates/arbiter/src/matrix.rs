@@ -62,8 +62,7 @@ impl MatrixArbiter {
     pub fn arbitrate(&mut self, requests: &[bool]) -> Option<usize> {
         assert_eq!(requests.len(), self.n, "request vector width mismatch");
         let winner = (0..self.n).find(|&i| {
-            requests[i]
-                && (0..self.n).all(|j| j == i || !requests[j] || self.prio[i * self.n + j])
+            requests[i] && (0..self.n).all(|j| j == i || !requests[j] || self.prio[i * self.n + j])
         })?;
         for j in 0..self.n {
             if j != winner {

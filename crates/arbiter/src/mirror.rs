@@ -125,12 +125,7 @@ mod tests {
     use super::*;
 
     fn all_patterns() -> impl Iterator<Item = [[bool; 2]; 2]> {
-        (0u8..16).map(|bits| {
-            [
-                [bits & 1 != 0, bits & 2 != 0],
-                [bits & 4 != 0, bits & 8 != 0],
-            ]
-        })
+        (0u8..16).map(|bits| [[bits & 1 != 0, bits & 2 != 0], [bits & 4 != 0, bits & 8 != 0]])
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl SeparableAllocator {
     ///
     /// Panics if any dimension is zero.
     pub fn new(inputs: usize, outputs: usize, vcs_per_input: usize) -> Self {
-        assert!(inputs > 0 && outputs > 0 && vcs_per_input > 0, "allocator dimensions must be non-zero");
+        assert!(
+            inputs > 0 && outputs > 0 && vcs_per_input > 0,
+            "allocator dimensions must be non-zero"
+        );
         SeparableAllocator {
             input_arbs: (0..inputs).map(|_| RoundRobinArbiter::new(vcs_per_input)).collect(),
             output_arbs: (0..outputs).map(|_| RoundRobinArbiter::new(inputs)).collect(),
@@ -131,18 +134,17 @@ impl SeparableAllocator {
             if any {
                 effort.local_ops += 1;
                 if let Some(vc) = arb.arbitrate(&lines) {
-                    stage1[input] = requests
-                        .iter()
-                        .find(|r| r.input == input && r.vc == vc)
-                        .copied();
+                    stage1[input] =
+                        requests.iter().find(|r| r.input == input && r.vc == vc).copied();
                 }
             }
         }
         // Stage 2: per output port, round-robin over stage-1 winners.
         for (output, arb) in self.output_arbs.iter_mut().enumerate() {
             lines.clear();
-            lines.extend((0..self.input_arbs.len())
-                .map(|i| stage1[i].is_some_and(|r| r.output == output)));
+            lines.extend(
+                (0..self.input_arbs.len()).map(|i| stage1[i].is_some_and(|r| r.output == output)),
+            );
             if lines.iter().any(|&l| l) {
                 effort.global_ops += 1;
                 if let Some(input) = arb.arbitrate(&lines) {
@@ -227,9 +229,7 @@ mod tests {
     fn rotates_between_competing_inputs() {
         let mut alloc = SeparableAllocator::new(2, 1, 1);
         let requests = vec![req(0, 0, 0), req(1, 0, 0)];
-        let winners: Vec<usize> = (0..4)
-            .map(|_| alloc.allocate(&requests).0[0].input)
-            .collect();
+        let winners: Vec<usize> = (0..4).map(|_| alloc.allocate(&requests).0[0].input).collect();
         assert_eq!(winners, vec![0, 1, 0, 1]);
     }
 

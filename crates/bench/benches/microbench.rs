@@ -2,7 +2,9 @@
 //! Mirror allocator, separable allocation and route computation.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use noc_arbiter::{MatrixArbiter, MirrorAllocator, RoundRobinArbiter, SeparableAllocator, SwitchRequest};
+use noc_arbiter::{
+    MatrixArbiter, MirrorAllocator, RoundRobinArbiter, SeparableAllocator, SwitchRequest,
+};
 use noc_core::{AxisOrder, Coord, MeshConfig, RoutingKind};
 use noc_routing::RouteComputer;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
@@ -37,9 +39,8 @@ fn bench_arbiters(c: &mut Criterion) {
         })
     });
     let mut sep = SeparableAllocator::new(5, 5, 3);
-    let requests: Vec<SwitchRequest> = (0..8)
-        .map(|k| SwitchRequest { input: k % 5, output: (k * 3) % 5, vc: k % 3 })
-        .collect();
+    let requests: Vec<SwitchRequest> =
+        (0..8).map(|k| SwitchRequest { input: k % 5, output: (k * 3) % 5, vc: k % 3 }).collect();
     group.bench_function("separable_5x5", |b| b.iter(|| black_box(sep.allocate(&requests))));
     group.finish();
 }

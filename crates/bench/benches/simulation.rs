@@ -68,8 +68,7 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("fig11_point_roco_xy_2faults", |b| {
         b.iter(|| {
             let mut cfg = small(RouterKind::RoCo, RoutingKind::Xy, TrafficKind::Uniform);
-            cfg.faults =
-                FaultPlan::random(FaultCategory::Isolating, 2, cfg.mesh, 7);
+            cfg.faults = FaultPlan::random(FaultCategory::Isolating, 2, cfg.mesh, 7);
             cfg.stall_window = 2_000;
             black_box(run(cfg))
         })

@@ -1,6 +1,9 @@
 //! Regenerates Fig 3 (contention probabilities vs injection rate).
 fn main() {
     for (i, t) in noc_bench::experiments::contention::fig3().into_iter().enumerate() {
-        t.emit_with_plot(&format!("fig03{}_contention", (b'a' + i as u8) as char), "contention probability");
+        t.emit_with_plot(
+            &format!("fig03{}_contention", (b'a' + i as u8) as char),
+            "contention probability",
+        );
     }
 }

@@ -4,6 +4,9 @@ use noc_traffic::TrafficKind;
 fn main() {
     let panels = latency_figure(TrafficKind::Transpose, Scale::from_env());
     for (i, t) in panels.into_iter().enumerate() {
-        t.emit_with_plot(&format!("fig10{}_transpose", (b'a' + i as u8) as char), "average latency (cycles)");
+        t.emit_with_plot(
+            &format!("fig10{}_transpose", (b'a' + i as u8) as char),
+            "average latency (cycles)",
+        );
     }
 }

@@ -1,6 +1,9 @@
 //! Regenerates Fig 14 (PEF metric under critical and non-critical
 //! faults) and prints the RoCo improvement headline.
-use noc_bench::{experiments::pef::{fig14_panel, pef_improvement}, Scale};
+use noc_bench::{
+    experiments::pef::{fig14_panel, pef_improvement},
+    Scale,
+};
 use noc_core::RoutingKind;
 use noc_fault::FaultCategory;
 fn main() {

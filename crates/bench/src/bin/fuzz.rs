@@ -1,5 +1,5 @@
 //! Differential fuzz harness (ISSUE 4): random small configs under
-//! both cycle kernels with the invariant auditor on.
+//! all three cycle kernels with the invariant auditor on.
 //!
 //! Environment:
 //! - `NOC_FUZZ_ITERS` — number of cases (default 240).
@@ -43,10 +43,8 @@ fn main() {
         Some(failure) => {
             let repro = failure.render_repro();
             eprintln!("fuzz: case {} FAILED after shrinking:\n{repro}", failure.case);
-            let path = noc_bench::results_dir().join(format!(
-                "fuzz_repro_case{}.txt",
-                failure.case
-            ));
+            let path =
+                noc_bench::results_dir().join(format!("fuzz_repro_case{}.txt", failure.case));
             if let Some(dir) = path.parent() {
                 let _ = std::fs::create_dir_all(dir);
             }

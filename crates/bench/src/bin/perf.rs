@@ -1,12 +1,19 @@
 //! Simulator throughput benchmark (`BENCH_sim_throughput.json`).
 //!
 //! Sweeps {router architecture × injection rate × mesh size}, runs each
-//! point under both cycle kernels ([`noc_sim::KernelMode::Reference`]
-//! steps every router every cycle; `Optimized` is the wake-set kernel)
-//! and reports simulated cycles/second and flit-hops/second for each,
-//! plus the wall-clock speedup. Every point also asserts that the two
+//! point under all three cycle kernels ([`noc_sim::KernelMode::Reference`]
+//! steps every router every cycle; `Optimized` is the wake-set kernel;
+//! `Parallel` shards the wake-set kernel across worker threads) and
+//! reports simulated cycles/second and flit-hops/second for each, plus
+//! the wall-clock speedup. Every point also asserts that all three
 //! kernels produce bit-identical [`SimResults`] — the benchmark doubles
 //! as an equivalence check, and exits non-zero on any divergence.
+//!
+//! A second sweep measures **thread scaling**: the parallel kernel on
+//! 16×16 and 32×32 meshes at worker counts 1, 2, 4, … up to the
+//! machine's core count, each compared against the single-threaded
+//! Optimized kernel on the same config (`speedup_vs_optimized`). The
+//! results land in the report's `thread_scaling` section.
 //!
 //! Sizing follows `NOC_SCALE` (`quick` default); the report lands at
 //! `BENCH_sim_throughput.json` in the workspace root.
@@ -34,7 +41,7 @@ struct KernelRun {
     digest: u64,
 }
 
-/// One sweep point (both kernels).
+/// One sweep point (all three kernels).
 struct Point {
     router: RouterKind,
     mesh: MeshConfig,
@@ -43,6 +50,25 @@ struct Point {
     flit_hops: u64,
     reference: KernelRun,
     optimized: KernelRun,
+    parallel: KernelRun,
+}
+
+/// One parallel-kernel measurement in the thread-scaling sweep.
+struct ScaleStep {
+    threads: usize,
+    run: KernelRun,
+    speedup_vs_optimized: f64,
+    digest_match: bool,
+}
+
+/// Thread-scaling results for one mesh.
+struct ScalingSeries {
+    router: RouterKind,
+    mesh: MeshConfig,
+    rate: f64,
+    cycles: u64,
+    optimized: KernelRun,
+    steps: Vec<ScaleStep>,
 }
 
 fn time_kernel(cfg: &SimConfig, kernel: KernelMode) -> (SimResults, KernelRun) {
@@ -89,6 +115,21 @@ fn load_baseline(path: &Path) -> Option<Vec<(String, f64)>> {
     (!out.is_empty()).then_some(out)
 }
 
+/// Worker counts for the scaling sweep: powers of two up to the core
+/// count, plus the core count itself when it is not a power of two.
+fn sweep_threads(max: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut t = 1;
+    while t <= max {
+        out.push(t);
+        t *= 2;
+    }
+    if *out.last().unwrap_or(&0) != max {
+        out.push(max);
+    }
+    out
+}
+
 fn main() {
     let scale = Scale::from_env();
     let scale_name = match std::env::var("NOC_SCALE").as_deref() {
@@ -114,29 +155,35 @@ fn main() {
                 cfg.injection_rate = rate;
                 let (rres, reference) = time_kernel(&cfg, KernelMode::Reference);
                 let (ores, optimized) = time_kernel(&cfg, KernelMode::Optimized);
-                if reference.digest != optimized.digest {
-                    mismatches += 1;
-                    eprintln!(
-                        "DIGEST MISMATCH: {router:?} {}x{} rate {rate}: \
-                         cycles {} vs {}, delivered {} vs {}, avg latency {} vs {}",
-                        mesh.width,
-                        mesh.height,
-                        rres.cycles,
-                        ores.cycles,
-                        rres.delivered_packets,
-                        ores.delivered_packets,
-                        rres.avg_latency,
-                        ores.avg_latency,
-                    );
+                let (pres, parallel) = time_kernel(&cfg, KernelMode::Parallel);
+                for (name, res, run) in
+                    [("optimized", &ores, &optimized), ("parallel", &pres, &parallel)]
+                {
+                    if reference.digest != run.digest {
+                        mismatches += 1;
+                        eprintln!(
+                            "DIGEST MISMATCH: {router:?} {}x{} rate {rate}: reference vs {name}: \
+                             cycles {} vs {}, delivered {} vs {}, avg latency {} vs {}",
+                            mesh.width,
+                            mesh.height,
+                            rres.cycles,
+                            res.cycles,
+                            rres.delivered_packets,
+                            res.delivered_packets,
+                            rres.avg_latency,
+                            res.avg_latency,
+                        );
+                    }
                 }
                 println!(
-                    "{router:?} {}x{} rate {rate}: {} cycles, ref {:.2}s opt {:.2}s \
+                    "{router:?} {}x{} rate {rate}: {} cycles, ref {:.2}s opt {:.2}s par {:.2}s \
                      ({:.2}x, {:.0} cycles/s, {:.0} hops/s)",
                     mesh.width,
                     mesh.height,
                     ores.cycles,
                     reference.wall_s,
                     optimized.wall_s,
+                    parallel.wall_s,
                     reference.wall_s / optimized.wall_s,
                     optimized.cycles_per_s,
                     optimized.hops_per_s,
@@ -149,19 +196,64 @@ fn main() {
                     flit_hops: ores.counters.link_traversals,
                     reference,
                     optimized,
+                    parallel,
                 });
             }
         }
     }
 
     let geomean_speedup = {
-        let log_sum: f64 = points
-            .iter()
-            .map(|p| (p.reference.wall_s / p.optimized.wall_s).ln())
-            .sum();
+        let log_sum: f64 =
+            points.iter().map(|p| (p.reference.wall_s / p.optimized.wall_s).ln()).sum();
         (log_sum / points.len() as f64).exp()
     };
     println!("geomean speedup: {geomean_speedup:.2}x");
+
+    // Thread-scaling sweep: the parallel kernel earns its keep on big
+    // meshes, so measure 16×16 and 32×32 at every worker count against
+    // the single-threaded Optimized kernel on the same config.
+    let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let mut scaling = Vec::new();
+    for mesh in [MeshConfig::new(16, 16), MeshConfig::new(32, 32)] {
+        let rate = 0.1;
+        let mut cfg = scale.apply(SimConfig::paper_scaled(
+            RouterKind::RoCo,
+            RoutingKind::Xy,
+            TrafficKind::Uniform,
+        ));
+        cfg.mesh = mesh;
+        cfg.injection_rate = rate;
+        let (ores, optimized) = time_kernel(&cfg, KernelMode::Optimized);
+        let mut steps = Vec::new();
+        for threads in sweep_threads(cores) {
+            let mut tcfg = cfg.clone();
+            tcfg.threads = Some(threads);
+            let (_, run) = time_kernel(&tcfg, KernelMode::Parallel);
+            let digest_match = run.digest == optimized.digest;
+            if !digest_match {
+                mismatches += 1;
+                eprintln!(
+                    "DIGEST MISMATCH: thread scaling {}x{} at {threads} thread(s) diverged \
+                     from the optimized kernel",
+                    mesh.width, mesh.height
+                );
+            }
+            let speedup_vs_optimized = optimized.wall_s / run.wall_s;
+            println!(
+                "scaling {}x{} threads {threads}: {:.2}s ({:.2}x vs optimized, {:.0} hops/s)",
+                mesh.width, mesh.height, run.wall_s, speedup_vs_optimized, run.hops_per_s
+            );
+            steps.push(ScaleStep { threads, run, speedup_vs_optimized, digest_match });
+        }
+        scaling.push(ScalingSeries {
+            router: RouterKind::RoCo,
+            mesh,
+            rate,
+            cycles: ores.cycles,
+            optimized,
+            steps,
+        });
+    }
 
     let path = noc_bench::results_dir()
         .parent()
@@ -215,7 +307,7 @@ fn main() {
         }
     }
 
-    let json = render_json(scale_name, &points, geomean_speedup, mismatches);
+    let json = render_json(scale_name, &points, &scaling, geomean_speedup, mismatches);
     match std::fs::write(&path, json) {
         Ok(()) => eprintln!("[wrote {}]", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
@@ -229,7 +321,26 @@ fn main() {
     }
 }
 
-fn render_json(scale: &str, points: &[Point], geomean: f64, mismatches: u32) -> String {
+fn write_kernel_run(out: &mut String, first: &mut bool, name: &str, run: &KernelRun) {
+    write_key(out, first, name);
+    out.push('{');
+    let mut g = true;
+    write_key(out, &mut g, "wall_s");
+    write_f64(out, run.wall_s);
+    write_key(out, &mut g, "cycles_per_s");
+    write_f64(out, run.cycles_per_s);
+    write_key(out, &mut g, "flit_hops_per_s");
+    write_f64(out, run.hops_per_s);
+    out.push('}');
+}
+
+fn render_json(
+    scale: &str,
+    points: &[Point],
+    scaling: &[ScalingSeries],
+    geomean: f64,
+    mismatches: u32,
+) -> String {
     let mut out = String::new();
     out.push('{');
     let mut first = true;
@@ -261,22 +372,58 @@ fn render_json(scale: &str, points: &[Point], geomean: f64, mismatches: u32) -> 
         write_f64(&mut out, p.cycles as f64);
         write_key(&mut out, &mut f, "flit_hops");
         write_f64(&mut out, p.flit_hops as f64);
-        for (name, run) in [("reference", &p.reference), ("optimized", &p.optimized)] {
-            write_key(&mut out, &mut f, name);
-            out.push('{');
-            let mut g = true;
-            write_key(&mut out, &mut g, "wall_s");
-            write_f64(&mut out, run.wall_s);
-            write_key(&mut out, &mut g, "cycles_per_s");
-            write_f64(&mut out, run.cycles_per_s);
-            write_key(&mut out, &mut g, "flit_hops_per_s");
-            write_f64(&mut out, run.hops_per_s);
-            out.push('}');
-        }
+        write_kernel_run(&mut out, &mut f, "reference", &p.reference);
+        write_kernel_run(&mut out, &mut f, "optimized", &p.optimized);
+        write_kernel_run(&mut out, &mut f, "parallel", &p.parallel);
         write_key(&mut out, &mut f, "speedup");
         write_f64(&mut out, p.reference.wall_s / p.optimized.wall_s);
         write_key(&mut out, &mut f, "digest_match");
-        out.push_str(if p.reference.digest == p.optimized.digest { "true" } else { "false" });
+        let ok =
+            p.reference.digest == p.optimized.digest && p.reference.digest == p.parallel.digest;
+        out.push_str(if ok { "true" } else { "false" });
+        out.push('}');
+    }
+    out.push(']');
+    write_key(&mut out, &mut first, "thread_scaling");
+    out.push('[');
+    for (i, s) in scaling.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        let mut f = true;
+        write_key(&mut out, &mut f, "router");
+        write_str(&mut out, &format!("{:?}", s.router));
+        write_key(&mut out, &mut f, "mesh");
+        write_str(&mut out, &format!("{}x{}", s.mesh.width, s.mesh.height));
+        write_key(&mut out, &mut f, "injection_rate");
+        write_f64(&mut out, s.rate);
+        write_key(&mut out, &mut f, "cycles");
+        write_f64(&mut out, s.cycles as f64);
+        write_kernel_run(&mut out, &mut f, "optimized", &s.optimized);
+        write_key(&mut out, &mut f, "threads");
+        out.push('[');
+        for (j, step) in s.steps.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            let mut g = true;
+            write_key(&mut out, &mut g, "threads");
+            write_f64(&mut out, step.threads as f64);
+            write_key(&mut out, &mut g, "wall_s");
+            write_f64(&mut out, step.run.wall_s);
+            write_key(&mut out, &mut g, "cycles_per_s");
+            write_f64(&mut out, step.run.cycles_per_s);
+            write_key(&mut out, &mut g, "flit_hops_per_s");
+            write_f64(&mut out, step.run.hops_per_s);
+            write_key(&mut out, &mut g, "speedup_vs_optimized");
+            write_f64(&mut out, step.speedup_vs_optimized);
+            write_key(&mut out, &mut g, "digest_match");
+            out.push_str(if step.digest_match { "true" } else { "false" });
+            out.push('}');
+        }
+        out.push(']');
         out.push('}');
     }
     out.push(']');

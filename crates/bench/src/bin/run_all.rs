@@ -16,18 +16,24 @@ fn main() {
     experiments::tables::fig2(3).emit("fig02_va_complexity");
 
     for (i, t) in experiments::contention::fig3().into_iter().enumerate() {
-        t.emit_with_plot(&format!("fig03{}_contention", (b'a' + i as u8) as char), "contention probability");
+        t.emit_with_plot(
+            &format!("fig03{}_contention", (b'a' + i as u8) as char),
+            "contention probability",
+        );
     }
-    for (fig, traffic) in
-        [("fig08", TrafficKind::Uniform), ("fig09", TrafficKind::SelfSimilar), ("fig10", TrafficKind::Transpose)]
-    {
+    for (fig, traffic) in [
+        ("fig08", TrafficKind::Uniform),
+        ("fig09", TrafficKind::SelfSimilar),
+        ("fig10", TrafficKind::Transpose),
+    ] {
         for (i, t) in experiments::latency::latency_figure(traffic, scale).into_iter().enumerate() {
-            t.emit_with_plot(&format!("{fig}{}_{traffic}", (b'a' + i as u8) as char), "average latency (cycles)");
+            t.emit_with_plot(
+                &format!("{fig}{}_{traffic}", (b'a' + i as u8) as char),
+                "average latency (cycles)",
+            );
         }
     }
-    for (fig, cat) in
-        [("fig11", FaultCategory::Isolating), ("fig12", FaultCategory::Recyclable)]
-    {
+    for (fig, cat) in [("fig11", FaultCategory::Isolating), ("fig12", FaultCategory::Recyclable)] {
         for (i, t) in experiments::faults::completion_figure(cat, scale).into_iter().enumerate() {
             t.emit(&format!("{fig}{}_completion", (b'a' + i as u8) as char));
         }
@@ -48,7 +54,10 @@ fn main() {
     for (i, t) in
         experiments::latency::latency_figure(TrafficKind::Mpeg, scale).into_iter().enumerate()
     {
-        t.emit_with_plot(&format!("ext_mpeg_{}", (b'a' + i as u8) as char), "average latency (cycles)");
+        t.emit_with_plot(
+            &format!("ext_mpeg_{}", (b'a' + i as u8) as char),
+            "average latency (cycles)",
+        );
     }
     experiments::ablation::mirror_ablation(scale).emit("ablation_mirror");
     experiments::ablation::adaptive_policy_ablation(scale).emit("ablation_adaptive_policy");

@@ -191,75 +191,36 @@ fn steady_mean_delivered(samples: &[IntervalSample], window: u64) -> f64 {
     picked.iter().sum::<u64>() as f64 / picked.len() as f64
 }
 
-/// Runs the whole campaign grid. Cells run sequentially in grid order
-/// (router, then mtbf, then seed) so the report is fully deterministic.
+/// Runs the whole campaign grid. The independent (router, seed) units
+/// fan out across worker threads — the count comes from
+/// [`noc_sim::worker_threads`], the same `NOC_THREADS` knob that paces
+/// `run_batch` and the parallel cycle kernel. Each unit runs entirely
+/// on one worker (its metrics plumbing is thread-local) and the units
+/// are reassembled in grid order (router, then seed, then mtbf), so
+/// the report is byte-identical at any thread count.
 pub fn run_campaign(c: &CampaignConfig) -> CampaignReport {
-    let mut cells = Vec::new();
-    for &router in &c.routers {
-        for k in 0..c.seeds {
-            let seed = c.base_seed.wrapping_add(k);
-            // Fault-free baseline: provides the retention denominator
-            // and the horizon faults are drawn over.
-            let (baseline, base_samples) = run_sampled(base_config(c, router, seed));
-            let base_mean = steady_mean_delivered(&base_samples, c.sample_window);
-            for &mtbf in &c.mtbfs {
-                let vcs = base_config(c, router, seed).router_config().vcs_per_port;
-                let schedule = FaultSchedule::random_mtbf(
-                    c.category,
-                    c.mesh,
-                    mtbf,
-                    c.repair_after,
-                    baseline.cycles,
-                    vcs,
-                    seed ^ mtbf.to_bits(),
-                );
-                let mut cfg = base_config(c, router, seed).with_schedule(schedule.clone());
-                if let Some(rc) = c.recovery {
-                    cfg = cfg.with_recovery(rc);
-                }
-                let (results, samples) = run_sampled(cfg);
-                let epp = results.energy_per_packet;
-                let availability: Vec<f64> = samples
-                    .iter()
-                    .map(|s| {
-                        if s.generated == 0 {
-                            1.0
-                        } else {
-                            (s.delivered as f64 / s.generated as f64).min(1.0)
-                        }
-                    })
-                    .collect();
-                let retention: Vec<f64> = samples
-                    .iter()
-                    .map(|s| if base_mean > 0.0 { s.delivered as f64 / base_mean } else { 0.0 })
-                    .collect();
-                let pef_over_time: Vec<f64> = samples
-                    .iter()
-                    .zip(&availability)
-                    .map(|(s, a)| s.latency_mean * epp / a.max(1e-3))
-                    .collect();
-                let rec = results.recovery.unwrap_or_default();
-                cells.push(CampaignCell {
-                    router,
-                    mtbf,
-                    seed,
-                    fault_events: samples.iter().map(|s| s.fault_events).sum(),
-                    cycles: results.cycles,
-                    generated: results.generated_packets,
-                    delivered: results.delivered_packets,
-                    dropped: results.dropped_packets,
-                    retransmissions: rec.retransmissions,
-                    recovered: rec.recovered_packets,
-                    abandoned: rec.abandoned_packets,
-                    completion: results.completion_probability(),
-                    pef: results.pef_inputs().pef(),
-                    availability,
-                    retention,
-                    pef_over_time,
-                });
-            }
+    let units: Vec<(RouterKind, u64)> = c
+        .routers
+        .iter()
+        .flat_map(|&router| (0..c.seeds).map(move |k| (router, c.base_seed.wrapping_add(k))))
+        .collect();
+    let threads = noc_sim::worker_threads(None).min(units.len()).max(1);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<Vec<CampaignCell>>> = Vec::new();
+    slots.resize_with(units.len(), || None);
+    let slots = std::sync::Mutex::new(slots);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(router, seed)) = units.get(idx) else { break };
+                let cells = run_unit(c, router, seed);
+                slots.lock().unwrap()[idx] = Some(cells);
+            });
         }
-    }
+    });
+    let cells =
+        slots.into_inner().unwrap().into_iter().flat_map(|u| u.expect("unit ran")).collect();
     CampaignReport {
         mesh: c.mesh,
         routing: c.routing,
@@ -269,6 +230,73 @@ pub fn run_campaign(c: &CampaignConfig) -> CampaignReport {
         recovery: c.recovery.is_some(),
         cells,
     }
+}
+
+/// One campaign unit: the fault-free baseline for `(router, seed)`
+/// plus every mtbf cell drawn against it, in mtbf order.
+fn run_unit(c: &CampaignConfig, router: RouterKind, seed: u64) -> Vec<CampaignCell> {
+    let mut cells = Vec::new();
+    // Fault-free baseline: provides the retention denominator
+    // and the horizon faults are drawn over.
+    let (baseline, base_samples) = run_sampled(base_config(c, router, seed));
+    let base_mean = steady_mean_delivered(&base_samples, c.sample_window);
+    for &mtbf in &c.mtbfs {
+        let vcs = base_config(c, router, seed).router_config().vcs_per_port;
+        let schedule = FaultSchedule::random_mtbf(
+            c.category,
+            c.mesh,
+            mtbf,
+            c.repair_after,
+            baseline.cycles,
+            vcs,
+            seed ^ mtbf.to_bits(),
+        );
+        let mut cfg = base_config(c, router, seed).with_schedule(schedule.clone());
+        if let Some(rc) = c.recovery {
+            cfg = cfg.with_recovery(rc);
+        }
+        let (results, samples) = run_sampled(cfg);
+        let epp = results.energy_per_packet;
+        let availability: Vec<f64> = samples
+            .iter()
+            .map(|s| {
+                if s.generated == 0 {
+                    1.0
+                } else {
+                    (s.delivered as f64 / s.generated as f64).min(1.0)
+                }
+            })
+            .collect();
+        let retention: Vec<f64> = samples
+            .iter()
+            .map(|s| if base_mean > 0.0 { s.delivered as f64 / base_mean } else { 0.0 })
+            .collect();
+        let pef_over_time: Vec<f64> = samples
+            .iter()
+            .zip(&availability)
+            .map(|(s, a)| s.latency_mean * epp / a.max(1e-3))
+            .collect();
+        let rec = results.recovery.unwrap_or_default();
+        cells.push(CampaignCell {
+            router,
+            mtbf,
+            seed,
+            fault_events: samples.iter().map(|s| s.fault_events).sum(),
+            cycles: results.cycles,
+            generated: results.generated_packets,
+            delivered: results.delivered_packets,
+            dropped: results.dropped_packets,
+            retransmissions: rec.retransmissions,
+            recovered: rec.recovered_packets,
+            abandoned: rec.abandoned_packets,
+            completion: results.completion_probability(),
+            pef: results.pef_inputs().pef(),
+            availability,
+            retention,
+            pef_over_time,
+        });
+    }
+    cells
 }
 
 fn write_f64_arr(out: &mut String, values: &[f64]) {

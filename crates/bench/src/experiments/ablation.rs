@@ -174,10 +174,7 @@ mod tests {
         let spec: f64 = t.rows[0][1].parse().unwrap();
         let nonspec: f64 = t.rows[1][1].parse().unwrap();
         // ~1 extra cycle per hop at 0.1 flits/node/cycle (avg ~5.3 hops).
-        assert!(
-            nonspec > spec + 2.0,
-            "3-stage {nonspec} should clearly exceed speculative {spec}"
-        );
+        assert!(nonspec > spec + 2.0, "3-stage {nonspec} should clearly exceed speculative {spec}");
     }
 
     #[test]

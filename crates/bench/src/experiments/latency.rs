@@ -20,9 +20,8 @@ pub fn latency_figure(traffic: TrafficKind, scale: Scale) -> Vec<Table> {
         let mut configs = Vec::new();
         for router in RouterKind::ALL {
             for &rate in &RATES {
-                let cfg = scale
-                    .apply(SimConfig::paper_scaled(router, routing, traffic))
-                    .with_rate(rate);
+                let cfg =
+                    scale.apply(SimConfig::paper_scaled(router, routing, traffic)).with_rate(rate);
                 configs.push(cfg);
             }
         }

@@ -53,11 +53,8 @@ pub fn saturation_table(scale: Scale) -> Table {
     for router in RouterKind::ALL {
         let mut row = vec![router.to_string()];
         for routing in RoutingKind::ALL {
-            let mut base = scale.apply(SimConfig::paper_scaled(
-                router,
-                routing,
-                TrafficKind::Uniform,
-            ));
+            let mut base =
+                scale.apply(SimConfig::paper_scaled(router, routing, TrafficKind::Uniform));
             // Saturated runs never drain; bound them.
             base.max_cycles = 60_000;
             base.stall_window = 8_000;
@@ -74,11 +71,8 @@ mod tests {
 
     #[test]
     fn saturation_rate_is_sensible_for_xy_generic() {
-        let mut base = SimConfig::paper_scaled(
-            RouterKind::Generic,
-            RoutingKind::Xy,
-            TrafficKind::Uniform,
-        );
+        let mut base =
+            SimConfig::paper_scaled(RouterKind::Generic, RoutingKind::Xy, TrafficKind::Uniform);
         base.warmup_packets = 200;
         base.measured_packets = 3_000;
         base.max_cycles = 40_000;

@@ -3,14 +3,15 @@
 //! Each fuzz case draws a small random configuration — mesh size,
 //! router architecture, routing algorithm, traffic pattern, static
 //! and/or scheduled faults, optional end-to-end recovery — and runs it
-//! under **both** cycle kernels with the runtime invariant auditor
+//! under **all three** cycle kernels (Reference, Optimized, Parallel
+//! with a fuzzed worker count) with the runtime invariant auditor
 //! enabled. A case passes when
 //!
-//! 1. the [`noc_sim::Auditor`] reports zero violations under either
+//! 1. the [`noc_sim::Auditor`] reports zero violations under every
 //!    kernel (flit conservation, credit books, VC legality, status
 //!    coherence),
-//! 2. the Reference and Optimized kernels produce bit-identical
-//!    [`SimResults::digest`]s, and
+//! 2. the Reference, Optimized, and Parallel kernels produce
+//!    bit-identical [`SimResults::digest`]s, and
 //! 3. recovery accounting closes: on a cleanly drained run with
 //!    recovery enabled, every generated packet is either delivered or
 //!    abandoned.
@@ -115,11 +116,8 @@ pub fn case_config(case: u64, base_seed: u64) -> SimConfig {
     cfg.handshake_latency = rng.below(8);
     cfg.audit = Some(AuditConfig { interval: 1, max_recorded: 8 });
 
-    let category = if rng.below(2) == 0 {
-        FaultCategory::Isolating
-    } else {
-        FaultCategory::Recyclable
-    };
+    let category =
+        if rng.below(2) == 0 { FaultCategory::Isolating } else { FaultCategory::Recyclable };
     match fault_mode {
         FaultMode::None => {}
         FaultMode::Static => {
@@ -147,10 +145,15 @@ pub fn case_config(case: u64, base_seed: u64) -> SimConfig {
             backoff_cap: 2_000,
         });
     }
+    // Worker count for the parallel leg of the differential oracle
+    // (drawn last so it perturbs no other knob). Any value must yield
+    // the same digest; varying it fuzzes the shard-merge path across
+    // shard layouts, including single-shard and more-shards-than-work.
+    cfg.threads = Some(1 + rng.below(4) as usize);
     cfg
 }
 
-/// Runs `cfg` under both kernels and applies the three fuzz oracles.
+/// Runs `cfg` under all three kernels and applies the fuzz oracles.
 ///
 /// Returns `Err(description)` on the first violated oracle; the
 /// description embeds the audit report / digests involved.
@@ -159,10 +162,13 @@ pub fn check_config(cfg: &SimConfig) -> Result<(), String> {
     reference.kernel = KernelMode::Reference;
     let mut optimized = cfg.clone();
     optimized.kernel = KernelMode::Optimized;
+    let mut parallel = cfg.clone();
+    parallel.kernel = KernelMode::Parallel;
     let r = Simulation::new(reference).run();
     let o = Simulation::new(optimized).run();
+    let p = Simulation::new(parallel).run();
 
-    for (kernel, res) in [("reference", &r), ("optimized", &o)] {
+    for (kernel, res) in [("reference", &r), ("optimized", &o), ("parallel", &p)] {
         if let Some(report) = &res.audit {
             if !report.clean() {
                 return Err(format!("{kernel} kernel audit violations:\n{}", report.render()));
@@ -174,19 +180,23 @@ pub fn check_config(cfg: &SimConfig) -> Result<(), String> {
             return Err(format!("{kernel} kernel {problem}"));
         }
     }
-    if r.digest() != o.digest() {
-        return Err(format!(
-            "kernel divergence: reference digest {:#018x} != optimized digest {:#018x} \
-             (ref: {} delivered / {} dropped in {} cycles; opt: {} delivered / {} dropped in {} cycles)",
-            r.digest(),
-            o.digest(),
-            r.delivered_packets,
-            r.dropped_packets,
-            r.cycles,
-            o.delivered_packets,
-            o.dropped_packets,
-            o.cycles,
-        ));
+    for (kernel, res) in [("optimized", &o), ("parallel", &p)] {
+        if r.digest() != res.digest() {
+            return Err(format!(
+                "kernel divergence: reference digest {:#018x} != {kernel} digest {:#018x} \
+                 (ref: {} delivered / {} dropped in {} cycles; {kernel}: {} delivered / {} \
+                 dropped in {} cycles; threads {:?})",
+                r.digest(),
+                res.digest(),
+                r.delivered_packets,
+                r.dropped_packets,
+                r.cycles,
+                res.delivered_packets,
+                res.dropped_packets,
+                res.cycles,
+                cfg.threads,
+            ));
+        }
     }
     Ok(())
 }
@@ -417,7 +427,10 @@ pub fn render_repro(case: u64, base_seed: u64, cfg: &SimConfig, reason: &str) ->
             rec.timeout, rec.max_retries, rec.backoff_cap
         ));
     }
-    s.push_str("// Run under both kernels; compare digests and inspect results.audit.\n");
+    if let Some(t) = cfg.threads {
+        s.push_str(&format!("cfg.threads = Some({t});\n"));
+    }
+    s.push_str("// Run under all three kernels; compare digests and inspect results.audit.\n");
     s
 }
 
@@ -453,6 +466,8 @@ mod tests {
             saw_faults |= !cfg.faults.is_empty();
             saw_schedule |= !cfg.schedule.is_empty();
             saw_recovery |= cfg.recovery.is_some();
+            let threads = cfg.threads.expect("fuzz cases pin a worker count");
+            assert!((1..=4).contains(&threads));
         }
         assert_eq!(routers.len(), 3);
         assert!(saw_faults && saw_schedule && saw_recovery);
@@ -464,6 +479,7 @@ mod tests {
         let text = render_repro(14, DEFAULT_SEED, &cfg, "synthetic reason");
         assert!(text.contains("SimConfig::paper_scaled"));
         assert!(text.contains("cfg.seed ="));
+        assert!(text.contains("cfg.threads = Some("));
         assert!(text.contains("synthetic reason"));
         if !cfg.schedule.is_empty() {
             assert!(text.contains("cfg.schedule.push"));

@@ -87,11 +87,20 @@ pub fn scenarios() -> Vec<GoldenScenario> {
 
     // Routing algorithms and traffic families.
     push("roco-transpose-xyyx", base(RoCo, XyYx, TrafficKind::Transpose, (5, 5), 0.18, 0xA004));
-    push("generic-hotspot-adaptive", base(Generic, Adaptive, TrafficKind::Hotspot, (4, 4), 0.15, 0xA005));
-    push("roco-bitcomplement-adaptive", base(RoCo, Adaptive, TrafficKind::BitComplement, (4, 4), 0.18, 0xA006));
+    push(
+        "generic-hotspot-adaptive",
+        base(Generic, Adaptive, TrafficKind::Hotspot, (4, 4), 0.15, 0xA005),
+    );
+    push(
+        "roco-bitcomplement-adaptive",
+        base(RoCo, Adaptive, TrafficKind::BitComplement, (4, 4), 0.18, 0xA006),
+    );
     push("roco-selfsimilar-xy", base(RoCo, Xy, TrafficKind::SelfSimilar, (4, 4), 0.15, 0xA007));
     push("roco-mpeg-xy", base(RoCo, Xy, TrafficKind::Mpeg, (4, 4), 0.15, 0xA008));
-    push("pathsensitive-transpose-xyyx", base(PathSensitive, XyYx, TrafficKind::Transpose, (4, 4), 0.15, 0xA009));
+    push(
+        "pathsensitive-transpose-xyyx",
+        base(PathSensitive, XyYx, TrafficKind::Transpose, (4, 4), 0.15, 0xA009),
+    );
 
     // One medium mesh at higher load (saturation-adjacent).
     push("roco-uniform-8x8-load", base(RoCo, Xy, TrafficKind::Uniform, (8, 8), 0.30, 0xA00A));
@@ -140,8 +149,15 @@ pub fn scenarios() -> Vec<GoldenScenario> {
     }
     {
         let mut cfg = base(RoCo, Xy, TrafficKind::Uniform, (5, 4), 0.15, 0xA011);
-        cfg.schedule =
-            FaultSchedule::random_mtbf(FaultCategory::Recyclable, cfg.mesh, 2_500.0, Some(800), 12_000, 3, 0xFA05);
+        cfg.schedule = FaultSchedule::random_mtbf(
+            FaultCategory::Recyclable,
+            cfg.mesh,
+            2_500.0,
+            Some(800),
+            12_000,
+            3,
+            0xFA05,
+        );
         push("roco-mtbf-campaign", cfg);
     }
 
@@ -293,7 +309,10 @@ impl GoldenSummary {
                 ScenarioOutcome::Match => s.push_str(&format!("ok       {}\n", run.name)),
                 ScenarioOutcome::Recorded => s.push_str(&format!("recorded {}\n", run.name)),
                 ScenarioOutcome::Missing => {
-                    s.push_str(&format!("MISSING  {} (golden file absent; run with --update)\n", run.name));
+                    s.push_str(&format!(
+                        "MISSING  {} (golden file absent; run with --update)\n",
+                        run.name
+                    ));
                 }
                 ScenarioOutcome::Error(e) => s.push_str(&format!("ERROR    {}: {e}\n", run.name)),
                 ScenarioOutcome::Mismatch(diffs) => {
@@ -322,11 +341,16 @@ pub fn check_one(dir: &Path, name: &str, res: &SimResults, update: bool) -> Gold
     let observed = observed_values(res);
     let rewrite = |outcome: ScenarioOutcome| -> GoldenRun {
         if let Err(e) = std::fs::create_dir_all(dir) {
-            return GoldenRun { name: name.to_string(), outcome: ScenarioOutcome::Error(e.to_string()) };
+            return GoldenRun {
+                name: name.to_string(),
+                outcome: ScenarioOutcome::Error(e.to_string()),
+            };
         }
         match std::fs::write(&path, render_golden(name, &observed)) {
             Ok(()) => GoldenRun { name: name.to_string(), outcome },
-            Err(e) => GoldenRun { name: name.to_string(), outcome: ScenarioOutcome::Error(e.to_string()) },
+            Err(e) => {
+                GoldenRun { name: name.to_string(), outcome: ScenarioOutcome::Error(e.to_string()) }
+            }
         }
     };
     if update {
@@ -338,7 +362,10 @@ pub fn check_one(dir: &Path, name: &str, res: &SimResults, update: bool) -> Gold
             return GoldenRun { name: name.to_string(), outcome: ScenarioOutcome::Missing };
         }
         Err(e) => {
-            return GoldenRun { name: name.to_string(), outcome: ScenarioOutcome::Error(e.to_string()) };
+            return GoldenRun {
+                name: name.to_string(),
+                outcome: ScenarioOutcome::Error(e.to_string()),
+            };
         }
     };
     let expected = parse_golden(&text);
@@ -358,7 +385,8 @@ pub fn check_one(dir: &Path, name: &str, res: &SimResults, update: bool) -> Gold
             diffs.push(format!("{k}: in golden file ({want}) but absent from the run"));
         }
     }
-    let outcome = if diffs.is_empty() { ScenarioOutcome::Match } else { ScenarioOutcome::Mismatch(diffs) };
+    let outcome =
+        if diffs.is_empty() { ScenarioOutcome::Match } else { ScenarioOutcome::Mismatch(diffs) };
     GoldenRun { name: name.to_string(), outcome }
 }
 

@@ -73,8 +73,10 @@ impl Scale {
 /// input order. Work is handed out through a lock-free shared index:
 /// each worker claims the next unclaimed config with a `fetch_add`, so
 /// there is no queue mutex to contend on between (long) simulations.
+/// The worker count honors `NOC_THREADS` ([`noc_sim::worker_threads`]),
+/// the same knob that paces the parallel cycle kernel.
 pub fn run_batch(configs: Vec<SimConfig>) -> Vec<SimResults> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = noc_sim::worker_threads(None);
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut results: Vec<Option<SimResults>> = Vec::new();
     results.resize_with(configs.len(), || None);
@@ -129,7 +131,8 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "### {}\n", self.title);
         let _ = writeln!(out, "| {} |", self.header.join(" | "));
-        let _ = writeln!(out, "|{}|", self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ =
+            writeln!(out, "|{}|", self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
         }
@@ -202,11 +205,8 @@ mod tests {
     #[test]
     fn batch_preserves_order_and_determinism() {
         let mk = |rate: f64| {
-            let mut c = SimConfig::paper_scaled(
-                RouterKind::Generic,
-                RoutingKind::Xy,
-                TrafficKind::Uniform,
-            );
+            let mut c =
+                SimConfig::paper_scaled(RouterKind::Generic, RoutingKind::Xy, TrafficKind::Uniform);
             c.warmup_packets = 50;
             c.measured_packets = 300;
             c.injection_rate = rate;

@@ -33,11 +33,8 @@ fn pending_golden_is_recorded_then_matches_then_diffs() {
     let res = noc_sim::run(scenario.config.clone());
 
     // Bootstrap: a pending file is recorded, not failed.
-    std::fs::write(
-        dir.join(format!("{}.txt", scenario.name)),
-        "# scratch\ndigest = pending\n",
-    )
-    .unwrap();
+    std::fs::write(dir.join(format!("{}.txt", scenario.name)), "# scratch\ndigest = pending\n")
+        .unwrap();
     let run = check_one(&dir, scenario.name, &res, false);
     assert_eq!(run.outcome, ScenarioOutcome::Recorded, "{:?}", run.outcome);
 

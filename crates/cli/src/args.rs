@@ -35,9 +35,8 @@ impl Args {
         let mut it = tokens.into_iter();
         while let Some(tok) = it.next() {
             if let Some(name) = tok.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| ArgError(format!("--{name} requires a value")))?;
+                let value =
+                    it.next().ok_or_else(|| ArgError(format!("--{name} requires a value")))?;
                 if args.flags.insert(name.to_string(), value).is_some() {
                     return Err(ArgError(format!("--{name} given twice")));
                 }
@@ -63,9 +62,7 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => {
-                v.parse().map_err(|_| ArgError(format!("--{name}: cannot parse '{v}'")))
-            }
+            Some(v) => v.parse().map_err(|_| ArgError(format!("--{name}: cannot parse '{v}'"))),
         }
     }
 

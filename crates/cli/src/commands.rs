@@ -6,8 +6,8 @@ use noc_bench::campaign::{run_campaign, CampaignConfig};
 use noc_core::{RouterKind, RoutingKind};
 use noc_fault::{FaultCategory, FaultPlan};
 use noc_sim::{
-    CsvTraceSink, IntervalSample, JsonlMetricsSink, JsonlTraceSink, MetricsSink,
-    PerfettoTraceSink, RecoveryConfig, SimConfig, SimResults, Simulation, TraceSink,
+    CsvTraceSink, IntervalSample, JsonlMetricsSink, JsonlTraceSink, MetricsSink, PerfettoTraceSink,
+    RecoveryConfig, SimConfig, SimResults, Simulation, TraceSink,
 };
 use std::cell::RefCell;
 use std::fmt::Write as _;
@@ -23,7 +23,7 @@ USAGE:
             [--packets N] [--warmup N] [--seed N] [--heatmaps true]
             [--metrics-out F.jsonl] [--trace-out F.perfetto.json|F.jsonl|F.csv]
             [--sample-window N] [--postmortem-out F.json]
-            [--kernel optimized|reference]
+            [--kernel optimized|reference|parallel] [--threads N]
   noc sweep [--router R|all] [--routing A] [--traffic T] [--rates F,F,...]
             [--mesh WxH] [--packets N] [--seed N]
   noc fault [--router R|all] [--routing A] [--category critical|recyclable]
@@ -37,7 +37,8 @@ USAGE:
             [--packets N] [--warmup N] [--seed N] [--sample-window N]
   noc thermal [--router R] [--routing A] [--traffic T] [--rate F] [--packets N]
   noc audit [--router R] [--routing A] [--traffic T] [--rate F] [--mesh WxH]
-            [--packets N] [--warmup N] [--seed N] [--kernel optimized|reference]
+            [--packets N] [--warmup N] [--seed N]
+            [--kernel optimized|reference|parallel] [--threads N]
             [--interval N] [--faults N] [--category critical|recyclable]
             [--recovery true]
   noc golden [--update true]
@@ -72,15 +73,30 @@ fn base_config(args: &Args) -> Result<SimConfig, ArgError> {
     cfg.measured_packets = args.get_or("packets", 10_000u64)?;
     cfg.warmup_packets = args.get_or("warmup", cfg.measured_packets / 10)?;
     cfg.seed = args.get_or("seed", 0xC0C0u64)?;
-    // Both kernels are bit-identical (DESIGN.md §10); `reference`
-    // exists for benchmarking the wake-set and for bisecting.
+    // All kernels are bit-identical (DESIGN.md §10, §13); `reference`
+    // exists for benchmarking the wake-set and for bisecting,
+    // `parallel` shards Phase 3 across worker threads.
     cfg.kernel = match args.get("kernel") {
         None | Some("optimized") => noc_sim::KernelMode::Optimized,
         Some("reference") => noc_sim::KernelMode::Reference,
+        Some("parallel") => noc_sim::KernelMode::Parallel,
         Some(other) => {
-            return Err(ArgError(format!("--kernel: 'optimized' or 'reference', got '{other}'")))
+            return Err(ArgError(format!(
+                "--kernel: 'optimized', 'reference' or 'parallel', got '{other}'"
+            )))
         }
     };
+    // Worker count for the parallel kernel; `NOC_THREADS` and
+    // `available_parallelism` fill in when the flag is absent
+    // (noc_sim::worker_threads). Never affects results.
+    if let Some(t) = args.get("threads") {
+        let t: usize =
+            t.parse().map_err(|_| ArgError(format!("--threads: expected a count, got '{t}'")))?;
+        if t == 0 {
+            return Err(ArgError("--threads must be at least 1".into()));
+        }
+        cfg.threads = Some(t);
+    }
     Ok(cfg)
 }
 
@@ -154,6 +170,8 @@ pub fn cmd_run(args: &Args) -> Result<String, ArgError> {
         "trace-out",
         "sample-window",
         "postmortem-out",
+        "kernel",
+        "threads",
     ]);
     if !unknown.is_empty() {
         return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
@@ -236,7 +254,14 @@ fn sparkline(values: &[f64]) -> String {
 /// ASCII sparklines of the per-window time-series.
 pub fn cmd_timeline(args: &Args) -> Result<String, ArgError> {
     let unknown = args.unknown_flags(&[
-        "router", "routing", "traffic", "rate", "mesh", "packets", "warmup", "seed",
+        "router",
+        "routing",
+        "traffic",
+        "rate",
+        "mesh",
+        "packets",
+        "warmup",
+        "seed",
         "sample-window",
     ]);
     if !unknown.is_empty() {
@@ -304,7 +329,8 @@ pub fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
     }
     let routers = routers_of(args)?;
     let rates = parse_rates(args.get("rates").unwrap_or("0.05,0.1,0.15,0.2,0.25,0.3"))?;
-    let mut out = String::from("router,rate,avg_latency,p95_latency,throughput,energy_nj,completion\n");
+    let mut out =
+        String::from("router,rate,avg_latency,p95_latency,throughput,energy_nj,completion\n");
     for router in routers {
         for &rate in &rates {
             let mut cfg = base_config(args)?;
@@ -377,8 +403,21 @@ fn parse_category(args: &Args, default: &str) -> Result<FaultCategory, ArgError>
 /// an optional deterministic JSON report.
 pub fn cmd_campaign(args: &Args) -> Result<String, ArgError> {
     let unknown = args.unknown_flags(&[
-        "router", "routing", "traffic", "rate", "mesh", "packets", "warmup", "seed", "mtbfs",
-        "repair", "seeds", "recovery", "category", "sample-window", "json-out",
+        "router",
+        "routing",
+        "traffic",
+        "rate",
+        "mesh",
+        "packets",
+        "warmup",
+        "seed",
+        "mtbfs",
+        "repair",
+        "seeds",
+        "recovery",
+        "category",
+        "sample-window",
+        "json-out",
     ]);
     if !unknown.is_empty() {
         return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
@@ -477,7 +516,7 @@ pub fn cmd_campaign(args: &Args) -> Result<String, ArgError> {
 pub fn cmd_audit(args: &Args) -> Result<String, ArgError> {
     let unknown = args.unknown_flags(&[
         "router", "routing", "traffic", "rate", "mesh", "packets", "warmup", "seed", "kernel",
-        "interval", "faults", "category", "recovery",
+        "threads", "interval", "faults", "category", "recovery",
     ]);
     if !unknown.is_empty() {
         return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
@@ -489,8 +528,12 @@ pub fn cmd_audit(args: &Args) -> Result<String, ArgError> {
     });
     let count: usize = args.get_or("faults", 0usize)?;
     if count > 0 {
-        cfg.faults =
-            FaultPlan::random(parse_category(args, "recyclable")?, count, cfg.mesh, cfg.seed ^ 0xFA);
+        cfg.faults = FaultPlan::random(
+            parse_category(args, "recyclable")?,
+            count,
+            cfg.mesh,
+            cfg.seed ^ 0xFA,
+        );
         cfg.stall_window = 5_000;
     }
     if args.get_or("recovery", false)? {
@@ -582,7 +625,10 @@ pub fn cmd_info() -> String {
         let desc: Vec<String> = hist.iter().map(|(k, v)| format!("{v}x{k}")).collect();
         let _ = writeln!(out, "  {routing:>9}: {}", desc.join(" "));
     }
-    let _ = writeln!(out, "\nWorkloads: uniform, transpose, self-similar, mpeg, hotspot, bit-complement");
+    let _ = writeln!(
+        out,
+        "\nWorkloads: uniform, transpose, self-similar, mpeg, hotspot, bit-complement"
+    );
     let _ = writeln!(out, "Run `noc run --help` style usage:\n\n{USAGE}");
     out
 }
@@ -630,20 +676,16 @@ mod tests {
 
     #[test]
     fn sweep_emits_csv() {
-        let out = dispatch(&parse(
-            "sweep --router all --rates 0.1 --packets 200 --warmup 20",
-        ))
-        .unwrap();
+        let out =
+            dispatch(&parse("sweep --router all --rates 0.1 --packets 200 --warmup 20")).unwrap();
         assert!(out.starts_with("router,rate,"));
         assert_eq!(out.lines().count(), 4, "header + one row per router");
     }
 
     #[test]
     fn fault_reports_all_routers() {
-        let out = dispatch(&parse(
-            "fault --router all --faults 1 --packets 400 --warmup 40",
-        ))
-        .unwrap();
+        let out =
+            dispatch(&parse("fault --router all --faults 1 --packets 400 --warmup 40")).unwrap();
         assert!(out.contains("generic"));
         assert!(out.contains("roco"));
         assert!(out.contains("completion"));
@@ -706,6 +748,24 @@ mod tests {
         assert!(dispatch(&parse("explode")).is_err());
         assert!(dispatch(&parse("run --bogus 1")).is_err());
         assert!(dispatch(&parse("run --rate 2.0")).is_err());
+        assert!(dispatch(&parse("run --kernel warp")).is_err());
+        assert!(dispatch(&parse("run --threads 0")).is_err());
+        assert!(dispatch(&parse("run --threads lots")).is_err());
+    }
+
+    #[test]
+    fn run_kernels_print_identical_summaries() {
+        // Same seed, three kernels (parallel at two thread counts):
+        // byte-identical summaries, the CLI face of DESIGN.md §13.
+        let base = "run --packets 300 --warmup 30 --rate 0.1 --seed 42";
+        let optimized = dispatch(&parse(&format!("{base} --kernel optimized"))).unwrap();
+        let reference = dispatch(&parse(&format!("{base} --kernel reference"))).unwrap();
+        let par1 = dispatch(&parse(&format!("{base} --kernel parallel --threads 1"))).unwrap();
+        let par4 = dispatch(&parse(&format!("{base} --kernel parallel --threads 4"))).unwrap();
+        assert_eq!(optimized, reference);
+        assert_eq!(optimized, par1);
+        assert_eq!(optimized, par4);
+        assert!(optimized.contains("completion"));
     }
 
     #[test]
@@ -743,10 +803,9 @@ mod tests {
 
     #[test]
     fn timeline_prints_sparklines() {
-        let out = dispatch(&parse(
-            "timeline --packets 300 --warmup 30 --rate 0.1 --sample-window 50",
-        ))
-        .unwrap();
+        let out =
+            dispatch(&parse("timeline --packets 300 --warmup 30 --rate 0.1 --sample-window 50"))
+                .unwrap();
         assert!(out.contains("windows of 50 cycles"));
         assert!(out.contains("delivered/window"));
         assert!(out.contains("p99 latency"));

@@ -101,8 +101,7 @@ pub fn parse_mesh(s: &str) -> Result<MeshConfig, ArgError> {
 pub fn parse_rates(s: &str) -> Result<Vec<f64>, ArgError> {
     s.split(',')
         .map(|tok| {
-            let r: f64 =
-                tok.trim().parse().map_err(|_| ArgError(format!("bad rate '{tok}'")))?;
+            let r: f64 = tok.trim().parse().map_err(|_| ArgError(format!("bad rate '{tok}'")))?;
             if r <= 0.0 || r > 1.0 {
                 return Err(ArgError(format!("rate {r} outside (0, 1]")));
             }

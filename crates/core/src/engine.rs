@@ -357,9 +357,8 @@ impl RouterCore {
 
     /// Accepts a credit for output `output`.
     pub fn deliver_credit(&mut self, output: Direction, credit: noc_core::Credit) {
-        let port = self.outputs[output.index()]
-            .as_mut()
-            .expect("credit arrived on an unwired output");
+        let port =
+            self.outputs[output.index()].as_mut().expect("credit arrived on an unwired output");
         let vc = &mut port.vcs[credit.vc as usize];
         // Saturate instead of asserting: a mid-run capacity shrink
         // (buffer fault) can leave more credits in flight than the new
@@ -553,10 +552,9 @@ impl RouterCore {
     /// on its downstream VC (ejection never starves: it needs no VC).
     fn vc_credit_starved(&self, vc: &Vc) -> bool {
         match vc.state {
-            VcState::Active { out, dvc, .. } if dvc != EJECT_VC && !vc.queue.is_empty() => self
-                .outputs[out.index()]
-                .as_ref()
-                .is_some_and(|p| p.vcs[dvc as usize].credits == 0),
+            VcState::Active { out, dvc, .. } if dvc != EJECT_VC && !vc.queue.is_empty() => {
+                self.outputs[out.index()].as_ref().is_some_and(|p| p.vcs[dvc as usize].credits == 0)
+            }
             _ => false,
         }
     }
@@ -716,10 +714,8 @@ impl RouterCore {
     fn send_credit(&mut self, vc_id: usize, is_tail: bool) {
         let vc = &self.vcs[vc_id];
         if vc.input_side != Direction::Local {
-            self.pending_credits.push((
-                vc.input_side,
-                noc_core::Credit { vc: vc.link_index, vc_freed: is_tail },
-            ));
+            self.pending_credits
+                .push((vc.input_side, noc_core::Credit { vc: vc.link_index, vc_freed: is_tail }));
         }
     }
 
@@ -825,8 +821,7 @@ impl RouterCore {
             if next_route == Direction::Local && !self.downstream_eject_needs_vc() {
                 // Early Ejection downstream: no VC needed (§3.1).
                 let sa_from = self.sa_from(ctx.cycle);
-                self.vcs[vc_id].state =
-                    VcState::Active { out, dvc: EJECT_VC, next_route, sa_from };
+                self.vcs[vc_id].state = VcState::Active { out, dvc: EJECT_VC, next_route, sa_from };
                 if let Some(a) = out.axis() {
                     va_activity[Self::module_of(a)] = true;
                 }
@@ -844,10 +839,8 @@ impl RouterCore {
                 quadrant_mask: quadrant_mask(b, head.dst),
             };
             let port = self.outputs[out.index()].as_ref().expect("output wired");
-            if let Some(dvc) = port
-                .vcs
-                .iter()
-                .position(|v| v.free && v.desc.capacity > 0 && v.desc.accepts(&req))
+            if let Some(dvc) =
+                port.vcs.iter().position(|v| v.free && v.desc.capacity > 0 && v.desc.accepts(&req))
             {
                 requests.push(VaRequest { vc_id, out, dvc: dvc as u8, next_route });
             } else {
@@ -875,7 +868,9 @@ impl RouterCore {
         let mut i = 0;
         while i < requests.len() {
             let j = (i..requests.len())
-                .take_while(|&k| requests[k].out == requests[i].out && requests[k].dvc == requests[i].dvc)
+                .take_while(|&k| {
+                    requests[k].out == requests[i].out && requests[k].dvc == requests[i].dvc
+                })
                 .last()
                 .unwrap()
                 + 1;
@@ -939,8 +934,7 @@ impl RouterCore {
         );
         if adaptive && self.cfg.router != noc_core::RouterKind::RoCo {
             let mesh = self.computer.mesh();
-            let mut cands =
-                self.computer.candidates(head.src, self.coord, head.dst, head.order);
+            let mut cands = self.computer.candidates(head.src, self.coord, head.dst, head.order);
             // A usable alternative output: not the committed one, its
             // next hop is alive, and the packet remains serviceable one
             // hop further (either it ends there or some minimal
@@ -1126,8 +1120,7 @@ impl RouterCore {
                 return false; // previous packet still streaming in
             }
             let own = self.status();
-            let mut cands =
-                self.computer.candidates(flit.src, self.coord, flit.dst, flit.order);
+            let mut cands = self.computer.candidates(flit.src, self.coord, flit.dst, flit.order);
             cands.retain(|d| own.can_serve_output(d));
             if cands.is_empty() {
                 // Every productive first hop needs a dead module: the
@@ -1150,10 +1143,10 @@ impl RouterCore {
                     order: flit.order,
                     quadrant_mask,
                 };
-                let Some(vc_id) = self.link_map[Direction::Local.index()]
-                    .iter()
-                    .copied()
-                    .find(|&id| self.vcs[id].ready_for_new_packet() && self.vcs[id].desc.accepts(&req))
+                let Some(vc_id) =
+                    self.link_map[Direction::Local.index()].iter().copied().find(|&id| {
+                        self.vcs[id].ready_for_new_packet() && self.vcs[id].desc.accepts(&req)
+                    })
                 else {
                     continue;
                 };

@@ -136,8 +136,7 @@ impl RouterNode for GenericRouter {
         for r in &self.sa_requests {
             let side = Direction::from_index(r.input);
             let Some(axis) = side.axis() else { continue };
-            let granted =
-                self.sa_grants.iter().any(|g| g.input == r.input && g.vc == r.vc);
+            let granted = self.sa_grants.iter().any(|g| g.input == r.input && g.vc == r.vc);
             self.core.record_contention(axis, granted);
         }
     }

@@ -13,7 +13,9 @@ mod vc_config;
 pub use vc_config::{class_histogram, table1_vcs, ModulePort, RocoVcSpec};
 
 use crate::engine::{RouterCore, Vc};
-use noc_arbiter::{MirrorAllocator, RoundRobinArbiter, SeparableAllocator, SwitchGrant, SwitchRequest};
+use noc_arbiter::{
+    MirrorAllocator, RoundRobinArbiter, SeparableAllocator, SwitchGrant, SwitchRequest,
+};
 use noc_core::{
     ActivityCounters, Axis, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit,
     MeshConfig, ModuleHealth, NodeStatus, RouterConfig, RouterKind, RouterNode, RouterOutputs,
@@ -177,13 +179,10 @@ impl RocoRouter {
                 let want = slot_direction(module, slot);
                 lines.clear();
                 lines.extend(
-                    self.port_vcs[port]
-                        .iter()
-                        .map(|&vc| self.core.sa_candidate(vc) == Some(want)),
+                    self.port_vcs[port].iter().map(|&vc| self.core.sa_candidate(vc) == Some(want)),
                 );
                 for (vi, &l) in lines.iter().enumerate() {
-                    if l && self.core.vcs[self.port_vcs[port][vi]].input_side != Direction::Local
-                    {
+                    if l && self.core.vcs[self.port_vcs[port][vi]].input_side != Direction::Local {
                         eligible.push(self.port_vcs[port][vi]);
                     }
                 }
@@ -195,8 +194,10 @@ impl RocoRouter {
                 }
             }
         }
-        let requests =
-            [[cand[0][0].is_some(), cand[0][1].is_some()], [cand[1][0].is_some(), cand[1][1].is_some()]];
+        let requests = [
+            [cand[0][0].is_some(), cand[0][1].is_some()],
+            [cand[1][0].is_some(), cand[1][1].is_some()],
+        ];
         if requests.iter().flatten().any(|&r| r) {
             // Global stage: a single 2:1 mirror arbitration per module.
             self.core.counters.sa_global_arbs += 1;

@@ -17,9 +17,7 @@
 //! escape channels (the second dx of Row port 2 and the turn-restricted
 //! txy pair of Column port 2 under adaptive routing) are marked as such.
 
-use noc_core::{
-    Direction, RouterConfig, RoutingKind, VcAdmission, VcClass, VcDescriptor,
-};
+use noc_core::{Direction, RouterConfig, RoutingKind, VcAdmission, VcClass, VcDescriptor};
 
 /// Which module-port a RoCo VC belongs to (the `group` tag used by the
 /// Mirror switch allocator).

@@ -46,8 +46,7 @@ fn tiny_core() -> RouterCore {
 }
 
 fn head_flit(dst: Coord, next_out: Direction) -> Flit {
-    let mut f =
-        Flit::packet_flits(PacketId(1), Coord::new(0, 1), dst, 0, 1, AxisOrder::Xy)[0];
+    let mut f = Flit::packet_flits(PacketId(1), Coord::new(0, 1), dst, 0, 1, AxisOrder::Xy)[0];
     f.next_out = next_out;
     f
 }
@@ -134,24 +133,12 @@ fn injection_is_atomic_per_vc() {
     let mut core = tiny_core();
     let mut rng = SmallRng::seed_from_u64(4);
     let mut ctx = StepContext::new(0, &mut rng);
-    let flits = Flit::packet_flits(
-        PacketId(5),
-        Coord::new(1, 1),
-        Coord::new(3, 3),
-        0,
-        4,
-        AxisOrder::Xy,
-    );
+    let flits =
+        Flit::packet_flits(PacketId(5), Coord::new(1, 1), Coord::new(3, 3), 0, 4, AxisOrder::Xy);
     assert!(core.try_inject(flits[0], &mut ctx), "head fits the idle injection VC");
     // A second packet's head must wait: the single injection VC is bound.
-    let other = Flit::packet_flits(
-        PacketId(6),
-        Coord::new(1, 1),
-        Coord::new(2, 2),
-        0,
-        1,
-        AxisOrder::Xy,
-    )[0];
+    let other =
+        Flit::packet_flits(PacketId(6), Coord::new(1, 1), Coord::new(2, 2), 0, 1, AxisOrder::Xy)[0];
     assert!(!core.try_inject(other, &mut ctx));
     // Body flits of the bound packet continue to flow in.
     assert!(core.try_inject(flits[1], &mut ctx));

@@ -19,11 +19,7 @@ fn wired(kind: RouterKind, routing: RoutingKind) -> AnyRouter {
     let cfg = RouterConfig::paper(kind, routing);
     let mut r = AnyRouter::build(Coord::new(1, 1), cfg, MESH);
     for d in Direction::MESH {
-        let neighbor = AnyRouter::build(
-            Coord::new(1, 1).neighbor(d, 3, 3).unwrap(),
-            cfg,
-            MESH,
-        );
+        let neighbor = AnyRouter::build(Coord::new(1, 1).neighbor(d, 3, 3).unwrap(), cfg, MESH);
         let descs = neighbor.vcs_on_link(d.opposite()).to_vec();
         r.connect_output(d, &descs);
     }
@@ -125,14 +121,8 @@ fn guided_queuing_publishes_table1_classes() {
     let west = r.vcs_on_link(Direction::West);
     assert_eq!(west.len(), 3);
     let classes: Vec<_> = west.iter().map(|d| d.admission).collect();
-    assert_eq!(
-        classes.iter().filter(|a| **a == VcAdmission::Class(VcClass::Dx)).count(),
-        2
-    );
-    assert_eq!(
-        classes.iter().filter(|a| **a == VcAdmission::Class(VcClass::Txy)).count(),
-        1
-    );
+    assert_eq!(classes.iter().filter(|a| **a == VcAdmission::Class(VcClass::Dx)).count(), 2);
+    assert_eq!(classes.iter().filter(|a| **a == VcAdmission::Class(VcClass::Txy)).count(), 1);
     // Injection side: 2 Injxy + 1 Injyx under XY.
     let local = r.vcs_on_link(Direction::Local);
     assert_eq!(local.len(), 3);
@@ -170,7 +160,10 @@ fn module_fault_reports_degraded_status_and_zeroes_descriptors() {
     assert!(!status.node_dead());
     // The row-module buffers are advertised with zero capacity...
     let west = r.vcs_on_link(Direction::West);
-    assert!(west.iter().filter(|d| d.admission == VcAdmission::Class(VcClass::Dx)).all(|d| d.capacity == 0));
+    assert!(west
+        .iter()
+        .filter(|d| d.admission == VcAdmission::Class(VcClass::Dx))
+        .all(|d| d.capacity == 0));
     // ...but the column-module txy buffer on the same link survives.
     assert!(west.iter().any(|d| d.capacity > 0));
 }
@@ -213,7 +206,8 @@ fn injection_respects_class_buffers() {
     let mut r = wired(RouterKind::RoCo, RoutingKind::Xy);
     let mut rng = SmallRng::seed_from_u64(7);
     // A packet going East first must land in an Injxy buffer.
-    let f = Flit::packet_flits(PacketId(3), Coord::new(1, 1), Coord::new(2, 2), 0, 1, AxisOrder::Xy)[0];
+    let f =
+        Flit::packet_flits(PacketId(3), Coord::new(1, 1), Coord::new(2, 2), 0, 1, AxisOrder::Xy)[0];
     let mut ctx = StepContext::new(0, &mut rng);
     assert!(r.try_inject(f, &mut ctx));
     assert_eq!(r.occupancy(), 1);

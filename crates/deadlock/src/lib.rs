@@ -182,8 +182,7 @@ impl CdgAnalyzer {
                             continue; // delivered on arrival, no wait
                         }
                         for onward in self.computer.candidates(src, b, dst, order).iter() {
-                            for ch in
-                                self.admitting_channels(b, out.opposite(), onward, dst, order)
+                            for ch in self.admitting_channels(b, out.opposite(), onward, dst, order)
                             {
                                 let st = State { channel: ch, dst, order, src_x: src.x };
                                 if seen.insert(st) {
@@ -208,8 +207,7 @@ impl CdgAnalyzer {
                     continue; // ejection: no downstream channel to wait for
                 }
                 for onward in self.computer.candidates(src, c, dst, order).iter() {
-                    for next in self.admitting_channels(c, out.opposite(), onward, dst, order)
-                    {
+                    for next in self.admitting_channels(c, out.opposite(), onward, dst, order) {
                         edges.insert((channel, next));
                         let st2 = State { channel: next, dst, order, src_x };
                         if seen.insert(st2) {
@@ -316,16 +314,15 @@ mod tests {
     #[test]
     fn every_shipping_configuration_is_deadlock_free() {
         for router in RouterKind::ALL {
-            for routing in
-                [RoutingKind::Xy, RoutingKind::XyYx, RoutingKind::Adaptive, RoutingKind::AdaptiveOddEven]
-            {
+            for routing in [
+                RoutingKind::Xy,
+                RoutingKind::XyYx,
+                RoutingKind::Adaptive,
+                RoutingKind::AdaptiveOddEven,
+            ] {
                 let a = verify(router, routing, MESH);
                 assert!(a.channels > 0 && a.edges > 0, "{router}/{routing}: empty CDG");
-                assert!(
-                    a.deadlock_free(),
-                    "{router}/{routing}: CDG cycle {:?}",
-                    a.cycle
-                );
+                assert!(a.deadlock_free(), "{router}/{routing}: CDG cycle {:?}", a.cycle);
             }
         }
     }

@@ -63,7 +63,9 @@ pub fn classify(component: FaultComponent, buffer_has_bypass: bool) -> FaultClas
         VaArbiter => {
             FaultClass { regime: PerPacket, pathway: NonCritical, centricity: RouterCentric }
         }
-        SaArbiter => FaultClass { regime: PerFlit, pathway: NonCritical, centricity: RouterCentric },
+        SaArbiter => {
+            FaultClass { regime: PerFlit, pathway: NonCritical, centricity: RouterCentric }
+        }
         Crossbar => FaultClass { regime: PerFlit, pathway: Critical, centricity: RouterCentric },
         MuxDemux => FaultClass { regime: PerFlit, pathway: Critical, centricity: MessageCentric },
     }

@@ -59,10 +59,8 @@ impl FaultPlan {
             .take(count)
             .map(|idx| {
                 let coord = Coord::from_index(idx, mesh.width);
-                let component = *category
-                    .components()
-                    .choose(&mut rng)
-                    .expect("categories are non-empty");
+                let component =
+                    *category.components().choose(&mut rng).expect("categories are non-empty");
                 let axis = if rng.gen_bool(0.5) { Axis::X } else { Axis::Y };
                 let fault = if component == FaultComponent::VcBuffer {
                     ComponentFault::buffer(axis, rng.gen_range(0..slots) as u8)
@@ -145,11 +143,7 @@ mod tests {
                 let plan = FaultPlan::random_for_vcs(FaultCategory::Recyclable, 8, mesh, seed, vcs);
                 for (_, f) in &plan.faults {
                     if f.component == FaultComponent::VcBuffer {
-                        assert!(
-                            f.vc < 2 * vcs,
-                            "slot {} out of range for {vcs} VCs/port",
-                            f.vc
-                        );
+                        assert!(f.vc < 2 * vcs, "slot {} out of range for {vcs} VCs/port", f.vc);
                     }
                 }
             }

@@ -323,9 +323,9 @@ mod tests {
             assert!(e.site.x < 4 && e.site.y < 4);
             if e.action.is_inject() {
                 assert!(e.cycle < 10_000, "injections stay inside the horizon");
-                assert!(
-                    FaultCategory::Recyclable.components().contains(&e.action.fault().component)
-                );
+                assert!(FaultCategory::Recyclable
+                    .components()
+                    .contains(&e.action.fault().component));
             }
         }
         let c = gen(43);

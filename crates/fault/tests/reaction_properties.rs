@@ -64,10 +64,7 @@ fn recyclable_category_gets_true_recycling_reactions_in_roco() {
     for &component in FaultCategory::Recyclable.components() {
         let r = reaction(RouterKind::RoCo, component);
         assert!(
-            matches!(
-                r,
-                Reaction::DoubleRouting | Reaction::VirtualQueuing | Reaction::SaOffload
-            ),
+            matches!(r, Reaction::DoubleRouting | Reaction::VirtualQueuing | Reaction::SaOffload),
             "{component:?} should be bypassed, got {r:?}"
         );
     }

@@ -109,13 +109,8 @@ impl Direction {
         [Direction::North, Direction::East, Direction::South, Direction::West];
 
     /// All five directions including [`Direction::Local`].
-    pub const ALL: [Direction; 5] = [
-        Direction::North,
-        Direction::East,
-        Direction::South,
-        Direction::West,
-        Direction::Local,
-    ];
+    pub const ALL: [Direction; 5] =
+        [Direction::North, Direction::East, Direction::South, Direction::West, Direction::Local];
 
     /// The opposite mesh direction; `Local` is its own opposite.
     pub fn opposite(self) -> Direction {

@@ -41,8 +41,8 @@ pub use error::ConfigError;
 pub use flit::{Cycle, Flit, FlitKind, Packet, PacketId};
 pub use geometry::{Axis, AxisOrder, Coord, Direction};
 pub use node::{
-    ComponentFault, FaultComponent, ModuleHealth, NodeStatus, RouterNode, RouterOutputs,
-    StepContext, EJECT_VC,
+    router_rng, ComponentFault, FaultComponent, ModuleHealth, NodeStatus, RouterNode,
+    RouterOutputs, StepContext, EJECT_VC, RNG_STREAM_INJECT, RNG_STREAM_STEP,
 };
 pub use probe::{AuditProbe, CreditBook, LatchedFlit, VcAudit, VcPhase, VcSnapshot};
 pub use vc::{Credit, TurnFilter, VcAdmission, VcClass, VcDescriptor, VcRef, VcRequest};

@@ -91,13 +91,52 @@ impl Default for NodeStatus {
     }
 }
 
+/// Stream selector for [`router_rng`]: draws consumed inside
+/// [`RouterNode::step`].
+pub const RNG_STREAM_STEP: u64 = 0;
+
+/// Stream selector for [`router_rng`]: draws consumed inside
+/// [`RouterNode::try_inject`].
+pub const RNG_STREAM_INJECT: u64 = 1;
+
+/// Derives the counter-based RNG stream a router draws from during one
+/// cycle of one phase.
+///
+/// Every kernel (Reference, Optimized, Parallel) seeds a fresh
+/// [`SmallRng`] from `(master_seed, router_index, cycle, stream)`
+/// before calling into a router, so the numbers a router sees depend
+/// only on *which router* is stepping on *which cycle* — never on how
+/// many other routers stepped first, which routers the wake-set
+/// skipped, or which worker thread ran the shard. That independence is
+/// what lets `SimResults::digest()` equality hold across kernels and
+/// across thread counts.
+///
+/// The mixer is a SplitMix64-style finalizer chain: each counter is
+/// absorbed with its own odd offset and avalanched before the next, so
+/// nearby `(router, cycle)` pairs land in unrelated streams.
+pub fn router_rng(master_seed: u64, router_index: usize, cycle: Cycle, stream: u64) -> SmallRng {
+    #[inline]
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let mut h = mix(master_seed ^ 0x9E37_79B9_7F4A_7C15);
+    h = mix(h ^ (router_index as u64).wrapping_add(0xA076_1D64_78BD_642F));
+    h = mix(h ^ cycle.wrapping_add(0xE703_7ED1_A0B4_28DB));
+    h = mix(h ^ stream.wrapping_add(0x8EBC_6AF0_9C88_C6E3));
+    rand::SeedableRng::seed_from_u64(h)
+}
+
 /// Per-cycle context handed to [`RouterNode::step`].
 #[derive(Debug)]
 pub struct StepContext<'a> {
     /// Current simulation cycle.
     pub cycle: Cycle,
-    /// Deterministic per-network RNG (arbitration tie-breaks, XY-YX
-    /// coin flips, adaptive selection).
+    /// Deterministic RNG (arbitration tie-breaks, XY-YX coin flips,
+    /// adaptive selection). The simulator hands each router its own
+    /// counter-based stream from [`router_rng`], so draws are
+    /// independent of step order and thread count.
     pub rng: &'a mut SmallRng,
     /// Operational status of the four mesh neighbours (`None` at a mesh
     /// boundary), indexed by [`Direction::index`].
@@ -397,6 +436,24 @@ mod tests {
     fn outputs_empty_check() {
         let o = RouterOutputs::new();
         assert!(o.is_empty());
+    }
+
+    #[test]
+    fn router_rng_streams_are_deterministic_and_distinct() {
+        use rand::Rng;
+        let draw =
+            |seed, router, cycle, stream| router_rng(seed, router, cycle, stream).gen::<u64>();
+        // Same counters ⇒ same stream, independent of call order.
+        assert_eq!(draw(7, 3, 100, RNG_STREAM_STEP), draw(7, 3, 100, RNG_STREAM_STEP));
+        // Any counter change ⇒ a different stream.
+        let base = draw(7, 3, 100, RNG_STREAM_STEP);
+        assert_ne!(base, draw(8, 3, 100, RNG_STREAM_STEP));
+        assert_ne!(base, draw(7, 4, 100, RNG_STREAM_STEP));
+        assert_ne!(base, draw(7, 3, 101, RNG_STREAM_STEP));
+        assert_ne!(base, draw(7, 3, 100, RNG_STREAM_INJECT));
+        // Adjacent (router, cycle) pairs must not collide via linear
+        // cancellation: (r, c) vs (r+1, c-1).
+        assert_ne!(draw(7, 3, 100, RNG_STREAM_STEP), draw(7, 4, 99, RNG_STREAM_STEP));
     }
 
     #[test]

@@ -337,9 +337,8 @@ mod tests {
 
     #[test]
     fn descriptor_turn_filter() {
-        let vc = VcDescriptor::new(VcAdmission::Class(VcClass::Txy), 5)
-            .escape()
-            .with_turn(East, South);
+        let vc =
+            VcDescriptor::new(VcAdmission::Class(VcClass::Txy), 5).escape().with_turn(East, South);
         assert!(vc.accepts(&req(East, South)));
         // Same class, wrong turn.
         assert!(!vc.accepts(&req(East, North)));

@@ -90,7 +90,9 @@ impl RouterEnergyProfile {
             RouterKind::RoCo => (2.0, 1.0, 2.0 * v, 2.0),
         };
         let buffer_bits = cfg.total_buffer_flits() as f64 * bits;
-        let xpoints = xbar_ports * xbar_ports * xbar_connectivity
+        let xpoints = xbar_ports
+            * xbar_ports
+            * xbar_connectivity
             * if cfg.router == RouterKind::RoCo { 2.0 } else { 1.0 };
         RouterEnergyProfile {
             buffer_write: bits * E_BIT_WRITE,
@@ -102,8 +104,7 @@ impl RouterEnergyProfile {
             sa_global: arb_energy(sa_global_r),
             rc: E_RC,
             link: bits * E_BIT_LINK,
-            leakage_per_cycle: buffer_bits * LEAK_PER_BIT_CYCLE
-                + xpoints * LEAK_PER_XPOINT_CYCLE,
+            leakage_per_cycle: buffer_bits * LEAK_PER_BIT_CYCLE + xpoints * LEAK_PER_XPOINT_CYCLE,
         }
     }
 }

@@ -110,8 +110,7 @@ impl RouteComputer {
             1 => cands.iter().next().expect("len checked"),
             _ => {
                 let best = cands.iter().map(&mut score).max().expect("non-empty");
-                let tied: Vec<Direction> =
-                    cands.iter().filter(|&d| score(d) == best).collect();
+                let tied: Vec<Direction> = cands.iter().filter(|&d| score(d) == best).collect();
                 tied[rng.gen_range(0..tied.len())]
             }
         }

@@ -167,8 +167,9 @@ mod tests {
     #[test]
     fn aligned_routes_are_straight() {
         let src = Coord::new(1, 1);
-        assert!(odd_even_candidates(src, Coord::new(1, 3), Coord::new(1, 7))
-            .contains(Direction::South));
+        assert!(
+            odd_even_candidates(src, Coord::new(1, 3), Coord::new(1, 7)).contains(Direction::South)
+        );
         let c = odd_even_candidates(src, Coord::new(3, 1), Coord::new(6, 1));
         assert_eq!(c.len(), 1);
         assert!(c.contains(Direction::East));

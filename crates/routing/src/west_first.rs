@@ -50,12 +50,13 @@ mod tests {
 
     #[test]
     fn aligned_cases() {
-        assert!(west_first_candidates(Coord::new(2, 2), Coord::new(2, 5))
-            .contains(Direction::South));
-        assert!(west_first_candidates(Coord::new(2, 2), Coord::new(2, 0))
-            .contains(Direction::North));
-        assert!(west_first_candidates(Coord::new(2, 2), Coord::new(6, 2))
-            .contains(Direction::East));
+        assert!(
+            west_first_candidates(Coord::new(2, 2), Coord::new(2, 5)).contains(Direction::South)
+        );
+        assert!(
+            west_first_candidates(Coord::new(2, 2), Coord::new(2, 0)).contains(Direction::North)
+        );
+        assert!(west_first_candidates(Coord::new(2, 2), Coord::new(6, 2)).contains(Direction::East));
         assert!(west_first_candidates(Coord::new(2, 2), Coord::new(2, 2)).is_empty());
     }
 
@@ -99,10 +100,7 @@ mod tests {
                     assert!(!cands.is_empty());
                     for d in cands.iter() {
                         let next = cur.neighbor(d, n, n).expect("stays in mesh");
-                        assert_eq!(
-                            next.manhattan_distance(dst) + 1,
-                            cur.manhattan_distance(dst)
-                        );
+                        assert_eq!(next.manhattan_distance(dst) + 1, cur.manhattan_distance(dst));
                         stack.push(next);
                     }
                 }

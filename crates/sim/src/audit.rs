@@ -917,10 +917,7 @@ impl Auditor {
                     None,
                     None,
                     None,
-                    format!(
-                        "cached occupancy {} != derived occupancy {derived}",
-                        sim.occ_cache[i]
-                    ),
+                    format!("cached occupancy {} != derived occupancy {derived}", sim.occ_cache[i]),
                 );
             }
             if sim.cfg.kernel == KernelMode::Optimized
@@ -958,7 +955,10 @@ impl Auditor {
                 None,
                 None,
                 None,
-                format!("incremental source count {} != derived {derived_sources}", sim.source_total),
+                format!(
+                    "incremental source count {} != derived {derived_sources}",
+                    sim.source_total
+                ),
             );
         }
 
@@ -1133,7 +1133,8 @@ mod tests {
                 ComponentFault::new(FaultComponent::VaArbiter, Axis::Y),
             );
             cfg.schedule = schedule;
-            cfg.recovery = Some(RecoveryConfig { timeout: 300, max_retries: 3, backoff_cap: 2_000 });
+            cfg.recovery =
+                Some(RecoveryConfig { timeout: 300, max_retries: 3, backoff_cap: 2_000 });
             let results = Simulation::new(cfg).run();
             let report = results.audit.expect("audit was enabled");
             assert!(report.clean(), "{router:?}: {}", report.render());
@@ -1186,9 +1187,7 @@ mod tests {
         let mut victim = None;
         for _ in 0..500 {
             sim.step();
-            if let Some(pos) =
-                sim.flits_in_flight.iter().position(|f| f.vc != noc_core::EJECT_VC)
-            {
+            if let Some(pos) = sim.flits_in_flight.iter().position(|f| f.vc != noc_core::EJECT_VC) {
                 victim = Some(pos);
                 break;
             }
@@ -1217,9 +1216,10 @@ mod tests {
                 v.input_side != Direction::Local
                     && v.queue_len == 0
                     && v.phase == VcPhase::Idle
-                    && !sim.flits_in_flight.iter().any(|f| {
-                        f.node == node && f.from == v.input_side && f.vc == v.link_index
-                    })
+                    && !sim
+                        .flits_in_flight
+                        .iter()
+                        .any(|f| f.node == node && f.from == v.input_side && f.vc == v.link_index)
             })
             .expect("no idle link VC at the interior node");
         let forged = Flit::packet_flit_iter(
@@ -1404,8 +1404,12 @@ mod tests {
         a.on_link_flit(1, 5, Direction::West, 0, &p[0]);
         a.on_link_flit(2, 5, Direction::West, 0, &p[1]);
         // Sentinel poison: the aborting router no longer knew the id.
-        let poison =
-            Flit::poison_tail(PacketId(u64::MAX), Coord::new(0, 0), Coord::new(3, 3), Direction::East);
+        let poison = Flit::poison_tail(
+            PacketId(u64::MAX),
+            Coord::new(0, 0),
+            Coord::new(3, 3),
+            Direction::East,
+        );
         a.on_link_flit(3, 5, Direction::West, 0, &poison);
         assert_eq!(a.total, 0, "{}", a.report().render());
         assert!(a.live.is_empty(), "poisoned packet must resolve via the stream state");

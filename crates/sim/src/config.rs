@@ -7,10 +7,13 @@ use serde::{Deserialize, Serialize};
 
 /// Cycle-kernel selection for [`crate::Simulation`].
 ///
-/// Both kernels produce bit-identical [`crate::SimResults`] for a given
-/// config and seed (the determinism tests and the `perf` benchmark
-/// binary assert this); `Reference` exists as the equivalence baseline
-/// and for measuring the wake-set speedup.
+/// All three kernels produce bit-identical [`crate::SimResults`] for a
+/// given config and seed — routers draw from counter-based per-router
+/// RNG streams ([`noc_core::router_rng`]), so results do not depend on
+/// step order, wake-set skipping, or thread count (the determinism
+/// tests, the fuzz oracle, and the `perf` benchmark binary assert
+/// this). `Reference` exists as the equivalence baseline and for
+/// measuring the wake-set speedup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum KernelMode {
     /// Step every router every cycle (the pre-optimization kernel).
@@ -19,6 +22,14 @@ pub enum KernelMode {
     /// tick their clocked-cycle counter (the default).
     #[default]
     Optimized,
+    /// Sharded Phase-3 kernel: the router vector is split into
+    /// contiguous chunks stepped by `std::thread::scope` workers, each
+    /// with its own recycled scratch; shard outputs are merged in
+    /// ascending router order so results stay byte-identical at any
+    /// thread count (DESIGN.md §13). Honors the wake-set like
+    /// `Optimized`; worker count comes from [`SimConfig::threads`] /
+    /// `NOC_THREADS` / `available_parallelism`.
+    Parallel,
 }
 
 /// Full description of one simulation run (§5.4's experimental setup).
@@ -72,6 +83,12 @@ pub struct SimConfig {
     /// either way; see [`KernelMode`]).
     #[serde(default)]
     pub kernel: KernelMode,
+    /// Worker-thread count for [`KernelMode::Parallel`] (ignored by the
+    /// sequential kernels). `None` defers to the `NOC_THREADS`
+    /// environment variable, then to `available_parallelism` — see
+    /// [`crate::worker_threads`]. Results never depend on this value.
+    #[serde(default)]
+    pub threads: Option<usize>,
     /// Timed mid-run fault/repair events, applied when their cycle
     /// arrives (empty = static faults only). The static `faults` plan
     /// still fires before cycle 0, exactly as before.
@@ -162,7 +179,10 @@ fn default_audit_max_recorded() -> usize {
 
 impl Default for AuditConfig {
     fn default() -> Self {
-        AuditConfig { interval: default_audit_interval(), max_recorded: default_audit_max_recorded() }
+        AuditConfig {
+            interval: default_audit_interval(),
+            max_recorded: default_audit_max_recorded(),
+        }
     }
 }
 
@@ -191,6 +211,7 @@ impl SimConfig {
             sample_window: default_sample_window(),
             block_timeout: None,
             kernel: KernelMode::default(),
+            threads: None,
             schedule: FaultSchedule::none(),
             handshake_latency: default_handshake_latency(),
             recovery: None,
@@ -224,6 +245,19 @@ impl SimConfig {
     /// Sets the RNG seed (builder style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Selects the cycle kernel (builder style).
+    pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Requests an explicit worker-thread count for the parallel kernel
+    /// (builder style). Results are identical at any thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 
@@ -276,9 +310,20 @@ mod tests {
     fn builders() {
         let c = SimConfig::paper_scaled(RouterKind::Generic, RoutingKind::Xy, TrafficKind::Uniform)
             .with_rate(0.1)
-            .with_seed(7);
+            .with_seed(7)
+            .with_kernel(KernelMode::Parallel)
+            .with_threads(4);
         assert_eq!(c.injection_rate, 0.1);
         assert_eq!(c.seed, 7);
+        assert_eq!(c.kernel, KernelMode::Parallel);
+        assert_eq!(c.threads, Some(4));
         assert_eq!(c.router_config().buffer_depth, 4);
+    }
+
+    #[test]
+    fn default_kernel_is_optimized_with_unset_threads() {
+        let c = SimConfig::paper_scaled(RouterKind::RoCo, RoutingKind::Xy, TrafficKind::Uniform);
+        assert_eq!(c.kernel, KernelMode::Optimized);
+        assert_eq!(c.threads, None);
     }
 }

@@ -33,6 +33,7 @@ mod network;
 mod postmortem;
 mod report;
 mod stats;
+mod threads;
 mod trace;
 
 pub use audit::{AuditKind, AuditReport, AuditViolation, Auditor};
@@ -45,6 +46,7 @@ pub use postmortem::{
 };
 pub use report::{render_heatmap, NodeReport, NodeSummary};
 pub use stats::{RecoveryStats, SimResults, StatsCollector};
+pub use threads::worker_threads;
 pub use trace::{
     replay_entries, CsvTraceSink, JsonlTraceSink, PerfettoTraceSink, TraceEvent, TraceSink,
     VecTraceSink,

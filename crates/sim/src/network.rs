@@ -7,15 +7,22 @@
 //! new packets to the network interfaces, which inject at most one flit
 //! per node per cycle; (3) every router executes one pipeline step
 //! (stage 1 = look-ahead RC + VA + speculative SA, stage 2 = switch
-//! traversal of the previous cycle's winners). All randomness flows
-//! from a single seeded RNG, so runs are exactly reproducible.
+//! traversal of the previous cycle's winners). All randomness is
+//! counter-based: the sequential phases draw from the seeded master
+//! RNG, and each router step draws from its own
+//! `(seed, router, cycle)` stream ([`noc_core::router_rng`]), so runs
+//! are exactly reproducible regardless of kernel or thread count.
 //!
 //! The cycle kernel is allocation-free in steady state: topology is
 //! precomputed into index tables, in-flight lists and router outputs
 //! are recycled as double/scratch buffers, and under the default
 //! [`KernelMode::Optimized`] a wake-set skips routers that are provably
 //! quiescent (see DESIGN.md §10 for the invariant and the proof
-//! obligations that keep both kernels bit-identical).
+//! obligations that keep the kernels bit-identical).
+//! [`KernelMode::Parallel`] additionally shards Phase 3 across scoped
+//! worker threads and merges shard outputs in canonical router order
+//! (DESIGN.md §13), so its results are byte-identical to the
+//! sequential kernels at any worker count.
 
 use crate::audit::Auditor;
 use crate::config::{KernelMode, SimConfig};
@@ -27,8 +34,9 @@ use crate::report::{NodeReport, NodeSummary};
 use crate::stats::{RecoveryStats, SimResults, StatsCollector};
 use crate::trace::{TraceEvent, TraceSink};
 use noc_core::{
-    ActivityCounters, ComponentFault, Coord, Credit, Cycle, Direction, Flit, MeshConfig,
-    NodeStatus, PacketId, RouterNode, RouterOutputs, StepContext, VcDescriptor, VcPhase, EJECT_VC,
+    router_rng, ActivityCounters, ComponentFault, Coord, Credit, Cycle, Direction, Flit,
+    MeshConfig, NodeStatus, PacketId, RouterNode, RouterOutputs, StepContext, VcDescriptor,
+    VcPhase, EJECT_VC, RNG_STREAM_INJECT, RNG_STREAM_STEP,
 };
 use noc_deadlock::{find_channel_cycle, Channel};
 use noc_fault::{FaultAction, FaultEvent};
@@ -76,6 +84,65 @@ pub(crate) struct CreditInFlight {
     pub(crate) node: usize,
     pub(crate) output: Direction,
     pub(crate) credit: Credit,
+}
+
+/// Per-worker scratch for the parallel kernel's Phase 3, recycled
+/// across cycles (DESIGN.md §13). Each shard records which of its
+/// routers actually stepped and keeps one [`RouterOutputs`] slot per
+/// local router, so the coordinator can absorb results in canonical
+/// ascending router order after the join without copying flits twice.
+#[derive(Debug, Default)]
+struct ShardScratch {
+    /// Within-shard indices of the routers stepped this cycle, in
+    /// ascending order.
+    stepped: Vec<u32>,
+    /// One recycled output scratch per local router slot.
+    outs: Vec<RouterOutputs>,
+    /// Net buffered-flit occupancy change across the shard this cycle.
+    occ_delta: i64,
+}
+
+/// One worker's share of Phase 3: steps the active routers of one
+/// contiguous shard. Runs inside `std::thread::scope` (or inline when
+/// there is a single shard); it touches only shard-local slices
+/// (`routers`, `active`, `occ_cache`) plus shared read-only topology,
+/// so shards never contend, and every router draws from its own
+/// counter-based RNG stream, so the draws match the sequential kernels
+/// exactly.
+#[allow(clippy::too_many_arguments)]
+fn shard_phase3(
+    base: usize,
+    cycle: Cycle,
+    seed: u64,
+    routers: &mut [AnyRouter],
+    active: &mut [bool],
+    occ_cache: &mut [usize],
+    statuses: &[NodeStatus],
+    neighbor_idx: &[[Option<usize>; 4]],
+    scratch: &mut ShardScratch,
+) {
+    scratch.stepped.clear();
+    scratch.occ_delta = 0;
+    for (local, router) in routers.iter_mut().enumerate() {
+        if !active[local] {
+            // Quiescent and nothing arrived: stepping would only
+            // advance the clocked-cycle counter (DESIGN.md §10).
+            router.tick_idle();
+            continue;
+        }
+        let i = base + local;
+        let mut rng = router_rng(seed, i, cycle, RNG_STREAM_STEP);
+        let mut ctx = StepContext::new(cycle, &mut rng);
+        for dir in Direction::MESH {
+            ctx.neighbors[dir.index()] = neighbor_idx[i][dir.index()].map(|n| statuses[n]);
+        }
+        router.step(&mut ctx, &mut scratch.outs[local]);
+        scratch.stepped.push(local as u32);
+        let occ = router.occupancy();
+        scratch.occ_delta += occ as i64 - occ_cache[local] as i64;
+        occ_cache[local] = occ;
+        active[local] = !router.is_quiescent();
+    }
 }
 
 /// End-to-end recovery bookkeeping for one not-yet-delivered packet.
@@ -162,8 +229,16 @@ pub struct Simulation {
     /// every neighbour's look-ahead decision — only updates when the
     /// republication fires `handshake_latency` cycles later.
     pub(crate) statuses: Vec<NodeStatus>,
-    /// Reusable router-output scratch ([`RouterNode::step`] contract).
+    /// Reusable router-output scratch ([`RouterNode::step`] contract),
+    /// used by the sequential kernels.
     outputs: RouterOutputs,
+    /// Resolved worker count for [`KernelMode::Parallel`], fixed at
+    /// construction ([`crate::worker_threads`]; ignored by the
+    /// sequential kernels). Results never depend on it.
+    threads: usize,
+    /// Per-shard recycled scratch for the parallel kernel (empty until
+    /// the first parallel step).
+    shards: Vec<ShardScratch>,
     /// Wake-set: `active[i]` means router `i` may do observable work
     /// this cycle and must be stepped. Set on flit/credit delivery and
     /// successful injection; cleared after a step that leaves the
@@ -177,6 +252,11 @@ pub struct Simulation {
     /// Σ `sources[i].len()` — flits awaiting injection, kept
     /// incrementally so [`Simulation::flits_in_system`] is O(1).
     pub(crate) source_total: usize,
+    /// Master RNG, consumed only by the sequential phases (traffic
+    /// generation, injection ordering). Router steps and injections
+    /// draw from counter-based per-router streams instead
+    /// ([`router_rng`]), so their draws are independent of kernel,
+    /// step order and thread count.
     rng: SmallRng,
     pub(crate) cycle: Cycle,
     pub(crate) stats: StatsCollector,
@@ -271,6 +351,7 @@ impl Simulation {
         }
         let computer = RouteComputer::new(cfg.routing, mesh);
         let rng = SmallRng::seed_from_u64(cfg.seed);
+        let threads = crate::worker_threads(cfg.threads);
         let nodes = mesh.nodes();
         let statuses = routers.iter().map(|r| r.status()).collect();
         let auditor = cfg.audit.map(|a| Box::new(Auditor::new(a, &cfg)));
@@ -288,6 +369,8 @@ impl Simulation {
             neighbor_idx,
             statuses,
             outputs: RouterOutputs::new(),
+            threads,
+            shards: Vec::new(),
             // All routers start on the wake-set: the first step settles
             // each one into its true quiescence state.
             active: vec![true; nodes],
@@ -445,139 +528,14 @@ impl Simulation {
         // Phase 3: router pipelines. Neighbour statuses come from the
         // published-status buffer, which only changes when a §4.1
         // republication fires — routers act on the last published
-        // availability, not the instantaneous one.
-        let wake_all = self.cfg.kernel == KernelMode::Reference;
-        let mut out = std::mem::take(&mut self.outputs);
-        for i in 0..self.routers.len() {
-            if !wake_all && !self.active[i] {
-                // Quiescent and nothing arrived: stepping would only
-                // advance the clocked-cycle counter (DESIGN.md §10).
-                self.routers[i].tick_idle();
-                continue;
-            }
-            let coord = self.coords[i];
-            let mut ctx = StepContext::new(self.cycle, &mut self.rng);
-            for dir in Direction::MESH {
-                ctx.neighbors[dir.index()] =
-                    self.neighbor_idx[i][dir.index()].map(|n| self.statuses[n]);
-            }
-            self.routers[i].step(&mut ctx, &mut out);
-            for &(dir, vc, flit) in &out.flits {
-                let n = self.neighbor_idx[i][dir.index()]
-                    .expect("emitted flit must have a neighbour");
-                if let Some(a) = self.auditor.as_deref_mut() {
-                    a.on_emission(self.cycle, n, self.coords[n], self.statuses[n], &flit);
-                }
-                self.emit(TraceEvent::Hop {
-                    cycle: self.cycle,
-                    packet: flit.packet,
-                    seq: flit.seq,
-                    node: coord,
-                    out: dir,
-                });
-                self.flits_in_flight.push(FlitInFlight { node: n, from: dir.opposite(), vc, flit });
-            }
-            for &(side, credit) in &out.credits {
-                let n = self.neighbor_idx[i][side.index()]
-                    .expect("credits only flow to real neighbours");
-                self.credits_in_flight.push(CreditInFlight {
-                    node: n,
-                    output: side.opposite(),
-                    credit,
-                });
-            }
-            for &flit in &out.ejected {
-                if flit.poison {
-                    if let Some(a) = self.auditor.as_deref_mut() {
-                        a.on_poison_ejected(self.cycle, coord, flit.packet.0);
-                    }
-                    // The poison tail chasing a fragmented packet made
-                    // it to the ejection port: the fragment is
-                    // discarded here (§4.1), never delivered. (A
-                    // sentinel id means the aborting router no longer
-                    // knew which packet the wormhole carried.)
-                    self.stats.dropped += 1;
-                    self.per_node[i].dropped += 1;
-                    self.last_progress = self.cycle;
-                    if flit.packet.0 != u64::MAX {
-                        self.emit(TraceEvent::Dropped {
-                            cycle: self.cycle,
-                            packet: flit.packet,
-                            node: coord,
-                        });
-                    }
-                    continue;
-                }
-                debug_assert_eq!(flit.dst, coord, "flit ejected at the wrong node");
-                if flit.kind.is_tail() {
-                    let mut deliver = true;
-                    if self.cfg.recovery.is_some() {
-                        match self.outstanding.remove(&flit.packet.0) {
-                            Some(o) => {
-                                if o.attempt > 0 {
-                                    self.recovery.recovered_packets += 1;
-                                }
-                            }
-                            None => {
-                                // An earlier attempt already delivered
-                                // this packet: sink-side duplicate
-                                // suppression.
-                                self.recovery.duplicates_suppressed += 1;
-                                self.last_progress = self.cycle;
-                                deliver = false;
-                                if let Some(a) = self.auditor.as_deref_mut() {
-                                    a.on_duplicate(self.cycle, coord, flit.packet.0);
-                                }
-                            }
-                        }
-                    }
-                    if deliver {
-                        let latency = self.cycle - flit.created_at;
-                        let measured = self.measured(flit.packet.0);
-                        self.stats.record_delivery(latency, measured);
-                        if let Some(a) = self.auditor.as_deref_mut() {
-                            a.on_delivered(self.cycle, coord, flit.packet.0);
-                        }
-                        let node = &mut self.per_node[i];
-                        node.delivered += 1;
-                        node.latency_sum += latency;
-                        if self.metrics.is_some() {
-                            self.sampler.latencies.push(latency);
-                        }
-                        self.last_progress = self.cycle;
-                        self.emit(TraceEvent::Delivered {
-                            cycle: self.cycle,
-                            packet: flit.packet,
-                            latency,
-                        });
-                    }
-                }
-                self.stats.delivered_flits += 1;
-            }
-            for &flit in &out.dropped {
-                if let Some(a) = self.auditor.as_deref_mut() {
-                    a.on_dropped(self.cycle, coord, &flit);
-                }
-                if flit.kind.is_head() {
-                    self.stats.dropped += 1;
-                    self.per_node[i].dropped += 1;
-                    self.last_progress = self.cycle;
-                    self.emit(TraceEvent::Dropped {
-                        cycle: self.cycle,
-                        packet: flit.packet,
-                        node: coord,
-                    });
-                }
-            }
-            // Wake-set + occupancy bookkeeping. Only stepped routers
-            // can change occupancy, so refreshing here keeps the
-            // incremental total exact.
-            let occ = self.routers[i].occupancy();
-            self.occ_total = self.occ_total - self.occ_cache[i] + occ;
-            self.occ_cache[i] = occ;
-            self.active[i] = !self.routers[i].is_quiescent();
+        // availability, not the instantaneous one. Every stepped
+        // router draws from its own counter-based RNG stream, so
+        // results do not depend on which kernel runs this phase.
+        if self.cfg.kernel == KernelMode::Parallel {
+            self.step_routers_parallel();
+        } else {
+            self.step_routers_sequential();
         }
-        self.outputs = out;
         // Stall detection: once generation has ended, a long silence
         // means the remaining packets are wedged behind faults.
         if self.generation_done()
@@ -602,6 +560,261 @@ impl Simulation {
             && self.cycle.saturating_sub(self.sampler.window_start) >= self.cfg.sample_window
         {
             self.flush_window();
+        }
+    }
+
+    /// Phase 3, sequential kernels: step (or idle-tick) every router in
+    /// ascending index order, absorbing each router's outputs as it
+    /// steps.
+    fn step_routers_sequential(&mut self) {
+        let wake_all = self.cfg.kernel == KernelMode::Reference;
+        let mut out = std::mem::take(&mut self.outputs);
+        for i in 0..self.routers.len() {
+            if !wake_all && !self.active[i] {
+                // Quiescent and nothing arrived: stepping would only
+                // advance the clocked-cycle counter (DESIGN.md §10).
+                self.routers[i].tick_idle();
+                continue;
+            }
+            let mut rng = router_rng(self.cfg.seed, i, self.cycle, RNG_STREAM_STEP);
+            let mut ctx = StepContext::new(self.cycle, &mut rng);
+            for dir in Direction::MESH {
+                ctx.neighbors[dir.index()] =
+                    self.neighbor_idx[i][dir.index()].map(|n| self.statuses[n]);
+            }
+            self.routers[i].step(&mut ctx, &mut out);
+            self.absorb_step(i, &out);
+            // Wake-set + occupancy bookkeeping. Only stepped routers
+            // can change occupancy, so refreshing here keeps the
+            // incremental total exact.
+            let occ = self.routers[i].occupancy();
+            self.occ_total = self.occ_total - self.occ_cache[i] + occ;
+            self.occ_cache[i] = occ;
+            self.active[i] = !self.routers[i].is_quiescent();
+        }
+        self.outputs = out;
+    }
+
+    /// Phase 3, parallel kernel: split the router vector into
+    /// contiguous shards, step each shard on a scoped worker thread
+    /// (the wake-set applies, as under `Optimized`), then absorb every
+    /// shard's staged outputs on the coordinating thread in ascending
+    /// router order. The merge order — not the execution order — is
+    /// what observers see, so results are byte-identical to the
+    /// sequential kernels at any worker count (DESIGN.md §13).
+    fn step_routers_parallel(&mut self) {
+        let n = self.routers.len();
+        let workers = self.threads.clamp(1, n.max(1));
+        let chunk = n.div_ceil(workers);
+        let shard_count = n.div_ceil(chunk);
+        self.ensure_shards(chunk, shard_count);
+        let mut shards = std::mem::take(&mut self.shards);
+        {
+            let cycle = self.cycle;
+            let seed = self.cfg.seed;
+            let statuses = &self.statuses[..];
+            let neighbor_idx = &self.neighbor_idx[..];
+            let jobs = self
+                .routers
+                .chunks_mut(chunk)
+                .zip(self.active.chunks_mut(chunk))
+                .zip(self.occ_cache.chunks_mut(chunk))
+                .zip(shards.iter_mut())
+                .enumerate()
+                .map(|(s, (((routers, active), occ_cache), scratch))| {
+                    let base = s * chunk;
+                    move || {
+                        shard_phase3(
+                            base,
+                            cycle,
+                            seed,
+                            routers,
+                            active,
+                            occ_cache,
+                            statuses,
+                            neighbor_idx,
+                            scratch,
+                        )
+                    }
+                });
+            if shard_count == 1 {
+                // Single worker: same shard code path, run inline — no
+                // thread machinery, so the steady state stays
+                // allocation-free (the zero-alloc test covers this).
+                jobs.for_each(|job| job());
+            } else {
+                std::thread::scope(|scope| {
+                    // The final shard runs on the coordinating thread
+                    // while the spawned workers process the rest.
+                    let mut last = None;
+                    for (k, job) in jobs.enumerate() {
+                        if k + 1 == shard_count {
+                            last = Some(job);
+                        } else {
+                            scope.spawn(job);
+                        }
+                    }
+                    last.expect("at least one shard")();
+                });
+            }
+        }
+        // Canonical merge: shards in ascending base order, routers in
+        // ascending local order — every side effect (audit hooks,
+        // trace events, in-flight pushes, stats, recovery accounting)
+        // lands in exactly the order the sequential kernels produce.
+        let mut occ_total = self.occ_total as i64;
+        for (s, scratch) in shards.iter().enumerate() {
+            occ_total += scratch.occ_delta;
+            let base = s * chunk;
+            for &local in &scratch.stepped {
+                self.absorb_step(base + local as usize, &scratch.outs[local as usize]);
+            }
+        }
+        self.occ_total = occ_total.try_into().expect("network-wide occupancy went negative");
+        self.shards = shards;
+    }
+
+    /// (Re)builds the per-shard scratch when the shard layout changes —
+    /// in practice once, on the first parallel step, since the worker
+    /// count is fixed per simulation.
+    fn ensure_shards(&mut self, chunk: usize, shard_count: usize) {
+        let n = self.routers.len();
+        let fits = self.shards.len() == shard_count
+            && self
+                .shards
+                .iter()
+                .enumerate()
+                .all(|(s, sh)| sh.outs.len() == ((s + 1) * chunk).min(n) - s * chunk);
+        if fits {
+            return;
+        }
+        self.shards = (0..shard_count)
+            .map(|s| {
+                let len = ((s + 1) * chunk).min(n) - s * chunk;
+                ShardScratch {
+                    stepped: Vec::with_capacity(len),
+                    outs: (0..len).map(|_| RouterOutputs::new()).collect(),
+                    occ_delta: 0,
+                }
+            })
+            .collect();
+    }
+
+    /// Absorbs one stepped router's [`RouterOutputs`] into the global
+    /// simulation state: emitted flits and credits onto their links,
+    /// local ejections (delivery, recovery accounting, duplicate
+    /// suppression), fault drops — plus the audit hooks and trace
+    /// events for each. Every kernel funnels every stepped router
+    /// through this method in ascending router order, which is what
+    /// keeps `flits_in_flight`, `credits_in_flight`, traces and stats
+    /// byte-identical across kernels and thread counts.
+    fn absorb_step(&mut self, i: usize, out: &RouterOutputs) {
+        let coord = self.coords[i];
+        for &(dir, vc, flit) in &out.flits {
+            let n = self.neighbor_idx[i][dir.index()].expect("emitted flit must have a neighbour");
+            if let Some(a) = self.auditor.as_deref_mut() {
+                a.on_emission(self.cycle, n, self.coords[n], self.statuses[n], &flit);
+            }
+            self.emit(TraceEvent::Hop {
+                cycle: self.cycle,
+                packet: flit.packet,
+                seq: flit.seq,
+                node: coord,
+                out: dir,
+            });
+            self.flits_in_flight.push(FlitInFlight { node: n, from: dir.opposite(), vc, flit });
+        }
+        for &(side, credit) in &out.credits {
+            let n =
+                self.neighbor_idx[i][side.index()].expect("credits only flow to real neighbours");
+            self.credits_in_flight.push(CreditInFlight {
+                node: n,
+                output: side.opposite(),
+                credit,
+            });
+        }
+        for &flit in &out.ejected {
+            if flit.poison {
+                if let Some(a) = self.auditor.as_deref_mut() {
+                    a.on_poison_ejected(self.cycle, coord, flit.packet.0);
+                }
+                // The poison tail chasing a fragmented packet made
+                // it to the ejection port: the fragment is
+                // discarded here (§4.1), never delivered. (A
+                // sentinel id means the aborting router no longer
+                // knew which packet the wormhole carried.)
+                self.stats.dropped += 1;
+                self.per_node[i].dropped += 1;
+                self.last_progress = self.cycle;
+                if flit.packet.0 != u64::MAX {
+                    self.emit(TraceEvent::Dropped {
+                        cycle: self.cycle,
+                        packet: flit.packet,
+                        node: coord,
+                    });
+                }
+                continue;
+            }
+            debug_assert_eq!(flit.dst, coord, "flit ejected at the wrong node");
+            if flit.kind.is_tail() {
+                let mut deliver = true;
+                if self.cfg.recovery.is_some() {
+                    match self.outstanding.remove(&flit.packet.0) {
+                        Some(o) => {
+                            if o.attempt > 0 {
+                                self.recovery.recovered_packets += 1;
+                            }
+                        }
+                        None => {
+                            // An earlier attempt already delivered
+                            // this packet: sink-side duplicate
+                            // suppression.
+                            self.recovery.duplicates_suppressed += 1;
+                            self.last_progress = self.cycle;
+                            deliver = false;
+                            if let Some(a) = self.auditor.as_deref_mut() {
+                                a.on_duplicate(self.cycle, coord, flit.packet.0);
+                            }
+                        }
+                    }
+                }
+                if deliver {
+                    let latency = self.cycle - flit.created_at;
+                    let measured = self.measured(flit.packet.0);
+                    self.stats.record_delivery(latency, measured);
+                    if let Some(a) = self.auditor.as_deref_mut() {
+                        a.on_delivered(self.cycle, coord, flit.packet.0);
+                    }
+                    let node = &mut self.per_node[i];
+                    node.delivered += 1;
+                    node.latency_sum += latency;
+                    if self.metrics.is_some() {
+                        self.sampler.latencies.push(latency);
+                    }
+                    self.last_progress = self.cycle;
+                    self.emit(TraceEvent::Delivered {
+                        cycle: self.cycle,
+                        packet: flit.packet,
+                        latency,
+                    });
+                }
+            }
+            self.stats.delivered_flits += 1;
+        }
+        for &flit in &out.dropped {
+            if let Some(a) = self.auditor.as_deref_mut() {
+                a.on_dropped(self.cycle, coord, &flit);
+            }
+            if flit.kind.is_head() {
+                self.stats.dropped += 1;
+                self.per_node[i].dropped += 1;
+                self.last_progress = self.cycle;
+                self.emit(TraceEvent::Dropped {
+                    cycle: self.cycle,
+                    packet: flit.packet,
+                    node: coord,
+                });
+            }
         }
     }
 
@@ -706,7 +919,9 @@ impl Simulation {
                 if out == Direction::Local {
                     continue;
                 }
-                let Some(n) = coord.neighbor(out, mesh.width, mesh.height) else { continue };
+                let Some(n) = coord.neighbor(out, mesh.width, mesh.height) else {
+                    continue;
+                };
                 let side = out.opposite();
                 match s.phase {
                     VcPhase::Active if s.credit_starved => {
@@ -716,9 +931,11 @@ impl Simulation {
                     }
                     VcPhase::WaitingVa => {
                         let count = self.routers[n.index(mesh.width)].vcs_on_link(side).len();
-                        adj.entry(here)
-                            .or_default()
-                            .extend((0..count as u8).map(|vc| Channel { node: n, side, vc }));
+                        adj.entry(here).or_default().extend((0..count as u8).map(|vc| Channel {
+                            node: n,
+                            side,
+                            vc,
+                        }));
                     }
                     _ => {}
                 }
@@ -745,9 +962,11 @@ impl Simulation {
             .enumerate()
             .flat_map(|(i, r)| {
                 let node = Coord::from_index(i, mesh.width);
-                r.credit_map()
-                    .into_iter()
-                    .map(move |(output, credits)| CreditLine { node, output, credits })
+                r.credit_map().into_iter().map(move |(output, credits)| CreditLine {
+                    node,
+                    output,
+                    credits,
+                })
             })
             .collect();
         let suspected_loop = find_channel_cycle(&adj).map(|cycle| {
@@ -840,8 +1059,14 @@ impl Simulation {
 
     fn inject(&mut self) {
         for i in 0..self.routers.len() {
-            let Some(&flit) = self.sources[i].front() else { continue };
-            let mut ctx = StepContext::new(self.cycle, &mut self.rng);
+            let Some(&flit) = self.sources[i].front() else {
+                continue;
+            };
+            // Injection gets its own counter-based stream (distinct
+            // from the step stream) so any future randomized admission
+            // policy stays kernel- and thread-count-independent.
+            let mut rng = router_rng(self.cfg.seed, i, self.cycle, RNG_STREAM_INJECT);
+            let mut ctx = StepContext::new(self.cycle, &mut rng);
             if self.routers[i].try_inject(flit, &mut ctx) {
                 self.sources[i].pop_front();
                 self.source_total -= 1;
@@ -986,7 +1211,9 @@ impl Simulation {
         let now = self.routers[site].status();
         let mut descs: Vec<VcDescriptor> = Vec::new();
         for dir in Direction::MESH {
-            let Some(n) = self.neighbor_idx[site][dir.index()] else { continue };
+            let Some(n) = self.neighbor_idx[site][dir.index()] else {
+                continue;
+            };
             if !prev.can_serve_output(dir) && now.can_serve_output(dir) {
                 // The output module covering `dir` was repaired: any
                 // stale mid-wormhole demux state on the input side of
@@ -1018,7 +1245,9 @@ impl Simulation {
             self.timeouts.pop();
             // Lazy deletion: entries for delivered packets or stale
             // attempts stay in the heap and are skipped here.
-            let Some(&o) = self.outstanding.get(&id) else { continue };
+            let Some(&o) = self.outstanding.get(&id) else {
+                continue;
+            };
             if o.attempt != attempt {
                 continue;
             }
@@ -1122,11 +1351,7 @@ impl Simulation {
             counters,
             contention,
             energy,
-            energy_per_packet: if delivered == 0 {
-                0.0
-            } else {
-                energy.total() / delivered as f64
-            },
+            energy_per_packet: if delivered == 0 { 0.0 } else { energy.total() / delivered as f64 },
             stalled: self.stalled,
             postmortem: self.postmortem.clone(),
             recovery: self.cfg.recovery.is_some().then_some(self.recovery),

@@ -119,7 +119,8 @@ impl StallPostmortem {
             self.last_progress, self.cycle, self.flits_in_system
         );
         if !self.fault_timeline.is_empty() {
-            let _ = writeln!(out, "  fault/repair timeline ({} events):", self.fault_timeline.len());
+            let _ =
+                writeln!(out, "  fault/repair timeline ({} events):", self.fault_timeline.len());
             for e in &self.fault_timeline {
                 let _ = writeln!(
                     out,
@@ -366,10 +367,7 @@ mod tests {
                 cycle: 405,
                 node: Coord::new(1, 1),
                 repair: false,
-                fault: ComponentFault::new(
-                    noc_core::FaultComponent::Crossbar,
-                    noc_core::Axis::X,
-                ),
+                fault: ComponentFault::new(noc_core::FaultComponent::Crossbar, noc_core::Axis::X),
             }],
             abandoned_packets: 2,
         }
@@ -397,8 +395,7 @@ mod tests {
         assert_eq!(wedged[0].get("packet").unwrap().as_u64(), Some(3));
         assert_eq!(wedged[0].get("phase").unwrap().as_str(), Some("blocked"));
         assert_eq!(v.get("suspected_loop"), Some(&Json::Null));
-        let credits =
-            v.get("credit_map").unwrap().as_arr().unwrap()[0].get("credits").unwrap();
+        let credits = v.get("credit_map").unwrap().as_arr().unwrap()[0].get("credits").unwrap();
         assert_eq!(credits.as_arr().unwrap()[0].as_u64(), Some(0));
         let timeline = v.get("fault_timeline").unwrap().as_arr().unwrap();
         assert_eq!(timeline.len(), 1);
@@ -410,8 +407,7 @@ mod tests {
     #[test]
     fn loop_renders_with_arrows() {
         let mut pm = postmortem();
-        pm.suspected_loop =
-            Some(vec!["(1,1) W#0".into(), "(2,1) W#0".into(), "(1,1) W#0".into()]);
+        pm.suspected_loop = Some(vec!["(1,1) W#0".into(), "(2,1) W#0".into(), "(1,1) W#0".into()]);
         assert!(pm.render().contains("(1,1) W#0 -> (2,1) W#0 -> (1,1) W#0"));
         let v = Json::parse(&pm.to_json()).unwrap();
         assert_eq!(v.get("suspected_loop").unwrap().as_arr().unwrap().len(), 3);

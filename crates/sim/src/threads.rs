@@ -1,0 +1,47 @@
+//! Worker-count selection, shared by everything in the workspace that
+//! fans work across threads: the [`crate::KernelMode::Parallel`] cycle
+//! kernel, `noc_bench::run_batch`, and the degradation-campaign
+//! harness all resolve their thread count here so one knob
+//! (`--threads` / `NOC_THREADS`) governs them all.
+
+/// Resolves a worker-thread count.
+///
+/// Precedence: an explicit request (CLI `--threads`,
+/// [`crate::SimConfig::threads`]) wins, then the `NOC_THREADS`
+/// environment variable, then [`std::thread::available_parallelism`],
+/// then 1. Zero and unparsable values are treated as unset so a bad
+/// `NOC_THREADS` degrades to the default instead of panicking.
+///
+/// Thread count never affects simulation results — the parallel kernel
+/// merges shard outputs in canonical order (DESIGN.md §13) — so this
+/// is purely a performance knob.
+pub fn worker_threads(explicit: Option<usize>) -> usize {
+    explicit
+        .filter(|&t| t > 0)
+        .or_else(|| {
+            std::env::var("NOC_THREADS").ok().and_then(|v| v.parse().ok()).filter(|&t| t > 0)
+        })
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env-var manipulation is process-global, so the three scenarios
+    // live in one test to avoid racing parallel test threads.
+    #[test]
+    fn precedence_explicit_env_detected() {
+        std::env::set_var("NOC_THREADS", "3");
+        assert_eq!(worker_threads(Some(2)), 2, "explicit beats NOC_THREADS");
+        assert_eq!(worker_threads(None), 3, "NOC_THREADS beats detection");
+        assert_eq!(worker_threads(Some(0)), 3, "zero explicit is unset");
+        std::env::set_var("NOC_THREADS", "0");
+        let detected = worker_threads(None);
+        assert!(detected >= 1, "zero NOC_THREADS falls back to detection");
+        std::env::set_var("NOC_THREADS", "not-a-number");
+        assert_eq!(worker_threads(None), detected, "garbage NOC_THREADS is unset");
+        std::env::remove_var("NOC_THREADS");
+        assert!(worker_threads(None) >= 1);
+    }
+}

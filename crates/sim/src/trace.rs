@@ -505,10 +505,7 @@ mod tests {
 
     #[test]
     fn fault_events_render_without_a_packet() {
-        let fault = ComponentFault::new(
-            noc_core::FaultComponent::VaArbiter,
-            noc_core::Axis::X,
-        );
+        let fault = ComponentFault::new(noc_core::FaultComponent::VaArbiter, noc_core::Axis::X);
         let e = TraceEvent::Fault { cycle: 42, node: Coord::new(1, 2), fault };
         assert_eq!(e.packet(), None);
         assert_eq!(e.cycle(), 42);
@@ -534,11 +531,7 @@ mod tests {
     #[test]
     fn csv_sink_writes_header_and_rows() {
         let mut sink = CsvTraceSink::new(Vec::new()).unwrap();
-        sink.record(TraceEvent::Dropped {
-            cycle: 3,
-            packet: PacketId(1),
-            node: Coord::new(2, 2),
-        });
+        sink.record(TraceEvent::Dropped { cycle: 3, packet: PacketId(1), node: Coord::new(2, 2) });
         let text = String::from_utf8(sink.into_inner()).unwrap();
         assert!(text.starts_with("cycle,event,packet"));
         assert!(text.contains("3,dropped,1,(2,2),"));

@@ -52,8 +52,7 @@ fn scenario() -> SimConfig {
             );
         }
     }
-    let mut cfg =
-        SimConfig::paper_scaled(RouterKind::RoCo, RoutingKind::Xy, TrafficKind::Uniform);
+    let mut cfg = SimConfig::paper_scaled(RouterKind::RoCo, RoutingKind::Xy, TrafficKind::Uniform);
     cfg.mesh = MeshConfig::new(4, 4);
     cfg.warmup_packets = 100;
     cfg.measured_packets = 4_000;
@@ -105,10 +104,7 @@ fn transient_fault_dents_then_restores_window_throughput() {
         faulted < 0.9 * healthy,
         "two dead routers must dent throughput: healthy {healthy}, faulted {faulted}"
     );
-    assert!(
-        healed > faulted,
-        "repair must restore throughput: faulted {faulted}, healed {healed}"
-    );
+    assert!(healed > faulted, "repair must restore throughput: faulted {faulted}, healed {healed}");
     assert!(
         healed > 0.75 * healthy,
         "healed throughput must approach the healthy band: healthy {healthy}, healed {healed}"

@@ -1,8 +1,14 @@
-//! Old-vs-new cycle-kernel equivalence: the wake-set kernel
-//! (`KernelMode::Optimized`) must produce bit-identical results to the
+//! Cycle-kernel equivalence: the wake-set kernel
+//! (`KernelMode::Optimized`) and the sharded kernel
+//! (`KernelMode::Parallel`) must produce bit-identical results to the
 //! reference kernel that steps every router every cycle, for every
-//! architecture, with and without faults. DESIGN.md §10 states the
-//! invariant these tests enforce.
+//! architecture, with and without faults. DESIGN.md §10 and §13 state
+//! the invariants these tests enforce.
+//!
+//! The parallel legs deliberately leave `threads: None` so the worker
+//! count comes from `NOC_THREADS` / the machine — CI runs this suite
+//! under several `NOC_THREADS` values, exercising different shard
+//! layouts against the same expected digests.
 
 use noc_core::{MeshConfig, RouterKind, RoutingKind};
 use noc_fault::{FaultCategory, FaultPlan};
@@ -46,20 +52,23 @@ fn assert_identical(a: &SimResults, b: &SimResults, what: &str) {
     assert_eq!(a.recovery, b.recovery, "{what}: recovery stats");
 }
 
-fn both_kernels(cfg: SimConfig) -> (SimResults, SimResults) {
+fn all_kernels(cfg: SimConfig) -> (SimResults, SimResults, SimResults) {
     let mut reference = cfg.clone();
     reference.kernel = KernelMode::Reference;
-    let mut optimized = cfg;
+    let mut optimized = cfg.clone();
     optimized.kernel = KernelMode::Optimized;
-    (run(reference), run(optimized))
+    let mut parallel = cfg;
+    parallel.kernel = KernelMode::Parallel;
+    (run(reference), run(optimized), run(parallel))
 }
 
 #[test]
 fn kernels_agree_fault_free() {
     for router in [RouterKind::RoCo, RouterKind::Generic, RouterKind::PathSensitive] {
         for rate in [0.05, 0.25] {
-            let (r, o) = both_kernels(cfg(router, rate));
-            assert_identical(&r, &o, &format!("{router:?} @ {rate}"));
+            let (r, o, p) = all_kernels(cfg(router, rate));
+            assert_identical(&r, &o, &format!("{router:?} @ {rate} (optimized)"));
+            assert_identical(&r, &p, &format!("{router:?} @ {rate} (parallel)"));
             assert!(o.delivered_packets > 0, "{router:?} @ {rate}: sanity");
         }
     }
@@ -71,8 +80,9 @@ fn kernels_agree_under_faults() {
         let mut c = cfg(router, 0.1);
         c.faults = FaultPlan::random(FaultCategory::Isolating, 2, c.mesh, 0xFA_17);
         c.stall_window = 2_000;
-        let (r, o) = both_kernels(c);
-        assert_identical(&r, &o, &format!("{router:?} with faults"));
+        let (r, o, p) = all_kernels(c);
+        assert_identical(&r, &o, &format!("{router:?} with faults (optimized)"));
+        assert_identical(&r, &p, &format!("{router:?} with faults (parallel)"));
     }
 }
 
@@ -83,7 +93,7 @@ fn kernels_agree_with_midrun_fault_schedules() {
     for router in [RouterKind::RoCo, RouterKind::Generic, RouterKind::PathSensitive] {
         for seed in [3u64, 0xBEEF] {
             // A transient crossbar fault that heals mid-run plus a
-            // permanent buffer fault landing later: both kernels must
+            // permanent buffer fault landing later: every kernel must
             // walk the §4.1 handshake, purges and retransmissions in
             // lockstep.
             let mut schedule = FaultSchedule::none();
@@ -99,8 +109,17 @@ fn kernels_agree_with_midrun_fault_schedules() {
                 .with_schedule(schedule)
                 .with_recovery(noc_sim::RecoveryConfig::default());
             c.stall_window = 2_000;
-            let (r, o) = both_kernels(c);
-            assert_identical(&r, &o, &format!("{router:?} mid-run schedule seed {seed}"));
+            let (r, o, p) = all_kernels(c);
+            assert_identical(
+                &r,
+                &o,
+                &format!("{router:?} mid-run schedule seed {seed} (optimized)"),
+            );
+            assert_identical(
+                &r,
+                &p,
+                &format!("{router:?} mid-run schedule seed {seed} (parallel)"),
+            );
         }
     }
 }
@@ -110,8 +129,9 @@ fn kernels_agree_across_seeds_and_meshes() {
     for seed in [1u64, 0xDEAD] {
         let mut c = cfg(RouterKind::RoCo, 0.15).with_seed(seed);
         c.mesh = MeshConfig::new(5, 4);
-        let (r, o) = both_kernels(c);
-        assert_identical(&r, &o, &format!("RoCo 5x4 seed {seed}"));
+        let (r, o, p) = all_kernels(c);
+        assert_identical(&r, &o, &format!("RoCo 5x4 seed {seed} (optimized)"));
+        assert_identical(&r, &p, &format!("RoCo 5x4 seed {seed} (parallel)"));
     }
 }
 
@@ -132,11 +152,7 @@ fn neighbor_table_matches_coordinate_arithmetic() {
                 let coord = Coord::from_index(i, width);
                 for dir in Direction::MESH {
                     let expect = coord.neighbor(dir, width, height).map(|n| n.index(width));
-                    assert_eq!(
-                        row[dir.index()],
-                        expect,
-                        "{width}x{height} node {i} dir {dir}"
-                    );
+                    assert_eq!(row[dir.index()], expect, "{width}x{height} node {i} dir {dir}");
                 }
             }
         }

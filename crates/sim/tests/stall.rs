@@ -19,10 +19,8 @@ fn wedged_config() -> (SimConfig, ReplayTraffic) {
     cfg.stall_window = 100;
     cfg.max_cycles = 5_000;
     cfg.block_timeout = Some(u64::MAX);
-    cfg.faults = FaultPlan::single(
-        Coord::new(2, 1),
-        ComponentFault::new(FaultComponent::Crossbar, Axis::X),
-    );
+    cfg.faults =
+        FaultPlan::single(Coord::new(2, 1), ComponentFault::new(FaultComponent::Crossbar, Axis::X));
     let flits = cfg.router_config().num_flits;
     let traffic =
         ReplayTraffic::new(cfg.mesh, vec![(0, Coord::new(0, 1), Coord::new(3, 1))], flits);
@@ -88,8 +86,7 @@ fn stall_emits_a_structured_postmortem() {
 
 #[test]
 fn clean_runs_carry_no_postmortem() {
-    let mut cfg =
-        SimConfig::paper_scaled(RouterKind::RoCo, RoutingKind::Xy, TrafficKind::Uniform);
+    let mut cfg = SimConfig::paper_scaled(RouterKind::RoCo, RoutingKind::Xy, TrafficKind::Uniform);
     cfg.warmup_packets = 10;
     cfg.measured_packets = 100;
     cfg.injection_rate = 0.1;

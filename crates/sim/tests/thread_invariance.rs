@@ -1,0 +1,81 @@
+//! Thread-count invariance of the parallel kernel (DESIGN.md §13): the
+//! digest of a run must not depend on how many workers stepped the
+//! routers. Every config here is run under `KernelMode::Parallel` at
+//! 1, 2, 4 and 8 threads — deliberately past the router count of the
+//! smallest mesh, so the more-shards-than-work edge is covered — and
+//! every digest must equal the single-threaded Optimized kernel's.
+//!
+//! This holds because Phase 3 routers are stepped from counter-based
+//! RNG streams keyed on `(seed, router, cycle)` rather than a shared
+//! sequential RNG, and because every shard's outputs are merged in
+//! ascending router order regardless of which worker produced them.
+
+use noc_core::{MeshConfig, RouterKind, RoutingKind};
+use noc_fault::{FaultCategory, FaultPlan, FaultSchedule};
+use noc_sim::{run, KernelMode, RecoveryConfig, SimConfig};
+use noc_traffic::TrafficKind;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn assert_thread_invariant(cfg: SimConfig, what: &str) {
+    let mut optimized = cfg.clone();
+    optimized.kernel = KernelMode::Optimized;
+    let expect = run(optimized).digest();
+    for threads in THREADS {
+        let mut c = cfg.clone();
+        c.kernel = KernelMode::Parallel;
+        c.threads = Some(threads);
+        let got = run(c).digest();
+        assert_eq!(
+            got, expect,
+            "{what}: digest at {threads} thread(s) {got:#018x} != optimized {expect:#018x}"
+        );
+    }
+}
+
+#[test]
+fn digest_is_thread_count_invariant_fault_free() {
+    for router in [RouterKind::RoCo, RouterKind::Generic, RouterKind::PathSensitive] {
+        let mut cfg = SimConfig::paper_scaled(router, RoutingKind::Xy, TrafficKind::Uniform);
+        cfg.warmup_packets = 100;
+        cfg.measured_packets = 1_000;
+        cfg.injection_rate = 0.15;
+        assert_thread_invariant(cfg, &format!("{router:?} fault-free"));
+    }
+}
+
+#[test]
+fn digest_is_thread_count_invariant_under_faults_and_recovery() {
+    use noc_core::{Axis, ComponentFault, Coord, FaultComponent};
+    let mut cfg = SimConfig::paper_scaled(RouterKind::RoCo, RoutingKind::Xy, TrafficKind::Uniform);
+    cfg.warmup_packets = 100;
+    cfg.measured_packets = 1_000;
+    cfg.injection_rate = 0.1;
+    cfg.stall_window = 2_000;
+    cfg.faults = FaultPlan::random(FaultCategory::Isolating, 2, cfg.mesh, 0x7EAD);
+    let mut schedule = FaultSchedule::none();
+    schedule.push_transient(
+        300,
+        Coord::new(1, 2),
+        ComponentFault::new(FaultComponent::Crossbar, Axis::X),
+        500,
+    );
+    schedule.push_permanent(800, Coord::new(2, 1), ComponentFault::buffer(Axis::Y, 0));
+    let cfg = cfg.with_schedule(schedule).with_recovery(RecoveryConfig::default());
+    assert_thread_invariant(cfg, "RoCo faults + schedule + recovery");
+}
+
+#[test]
+fn digest_is_thread_count_invariant_on_tiny_and_odd_meshes() {
+    // 2×2 (4 routers, fewer than 8 threads) and 5×3 (chunk sizes that
+    // do not divide the router count) stress the shard-layout math.
+    for (w, h) in [(2u16, 2u16), (5, 3)] {
+        let mut cfg =
+            SimConfig::paper_scaled(RouterKind::Generic, RoutingKind::Xy, TrafficKind::Uniform);
+        cfg.mesh = MeshConfig::new(w, h);
+        cfg.warmup_packets = 50;
+        cfg.measured_packets = 500;
+        cfg.injection_rate = 0.1;
+        assert_thread_invariant(cfg, &format!("Generic {w}x{h}"));
+    }
+}

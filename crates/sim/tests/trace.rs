@@ -18,8 +18,7 @@ impl noc_sim::TraceSink for Shared {
 
 fn traced_run() -> Vec<TraceEvent> {
     let store = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
-    let mut cfg =
-        SimConfig::paper_scaled(RouterKind::RoCo, RoutingKind::Xy, TrafficKind::Uniform);
+    let mut cfg = SimConfig::paper_scaled(RouterKind::RoCo, RoutingKind::Xy, TrafficKind::Uniform);
     cfg.warmup_packets = 20;
     cfg.measured_packets = 200;
     cfg.injection_rate = 0.15;
@@ -34,8 +33,7 @@ fn traced_run() -> Vec<TraceEvent> {
 
 #[test]
 fn vec_sink_round_trips_through_the_simulation() {
-    let mut cfg =
-        SimConfig::paper_scaled(RouterKind::RoCo, RoutingKind::Xy, TrafficKind::Uniform);
+    let mut cfg = SimConfig::paper_scaled(RouterKind::RoCo, RoutingKind::Xy, TrafficKind::Uniform);
     cfg.warmup_packets = 5;
     cfg.measured_packets = 50;
     cfg.injection_rate = 0.1;

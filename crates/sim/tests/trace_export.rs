@@ -25,8 +25,7 @@ impl std::io::Write for SharedBuf {
 }
 
 fn small_config() -> SimConfig {
-    let mut cfg =
-        SimConfig::paper_scaled(RouterKind::RoCo, RoutingKind::Xy, TrafficKind::Uniform);
+    let mut cfg = SimConfig::paper_scaled(RouterKind::RoCo, RoutingKind::Xy, TrafficKind::Uniform);
     cfg.warmup_packets = 20;
     cfg.measured_packets = 200;
     cfg.injection_rate = 0.15;

@@ -8,7 +8,7 @@
 //! pollute the count.
 
 use noc_core::{RouterKind, RoutingKind};
-use noc_sim::{SimConfig, Simulation};
+use noc_sim::{KernelMode, SimConfig, Simulation};
 use noc_traffic::TrafficKind;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -45,28 +45,37 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 #[test]
 fn steady_state_step_is_allocation_free() {
-    for router in [RouterKind::RoCo, RouterKind::Generic, RouterKind::PathSensitive] {
-        let mut cfg = SimConfig::paper_scaled(router, RoutingKind::Xy, TrafficKind::Uniform);
-        // Enough packets that generation never finishes mid-test.
-        cfg.warmup_packets = 1_000_000;
-        cfg.measured_packets = 1_000_000;
-        cfg.injection_rate = 0.1;
-        let mut sim = Simulation::new(cfg);
-        // Warm-up: let every recycled buffer (in-flight lists, router
-        // scratch, source queues, arbiter lines) hit its high water.
-        for _ in 0..5_000 {
-            sim.step();
+    // The parallel leg is pinned to one worker: a single shard runs
+    // inline on the calling thread (no `thread::scope`, which allocates
+    // its scope state on every call), so it exercises the recycled
+    // `ShardScratch` path. Multi-thread digests are covered by the
+    // kernel-equivalence and thread-invariance suites instead.
+    for (kernel, threads) in [(KernelMode::Optimized, None), (KernelMode::Parallel, Some(1))] {
+        for router in [RouterKind::RoCo, RouterKind::Generic, RouterKind::PathSensitive] {
+            let mut cfg = SimConfig::paper_scaled(router, RoutingKind::Xy, TrafficKind::Uniform);
+            // Enough packets that generation never finishes mid-test.
+            cfg.warmup_packets = 1_000_000;
+            cfg.measured_packets = 1_000_000;
+            cfg.injection_rate = 0.1;
+            cfg.kernel = kernel;
+            cfg.threads = threads;
+            let mut sim = Simulation::new(cfg);
+            // Warm-up: let every recycled buffer (in-flight lists, router
+            // scratch, source queues, arbiter lines) hit its high water.
+            for _ in 0..5_000 {
+                sim.step();
+            }
+            ALLOCS.store(0, Ordering::SeqCst);
+            ARMED.store(true, Ordering::SeqCst);
+            for _ in 0..1_000 {
+                sim.step();
+            }
+            ARMED.store(false, Ordering::SeqCst);
+            let n = ALLOCS.load(Ordering::SeqCst);
+            assert_eq!(
+                n, 0,
+                "{kernel:?}/{router:?}: {n} heap allocation(s) in 1000 steady-state cycles"
+            );
         }
-        ALLOCS.store(0, Ordering::SeqCst);
-        ARMED.store(true, Ordering::SeqCst);
-        for _ in 0..1_000 {
-            sim.step();
-        }
-        ARMED.store(false, Ordering::SeqCst);
-        let n = ALLOCS.load(Ordering::SeqCst);
-        assert_eq!(
-            n, 0,
-            "{router:?}: {n} heap allocation(s) in 1000 steady-state cycles"
-        );
     }
 }

@@ -98,8 +98,7 @@ pub fn steady_state(mesh: MeshConfig, power: &[f64], params: &ThermalParams) -> 
                     degree += 1.0;
                 }
             }
-            let t = (power[i] + gv * params.ambient_c + gl * neighbor_sum)
-                / (gv + gl * degree);
+            let t = (power[i] + gv * params.ambient_c + gl * neighbor_sum) / (gv + gl * degree);
             delta = delta.max((t - temps[i]).abs());
             next[i] = t;
         }

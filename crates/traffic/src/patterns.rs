@@ -209,9 +209,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(9);
         let hotspot = t.hotspot();
         let node = Coord::new(0, 0);
-        let hits = (0..4_000)
-            .filter(|&c| t.generate(node, c, &mut rng) == Some(hotspot))
-            .count();
+        let hits = (0..4_000).filter(|&c| t.generate(node, c, &mut rng) == Some(hotspot)).count();
         // ~50% redirected + ~1/63 natural.
         assert!(hits > 1_500, "hotspot hits {hits} too low");
     }

@@ -95,7 +95,11 @@ mod tests {
         assert_eq!(t.generate(Coord::new(0, 0), 4, &mut rng), None, "not due yet");
         assert_eq!(t.generate(Coord::new(0, 0), 5, &mut rng), Some(Coord::new(3, 3)));
         assert_eq!(t.generate(Coord::new(0, 0), 6, &mut rng), None, "second not due");
-        assert_eq!(t.generate(Coord::new(2, 2), 7, &mut rng), Some(Coord::new(0, 1)), "late release");
+        assert_eq!(
+            t.generate(Coord::new(2, 2), 7, &mut rng),
+            Some(Coord::new(0, 1)),
+            "late release"
+        );
         assert_eq!(t.generate(Coord::new(0, 0), 9, &mut rng), Some(Coord::new(1, 2)));
         assert_eq!(t.remaining(), 0);
     }
@@ -103,8 +107,7 @@ mod tests {
     #[test]
     fn bursts_spill_one_per_cycle() {
         let src = Coord::new(1, 1);
-        let entries: Vec<ReplayEntry> =
-            (0..3).map(|i| (10, src, Coord::new(3, i))).collect();
+        let entries: Vec<ReplayEntry> = (0..3).map(|i| (10, src, Coord::new(3, i))).collect();
         let mut t = ReplayTraffic::new(mesh(), entries, 4);
         let mut rng = SmallRng::seed_from_u64(0);
         assert!(t.generate(src, 10, &mut rng).is_some());

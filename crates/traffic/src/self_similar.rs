@@ -149,10 +149,7 @@ mod tests {
         let packets = (0..cycles).filter(|&c| t.generate(node, c, &mut rng).is_some()).count();
         let measured = packets as f64 * 4.0 / cycles as f64;
         // Heavy-tailed periods converge slowly; allow 25% tolerance.
-        assert!(
-            (measured - 0.3).abs() < 0.075,
-            "measured flit rate {measured} too far from 0.3"
-        );
+        assert!((measured - 0.3).abs() < 0.075, "measured flit rate {measured} too far from 0.3");
     }
 
     #[test]
@@ -173,8 +170,7 @@ mod tests {
             counts.push(c as f64);
         }
         let mean = counts.iter().sum::<f64>() / counts.len() as f64;
-        let var =
-            counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
         let dispersion = var / mean;
         assert!(dispersion > 2.0, "index of dispersion {dispersion} not bursty");
     }

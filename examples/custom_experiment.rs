@@ -10,17 +10,16 @@ use roco_noc::prelude::*;
 fn main() {
     // A larger mesh than the paper's, to show the simulator is fully
     // parameterizable (§5.1).
-    let mut cfg = SimConfig::paper_scaled(RouterKind::RoCo, RoutingKind::Adaptive, TrafficKind::Hotspot);
+    let mut cfg =
+        SimConfig::paper_scaled(RouterKind::RoCo, RoutingKind::Adaptive, TrafficKind::Hotspot);
     cfg.mesh = MeshConfig::new(12, 12);
     cfg.warmup_packets = 500;
     cfg.measured_packets = 6_000;
     cfg.injection_rate = 0.15;
     cfg.stall_window = 4_000;
     // Break the Row module's crossbar right next to the hotspot node.
-    cfg.faults = FaultPlan::single(
-        Coord::new(6, 6),
-        ComponentFault::new(FaultComponent::Crossbar, Axis::X),
-    );
+    cfg.faults =
+        FaultPlan::single(Coord::new(6, 6), ComponentFault::new(FaultComponent::Crossbar, Axis::X));
 
     let mut sim = Simulation::new(cfg);
     // Drive the simulation manually and sample the in-flight population.

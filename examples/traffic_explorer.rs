@@ -9,10 +9,7 @@ use roco_noc::prelude::*;
 fn main() {
     println!("RoCo router — latency (cycles) per workload and routing algorithm");
     println!("8×8 mesh, 0.25 flits/node/cycle\n");
-    println!(
-        "{:>15} | {:>9} {:>9} {:>9}",
-        "traffic", "xy", "xy-yx", "adaptive"
-    );
+    println!("{:>15} | {:>9} {:>9} {:>9}", "traffic", "xy", "xy-yx", "adaptive");
     for traffic in TrafficKind::ALL {
         let mut cells = Vec::new();
         for routing in RoutingKind::ALL {

@@ -42,8 +42,10 @@ fn all_traffic_kinds_run_on_roco() {
 
 #[test]
 fn same_seed_same_results() {
-    let a = roco_noc::sim::run(small(RouterKind::RoCo, RoutingKind::Adaptive, TrafficKind::Uniform));
-    let b = roco_noc::sim::run(small(RouterKind::RoCo, RoutingKind::Adaptive, TrafficKind::Uniform));
+    let a =
+        roco_noc::sim::run(small(RouterKind::RoCo, RoutingKind::Adaptive, TrafficKind::Uniform));
+    let b =
+        roco_noc::sim::run(small(RouterKind::RoCo, RoutingKind::Adaptive, TrafficKind::Uniform));
     assert_eq!(a.avg_latency, b.avg_latency);
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.counters, b.counters);
@@ -114,6 +116,10 @@ fn throughput_tracks_offered_load_below_saturation() {
         let r = roco_noc::sim::run(cfg);
         // Delivered flit throughput over the whole run is below offered
         // load (ramp-up/drain) but within a reasonable band.
-        assert!(r.throughput > 0.3 * rate && r.throughput <= 1.05 * rate, "rate {rate}: {}", r.throughput);
+        assert!(
+            r.throughput > 0.3 * rate && r.throughput <= 1.05 * rate,
+            "rate {rate}: {}",
+            r.throughput
+        );
     }
 }

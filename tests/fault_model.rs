@@ -67,10 +67,7 @@ fn rc_fault_costs_latency_but_no_packets() {
 fn buffer_fault_is_absorbed_by_virtual_queuing() {
     let faulty = roco_noc::sim::run(
         base(RouterKind::RoCo, RoutingKind::Xy)
-            .with_faults(FaultPlan::single(
-                Coord::new(4, 4),
-                ComponentFault::buffer(Axis::Y, 0),
-            )),
+            .with_faults(FaultPlan::single(Coord::new(4, 4), ComponentFault::buffer(Axis::Y, 0))),
     );
     assert_eq!(faulty.completion_probability(), 1.0, "one lost VC must not lose packets");
     assert!(!faulty.stalled);
@@ -127,14 +124,9 @@ fn adaptive_routing_routes_around_whole_node_faults_better_than_xy() {
 
 #[test]
 fn double_module_fault_kills_the_roco_node() {
-    let mut plan = FaultPlan::single(
-        Coord::new(4, 4),
-        ComponentFault::new(FaultComponent::Crossbar, Axis::X),
-    );
-    plan.faults.push((
-        Coord::new(4, 4),
-        ComponentFault::new(FaultComponent::Crossbar, Axis::Y),
-    ));
+    let mut plan =
+        FaultPlan::single(Coord::new(4, 4), ComponentFault::new(FaultComponent::Crossbar, Axis::X));
+    plan.faults.push((Coord::new(4, 4), ComponentFault::new(FaultComponent::Crossbar, Axis::Y)));
     let r = roco_noc::sim::run(base(RouterKind::RoCo, RoutingKind::Xy).with_faults(plan));
     // Both modules dead = whole node dark, like the generic case.
     assert!(r.completion_probability() < 1.0);
@@ -143,8 +135,7 @@ fn double_module_fault_kills_the_roco_node() {
 #[test]
 fn boundary_fault_sites_work() {
     for coord in [Coord::new(0, 0), Coord::new(7, 0), Coord::new(0, 7), Coord::new(7, 7)] {
-        let plan =
-            FaultPlan::single(coord, ComponentFault::new(FaultComponent::Crossbar, Axis::X));
+        let plan = FaultPlan::single(coord, ComponentFault::new(FaultComponent::Crossbar, Axis::X));
         let r = roco_noc::sim::run(base(RouterKind::RoCo, RoutingKind::Xy).with_faults(plan));
         assert!(r.completion_probability() > 0.9, "corner fault at {coord}");
     }
