@@ -28,7 +28,7 @@
 use noc_bench::Scale;
 use noc_core::{MeshConfig, RouterKind, RoutingKind};
 use noc_sim::json::{write_f64, write_key, write_str, Json};
-use noc_sim::{KernelMode, SimConfig, SimResults};
+use noc_sim::{KernelMode, ProfileReport, SimConfig, SimResults};
 use noc_traffic::TrafficKind;
 use std::path::Path;
 use std::time::Instant;
@@ -255,10 +255,52 @@ fn main() {
         });
     }
 
+    // Self-profile section: one representative point per kernel with
+    // the simulator profiler enabled. These runs are separate from the
+    // timed sweep above, so the profiler's clock reads never perturb
+    // the benchmark numbers (and profiling never changes results —
+    // digests are identical either way, see DESIGN.md §14).
+    let mut profiles: Vec<(&str, ProfileReport)> = Vec::new();
+    {
+        let mut cfg = scale.apply(SimConfig::paper_scaled(
+            RouterKind::RoCo,
+            RoutingKind::Xy,
+            TrafficKind::Uniform,
+        ));
+        cfg.mesh = MeshConfig::new(8, 8);
+        cfg.injection_rate = 0.1;
+        cfg.profile = true;
+        for (name, kernel) in [
+            ("reference", KernelMode::Reference),
+            ("optimized", KernelMode::Optimized),
+            ("parallel", KernelMode::Parallel),
+        ] {
+            let mut kcfg = cfg.clone();
+            kcfg.kernel = kernel;
+            let report = noc_sim::run(kcfg).profile.expect("profiling was enabled");
+            println!(
+                "profile {name}: wake {:.1}% of mesh, routers phase {:.3}s of {:.3}s wall",
+                report.wake_fraction * 100.0,
+                report.routers_s,
+                report.wall_s
+            );
+            profiles.push((name, report));
+        }
+    }
+
     let path = noc_bench::results_dir()
         .parent()
         .map(|p| p.join("BENCH_sim_throughput.json"))
         .expect("results dir has a parent");
+
+    // The committed baseline's status, read before the fresh report
+    // overwrites the file: NOC_BENCH_STRICT turns a still-pending
+    // baseline into a hard failure (the record-on-pending grace period
+    // is over once the populate job has run — commit the artifact).
+    let committed_status: Option<String> = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .and_then(|v| v.get("status").and_then(|s| s.as_str().map(String::from)));
 
     // Performance gate against the committed baseline — evaluated
     // before the fresh report overwrites it.
@@ -307,7 +349,7 @@ fn main() {
         }
     }
 
-    let json = render_json(scale_name, &points, &scaling, geomean_speedup, mismatches);
+    let json = render_json(scale_name, &points, &scaling, &profiles, geomean_speedup, mismatches);
     match std::fs::write(&path, json) {
         Ok(()) => eprintln!("[wrote {}]", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
@@ -318,6 +360,21 @@ fn main() {
     }
     if mismatches > 0 || regressed {
         std::process::exit(1);
+    }
+
+    // Strict pending gate (CI sets NOC_BENCH_STRICT=1): the fresh
+    // report above was written and uploaded regardless, but a baseline
+    // that never graduated from `pending` means the gate has been
+    // silently vacuous — fail loudly instead of skipping forever.
+    let strict = std::env::var("NOC_BENCH_STRICT").map(|v| v != "0").unwrap_or(false);
+    if strict && committed_status.as_deref() != Some("ok") {
+        eprintln!(
+            "NOC_BENCH_STRICT: committed BENCH_sim_throughput.json has status {:?}, not \"ok\" — \
+             the perf gate never engaged. Download the freshly generated report from the CI \
+             artifacts and commit it as the baseline.",
+            committed_status.as_deref().unwrap_or("<absent>")
+        );
+        std::process::exit(3);
     }
 }
 
@@ -338,6 +395,7 @@ fn render_json(
     scale: &str,
     points: &[Point],
     scaling: &[ScalingSeries],
+    profiles: &[(&str, ProfileReport)],
     geomean: f64,
     mismatches: u32,
 ) -> String {
@@ -427,6 +485,16 @@ fn render_json(
         out.push('}');
     }
     out.push(']');
+    // Wall-clock self-profiles of one representative point per kernel
+    // (diagnostic only: values vary run to run and are never compared).
+    write_key(&mut out, &mut first, "profile");
+    out.push('{');
+    let mut pf = true;
+    for (name, report) in profiles {
+        write_key(&mut out, &mut pf, name);
+        out.push_str(&report.to_json());
+    }
+    out.push('}');
     out.push('}');
     out.push('\n');
     out

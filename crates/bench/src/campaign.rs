@@ -14,7 +14,9 @@
 use noc_core::{MeshConfig, RouterKind, RoutingKind};
 use noc_fault::{FaultCategory, FaultSchedule};
 use noc_sim::json::{write_f64, write_key, write_str};
-use noc_sim::{IntervalSample, MetricsSink, RecoveryConfig, SimConfig, Simulation};
+use noc_sim::{
+    ClassLatency, IntervalSample, MetricsSink, RecoveryConfig, Registry, SimConfig, Simulation,
+};
 use noc_traffic::TrafficKind;
 use std::cell::RefCell;
 use std::fmt::Write as _;
@@ -119,6 +121,11 @@ pub struct CampaignCell {
     /// window availability (rises while faults bite, falls back after
     /// repairs).
     pub pef_over_time: Vec<f64>,
+    /// Per-flow-class latency summaries of the faulted run, in
+    /// [`noc_sim::FlowClass::ALL`] order — under faults, `far` traffic
+    /// degrades first while `near` still looks healthy. Deterministic
+    /// per seed, so it is part of the byte-stable report JSON.
+    pub classes: Vec<ClassLatency>,
 }
 
 /// A full campaign: the grid plus every cell's series.
@@ -294,6 +301,7 @@ fn run_unit(c: &CampaignConfig, router: RouterKind, seed: u64) -> Vec<CampaignCe
             availability,
             retention,
             pef_over_time,
+            classes: results.classes.clone(),
         });
     }
     cells
@@ -370,11 +378,147 @@ impl CampaignReport {
             write_f64_arr(&mut out, &cell.retention);
             write_key(&mut out, &mut cf, "pef_over_time");
             write_f64_arr(&mut out, &cell.pef_over_time);
+            write_key(&mut out, &mut cf, "classes");
+            out.push('[');
+            for (j, c) in cell.classes.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('{');
+                let mut lf = true;
+                write_key(&mut out, &mut lf, "class");
+                write_str(&mut out, c.class.name());
+                write_key(&mut out, &mut lf, "count");
+                let _ = write!(out, "{}", c.count);
+                write_key(&mut out, &mut lf, "mean");
+                write_f64(&mut out, c.mean);
+                for (key, value) in [
+                    ("p50", c.p50),
+                    ("p95", c.p95),
+                    ("p99", c.p99),
+                    ("p999", c.p999),
+                    ("max", c.max),
+                ] {
+                    write_key(&mut out, &mut lf, key);
+                    let _ = write!(out, "{value}");
+                }
+                out.push('}');
+            }
+            out.push(']');
             out.push('}');
         }
         out.push(']');
         out.push('}');
         out
+    }
+}
+
+/// Registers every campaign cell's headline statistics into a metrics
+/// [`Registry`] under `mesh`/`routing`/`router`/`mtbf`/`seed` labels —
+/// the scrape surface the campaign server of ROADMAP item 3 serves,
+/// rendered by the CLI's `campaign --prom-out`.
+pub fn export_campaign(reg: &mut Registry, report: &CampaignReport) {
+    let mesh = format!("{}x{}", report.mesh.width, report.mesh.height);
+    let routing = report.routing.to_string();
+    let min_of = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+    for cell in &report.cells {
+        let router = cell.router.to_string();
+        let mtbf = cell.mtbf.to_string();
+        let seed = cell.seed.to_string();
+        let labels: [(&str, &str); 5] = [
+            ("mesh", &mesh),
+            ("routing", &routing),
+            ("router", &router),
+            ("mtbf", &mtbf),
+            ("seed", &seed),
+        ];
+        let c = |v: u64| v as f64;
+        reg.counter(
+            "noc_campaign_fault_events",
+            "Fault/repair events the schedule fired.",
+            &labels,
+            c(cell.fault_events),
+        );
+        reg.counter("noc_campaign_cycles", "Cycles the faulted run took.", &labels, c(cell.cycles));
+        reg.counter(
+            "noc_campaign_generated_packets",
+            "Packets generated in the faulted run.",
+            &labels,
+            c(cell.generated),
+        );
+        reg.counter(
+            "noc_campaign_delivered_packets",
+            "Packets delivered in the faulted run.",
+            &labels,
+            c(cell.delivered),
+        );
+        reg.counter(
+            "noc_campaign_dropped_packets",
+            "Drop events in the faulted run.",
+            &labels,
+            c(cell.dropped),
+        );
+        reg.counter(
+            "noc_campaign_retransmissions",
+            "Source retransmissions issued.",
+            &labels,
+            c(cell.retransmissions),
+        );
+        reg.counter(
+            "noc_campaign_recovered_packets",
+            "Packets delivered by a retry.",
+            &labels,
+            c(cell.recovered),
+        );
+        reg.counter(
+            "noc_campaign_abandoned_packets",
+            "Packets given up after the retry budget.",
+            &labels,
+            c(cell.abandoned),
+        );
+        reg.gauge(
+            "noc_campaign_completion_probability",
+            "Measured completion of the faulted run.",
+            &labels,
+            cell.completion,
+        );
+        reg.gauge("noc_campaign_pef", "Whole-run PEF of the faulted run.", &labels, cell.pef);
+        if !cell.availability.is_empty() {
+            reg.gauge(
+                "noc_campaign_availability_min",
+                "Worst per-window availability.",
+                &labels,
+                min_of(&cell.availability),
+            );
+        }
+        if !cell.retention.is_empty() {
+            reg.gauge(
+                "noc_campaign_retention_min",
+                "Worst per-window throughput retention.",
+                &labels,
+                min_of(&cell.retention),
+            );
+        }
+        for cl in &cell.classes {
+            let mut with_class = labels.to_vec();
+            with_class.push(("class", cl.class.name()));
+            reg.counter(
+                "noc_campaign_class_delivered_packets",
+                "Measured deliveries per flow class.",
+                &with_class,
+                c(cl.count),
+            );
+            for (q, v) in [("p50", cl.p50), ("p99", cl.p99), ("p999", cl.p999)] {
+                let mut with_q = with_class.clone();
+                with_q.push(("quantile", q));
+                reg.gauge(
+                    "noc_campaign_class_latency_cycles",
+                    "Faulted-run latency quantiles per flow class.",
+                    &with_q,
+                    c(v),
+                );
+            }
+        }
     }
 }
 
@@ -416,6 +560,16 @@ mod tests {
                 availability: vec![1.0, 0.8, 0.95],
                 retention: vec![1.02, 0.7, 0.98],
                 pef_over_time: vec![1.1e-7, 2.0e-7, 1.2e-7],
+                classes: vec![ClassLatency {
+                    class: noc_sim::FlowClass::Far,
+                    count: 300,
+                    mean: 44.5,
+                    p50: 40,
+                    p95: 70,
+                    p99: 90,
+                    p999: 120,
+                    max: 140,
+                }],
             }],
         };
         let v = noc_sim::json::Json::parse(&report.to_json()).expect("valid JSON");
@@ -426,5 +580,16 @@ mod tests {
         assert_eq!(cells[0].get("router").unwrap().as_str(), Some("roco"));
         assert_eq!(cells[0].get("fault_events").unwrap().as_u64(), Some(4));
         assert_eq!(cells[0].get("availability").unwrap().as_arr().unwrap().len(), 3);
+        let classes = cells[0].get("classes").unwrap().as_arr().unwrap();
+        assert_eq!(classes[0].get("class").unwrap().as_str(), Some("far"));
+        assert_eq!(classes[0].get("p999").unwrap().as_u64(), Some(120));
+
+        let mut reg = Registry::new();
+        export_campaign(&mut reg, &report);
+        let prom = reg.render_prometheus();
+        assert!(prom.contains("noc_campaign_completion_probability{"));
+        assert!(prom.contains("mtbf=\"600\""));
+        assert!(prom.contains("noc_campaign_class_latency_cycles{"));
+        assert!(prom.contains("class=\"far\",quantile=\"p999\"} 120"));
     }
 }

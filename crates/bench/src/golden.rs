@@ -290,6 +290,16 @@ pub struct GoldenSummary {
 }
 
 impl GoldenSummary {
+    /// Scenarios that were recorded this run rather than compared —
+    /// i.e. goldens that were still `pending` (or `--update` was
+    /// given). CI's strict mode (`NOC_GOLDEN_STRICT=1`) turns a
+    /// nonzero count into a hard failure: once the populate job has
+    /// run, a still-pending golden means the regression gate is
+    /// silently vacuous and the recorded files must be committed.
+    pub fn recorded_count(&self) -> usize {
+        self.runs.iter().filter(|r| r.outcome == ScenarioOutcome::Recorded).count()
+    }
+
     /// `true` when any scenario is missing, mismatched, or errored.
     pub fn failed(&self) -> bool {
         self.runs.iter().any(|r| {

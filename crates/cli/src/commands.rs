@@ -5,9 +5,11 @@ use crate::{parse_mesh, parse_rates, parse_router, parse_routing, parse_traffic,
 use noc_bench::campaign::{run_campaign, CampaignConfig};
 use noc_core::{RouterKind, RoutingKind};
 use noc_fault::{FaultCategory, FaultPlan};
+use noc_sim::export::{export_interval, export_profile, export_results};
 use noc_sim::{
-    CsvTraceSink, IntervalSample, JsonlMetricsSink, JsonlTraceSink, MetricsSink, PerfettoTraceSink,
-    RecoveryConfig, SimConfig, SimResults, Simulation, TraceSink,
+    check_slos, parse_slos, CsvTraceSink, IntervalSample, JsonlMetricsSink, JsonlTraceSink,
+    MetricsSink, PerfettoTraceSink, RecoveryConfig, Registry, SimConfig, SimResults, Simulation,
+    TraceSink,
 };
 use std::cell::RefCell;
 use std::fmt::Write as _;
@@ -24,6 +26,7 @@ USAGE:
             [--metrics-out F.jsonl] [--trace-out F.perfetto.json|F.jsonl|F.csv]
             [--sample-window N] [--postmortem-out F.json]
             [--kernel optimized|reference|parallel] [--threads N]
+            [--slo CLASS:METRIC<=N,...] [--profile true] [--prom-out F.prom]
   noc sweep [--router R|all] [--routing A] [--traffic T] [--rates F,F,...]
             [--mesh WxH] [--packets N] [--seed N]
   noc fault [--router R|all] [--routing A] [--category critical|recyclable]
@@ -32,9 +35,10 @@ USAGE:
             [--mesh WxH] [--packets N] [--warmup N] [--seed N]
             [--mtbfs C,C,...] [--repair N|0] [--seeds N] [--recovery true]
             [--category critical|recyclable] [--sample-window N]
-            [--json-out F.json]
+            [--json-out F.json] [--prom-out F.prom]
   noc timeline [--router R] [--routing A] [--traffic T] [--rate F] [--mesh WxH]
             [--packets N] [--warmup N] [--seed N] [--sample-window N]
+            [--json true]
   noc thermal [--router R] [--routing A] [--traffic T] [--rate F] [--packets N]
   noc audit [--router R] [--routing A] [--traffic T] [--rate F] [--mesh WxH]
             [--packets N] [--warmup N] [--seed N]
@@ -48,11 +52,18 @@ VALUES:
   R: generic | path-sensitive | roco (default roco)
   A: xy | xy-yx | adaptive | odd-even (default xy)
   T: uniform | transpose | self-similar | mpeg | hotspot | bit-complement
+  CLASS:  all | local | near | mid | far (hop-distance flow classes)
+  METRIC: p50 | p95 | p99 | p999 | mean | max (latency, cycles)
 
 TELEMETRY:
   --metrics-out streams one JSON object per sample window (JSONL);
   --trace-out picks its format from the extension: .perfetto.json / .json
-  (Chrome trace events, open in ui.perfetto.dev), .csv, else JSONL.
+  (Chrome trace events, open in ui.perfetto.dev), .csv, else JSONL;
+  --prom-out writes the run's metrics registry as Prometheus text
+  exposition; --slo gates the exit code on latency service levels
+  (e.g. 'near:p99<=40,all:p999<=200'); --profile true prints the
+  simulator self-profile (never changes results: digests are identical
+  with profiling on or off).
 ";
 
 fn base_config(args: &Args) -> Result<SimConfig, ArgError> {
@@ -110,9 +121,16 @@ fn summarize(r: &SimResults) -> String {
     );
     let _ = writeln!(
         s,
-        "  latency             avg {:.2}  p50 {}  p95 {}  p99 {}  max {} cycles",
-        r.avg_latency, r.latency_p50, r.latency_p95, r.latency_p99, r.max_latency
+        "  latency             avg {:.2}  p50 {}  p95 {}  p99 {}  p999 {}  max {} cycles",
+        r.avg_latency, r.latency_p50, r.latency_p95, r.latency_p99, r.latency_p999, r.max_latency
     );
+    for c in r.classes.iter().filter(|c| c.count > 0) {
+        let _ = writeln!(
+            s,
+            "  latency[{:<5}]      avg {:.2}  p50 {}  p95 {}  p99 {}  p999 {}  max {}  ({} pkts)",
+            c.class, c.mean, c.p50, c.p95, c.p99, c.p999, c.max, c.count
+        );
+    }
     let _ = writeln!(s, "  throughput          {:.4} flits/node/cycle", r.throughput);
     let _ = writeln!(s, "  completion          {:.4}", r.completion_probability());
     let _ = writeln!(s, "  energy per packet   {:.4} nJ", r.energy_per_packet * 1e9);
@@ -153,6 +171,36 @@ fn open_trace_sink(path: &str) -> Result<Box<dyn TraceSink>, ArgError> {
     }
 }
 
+/// The identifying labels attached to every metric a command exports
+/// (owned strings, because `SimConfig` moves into the simulation).
+#[derive(Debug)]
+struct RunLabels {
+    router: String,
+    routing: String,
+    traffic: String,
+    mesh: String,
+}
+
+impl RunLabels {
+    fn of(cfg: &SimConfig) -> Self {
+        RunLabels {
+            router: cfg.router.to_string(),
+            routing: cfg.routing.to_string(),
+            traffic: cfg.traffic.to_string(),
+            mesh: format!("{}x{}", cfg.mesh.width, cfg.mesh.height),
+        }
+    }
+
+    fn as_pairs(&self) -> [(&str, &str); 4] {
+        [
+            ("router", &self.router),
+            ("routing", &self.routing),
+            ("traffic", &self.traffic),
+            ("mesh", &self.mesh),
+        ]
+    }
+}
+
 /// `noc run`: one simulation, full summary, optional heatmaps and
 /// telemetry exports.
 pub fn cmd_run(args: &Args) -> Result<String, ArgError> {
@@ -172,17 +220,28 @@ pub fn cmd_run(args: &Args) -> Result<String, ArgError> {
         "postmortem-out",
         "kernel",
         "threads",
+        "slo",
+        "profile",
+        "prom-out",
     ]);
     if !unknown.is_empty() {
         return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
     }
+    // Parse the SLO gate up front so a malformed spec fails before the
+    // simulation spends any cycles.
+    let slos = match args.get("slo") {
+        Some(text) => parse_slos(text).map_err(ArgError)?,
+        None => Vec::new(),
+    };
     let mut cfg = base_config(args)?;
     cfg.sample_window = args.get_or("sample-window", cfg.sample_window)?;
+    cfg.profile = args.get_or("profile", false)?;
     let heatmaps: bool = args.get_or("heatmaps", false)?;
     let label = format!(
         "{} router, {} routing, {} traffic @ {} flits/node/cycle on {}x{}",
         cfg.router, cfg.routing, cfg.traffic, cfg.injection_rate, cfg.mesh.width, cfg.mesh.height
     );
+    let run_labels = RunLabels::of(&cfg);
     let mut sim = Simulation::new(cfg);
     if let Some(path) = args.get("metrics-out") {
         sim.set_metrics_sink(open_metrics_sink(path)?);
@@ -216,6 +275,34 @@ pub fn cmd_run(args: &Args) -> Result<String, ArgError> {
             std::fs::write(path, pm.to_json())
                 .map_err(|e| ArgError(format!("cannot write '{path}': {e}")))?;
         }
+    }
+    if let Some(profile) = results.profile.as_ref() {
+        out.push('\n');
+        out.push_str(&profile.render());
+    }
+    if let Some(path) = args.get("prom-out") {
+        let mut reg = Registry::new();
+        let pairs = run_labels.as_pairs();
+        export_results(&mut reg, &results, &pairs);
+        if let Some(profile) = results.profile.as_ref() {
+            export_profile(&mut reg, profile, &pairs);
+        }
+        std::fs::write(path, reg.render_prometheus())
+            .map_err(|e| ArgError(format!("cannot write '{path}': {e}")))?;
+        let _ = writeln!(out, "[wrote {path}]");
+    }
+    // The SLO gate runs last so every requested artifact is on disk
+    // before a violation turns the run into a nonzero exit.
+    let violations = check_slos(&slos, &results);
+    if !violations.is_empty() {
+        let mut msg = String::from("SLO gate failed\n");
+        for v in &violations {
+            let _ = writeln!(msg, "  {v}");
+        }
+        return Err(ArgError(msg));
+    }
+    if !slos.is_empty() {
+        let _ = writeln!(out, "  SLO                 {} clause(s) met", slos.len());
     }
     Ok(out)
 }
@@ -263,10 +350,12 @@ pub fn cmd_timeline(args: &Args) -> Result<String, ArgError> {
         "warmup",
         "seed",
         "sample-window",
+        "json",
     ]);
     if !unknown.is_empty() {
         return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
     }
+    let json: bool = args.get_or("json", false)?;
     let mut cfg = base_config(args)?;
     cfg.sample_window = args.get_or("sample-window", cfg.sample_window)?;
     let window = cfg.sample_window;
@@ -274,6 +363,7 @@ pub fn cmd_timeline(args: &Args) -> Result<String, ArgError> {
         "{} router, {} routing, {} traffic @ {} flits/node/cycle on {}x{}",
         cfg.router, cfg.routing, cfg.traffic, cfg.injection_rate, cfg.mesh.width, cfg.mesh.height
     );
+    let run_labels = RunLabels::of(&cfg);
     let samples = Rc::new(RefCell::new(Vec::new()));
     let mut sim = Simulation::new(cfg);
     sim.set_metrics_sink(Box::new(SharedMetrics(Rc::clone(&samples))));
@@ -282,13 +372,25 @@ pub fn cmd_timeline(args: &Args) -> Result<String, ArgError> {
     }
     sim.finish_observability();
     let samples = samples.borrow();
+    if json {
+        // Machine-readable mode: every window goes through the
+        // exporter registry and comes out as JSONL, the same samples
+        // the sparklines are drawn from.
+        let mut reg = Registry::new();
+        let pairs = run_labels.as_pairs();
+        for sample in samples.iter() {
+            export_interval(&mut reg, sample, &pairs);
+        }
+        return Ok(reg.render_jsonl());
+    }
     let mut out = format!("{label}\n{} windows of {window} cycles\n", samples.len());
-    let rows: [(&str, Vec<f64>); 7] = [
+    let rows: [(&str, Vec<f64>); 8] = [
         ("injected/window", samples.iter().map(|s| s.injected as f64).collect()),
         ("delivered/window", samples.iter().map(|s| s.delivered as f64).collect()),
         ("throughput", samples.iter().map(IntervalSample::throughput).collect()),
         ("mean latency", samples.iter().map(|s| s.latency_mean).collect()),
         ("p99 latency", samples.iter().map(|s| s.latency_p99 as f64).collect()),
+        ("p999 latency", samples.iter().map(|s| s.latency_p999 as f64).collect()),
         (
             "buffered flits",
             samples
@@ -418,6 +520,7 @@ pub fn cmd_campaign(args: &Args) -> Result<String, ArgError> {
         "category",
         "sample-window",
         "json-out",
+        "prom-out",
     ]);
     if !unknown.is_empty() {
         return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
@@ -504,6 +607,13 @@ pub fn cmd_campaign(args: &Args) -> Result<String, ArgError> {
     }
     if let Some(path) = args.get("json-out") {
         std::fs::write(path, report.to_json())
+            .map_err(|e| ArgError(format!("cannot write '{path}': {e}")))?;
+        let _ = writeln!(out, "[wrote {path}]");
+    }
+    if let Some(path) = args.get("prom-out") {
+        let mut reg = Registry::new();
+        noc_bench::campaign::export_campaign(&mut reg, &report);
+        std::fs::write(path, reg.render_prometheus())
             .map_err(|e| ArgError(format!("cannot write '{path}': {e}")))?;
         let _ = writeln!(out, "[wrote {path}]");
     }
@@ -809,7 +919,69 @@ mod tests {
         assert!(out.contains("windows of 50 cycles"));
         assert!(out.contains("delivered/window"));
         assert!(out.contains("p99 latency"));
+        assert!(out.contains("p999 latency"));
         assert!(out.contains('|'));
+    }
+
+    #[test]
+    fn timeline_json_mode_emits_registry_jsonl() {
+        let out = dispatch(&parse(
+            "timeline --packets 300 --warmup 30 --rate 0.1 --mesh 4x4 \
+             --sample-window 50 --json true",
+        ))
+        .unwrap();
+        assert!(out.lines().count() > 10, "several metrics per window");
+        for line in out.lines() {
+            let v = noc_sim::json::Json::parse(line).expect("each line parses");
+            assert!(v.get("metric").is_some());
+            assert!(v.get("labels").unwrap().get("window").is_some());
+        }
+        assert!(out.contains("\"metric\":\"noc_window_latency_cycles\""));
+        assert!(out.contains("\"quantile\":\"p999\""));
+        assert!(out.contains("\"router\":\"roco\""));
+    }
+
+    #[test]
+    fn run_slo_gate_passes_and_fails() {
+        let base = "run --packets 300 --warmup 30 --rate 0.1 --mesh 4x4";
+        let ok =
+            dispatch(&parse(&format!("{base} --slo all:p99<=100000,near:max<=100000"))).unwrap();
+        assert!(ok.contains("2 clause(s) met"), "{ok}");
+        let err = dispatch(&parse(&format!("{base} --slo all:p50<=0"))).unwrap_err();
+        assert!(err.0.contains("SLO violated"), "{}", err.0);
+        assert!(err.0.contains("all:p50"), "{}", err.0);
+        // Malformed specs fail before the simulation runs.
+        assert!(dispatch(&parse(&format!("{base} --slo bogus:p99<=10"))).is_err());
+        assert!(dispatch(&parse(&format!("{base} --slo near:p99=10"))).is_err());
+    }
+
+    #[test]
+    fn run_summary_includes_flow_classes() {
+        let out = dispatch(&parse("run --packets 300 --warmup 30 --rate 0.1 --mesh 4x4")).unwrap();
+        assert!(out.contains("p999"), "{out}");
+        assert!(out.contains("latency[near ]"), "{out}");
+        assert!(out.contains("latency[mid  ]"), "{out}");
+    }
+
+    #[test]
+    fn run_profile_and_prom_export() {
+        let dir = std::env::temp_dir();
+        let prom = dir.join(format!("noc-cli-test-{}.prom", std::process::id()));
+        let cmd = format!(
+            "run --packets 300 --warmup 30 --rate 0.1 --mesh 4x4 --profile true --prom-out {}",
+            prom.display()
+        );
+        let out = dispatch(&parse(&cmd)).unwrap();
+        assert!(out.contains("self-profile"), "{out}");
+        assert!(out.contains("wake set"), "{out}");
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(text.contains("# TYPE noc_delivered_packets counter"));
+        assert!(text.contains("router=\"roco\""));
+        assert!(text.contains("mesh=\"4x4\""));
+        assert!(text.contains("class=\"near\""));
+        assert!(text.contains("quantile=\"p999\""));
+        assert!(text.contains("noc_profile_wall_seconds"));
+        let _ = std::fs::remove_file(&prom);
     }
 
     #[test]

@@ -113,6 +113,14 @@ pub struct SimConfig {
     /// path audit-free.
     #[serde(default)]
     pub audit: Option<AuditConfig>,
+    /// Simulator self-profiling: when set, per-phase wall-time timers,
+    /// wake-set/shard-balance gauges and steady-state allocation
+    /// counters run inside every [`crate::Simulation::step`], and
+    /// [`crate::SimResults`] carries a [`crate::ProfileReport`].
+    /// Strictly read-only — results and digests are identical with
+    /// profiling on or off.
+    #[serde(default)]
+    pub profile: bool,
 }
 
 /// Serde default for [`SimConfig::sample_window`].
@@ -216,6 +224,7 @@ impl SimConfig {
             handshake_latency: default_handshake_latency(),
             recovery: None,
             audit: None,
+            profile: false,
         }
     }
 
@@ -282,6 +291,13 @@ impl SimConfig {
     /// Enables runtime invariant auditing (builder style).
     pub fn with_audit(mut self, audit: AuditConfig) -> Self {
         self.audit = Some(audit);
+        self
+    }
+
+    /// Enables the simulator self-profiler (builder style). Results
+    /// and digests are identical with profiling on or off.
+    pub fn with_profile(mut self) -> Self {
+        self.profile = true;
         self
     }
 

@@ -26,11 +26,14 @@
 
 mod audit;
 mod config;
+pub mod export;
+mod flow;
 mod histogram;
 pub mod json;
 mod metrics;
 mod network;
 mod postmortem;
+mod profile;
 mod report;
 mod stats;
 mod threads;
@@ -38,12 +41,18 @@ mod trace;
 
 pub use audit::{AuditKind, AuditReport, AuditViolation, Auditor};
 pub use config::{AuditConfig, KernelMode, RecoveryConfig, SimConfig};
+pub use export::{Metric, MetricKind, Registry};
+pub use flow::{
+    check_slos, parse_slos, ClassHistograms, ClassLatency, FlowClass, SloMetric, SloSpec,
+    SloViolation,
+};
 pub use histogram::LatencyHistogram;
 pub use metrics::{IntervalSample, JsonlMetricsSink, MetricsSink, RouterWindow, VecMetricsSink};
 pub use network::{neighbor_table, run, Simulation};
 pub use postmortem::{
     CreditLine, FaultTimelineEntry, RouterDiagnosis, StallPostmortem, WedgedPacket,
 };
+pub use profile::ProfileReport;
 pub use report::{render_heatmap, NodeReport, NodeSummary};
 pub use stats::{RecoveryStats, SimResults, StatsCollector};
 pub use threads::worker_threads;

@@ -9,7 +9,8 @@
 //! [`MetricsSink`], mirroring how packet events stream into
 //! [`crate::TraceSink`].
 
-use crate::json::{write_f64, write_key};
+use crate::flow::ClassLatency;
+use crate::json::{write_f64, write_key, write_str};
 use noc_core::{Coord, Cycle};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -68,6 +69,9 @@ pub struct IntervalSample {
     pub latency_mean: f64,
     /// P99 latency of packets delivered in the window (0 when none).
     pub latency_p99: u64,
+    /// P99.9 latency of packets delivered in the window (0 when none).
+    #[serde(default)]
+    pub latency_p999: u64,
     /// Maximum latency of packets delivered in the window (0 when none).
     pub latency_max: u64,
     /// Flits in flight (buffered or on links) at the sample instant.
@@ -75,6 +79,10 @@ pub struct IntervalSample {
     /// Mid-run fault/repair events applied during the window.
     #[serde(default)]
     pub fault_events: u64,
+    /// Per-flow-class latency summaries of the window, in
+    /// [`crate::FlowClass::ALL`] order (empty classes all-zero).
+    #[serde(default)]
+    pub classes: Vec<ClassLatency>,
     /// Per-router breakdown, in node-index order.
     pub routers: Vec<RouterWindow>,
 }
@@ -112,6 +120,7 @@ impl IntervalSample {
         write_f64(&mut out, self.latency_mean);
         for (key, value) in [
             ("latency_p99", self.latency_p99),
+            ("latency_p999", self.latency_p999),
             ("latency_max", self.latency_max),
             ("flits_in_system", self.flits_in_system),
             ("fault_events", self.fault_events),
@@ -121,6 +130,29 @@ impl IntervalSample {
         }
         write_key(&mut out, &mut first, "throughput");
         write_f64(&mut out, self.throughput());
+        write_key(&mut out, &mut first, "classes");
+        out.push('[');
+        for (i, c) in self.classes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            let mut cf = true;
+            write_key(&mut out, &mut cf, "class");
+            write_str(&mut out, c.class.name());
+            write_key(&mut out, &mut cf, "count");
+            let _ = write!(out, "{}", c.count);
+            write_key(&mut out, &mut cf, "mean");
+            write_f64(&mut out, c.mean);
+            for (key, value) in
+                [("p50", c.p50), ("p95", c.p95), ("p99", c.p99), ("p999", c.p999), ("max", c.max)]
+            {
+                write_key(&mut out, &mut cf, key);
+                let _ = write!(out, "{value}");
+            }
+            out.push('}');
+        }
+        out.push(']');
         write_key(&mut out, &mut first, "routers");
         out.push('[');
         for (i, r) in self.routers.iter().enumerate() {
@@ -218,6 +250,7 @@ impl<W: Write + std::fmt::Debug> MetricsSink for JsonlMetricsSink<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::flow::FlowClass;
     use crate::json::Json;
 
     fn sample() -> IntervalSample {
@@ -231,9 +264,20 @@ mod tests {
             dropped: 1,
             latency_mean: 18.25,
             latency_p99: 44,
+            latency_p999: 49,
             latency_max: 51,
             flits_in_system: 12,
             fault_events: 0,
+            classes: vec![ClassLatency {
+                class: FlowClass::Near,
+                count: 20,
+                mean: 12.5,
+                p50: 11,
+                p95: 30,
+                p99: 40,
+                p999: 44,
+                max: 51,
+            }],
             routers: vec![RouterWindow {
                 node: Coord::new(3, 4),
                 occupancy: 5,
@@ -259,6 +303,11 @@ mod tests {
         assert_eq!(v.get("window").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("delivered").unwrap().as_u64(), Some(35));
         assert_eq!(v.get("latency_mean").unwrap().as_f64(), Some(18.25));
+        assert_eq!(v.get("latency_p999").unwrap().as_u64(), Some(49));
+        let classes = v.get("classes").unwrap().as_arr().unwrap();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].get("class").unwrap().as_str(), Some("near"));
+        assert_eq!(classes[0].get("p999").unwrap().as_u64(), Some(44));
         let routers = v.get("routers").unwrap().as_arr().unwrap();
         assert_eq!(routers.len(), 1);
         let r = &routers[0];

@@ -26,10 +26,12 @@
 
 use crate::audit::Auditor;
 use crate::config::{KernelMode, SimConfig};
+use crate::flow::{ClassHistograms, FlowClass};
 use crate::metrics::{IntervalSample, MetricsSink, RouterWindow};
 use crate::postmortem::{
     CreditLine, FaultTimelineEntry, RouterDiagnosis, StallPostmortem, WedgedPacket,
 };
+use crate::profile::{Phase, Profiler};
 use crate::report::{NodeReport, NodeSummary};
 use crate::stats::{RecoveryStats, SimResults, StatsCollector};
 use crate::trace::{TraceEvent, TraceSink};
@@ -48,6 +50,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::time::Instant;
 
 /// Precomputed adjacency: for each node index, the node index of the
 /// neighbour in every mesh direction (indexed by [`Direction::index`];
@@ -183,6 +186,8 @@ struct Sampler {
     fault_events: u64,
     /// Latencies of packets delivered during the current window.
     latencies: Vec<u64>,
+    /// Per-flow-class histograms of the current window's deliveries.
+    class_hists: ClassHistograms,
 }
 
 impl Sampler {
@@ -199,6 +204,7 @@ impl Sampler {
             dropped: 0,
             fault_events: 0,
             latencies: Vec::new(),
+            class_hists: ClassHistograms::new(),
         }
     }
 }
@@ -295,6 +301,11 @@ pub struct Simulation {
     /// and put back around every sweep so it can borrow the simulation
     /// immutably.
     auditor: Option<Box<Auditor>>,
+    /// The self-profiler, present when [`SimConfig::profile`] is set.
+    /// Strictly read-only with respect to simulated state: it observes
+    /// wall clocks and already-computed sizes, so digests are identical
+    /// with profiling on or off (asserted by the observability tests).
+    profiler: Option<Box<Profiler>>,
 }
 
 impl Simulation {
@@ -355,6 +366,7 @@ impl Simulation {
         let nodes = mesh.nodes();
         let statuses = routers.iter().map(|r| r.status()).collect();
         let auditor = cfg.audit.map(|a| Box::new(Auditor::new(a, &cfg)));
+        let profiler = cfg.profile.then(|| Box::new(Profiler::new()));
         Simulation {
             cfg,
             routers,
@@ -397,6 +409,7 @@ impl Simulation {
             timeouts: BinaryHeap::new(),
             recovery: RecoveryStats::default(),
             auditor,
+            profiler,
         }
     }
 
@@ -441,6 +454,7 @@ impl Simulation {
         self.sampler.dropped = self.stats.dropped;
         self.sampler.fault_events = self.fault_events_total;
         self.sampler.latencies.clear();
+        self.sampler.class_hists.clear();
     }
 
     fn emit(&mut self, event: TraceEvent) {
@@ -497,6 +511,9 @@ impl Simulation {
     /// Advances the simulation one cycle. Allocation-free in steady
     /// state: every buffer below is recycled across cycles.
     pub fn step(&mut self) {
+        // Self-profiler segment mark: `None` (and every prof_phase
+        // call a no-op) unless profiling is enabled.
+        let mut mark = self.profiler.as_ref().map(|_| Instant::now());
         // Phase 0: dynamic faults and recovery. Scheduled fault/repair
         // events strike the afflicted router immediately; the updated
         // availability reaches the neighbours when the §4.1
@@ -506,6 +523,7 @@ impl Simulation {
         self.process_schedule();
         self.process_republications();
         self.process_timeouts();
+        self.prof_phase(Phase::Faults, &mut mark);
         // Phase 1: link delivery. Swap last cycle's in-flight lists
         // into the arriving double buffers and drain them, so the
         // emission lists below refill the (already sized) originals.
@@ -522,9 +540,24 @@ impl Simulation {
             self.routers[c.node].deliver_credit(c.output, c.credit);
             self.active[c.node] = true;
         }
+        self.prof_phase(Phase::Links, &mut mark);
         // Phase 2: traffic generation and injection.
         self.generate_traffic();
         self.inject();
+        self.prof_phase(Phase::Traffic, &mut mark);
+        // Wake-set gauge: the routers due to step this cycle (all of
+        // them under Reference, the active set otherwise).
+        if self.profiler.is_some() {
+            let n = self.routers.len() as u64;
+            let stepped = if self.cfg.kernel == KernelMode::Reference {
+                n
+            } else {
+                self.active.iter().filter(|&&a| a).count() as u64
+            };
+            if let Some(p) = self.profiler.as_deref_mut() {
+                p.record_wake(stepped, n);
+            }
+        }
         // Phase 3: router pipelines. Neighbour statuses come from the
         // published-status buffer, which only changes when a §4.1
         // republication fires — routers act on the last published
@@ -536,6 +569,7 @@ impl Simulation {
         } else {
             self.step_routers_sequential();
         }
+        self.prof_phase(Phase::Routers, &mut mark);
         // Stall detection: once generation has ended, a long silence
         // means the remaining packets are wedged behind faults.
         if self.generation_done()
@@ -554,12 +588,29 @@ impl Simulation {
             }
             self.auditor = Some(a);
         }
+        self.prof_phase(Phase::Audit, &mut mark);
         self.cycle += 1;
         if self.metrics.is_some()
             && self.cfg.sample_window > 0
             && self.cycle.saturating_sub(self.sampler.window_start) >= self.cfg.sample_window
         {
             self.flush_window();
+        }
+        self.prof_phase(Phase::Metrics, &mut mark);
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.end_cycle(
+                self.flits_in_flight.capacity() + self.flits_arriving.capacity(),
+                self.credits_in_flight.capacity() + self.credits_arriving.capacity(),
+            );
+        }
+    }
+
+    /// Charges the wall time since `mark` to `phase` and restarts the
+    /// mark. A no-op when profiling is off (`mark` is `None`).
+    fn prof_phase(&mut self, phase: Phase, mark: &mut Option<Instant>) {
+        if let (Some(p), Some(t)) = (self.profiler.as_deref_mut(), mark.as_mut()) {
+            p.add_phase(phase, *t);
+            *t = Instant::now();
         }
     }
 
@@ -658,6 +709,14 @@ impl Simulation {
                 });
             }
         }
+        // Shard load-balance gauge: how evenly the wake-set spread
+        // across the workers this cycle.
+        if let Some(p) = self.profiler.as_deref_mut() {
+            let max = shards.iter().map(|s| s.stepped.len() as u64).max().unwrap_or(0);
+            let total: u64 = shards.iter().map(|s| s.stepped.len() as u64).sum();
+            p.record_shards(max, total, shards.len() as u64);
+        }
+        let absorb_mark = self.profiler.as_ref().map(|_| Instant::now());
         // Canonical merge: shards in ascending base order, routers in
         // ascending local order — every side effect (audit hooks,
         // trace events, in-flight pushes, stats, recovery accounting)
@@ -672,6 +731,9 @@ impl Simulation {
         }
         self.occ_total = occ_total.try_into().expect("network-wide occupancy went negative");
         self.shards = shards;
+        if let (Some(p), Some(t)) = (self.profiler.as_deref_mut(), absorb_mark) {
+            p.add_absorb(t);
+        }
     }
 
     /// (Re)builds the per-shard scratch when the shard layout changes —
@@ -781,7 +843,8 @@ impl Simulation {
                 if deliver {
                     let latency = self.cycle - flit.created_at;
                     let measured = self.measured(flit.packet.0);
-                    self.stats.record_delivery(latency, measured);
+                    let class = FlowClass::of(flit.src, flit.dst);
+                    self.stats.record_delivery(latency, measured, class);
                     if let Some(a) = self.auditor.as_deref_mut() {
                         a.on_delivered(self.cycle, coord, flit.packet.0);
                     }
@@ -790,6 +853,7 @@ impl Simulation {
                     node.latency_sum += latency;
                     if self.metrics.is_some() {
                         self.sampler.latencies.push(latency);
+                        self.sampler.class_hists.record(class, latency);
                     }
                     self.last_progress = self.cycle;
                     self.emit(TraceEvent::Delivered {
@@ -824,15 +888,22 @@ impl Simulation {
         let mesh = self.cfg.mesh;
         let mut latencies = std::mem::take(&mut self.sampler.latencies);
         latencies.sort_unstable();
-        let (latency_mean, latency_p99, latency_max) = if latencies.is_empty() {
-            (0.0, 0, 0)
+        let rank = |p: f64| {
+            ((latencies.len() as f64 * p).ceil() as usize)
+                .saturating_sub(1)
+                .min(latencies.len().saturating_sub(1))
+        };
+        let (latency_mean, latency_p99, latency_p999, latency_max) = if latencies.is_empty() {
+            (0.0, 0, 0, 0)
         } else {
             let sum: u128 = latencies.iter().map(|&l| l as u128).sum();
             let mean = sum as f64 / latencies.len() as f64;
-            let idx = ((latencies.len() as f64 * 0.99).ceil() as usize)
-                .saturating_sub(1)
-                .min(latencies.len() - 1);
-            (mean, latencies[idx], *latencies.last().expect("non-empty"))
+            (
+                mean,
+                latencies[rank(0.99)],
+                latencies[rank(0.999)],
+                *latencies.last().expect("non-empty"),
+            )
         };
         let mut routers = Vec::with_capacity(self.routers.len());
         for i in 0..self.routers.len() {
@@ -869,11 +940,14 @@ impl Simulation {
             dropped: self.stats.dropped - self.sampler.dropped,
             latency_mean,
             latency_p99,
+            latency_p999,
             latency_max,
             flits_in_system: self.flits_in_system() as u64,
             fault_events: self.fault_events_total - self.sampler.fault_events,
+            classes: self.sampler.class_hists.summaries(),
             routers,
         };
+        self.sampler.class_hists.clear();
         self.sampler.window += 1;
         self.sampler.window_start = self.cycle;
         self.sampler.generated = self.stats.generated;
@@ -1344,10 +1418,12 @@ impl Simulation {
             dropped_packets: self.stats.dropped,
             avg_latency: self.stats.avg_latency(),
             max_latency: self.stats.max_latency,
-            latency_p50: self.stats.histogram.percentile(0.50),
-            latency_p95: self.stats.histogram.percentile(0.95),
-            latency_p99: self.stats.histogram.percentile(0.99),
+            latency_p50: self.stats.histogram.p50(),
+            latency_p95: self.stats.histogram.p95(),
+            latency_p99: self.stats.histogram.p99(),
+            latency_p999: self.stats.histogram.p999(),
             throughput: self.stats.delivered_flits as f64 / (self.cycle.max(1) as f64 * nodes),
+            classes: self.stats.class_histograms.summaries(),
             counters,
             contention,
             energy,
@@ -1356,6 +1432,7 @@ impl Simulation {
             postmortem: self.postmortem.clone(),
             recovery: self.cfg.recovery.is_some().then_some(self.recovery),
             audit: self.auditor.as_ref().map(|a| a.report()),
+            profile: self.profiler.as_ref().map(|p| p.report()),
         }
     }
 }

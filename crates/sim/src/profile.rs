@@ -1,0 +1,333 @@
+//! The simulator self-profiler (opt-in via [`crate::SimConfig`]'s
+//! `profile` flag).
+//!
+//! With three cycle kernels sharing one step loop, "where does the
+//! wall time go" is a real question: per-phase timers bracket the
+//! sections of [`crate::Simulation::step`], the wake-set gauge records
+//! how many routers each cycle actually steps, the parallel kernel
+//! reports shard load imbalance and the coordinator's absorb (merge)
+//! time, and a steady-state allocation counter watches the recycled
+//! in-flight buffers for capacity growth after warm-up.
+//!
+//! The profiler is strictly read-only with respect to the simulated
+//! machine: it observes wall clocks and already-computed sizes, never
+//! an RNG, a router or a queue. [`crate::SimResults::digest`] is
+//! therefore byte-identical with profiling on or off (asserted by the
+//! `observability` test suite across all three kernels), and the
+//! [`ProfileReport`] — being nondeterministic wall-clock data — is
+//! excluded from the digest, the golden corpus and every byte-compared
+//! artifact.
+
+use crate::json::{write_f64, write_key};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The instrumented sections of one simulation cycle, in step order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Phase 0: scheduled faults, republications, recovery timeouts.
+    Faults,
+    /// Phase 1: link flit/credit delivery.
+    Links,
+    /// Phase 2: traffic generation and injection.
+    Traffic,
+    /// Phase 3: router pipeline steps (all kernels).
+    Routers,
+    /// Stall detection plus the periodic audit sweep.
+    Audit,
+    /// Interval-sampler window flushes.
+    Metrics,
+}
+
+const PHASE_COUNT: usize = 6;
+
+impl Phase {
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Wall-time and load-balance accumulators, attached to a
+/// [`crate::Simulation`] when profiling is enabled.
+#[derive(Debug)]
+pub(crate) struct Profiler {
+    started: Instant,
+    phase_ns: [u64; PHASE_COUNT],
+    absorb_ns: u64,
+    cycles: u64,
+    stepped_total: u64,
+    stepped_max: u64,
+    routers: u64,
+    shard_cycles: u64,
+    imbalance_sum: f64,
+    capacity_events: u64,
+    flit_capacity: usize,
+    credit_capacity: usize,
+}
+
+impl Profiler {
+    /// Starts the run clock.
+    pub(crate) fn new() -> Self {
+        Profiler {
+            started: Instant::now(),
+            phase_ns: [0; PHASE_COUNT],
+            absorb_ns: 0,
+            cycles: 0,
+            stepped_total: 0,
+            stepped_max: 0,
+            routers: 0,
+            shard_cycles: 0,
+            imbalance_sum: 0.0,
+            capacity_events: 0,
+            flit_capacity: 0,
+            credit_capacity: 0,
+        }
+    }
+
+    /// Charges the time since `since` to `phase`.
+    pub(crate) fn add_phase(&mut self, phase: Phase, since: Instant) {
+        self.phase_ns[phase.index()] += since.elapsed().as_nanos() as u64;
+    }
+
+    /// Charges the time since `since` to the parallel kernel's
+    /// absorb/merge section (also part of the `Routers` phase).
+    pub(crate) fn add_absorb(&mut self, since: Instant) {
+        self.absorb_ns += since.elapsed().as_nanos() as u64;
+    }
+
+    /// Records the wake-set occupancy of one cycle: `stepped` of
+    /// `routers` routers were due to step.
+    pub(crate) fn record_wake(&mut self, stepped: u64, routers: u64) {
+        self.stepped_total += stepped;
+        self.stepped_max = self.stepped_max.max(stepped);
+        self.routers = routers;
+    }
+
+    /// Records one parallel-kernel cycle's shard balance: the busiest
+    /// shard stepped `max_stepped` routers of `total_stepped` across
+    /// `shards` shards.
+    pub(crate) fn record_shards(&mut self, max_stepped: u64, total_stepped: u64, shards: u64) {
+        if total_stepped == 0 || shards == 0 {
+            return;
+        }
+        let mean = total_stepped as f64 / shards as f64;
+        self.shard_cycles += 1;
+        self.imbalance_sum += max_stepped as f64 / mean;
+    }
+
+    /// Ends one cycle: advances the cycle count and watches the
+    /// recycled in-flight buffers for steady-state capacity growth
+    /// (the first observation seeds the watermark without counting).
+    pub(crate) fn end_cycle(&mut self, flit_capacity: usize, credit_capacity: usize) {
+        if self.cycles > 0 {
+            if flit_capacity > self.flit_capacity {
+                self.capacity_events += 1;
+            }
+            if credit_capacity > self.credit_capacity {
+                self.capacity_events += 1;
+            }
+        }
+        self.flit_capacity = self.flit_capacity.max(flit_capacity);
+        self.credit_capacity = self.credit_capacity.max(credit_capacity);
+        self.cycles += 1;
+    }
+
+    /// Snapshots the accumulators into a report.
+    pub(crate) fn report(&self) -> ProfileReport {
+        let s = |ns: u64| ns as f64 / 1e9;
+        let stepped_mean =
+            if self.cycles == 0 { 0.0 } else { self.stepped_total as f64 / self.cycles as f64 };
+        ProfileReport {
+            cycles: self.cycles,
+            wall_s: self.started.elapsed().as_nanos() as f64 / 1e9,
+            faults_s: s(self.phase_ns[Phase::Faults.index()]),
+            links_s: s(self.phase_ns[Phase::Links.index()]),
+            traffic_s: s(self.phase_ns[Phase::Traffic.index()]),
+            routers_s: s(self.phase_ns[Phase::Routers.index()]),
+            audit_s: s(self.phase_ns[Phase::Audit.index()]),
+            metrics_s: s(self.phase_ns[Phase::Metrics.index()]),
+            absorb_s: s(self.absorb_ns),
+            stepped_mean,
+            stepped_max: self.stepped_max,
+            wake_fraction: if self.routers == 0 { 0.0 } else { stepped_mean / self.routers as f64 },
+            shard_imbalance: if self.shard_cycles == 0 {
+                0.0
+            } else {
+                self.imbalance_sum / self.shard_cycles as f64
+            },
+            capacity_growth_events: self.capacity_events,
+        }
+    }
+}
+
+/// The simulator self-profile of one run: per-phase wall time,
+/// wake-set occupancy, parallel-kernel load balance and steady-state
+/// allocation behaviour.
+///
+/// All `*_s` fields are wall-clock seconds and vary run to run; the
+/// report is diagnostic output only and never enters digests, goldens
+/// or byte-compared campaign JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Cycles the profiler observed.
+    pub cycles: u64,
+    /// Wall time from simulation construction to report.
+    pub wall_s: f64,
+    /// Phase 0: scheduled faults, republications, recovery timeouts.
+    pub faults_s: f64,
+    /// Phase 1: link flit/credit delivery.
+    pub links_s: f64,
+    /// Phase 2: traffic generation and injection.
+    pub traffic_s: f64,
+    /// Phase 3: router pipeline steps (includes `absorb_s`).
+    pub routers_s: f64,
+    /// Stall detection plus periodic audit sweeps.
+    pub audit_s: f64,
+    /// Interval-sampler window flushes.
+    pub metrics_s: f64,
+    /// Parallel kernel only: coordinator time spent absorbing shard
+    /// outputs after the join (the serial merge section).
+    pub absorb_s: f64,
+    /// Mean routers stepped per cycle (wake-set occupancy).
+    pub stepped_mean: f64,
+    /// Largest number of routers stepped in any one cycle.
+    pub stepped_max: u64,
+    /// `stepped_mean` as a fraction of the mesh (1.0 = every router
+    /// steps every cycle, as under the Reference kernel).
+    pub wake_fraction: f64,
+    /// Parallel kernel only: mean over cycles of busiest-shard stepped
+    /// count divided by the per-shard mean (1.0 = perfectly balanced;
+    /// 0 when the parallel kernel never ran).
+    pub shard_imbalance: f64,
+    /// Times a recycled in-flight buffer grew its capacity after the
+    /// first observed cycle (0 = allocation-free steady state).
+    pub capacity_growth_events: u64,
+}
+
+impl ProfileReport {
+    /// Multi-line human-readable report (the `noc run --profile` view).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "self-profile ({} cycles, {:.3}s wall)", self.cycles, self.wall_s);
+        let _ = writeln!(
+            out,
+            "  phases        faults {:.3}s | links {:.3}s | traffic {:.3}s | routers {:.3}s \
+             | audit {:.3}s | metrics {:.3}s",
+            self.faults_s,
+            self.links_s,
+            self.traffic_s,
+            self.routers_s,
+            self.audit_s,
+            self.metrics_s
+        );
+        let _ = writeln!(
+            out,
+            "  wake set      mean {:.1} routers/cycle ({:.1}% of mesh), max {}",
+            self.stepped_mean,
+            self.wake_fraction * 100.0,
+            self.stepped_max
+        );
+        if self.shard_imbalance > 0.0 {
+            let _ = writeln!(
+                out,
+                "  parallel      shard imbalance {:.3} (1.0 = balanced), absorb {:.3}s",
+                self.shard_imbalance, self.absorb_s
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  allocation    {} steady-state capacity growth event(s)",
+            self.capacity_growth_events
+        );
+        out
+    }
+
+    /// Serializes the report as one JSON object (the `profile` section
+    /// of BENCH_sim_throughput.json).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        write_key(&mut out, &mut first, "cycles");
+        let _ = write!(out, "{}", self.cycles);
+        for (key, value) in [
+            ("wall_s", self.wall_s),
+            ("faults_s", self.faults_s),
+            ("links_s", self.links_s),
+            ("traffic_s", self.traffic_s),
+            ("routers_s", self.routers_s),
+            ("audit_s", self.audit_s),
+            ("metrics_s", self.metrics_s),
+            ("absorb_s", self.absorb_s),
+            ("stepped_mean", self.stepped_mean),
+            ("wake_fraction", self.wake_fraction),
+            ("shard_imbalance", self.shard_imbalance),
+        ] {
+            write_key(&mut out, &mut first, key);
+            write_f64(&mut out, value);
+        }
+        write_key(&mut out, &mut first, "stepped_max");
+        let _ = write!(out, "{}", self.stepped_max);
+        write_key(&mut out, &mut first, "capacity_growth_events");
+        let _ = write!(out, "{}", self.capacity_growth_events);
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn accumulates_phases_and_wake_set() {
+        let mut p = Profiler::new();
+        let t = Instant::now();
+        p.add_phase(Phase::Routers, t);
+        p.add_absorb(t);
+        p.record_wake(3, 16);
+        p.end_cycle(10, 10);
+        p.record_wake(5, 16);
+        p.end_cycle(10, 10);
+        let r = p.report();
+        assert_eq!(r.cycles, 2);
+        assert_eq!(r.stepped_max, 5);
+        assert!((r.stepped_mean - 4.0).abs() < 1e-12);
+        assert!((r.wake_fraction - 0.25).abs() < 1e-12);
+        assert_eq!(r.capacity_growth_events, 0);
+        assert_eq!(r.shard_imbalance, 0.0);
+    }
+
+    #[test]
+    fn counts_capacity_growth_after_first_cycle() {
+        let mut p = Profiler::new();
+        p.end_cycle(64, 64); // seeds the watermark, no event
+        p.end_cycle(64, 64);
+        p.end_cycle(128, 64); // flit buffer grew
+        p.end_cycle(128, 96); // credit buffer grew
+        assert_eq!(p.report().capacity_growth_events, 2);
+    }
+
+    #[test]
+    fn shard_imbalance_averages_over_cycles() {
+        let mut p = Profiler::new();
+        p.record_shards(4, 8, 2); // max 4 vs mean 4 → 1.0
+        p.record_shards(6, 8, 2); // max 6 vs mean 4 → 1.5
+        p.record_shards(0, 0, 2); // idle cycle: ignored
+        assert!((p.report().shard_imbalance - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_serializes_to_parseable_json() {
+        let mut p = Profiler::new();
+        p.record_wake(2, 4);
+        p.end_cycle(8, 8);
+        let r = p.report();
+        let v = Json::parse(&r.to_json()).expect("valid JSON");
+        assert_eq!(v.get("cycles").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("stepped_max").unwrap().as_u64(), Some(2));
+        assert!(v.get("wall_s").unwrap().as_f64().is_some());
+        assert!(r.render().contains("wake set"));
+    }
+}
