@@ -41,7 +41,7 @@ fn factorial(n: u64) -> u64 {
 ///
 /// Panics if `n == 0` or `n > 20` (u64 overflow).
 pub fn non_blocking_matchings(n: u64) -> u64 {
-    assert!(n >= 1 && n <= 20, "F(N) supported for 1 <= N <= 20");
+    assert!((1..=20).contains(&n), "F(N) supported for 1 <= N <= 20");
     match n {
         1 => 0,
         2 => 1,
@@ -87,7 +87,7 @@ pub fn roco_non_blocking_probability() -> f64 {
 /// to inputs (input `i` may not pick output `i`) and count those that
 /// cover all outputs. Exponential; for tests only.
 pub fn non_blocking_matchings_bruteforce(n: usize) -> u64 {
-    assert!(n >= 1 && n <= 8, "brute force limited to N <= 8");
+    assert!((1..=8).contains(&n), "brute force limited to N <= 8");
     let mut count = 0u64;
     let choices = n - 1;
     let total = (choices as u64).pow(n as u32);
@@ -171,8 +171,8 @@ mod tests {
         // F(N) equals the number of derangements of N elements
         // (permutations with no fixed point), a known identity.
         let derangements = [0u64, 0, 1, 2, 9, 44, 265, 1854];
-        for n in 1..8 {
-            assert_eq!(non_blocking_matchings(n as u64), derangements[n], "n={n}");
+        for (n, &expect) in derangements.iter().enumerate().skip(1) {
+            assert_eq!(non_blocking_matchings(n as u64), expect, "n={n}");
         }
     }
 

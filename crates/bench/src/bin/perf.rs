@@ -1,11 +1,12 @@
 //! Simulator throughput benchmark (`BENCH_sim_throughput.json`).
 //!
 //! Sweeps {router architecture × injection rate × mesh size}, runs each
-//! point under all three cycle kernels ([`noc_sim::KernelMode::Reference`]
+//! point under all four cycle kernels ([`noc_sim::KernelMode::Reference`]
 //! steps every router every cycle; `Optimized` is the wake-set kernel;
-//! `Parallel` shards the wake-set kernel across worker threads) and
+//! `Parallel` shards the wake-set kernel across worker threads; `Soa`
+//! is the single-thread data-oriented kernel of DESIGN.md §15) and
 //! reports simulated cycles/second and flit-hops/second for each, plus
-//! the wall-clock speedup. Every point also asserts that all three
+//! the wall-clock speedup. Every point also asserts that all four
 //! kernels produce bit-identical [`SimResults`] — the benchmark doubles
 //! as an equivalence check, and exits non-zero on any divergence.
 //!
@@ -14,6 +15,11 @@
 //! machine's core count, each compared against the single-threaded
 //! Optimized kernel on the same config (`speedup_vs_optimized`). The
 //! results land in the report's `thread_scaling` section.
+//!
+//! A third sweep, `soa_scaling`, times the Soa kernel on the same
+//! 16×16 and 32×32 meshes against the Optimized kernel
+//! (`speedup_vs_optimized` again) — the single-thread data-orientation
+//! payoff, targeted at ≥ 2× geomean.
 //!
 //! Sizing follows `NOC_SCALE` (`quick` default); the report lands at
 //! `BENCH_sim_throughput.json` in the workspace root.
@@ -41,7 +47,7 @@ struct KernelRun {
     digest: u64,
 }
 
-/// One sweep point (all three kernels).
+/// One sweep point (all four kernels).
 struct Point {
     router: RouterKind,
     mesh: MeshConfig,
@@ -51,6 +57,19 @@ struct Point {
     reference: KernelRun,
     optimized: KernelRun,
     parallel: KernelRun,
+    soa: KernelRun,
+}
+
+/// One Soa-kernel measurement in the data-orientation sweep.
+struct SoaStep {
+    router: RouterKind,
+    mesh: MeshConfig,
+    rate: f64,
+    cycles: u64,
+    optimized: KernelRun,
+    soa: KernelRun,
+    speedup_vs_optimized: f64,
+    digest_match: bool,
 }
 
 /// One parallel-kernel measurement in the thread-scaling sweep.
@@ -156,9 +175,12 @@ fn main() {
                 let (rres, reference) = time_kernel(&cfg, KernelMode::Reference);
                 let (ores, optimized) = time_kernel(&cfg, KernelMode::Optimized);
                 let (pres, parallel) = time_kernel(&cfg, KernelMode::Parallel);
-                for (name, res, run) in
-                    [("optimized", &ores, &optimized), ("parallel", &pres, &parallel)]
-                {
+                let (sres, soa) = time_kernel(&cfg, KernelMode::Soa);
+                for (name, res, run) in [
+                    ("optimized", &ores, &optimized),
+                    ("parallel", &pres, &parallel),
+                    ("soa", &sres, &soa),
+                ] {
                     if reference.digest != run.digest {
                         mismatches += 1;
                         eprintln!(
@@ -177,13 +199,14 @@ fn main() {
                 }
                 println!(
                     "{router:?} {}x{} rate {rate}: {} cycles, ref {:.2}s opt {:.2}s par {:.2}s \
-                     ({:.2}x, {:.0} cycles/s, {:.0} hops/s)",
+                     soa {:.2}s ({:.2}x, {:.0} cycles/s, {:.0} hops/s)",
                     mesh.width,
                     mesh.height,
                     ores.cycles,
                     reference.wall_s,
                     optimized.wall_s,
                     parallel.wall_s,
+                    soa.wall_s,
                     reference.wall_s / optimized.wall_s,
                     optimized.cycles_per_s,
                     optimized.hops_per_s,
@@ -197,6 +220,7 @@ fn main() {
                     reference,
                     optimized,
                     parallel,
+                    soa,
                 });
             }
         }
@@ -255,6 +279,57 @@ fn main() {
         });
     }
 
+    // Data-orientation sweep: the Soa kernel on the same big meshes,
+    // against the single-threaded Optimized kernel. This is the
+    // single-thread payoff of the SoA hot path (DESIGN.md §15);
+    // `speedup_vs_optimized` is the number the ≥2× target reads.
+    let mut soa_scaling = Vec::new();
+    for mesh in [MeshConfig::new(16, 16), MeshConfig::new(32, 32)] {
+        let rate = 0.1;
+        let mut cfg = scale.apply(SimConfig::paper_scaled(
+            RouterKind::RoCo,
+            RoutingKind::Xy,
+            TrafficKind::Uniform,
+        ));
+        cfg.mesh = mesh;
+        cfg.injection_rate = rate;
+        let (ores, optimized) = time_kernel(&cfg, KernelMode::Optimized);
+        let (_, soa) = time_kernel(&cfg, KernelMode::Soa);
+        let digest_match = soa.digest == optimized.digest;
+        if !digest_match {
+            mismatches += 1;
+            eprintln!(
+                "DIGEST MISMATCH: soa scaling {}x{} diverged from the optimized kernel",
+                mesh.width, mesh.height
+            );
+        }
+        let speedup_vs_optimized = optimized.wall_s / soa.wall_s;
+        println!(
+            "soa {}x{}: opt {:.2}s soa {:.2}s ({:.2}x vs optimized, {:.0} hops/s)",
+            mesh.width,
+            mesh.height,
+            optimized.wall_s,
+            soa.wall_s,
+            speedup_vs_optimized,
+            soa.hops_per_s
+        );
+        soa_scaling.push(SoaStep {
+            router: RouterKind::RoCo,
+            mesh,
+            rate,
+            cycles: ores.cycles,
+            optimized,
+            soa,
+            speedup_vs_optimized,
+            digest_match,
+        });
+    }
+    let soa_geomean = {
+        let log_sum: f64 = soa_scaling.iter().map(|s| s.speedup_vs_optimized.ln()).sum();
+        (log_sum / soa_scaling.len().max(1) as f64).exp()
+    };
+    println!("soa geomean speedup vs optimized: {soa_geomean:.2}x");
+
     // Self-profile section: one representative point per kernel with
     // the simulator profiler enabled. These runs are separate from the
     // timed sweep above, so the profiler's clock reads never perturb
@@ -274,6 +349,7 @@ fn main() {
             ("reference", KernelMode::Reference),
             ("optimized", KernelMode::Optimized),
             ("parallel", KernelMode::Parallel),
+            ("soa", KernelMode::Soa),
         ] {
             let mut kcfg = cfg.clone();
             kcfg.kernel = kernel;
@@ -349,7 +425,16 @@ fn main() {
         }
     }
 
-    let json = render_json(scale_name, &points, &scaling, &profiles, geomean_speedup, mismatches);
+    let json = render_json(
+        scale_name,
+        &points,
+        &scaling,
+        &soa_scaling,
+        soa_geomean,
+        &profiles,
+        geomean_speedup,
+        mismatches,
+    );
     match std::fs::write(&path, json) {
         Ok(()) => eprintln!("[wrote {}]", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
@@ -391,10 +476,13 @@ fn write_kernel_run(out: &mut String, first: &mut bool, name: &str, run: &Kernel
     out.push('}');
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     scale: &str,
     points: &[Point],
     scaling: &[ScalingSeries],
+    soa_scaling: &[SoaStep],
+    soa_geomean: f64,
     profiles: &[(&str, ProfileReport)],
     geomean: f64,
     mismatches: u32,
@@ -433,11 +521,13 @@ fn render_json(
         write_kernel_run(&mut out, &mut f, "reference", &p.reference);
         write_kernel_run(&mut out, &mut f, "optimized", &p.optimized);
         write_kernel_run(&mut out, &mut f, "parallel", &p.parallel);
+        write_kernel_run(&mut out, &mut f, "soa", &p.soa);
         write_key(&mut out, &mut f, "speedup");
         write_f64(&mut out, p.reference.wall_s / p.optimized.wall_s);
         write_key(&mut out, &mut f, "digest_match");
-        let ok =
-            p.reference.digest == p.optimized.digest && p.reference.digest == p.parallel.digest;
+        let ok = p.reference.digest == p.optimized.digest
+            && p.reference.digest == p.parallel.digest
+            && p.reference.digest == p.soa.digest;
         out.push_str(if ok { "true" } else { "false" });
         out.push('}');
     }
@@ -482,6 +572,33 @@ fn render_json(
             out.push('}');
         }
         out.push(']');
+        out.push('}');
+    }
+    out.push(']');
+    write_key(&mut out, &mut first, "soa_geomean_speedup");
+    write_f64(&mut out, soa_geomean);
+    write_key(&mut out, &mut first, "soa_scaling");
+    out.push('[');
+    for (i, s) in soa_scaling.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        let mut f = true;
+        write_key(&mut out, &mut f, "router");
+        write_str(&mut out, &format!("{:?}", s.router));
+        write_key(&mut out, &mut f, "mesh");
+        write_str(&mut out, &format!("{}x{}", s.mesh.width, s.mesh.height));
+        write_key(&mut out, &mut f, "injection_rate");
+        write_f64(&mut out, s.rate);
+        write_key(&mut out, &mut f, "cycles");
+        write_f64(&mut out, s.cycles as f64);
+        write_kernel_run(&mut out, &mut f, "optimized", &s.optimized);
+        write_kernel_run(&mut out, &mut f, "soa", &s.soa);
+        write_key(&mut out, &mut f, "speedup_vs_optimized");
+        write_f64(&mut out, s.speedup_vs_optimized);
+        write_key(&mut out, &mut f, "digest_match");
+        out.push_str(if s.digest_match { "true" } else { "false" });
         out.push('}');
     }
     out.push(']');

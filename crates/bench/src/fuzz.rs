@@ -3,14 +3,14 @@
 //! Each fuzz case draws a small random configuration — mesh size,
 //! router architecture, routing algorithm, traffic pattern, static
 //! and/or scheduled faults, optional end-to-end recovery — and runs it
-//! under **all three** cycle kernels (Reference, Optimized, Parallel
-//! with a fuzzed worker count) with the runtime invariant auditor
+//! under **all four** cycle kernels (Reference, Optimized, Parallel
+//! with a fuzzed worker count, Soa) with the runtime invariant auditor
 //! enabled. A case passes when
 //!
 //! 1. the [`noc_sim::Auditor`] reports zero violations under every
 //!    kernel (flit conservation, credit books, VC legality, status
 //!    coherence),
-//! 2. the Reference, Optimized, and Parallel kernels produce
+//! 2. the Reference, Optimized, Parallel and Soa kernels produce
 //!    bit-identical [`SimResults::digest`]s, and
 //! 3. recovery accounting closes: on a cleanly drained run with
 //!    recovery enabled, every generated packet is either delivered or
@@ -153,7 +153,7 @@ pub fn case_config(case: u64, base_seed: u64) -> SimConfig {
     cfg
 }
 
-/// Runs `cfg` under all three kernels and applies the fuzz oracles.
+/// Runs `cfg` under all four kernels and applies the fuzz oracles.
 ///
 /// Returns `Err(description)` on the first violated oracle; the
 /// description embeds the audit report / digests involved.
@@ -164,11 +164,14 @@ pub fn check_config(cfg: &SimConfig) -> Result<(), String> {
     optimized.kernel = KernelMode::Optimized;
     let mut parallel = cfg.clone();
     parallel.kernel = KernelMode::Parallel;
+    let mut soa = cfg.clone();
+    soa.kernel = KernelMode::Soa;
     let r = Simulation::new(reference).run();
     let o = Simulation::new(optimized).run();
     let p = Simulation::new(parallel).run();
+    let s = Simulation::new(soa).run();
 
-    for (kernel, res) in [("reference", &r), ("optimized", &o), ("parallel", &p)] {
+    for (kernel, res) in [("reference", &r), ("optimized", &o), ("parallel", &p), ("soa", &s)] {
         if let Some(report) = &res.audit {
             if !report.clean() {
                 return Err(format!("{kernel} kernel audit violations:\n{}", report.render()));
@@ -180,7 +183,7 @@ pub fn check_config(cfg: &SimConfig) -> Result<(), String> {
             return Err(format!("{kernel} kernel {problem}"));
         }
     }
-    for (kernel, res) in [("optimized", &o), ("parallel", &p)] {
+    for (kernel, res) in [("optimized", &o), ("parallel", &p), ("soa", &s)] {
         if r.digest() != res.digest() {
             return Err(format!(
                 "kernel divergence: reference digest {:#018x} != {kernel} digest {:#018x} \
@@ -430,7 +433,10 @@ pub fn render_repro(case: u64, base_seed: u64, cfg: &SimConfig, reason: &str) ->
     if let Some(t) = cfg.threads {
         s.push_str(&format!("cfg.threads = Some({t});\n"));
     }
-    s.push_str("// Run under all three kernels; compare digests and inspect results.audit.\n");
+    s.push_str(
+        "// Run under all four kernels (Reference, Optimized, Parallel, Soa);\n\
+         // compare digests and inspect results.audit.\n",
+    );
     s
 }
 

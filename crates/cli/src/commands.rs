@@ -25,7 +25,7 @@ USAGE:
             [--packets N] [--warmup N] [--seed N] [--heatmaps true]
             [--metrics-out F.jsonl] [--trace-out F.perfetto.json|F.jsonl|F.csv]
             [--sample-window N] [--postmortem-out F.json]
-            [--kernel optimized|reference|parallel] [--threads N]
+            [--kernel optimized|reference|parallel|soa] [--threads N]
             [--slo CLASS:METRIC<=N,...] [--profile true] [--prom-out F.prom]
   noc sweep [--router R|all] [--routing A] [--traffic T] [--rates F,F,...]
             [--mesh WxH] [--packets N] [--seed N]
@@ -42,7 +42,7 @@ USAGE:
   noc thermal [--router R] [--routing A] [--traffic T] [--rate F] [--packets N]
   noc audit [--router R] [--routing A] [--traffic T] [--rate F] [--mesh WxH]
             [--packets N] [--warmup N] [--seed N]
-            [--kernel optimized|reference|parallel] [--threads N]
+            [--kernel optimized|reference|parallel|soa] [--threads N]
             [--interval N] [--faults N] [--category critical|recyclable]
             [--recovery true]
   noc golden [--update true]
@@ -84,16 +84,18 @@ fn base_config(args: &Args) -> Result<SimConfig, ArgError> {
     cfg.measured_packets = args.get_or("packets", 10_000u64)?;
     cfg.warmup_packets = args.get_or("warmup", cfg.measured_packets / 10)?;
     cfg.seed = args.get_or("seed", 0xC0C0u64)?;
-    // All kernels are bit-identical (DESIGN.md §10, §13); `reference`
-    // exists for benchmarking the wake-set and for bisecting,
-    // `parallel` shards Phase 3 across worker threads.
+    // All kernels are bit-identical (DESIGN.md §10, §13, §15);
+    // `reference` exists for benchmarking the wake-set and for
+    // bisecting, `parallel` shards Phase 3 across worker threads, `soa`
+    // is the single-thread data-oriented kernel.
     cfg.kernel = match args.get("kernel") {
         None | Some("optimized") => noc_sim::KernelMode::Optimized,
         Some("reference") => noc_sim::KernelMode::Reference,
         Some("parallel") => noc_sim::KernelMode::Parallel,
+        Some("soa") => noc_sim::KernelMode::Soa,
         Some(other) => {
             return Err(ArgError(format!(
-                "--kernel: 'optimized', 'reference' or 'parallel', got '{other}'"
+                "--kernel: 'optimized', 'reference', 'parallel' or 'soa', got '{other}'"
             )))
         }
     };
@@ -125,10 +127,11 @@ fn summarize(r: &SimResults) -> String {
         r.avg_latency, r.latency_p50, r.latency_p95, r.latency_p99, r.latency_p999, r.max_latency
     );
     for c in r.classes.iter().filter(|c| c.count > 0) {
-        let _ = writeln!(
+        let _ =
+            writeln!(
             s,
             "  latency[{:<5}]      avg {:.2}  p50 {}  p95 {}  p99 {}  p999 {}  max {}  ({} pkts)",
-            c.class, c.mean, c.p50, c.p95, c.p99, c.p999, c.max, c.count
+            c.class.to_string(), c.mean, c.p50, c.p95, c.p99, c.p999, c.max, c.count
         );
     }
     let _ = writeln!(s, "  throughput          {:.4} flits/node/cycle", r.throughput);
@@ -865,16 +868,18 @@ mod tests {
 
     #[test]
     fn run_kernels_print_identical_summaries() {
-        // Same seed, three kernels (parallel at two thread counts):
-        // byte-identical summaries, the CLI face of DESIGN.md §13.
+        // Same seed, four kernels (parallel at two thread counts):
+        // byte-identical summaries, the CLI face of DESIGN.md §13/§15.
         let base = "run --packets 300 --warmup 30 --rate 0.1 --seed 42";
         let optimized = dispatch(&parse(&format!("{base} --kernel optimized"))).unwrap();
         let reference = dispatch(&parse(&format!("{base} --kernel reference"))).unwrap();
         let par1 = dispatch(&parse(&format!("{base} --kernel parallel --threads 1"))).unwrap();
         let par4 = dispatch(&parse(&format!("{base} --kernel parallel --threads 4"))).unwrap();
+        let soa = dispatch(&parse(&format!("{base} --kernel soa"))).unwrap();
         assert_eq!(optimized, reference);
         assert_eq!(optimized, par1);
         assert_eq!(optimized, par4);
+        assert_eq!(optimized, soa);
         assert!(optimized.contains("completion"));
     }
 

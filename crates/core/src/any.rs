@@ -2,12 +2,19 @@
 
 use crate::{GenericRouter, PathSensitiveRouter, RocoRouter};
 use noc_core::{
-    ActivityCounters, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit,
+    ActivityCounters, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit, HotStep,
     MeshConfig, NodeStatus, RouterConfig, RouterKind, RouterNode, RouterOutputs, StepContext,
     VcDescriptor, VcSnapshot,
 };
 
 /// A router of any of the three evaluated architectures.
+///
+/// Stored inline (not boxed) deliberately: the simulator keeps a
+/// `Vec<AnyRouter>` so the SoA kernel's lookahead prefetch can compute
+/// router addresses from the vector spine without a dependent load.
+/// The variant size spread is modest (~1.1–1.4 kB), so the padding
+/// cost is worth the pointer-chase it removes.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum AnyRouter {
     /// Generic 2-stage 5-port VC router.
@@ -89,6 +96,14 @@ impl RouterNode for AnyRouter {
 
     fn step(&mut self, ctx: &mut StepContext<'_>, out: &mut RouterOutputs) {
         dispatch!(self, r => r.step(ctx, out))
+    }
+
+    fn step_hot(&mut self, ctx: &mut StepContext<'_>, out: &mut RouterOutputs) -> HotStep {
+        dispatch!(self, r => r.step_hot(ctx, out))
+    }
+
+    fn warm_hot(&self) {
+        dispatch!(self, r => r.warm_hot())
     }
 
     fn is_quiescent(&self) -> bool {

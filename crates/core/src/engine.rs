@@ -19,13 +19,6 @@ use noc_core::{
 use noc_routing::{quadrant_mask, RouteComputer};
 use std::collections::VecDeque;
 
-/// Default for [`RouterConfig::block_timeout`]: cycles a baseline
-/// router lets a fault-blocked packet wedge its VC (congesting the
-/// region around the fault) before its watchdog discards it. The RoCo
-/// router never waits: its §4.1 status handshake discards
-/// unserviceable packets immediately.
-pub const BLOCK_TIMEOUT: Cycle = 20;
-
 /// Allocation state of one virtual channel's resident packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VcState {
@@ -48,7 +41,8 @@ pub enum VcState {
     /// this architecture has no graceful-discard handshake. The packet
     /// wedges, back-pressure builds around the fault (the "excessive
     /// congestion around the faulty nodes" of §5.4), and after
-    /// [`BLOCK_TIMEOUT`] cycles the router's watchdog discards it.
+    /// [`RouterConfig::block_timeout`] cycles the router's watchdog
+    /// discards it.
     Blocked {
         /// Cycle the packet wedged.
         since: Cycle,
@@ -106,7 +100,12 @@ impl Vc {
             input_side,
             link_index,
             group,
-            queue: VecDeque::new(),
+            // Pre-sized so steady-state pushes never touch the heap: a
+            // lazily-allocated queue would take its one growth hit the
+            // first time this VC sees traffic, which can be arbitrarily
+            // deep into a run. +2 leaves headroom for poison tails,
+            // which may transiently exceed the credited capacity.
+            queue: VecDeque::with_capacity(desc.capacity as usize + 2),
             state: VcState::Idle,
             dropping: false,
             disabled: false,
@@ -158,6 +157,24 @@ impl OutputPort {
             .filter(|v| v.desc.accepts(req))
             .map(|v| v.credits as i64 + v.free as i64)
             .sum()
+    }
+}
+
+/// Clone-able ascending iterator over the set bits of a busy-VC mask
+/// (see [`RouterCore::hot_open`]), for [`RouterCore::va_stage_ids`].
+#[derive(Debug, Clone)]
+pub struct BitIds(pub u64);
+
+impl Iterator for BitIds {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let b = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(b)
     }
 }
 
@@ -219,6 +236,15 @@ pub struct RouterCore {
     va_requests: Vec<VaRequest>,
     /// Reusable arbiter request-line scratch.
     va_lines: Vec<bool>,
+    /// Persistent superset of the busy-VC bits (bit `v` set ⇒ VC `v`
+    /// *may* be non-idle). [`RouterCore::hot_open`] scans only these
+    /// bits and narrows the mask to the exact busy set; the only paths
+    /// that can make a quiet VC busy between steps —
+    /// [`RouterCore::deliver_flit`] and [`RouterCore::try_inject`] —
+    /// re-set the bit. Cold reconfiguration paths widen it back to
+    /// all-ones defensively. Meaningless (and harmless) when
+    /// `vcs.len() > 64`, where the hot path is never taken.
+    hot_mask: u64,
 }
 
 impl RouterCore {
@@ -245,6 +271,11 @@ impl RouterCore {
         let link_descs = std::array::from_fn(|side| {
             link_map[side].iter().map(|&id| vcs[id].desc).collect::<Vec<_>>()
         });
+        // Scratch vectors are recycled across cycles; pre-sizing them to
+        // their worst-case per-cycle population keeps the steady-state
+        // hot path allocation-free even when the first contested cycle
+        // (or first drop, eject, ...) lands deep into a run.
+        let n_vcs = vcs.len();
         RouterCore {
             coord,
             cfg,
@@ -253,10 +284,10 @@ impl RouterCore {
             link_map,
             link_descs,
             outputs: [None, None, None, None],
-            st_latch: Vec::new(),
-            pending_ejects: Vec::new(),
-            pending_credits: Vec::new(),
-            pending_drops: Vec::new(),
+            st_latch: Vec::with_capacity(n_vcs),
+            pending_ejects: Vec::with_capacity(n_vcs),
+            pending_credits: Vec::with_capacity(n_vcs),
+            pending_drops: Vec::with_capacity(n_vcs),
             va_arbs: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
             counters: ActivityCounters::new(),
             contention: ContentionCounters::new(),
@@ -266,8 +297,9 @@ impl RouterCore {
             inj_vc: None,
             inj_dropping: false,
             last_cycle: 0,
-            va_requests: Vec::new(),
-            va_lines: Vec::new(),
+            va_requests: Vec::with_capacity(n_vcs),
+            va_lines: Vec::with_capacity(n_vcs),
+            hot_mask: u64::MAX,
         }
     }
 
@@ -278,6 +310,7 @@ impl RouterCore {
         let n = self.vcs.len().max(1);
         self.va_arbs[dir.index()] = descs.iter().map(|_| RoundRobinArbiter::new(n)).collect();
         self.outputs[dir.index()] = Some(OutputPort::new(descs));
+        self.hot_mask = u64::MAX;
     }
 
     /// Refreshes the published link descriptors (after fault injection).
@@ -286,6 +319,7 @@ impl RouterCore {
             self.link_descs[side] =
                 self.link_map[side].iter().map(|&id| self.vcs[id].desc).collect();
         }
+        self.hot_mask = u64::MAX;
     }
 
     /// Current node status from the fault bookkeeping.
@@ -353,6 +387,7 @@ impl RouterCore {
         self.counters.buffer_writes += 1;
         self.vcs[id].writes += 1;
         self.vcs[id].queue.push_back(flit);
+        self.mark_hot(id);
     }
 
     /// Accepts a credit for output `output`.
@@ -425,6 +460,7 @@ impl RouterCore {
     /// Called by the network right after a mid-run `inject_fault` (and
     /// after a repair re-applies the remaining faults).
     pub fn purge_faulted(&mut self) {
+        self.hot_mask = u64::MAX;
         let own = self.status();
         for vc_id in 0..self.vcs.len() {
             let vc = &self.vcs[vc_id];
@@ -476,6 +512,7 @@ impl RouterCore {
     /// as outstanding stay outstanding; streams holding a downstream VC
     /// that vanished are aborted.
     pub fn resync_output(&mut self, dir: Direction, descs: &[VcDescriptor]) {
+        self.hot_mask = u64::MAX;
         let Some(port) = self.outputs[dir.index()].as_mut() else { return };
         debug_assert_eq!(port.vcs.len(), descs.len(), "link VC count is fixed at build time");
         for (v, d) in port.vcs.iter_mut().zip(descs.iter()) {
@@ -508,6 +545,7 @@ impl RouterCore {
     /// upstream left behind are discarded so the rebuilt credit and VC
     /// bookkeeping starts from empty buffers.
     pub fn reset_input_link(&mut self, from: Direction) {
+        self.hot_mask = u64::MAX;
         let ids = self.link_map[from.index()].clone();
         for vc_id in ids {
             self.abort_stream(vc_id, false);
@@ -515,10 +553,15 @@ impl RouterCore {
     }
 
     /// Flits currently buffered or latched (for drain detection).
+    /// Pending drops count too: a flit discarded by the pipeline stays
+    /// "in the system" until the next flush hands it to the network for
+    /// drop accounting — otherwise a drop landing right as the network
+    /// drains would end the run before it is ever recorded.
     pub fn occupancy(&self) -> usize {
         self.vcs.iter().map(|v| v.queue.len()).sum::<usize>()
             + self.st_latch.len()
             + self.pending_ejects.len()
+            + self.pending_drops.len()
     }
 
     /// Whether a full `step` would change nothing but the clocked-cycle
@@ -548,6 +591,15 @@ impl RouterCore {
         self.counters.cycles += 1;
     }
 
+    /// Records that `vc_id` may now be busy (a flit entered its queue
+    /// between steps), so the next [`RouterCore::hot_open`] scans it.
+    #[inline]
+    fn mark_hot(&mut self, vc_id: usize) {
+        if vc_id < 64 {
+            self.hot_mask |= 1u64 << vc_id;
+        }
+    }
+
     /// Whether an `Active` VC with flits to send is starved of credits
     /// on its downstream VC (ejection never starves: it needs no VC).
     fn vc_credit_starved(&self, vc: &Vc) -> bool {
@@ -570,6 +622,124 @@ impl RouterCore {
         if self.vcs.iter().any(|vc| self.vc_credit_starved(vc)) {
             self.counters.credit_stall_cycles += 1;
         }
+    }
+
+    /// Fused start-of-step scan for the `Soa` kernel's hot path: one
+    /// pass over the VCs that performs [`RouterCore::probe_cycle`]'s
+    /// telemetry bit-identically *and* computes the busy-VC mask (bit
+    /// `v` set ⇔ VC `v` is possibly non-idle: non-empty queue, non-Idle
+    /// state, or mid-drop). Only valid when `vcs.len() <= 64`; callers
+    /// fall back to the classic `step` otherwise.
+    pub fn hot_open(&mut self) -> u64 {
+        debug_assert!(self.vcs.len() <= 64, "hot path requires <= 64 VCs");
+        // `hot_mask` is a superset of the busy VCs (see its field doc),
+        // so scanning only its bits is exact: a VC outside it is empty
+        // and `Idle` and cannot be credit-starved (starvation requires
+        // an `Active` state with a non-empty queue), so it contributes
+        // nothing to any of the three outputs below.
+        let all = if self.vcs.len() == 64 { u64::MAX } else { (1u64 << self.vcs.len()) - 1 };
+        let mut bits = self.hot_mask & all;
+        let mut busy = 0u64;
+        let mut buffered = 0u64;
+        let mut starved = false;
+        while bits != 0 {
+            let v = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let vc = &self.vcs[v];
+            let qlen = vc.queue.len();
+            buffered += qlen as u64;
+            if qlen != 0 || vc.state != VcState::Idle || vc.dropping {
+                busy |= 1u64 << v;
+            }
+            starved = starved || self.vc_credit_starved(vc);
+        }
+        if buffered > self.counters.occupancy_high_water {
+            self.counters.occupancy_high_water = buffered;
+        }
+        if starved {
+            self.counters.credit_stall_cycles += 1;
+        }
+        // Narrow the persistent mask to the exact busy set: the step
+        // about to run cannot make a quiet VC busy (the `va_stage_ids`
+        // argument), and between steps `deliver_flit`/`try_inject`
+        // re-widen it as flits arrive.
+        self.hot_mask = busy;
+        busy
+    }
+
+    /// Issues cache prefetches for the lines the next
+    /// [`RouterCore::hot_open`] / `va_stage_ids` / SA sweep will touch:
+    /// the possibly-busy `Vc` structs (via `hot_mask`), their queue
+    /// head blocks, and the output-port credit arrays. Read-only; a
+    /// no-op off x86_64. Called by the `Soa` kernel a few routers ahead
+    /// of the serial step sweep so consecutive routers' cache misses
+    /// overlap instead of serialising.
+    pub fn warm_hot(&self) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let len = self.vcs.len();
+            if len > 64 {
+                return;
+            }
+            let all = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+            let vc_lines = std::mem::size_of::<Vc>().div_ceil(64);
+            let mut bits = self.hot_mask & all;
+            while bits != 0 {
+                let v = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let vc = &self.vcs[v];
+                let p = (vc as *const Vc).cast::<i8>();
+                for line in 0..vc_lines {
+                    // SAFETY: prefetch has no memory effects; the
+                    // address stays within (or one line past) the
+                    // live `Vc` allocation.
+                    unsafe { _mm_prefetch(p.add(line * 64), _MM_HINT_T0) };
+                }
+                if let Some(f) = vc.queue.front() {
+                    unsafe { _mm_prefetch((f as *const Flit).cast::<i8>(), _MM_HINT_T0) };
+                }
+            }
+            for port in self.outputs.iter().flatten() {
+                unsafe { _mm_prefetch(port.vcs.as_ptr().cast::<i8>(), _MM_HINT_T0) };
+            }
+            // Emission scratch the step writes into (`flush`,
+            // `apply_grant`, `send_credit`).
+            unsafe {
+                _mm_prefetch(self.st_latch.as_ptr().cast::<i8>(), _MM_HINT_T0);
+                _mm_prefetch(self.pending_credits.as_ptr().cast::<i8>(), _MM_HINT_T0);
+            }
+        }
+    }
+
+    /// Fused end-of-step scan over the `busy`-mask VCs only: returns
+    /// `(occupancy, quiescent)` exactly as [`RouterCore::occupancy`] /
+    /// [`RouterCore::is_quiescent`] would. Sound for the same reason as
+    /// [`RouterCore::va_stage_ids`]: VCs outside the start-of-step mask
+    /// are empty and `Idle` and cannot change during the step, so they
+    /// contribute zero occupancy and never break quiescence.
+    pub fn hot_close(&self, busy: u64) -> (usize, bool) {
+        let mut queued = 0usize;
+        let mut vcs_quiet = true;
+        let mut bits = busy;
+        while bits != 0 {
+            let v = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let vc = &self.vcs[v];
+            queued += vc.queue.len();
+            vcs_quiet =
+                vcs_quiet && vc.queue.is_empty() && vc.state == VcState::Idle && !vc.dropping;
+        }
+        let occupancy =
+            queued + self.st_latch.len() + self.pending_ejects.len() + self.pending_drops.len();
+        let quiescent = vcs_quiet
+            && self.st_latch.is_empty()
+            && self.pending_ejects.is_empty()
+            && self.pending_credits.is_empty()
+            && self.pending_drops.is_empty()
+            && !self.inj_dropping
+            && self.inj_vc.is_none();
+        (occupancy, quiescent)
     }
 
     /// Point-in-time snapshots of every input VC (see
@@ -761,12 +931,27 @@ impl RouterCore {
     /// The look-ahead routing + virtual-channel allocation stage.
     /// Returns per-axis VA activity (used by the SA-offload fault model).
     pub fn va_stage(&mut self, ctx: &mut StepContext<'_>) -> [bool; 2] {
+        self.va_stage_ids(ctx, 0..self.vcs.len())
+    }
+
+    /// [`RouterCore::va_stage`] over an explicit VC id set. The classic
+    /// step passes `0..vcs.len()`; the `Soa` hot path passes a
+    /// [`BitIds`] over the [`RouterCore::hot_open`] busy mask. Sound
+    /// because a VC outside the start-of-step mask is empty and `Idle`
+    /// and stays so for the whole step (flits only enter VC queues via
+    /// `deliver_flit`/`try_inject`, which run between steps), so every
+    /// skipped id would fail each sub-pass's guards without any side
+    /// effect — including RNG draws and counter bumps.
+    pub fn va_stage_ids<I>(&mut self, ctx: &mut StepContext<'_>, ids: I) -> [bool; 2]
+    where
+        I: Iterator<Item = usize> + Clone,
+    {
         self.last_cycle = ctx.cycle;
         let mut va_activity = [false; 2];
         // Sub-pass 1: drain dropping packets, release RoutePending
         // holds whose extra cycle elapsed, and fire the watchdog on
         // fault-blocked packets that have wedged long enough.
-        for vc_id in 0..self.vcs.len() {
+        for vc_id in ids.clone() {
             if self.vcs[vc_id].dropping {
                 self.drain_dropping(vc_id);
             }
@@ -785,7 +970,7 @@ impl RouterCore {
         }
         // Sub-pass 2: heads newly at the front compute their look-ahead
         // route (or get dropped if a fault makes them unserviceable).
-        for vc_id in 0..self.vcs.len() {
+        for vc_id in ids.clone() {
             if self.vcs[vc_id].state != VcState::Idle || self.vcs[vc_id].dropping {
                 continue;
             }
@@ -803,7 +988,7 @@ impl RouterCore {
         // the steady-state path allocates nothing).
         let mut requests = std::mem::take(&mut self.va_requests);
         requests.clear();
-        for vc_id in 0..self.vcs.len() {
+        for vc_id in ids {
             let VcState::WaitingVa { next_route } = self.vcs[vc_id].state else { continue };
             let Some(&head) = self.vcs[vc_id].queue.front() else { continue };
             let out = head.next_out;
@@ -1164,6 +1349,7 @@ impl RouterCore {
             self.counters.buffer_writes += 1;
             self.vcs[vc_id].writes += 1;
             self.vcs[vc_id].queue.push_back(flit);
+            self.mark_hot(vc_id);
             self.inj_vc = Some(vc_id);
             if flit.kind.is_tail() {
                 self.inj_vc = None;
@@ -1185,6 +1371,7 @@ impl RouterCore {
             self.counters.buffer_writes += 1;
             self.vcs[vc_id].writes += 1;
             self.vcs[vc_id].queue.push_back(flit);
+            self.mark_hot(vc_id);
             if flit.kind.is_tail() {
                 self.inj_vc = None;
             }

@@ -5,10 +5,10 @@
 //! crossbar's PE column (no Early Ejection). Any hard fault blocks the
 //! whole node (§4.1).
 
-use crate::engine::{RouterCore, Vc};
+use crate::engine::{BitIds, RouterCore, Vc};
 use noc_arbiter::{SeparableAllocator, SwitchGrant, SwitchRequest};
 use noc_core::{
-    ActivityCounters, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit,
+    ActivityCounters, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit, HotStep,
     MeshConfig, ModuleHealth, NodeStatus, RouterConfig, RouterKind, RouterNode, RouterOutputs,
     StepContext, VcAdmission, VcDescriptor, VcSnapshot,
 };
@@ -49,8 +49,11 @@ impl GenericRouter {
         GenericRouter {
             core,
             allocator: SeparableAllocator::new(5, 5, v),
-            sa_requests: Vec::new(),
-            sa_grants: Vec::new(),
+            // Pre-sized to their per-cycle worst case (one request per
+            // input VC): recycled scratch must never grow on the hot
+            // path, even when the first busy cycle lands late in a run.
+            sa_requests: Vec::with_capacity(5 * v),
+            sa_grants: Vec::with_capacity(5 * v),
         }
     }
 
@@ -139,6 +142,65 @@ impl RouterNode for GenericRouter {
             let granted = self.sa_grants.iter().any(|g| g.input == r.input && g.vc == r.vc);
             self.core.record_contention(axis, granted);
         }
+    }
+
+    fn step_hot(&mut self, ctx: &mut StepContext<'_>, out: &mut RouterOutputs) -> HotStep {
+        if self.core.vcs.len() > 64 {
+            self.step(ctx, out);
+            return HotStep {
+                occupancy: self.core.occupancy(),
+                quiescent: self.core.is_quiescent(),
+                busy_vcs: u64::MAX,
+            };
+        }
+        out.clear();
+        self.core.counters.cycles += 1;
+        let busy = self.core.hot_open();
+        self.core.flush(out);
+        if self.core.node_dead() {
+            let (occupancy, quiescent) = self.core.hot_close(busy);
+            return HotStep { occupancy, quiescent, busy_vcs: busy };
+        }
+        self.core.va_stage_ids(ctx, BitIds(busy));
+        // SA candidates can only be busy VCs (a candidate needs a
+        // non-empty Active VC), and VC ids ascend in (side, i) order, so
+        // scanning the busy mask yields the same requests in the same
+        // order as the classic step's full sweep.
+        let requests = &mut self.sa_requests;
+        requests.clear();
+        for vc_id in BitIds(busy) {
+            if let Some(want) = self.core.sa_candidate(vc_id) {
+                let vc = &self.core.vcs[vc_id];
+                requests.push(SwitchRequest {
+                    input: vc.input_side.index(),
+                    output: want.index(),
+                    vc: vc.link_index as usize,
+                });
+            }
+        }
+        let effort = self.allocator.allocate_into(requests, &mut self.sa_grants);
+        self.core.counters.sa_local_arbs += effort.local_ops;
+        self.core.counters.sa_global_arbs += effort.global_ops;
+        let mut freed = false;
+        for g in &self.sa_grants {
+            let vc_id = self.core.link_map[g.input][g.vc];
+            freed |= self.core.apply_grant(vc_id);
+        }
+        if freed {
+            self.core.va_stage_ids(ctx, BitIds(busy));
+        }
+        for r in &self.sa_requests {
+            let side = Direction::from_index(r.input);
+            let Some(axis) = side.axis() else { continue };
+            let granted = self.sa_grants.iter().any(|g| g.input == r.input && g.vc == r.vc);
+            self.core.record_contention(axis, granted);
+        }
+        let (occupancy, quiescent) = self.core.hot_close(busy);
+        HotStep { occupancy, quiescent, busy_vcs: busy }
+    }
+
+    fn warm_hot(&self) {
+        self.core.warm_hot();
     }
 
     fn is_quiescent(&self) -> bool {

@@ -36,7 +36,7 @@ mod path_sensitive;
 mod roco;
 
 pub use any::AnyRouter;
-pub use engine::{OutputPort, OutputVcState, RouterCore, Vc, VcState};
+pub use engine::{BitIds, OutputPort, OutputVcState, RouterCore, Vc, VcState};
 pub use generic::GenericRouter;
 pub use path_sensitive::PathSensitiveRouter;
 pub use roco::{class_histogram, table1_vcs, ModulePort, RocoRouter, RocoVcSpec};

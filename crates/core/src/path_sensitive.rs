@@ -10,10 +10,10 @@
 //! used as in the original design; like the generic router, any hard
 //! fault blocks the whole node.
 
-use crate::engine::{RouterCore, Vc};
+use crate::engine::{BitIds, RouterCore, Vc};
 use noc_arbiter::{SeparableAllocator, SwitchGrant, SwitchRequest};
 use noc_core::{
-    ActivityCounters, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit,
+    ActivityCounters, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit, HotStep,
     MeshConfig, ModuleHealth, NodeStatus, RouterConfig, RouterKind, RouterNode, RouterOutputs,
     StepContext, VcAdmission, VcDescriptor, VcSnapshot,
 };
@@ -77,8 +77,11 @@ impl PathSensitiveRouter {
             core,
             set_vcs,
             allocator: SeparableAllocator::new(4, 4, 3),
-            sa_requests: Vec::new(),
-            sa_grants: Vec::new(),
+            // Pre-sized to their per-cycle worst case (one request per
+            // input VC): recycled scratch must never grow on the hot
+            // path, even when the first busy cycle lands late in a run.
+            sa_requests: Vec::with_capacity(12),
+            sa_grants: Vec::with_capacity(12),
         }
     }
 
@@ -159,6 +162,64 @@ impl RouterNode for PathSensitiveRouter {
             let granted = self.sa_grants.iter().any(|g| g.input == r.input && g.vc == r.vc);
             self.core.record_contention(axis, granted);
         }
+    }
+
+    fn step_hot(&mut self, ctx: &mut StepContext<'_>, out: &mut RouterOutputs) -> HotStep {
+        if self.core.vcs.len() > 64 {
+            self.step(ctx, out);
+            return HotStep {
+                occupancy: self.core.occupancy(),
+                quiescent: self.core.is_quiescent(),
+                busy_vcs: u64::MAX,
+            };
+        }
+        out.clear();
+        self.core.counters.cycles += 1;
+        let busy = self.core.hot_open();
+        self.core.flush(out);
+        if self.core.node_dead() {
+            let (occupancy, quiescent) = self.core.hot_close(busy);
+            return HotStep { occupancy, quiescent, busy_vcs: busy };
+        }
+        self.core.va_stage_ids(ctx, BitIds(busy));
+        // Same sweep as the classic step, but only busy VCs can be SA
+        // candidates, so non-busy ids are skipped without the
+        // `sa_candidate` call.
+        let requests = &mut self.sa_requests;
+        requests.clear();
+        for (set, ids) in self.set_vcs.iter().enumerate() {
+            for (i, &vc_id) in ids.iter().enumerate() {
+                if busy & (1u64 << vc_id) == 0 {
+                    continue;
+                }
+                if let Some(want) = self.core.sa_candidate(vc_id) {
+                    requests.push(SwitchRequest { input: set, output: want.index(), vc: i });
+                }
+            }
+        }
+        let effort = self.allocator.allocate_into(requests, &mut self.sa_grants);
+        self.core.counters.sa_local_arbs += effort.local_ops;
+        self.core.counters.sa_global_arbs += effort.global_ops;
+        let mut freed = false;
+        for g in &self.sa_grants {
+            let vc_id = self.set_vcs[g.input][g.vc];
+            freed |= self.core.apply_grant(vc_id);
+        }
+        if freed {
+            self.core.va_stage_ids(ctx, BitIds(busy));
+        }
+        for r in &self.sa_requests {
+            let vc_id = self.set_vcs[r.input][r.vc];
+            let Some(axis) = self.core.vcs[vc_id].input_side.axis() else { continue };
+            let granted = self.sa_grants.iter().any(|g| g.input == r.input && g.vc == r.vc);
+            self.core.record_contention(axis, granted);
+        }
+        let (occupancy, quiescent) = self.core.hot_close(busy);
+        HotStep { occupancy, quiescent, busy_vcs: busy }
+    }
+
+    fn warm_hot(&self) {
+        self.core.warm_hot();
     }
 
     fn is_quiescent(&self) -> bool {

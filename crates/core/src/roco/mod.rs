@@ -12,17 +12,25 @@ mod vc_config;
 
 pub use vc_config::{class_histogram, table1_vcs, ModulePort, RocoVcSpec};
 
-use crate::engine::{RouterCore, Vc};
+use crate::engine::{BitIds, RouterCore, Vc};
 use noc_arbiter::{
     MirrorAllocator, RoundRobinArbiter, SeparableAllocator, SwitchGrant, SwitchRequest,
 };
 use noc_core::{
     ActivityCounters, Axis, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit,
-    MeshConfig, ModuleHealth, NodeStatus, RouterConfig, RouterKind, RouterNode, RouterOutputs,
-    StepContext, VcDescriptor, VcSnapshot,
+    HotStep, MeshConfig, ModuleHealth, NodeStatus, RouterConfig, RouterKind, RouterNode,
+    RouterOutputs, StepContext, VcDescriptor, VcSnapshot,
 };
 use noc_fault::{reaction, Reaction};
 use noc_routing::RouteComputer;
+
+/// Whether `vc` is inside the busy mask. Ids past bit 63 are always
+/// "busy": the hot path never runs there, and the classic step passes
+/// an all-ones mask.
+#[inline]
+fn busy_has(busy: u64, vc: usize) -> bool {
+    vc >= 64 || busy & (1u64 << vc) != 0
+}
 
 /// Output direction served by `module` (0 = Row, 1 = Column) and
 /// crossbar slot `slot` (0 or 1).
@@ -55,6 +63,10 @@ pub struct RocoRouter {
     sa_grants: Vec<SwitchGrant>,
     sa_lines: Vec<bool>,
     sa_eligible: Vec<usize>,
+    /// Bitmask of each module's internal VC ids, for the hot path's
+    /// module-skip test (all-zero when the VC count exceeds 64 — the
+    /// hot path falls back to the classic step then anyway).
+    module_vc_mask: [u64; 2],
 }
 
 impl RocoRouter {
@@ -81,6 +93,14 @@ impl RocoRouter {
             vcs.push(Vc::new(spec.desc, side, link_index, spec.port as u8));
         }
         let core = RouterCore::new(coord, cfg, computer, vcs, link_map);
+        let mut module_vc_mask = [0u64; 2];
+        if specs.len() <= 64 {
+            for (port, ids) in port_vcs.iter().enumerate() {
+                for &vc in ids {
+                    module_vc_mask[port / 2] |= 1u64 << vc;
+                }
+            }
+        }
         RocoRouter {
             core,
             port_vcs,
@@ -92,17 +112,21 @@ impl RocoRouter {
                 SeparableAllocator::new(2, 2, cfg.vcs_per_port as usize),
                 SeparableAllocator::new(2, 2, cfg.vcs_per_port as usize),
             ],
-            sa_requests: Vec::new(),
-            sa_grants: Vec::new(),
-            sa_lines: Vec::new(),
-            sa_eligible: Vec::new(),
+            // Pre-sized to their per-cycle worst case (one entry per
+            // VC): recycled scratch must never grow on the hot path,
+            // even when the first busy cycle lands late in a run.
+            sa_requests: Vec::with_capacity(specs.len()),
+            sa_grants: Vec::with_capacity(specs.len()),
+            sa_lines: Vec::with_capacity(specs.len()),
+            sa_eligible: Vec::with_capacity(specs.len()),
+            module_vc_mask,
         }
     }
 
     /// Ablation SA: plain input-first separable allocation on the 2×2
     /// module (no Mirroring Effect, so head-of-line blocking between a
     /// port's two directions is possible).
-    fn module_sa_separable(&mut self, module: usize) -> bool {
+    fn module_sa_separable(&mut self, module: usize, busy: u64) -> bool {
         let mut freed = false;
         let ports = [2 * module, 2 * module + 1];
         let requests = &mut self.sa_requests;
@@ -110,6 +134,12 @@ impl RocoRouter {
         let mut port_had_request = [false; 2];
         for (pi, &port) in ports.iter().enumerate() {
             for (vi, &vc) in self.port_vcs[port].iter().enumerate() {
+                // A VC outside the busy mask is empty and Idle, so its
+                // `sa_candidate` is always None: skipping the load is
+                // bit-exact (see `RouterCore::hot_open`).
+                if !busy_has(busy, vc) {
+                    continue;
+                }
                 if let Some(want) = self.core.sa_candidate(vc) {
                     let slot = (0..2)
                         .find(|&s| slot_direction(module, s) == want)
@@ -165,7 +195,7 @@ impl RocoRouter {
 
     /// Switch allocation for one module using the Mirroring Effect.
     /// Returns whether a tail departure freed a downstream VC.
-    fn module_sa(&mut self, module: usize) -> bool {
+    fn module_sa(&mut self, module: usize, busy: u64) -> bool {
         let mut freed = false;
         let ports = [2 * module, 2 * module + 1];
         // Local stage: per port, per direction, a v:1 arbiter picks one
@@ -175,11 +205,19 @@ impl RocoRouter {
         let mut lines = std::mem::take(&mut self.sa_lines);
         eligible.clear();
         for (pi, &port) in ports.iter().enumerate() {
+            // Index loop on purpose: `slot` feeds `slot_direction`,
+            // `dir_arbs`, and `cand` symmetrically.
+            #[allow(clippy::needless_range_loop)]
             for slot in 0..2 {
                 let want = slot_direction(module, slot);
                 lines.clear();
+                // A VC outside the busy mask is empty and Idle, so its
+                // `sa_candidate` is always None: skipping the load is
+                // bit-exact (see `RouterCore::hot_open`).
                 lines.extend(
-                    self.port_vcs[port].iter().map(|&vc| self.core.sa_candidate(vc) == Some(want)),
+                    self.port_vcs[port]
+                        .iter()
+                        .map(|&vc| busy_has(busy, vc) && self.core.sa_candidate(vc) == Some(want)),
                 );
                 for (vi, &l) in lines.iter().enumerate() {
                     if l && self.core.vcs[self.port_vcs[port][vi]].input_side != Direction::Local {
@@ -214,7 +252,7 @@ impl RocoRouter {
             // Fig 3: one observation per eligible network VC, on this
             // module's axis (row module = row inputs, column = column).
             for &vc in &eligible {
-                let granted = granted_vcs.iter().any(|g| *g == Some(vc));
+                let granted = granted_vcs.contains(&Some(vc));
                 self.core.record_contention(axis, granted);
             }
         }
@@ -259,6 +297,9 @@ impl RouterNode for RocoRouter {
         }
         let va_activity = self.core.va_stage(ctx);
         let mut freed = false;
+        // Index loop on purpose: `module` selects health, degradation,
+        // VA activity, and the allocator sweep together.
+        #[allow(clippy::needless_range_loop)]
         for module in 0..2 {
             if self.core.module_health[module] == ModuleHealth::Dead {
                 continue;
@@ -270,15 +311,82 @@ impl RouterNode for RocoRouter {
                 continue;
             }
             freed |= if self.core.cfg.mirror_allocator {
-                self.module_sa(module)
+                self.module_sa(module, u64::MAX)
             } else {
-                self.module_sa_separable(module)
+                self.module_sa_separable(module, u64::MAX)
             };
         }
         if freed {
             // Tail departures freed downstream VCs: a further VA
             // iteration lets waiting heads claim them without a bubble.
             self.core.va_stage(ctx);
+        }
+    }
+
+    fn step_hot(&mut self, ctx: &mut StepContext<'_>, out: &mut RouterOutputs) -> HotStep {
+        if self.core.vcs.len() > 64 {
+            self.step(ctx, out);
+            return HotStep {
+                occupancy: self.core.occupancy(),
+                quiescent: self.core.is_quiescent(),
+                busy_vcs: u64::MAX,
+            };
+        }
+        out.clear();
+        self.core.counters.cycles += 1;
+        let busy = self.core.hot_open();
+        self.core.flush(out);
+        if self.core.node_dead() {
+            let (occupancy, quiescent) = self.core.hot_close(busy);
+            return HotStep { occupancy, quiescent, busy_vcs: busy };
+        }
+        let va_activity = self.core.va_stage_ids(ctx, BitIds(busy));
+        let mut freed = false;
+        // Index loop on purpose, as in the classic step above.
+        #[allow(clippy::needless_range_loop)]
+        for module in 0..2 {
+            // A module with no busy VC has no SA candidates: the classic
+            // step would touch no arbiter and no counter, so skipping it
+            // outright is bit-exact.
+            if busy & self.module_vc_mask[module] == 0 {
+                continue;
+            }
+            if self.core.module_health[module] == ModuleHealth::Dead {
+                continue;
+            }
+            if self.core.sa_degraded[module] && va_activity[module] {
+                continue;
+            }
+            freed |= if self.core.cfg.mirror_allocator {
+                self.module_sa(module, busy)
+            } else {
+                self.module_sa_separable(module, busy)
+            };
+        }
+        if freed {
+            // The busy mask stays a sound superset for the second VA
+            // pass: no VC gains flits mid-step.
+            self.core.va_stage_ids(ctx, BitIds(busy));
+        }
+        let (occupancy, quiescent) = self.core.hot_close(busy);
+        HotStep { occupancy, quiescent, busy_vcs: busy }
+    }
+
+    fn warm_hot(&self) {
+        self.core.warm_hot();
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            // SA satellites: the per-port VC id lists and the reused
+            // line/eligibility scratch live in small heap blocks of
+            // their own. SAFETY: prefetch has no memory effects.
+            for ids in &self.port_vcs {
+                unsafe { _mm_prefetch(ids.as_ptr().cast::<i8>(), _MM_HINT_T0) };
+            }
+            unsafe {
+                _mm_prefetch(self.sa_lines.as_ptr().cast::<i8>(), _MM_HINT_T0);
+                _mm_prefetch(self.sa_eligible.as_ptr().cast::<i8>(), _MM_HINT_T0);
+            }
         }
     }
 

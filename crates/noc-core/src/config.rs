@@ -243,16 +243,13 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut cfg = RouterConfig::default();
-        cfg.vcs_per_port = 0;
+        let cfg = RouterConfig { vcs_per_port: 0, ..Default::default() };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = RouterConfig::default();
-        cfg.buffer_depth = 0;
+        let cfg = RouterConfig { buffer_depth: 0, ..Default::default() };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = RouterConfig::default();
-        cfg.num_flits = 0;
+        let cfg = RouterConfig { num_flits: 0, ..Default::default() };
         assert!(cfg.validate().is_err());
 
         let mut cfg = RouterConfig::paper(RouterKind::RoCo, RoutingKind::Xy);

@@ -34,6 +34,7 @@ mod geometry;
 mod node;
 mod probe;
 mod vc;
+mod wake;
 
 pub use config::{MeshConfig, RouterConfig, RouterKind, RoutingKind};
 pub use counters::{ActivityCounters, ContentionCounters};
@@ -41,8 +42,9 @@ pub use error::ConfigError;
 pub use flit::{Cycle, Flit, FlitKind, Packet, PacketId};
 pub use geometry::{Axis, AxisOrder, Coord, Direction};
 pub use node::{
-    router_rng, ComponentFault, FaultComponent, ModuleHealth, NodeStatus, RouterNode,
+    router_rng, ComponentFault, FaultComponent, HotStep, ModuleHealth, NodeStatus, RouterNode,
     RouterOutputs, StepContext, EJECT_VC, RNG_STREAM_INJECT, RNG_STREAM_STEP,
 };
 pub use probe::{AuditProbe, CreditBook, LatchedFlit, VcAudit, VcPhase, VcSnapshot};
 pub use vc::{Credit, TurnFilter, VcAdmission, VcClass, VcDescriptor, VcRef, VcRequest};
+pub use wake::{WakeIter, WakeSet, WakeView};

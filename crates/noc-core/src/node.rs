@@ -201,6 +201,23 @@ impl RouterOutputs {
     }
 }
 
+/// What one fused hot-path step ([`RouterNode::step_hot`]) reports back
+/// to the simulator, so the caller needs no follow-up
+/// [`RouterNode::occupancy`] / [`RouterNode::is_quiescent`] sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct HotStep {
+    /// Flits buffered after the step (same value `occupancy()` would
+    /// return).
+    pub occupancy: usize,
+    /// Whether the router ended the step quiescent (same value
+    /// `is_quiescent()` would return).
+    pub quiescent: bool,
+    /// Busy-VC tag mask: bit `v` set means internal VC `v` was possibly
+    /// non-idle at the start of the step (a sound superset). Routers
+    /// that don't track per-VC masks report `u64::MAX` (all unknown).
+    pub busy_vcs: u64,
+}
+
 /// A wormhole-switched virtual-channel router that the mesh simulator
 /// can drive cycle by cycle.
 ///
@@ -244,6 +261,25 @@ pub trait RouterNode {
     /// a caller-owned scratch buffer that the router clears on entry —
     /// the steady-state hot loop performs no heap allocation this way.
     fn step(&mut self, ctx: &mut StepContext<'_>, out: &mut RouterOutputs);
+
+    /// Data-oriented variant of [`RouterNode::step`] for the simulator's
+    /// `Soa` kernel: advances the router exactly one cycle with
+    /// bit-identical results, but is free to fuse its internal scans
+    /// (e.g. compute a busy-VC mask once and feed every pipeline stage
+    /// from it) and must report end-of-step occupancy and quiescence so
+    /// the caller performs no extra sweeps. The default implementation
+    /// simply wraps `step`.
+    fn step_hot(&mut self, ctx: &mut StepContext<'_>, out: &mut RouterOutputs) -> HotStep {
+        self.step(ctx, out);
+        HotStep { occupancy: self.occupancy(), quiescent: self.is_quiescent(), busy_vcs: u64::MAX }
+    }
+
+    /// Issues cache prefetches for the state the next [`RouterNode::step_hot`]
+    /// call will touch. Strictly read-only and semantically a no-op —
+    /// the `Soa` kernel calls it a few routers ahead of the serial step
+    /// sweep so the (otherwise dependent) cache misses of consecutive
+    /// routers overlap. The default does nothing.
+    fn warm_hot(&self) {}
 
     /// Whether the router holds no flits, no pending emissions and no
     /// non-idle pipeline state, so that a [`RouterNode::step`] call

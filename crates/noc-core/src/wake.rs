@@ -1,0 +1,321 @@
+//! Wake-set bitsets for the simulator's sleep/wake router scheduling.
+//!
+//! The network keeps one "awake" bit per router; a router whose bit is
+//! clear is known-quiescent and may be skipped entirely by the cycle
+//! kernels. [`WakeSet`] packs those bits into `u64` words so a 1024-node
+//! mesh is a 16-word scan instead of a 1024-byte one, and awake indices
+//! are recovered with `trailing_zeros` rather than a per-element branch.
+//! [`WakeView`] is the borrowed, word-aligned window the parallel
+//! kernel hands each shard: because shard boundaries are rounded to a
+//! word multiple, two threads never write the same word.
+//!
+//! Invariant: bits at positions `>= len` are always zero, so popcounts
+//! and word scans never need a tail mask.
+
+/// Bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// A fixed-length bitset of router wake flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WakeSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+/// Number of words needed for `len` bits.
+fn words_for(len: usize) -> usize {
+    len.div_ceil(WORD_BITS)
+}
+
+impl WakeSet {
+    /// A set of `len` routers, all awake (the simulator's start state:
+    /// every router must step at least once to discover quiescence).
+    pub fn all_awake(len: usize) -> Self {
+        let mut words = vec![u64::MAX; words_for(len)];
+        if let Some(last) = words.last_mut() {
+            let tail = len % WORD_BITS;
+            if tail != 0 {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        WakeSet { words, len }
+    }
+
+    /// A set of `len` routers, all asleep.
+    pub fn all_asleep(len: usize) -> Self {
+        WakeSet { words: vec![0; words_for(len)], len }
+    }
+
+    /// Number of routers tracked (bit length, not words).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the set tracks zero routers.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Marks router `i` awake.
+    #[inline]
+    pub fn wake(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Marks router `i` asleep.
+    #[inline]
+    pub fn sleep(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Sets router `i`'s flag from a bool (bridge for code that used to
+    /// assign into a `Vec<bool>`).
+    #[inline]
+    pub fn set(&mut self, i: usize, awake: bool) {
+        if awake {
+            self.wake(i);
+        } else {
+            self.sleep(i);
+        }
+    }
+
+    /// True when router `i` is awake.
+    #[inline]
+    pub fn is_awake(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / WORD_BITS] >> (i % WORD_BITS) & 1 != 0
+    }
+
+    /// Number of awake routers (word-wise popcount).
+    pub fn count_awake(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of storage words holding at least one awake bit — the
+    /// profiler's wake-word occupancy gauge.
+    pub fn occupied_words(&self) -> usize {
+        self.words.iter().filter(|&&w| w != 0).count()
+    }
+
+    /// The backing words (low bit of word 0 is router 0).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Copy of word `w`; kernels snapshot a word before iterating it so
+    /// `sleep` calls on the current word don't perturb the scan.
+    #[inline]
+    pub fn word(&self, w: usize) -> u64 {
+        self.words[w]
+    }
+
+    /// Awake indices in ascending order via per-word `trailing_zeros`.
+    pub fn iter(&self) -> WakeIter<'_> {
+        WakeIter { words: &self.words, word: 0, bits: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// Word-aligned mutable windows of `chunk_bits` bits each (the last
+    /// window may be shorter). `chunk_bits` must be a word multiple.
+    pub fn views_mut(&mut self, chunk_bits: usize) -> impl Iterator<Item = WakeView<'_>> {
+        assert!(chunk_bits > 0 && chunk_bits % WORD_BITS == 0, "chunk must be a word multiple");
+        let len = self.len;
+        self.words.chunks_mut(chunk_bits / WORD_BITS).enumerate().map(move |(k, words)| {
+            let base = k * chunk_bits;
+            WakeView { words, len: chunk_bits.min(len - base) }
+        })
+    }
+}
+
+/// Ascending iterator over awake indices.
+#[derive(Debug)]
+pub struct WakeIter<'a> {
+    words: &'a [u64],
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for WakeIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.bits == 0 {
+            self.word += 1;
+            if self.word >= self.words.len() {
+                return None;
+            }
+            self.bits = self.words[self.word];
+        }
+        let bit = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(self.word * WORD_BITS + bit)
+    }
+}
+
+/// A borrowed, word-aligned window into a [`WakeSet`], indexed by
+/// shard-local router offsets. Handed to parallel-kernel shards so each
+/// owns its words outright.
+#[derive(Debug)]
+pub struct WakeView<'a> {
+    words: &'a mut [u64],
+    len: usize,
+}
+
+impl WakeView<'_> {
+    /// Number of routers in this window.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the window covers zero routers.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when local router `i` is awake.
+    #[inline]
+    pub fn is_awake(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / WORD_BITS] >> (i % WORD_BITS) & 1 != 0
+    }
+
+    /// Sets local router `i`'s flag.
+    #[inline]
+    pub fn set(&mut self, i: usize, awake: bool) {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        if awake {
+            self.words[i / WORD_BITS] |= mask;
+        } else {
+            self.words[i / WORD_BITS] &= !mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// xorshift64* — cheap deterministic bit soup for property tests.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Reference model: the `Vec<bool>` sweep the simulator used before.
+    fn model_iter(model: &[bool]) -> Vec<usize> {
+        model.iter().enumerate().filter(|(_, &a)| a).map(|(i, _)| i).collect()
+    }
+
+    #[test]
+    fn all_awake_matches_dense_model() {
+        for len in [0, 1, 63, 64, 65, 100, 127, 128, 129, 1024] {
+            let set = WakeSet::all_awake(len);
+            assert_eq!(set.len(), len);
+            assert_eq!(set.count_awake(), len, "len {len}");
+            assert_eq!(set.iter().collect::<Vec<_>>(), (0..len).collect::<Vec<_>>());
+            // Invariant: no bits above `len` (popcount already proves it,
+            // but check the raw tail word too).
+            if len % 64 != 0 {
+                assert_eq!(set.words().last().unwrap() >> (len % 64), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn random_patterns_match_vec_bool_sweep() {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for len in [1usize, 5, 63, 64, 65, 100, 127, 128, 129, 300, 1000] {
+            for _round in 0..20 {
+                let mut set = WakeSet::all_asleep(len);
+                let mut model = vec![false; len];
+                // Random interleaving of wakes and sleeps.
+                for _ in 0..2 * len {
+                    let r = xorshift(&mut state);
+                    let i = (r as usize >> 8) % len;
+                    let awake = r & 1 == 0;
+                    set.set(i, awake);
+                    model[i] = awake;
+                }
+                assert_eq!(
+                    set.iter().collect::<Vec<_>>(),
+                    model_iter(&model),
+                    "iteration order diverged from Vec<bool> at len {len}"
+                );
+                assert_eq!(set.count_awake(), model.iter().filter(|&&a| a).count());
+                for (i, &awake) in model.iter().enumerate() {
+                    assert_eq!(set.is_awake(i), awake, "membership at {i}, len {len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_last_word_edges() {
+        // Lengths straddling the word boundary: only in-range bits may
+        // ever be set, and waking the last router works at every length.
+        for len in [100usize, 127, 128, 129] {
+            let mut set = WakeSet::all_asleep(len);
+            set.wake(len - 1);
+            assert!(set.is_awake(len - 1));
+            assert_eq!(set.count_awake(), 1);
+            assert_eq!(set.iter().collect::<Vec<_>>(), vec![len - 1]);
+            assert_eq!(set.occupied_words(), 1);
+            set.sleep(len - 1);
+            assert_eq!(set.count_awake(), 0);
+            assert_eq!(set.occupied_words(), 0);
+        }
+    }
+
+    #[test]
+    fn wake_is_idempotent_and_sleep_is_precise() {
+        let mut set = WakeSet::all_asleep(130);
+        set.wake(64);
+        set.wake(64);
+        set.wake(65);
+        assert_eq!(set.count_awake(), 2);
+        set.sleep(64);
+        assert!(!set.is_awake(64));
+        assert!(set.is_awake(65));
+    }
+
+    #[test]
+    fn views_split_on_word_boundaries() {
+        let mut set = WakeSet::all_asleep(200);
+        set.wake(0);
+        set.wake(63);
+        set.wake(64);
+        set.wake(199);
+        let mut views: Vec<WakeView<'_>> = set.views_mut(128).collect();
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0].len(), 128);
+        assert_eq!(views[1].len(), 72);
+        assert!(views[0].is_awake(0));
+        assert!(views[0].is_awake(63));
+        assert!(views[0].is_awake(64));
+        assert!(views[1].is_awake(199 - 128));
+        // Shard-local writes land at the right global position.
+        views[1].set(0, true);
+        views[0].set(63, false);
+        drop(views);
+        assert!(set.is_awake(128));
+        assert!(!set.is_awake(63));
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![0, 64, 128, 199]);
+    }
+
+    #[test]
+    fn occupied_words_counts_nonzero_words() {
+        let mut set = WakeSet::all_asleep(256);
+        assert_eq!(set.occupied_words(), 0);
+        set.wake(0);
+        set.wake(1);
+        set.wake(255);
+        assert_eq!(set.occupied_words(), 2);
+        assert_eq!(set.words().len(), 4);
+    }
+}

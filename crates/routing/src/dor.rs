@@ -59,13 +59,18 @@ impl DirSet {
         self.dirs.iter().flatten().copied()
     }
 
-    /// Removes directions not satisfying `keep`.
+    /// Removes directions not satisfying `keep`. Runs entirely on the
+    /// stack — this sits on the router hot path (route computation).
     pub fn retain(&mut self, mut keep: impl FnMut(Direction) -> bool) {
-        let kept: Vec<Direction> = self.iter().filter(|&d| keep(d)).collect();
-        self.dirs = [None, None];
-        for d in kept {
-            self.push(d);
+        let mut kept = [None, None];
+        let mut n = 0;
+        for d in self.dirs.iter().flatten().copied() {
+            if keep(d) {
+                kept[n] = Some(d);
+                n += 1;
+            }
         }
+        self.dirs = kept;
     }
 }
 

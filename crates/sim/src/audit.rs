@@ -28,10 +28,13 @@
 //!   a node whose *published* status is dead, once the §4.1
 //!   republication that published it is more than the one-cycle
 //!   switch-latch grace old.
-//! * **Quiescence / accounting** — under the `Optimized` kernel a
-//!   router off the wake-set is provably quiescent, and the incremental
-//!   occupancy/source totals match a from-scratch re-derivation (the
-//!   release-mode version of the kernel's debug assertions).
+//! * **Quiescence / accounting** — under the `Optimized` and `Soa`
+//!   kernels a router off the wake-set is provably quiescent; under
+//!   `Soa` every non-quiet VC additionally sits inside the router's
+//!   recorded busy-tag mask (the superset invariant DESIGN.md §15's
+//!   fused hot path relies on); and the incremental occupancy/source
+//!   totals match a from-scratch re-derivation (the release-mode
+//!   version of the kernel's debug assertions).
 //!
 //! Violations are recorded as structured [`AuditViolation`]s (cycle,
 //! router, link/VC, packet, post-mortem-style detail) and surfaced in
@@ -243,10 +246,15 @@ pub struct Auditor {
     /// Last §4.1 republication cycle per node (0 = construction).
     last_republish: Vec<Cycle>,
     /// Directed links `(sender node, direction index)` whose credit
-    /// books §4.1 currently allows to be desynchronised. Set on every
-    /// fault/repair event touching either endpoint; cleared once the
-    /// link is observed fully at rest.
-    tainted: HashSet<(usize, u8)>,
+    /// books §4.1 currently allows to be desynchronised, mapped to the
+    /// `(faulted site, event cycle)` that tainted them. Set on every
+    /// fault/repair event touching either endpoint; cleared only after
+    /// the site's republication has landed *and* the books agree with
+    /// the derivation again. Clearing any earlier is unsound: a link at
+    /// rest when the fault strikes can still desynchronise afterwards,
+    /// because flits launched before the republication arrives are
+    /// swallowed by the dead node without a credit return.
+    tainted: HashMap<(usize, u8), (usize, Cycle)>,
     /// Report accumulators.
     checks_run: u64,
     flits_observed: u64,
@@ -272,7 +280,7 @@ impl Auditor {
             delivered: 0,
             abandoned: 0,
             last_republish: vec![0; sim_cfg.mesh.nodes()],
-            tainted: HashSet::new(),
+            tainted: HashMap::new(),
             checks_run: 0,
             flits_observed: 0,
             total: 0,
@@ -570,8 +578,10 @@ impl Auditor {
             }
             return;
         }
-        // Body or tail: must continue the open stream in order.
-        match self.streams.get_mut(&key) {
+        // Body or tail: must continue the open stream in order. The
+        // stream entry is inspected (and advanced) first so the map
+        // borrow ends before any violation is recorded.
+        let (open, last_seq) = match self.streams.get_mut(&key) {
             None => {
                 self.violate(
                     AuditKind::StreamOrder,
@@ -582,39 +592,43 @@ impl Auditor {
                     Some(id),
                     format!("{:?} flit arrived with no wormhole open", flit.kind),
                 );
+                return;
             }
             Some(s) => {
-                if s.packet != id {
-                    let open = s.packet;
-                    self.violate(
-                        AuditKind::StreamOrder,
-                        cycle,
-                        Some(coord),
-                        Some(from),
-                        Some(vc),
-                        Some(id),
-                        format!("flit of packet {id} interleaved into packet {open}'s wormhole"),
-                    );
-                } else {
-                    let expected = s.last_seq.wrapping_add(1);
-                    if flit.seq != expected {
-                        let got = flit.seq;
-                        self.violate(
-                            AuditKind::StreamOrder,
-                            cycle,
-                            Some(coord),
-                            Some(from),
-                            Some(vc),
-                            Some(id),
-                            format!("sequence gap: expected {expected}, got {got}"),
-                        );
-                    }
+                let prior = (s.packet, s.last_seq);
+                if s.packet == id {
                     s.last_seq = flit.seq;
                 }
-                if flit.kind.is_tail() {
-                    self.streams.remove(&key);
-                }
+                prior
             }
+        };
+        if open != id {
+            self.violate(
+                AuditKind::StreamOrder,
+                cycle,
+                Some(coord),
+                Some(from),
+                Some(vc),
+                Some(id),
+                format!("flit of packet {id} interleaved into packet {open}'s wormhole"),
+            );
+        } else {
+            let expected = last_seq.wrapping_add(1);
+            if flit.seq != expected {
+                let got = flit.seq;
+                self.violate(
+                    AuditKind::StreamOrder,
+                    cycle,
+                    Some(coord),
+                    Some(from),
+                    Some(vc),
+                    Some(id),
+                    format!("sequence gap: expected {expected}, got {got}"),
+                );
+            }
+        }
+        if flit.kind.is_tail() {
+            self.streams.remove(&key);
         }
     }
 
@@ -651,12 +665,18 @@ impl Auditor {
     }
 
     /// A fault or repair event fired at `site`: §4.1 allows every link
-    /// touching it to desynchronise until republication + rest.
-    pub(crate) fn on_fault_event(&mut self, site: usize, neighbors: [Option<usize>; 4]) {
+    /// touching it to desynchronise until the site's republication has
+    /// landed and the books have provably resynchronised.
+    pub(crate) fn on_fault_event(
+        &mut self,
+        cycle: Cycle,
+        site: usize,
+        neighbors: [Option<usize>; 4],
+    ) {
         for dir in Direction::MESH {
             if let Some(n) = neighbors[dir.index()] {
-                self.tainted.insert((site, dir.index() as u8));
-                self.tainted.insert((n, dir.opposite().index() as u8));
+                self.tainted.insert((site, dir.index() as u8), (site, cycle));
+                self.tainted.insert((n, dir.opposite().index() as u8), (site, cycle));
             }
         }
     }
@@ -727,7 +747,8 @@ impl Auditor {
                 let opp = dir.opposite();
                 let d_idx = dir.index() as u8;
                 let o_idx = opp.index() as u8;
-                let mut at_rest = true;
+                let taint = self.tainted.get(&(i, d_idx)).copied();
+                let mut all_match = true;
                 for (v, book) in books.iter().enumerate() {
                     let vu = v as u8;
                     if book.credits > book.capacity {
@@ -754,11 +775,11 @@ impl Auditor {
                     let cred_pend = pend_credits.get(&(n, o_idx, vu)).copied().unwrap_or(0);
                     let cred_fly = cred_link.get(&(i, d_idx, vu)).copied().unwrap_or(0);
                     let outstanding = in_latch + in_flight + in_queue + cred_pend + cred_fly;
-                    if outstanding != 0 || book.credits != book.capacity {
-                        at_rest = false;
-                    }
                     let expected = (book.capacity as u32).saturating_sub(outstanding) as u8;
-                    if !self.tainted.contains(&(i, d_idx)) && book.credits != expected {
+                    if book.credits != expected {
+                        all_match = false;
+                    }
+                    if taint.is_none() && book.credits != expected {
                         self.violate(
                             AuditKind::CreditBook,
                             cycle,
@@ -775,10 +796,16 @@ impl Auditor {
                         );
                     }
                 }
-                if at_rest {
-                    // §4.1's transients have provably drained: the link
-                    // goes back to exact checking.
-                    self.tainted.remove(&(i, d_idx));
+                if let Some((src, when)) = taint {
+                    // The link goes back to exact checking only once
+                    // the faulted site's republication has landed (so
+                    // the sender's books have been resynchronised) and
+                    // the books actually agree with the derivation —
+                    // flits swallowed during the §4.1 window make the
+                    // two disagree until republication re-bases them.
+                    if self.last_republish[src] >= when && all_match {
+                        self.tainted.remove(&(i, d_idx));
+                    }
                 }
             }
         }
@@ -907,7 +934,8 @@ impl Auditor {
         for (i, p) in probes.iter().enumerate() {
             let derived: usize = p.vcs.iter().map(|v| v.queue_len).sum::<usize>()
                 + p.latched.len()
-                + p.pending_ejects;
+                + p.pending_ejects
+                + p.pending_drops;
             derived_occ_total += derived;
             if derived != sim.occ_cache[i] {
                 self.violate(
@@ -920,8 +948,8 @@ impl Auditor {
                     format!("cached occupancy {} != derived occupancy {derived}", sim.occ_cache[i]),
                 );
             }
-            if sim.cfg.kernel == KernelMode::Optimized
-                && !sim.active[i]
+            if matches!(sim.cfg.kernel, KernelMode::Optimized | KernelMode::Soa)
+                && !sim.wake.is_awake(i)
                 && !sim.routers[i].is_quiescent()
             {
                 self.violate(
@@ -933,6 +961,26 @@ impl Auditor {
                     None,
                     "router is off the wake-set but not quiescent".into(),
                 );
+            }
+            // Busy-tag superset invariant (DESIGN.md §15): phase 1
+            // deliveries precede phase 3, so after a Soa step every
+            // non-quiet VC must appear in the mask the step recorded —
+            // a miss means the fused hot path skipped live state.
+            if sim.cfg.kernel == KernelMode::Soa && p.vcs.len() <= 64 {
+                for (vc_id, v) in p.vcs.iter().enumerate() {
+                    let quiet = v.phase == noc_core::VcPhase::Idle && !v.dropping;
+                    if !quiet && sim.vc_busy[i] & (1u64 << vc_id) == 0 {
+                        self.violate(
+                            AuditKind::Quiescence,
+                            cycle,
+                            Some(self.coord(i)),
+                            Some(v.input_side),
+                            Some(v.link_index),
+                            None,
+                            "non-quiet VC is outside the recorded busy-tag mask".into(),
+                        );
+                    }
+                }
             }
         }
         if derived_occ_total != sim.occ_total {
@@ -1248,15 +1296,33 @@ mod tests {
         let mut cfg = small_cfg(RouterKind::Generic);
         cfg.injection_rate = 0.35;
         let mut sim = Simulation::new(cfg);
-        for _ in 0..30 {
-            sim.step();
-        }
-        // Lie to the network: publish a healthy interior router as dead.
-        // Streams already committed toward it keep emitting, which the
+        // Step until some router is mid-wormhole toward a neighbour with
+        // flits still queued behind the head, then lie to the network:
+        // publish that neighbour as dead. The committed stream keeps
+        // emitting (SA never re-reads the status table), which the
         // status-coherence check must flag.
-        sim.statuses[Coord::new(1, 1).index(4)] = dead_status();
+        let mut victim = None;
+        'search: for _ in 0..500 {
+            sim.step();
+            for (i, r) in sim.routers.iter().enumerate() {
+                for v in r.audit_probe().vcs {
+                    if v.phase == noc_core::VcPhase::Active
+                        && v.queue_len >= 2
+                        && v.active_dvc.is_some_and(|d| d != noc_core::EJECT_VC)
+                    {
+                        let out = v.active_out.expect("active stream holds an output");
+                        if let Some(n) = sim.neighbor_idx[i][out.index()] {
+                            victim = Some(n);
+                            break 'search;
+                        }
+                    }
+                }
+            }
+        }
+        let victim = victim.expect("no mid-wormhole stream found");
+        sim.statuses[victim] = dead_status();
         let mut found = false;
-        for _ in 0..2_000 {
+        for _ in 0..50 {
             sim.step();
             let report = sim.results().audit.expect("enabled");
             if count_of(&report, AuditKind::StatusCoherence) > 0 {
@@ -1273,14 +1339,40 @@ mod tests {
         let mut target = None;
         for _ in 0..500 {
             sim.step();
-            if let Some(i) = (0..sim.routers.len()).find(|&i| sim.active[i] && sim.occ_cache[i] > 0)
+            if let Some(i) =
+                (0..sim.routers.len()).find(|&i| sim.wake.is_awake(i) && sim.occ_cache[i] > 0)
             {
                 target = Some(i);
                 break;
             }
         }
         let i = target.expect("no busy router found");
-        sim.active[i] = false;
+        sim.wake.sleep(i);
+        sim.audit_sweep_now();
+        let report = sim.results().audit.expect("enabled");
+        assert!(count_of(&report, AuditKind::Quiescence) > 0, "{}", report.render());
+    }
+
+    #[test]
+    fn cleared_busy_tag_mask_flags_quiescence_under_soa() {
+        let mut cfg = small_cfg(RouterKind::RoCo);
+        cfg.kernel = crate::KernelMode::Soa;
+        let mut sim = Simulation::new(cfg);
+        let mut target = None;
+        for _ in 0..500 {
+            sim.step();
+            // A router with buffered flits necessarily has a non-quiet
+            // VC, so zeroing its recorded mask must trip the check.
+            if let Some(i) = (0..sim.routers.len()).find(|&i| {
+                sim.occ_cache[i] > 0
+                    && sim.routers[i].audit_probe().vcs.iter().any(|v| v.queue_len > 0)
+            }) {
+                target = Some(i);
+                break;
+            }
+        }
+        let i = target.expect("no router with buffered flits found");
+        sim.vc_busy[i] = 0;
         sim.audit_sweep_now();
         let report = sim.results().audit.expect("enabled");
         assert!(count_of(&report, AuditKind::Quiescence) > 0, "{}", report.render());

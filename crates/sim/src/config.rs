@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 
 /// Cycle-kernel selection for [`crate::Simulation`].
 ///
-/// All three kernels produce bit-identical [`crate::SimResults`] for a
+/// All four kernels produce bit-identical [`crate::SimResults`] for a
 /// given config and seed — routers draw from counter-based per-router
 /// RNG streams ([`noc_core::router_rng`]), so results do not depend on
 /// step order, wake-set skipping, or thread count (the determinism
@@ -30,6 +30,14 @@ pub enum KernelMode {
     /// `Optimized`; worker count comes from [`SimConfig::threads`] /
     /// `NOC_THREADS` / `available_parallelism`.
     Parallel,
+    /// Data-oriented single-thread kernel (DESIGN.md §15): routers step
+    /// through the fused `step_hot` path (one busy-VC scan feeding the
+    /// pipeline stages instead of repeated full-VC sweeps), the wake
+    /// bitset is scanned word-at-a-time, link and credit delivery run
+    /// as batched counting-sort passes, and idle routers' clocked-cycle
+    /// counters are materialised at read-out instead of ticked. Results
+    /// stay bit-identical to the other kernels.
+    Soa,
 }
 
 /// Full description of one simulation run (§5.4's experimental setup).

@@ -622,7 +622,7 @@ mod tests {
             "{\"metric\":\"noc_x\",\"kind\":\"gauge\",\"labels\":\
              {\"note\":\"tab\\there \\\"quoted\\\"\"},\"value\":null}"
         );
-        for line in lines {
+        for line in &lines {
             Json::parse(line).expect("each JSONL line parses");
         }
         let v = Json::parse(lines[1]).unwrap();

@@ -294,7 +294,7 @@ mod tests {
         let mut h = LatencyHistogram::new();
         h.record(2_000);
         let p = h.percentile(1.0);
-        assert!(p >= 2_000 && p < 2_000 + 64, "bucketed tail estimate, got {p}");
+        assert!((2_000..2_000 + 64).contains(&p), "bucketed tail estimate, got {p}");
     }
 
     #[test]

@@ -38,7 +38,7 @@ use crate::trace::{TraceEvent, TraceSink};
 use noc_core::{
     router_rng, ActivityCounters, ComponentFault, Coord, Credit, Cycle, Direction, Flit,
     MeshConfig, NodeStatus, PacketId, RouterNode, RouterOutputs, StepContext, VcDescriptor,
-    VcPhase, EJECT_VC, RNG_STREAM_INJECT, RNG_STREAM_STEP,
+    VcPhase, WakeSet, WakeView, EJECT_VC, RNG_STREAM_INJECT, RNG_STREAM_STEP,
 };
 use noc_deadlock::{find_channel_cycle, Channel};
 use noc_fault::{FaultAction, FaultEvent};
@@ -118,7 +118,7 @@ fn shard_phase3(
     cycle: Cycle,
     seed: u64,
     routers: &mut [AnyRouter],
-    active: &mut [bool],
+    mut active: WakeView<'_>,
     occ_cache: &mut [usize],
     statuses: &[NodeStatus],
     neighbor_idx: &[[Option<usize>; 4]],
@@ -127,7 +127,7 @@ fn shard_phase3(
     scratch.stepped.clear();
     scratch.occ_delta = 0;
     for (local, router) in routers.iter_mut().enumerate() {
-        if !active[local] {
+        if !active.is_awake(local) {
             // Quiescent and nothing arrived: stepping would only
             // advance the clocked-cycle counter (DESIGN.md §10).
             router.tick_idle();
@@ -144,19 +144,23 @@ fn shard_phase3(
         let occ = router.occupancy();
         scratch.occ_delta += occ as i64 - occ_cache[local] as i64;
         occ_cache[local] = occ;
-        active[local] = !router.is_quiescent();
+        active.set(local, !router.is_quiescent());
     }
 }
 
 /// End-to-end recovery bookkeeping for one not-yet-delivered packet.
 #[derive(Debug, Clone, Copy)]
-struct Outstanding {
+pub(crate) struct Outstanding {
     src: Coord,
     dst: Coord,
     created_at: Cycle,
     /// Retransmission attempts issued so far (0 = original send).
     attempt: u32,
-    /// Cycle the current attempt times out at.
+    /// Cycle the current attempt times out at. Only ever *read* from
+    /// the `timeouts` heap entries (lazy deletion — stale heap entries
+    /// are detected by the `attempt` counter); kept here so the
+    /// authoritative per-packet state is inspectable in one place.
+    #[allow(dead_code)]
     deadline: Cycle,
     /// Whether the head has been counted in the injected statistics
     /// (retries re-inject the same packet without re-counting it).
@@ -245,11 +249,26 @@ pub struct Simulation {
     /// Per-shard recycled scratch for the parallel kernel (empty until
     /// the first parallel step).
     shards: Vec<ShardScratch>,
-    /// Wake-set: `active[i]` means router `i` may do observable work
+    /// Wake-set: an awake bit means the router may do observable work
     /// this cycle and must be stepped. Set on flit/credit delivery and
     /// successful injection; cleared after a step that leaves the
     /// router quiescent. Ignored under [`KernelMode::Reference`].
-    pub(crate) active: Vec<bool>,
+    /// Packed into `u64` words ([`WakeSet`]) so the kernels scan 64
+    /// routers per word via `trailing_zeros` (DESIGN.md §15).
+    pub(crate) wake: WakeSet,
+    /// Flat mirror of each router's `status().node_dead()`, refreshed
+    /// whenever a fault event strikes. Saves the traffic generator one
+    /// virtual dispatch per node per cycle.
+    node_dead: Vec<bool>,
+    /// Busy-VC tag masks reported by the SoA kernel's hot steps (bit =
+    /// internal VC id; flat, router-major). Diagnostic SoA state: the
+    /// other kernels leave a router's entry at `u64::MAX` (unknown).
+    pub(crate) vc_busy: Vec<u64>,
+    /// Counting-sort scratch for the SoA kernel's batched link pass:
+    /// per-node bucket cursors, then the node-grouped arrival order.
+    link_offsets: Vec<u32>,
+    flits_sorted: Vec<FlitInFlight>,
+    credits_sorted: Vec<CreditInFlight>,
     /// Last observed per-router occupancy (valid after each phase 3:
     /// a router's occupancy only changes in cycles it is stepped in).
     pub(crate) occ_cache: Vec<usize>,
@@ -364,7 +383,8 @@ impl Simulation {
         let rng = SmallRng::seed_from_u64(cfg.seed);
         let threads = crate::worker_threads(cfg.threads);
         let nodes = mesh.nodes();
-        let statuses = routers.iter().map(|r| r.status()).collect();
+        let statuses: Vec<NodeStatus> = routers.iter().map(|r| r.status()).collect();
+        let statuses_dead = statuses.iter().map(|s| s.node_dead()).collect();
         let auditor = cfg.audit.map(|a| Box::new(Auditor::new(a, &cfg)));
         let profiler = cfg.profile.then(|| Box::new(Profiler::new()));
         Simulation {
@@ -372,7 +392,12 @@ impl Simulation {
             routers,
             traffic,
             computer,
-            sources: vec![VecDeque::new(); nodes],
+            // Source queues absorb generation bursts that outpace
+            // injection; a generous initial capacity keeps occasional
+            // new backlog records from reallocating mid-run (the
+            // steady-state zero-allocation guarantee). Built with map,
+            // not vec![..; n]: cloning a VecDeque drops its capacity.
+            sources: (0..nodes).map(|_| VecDeque::with_capacity(256)).collect(),
             flits_in_flight: Vec::new(),
             credits_in_flight: Vec::new(),
             flits_arriving: Vec::new(),
@@ -385,7 +410,12 @@ impl Simulation {
             shards: Vec::new(),
             // All routers start on the wake-set: the first step settles
             // each one into its true quiescence state.
-            active: vec![true; nodes],
+            wake: WakeSet::all_awake(nodes),
+            node_dead: statuses_dead,
+            vc_busy: vec![u64::MAX; nodes],
+            link_offsets: vec![0; nodes + 1],
+            flits_sorted: Vec::new(),
+            credits_sorted: Vec::new(),
             occ_cache: vec![0; nodes],
             occ_total: 0,
             source_total: 0,
@@ -529,18 +559,27 @@ impl Simulation {
         // emission lists below refill the (already sized) originals.
         std::mem::swap(&mut self.flits_in_flight, &mut self.flits_arriving);
         std::mem::swap(&mut self.credits_in_flight, &mut self.credits_arriving);
-        for f in self.flits_arriving.drain(..) {
-            if let Some(a) = self.auditor.as_deref_mut() {
-                a.on_link_flit(self.cycle, f.node, f.from, f.vc, &f.flit);
+        if self.cfg.kernel == KernelMode::Soa {
+            self.deliver_flits_batched();
+        } else {
+            for f in self.flits_arriving.drain(..) {
+                if let Some(a) = self.auditor.as_deref_mut() {
+                    a.on_link_flit(self.cycle, f.node, f.from, f.vc, &f.flit);
+                }
+                self.routers[f.node].deliver_flit(f.from, f.vc, f.flit);
+                self.wake.wake(f.node);
             }
-            self.routers[f.node].deliver_flit(f.from, f.vc, f.flit);
-            self.active[f.node] = true;
-        }
-        for c in self.credits_arriving.drain(..) {
-            self.routers[c.node].deliver_credit(c.output, c.credit);
-            self.active[c.node] = true;
         }
         self.prof_phase(Phase::Links, &mut mark);
+        if self.cfg.kernel == KernelMode::Soa {
+            self.deliver_credits_batched();
+        } else {
+            for c in self.credits_arriving.drain(..) {
+                self.routers[c.node].deliver_credit(c.output, c.credit);
+                self.wake.wake(c.node);
+            }
+        }
+        self.prof_phase(Phase::Credits, &mut mark);
         // Phase 2: traffic generation and injection.
         self.generate_traffic();
         self.inject();
@@ -552,10 +591,13 @@ impl Simulation {
             let stepped = if self.cfg.kernel == KernelMode::Reference {
                 n
             } else {
-                self.active.iter().filter(|&&a| a).count() as u64
+                self.wake.count_awake() as u64
             };
+            let occupied = self.wake.occupied_words() as u64;
+            let words = self.wake.words().len() as u64;
             if let Some(p) = self.profiler.as_deref_mut() {
                 p.record_wake(stepped, n);
+                p.record_wake_words(occupied, words);
             }
         }
         // Phase 3: router pipelines. Neighbour statuses come from the
@@ -564,10 +606,10 @@ impl Simulation {
         // availability, not the instantaneous one. Every stepped
         // router draws from its own counter-based RNG stream, so
         // results do not depend on which kernel runs this phase.
-        if self.cfg.kernel == KernelMode::Parallel {
-            self.step_routers_parallel();
-        } else {
-            self.step_routers_sequential();
+        match self.cfg.kernel {
+            KernelMode::Parallel => self.step_routers_parallel(),
+            KernelMode::Soa => self.step_routers_soa(),
+            KernelMode::Reference | KernelMode::Optimized => self.step_routers_sequential(),
         }
         self.prof_phase(Phase::Routers, &mut mark);
         // Stall detection: once generation has ended, a long silence
@@ -621,7 +663,7 @@ impl Simulation {
         let wake_all = self.cfg.kernel == KernelMode::Reference;
         let mut out = std::mem::take(&mut self.outputs);
         for i in 0..self.routers.len() {
-            if !wake_all && !self.active[i] {
+            if !wake_all && !self.wake.is_awake(i) {
                 // Quiescent and nothing arrived: stepping would only
                 // advance the clocked-cycle counter (DESIGN.md §10).
                 self.routers[i].tick_idle();
@@ -641,9 +683,138 @@ impl Simulation {
             let occ = self.routers[i].occupancy();
             self.occ_total = self.occ_total - self.occ_cache[i] + occ;
             self.occ_cache[i] = occ;
-            self.active[i] = !self.routers[i].is_quiescent();
+            self.wake.set(i, !self.routers[i].is_quiescent());
         }
         self.outputs = out;
+    }
+
+    /// Phase 3, data-oriented kernel ([`KernelMode::Soa`], DESIGN.md
+    /// §15): scan the wake bitset word by word (`trailing_zeros`
+    /// recovers each awake router in ascending order, so the absorb
+    /// order — and therefore every digest — matches the sequential
+    /// kernels), and run each awake router's fused [`RouterNode::step_hot`]
+    /// path, which returns occupancy, quiescence and the busy-VC tag
+    /// mask in one call. Asleep routers cost nothing at all: their
+    /// clocked-cycle counter is materialised lazily on read
+    /// ([`Simulation::materialized_counters`]) instead of via
+    /// `tick_idle`.
+    fn step_routers_soa(&mut self) {
+        // Lookahead distances for the two prefetch stages below: raw
+        // `AnyRouter` struct lines land first (their addresses need no
+        // dependent load — the routers vector stores the enum inline),
+        // then `warm_hot` chases the now-warm headers to the VC structs
+        // and queue blocks. Both are semantic no-ops.
+        const LA_RAW: usize = 12;
+        const LA_WARM: usize = 4;
+        let mut out = std::mem::take(&mut self.outputs);
+        let mut idx = [0usize; 64];
+        for w in 0..self.wake.words().len() {
+            // Snapshot the word: `sleep` edits below must not perturb
+            // the scan of the cycle's starting wake population.
+            let mut bits = self.wake.word(w);
+            let mut n = 0;
+            while bits != 0 {
+                idx[n] = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                n += 1;
+            }
+            for k in 0..n {
+                #[cfg(target_arch = "x86_64")]
+                if let Some(&j) = idx[..n].get(k + LA_RAW) {
+                    use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                    let p = (&self.routers[j] as *const AnyRouter).cast::<i8>();
+                    for line in 0..std::mem::size_of::<AnyRouter>().div_ceil(64) {
+                        // SAFETY: prefetch has no memory effects and the
+                        // address stays inside the routers vector.
+                        unsafe { _mm_prefetch(p.add(line * 64), _MM_HINT_T0) };
+                    }
+                }
+                if let Some(&j) = idx[..n].get(k + LA_WARM) {
+                    self.routers[j].warm_hot();
+                }
+                let i = idx[k];
+                let mut rng = router_rng(self.cfg.seed, i, self.cycle, RNG_STREAM_STEP);
+                let mut ctx = StepContext::new(self.cycle, &mut rng);
+                for dir in Direction::MESH {
+                    ctx.neighbors[dir.index()] =
+                        self.neighbor_idx[i][dir.index()].map(|n| self.statuses[n]);
+                }
+                let hot = self.routers[i].step_hot(&mut ctx, &mut out);
+                self.absorb_step(i, &out);
+                self.vc_busy[i] = hot.busy_vcs;
+                self.occ_total = self.occ_total - self.occ_cache[i] + hot.occupancy;
+                self.occ_cache[i] = hot.occupancy;
+                if hot.quiescent {
+                    self.wake.sleep(i);
+                }
+            }
+        }
+        self.outputs = out;
+    }
+
+    /// The SoA kernel's batched Phase-1 flit pass: a counting sort
+    /// groups this cycle's arrivals by destination router (stable, so
+    /// per-router delivery order — the only order observers can see —
+    /// is exactly the emission order), then one linear walk delivers
+    /// them node by node. Consecutive deliveries hit the same router's
+    /// state instead of ping-ponging across the mesh.
+    fn deliver_flits_batched(&mut self) {
+        if self.flits_arriving.is_empty() {
+            return;
+        }
+        let n = self.routers.len();
+        self.link_offsets[..=n].fill(0);
+        for f in &self.flits_arriving {
+            self.link_offsets[f.node + 1] += 1;
+        }
+        for i in 0..n {
+            self.link_offsets[i + 1] += self.link_offsets[i];
+        }
+        self.flits_sorted.clear();
+        let filler = self.flits_arriving[0].clone();
+        self.flits_sorted.resize(self.flits_arriving.len(), filler);
+        for f in self.flits_arriving.drain(..) {
+            let slot = &mut self.link_offsets[f.node];
+            self.flits_sorted[*slot as usize] = f;
+            *slot += 1;
+        }
+        for f in self.flits_sorted.drain(..) {
+            if let Some(a) = self.auditor.as_deref_mut() {
+                a.on_link_flit(self.cycle, f.node, f.from, f.vc, &f.flit);
+            }
+            self.routers[f.node].deliver_flit(f.from, f.vc, f.flit);
+            self.wake.wake(f.node);
+        }
+    }
+
+    /// The SoA kernel's batched Phase-1 credit pass (same counting-sort
+    /// grouping as [`Simulation::deliver_flits_batched`]; credit
+    /// delivery to distinct routers commutes, and per-router order is
+    /// preserved).
+    fn deliver_credits_batched(&mut self) {
+        if self.credits_arriving.is_empty() {
+            return;
+        }
+        let n = self.routers.len();
+        self.link_offsets[..=n].fill(0);
+        for c in &self.credits_arriving {
+            self.link_offsets[c.node + 1] += 1;
+        }
+        for i in 0..n {
+            self.link_offsets[i + 1] += self.link_offsets[i];
+        }
+        self.credits_sorted.clear();
+        let filler = self.credits_arriving[0];
+        self.credits_sorted.resize(self.credits_arriving.len(), filler);
+        for c in self.credits_arriving.drain(..) {
+            let slot = &mut self.link_offsets[c.node];
+            self.credits_sorted[*slot as usize] = c;
+            *slot += 1;
+        }
+        for c in self.credits_sorted.drain(..) {
+            self.routers[c.node].deliver_credit(c.output, c.credit);
+            self.wake.wake(c.node);
+        }
     }
 
     /// Phase 3, parallel kernel: split the router vector into
@@ -656,7 +827,11 @@ impl Simulation {
     fn step_routers_parallel(&mut self) {
         let n = self.routers.len();
         let workers = self.threads.clamp(1, n.max(1));
-        let chunk = n.div_ceil(workers);
+        // Shards are rounded up to a whole number of wake-set words so
+        // the `u64` bitset splits cleanly: two workers never write bits
+        // of the same word. (On meshes smaller than `64 × workers` this
+        // merges shards; digests never depend on the shard layout.)
+        let chunk = n.div_ceil(workers).div_ceil(64) * 64;
         let shard_count = n.div_ceil(chunk);
         self.ensure_shards(chunk, shard_count);
         let mut shards = std::mem::take(&mut self.shards);
@@ -668,7 +843,7 @@ impl Simulation {
             let jobs = self
                 .routers
                 .chunks_mut(chunk)
-                .zip(self.active.chunks_mut(chunk))
+                .zip(self.wake.views_mut(chunk))
                 .zip(self.occ_cache.chunks_mut(chunk))
                 .zip(shards.iter_mut())
                 .enumerate()
@@ -1089,7 +1264,7 @@ impl Simulation {
                 break;
             }
             let node = self.coords[i];
-            if self.routers[i].status().node_dead() {
+            if self.node_dead[i] {
                 // A dead router's PE cannot reach the network at all; it
                 // stops offering traffic (documented in DESIGN.md).
                 continue;
@@ -1144,7 +1319,7 @@ impl Simulation {
             if self.routers[i].try_inject(flit, &mut ctx) {
                 self.sources[i].pop_front();
                 self.source_total -= 1;
-                self.active[i] = true;
+                self.wake.wake(i);
                 if flit.kind.is_head() {
                     // Retransmitted heads re-enter the network but must
                     // not inflate the injected (completion-denominator)
@@ -1184,7 +1359,7 @@ impl Simulation {
         let occ = self.routers[i].occupancy();
         self.occ_total = self.occ_total - self.occ_cache[i] + occ;
         self.occ_cache[i] = occ;
-        self.active[i] = true;
+        self.wake.wake(i);
     }
 
     /// Applies every schedule event due at or before the current cycle.
@@ -1238,12 +1413,15 @@ impl Simulation {
         });
         self.fault_events_total += 1;
         self.wake_and_refresh(site);
+        // Live/dead status only changes here, so the flat mirror the
+        // traffic generator scans every cycle is refreshed in place.
+        self.node_dead[site] = self.routers[site].status().node_dead();
         if let Some(a) = self.auditor.as_deref_mut() {
-            a.on_fault_event(site, self.neighbor_idx[site]);
+            a.on_fault_event(self.cycle, site, self.neighbor_idx[site]);
         }
         // A dead node's PE is cut off entirely: flush its source queue,
         // counting each waiting packet as dropped at the source.
-        if self.routers[site].status().node_dead() && !self.sources[site].is_empty() {
+        if self.node_dead[site] && !self.sources[site].is_empty() {
             let flushed = std::mem::take(&mut self.sources[site]);
             self.source_total -= flushed.len();
             let node = self.coords[site];
@@ -1349,7 +1527,7 @@ impl Simulation {
                 order,
             ));
             self.source_total += flits_per_packet as usize;
-            self.active[src] = true;
+            self.wake.wake(src);
             self.outstanding.insert(id, Outstanding { attempt, deadline, ..o });
             self.timeouts.push(Reverse((deadline, id, attempt)));
             self.recovery.retransmissions += 1;
@@ -1383,9 +1561,22 @@ impl Simulation {
         NodeReport {
             mesh: self.cfg.mesh,
             nodes: self.per_node.clone(),
-            activity: self.routers.iter().map(|r| *r.counters()).collect(),
+            activity: self.routers.iter().map(|r| self.materialized_counters(r)).collect(),
             contention: self.routers.iter().map(|r| *r.contention()).collect(),
         }
+    }
+
+    /// A router's activity counters with the clocked-cycle count
+    /// materialised. The `Soa` kernel never calls `tick_idle` on
+    /// skipped routers — every router's clocked cycles always equal the
+    /// simulation cycle in every kernel, so instead of touching each
+    /// sleeping router per cycle the value is stamped at read-out.
+    fn materialized_counters(&self, r: &AnyRouter) -> ActivityCounters {
+        let mut c = *r.counters();
+        if self.cfg.kernel == KernelMode::Soa {
+            c.cycles = self.cycle;
+        }
+        c
     }
 
     /// The measured-latency histogram (percentile queries).
@@ -1400,9 +1591,10 @@ impl Simulation {
         let mut contention = noc_core::ContentionCounters::new();
         let mut energy = EnergyBreakdown::default();
         for r in &self.routers {
-            counters.merge(r.counters());
+            let c = self.materialized_counters(r);
+            counters.merge(&c);
             contention.merge(r.contention());
-            energy.merge(&energy_of(r.counters(), &profile));
+            energy.merge(&energy_of(&c, &profile));
         }
         // Link energy is accounted from the same counters (one link
         // traversal per emitted flit), already inside `energy`.

@@ -1,7 +1,7 @@
 //! The simulator self-profiler (opt-in via [`crate::SimConfig`]'s
 //! `profile` flag).
 //!
-//! With three cycle kernels sharing one step loop, "where does the
+//! With four cycle kernels sharing one step loop, "where does the
 //! wall time go" is a real question: per-phase timers bracket the
 //! sections of [`crate::Simulation::step`], the wake-set gauge records
 //! how many routers each cycle actually steps, the parallel kernel
@@ -13,7 +13,7 @@
 //! machine: it observes wall clocks and already-computed sizes, never
 //! an RNG, a router or a queue. [`crate::SimResults::digest`] is
 //! therefore byte-identical with profiling on or off (asserted by the
-//! `observability` test suite across all three kernels), and the
+//! `observability` test suite across all four kernels), and the
 //! [`ProfileReport`] — being nondeterministic wall-clock data — is
 //! excluded from the digest, the golden corpus and every byte-compared
 //! artifact.
@@ -28,8 +28,10 @@ use std::time::Instant;
 pub(crate) enum Phase {
     /// Phase 0: scheduled faults, republications, recovery timeouts.
     Faults,
-    /// Phase 1: link flit/credit delivery.
+    /// Phase 1a: link flit delivery (batched under the `Soa` kernel).
     Links,
+    /// Phase 1b: credit delivery (batched under the `Soa` kernel).
+    Credits,
     /// Phase 2: traffic generation and injection.
     Traffic,
     /// Phase 3: router pipeline steps (all kernels).
@@ -40,7 +42,7 @@ pub(crate) enum Phase {
     Metrics,
 }
 
-const PHASE_COUNT: usize = 6;
+const PHASE_COUNT: usize = 7;
 
 impl Phase {
     fn index(self) -> usize {
@@ -64,6 +66,8 @@ pub(crate) struct Profiler {
     capacity_events: u64,
     flit_capacity: usize,
     credit_capacity: usize,
+    wake_words_occupied: u64,
+    wake_words_total: u64,
 }
 
 impl Profiler {
@@ -82,6 +86,8 @@ impl Profiler {
             capacity_events: 0,
             flit_capacity: 0,
             credit_capacity: 0,
+            wake_words_occupied: 0,
+            wake_words_total: 0,
         }
     }
 
@@ -102,6 +108,15 @@ impl Profiler {
         self.stepped_total += stepped;
         self.stepped_max = self.stepped_max.max(stepped);
         self.routers = routers;
+    }
+
+    /// Records the wake bitset's word occupancy of one cycle:
+    /// `occupied` of `words` `u64` words held at least one awake bit.
+    /// A low ratio means the word-skipping scan of the `Soa` kernel
+    /// jumps over most of the mesh in one comparison per 64 routers.
+    pub(crate) fn record_wake_words(&mut self, occupied: u64, words: u64) {
+        self.wake_words_occupied += occupied;
+        self.wake_words_total += words;
     }
 
     /// Records one parallel-kernel cycle's shard balance: the busiest
@@ -143,6 +158,7 @@ impl Profiler {
             wall_s: self.started.elapsed().as_nanos() as f64 / 1e9,
             faults_s: s(self.phase_ns[Phase::Faults.index()]),
             links_s: s(self.phase_ns[Phase::Links.index()]),
+            credits_s: s(self.phase_ns[Phase::Credits.index()]),
             traffic_s: s(self.phase_ns[Phase::Traffic.index()]),
             routers_s: s(self.phase_ns[Phase::Routers.index()]),
             audit_s: s(self.phase_ns[Phase::Audit.index()]),
@@ -155,6 +171,11 @@ impl Profiler {
                 0.0
             } else {
                 self.imbalance_sum / self.shard_cycles as f64
+            },
+            wake_word_occupancy: if self.wake_words_total == 0 {
+                0.0
+            } else {
+                self.wake_words_occupied as f64 / self.wake_words_total as f64
             },
             capacity_growth_events: self.capacity_events,
         }
@@ -176,8 +197,10 @@ pub struct ProfileReport {
     pub wall_s: f64,
     /// Phase 0: scheduled faults, republications, recovery timeouts.
     pub faults_s: f64,
-    /// Phase 1: link flit/credit delivery.
+    /// Phase 1a: link flit delivery.
     pub links_s: f64,
+    /// Phase 1b: credit delivery.
+    pub credits_s: f64,
     /// Phase 2: traffic generation and injection.
     pub traffic_s: f64,
     /// Phase 3: router pipeline steps (includes `absorb_s`).
@@ -200,6 +223,10 @@ pub struct ProfileReport {
     /// count divided by the per-shard mean (1.0 = perfectly balanced;
     /// 0 when the parallel kernel never ran).
     pub shard_imbalance: f64,
+    /// Mean fraction of wake-bitset `u64` words holding at least one
+    /// awake bit (how much of the mesh the word-skipping scan touches;
+    /// 1.0 = every word occupied every cycle).
+    pub wake_word_occupancy: f64,
     /// Times a recycled in-flight buffer grew its capacity after the
     /// first observed cycle (0 = allocation-free steady state).
     pub capacity_growth_events: u64,
@@ -212,10 +239,11 @@ impl ProfileReport {
         let _ = writeln!(out, "self-profile ({} cycles, {:.3}s wall)", self.cycles, self.wall_s);
         let _ = writeln!(
             out,
-            "  phases        faults {:.3}s | links {:.3}s | traffic {:.3}s | routers {:.3}s \
-             | audit {:.3}s | metrics {:.3}s",
+            "  phases        faults {:.3}s | links {:.3}s | credits {:.3}s | traffic {:.3}s \
+             | routers {:.3}s | audit {:.3}s | metrics {:.3}s",
             self.faults_s,
             self.links_s,
+            self.credits_s,
             self.traffic_s,
             self.routers_s,
             self.audit_s,
@@ -223,10 +251,12 @@ impl ProfileReport {
         );
         let _ = writeln!(
             out,
-            "  wake set      mean {:.1} routers/cycle ({:.1}% of mesh), max {}",
+            "  wake set      mean {:.1} routers/cycle ({:.1}% of mesh), max {}, \
+             {:.1}% of words occupied",
             self.stepped_mean,
             self.wake_fraction * 100.0,
-            self.stepped_max
+            self.stepped_max,
+            self.wake_word_occupancy * 100.0
         );
         if self.shard_imbalance > 0.0 {
             let _ = writeln!(
@@ -254,6 +284,7 @@ impl ProfileReport {
             ("wall_s", self.wall_s),
             ("faults_s", self.faults_s),
             ("links_s", self.links_s),
+            ("credits_s", self.credits_s),
             ("traffic_s", self.traffic_s),
             ("routers_s", self.routers_s),
             ("audit_s", self.audit_s),
@@ -262,6 +293,7 @@ impl ProfileReport {
             ("stepped_mean", self.stepped_mean),
             ("wake_fraction", self.wake_fraction),
             ("shard_imbalance", self.shard_imbalance),
+            ("wake_word_occupancy", self.wake_word_occupancy),
         ] {
             write_key(&mut out, &mut first, key);
             write_f64(&mut out, value);
@@ -287,14 +319,17 @@ mod tests {
         p.add_phase(Phase::Routers, t);
         p.add_absorb(t);
         p.record_wake(3, 16);
+        p.record_wake_words(1, 4);
         p.end_cycle(10, 10);
         p.record_wake(5, 16);
+        p.record_wake_words(2, 4);
         p.end_cycle(10, 10);
         let r = p.report();
         assert_eq!(r.cycles, 2);
         assert_eq!(r.stepped_max, 5);
         assert!((r.stepped_mean - 4.0).abs() < 1e-12);
         assert!((r.wake_fraction - 0.25).abs() < 1e-12);
+        assert!((r.wake_word_occupancy - 3.0 / 8.0).abs() < 1e-12);
         assert_eq!(r.capacity_growth_events, 0);
         assert_eq!(r.shard_imbalance, 0.0);
     }
@@ -328,6 +363,8 @@ mod tests {
         assert_eq!(v.get("cycles").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("stepped_max").unwrap().as_u64(), Some(2));
         assert!(v.get("wall_s").unwrap().as_f64().is_some());
+        assert!(v.get("credits_s").unwrap().as_f64().is_some());
+        assert!(v.get("wake_word_occupancy").unwrap().as_f64().is_some());
         assert!(r.render().contains("wake set"));
     }
 }

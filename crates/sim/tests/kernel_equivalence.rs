@@ -1,9 +1,10 @@
 //! Cycle-kernel equivalence: the wake-set kernel
-//! (`KernelMode::Optimized`) and the sharded kernel
-//! (`KernelMode::Parallel`) must produce bit-identical results to the
+//! (`KernelMode::Optimized`), the sharded kernel
+//! (`KernelMode::Parallel`) and the data-oriented kernel
+//! (`KernelMode::Soa`) must produce bit-identical results to the
 //! reference kernel that steps every router every cycle, for every
-//! architecture, with and without faults. DESIGN.md §10 and §13 state
-//! the invariants these tests enforce.
+//! architecture, with and without faults. DESIGN.md §10, §13 and §15
+//! state the invariants these tests enforce.
 //!
 //! The parallel legs deliberately leave `threads: None` so the worker
 //! count comes from `NOC_THREADS` / the machine — CI runs this suite
@@ -52,23 +53,26 @@ fn assert_identical(a: &SimResults, b: &SimResults, what: &str) {
     assert_eq!(a.recovery, b.recovery, "{what}: recovery stats");
 }
 
-fn all_kernels(cfg: SimConfig) -> (SimResults, SimResults, SimResults) {
+fn all_kernels(cfg: SimConfig) -> (SimResults, SimResults, SimResults, SimResults) {
     let mut reference = cfg.clone();
     reference.kernel = KernelMode::Reference;
     let mut optimized = cfg.clone();
     optimized.kernel = KernelMode::Optimized;
-    let mut parallel = cfg;
+    let mut parallel = cfg.clone();
     parallel.kernel = KernelMode::Parallel;
-    (run(reference), run(optimized), run(parallel))
+    let mut soa = cfg;
+    soa.kernel = KernelMode::Soa;
+    (run(reference), run(optimized), run(parallel), run(soa))
 }
 
 #[test]
 fn kernels_agree_fault_free() {
     for router in [RouterKind::RoCo, RouterKind::Generic, RouterKind::PathSensitive] {
         for rate in [0.05, 0.25] {
-            let (r, o, p) = all_kernels(cfg(router, rate));
+            let (r, o, p, s) = all_kernels(cfg(router, rate));
             assert_identical(&r, &o, &format!("{router:?} @ {rate} (optimized)"));
             assert_identical(&r, &p, &format!("{router:?} @ {rate} (parallel)"));
+            assert_identical(&r, &s, &format!("{router:?} @ {rate} (soa)"));
             assert!(o.delivered_packets > 0, "{router:?} @ {rate}: sanity");
         }
     }
@@ -80,9 +84,10 @@ fn kernels_agree_under_faults() {
         let mut c = cfg(router, 0.1);
         c.faults = FaultPlan::random(FaultCategory::Isolating, 2, c.mesh, 0xFA_17);
         c.stall_window = 2_000;
-        let (r, o, p) = all_kernels(c);
+        let (r, o, p, s) = all_kernels(c);
         assert_identical(&r, &o, &format!("{router:?} with faults (optimized)"));
         assert_identical(&r, &p, &format!("{router:?} with faults (parallel)"));
+        assert_identical(&r, &s, &format!("{router:?} with faults (soa)"));
     }
 }
 
@@ -109,7 +114,7 @@ fn kernels_agree_with_midrun_fault_schedules() {
                 .with_schedule(schedule)
                 .with_recovery(noc_sim::RecoveryConfig::default());
             c.stall_window = 2_000;
-            let (r, o, p) = all_kernels(c);
+            let (r, o, p, s) = all_kernels(c);
             assert_identical(
                 &r,
                 &o,
@@ -120,6 +125,7 @@ fn kernels_agree_with_midrun_fault_schedules() {
                 &p,
                 &format!("{router:?} mid-run schedule seed {seed} (parallel)"),
             );
+            assert_identical(&r, &s, &format!("{router:?} mid-run schedule seed {seed} (soa)"));
         }
     }
 }
@@ -129,9 +135,10 @@ fn kernels_agree_across_seeds_and_meshes() {
     for seed in [1u64, 0xDEAD] {
         let mut c = cfg(RouterKind::RoCo, 0.15).with_seed(seed);
         c.mesh = MeshConfig::new(5, 4);
-        let (r, o, p) = all_kernels(c);
+        let (r, o, p, s) = all_kernels(c);
         assert_identical(&r, &o, &format!("RoCo 5x4 seed {seed} (optimized)"));
         assert_identical(&r, &p, &format!("RoCo 5x4 seed {seed} (parallel)"));
+        assert_identical(&r, &s, &format!("RoCo 5x4 seed {seed} (soa)"));
     }
 }
 

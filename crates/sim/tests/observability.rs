@@ -43,16 +43,17 @@ fn run_with(kernel: KernelMode, threads: Option<usize>, profile: bool) -> SimRes
 }
 
 /// The acceptance criterion of the profiler: enabling it changes
-/// nothing about the simulated run, under all three kernels and at
+/// nothing about the simulated run, under all four kernels and at
 /// several worker counts.
 #[test]
 fn digest_identical_with_profiling_on_or_off_across_kernels() {
-    let legs: [(KernelMode, Option<usize>); 5] = [
+    let legs: [(KernelMode, Option<usize>); 6] = [
         (KernelMode::Reference, None),
         (KernelMode::Optimized, None),
         (KernelMode::Parallel, Some(1)),
         (KernelMode::Parallel, Some(2)),
         (KernelMode::Parallel, Some(4)),
+        (KernelMode::Soa, None),
     ];
     let baseline = run_with(KernelMode::Reference, None, false);
     assert!(baseline.profile.is_none(), "profiling off leaves no report");

@@ -21,6 +21,14 @@ fn assert_thread_invariant(cfg: SimConfig, what: &str) {
     let mut optimized = cfg.clone();
     optimized.kernel = KernelMode::Optimized;
     let expect = run(optimized).digest();
+    // The single-threaded data-oriented kernel must land on the same
+    // digest too — it shares the wake-set bitset with the sharded
+    // kernel, so checking it here keeps all digest cross-checks in one
+    // failure message namespace.
+    let mut soa = cfg.clone();
+    soa.kernel = KernelMode::Soa;
+    let got = run(soa).digest();
+    assert_eq!(got, expect, "{what}: soa digest {got:#018x} != optimized {expect:#018x}");
     for threads in THREADS {
         let mut c = cfg.clone();
         c.kernel = KernelMode::Parallel;

@@ -14,6 +14,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 static ARMED: AtomicBool = AtomicBool::new(false);
+static PANIC_ON_ALLOC: AtomicBool = AtomicBool::new(false);
 static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 
 struct CountingAlloc;
@@ -24,6 +25,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
+            if PANIC_ON_ALLOC.load(Ordering::Relaxed) && ARMED.swap(false, Ordering::SeqCst) {
+                panic!("steady-state allocation of {} bytes", layout.size());
+            }
         }
         System.alloc(layout)
     }
@@ -31,6 +35,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
+            if PANIC_ON_ALLOC.load(Ordering::Relaxed) && ARMED.swap(false, Ordering::SeqCst) {
+                panic!("steady-state reallocation to {new_size} bytes");
+            }
         }
         System.realloc(ptr, layout, new_size)
     }
@@ -45,12 +52,15 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 #[test]
 fn steady_state_step_is_allocation_free() {
+    PANIC_ON_ALLOC.store(std::env::var_os("NOC_ALLOC_PANIC").is_some(), Ordering::SeqCst);
     // The parallel leg is pinned to one worker: a single shard runs
     // inline on the calling thread (no `thread::scope`, which allocates
     // its scope state on every call), so it exercises the recycled
     // `ShardScratch` path. Multi-thread digests are covered by the
     // kernel-equivalence and thread-invariance suites instead.
-    for (kernel, threads) in [(KernelMode::Optimized, None), (KernelMode::Parallel, Some(1))] {
+    for (kernel, threads) in
+        [(KernelMode::Optimized, None), (KernelMode::Parallel, Some(1)), (KernelMode::Soa, None)]
+    {
         for router in [RouterKind::RoCo, RouterKind::Generic, RouterKind::PathSensitive] {
             let mut cfg = SimConfig::paper_scaled(router, RoutingKind::Xy, TrafficKind::Uniform);
             // Enough packets that generation never finishes mid-test.

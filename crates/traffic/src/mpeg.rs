@@ -103,7 +103,7 @@ impl MpegTraffic {
     fn frame_packets(&self, kind: FrameKind, rng: &mut SmallRng) -> u32 {
         // Multiplicative jitter in [0.6, 1.4), approximating the
         // lognormal spread of real frame-size traces.
-        let jitter = rng.gen_range(0.6..1.4);
+        let jitter: f64 = rng.gen_range(0.6..1.4);
         (self.mean_frame_packets * kind.relative_size() * jitter).round().max(0.0) as u32
     }
 }

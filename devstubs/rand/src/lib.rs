@@ -1,0 +1,251 @@
+//! Dependency-free stand-in for the subset of `rand 0.8` this workspace
+//! uses. `SmallRng` is the same xoshiro256++ generator (with SplitMix64
+//! `seed_from_u64` expansion) as the real crate, and every sampling
+//! routine below reproduces `rand 0.8`'s algorithm bit-for-bit — the
+//! widening-multiply integer uniform (`sample_single_inclusive`), the
+//! `[1, 2)` mantissa-fill float uniform, the fixed-point `Bernoulli`,
+//! and `SliceRandom`'s u32-widened `gen_index` — so seeded streams
+//! match what the real crate would produce.
+
+pub mod rngs;
+pub mod seq;
+
+/// Core generator interface (mirrors `rand_core::RngCore`).
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Mirrors `rand::SeedableRng`; only the `seed_from_u64` entry point is
+/// exercised by this workspace.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable from the "standard" distribution via `Rng::gen`.
+/// Value mappings mirror `rand 0.8`'s `Standard`: sub-32-bit integers
+/// truncate a `next_u32` draw, `bool` is the sign bit of a `next_u32`
+/// draw, floats use the high mantissa+1 bits of one native-width draw.
+pub trait StandardSample {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl StandardSample for u16 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+
+impl StandardSample for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8 compares the most significant bit via a sign test.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (rand 0.8's
+    /// multiply-based `Standard` construction).
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges accepted by `Rng::gen_range` (mirrors `rand`'s `SampleRange`).
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+fn wmul_u32(a: u32, b: u32) -> (u32, u32) {
+    let t = (a as u64) * (b as u64);
+    ((t >> 32) as u32, t as u32)
+}
+
+fn wmul_u64(a: u64, b: u64) -> (u64, u64) {
+    let t = (a as u128) * (b as u128);
+    ((t >> 64) as u64, t as u64)
+}
+
+/// rand 0.8 `sample_single_inclusive` for types up to 16 bits wide:
+/// the span is widened to a u32 draw and the biased tail rejected
+/// against a modulo-derived zone.
+fn uniform_small_u32<R: RngCore + ?Sized>(rng: &mut R, range: u32) -> u32 {
+    debug_assert!(range > 0);
+    let ints_to_reject = (u32::MAX - range + 1) % range;
+    let zone = u32::MAX - ints_to_reject;
+    loop {
+        let (hi, lo) = wmul_u32(rng.next_u32(), range);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+/// rand 0.8 `sample_single_inclusive` for 32-bit types: bitshift zone.
+fn uniform_u32<R: RngCore + ?Sized>(rng: &mut R, range: u32) -> u32 {
+    debug_assert!(range > 0);
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let (hi, lo) = wmul_u32(rng.next_u32(), range);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+/// rand 0.8 `sample_single_inclusive` for 64-bit types: bitshift zone.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+    debug_assert!(range > 0);
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let (hi, lo) = wmul_u64(rng.next_u64(), range);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+/// Implements both range forms for an integer type. `$un` is the
+/// same-width unsigned type, `$sampler` one of the `uniform_*` helpers,
+/// and `$large` its draw width. Exclusive ranges delegate to the
+/// inclusive sampler on `end - 1`, exactly like rand 0.8's
+/// `sample_single`.
+macro_rules! impl_int_range {
+    ($($t:ty => $un:ty, $large:ty, $sampler:ident);* $(;)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range called with an empty range");
+                (self.start..=self.end - 1).sample_from(rng)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range called with an empty range");
+                let range = (hi as $un).wrapping_sub(lo as $un).wrapping_add(1) as $large;
+                if range == 0 {
+                    // The span covers the whole type: every draw is fair.
+                    return <$un as StandardSample>::sample(rng) as $t;
+                }
+                lo.wrapping_add($sampler(rng, range) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range! {
+    u8 => u8, u32, uniform_small_u32;
+    u16 => u16, u32, uniform_small_u32;
+    u32 => u32, u32, uniform_u32;
+    u64 => u64, u64, uniform_u64;
+    usize => usize, u64, uniform_u64;
+    i8 => u8, u32, uniform_small_u32;
+    i16 => u16, u32, uniform_small_u32;
+    i32 => u32, u32, uniform_u32;
+    i64 => u64, u64, uniform_u64;
+    isize => usize, u64, uniform_u64;
+}
+
+/// rand 0.8 `UniformFloat::sample_single`: fill the mantissa to get a
+/// value in `[1, 2)`, shift to `[0, 1)`, then scale. The retry arm
+/// (rounding pushed the result onto `end`) backs the scale off by one
+/// ULP, preserving rand's "never returns `end`" contract.
+macro_rules! impl_float_range {
+    ($($t:ty => $u:ty, $next:ident, $discard:expr, $bias_bits:expr);* $(;)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range called with an empty range");
+                let mut scale = self.end - self.start;
+                loop {
+                    let value1_2 =
+                        <$t>::from_bits((rng.$next() >> $discard) | $bias_bits);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + self.start;
+                    if res < self.end {
+                        return res;
+                    }
+                    scale = <$t>::from_bits(scale.to_bits() - 1);
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_range! {
+    f64 => u64, next_u64, 12, 1023u64 << 52;
+    f32 => u32, next_u32, 9, 127u32 << 23;
+}
+
+/// User-facing convenience methods (mirrors `rand::Rng`), blanket-implemented
+/// for every `RngCore` like the real crate.
+pub trait Rng: RngCore {
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// rand 0.8 `Bernoulli`: 64-bit fixed-point compare. `p == 1.0`
+    /// returns `true` without consuming a draw, like the real crate.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool called with p outside [0, 1]");
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * 2.0 * (1u64 << 63) as f64) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod prelude {
+    pub use crate::rngs::SmallRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}

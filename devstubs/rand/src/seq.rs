@@ -1,0 +1,41 @@
+//! Slice helpers (mirrors `rand::seq::SliceRandom` for the methods this
+//! workspace calls: `shuffle` and `choose`).
+
+use crate::{Rng, RngCore};
+
+/// rand 0.8's `gen_index`: bounds that fit a u32 are sampled through the
+/// u32 uniform (one `next_u32` draw), larger bounds through usize.
+fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+    if ubound <= u32::MAX as usize {
+        rng.gen_range(0..ubound as u32) as usize
+    } else {
+        rng.gen_range(0..ubound)
+    }
+}
+
+pub trait SliceRandom {
+    type Item;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    /// Fisher–Yates, iterating from the back like the real crate.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = gen_index(rng, i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[gen_index(rng, self.len())])
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Dependency-free stand-in for `serde 1`. The workspace only *derives*
+//! `Serialize`/`Deserialize` (all JSON is hand-rolled; no generic code is
+//! bounded on these traits), so empty marker traits plus parse-and-discard
+//! derive macros are sufficient to compile every crate.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+/// Present for path-compatibility with `serde::de::DeserializeOwned` bounds.
+pub mod de {
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}

@@ -1,0 +1,41 @@
+//! No-op `Serialize`/`Deserialize` derives: they accept (and discard)
+//! `#[serde(...)]` attributes and emit empty trait impls against the stub
+//! `serde` crate's marker traits.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name and a generics-free impl header from the item.
+/// Handles the shapes this workspace derives on: plain structs and enums,
+/// no generic parameters (asserted).
+fn type_name(item: TokenStream) -> String {
+    let mut tokens = item.into_iter().peekable();
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tok {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        assert!(
+                            p.as_char() != '<',
+                            "serde stub derive does not support generic types"
+                        );
+                    }
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde stub derive: could not find type name");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    let name = type_name(item);
+    format!("impl serde::Serialize for {name} {{}}").parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    let name = type_name(item);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}").parse().unwrap()
+}

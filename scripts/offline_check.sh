@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Offline build/test harness: runs any cargo command against the
+# dependency-free stubs in devstubs/ (see devstubs/README.md).
+#
+#   scripts/offline_check.sh build --release
+#   scripts/offline_check.sh test -q
+#
+# The root Cargo.toml is patched in place for the duration of the cargo
+# invocation and always restored, even on failure or Ctrl-C. A separate
+# target directory keeps stub artifacts out of the normal build cache.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if grep -q '^\[patch\.crates-io\]' Cargo.toml; then
+    echo "offline_check: Cargo.toml already contains a [patch.crates-io] section" >&2
+    exit 1
+fi
+
+cp Cargo.toml Cargo.toml.offline-bak
+restore() { mv -f Cargo.toml.offline-bak Cargo.toml; }
+trap restore EXIT
+
+cat devstubs/patch.toml >> Cargo.toml
+# --offline goes right after the cargo subcommand so that trailing
+# program arguments (after a `--` separator) are left untouched.
+sub="$1"
+shift
+CARGO_TARGET_DIR="${CARGO_TARGET_DIR:-target/offline}" cargo "$sub" --offline "$@"

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Records both regression baselines from scratch and stages them:
+#
+#   - goldens/*.txt            (golden regression corpus, `golden --update`)
+#   - BENCH_sim_throughput.json (throughput baseline, ungated perf run)
+#
+# Run on the machine class that CI uses so the recorded numbers gate
+# future runs meaningfully, then commit the staged files. The
+# adopt-baselines workflow (workflow_dispatch) runs this on a CI runner
+# and pushes the result, flipping NOC_GOLDEN_STRICT/NOC_BENCH_STRICT
+# from failing-on-pending to guarding real baselines.
+#
+#   scripts/record_baselines.sh            # record + stage
+#   NO_STAGE=1 scripts/record_baselines.sh # record only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO=${CARGO:-cargo}
+
+echo "[baselines] regenerating the golden corpus"
+$CARGO run --release -p noc-bench --bin golden -- --update
+
+echo "[baselines] recording the throughput baseline (gate off for the recording run)"
+NOC_BENCH_GATE=0 NOC_BENCH_STRICT=0 NOC_SCALE=${NOC_SCALE:-quick} \
+    $CARGO run --release -p noc-bench --bin perf
+
+if [[ "${NO_STAGE:-0}" != "1" ]]; then
+    git add goldens/*.txt BENCH_sim_throughput.json
+    echo "[baselines] staged:"
+    git status --short goldens BENCH_sim_throughput.json
+fi

@@ -81,7 +81,7 @@ fn flit_conservation_holds_mid_flight() {
         sim.step();
     }
     let r = sim.results();
-    let delivered_flits = (r.counters.early_ejections).max(0); // RoCo ejects early
+    let delivered_flits = r.counters.early_ejections; // RoCo ejects early
     let in_system = sim.flits_in_system() as u64;
     let generated_flits = r.generated_packets * flits_per_packet;
     // generated = delivered + dropped(≈0) + still inside.
