@@ -55,6 +55,12 @@ pub struct CampaignConfig {
     pub sample_window: u64,
     /// End-to-end retransmission layer (`None` disables it).
     pub recovery: Option<RecoveryConfig>,
+    /// Fault-aware routing comparison (ISSUE 8): when `true`, every
+    /// (router × mtbf × seed) cell is run twice against the *same*
+    /// fault schedule — once fault-oblivious, once with
+    /// [`SimConfig::fault_routing`] — so the report carries paired
+    /// delivered-coverage-retention numbers.
+    pub fault_routing: bool,
 }
 
 impl CampaignConfig {
@@ -77,6 +83,33 @@ impl CampaignConfig {
             measured_packets: 2_000,
             sample_window: 250,
             recovery: Some(RecoveryConfig::default()),
+            fault_routing: false,
+        }
+    }
+
+    /// The fault-aware routing smoke (ISSUE 8, CI `fault-routing`
+    /// job): adaptive routing, permanent isolating faults and a tight
+    /// retry budget, with the paired fault-aware leg enabled — the
+    /// configuration where reachability-aware recovery and the masked
+    /// escape path visibly buy delivered coverage over the oblivious
+    /// baseline.
+    pub fn fault_aware_smoke() -> Self {
+        CampaignConfig {
+            mesh: MeshConfig::new(4, 4),
+            routers: vec![RouterKind::RoCo],
+            routing: RoutingKind::Adaptive,
+            traffic: TrafficKind::Uniform,
+            injection_rate: 0.15,
+            mtbfs: vec![150.0],
+            category: FaultCategory::Isolating,
+            repair_after: None,
+            seeds: 2,
+            base_seed: 0xFA_8A,
+            warmup_packets: 100,
+            measured_packets: 2_000,
+            sample_window: 250,
+            recovery: Some(RecoveryConfig { timeout: 150, max_retries: 2, backoff_cap: 1_200 }),
+            fault_routing: true,
         }
     }
 }
@@ -90,6 +123,10 @@ pub struct CampaignCell {
     pub mtbf: f64,
     /// Replication seed.
     pub seed: u64,
+    /// Whether this cell ran with fault-aware routing (ISSUE 8). Cells
+    /// come in (oblivious, aware) pairs when the campaign's
+    /// `fault_routing` switch is on, sharing the same fault schedule.
+    pub fault_aware: bool,
     /// Fault + repair events the schedule actually fired.
     pub fault_events: u64,
     /// Cycles the faulted run took.
@@ -107,8 +144,17 @@ pub struct CampaignCell {
     pub recovered: u64,
     /// Packets abandoned after the retry budget.
     pub abandoned: u64,
+    /// Packets refused or short-circuited because their destination
+    /// was unreachable over the usable-link graph (always 0 for
+    /// fault-oblivious cells).
+    pub unroutable: u64,
     /// Measured completion probability of the faulted run.
     pub completion: f64,
+    /// Whole-run delivered coverage as a fraction of the same-seed
+    /// fault-free baseline's delivered count — the headline
+    /// graceful-degradation number the fault-aware leg must retain
+    /// more of.
+    pub coverage_retention: f64,
     /// Whole-run PEF of the faulted run, in J·cycles.
     pub pef: f64,
     /// Per-window availability: delivered/generated (1.0 when the
@@ -240,13 +286,16 @@ pub fn run_campaign(c: &CampaignConfig) -> CampaignReport {
 }
 
 /// One campaign unit: the fault-free baseline for `(router, seed)`
-/// plus every mtbf cell drawn against it, in mtbf order.
+/// plus every mtbf cell drawn against it, in mtbf order. When the
+/// campaign's `fault_routing` switch is on, every mtbf yields an
+/// (oblivious, fault-aware) cell pair sharing one schedule.
 fn run_unit(c: &CampaignConfig, router: RouterKind, seed: u64) -> Vec<CampaignCell> {
     let mut cells = Vec::new();
-    // Fault-free baseline: provides the retention denominator
+    // Fault-free baseline: provides the retention denominators
     // and the horizon faults are drawn over.
     let (baseline, base_samples) = run_sampled(base_config(c, router, seed));
     let base_mean = steady_mean_delivered(&base_samples, c.sample_window);
+    let base_delivered = baseline.delivered_packets;
     for &mtbf in &c.mtbfs {
         let vcs = base_config(c, router, seed).router_config().vcs_per_port;
         let schedule = FaultSchedule::random_mtbf(
@@ -258,51 +307,67 @@ fn run_unit(c: &CampaignConfig, router: RouterKind, seed: u64) -> Vec<CampaignCe
             vcs,
             seed ^ mtbf.to_bits(),
         );
-        let mut cfg = base_config(c, router, seed).with_schedule(schedule.clone());
-        if let Some(rc) = c.recovery {
-            cfg = cfg.with_recovery(rc);
+        for fault_aware in [false, true] {
+            if fault_aware && !c.fault_routing {
+                continue;
+            }
+            let mut cfg = base_config(c, router, seed).with_schedule(schedule.clone());
+            if let Some(rc) = c.recovery {
+                cfg = cfg.with_recovery(rc);
+            }
+            if fault_aware {
+                cfg = cfg.with_fault_routing();
+            }
+            let (results, samples) = run_sampled(cfg);
+            let epp = results.energy_per_packet;
+            let availability: Vec<f64> = samples
+                .iter()
+                .map(|s| {
+                    if s.generated == 0 {
+                        1.0
+                    } else {
+                        (s.delivered as f64 / s.generated as f64).min(1.0)
+                    }
+                })
+                .collect();
+            let retention: Vec<f64> = samples
+                .iter()
+                .map(|s| if base_mean > 0.0 { s.delivered as f64 / base_mean } else { 0.0 })
+                .collect();
+            let pef_over_time: Vec<f64> = samples
+                .iter()
+                .zip(&availability)
+                .map(|(s, a)| s.latency_mean * epp / a.max(1e-3))
+                .collect();
+            let rec = results.recovery.unwrap_or_default();
+            let coverage_retention = if base_delivered > 0 {
+                results.delivered_packets as f64 / base_delivered as f64
+            } else {
+                0.0
+            };
+            cells.push(CampaignCell {
+                router,
+                mtbf,
+                seed,
+                fault_aware,
+                fault_events: samples.iter().map(|s| s.fault_events).sum(),
+                cycles: results.cycles,
+                generated: results.generated_packets,
+                delivered: results.delivered_packets,
+                dropped: results.dropped_packets,
+                retransmissions: rec.retransmissions,
+                recovered: rec.recovered_packets,
+                abandoned: rec.abandoned_packets,
+                unroutable: rec.unroutable_packets,
+                completion: results.completion_probability(),
+                coverage_retention,
+                pef: results.pef_inputs().pef(),
+                availability,
+                retention,
+                pef_over_time,
+                classes: results.classes.clone(),
+            });
         }
-        let (results, samples) = run_sampled(cfg);
-        let epp = results.energy_per_packet;
-        let availability: Vec<f64> = samples
-            .iter()
-            .map(|s| {
-                if s.generated == 0 {
-                    1.0
-                } else {
-                    (s.delivered as f64 / s.generated as f64).min(1.0)
-                }
-            })
-            .collect();
-        let retention: Vec<f64> = samples
-            .iter()
-            .map(|s| if base_mean > 0.0 { s.delivered as f64 / base_mean } else { 0.0 })
-            .collect();
-        let pef_over_time: Vec<f64> = samples
-            .iter()
-            .zip(&availability)
-            .map(|(s, a)| s.latency_mean * epp / a.max(1e-3))
-            .collect();
-        let rec = results.recovery.unwrap_or_default();
-        cells.push(CampaignCell {
-            router,
-            mtbf,
-            seed,
-            fault_events: samples.iter().map(|s| s.fault_events).sum(),
-            cycles: results.cycles,
-            generated: results.generated_packets,
-            delivered: results.delivered_packets,
-            dropped: results.dropped_packets,
-            retransmissions: rec.retransmissions,
-            recovered: rec.recovered_packets,
-            abandoned: rec.abandoned_packets,
-            completion: results.completion_probability(),
-            pef: results.pef_inputs().pef(),
-            availability,
-            retention,
-            pef_over_time,
-            classes: results.classes.clone(),
-        });
     }
     cells
 }
@@ -354,6 +419,8 @@ impl CampaignReport {
             write_str(&mut out, &cell.router.to_string());
             write_key(&mut out, &mut cf, "mtbf");
             write_f64(&mut out, cell.mtbf);
+            write_key(&mut out, &mut cf, "fault_aware");
+            let _ = write!(out, "{}", cell.fault_aware);
             for (key, value) in [
                 ("seed", cell.seed),
                 ("fault_events", cell.fault_events),
@@ -364,12 +431,15 @@ impl CampaignReport {
                 ("retransmissions", cell.retransmissions),
                 ("recovered", cell.recovered),
                 ("abandoned", cell.abandoned),
+                ("unroutable", cell.unroutable),
             ] {
                 write_key(&mut out, &mut cf, key);
                 let _ = write!(out, "{value}");
             }
             write_key(&mut out, &mut cf, "completion");
             write_f64(&mut out, cell.completion);
+            write_key(&mut out, &mut cf, "coverage_retention");
+            write_f64(&mut out, cell.coverage_retention);
             write_key(&mut out, &mut cf, "pef");
             write_f64(&mut out, cell.pef);
             write_key(&mut out, &mut cf, "availability");
@@ -425,12 +495,14 @@ pub fn export_campaign(reg: &mut Registry, report: &CampaignReport) {
         let router = cell.router.to_string();
         let mtbf = cell.mtbf.to_string();
         let seed = cell.seed.to_string();
-        let labels: [(&str, &str); 5] = [
+        let fault_aware = if cell.fault_aware { "true" } else { "false" };
+        let labels: [(&str, &str); 6] = [
             ("mesh", &mesh),
             ("routing", &routing),
             ("router", &router),
             ("mtbf", &mtbf),
             ("seed", &seed),
+            ("fault_aware", fault_aware),
         ];
         let c = |v: u64| v as f64;
         reg.counter(
@@ -476,11 +548,23 @@ pub fn export_campaign(reg: &mut Registry, report: &CampaignReport) {
             &labels,
             c(cell.abandoned),
         );
+        reg.counter(
+            "noc_campaign_unroutable_packets",
+            "Packets refused or short-circuited toward unreachable destinations.",
+            &labels,
+            c(cell.unroutable),
+        );
         reg.gauge(
             "noc_campaign_completion_probability",
             "Measured completion of the faulted run.",
             &labels,
             cell.completion,
+        );
+        reg.gauge(
+            "noc_campaign_coverage_retention",
+            "Whole-run delivered coverage vs the fault-free baseline.",
+            &labels,
+            cell.coverage_retention,
         );
         reg.gauge("noc_campaign_pef", "Whole-run PEF of the faulted run.", &labels, cell.pef);
         if !cell.availability.is_empty() {
@@ -547,6 +631,7 @@ mod tests {
                 router: RouterKind::RoCo,
                 mtbf: 600.0,
                 seed: 7,
+                fault_aware: true,
                 fault_events: 4,
                 cycles: 3_000,
                 generated: 2_100,
@@ -555,7 +640,9 @@ mod tests {
                 retransmissions: 55,
                 recovered: 40,
                 abandoned: 10,
+                unroutable: 12,
                 completion: 0.97,
+                coverage_retention: 0.96,
                 pef: 1.5e-7,
                 availability: vec![1.0, 0.8, 0.95],
                 retention: vec![1.02, 0.7, 0.98],
@@ -578,7 +665,10 @@ mod tests {
         let cells = v.get("cells").unwrap().as_arr().unwrap();
         assert_eq!(cells.len(), 1);
         assert_eq!(cells[0].get("router").unwrap().as_str(), Some("roco"));
+        assert_eq!(cells[0].get("fault_aware"), Some(&noc_sim::json::Json::Bool(true)));
         assert_eq!(cells[0].get("fault_events").unwrap().as_u64(), Some(4));
+        assert_eq!(cells[0].get("unroutable").unwrap().as_u64(), Some(12));
+        assert!(cells[0].get("coverage_retention").is_some());
         assert_eq!(cells[0].get("availability").unwrap().as_arr().unwrap().len(), 3);
         let classes = cells[0].get("classes").unwrap().as_arr().unwrap();
         assert_eq!(classes[0].get("class").unwrap().as_str(), Some("far"));
@@ -588,6 +678,9 @@ mod tests {
         export_campaign(&mut reg, &report);
         let prom = reg.render_prometheus();
         assert!(prom.contains("noc_campaign_completion_probability{"));
+        assert!(prom.contains("noc_campaign_unroutable_packets{"));
+        assert!(prom.contains("noc_campaign_coverage_retention{"));
+        assert!(prom.contains("fault_aware=\"true\""));
         assert!(prom.contains("mtbf=\"600\""));
         assert!(prom.contains("noc_campaign_class_latency_cycles{"));
         assert!(prom.contains("class=\"far\",quantile=\"p999\"} 120"));

@@ -27,8 +27,11 @@
 //! `NOC_FUZZ_SEED=<s> NOC_FUZZ_ITERS=<i+1> cargo run --release -p
 //! noc-bench --bin fuzz`.
 
-use noc_core::{MeshConfig, RouterKind, RoutingKind};
+use noc_core::{
+    ComponentFault, Coord, LinkMask, MeshConfig, NodeStatus, RouterKind, RouterNode, RoutingKind,
+};
 use noc_fault::{FaultAction, FaultCategory, FaultEvent, FaultPlan, FaultSchedule};
+use noc_router::AnyRouter;
 use noc_sim::{AuditConfig, KernelMode, RecoveryConfig, SimConfig, SimResults, Simulation};
 use noc_traffic::TrafficKind;
 
@@ -87,10 +90,11 @@ enum FaultMode {
 /// `base_seed`.
 ///
 /// Coverage is round-robin on the case index — router `case % 3`,
-/// fault mode `(case / 3) % 3`, recovery `(case / 9) % 2` — so the
-/// first 18 cases already cross every router with every fault mode and
-/// recovery setting; the remaining knobs (mesh, routing, traffic,
-/// load, seeds, fault details) are drawn from [`SplitMix64`].
+/// fault mode `(case / 3) % 3`, recovery `(case / 9) % 2`, fault-aware
+/// routing `(case / 18) % 2` — so the first 36 cases already cross
+/// every router with every fault mode, recovery setting and routing
+/// awareness; the remaining knobs (mesh, routing, traffic, load,
+/// seeds, fault details) are drawn from [`SplitMix64`].
 pub fn case_config(case: u64, base_seed: u64) -> SimConfig {
     let mut rng = SplitMix64::new(base_seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let router = RouterKind::ALL[(case % 3) as usize];
@@ -100,6 +104,7 @@ pub fn case_config(case: u64, base_seed: u64) -> SimConfig {
         _ => FaultMode::Dynamic,
     };
     let recovery_on = (case / 9) % 2 == 1;
+    let fault_routing_on = (case / 18) % 2 == 1;
 
     let routing = RoutingKind::ALL[rng.below(3) as usize];
     let traffic = TrafficKind::ALL[rng.below(TrafficKind::ALL.len() as u64) as usize];
@@ -114,6 +119,7 @@ pub fn case_config(case: u64, base_seed: u64) -> SimConfig {
     cfg.max_cycles = 40_000;
     cfg.stall_window = 2_000;
     cfg.handshake_latency = rng.below(8);
+    cfg.fault_routing = fault_routing_on;
     cfg.audit = Some(AuditConfig { interval: 1, max_recorded: 8 });
 
     let category =
@@ -158,6 +164,9 @@ pub fn case_config(case: u64, base_seed: u64) -> SimConfig {
 /// Returns `Err(description)` on the first violated oracle; the
 /// description embeds the audit report / digests involved.
 pub fn check_config(cfg: &SimConfig) -> Result<(), String> {
+    if let Some(problem) = masked_cdg_mismatch(cfg) {
+        return Err(problem);
+    }
     let mut reference = cfg.clone();
     reference.kernel = KernelMode::Reference;
     let mut optimized = cfg.clone();
@@ -205,7 +214,8 @@ pub fn check_config(cfg: &SimConfig) -> Result<(), String> {
 }
 
 /// The recovery-accounting oracle: on a cleanly drained run with
-/// recovery enabled, `delivered + abandoned == generated`.
+/// recovery enabled, `delivered + abandoned + unroutable == generated`
+/// (ISSUE 8: reachability-refused packets resolve as `unroutable`).
 fn recovery_mismatch(cfg: &SimConfig, res: &SimResults) -> Option<String> {
     let rec = res.recovery.as_ref()?;
     cfg.recovery?;
@@ -213,12 +223,67 @@ fn recovery_mismatch(cfg: &SimConfig, res: &SimResults) -> Option<String> {
     if !drained {
         return None;
     }
-    let closed = res.delivered_packets + rec.abandoned_packets;
+    let closed = res.delivered_packets + rec.abandoned_packets + rec.unroutable_packets;
     if closed != res.generated_packets {
         return Some(format!(
-            "recovery accounting open: delivered {} + abandoned {} = {} != generated {}",
-            res.delivered_packets, rec.abandoned_packets, closed, res.generated_packets,
+            "recovery accounting open: delivered {} + abandoned {} + unroutable {} = {} != \
+             generated {}",
+            res.delivered_packets,
+            rec.abandoned_packets,
+            rec.unroutable_packets,
+            closed,
+            res.generated_packets,
         ));
+    }
+    None
+}
+
+/// The CDG-acyclicity oracle for fault-aware configs (ISSUE 8): every
+/// link-mask state the run's fault timeline can publish — the static
+/// plan's mask plus the mask after each scheduled inject/repair — must
+/// leave the masked routing function provably deadlock-free.
+fn masked_cdg_mismatch(cfg: &SimConfig) -> Option<String> {
+    if !cfg.fault_routing {
+        return None;
+    }
+    let mesh = cfg.mesh;
+    let rcfg = cfg.router_config();
+    let mut active: Vec<Vec<ComponentFault>> = vec![Vec::new(); mesh.nodes()];
+    for (site, fault) in &cfg.faults.faults {
+        active[site.index(mesh.width)].push(*fault);
+    }
+    let check_state = |active: &[Vec<ComponentFault>], when: &str| -> Option<String> {
+        let statuses: Vec<NodeStatus> = (0..mesh.nodes())
+            .map(|i| {
+                let mut r = AnyRouter::build(Coord::from_index(i, mesh.width), rcfg, mesh);
+                for f in &active[i] {
+                    r.inject_fault(*f);
+                }
+                r.status()
+            })
+            .collect();
+        let mask = LinkMask::from_statuses(mesh, &statuses);
+        let analysis = noc_deadlock::verify_masked(cfg.router, cfg.routing, mesh, mask);
+        (!analysis.deadlock_free()).then(|| {
+            format!("masked routing function has a CDG cycle {when}: {:?}", analysis.cycle)
+        })
+    };
+    if let Some(problem) = check_state(&active, "under the static fault plan") {
+        return Some(problem);
+    }
+    for (n, e) in cfg.schedule.events().iter().enumerate() {
+        let site = e.site.index(mesh.width);
+        match e.action {
+            FaultAction::Inject(f) => active[site].push(f),
+            FaultAction::Repair(f) => {
+                if let Some(pos) = active[site].iter().position(|x| *x == f) {
+                    active[site].remove(pos);
+                }
+            }
+        }
+        if let Some(problem) = check_state(&active, &format!("after schedule event {n}")) {
+            return Some(problem);
+        }
     }
     None
 }
@@ -281,8 +346,9 @@ pub fn run_fuzz(iters: u64, base_seed: u64, mut progress: impl FnMut(u64)) -> Fu
 /// Greedily shrinks a failing configuration.
 ///
 /// Transforms are tried in order — drop the fault schedule, drop static
-/// faults, drop recovery, shrink the mesh to 3×3, shorten the run,
-/// simplify traffic/routing, zero the handshake latency — and each is
+/// faults, drop recovery, disable fault-aware routing, shrink the mesh
+/// to 3×3, shorten the run, simplify traffic/routing, zero the
+/// handshake latency — and each is
 /// kept only when the shrunk config *still fails*. The loop restarts
 /// after every accepted shrink and stops at a fixpoint or after a
 /// bounded number of re-runs.
@@ -306,6 +372,13 @@ pub fn shrink(cfg: &SimConfig, reason: String) -> (SimConfig, String) {
             c.recovery.is_some().then(|| {
                 let mut d = c.clone();
                 d.recovery = None;
+                d
+            })
+        },
+        |c| {
+            c.fault_routing.then(|| {
+                let mut d = c.clone();
+                d.fault_routing = false;
                 d
             })
         },
@@ -405,6 +478,9 @@ pub fn render_repro(case: u64, base_seed: u64, cfg: &SimConfig, reason: &str) ->
     s.push_str(&format!("cfg.max_cycles = {};\n", cfg.max_cycles));
     s.push_str(&format!("cfg.stall_window = {};\n", cfg.stall_window));
     s.push_str(&format!("cfg.handshake_latency = {};\n", cfg.handshake_latency));
+    if cfg.fault_routing {
+        s.push_str("cfg.fault_routing = true;\n");
+    }
     s.push_str("cfg.audit = Some(AuditConfig { interval: 1, max_recorded: 8 });\n");
     for (site, fault) in &cfg.faults.faults {
         s.push_str(&format!(
@@ -465,18 +541,21 @@ mod tests {
         let mut saw_faults = false;
         let mut saw_schedule = false;
         let mut saw_recovery = false;
+        let mut saw_fault_routing = [false; 2];
         let mut routers = std::collections::HashSet::new();
-        for case in 0..18 {
+        for case in 0..36 {
             let cfg = case_config(case, DEFAULT_SEED);
             routers.insert(cfg.router);
             saw_faults |= !cfg.faults.is_empty();
             saw_schedule |= !cfg.schedule.is_empty();
             saw_recovery |= cfg.recovery.is_some();
+            saw_fault_routing[cfg.fault_routing as usize] = true;
             let threads = cfg.threads.expect("fuzz cases pin a worker count");
             assert!((1..=4).contains(&threads));
         }
         assert_eq!(routers.len(), 3);
         assert!(saw_faults && saw_schedule && saw_recovery);
+        assert!(saw_fault_routing == [true, true], "both routing-awareness legs are drawn");
     }
 
     #[test]
@@ -490,5 +569,26 @@ mod tests {
         if !cfg.schedule.is_empty() {
             assert!(text.contains("cfg.schedule.push"));
         }
+        // Fault-aware cases render the knob so the repro replays the
+        // masked routing function too.
+        let aware = case_config(20, DEFAULT_SEED);
+        assert!(aware.fault_routing, "cases 18..36 draw the fault-aware leg");
+        let text = render_repro(20, DEFAULT_SEED, &aware, "synthetic reason");
+        assert!(text.contains("cfg.fault_routing = true;"));
+    }
+
+    #[test]
+    fn masked_cdg_oracle_accepts_fault_aware_cases() {
+        // A fault-aware case with a dynamic schedule: the oracle must
+        // walk every mask state without reporting a cycle (the masked
+        // west-first argument is machine-checked per state).
+        for case in [23, 25, 29, 33] {
+            let cfg = case_config(case, DEFAULT_SEED);
+            assert!(cfg.fault_routing);
+            assert_eq!(masked_cdg_mismatch(&cfg), None, "case {case}");
+        }
+        let oblivious = case_config(5, DEFAULT_SEED);
+        assert!(!oblivious.fault_routing);
+        assert_eq!(masked_cdg_mismatch(&oblivious), None, "oracle is a no-op when off");
     }
 }

@@ -56,3 +56,52 @@ fn smoke_campaign_covers_the_grid_and_is_deterministic() {
     let rerun = run_campaign(&cfg);
     assert_eq!(rerun.to_json(), json, "campaign must be deterministic per seed");
 }
+
+#[test]
+fn fault_aware_campaign_retains_more_delivered_coverage() {
+    // ISSUE 8 acceptance: under the same MTBF fault schedules, the
+    // fault-aware leg must retain strictly more delivered coverage
+    // than the fault-oblivious baseline, refuse unreachable traffic
+    // as `unroutable`, and waste fewer retransmissions doing it.
+    let cfg = CampaignConfig::fault_aware_smoke();
+    let report = run_campaign(&cfg);
+    assert_eq!(report.cells.len(), 4, "1 router x 1 mtbf x 2 seeds x 2 legs");
+
+    let mut aware_delivered = 0u64;
+    let mut oblivious_delivered = 0u64;
+    for pair in report.cells.chunks(2) {
+        let [oblivious, aware] = pair else { panic!("cells must pair up") };
+        assert!(!oblivious.fault_aware && aware.fault_aware, "oblivious leg precedes aware leg");
+        assert_eq!(oblivious.seed, aware.seed, "paired legs share the seed");
+        assert_eq!(oblivious.mtbf, aware.mtbf, "paired legs share the mtbf");
+        assert_eq!(oblivious.unroutable, 0, "oblivious runs never refuse packets");
+        assert!(
+            aware.retransmissions <= oblivious.retransmissions,
+            "short-circuiting must not add retransmissions: aware {} vs oblivious {}",
+            aware.retransmissions,
+            oblivious.retransmissions
+        );
+        aware_delivered += aware.delivered;
+        oblivious_delivered += oblivious.delivered;
+    }
+    assert!(
+        aware_delivered > oblivious_delivered,
+        "fault-aware legs must retain more delivered coverage: aware {aware_delivered} vs \
+         oblivious {oblivious_delivered}"
+    );
+    assert!(
+        report.cells.iter().any(|c| c.fault_aware && c.unroutable > 0),
+        "at least one aware cell must classify unroutable packets"
+    );
+
+    // The comparison must survive the JSON surface for downstream
+    // plotting: paired cells are distinguished by `fault_aware` and
+    // carry `coverage_retention` + `unroutable`.
+    let v = Json::parse(&report.to_json()).expect("report is valid JSON");
+    let cells = v.get("cells").unwrap().as_arr().unwrap();
+    assert_eq!(cells.len(), 4);
+    assert_eq!(cells[0].get("fault_aware"), Some(&Json::Bool(false)));
+    assert_eq!(cells[1].get("fault_aware"), Some(&Json::Bool(true)));
+    assert!(cells[1].get("coverage_retention").is_some());
+    assert!(cells[1].get("unroutable").is_some());
+}

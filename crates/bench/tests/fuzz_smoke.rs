@@ -2,7 +2,7 @@
 //! spanning all three routers must pass the audit + kernel-equivalence
 //! oracles. The full run lives in CI (`NOC_FUZZ_ITERS=240`).
 
-use noc_bench::fuzz::{run_fuzz, DEFAULT_SEED};
+use noc_bench::fuzz::{case_config, check_config, run_fuzz, DEFAULT_SEED};
 
 #[test]
 fn first_fuzz_cases_are_clean() {
@@ -12,4 +12,19 @@ fn first_fuzz_cases_are_clean() {
         panic!("fuzz case {} failed:\n{}", failure.case, failure.render_repro());
     }
     assert_eq!(outcome.cases_run, 6);
+}
+
+#[test]
+fn fault_aware_fuzz_cases_are_clean() {
+    // Cases 18.. draw `fault_routing: true` (ISSUE 8): the CDG-acyclic
+    // oracle walks every mask state of the fault timeline, and the four
+    // kernels must still agree bit-for-bit on the masked routing
+    // function.
+    for case in 18..22 {
+        let cfg = case_config(case, DEFAULT_SEED);
+        assert!(cfg.fault_routing, "cases 18..36 run the fault-aware leg");
+        if let Err(reason) = check_config(&cfg) {
+            panic!("fault-aware fuzz case {case} failed:\n{reason}");
+        }
+    }
 }

@@ -27,15 +27,17 @@ USAGE:
             [--sample-window N] [--postmortem-out F.json]
             [--kernel optimized|reference|parallel|soa] [--threads N]
             [--slo CLASS:METRIC<=N,...] [--profile true] [--prom-out F.prom]
+            [--fault-routing true]
   noc sweep [--router R|all] [--routing A] [--traffic T] [--rates F,F,...]
             [--mesh WxH] [--packets N] [--seed N]
   noc fault [--router R|all] [--routing A] [--category critical|recyclable]
             [--faults N] [--rate F] [--packets N] [--seed N]
+            [--fault-routing true]
   noc campaign [--router R|all] [--routing A] [--traffic T] [--rate F]
             [--mesh WxH] [--packets N] [--warmup N] [--seed N]
             [--mtbfs C,C,...] [--repair N|0] [--seeds N] [--recovery true]
             [--category critical|recyclable] [--sample-window N]
-            [--json-out F.json] [--prom-out F.prom]
+            [--json-out F.json] [--prom-out F.prom] [--fault-routing true]
   noc timeline [--router R] [--routing A] [--traffic T] [--rate F] [--mesh WxH]
             [--packets N] [--warmup N] [--seed N] [--sample-window N]
             [--json true]
@@ -44,7 +46,7 @@ USAGE:
             [--packets N] [--warmup N] [--seed N]
             [--kernel optimized|reference|parallel|soa] [--threads N]
             [--interval N] [--faults N] [--category critical|recyclable]
-            [--recovery true]
+            [--recovery true] [--fault-routing true]
   noc golden [--update true]
   noc info
 
@@ -64,6 +66,16 @@ TELEMETRY:
   (e.g. 'near:p99<=40,all:p999<=200'); --profile true prints the
   simulator self-profile (never changes results: digests are identical
   with profiling on or off).
+
+FAULT-AWARE ROUTING (DESIGN.md §16):
+  --fault-routing true turns on the published-status link mask: route
+  computation excludes links faulted in the network-wide health view,
+  takes the deadlock-safe escape path around dead regions, and refuses
+  packets whose destination is unreachable (the 'unroutable' outcome;
+  with recovery on, delivered + abandoned + unroutable == generated).
+  For `campaign` the flag runs a paired oblivious/aware leg per cell
+  sharing the same fault schedule, so delivered-coverage retention is
+  directly comparable.
 ";
 
 fn base_config(args: &Args) -> Result<SimConfig, ArgError> {
@@ -110,6 +122,9 @@ fn base_config(args: &Args) -> Result<SimConfig, ArgError> {
         }
         cfg.threads = Some(t);
     }
+    // ISSUE 8: the network-wide fault-status mask for route
+    // computation, plus reachability-aware fail-fast (DESIGN.md §16).
+    cfg.fault_routing = args.get_or("fault-routing", false)?;
     Ok(cfg)
 }
 
@@ -144,6 +159,16 @@ fn summarize(r: &SimResults) -> String {
         r.contention.y_contention_probability().unwrap_or(0.0)
     );
     let _ = writeln!(s, "  PEF                 {:.3} nJ·cycles", r.pef_inputs().pef() * 1e9);
+    if let Some(rec) = r.recovery.as_ref() {
+        let _ = writeln!(
+            s,
+            "  recovery            retrans {}  recovered {}  abandoned {}  unroutable {}",
+            rec.retransmissions,
+            rec.recovered_packets,
+            rec.abandoned_packets,
+            rec.unroutable_packets
+        );
+    }
     if r.stalled {
         let _ = writeln!(s, "  [run ended on the inactivity detector]");
     }
@@ -226,6 +251,7 @@ pub fn cmd_run(args: &Args) -> Result<String, ArgError> {
         "slo",
         "profile",
         "prom-out",
+        "fault-routing",
     ]);
     if !unknown.is_empty() {
         return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
@@ -459,8 +485,17 @@ pub fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
 /// `noc fault`: §4 fault experiment at one operating point.
 pub fn cmd_fault(args: &Args) -> Result<String, ArgError> {
     let unknown = args.unknown_flags(&[
-        "router", "routing", "traffic", "rate", "mesh", "packets", "warmup", "seed", "category",
+        "router",
+        "routing",
+        "traffic",
+        "rate",
+        "mesh",
+        "packets",
+        "warmup",
+        "seed",
+        "category",
         "faults",
+        "fault-routing",
     ]);
     if !unknown.is_empty() {
         return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
@@ -524,6 +559,7 @@ pub fn cmd_campaign(args: &Args) -> Result<String, ArgError> {
         "sample-window",
         "json-out",
         "prom-out",
+        "fault-routing",
     ]);
     if !unknown.is_empty() {
         return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
@@ -561,6 +597,7 @@ pub fn cmd_campaign(args: &Args) -> Result<String, ArgError> {
         } else {
             None
         },
+        fault_routing: base.fault_routing,
     };
     let report = run_campaign(&campaign);
     let repair_desc = match campaign.repair_after {
@@ -569,29 +606,34 @@ pub fn cmd_campaign(args: &Args) -> Result<String, ArgError> {
     };
     let mut out = format!(
         "graceful-degradation campaign: {}x{} mesh, {} routing, {} faults ({repair_desc}), \
-         recovery {}\n",
+         recovery {}{}\n",
         campaign.mesh.width,
         campaign.mesh.height,
         campaign.routing,
         campaign.category,
         if campaign.recovery.is_some() { "on" } else { "off" },
+        if campaign.fault_routing { ", paired oblivious/fault-aware legs" } else { "" },
     );
     for cell in &report.cells {
         let min_of = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
         let _ = writeln!(
             out,
-            "{:>15} mtbf {:>7} seed {}: {} fault events, completion {:.4}, \
-             delivered {}/{}, retrans {} (recovered {}, abandoned {}), PEF {:.2} nJ·cycles",
+            "{:>15}{} mtbf {:>7} seed {}: {} fault events, completion {:.4}, \
+             delivered {}/{} (retention {:.3}), retrans {} (recovered {}, abandoned {}, \
+             unroutable {}), PEF {:.2} nJ·cycles",
             cell.router.to_string(),
+            if cell.fault_aware { " [aware]" } else { "" },
             cell.mtbf,
             cell.seed,
             cell.fault_events,
             cell.completion,
             cell.delivered,
             cell.generated,
+            cell.coverage_retention,
             cell.retransmissions,
             cell.recovered,
             cell.abandoned,
+            cell.unroutable,
             cell.pef * 1e9,
         );
         let _ = writeln!(
@@ -628,8 +670,21 @@ pub fn cmd_campaign(args: &Args) -> Result<String, ArgError> {
 /// exits non-zero when any invariant fired.
 pub fn cmd_audit(args: &Args) -> Result<String, ArgError> {
     let unknown = args.unknown_flags(&[
-        "router", "routing", "traffic", "rate", "mesh", "packets", "warmup", "seed", "kernel",
-        "threads", "interval", "faults", "category", "recovery",
+        "router",
+        "routing",
+        "traffic",
+        "rate",
+        "mesh",
+        "packets",
+        "warmup",
+        "seed",
+        "kernel",
+        "threads",
+        "interval",
+        "faults",
+        "category",
+        "recovery",
+        "fault-routing",
     ]);
     if !unknown.is_empty() {
         return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
@@ -825,6 +880,45 @@ mod tests {
         let second = std::fs::read_to_string(&path).unwrap();
         assert_eq!(first, second, "campaign JSON must be deterministic per seed");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn campaign_fault_routing_runs_paired_legs() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("noc-cli-test-{}-aware.json", std::process::id()));
+        let cmd = format!(
+            "campaign --router roco --routing adaptive --mesh 4x4 --rate 0.15 --packets 800 \
+             --warmup 80 --mtbfs 150 --repair 0 --seeds 1 --sample-window 200 \
+             --category critical --fault-routing true --json-out {}",
+            path.display()
+        );
+        let out = dispatch(&parse(&cmd)).unwrap();
+        assert!(out.contains("paired oblivious/fault-aware legs"), "{out}");
+        assert!(out.contains(" [aware]"), "{out}");
+        assert!(out.contains("unroutable"), "{out}");
+        let v = noc_sim::json::Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let cells = v.get("cells").unwrap().as_arr().unwrap();
+        assert_eq!(cells.len(), 2, "one oblivious + one aware leg");
+        assert_eq!(cells[0].get("fault_aware"), Some(&noc_sim::json::Json::Bool(false)));
+        assert_eq!(cells[1].get("fault_aware"), Some(&noc_sim::json::Json::Bool(true)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_accepts_fault_routing_flag() {
+        // With no faults the mask stays all-healthy, so the flag must
+        // not perturb a clean run's statistics; the only new output is
+        // the recovery accounting line carrying the zero `unroutable`
+        // counter (fault-aware runs always track it).
+        let base = "run --packets 300 --warmup 30 --rate 0.1 --mesh 4x4 --seed 9";
+        let plain = dispatch(&parse(base)).unwrap();
+        let aware = dispatch(&parse(&format!("{base} --fault-routing true"))).unwrap();
+        let stats: String =
+            aware.lines().filter(|l| !l.contains("recovery")).collect::<Vec<_>>().join("\n");
+        assert_eq!(plain.trim_end(), stats, "an all-healthy mask must be behavior-neutral");
+        assert!(aware.contains("unroutable 0"), "{aware}");
+        // But sweep/timeline do not take the flag.
+        assert!(dispatch(&parse("sweep --fault-routing true --rates 0.1")).is_err());
     }
 
     #[test]

@@ -13,10 +13,10 @@
 use noc_arbiter::RoundRobinArbiter;
 use noc_core::{
     ActivityCounters, AuditProbe, Axis, ContentionCounters, Coord, CreditBook, Cycle, Direction,
-    Flit, LatchedFlit, ModuleHealth, NodeStatus, PacketId, RouterConfig, RouterOutputs,
+    Flit, LatchedFlit, LinkMask, ModuleHealth, NodeStatus, PacketId, RouterConfig, RouterOutputs,
     StepContext, VcAudit, VcDescriptor, VcPhase, VcRequest, VcSnapshot, EJECT_VC,
 };
-use noc_routing::{quadrant_mask, RouteComputer};
+use noc_routing::{quadrant_mask, DirSet, RouteComputer};
 use std::collections::VecDeque;
 
 /// Allocation state of one virtual channel's resident packet.
@@ -768,6 +768,7 @@ impl RouterCore {
                     link_index: vc.link_index,
                     buffered: vc.queue.len(),
                     head_packet: vc.queue.front().map(|f| f.packet),
+                    head_dst: vc.queue.front().map(|f| f.dst),
                     phase,
                     out,
                     downstream_vc,
@@ -994,7 +995,18 @@ impl RouterCore {
             let out = head.next_out;
             if out != Direction::Local {
                 let bstat = ctx.neighbor_status(out).unwrap_or_default();
-                if bstat.node_dead() || !bstat.can_serve_output(next_route) {
+                // Under fault-aware routing the link mask also vetoes a
+                // committed onward route whose downstream link went
+                // unusable (e.g. the next-next node died) after the
+                // look-ahead computed it.
+                let masked_off = ctx.mask.is_some_and(|m| {
+                    next_route != Direction::Local
+                        && self
+                            .coord
+                            .neighbor(out, self.computer.mesh().width, self.computer.mesh().height)
+                            .is_some_and(|b| !m.usable(b, next_route))
+                });
+                if bstat.node_dead() || !bstat.can_serve_output(next_route) || masked_off {
                     // The committed next hop lost serviceability after
                     // this route was computed (mid-run fault): re-route
                     // from scratch or discard.
@@ -1112,6 +1124,26 @@ impl RouterCore {
     /// router's Guided Flit Queuing pins a flit to one module, so it
     /// relies on its §4.1 handshake to discard the packet gracefully
     /// upstream instead.
+    /// Candidate outputs at `cur`, fault-aware when the step context
+    /// carries a link mask (ISSUE 8): masked candidates exclude links
+    /// the published statuses declare unusable and may substitute the
+    /// west-first escape set. Without a mask this is byte-identical to
+    /// the plain candidate computation.
+    fn route_candidates(
+        &self,
+        src: Coord,
+        cur: Coord,
+        dst: Coord,
+        order: noc_core::AxisOrder,
+        arrival: Direction,
+        mask: Option<&LinkMask>,
+    ) -> DirSet {
+        match mask {
+            Some(m) => self.computer.masked_candidates(src, cur, dst, order, arrival, m),
+            None => self.computer.candidates(src, cur, dst, order),
+        }
+    }
+
     fn reroute_or_fail(&mut self, vc_id: usize, head: Flit, ctx: &mut StepContext<'_>) {
         let adaptive = matches!(
             self.computer.routing(),
@@ -1119,7 +1151,9 @@ impl RouterCore {
         );
         if adaptive && self.cfg.router != noc_core::RouterKind::RoCo {
             let mesh = self.computer.mesh();
-            let mut cands = self.computer.candidates(head.src, self.coord, head.dst, head.order);
+            let arrival = self.vcs[vc_id].input_side;
+            let mut cands = self
+                .route_candidates(head.src, self.coord, head.dst, head.order, arrival, ctx.mask);
             // A usable alternative output: not the committed one, its
             // next hop is alive, and the packet remains serviceable one
             // hop further (either it ends there or some minimal
@@ -1138,7 +1172,14 @@ impl RouterCore {
                 if c == head.dst {
                     return cstat.can_serve_output(Direction::Local);
                 }
-                let mut onward = self.computer.candidates(head.src, c, head.dst, head.order);
+                let mut onward = self.route_candidates(
+                    head.src,
+                    c,
+                    head.dst,
+                    head.order,
+                    d.opposite(),
+                    ctx.mask,
+                );
                 onward.retain(|o| cstat.can_serve_output(o));
                 !onward.is_empty()
             });
@@ -1189,7 +1230,8 @@ impl RouterCore {
         let next_route = if b == head.dst {
             Direction::Local
         } else {
-            let mut cands = self.computer.candidates(head.src, b, head.dst, head.order);
+            let mut cands =
+                self.route_candidates(head.src, b, head.dst, head.order, out.opposite(), ctx.mask);
             cands.retain(|d| bstat.can_serve_output(d));
             if cands.is_empty() {
                 self.reroute_or_fail(vc_id, head, ctx);
@@ -1305,7 +1347,14 @@ impl RouterCore {
                 return false; // previous packet still streaming in
             }
             let own = self.status();
-            let mut cands = self.computer.candidates(flit.src, self.coord, flit.dst, flit.order);
+            let mut cands = self.route_candidates(
+                flit.src,
+                self.coord,
+                flit.dst,
+                flit.order,
+                Direction::Local,
+                ctx.mask,
+            );
             cands.retain(|d| own.can_serve_output(d));
             if cands.is_empty() {
                 // Every productive first hop needs a dead module: the

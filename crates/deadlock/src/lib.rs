@@ -23,11 +23,11 @@
 #![warn(missing_debug_implementations)]
 
 use noc_core::{
-    AxisOrder, Coord, Direction, MeshConfig, RouterConfig, RouterKind, RouterNode, RoutingKind,
-    VcDescriptor, VcRequest,
+    AxisOrder, Coord, Direction, LinkMask, MeshConfig, RouterConfig, RouterKind, RouterNode,
+    RoutingKind, VcDescriptor, VcRequest,
 };
 use noc_router::AnyRouter;
-use noc_routing::{quadrant_mask, RouteComputer};
+use noc_routing::{quadrant_mask, DirSet, RouteComputer};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// One virtual channel in the network: the link it sits on (identified
@@ -91,6 +91,11 @@ pub struct CdgAnalyzer {
     policy: OrderPolicy,
     /// Per (node, side): the published VC descriptors.
     links: HashMap<(Coord, Direction), Vec<VcDescriptor>>,
+    /// Fault mask applied to route computation (ISSUE 8): when present,
+    /// candidate sets come from [`RouteComputer::masked_candidates`] —
+    /// including the west-first escape detours — and the analysis
+    /// proves the *reconfigured* routing function cycle-free.
+    mask: Option<LinkMask>,
 }
 
 impl CdgAnalyzer {
@@ -112,7 +117,40 @@ impl CdgAnalyzer {
                 links.insert((coord, side), r.vcs_on_link(side).to_vec());
             }
         }
-        CdgAnalyzer { mesh, computer: RouteComputer::new(routing, mesh), policy, links }
+        CdgAnalyzer { mesh, computer: RouteComputer::new(routing, mesh), policy, links, mask: None }
+    }
+
+    /// Like [`CdgAnalyzer::new`], but analyzing the fault-aware routing
+    /// function reconfigured around `mask` (links the mask declares
+    /// unusable are excluded from candidate sets; west-first adds its
+    /// escape detours).
+    pub fn with_mask(
+        router: RouterKind,
+        routing: RoutingKind,
+        mesh: MeshConfig,
+        policy: OrderPolicy,
+        mask: LinkMask,
+    ) -> Self {
+        let mut a = CdgAnalyzer::new(router, routing, mesh, policy);
+        a.mask = Some(mask);
+        a
+    }
+
+    /// Candidate outputs at `cur` for the analyzed routing function —
+    /// masked (fault-aware, arrival-sensitive) when a mask is set,
+    /// plain otherwise.
+    fn cands(
+        &self,
+        src: Coord,
+        cur: Coord,
+        dst: Coord,
+        order: AxisOrder,
+        arrival: Direction,
+    ) -> DirSet {
+        match &self.mask {
+            Some(m) => self.computer.masked_candidates(src, cur, dst, order, arrival, m),
+            None => self.computer.candidates(src, cur, dst, order),
+        }
     }
 
     /// The dimension orders a packet from `src` to `dst` may commit to
@@ -176,12 +214,12 @@ impl CdgAnalyzer {
                     // First hop: src's router sends the head toward each
                     // legal first direction; it lands in a channel at
                     // the neighbour.
-                    for out in self.computer.candidates(src, src, dst, order).iter() {
+                    for out in self.cands(src, src, dst, order, Direction::Local).iter() {
                         let Some(b) = self.neighbor(src, out) else { continue };
                         if b == dst {
                             continue; // delivered on arrival, no wait
                         }
-                        for onward in self.computer.candidates(src, b, dst, order).iter() {
+                        for onward in self.cands(src, b, dst, order, out.opposite()).iter() {
                             for ch in self.admitting_channels(b, out.opposite(), onward, dst, order)
                             {
                                 let st = State { channel: ch, dst, order, src_x: src.x };
@@ -201,12 +239,12 @@ impl CdgAnalyzer {
             let State { channel, dst, order, src_x } = st;
             let node = channel.node;
             let src = Coord::new(src_x, 0);
-            for out in self.computer.candidates(src, node, dst, order).iter() {
+            for out in self.cands(src, node, dst, order, channel.side).iter() {
                 let Some(c) = self.neighbor(node, out) else { continue };
                 if c == dst {
                     continue; // ejection: no downstream channel to wait for
                 }
-                for onward in self.computer.candidates(src, c, dst, order).iter() {
+                for onward in self.cands(src, c, dst, order, out.opposite()).iter() {
                     for next in self.admitting_channels(c, out.opposite(), onward, dst, order) {
                         edges.insert((channel, next));
                         let st2 = State { channel: next, dst, order, src_x };
@@ -303,6 +341,17 @@ pub fn find_channel_cycle(adj: &HashMap<Channel, Vec<Channel>>) -> Option<Vec<Ch
 /// whether it is deadlock-free.
 pub fn verify(router: RouterKind, routing: RoutingKind, mesh: MeshConfig) -> Analysis {
     CdgAnalyzer::new(router, routing, mesh, OrderPolicy::Restricted).analyze()
+}
+
+/// Convenience: analyze one configuration whose routing function has
+/// been reconfigured around `mask` (ISSUE 8) and return the analysis.
+pub fn verify_masked(
+    router: RouterKind,
+    routing: RoutingKind,
+    mesh: MeshConfig,
+    mask: LinkMask,
+) -> Analysis {
+    CdgAnalyzer::with_mask(router, routing, mesh, OrderPolicy::Restricted, mask).analyze()
 }
 
 #[cfg(test)]

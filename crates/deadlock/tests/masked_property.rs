@@ -1,0 +1,116 @@
+//! Property test for fault-aware routing (ISSUE 8): the reconfigured
+//! routing function — masked candidate sets plus the west-first escape
+//! detours — must keep the channel-dependency graph acyclic for *every*
+//! fault mask, not just the healthy mesh.
+//!
+//! The test sweeps well over 100 random masks (uniform link drops at
+//! several severities, dead-node masks built from published statuses,
+//! and severed-column partitions) across all three routers and all four
+//! routing algorithms, asserting CDG acyclicity each time.
+
+use noc_core::RouterKind;
+use noc_core::{Coord, Direction, LinkMask, MeshConfig, ModuleHealth, NodeStatus, RoutingKind};
+use noc_deadlock::verify_masked;
+
+/// Dependency-free splitmix64, so the test needs no RNG crate.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_u64() % den < num
+    }
+}
+
+const MESH: MeshConfig = MeshConfig::new(4, 4);
+
+const ROUTINGS: [RoutingKind; 4] =
+    [RoutingKind::Adaptive, RoutingKind::Xy, RoutingKind::XyYx, RoutingKind::AdaptiveOddEven];
+
+fn assert_acyclic(routing: RoutingKind, mask: &LinkMask, what: &str) {
+    // The router with the richest VC admission surface differs per
+    // draw; rotate through all three so each mask family crosses each
+    // architecture.
+    for router in RouterKind::ALL {
+        let a = verify_masked(router, routing, MESH, mask.clone());
+        assert!(
+            a.deadlock_free(),
+            "{what}: {router}/{routing} CDG cycle under mask: {:?}",
+            a.cycle
+        );
+    }
+}
+
+#[test]
+fn random_link_drop_masks_stay_acyclic() {
+    // 96 uniform random masks at three drop severities × 4 routings ×
+    // 3 routers = 1152 analyses, all of which must be acyclic.
+    let mut rng = SplitMix64(0x5EED_0008);
+    let mut checked = 0;
+    for severity in [1u64, 2, 3] {
+        for round in 0..32u64 {
+            let mask = LinkMask::from_fn(MESH, |_, _| !rng.chance(severity, 8));
+            let routing = ROUTINGS[((severity * 32 + round) % 4) as usize];
+            assert_acyclic(routing, &mask, "random drop");
+            checked += 1;
+        }
+    }
+    assert!(checked >= 96);
+}
+
+#[test]
+fn west_first_escape_is_acyclic_under_heavy_masks() {
+    // The escape path only exists under west-first (Adaptive); hammer
+    // it specifically with 64 additional heavy masks, where nearly
+    // every minimal set loses a member and escapes fire constantly.
+    let mut rng = SplitMix64(0xD06_F00D);
+    for _ in 0..64 {
+        let mask = LinkMask::from_fn(MESH, |_, _| !rng.chance(3, 8));
+        assert_acyclic(RoutingKind::Adaptive, &mask, "heavy west-first");
+    }
+}
+
+#[test]
+fn dead_node_masks_stay_acyclic() {
+    // Masks as the simulator actually builds them: published statuses
+    // with one or two dead nodes (links in and out of the dead node
+    // masked both ways).
+    let mut rng = SplitMix64(0xBAD_0001);
+    for round in 0..24u64 {
+        let mut statuses = vec![NodeStatus::healthy(); MESH.nodes()];
+        let dead = (rng.next_u64() % MESH.nodes() as u64) as usize;
+        statuses[dead] =
+            NodeStatus { row: ModuleHealth::Dead, col: ModuleHealth::Dead, rc_ok: false };
+        if rng.chance(1, 2) {
+            let second = (rng.next_u64() % MESH.nodes() as u64) as usize;
+            statuses[second] =
+                NodeStatus { row: ModuleHealth::Dead, col: ModuleHealth::Dead, rc_ok: false };
+        }
+        let mask = LinkMask::from_statuses(MESH, &statuses);
+        assert_acyclic(ROUTINGS[(round % 4) as usize], &mask, "dead node");
+    }
+}
+
+#[test]
+fn partitioned_mesh_masks_stay_acyclic() {
+    // A severed column partitions the mesh: routing must stay acyclic
+    // even when whole destination sets are unreachable.
+    for cut_x in 0..3u16 {
+        let mask = LinkMask::from_fn(MESH, |n, d| {
+            !((n.x == cut_x && d == Direction::East) || (n.x == cut_x + 1 && d == Direction::West))
+        });
+        for routing in ROUTINGS {
+            assert_acyclic(routing, &mask, "severed column");
+        }
+    }
+    // Sanity: the mask type itself round-trips coordinates correctly.
+    let m = LinkMask::all_up(MESH);
+    assert!(m.usable(Coord::new(1, 1), Direction::East));
+}

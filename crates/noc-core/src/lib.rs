@@ -31,6 +31,7 @@ mod counters;
 mod error;
 mod flit;
 mod geometry;
+mod mask;
 mod node;
 mod probe;
 mod vc;
@@ -41,6 +42,7 @@ pub use counters::{ActivityCounters, ContentionCounters};
 pub use error::ConfigError;
 pub use flit::{Cycle, Flit, FlitKind, Packet, PacketId};
 pub use geometry::{Axis, AxisOrder, Coord, Direction};
+pub use mask::{LinkMask, ReachabilityMap};
 pub use node::{
     router_rng, ComponentFault, FaultComponent, HotStep, ModuleHealth, NodeStatus, RouterNode,
     RouterOutputs, StepContext, EJECT_VC, RNG_STREAM_INJECT, RNG_STREAM_STEP,

@@ -1,0 +1,261 @@
+//! Fault-status link masks and reachability maps (ISSUE 8).
+//!
+//! The §4.1 published-status handshake gives every node a bounded-stale
+//! view of its neighbours' health. [`LinkMask`] condenses that view into
+//! one 4-bit word per node — bit [`Direction::index`] set means the
+//! output link on that side is currently usable — so route computation
+//! can exclude dead links with a single mask intersection instead of a
+//! status lookup per candidate. [`ReachabilityMap`] is the source-side
+//! companion: per-destination connectivity over the masked link graph,
+//! recomputed only when a republication actually changes the mask, so
+//! sources can fail packets toward unreachable destinations fast
+//! (`unroutable`) instead of burning bounded-retry cycles.
+
+use crate::config::MeshConfig;
+use crate::geometry::{Coord, Direction};
+use crate::node::NodeStatus;
+
+/// Per-node usable-output-link bitmask over the four mesh directions.
+///
+/// A link `(node, dir)` is *usable* when the node's own output on that
+/// side is serviceable, a neighbour exists there, and the neighbour is
+/// not dead — all judged from the **published** statuses, so the mask
+/// carries the same bounded (`handshake_latency`) staleness as the
+/// §4.1 status wires it models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkMask {
+    mesh: MeshConfig,
+    /// One 4-bit word per node, bit [`Direction::index`] = output usable.
+    bits: Vec<u8>,
+}
+
+impl LinkMask {
+    /// Bitmask with every in-mesh link on all four sides.
+    const FULL: u8 = 0b1111;
+
+    /// A mask over `mesh` where every in-mesh link is usable (the
+    /// fault-free view; boundary bits are clear).
+    pub fn all_up(mesh: MeshConfig) -> Self {
+        LinkMask::from_fn(mesh, |_, _| true)
+    }
+
+    /// Builds a mask by asking `usable(node, dir)` for every in-mesh
+    /// link. Links leaving the mesh are always masked off.
+    pub fn from_fn(mesh: MeshConfig, mut usable: impl FnMut(Coord, Direction) -> bool) -> Self {
+        let mut bits = vec![0u8; mesh.nodes()];
+        for (i, word) in bits.iter_mut().enumerate() {
+            let node = Coord::from_index(i, mesh.width);
+            for dir in Direction::MESH {
+                if node.neighbor(dir, mesh.width, mesh.height).is_some() && usable(node, dir) {
+                    *word |= 1 << dir.index();
+                }
+            }
+        }
+        LinkMask { mesh, bits }
+    }
+
+    /// Builds the mask implied by a slice of **published** node
+    /// statuses (indexed by [`Coord::index`]): `(node, dir)` is usable
+    /// when the node's own output on that side is serviceable and the
+    /// neighbour on that side is not dead.
+    pub fn from_statuses(mesh: MeshConfig, statuses: &[NodeStatus]) -> Self {
+        assert_eq!(statuses.len(), mesh.nodes(), "one status per node");
+        LinkMask::from_fn(mesh, |node, dir| {
+            let own = statuses[node.index(mesh.width)];
+            let Some(nb) = node.neighbor(dir, mesh.width, mesh.height) else { return false };
+            own.can_serve_output(dir) && !statuses[nb.index(mesh.width)].node_dead()
+        })
+    }
+
+    /// The mesh this mask covers.
+    pub fn mesh(&self) -> MeshConfig {
+        self.mesh
+    }
+
+    /// Whether the output link `(node, dir)` is usable.
+    /// [`Direction::Local`] is always usable (ejection is not a link).
+    pub fn usable(&self, node: Coord, dir: Direction) -> bool {
+        if dir == Direction::Local {
+            return true;
+        }
+        self.bits[node.index(self.mesh.width)] & (1 << dir.index()) != 0
+    }
+
+    /// The raw 4-bit word for the node at flat index `i`.
+    pub fn node_bits(&self, i: usize) -> u8 {
+        self.bits[i]
+    }
+
+    /// `true` when every in-mesh link is usable (fault-free mask).
+    pub fn is_full(&self) -> bool {
+        self.bits.iter().enumerate().all(|(i, &w)| {
+            let node = Coord::from_index(i, self.mesh.width);
+            let full: u8 = Direction::MESH
+                .iter()
+                .filter(|&&d| node.neighbor(d, self.mesh.width, self.mesh.height).is_some())
+                .fold(0, |acc, d| acc | (1 << d.index()));
+            w == full & Self::FULL
+        })
+    }
+}
+
+/// Per-destination connectivity over the masked link graph.
+///
+/// `reachable(src, dst)` answers "does *any* path of usable links lead
+/// from `src` to `dst`?" — a sound over-approximation of every routing
+/// function we ship: when it says unreachable, no candidate set could
+/// deliver the packet, so failing fast is safe; when it says reachable
+/// but the turn model still cannot get there, the packet falls back to
+/// the normal retry/abandon path and accounting stays closed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReachabilityMap {
+    mesh: MeshConfig,
+    /// Row-major `[dst][src]` reachability, flattened.
+    reach: Vec<bool>,
+}
+
+impl ReachabilityMap {
+    /// Computes reachability by a backward BFS from every destination
+    /// over the reversed masked link graph. O(nodes²) — recomputed only
+    /// on republication events, never on the cycle hot path.
+    pub fn compute(mask: &LinkMask) -> Self {
+        let mesh = mask.mesh();
+        let n = mesh.nodes();
+        let mut reach = vec![false; n * n];
+        let mut queue = Vec::with_capacity(n);
+        for dst in 0..n {
+            let row = &mut reach[dst * n..(dst + 1) * n];
+            row[dst] = true;
+            queue.clear();
+            queue.push(dst);
+            while let Some(v) = queue.pop() {
+                let vc = Coord::from_index(v, mesh.width);
+                // Predecessors: nodes u with a usable link into v.
+                for dir in Direction::MESH {
+                    let Some(u) = vc.neighbor(dir, mesh.width, mesh.height) else { continue };
+                    let ui = u.index(mesh.width);
+                    if !row[ui] && mask.usable(u, dir.opposite()) {
+                        row[ui] = true;
+                        queue.push(ui);
+                    }
+                }
+            }
+        }
+        ReachabilityMap { mesh, reach }
+    }
+
+    /// Whether any path of usable links leads from `src` to `dst`.
+    pub fn reachable(&self, src: Coord, dst: Coord) -> bool {
+        let n = self.mesh.nodes();
+        self.reach[dst.index(self.mesh.width) * n + src.index(self.mesh.width)]
+    }
+
+    /// Number of sources that can reach `dst` (including `dst` itself).
+    pub fn sources_reaching(&self, dst: Coord) -> usize {
+        let n = self.mesh.nodes();
+        let d = dst.index(self.mesh.width);
+        self.reach[d * n..(d + 1) * n].iter().filter(|&&r| r).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> MeshConfig {
+        MeshConfig::new(4, 4)
+    }
+
+    #[test]
+    fn all_up_masks_only_the_boundary() {
+        let m = LinkMask::all_up(mesh());
+        assert!(m.is_full());
+        assert!(m.usable(Coord::new(1, 1), Direction::East));
+        // Boundary links leave the mesh and are never usable.
+        assert!(!m.usable(Coord::new(0, 0), Direction::West));
+        assert!(!m.usable(Coord::new(0, 0), Direction::North));
+        // Ejection is not a link.
+        assert!(m.usable(Coord::new(0, 0), Direction::Local));
+    }
+
+    #[test]
+    fn from_fn_respects_the_predicate() {
+        let cut = (Coord::new(1, 1), Direction::East);
+        let m = LinkMask::from_fn(mesh(), |n, d| (n, d) != cut);
+        assert!(!m.usable(cut.0, cut.1));
+        assert!(m.usable(Coord::new(1, 1), Direction::South));
+        assert!(!m.is_full());
+    }
+
+    #[test]
+    fn fully_connected_mesh_reaches_everywhere() {
+        let r = ReachabilityMap::compute(&LinkMask::all_up(mesh()));
+        for s in 0..16 {
+            for d in 0..16 {
+                let (s, d) = (Coord::from_index(s, 4), Coord::from_index(d, 4));
+                assert!(r.reachable(s, d), "{s:?} should reach {d:?}");
+            }
+        }
+        assert_eq!(r.sources_reaching(Coord::new(2, 2)), 16);
+    }
+
+    #[test]
+    fn severed_column_splits_reachability() {
+        // Cut every link crossing between x=1 and x=2, in both
+        // directions: the mesh splits into two halves.
+        let m = LinkMask::from_fn(mesh(), |n, d| {
+            !((n.x == 1 && d == Direction::East) || (n.x == 2 && d == Direction::West))
+        });
+        let r = ReachabilityMap::compute(&m);
+        assert!(r.reachable(Coord::new(0, 0), Coord::new(1, 3)));
+        assert!(r.reachable(Coord::new(3, 0), Coord::new(2, 3)));
+        assert!(!r.reachable(Coord::new(0, 0), Coord::new(2, 0)));
+        assert!(!r.reachable(Coord::new(3, 3), Coord::new(1, 3)));
+        assert_eq!(r.sources_reaching(Coord::new(0, 0)), 8);
+    }
+
+    #[test]
+    fn one_way_links_are_directional() {
+        // Usable (1,1)->E but not (2,1)->W: (1,1) reaches (2,1), and
+        // (2,1) still reaches (1,1) the long way around unless we also
+        // cut the detours — so cut the whole column except one eastward
+        // link to make the asymmetry visible.
+        let m = LinkMask::from_fn(mesh(), |n, d| {
+            let crossing_east = n.x == 1 && d == Direction::East;
+            let crossing_west = n.x == 2 && d == Direction::West;
+            if crossing_west {
+                return false;
+            }
+            if crossing_east {
+                return n.y == 1;
+            }
+            true
+        });
+        let r = ReachabilityMap::compute(&m);
+        assert!(r.reachable(Coord::new(0, 0), Coord::new(3, 3)));
+        assert!(!r.reachable(Coord::new(3, 3), Coord::new(0, 0)));
+    }
+
+    #[test]
+    fn from_statuses_masks_dead_neighbours_both_ways() {
+        let mut statuses = vec![NodeStatus::default(); mesh().nodes()];
+        let dead = Coord::new(2, 1).index(4);
+        statuses[dead] = NodeStatus {
+            row: crate::ModuleHealth::Dead,
+            col: crate::ModuleHealth::Dead,
+            rc_ok: false,
+        };
+        let m = LinkMask::from_statuses(mesh(), &statuses);
+        // Links into the dead node are masked (neighbour dead)…
+        assert!(!m.usable(Coord::new(1, 1), Direction::East));
+        assert!(!m.usable(Coord::new(2, 0), Direction::South));
+        // …and links out of it are masked (own outputs unserviceable).
+        assert!(!m.usable(Coord::new(2, 1), Direction::East));
+        // Unrelated links stay up.
+        assert!(m.usable(Coord::new(0, 0), Direction::East));
+        // The dead node is unreachable; everyone else still connects.
+        let r = ReachabilityMap::compute(&m);
+        assert!(!r.reachable(Coord::new(0, 0), Coord::new(2, 1)));
+        assert!(r.reachable(Coord::new(0, 0), Coord::new(3, 3)));
+    }
+}

@@ -141,12 +141,17 @@ pub struct StepContext<'a> {
     /// Operational status of the four mesh neighbours (`None` at a mesh
     /// boundary), indexed by [`Direction::index`].
     pub neighbors: [Option<NodeStatus>; 4],
+    /// Network-wide usable-link mask built from the published statuses
+    /// (ISSUE 8). `None` when fault-aware routing is disabled — routers
+    /// then behave exactly as before the mask existed.
+    pub mask: Option<&'a crate::mask::LinkMask>,
 }
 
 impl<'a> StepContext<'a> {
-    /// Creates a context; `neighbors` defaults to all-absent.
+    /// Creates a context; `neighbors` defaults to all-absent and `mask`
+    /// to absent (fault-oblivious routing).
     pub fn new(cycle: Cycle, rng: &'a mut SmallRng) -> Self {
-        StepContext { cycle, rng, neighbors: [None; 4] }
+        StepContext { cycle, rng, neighbors: [None; 4], mask: None }
     }
 
     /// Status of the neighbour reached through `dir`.

@@ -8,7 +8,7 @@
 //! without reaching into router internals.
 
 use crate::flit::{Cycle, PacketId};
-use crate::geometry::Direction;
+use crate::geometry::{Coord, Direction};
 use serde::{Deserialize, Serialize};
 
 /// The pipeline phase an input VC is in, abstracted over the three
@@ -52,6 +52,10 @@ pub struct VcSnapshot {
     pub buffered: usize,
     /// The packet whose flit is at the head of the buffer, if any.
     pub head_packet: Option<PacketId>,
+    /// Destination of the head flit, if any — lets diagnostics relate
+    /// the wedged stream to the reachability of where it was going.
+    #[serde(default)]
+    pub head_dst: Option<Coord>,
     /// Current pipeline phase.
     pub phase: VcPhase,
     /// The output direction the VC is (or wants to be) routed towards,

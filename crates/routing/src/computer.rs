@@ -8,7 +8,7 @@
 use crate::dor::{ordered_route, DirSet};
 use crate::odd_even::odd_even_candidates;
 use crate::west_first::west_first_candidates;
-use noc_core::{AxisOrder, Coord, Direction, MeshConfig, RoutingKind};
+use noc_core::{AxisOrder, Coord, Direction, LinkMask, MeshConfig, RoutingKind};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -86,6 +86,68 @@ impl RouteComputer {
             RoutingKind::Adaptive => west_first_candidates(cur, dst),
             RoutingKind::AdaptiveOddEven => odd_even_candidates(src, cur, dst),
         }
+    }
+
+    /// Fault-aware candidate set (ISSUE 8): the legal candidates at
+    /// `cur` with links masked off by `mask` removed, plus — for
+    /// west-first routing only — a deadlock-safe non-minimal *escape*
+    /// set when every minimal candidate is masked.
+    ///
+    /// `arrival` is the input side the flit occupies at `cur`
+    /// ([`Direction::Local`] for freshly injected packets; at a
+    /// look-ahead node reached through output `out` it is
+    /// `out.opposite()`). Leaving through `arrival` (a u-turn back to
+    /// the upstream node) is excluded from the *whole* set, not just
+    /// the escape: minimal candidates are always productive so the
+    /// exclusion is a no-op on a healthy mesh, but after a vertical
+    /// escape it is exactly what forbids the overshoot-and-return
+    /// pattern whose N↔S channel dependencies could close a cycle
+    /// inside one column.
+    ///
+    /// Escape rules, per routing kind:
+    ///
+    /// * **XY / XY-YX** — deterministic; a masked route is simply
+    ///   removed (empty set ⇒ unroutable from here). Any detour would
+    ///   break the dimension-order deadlock argument.
+    /// * **Odd-even** — the masked set is a subset of the odd-even
+    ///   candidate graph, which is acyclic; no escape is added because
+    ///   non-minimal odd-even detours are not covered by Chiu's proof.
+    /// * **West-first** — only when `dst.x > cur.x` (an eastward
+    ///   detour can eventually resume) the escape set is
+    ///   `{North, South}` restricted to usable in-mesh links minus the
+    ///   `arrival` u-turn. Escape never emits West and x never
+    ///   decreases outside the initial west phase, so no turn into a
+    ///   West channel is ever added; with u-turns excluded, any
+    ///   remaining cycle would need East hops it cannot pay back —
+    ///   see DESIGN.md §16 for the argument and the `noc-deadlock`
+    ///   property test that checks it over random masks.
+    ///
+    /// The returned set still holds at most two directions, so the
+    /// engines' fixed-size scoring arrays stay valid.
+    pub fn masked_candidates(
+        &self,
+        src: Coord,
+        cur: Coord,
+        dst: Coord,
+        order: AxisOrder,
+        arrival: Direction,
+        mask: &LinkMask,
+    ) -> DirSet {
+        let mut set = self.candidates(src, cur, dst, order);
+        set.retain(|d| d != arrival && mask.usable(cur, d));
+        if set.is_empty() && cur != dst && self.routing == RoutingKind::Adaptive && dst.x > cur.x {
+            let mut escape = DirSet::new();
+            for d in [Direction::North, Direction::South] {
+                if d != arrival
+                    && cur.neighbor(d, self.mesh.width, self.mesh.height).is_some()
+                    && mask.usable(cur, d)
+                {
+                    escape.push(d);
+                }
+            }
+            return escape;
+        }
+        set
     }
 
     /// Look-ahead route selection: at the router upstream of `next`,
@@ -206,6 +268,95 @@ mod tests {
             c.lookahead_route(Coord::new(0, 0), dst, dst, AxisOrder::Xy, &mut rng, |_| 0),
             Direction::Local
         );
+    }
+
+    #[test]
+    fn masked_candidates_subset_on_healthy_mesh() {
+        // With every link up, the masked set equals the plain candidate
+        // set for every kind (arrival = Local excludes nothing).
+        let mask = noc_core::LinkMask::all_up(MeshConfig::new(8, 8));
+        for kind in [
+            RoutingKind::Xy,
+            RoutingKind::XyYx,
+            RoutingKind::Adaptive,
+            RoutingKind::AdaptiveOddEven,
+        ] {
+            let c = computer(kind);
+            for (cur, dst) in [
+                (Coord::new(2, 2), Coord::new(5, 5)),
+                (Coord::new(5, 5), Coord::new(2, 2)),
+                (Coord::new(0, 7), Coord::new(7, 0)),
+            ] {
+                let plain = c.candidates(cur, cur, dst, AxisOrder::Xy);
+                let masked =
+                    c.masked_candidates(cur, cur, dst, AxisOrder::Xy, Direction::Local, &mask);
+                assert_eq!(plain, masked, "{kind:?} {cur:?}->{dst:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_candidates_drop_dead_links() {
+        let cur = Coord::new(1, 1);
+        let dst = Coord::new(4, 4);
+        // Adaptive at (1,1)->(4,4): {East, South}. Mask East.
+        let mask = noc_core::LinkMask::from_fn(MeshConfig::new(8, 8), |n, d| {
+            !(n == cur && d == Direction::East)
+        });
+        let c = computer(RoutingKind::Adaptive);
+        let set = c.masked_candidates(cur, cur, dst, AxisOrder::Xy, Direction::Local, &mask);
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(Direction::South));
+    }
+
+    #[test]
+    fn west_first_escape_fires_when_all_minimal_candidates_die() {
+        let cur = Coord::new(3, 3);
+        let dst = Coord::new(6, 3); // straight east: minimal = {East}
+        let mask = noc_core::LinkMask::from_fn(MeshConfig::new(8, 8), |n, d| {
+            !(n == cur && d == Direction::East)
+        });
+        let c = computer(RoutingKind::Adaptive);
+        let set = c.masked_candidates(cur, cur, dst, AxisOrder::Xy, Direction::Local, &mask);
+        assert_eq!(set.len(), 2, "escape offers both vertical detours");
+        assert!(set.contains(Direction::North) && set.contains(Direction::South));
+        // Arrived from the north neighbour (input side North): the
+        // u-turn back north is excluded.
+        let set = c.masked_candidates(cur, cur, dst, AxisOrder::Xy, Direction::North, &mask);
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(Direction::South));
+    }
+
+    #[test]
+    fn escape_never_goes_west_and_needs_an_east_component() {
+        let c = computer(RoutingKind::Adaptive);
+        let mesh = MeshConfig::new(8, 8);
+        // Same-column destination with the only productive link masked:
+        // no escape (a vertical detour could never legally return).
+        let cur = Coord::new(3, 3);
+        let south_dst = Coord::new(3, 6);
+        let mask = noc_core::LinkMask::from_fn(mesh, |n, d| !(n == cur && d == Direction::South));
+        let set = c.masked_candidates(cur, cur, south_dst, AxisOrder::Xy, Direction::Local, &mask);
+        assert!(set.is_empty(), "same-column faults are unroutable under west-first");
+        // Westbound destination with West masked: no escape either.
+        let west_dst = Coord::new(0, 3);
+        let mask = noc_core::LinkMask::from_fn(mesh, |n, d| !(n == cur && d == Direction::West));
+        let set = c.masked_candidates(cur, cur, west_dst, AxisOrder::Xy, Direction::Local, &mask);
+        assert!(set.is_empty(), "the west phase has no deadlock-safe detour");
+    }
+
+    #[test]
+    fn deterministic_kinds_fail_rather_than_detour() {
+        let cur = Coord::new(2, 2);
+        let dst = Coord::new(5, 2);
+        let mask = noc_core::LinkMask::from_fn(MeshConfig::new(8, 8), |n, d| {
+            !(n == cur && d == Direction::East)
+        });
+        for kind in [RoutingKind::Xy, RoutingKind::XyYx, RoutingKind::AdaptiveOddEven] {
+            let c = computer(kind);
+            let set = c.masked_candidates(cur, cur, dst, AxisOrder::Xy, Direction::Local, &mask);
+            assert!(set.is_empty(), "{kind:?} must not invent detours");
+        }
     }
 
     #[test]

@@ -243,6 +243,7 @@ pub struct Auditor {
     generated: u64,
     delivered: u64,
     abandoned: u64,
+    unroutable: u64,
     /// Last §4.1 republication cycle per node (0 = construction).
     last_republish: Vec<Cycle>,
     /// Directed links `(sender node, direction index)` whose credit
@@ -279,6 +280,7 @@ impl Auditor {
             generated: 0,
             delivered: 0,
             abandoned: 0,
+            unroutable: 0,
             last_republish: vec![0; sim_cfg.mesh.nodes()],
             tainted: HashMap::new(),
             checks_run: 0,
@@ -483,6 +485,25 @@ impl Auditor {
         }
         // Sentinel poisons resolve on the link where they crossed an
         // open stream (the stream state names the truncated packet).
+    }
+
+    /// Fault-aware routing failed a packet fast: its destination is
+    /// provably unreachable over the usable-link graph (ISSUE 8). Like
+    /// abandonment, this resolves the packet exactly once.
+    pub(crate) fn on_unroutable(&mut self, cycle: Cycle, id: u64) {
+        self.unroutable += 1;
+        match self.resolve(id) {
+            Resolution::Fresh => {}
+            _ => self.violate(
+                AuditKind::Conservation,
+                cycle,
+                None,
+                None,
+                None,
+                Some(id),
+                "unroutable packet was not outstanding".into(),
+            ),
+        }
     }
 
     /// The recovery layer gave a packet up.
@@ -1039,6 +1060,23 @@ impl Auditor {
                 ),
             );
         }
+        // Unroutable fail-fasts happen with or without recovery, so the
+        // ledger/stats comparison is unconditional (both sides are zero
+        // when fault-aware routing is off).
+        if self.unroutable != sim.recovery.unroutable_packets {
+            self.violate(
+                AuditKind::Accounting,
+                cycle,
+                None,
+                None,
+                None,
+                None,
+                format!(
+                    "auditor saw {} unroutable packets, recovery stats say {}",
+                    self.unroutable, sim.recovery.unroutable_packets
+                ),
+            );
+        }
         if self.recovery {
             if self.abandoned != sim.recovery.abandoned_packets {
                 self.violate(
@@ -1461,6 +1499,22 @@ mod tests {
         let mut a = bare_auditor();
         a.on_delivered(5, Coord::new(3, 3), 77);
         assert_eq!(count_of(&a.report(), AuditKind::Conservation), 1);
+    }
+
+    #[test]
+    fn unroutable_resolves_once_and_double_resolution_is_conservation() {
+        let mut a = bare_auditor();
+        a.on_generated(0, 42);
+        a.on_unroutable(1, 42);
+        assert_eq!(a.total, 0, "{}", a.report().render());
+        assert!(a.live.is_empty(), "unroutable must resolve the packet");
+        // Resolving the same packet again (delivered after fail-fast
+        // without sink-side suppression) is a conservation violation.
+        a.on_delivered(5, Coord::new(3, 3), 42);
+        assert_eq!(count_of(&a.report(), AuditKind::Conservation), 1);
+        // An unroutable verdict for a never-generated packet too.
+        a.on_unroutable(6, 77);
+        assert_eq!(count_of(&a.report(), AuditKind::Conservation), 2);
     }
 
     #[test]

@@ -114,6 +114,16 @@ pub struct SimConfig {
     /// (the default) disables the whole layer.
     #[serde(default)]
     pub recovery: Option<RecoveryConfig>,
+    /// Fault-aware adaptive routing (ISSUE 8): when `true`, the
+    /// published §4.1 statuses are condensed into a network-wide
+    /// [`noc_core::LinkMask`] handed to every router's route
+    /// computation (masked candidate sets + the west-first escape
+    /// path), and a [`noc_core::ReachabilityMap`] lets sources fail
+    /// packets toward unreachable destinations fast as `unroutable`.
+    /// `false` (the default) keeps the fault-oblivious behaviour
+    /// byte-identical to earlier releases.
+    #[serde(default)]
+    pub fault_routing: bool,
     /// Runtime invariant auditing: when set, an [`crate::Auditor`] runs
     /// inside every [`crate::Simulation::step`], checking flit
     /// conservation, credit-book consistency, VC state-machine legality
@@ -231,6 +241,7 @@ impl SimConfig {
             schedule: FaultSchedule::none(),
             handshake_latency: default_handshake_latency(),
             recovery: None,
+            fault_routing: false,
             audit: None,
             profile: false,
         }
@@ -296,6 +307,13 @@ impl SimConfig {
         self
     }
 
+    /// Enables fault-aware adaptive routing with reachability-aware
+    /// recovery (builder style). See [`SimConfig::fault_routing`].
+    pub fn with_fault_routing(mut self) -> Self {
+        self.fault_routing = true;
+        self
+    }
+
     /// Enables runtime invariant auditing (builder style).
     pub fn with_audit(mut self, audit: AuditConfig) -> Self {
         self.audit = Some(audit);
@@ -327,6 +345,7 @@ mod tests {
         assert!(c.faults.is_empty());
         assert!(c.schedule.is_empty());
         assert!(c.recovery.is_none());
+        assert!(!c.fault_routing, "fault-aware routing is opt-in");
         assert_eq!(c.router_config().buffer_depth, 5);
     }
 

@@ -36,9 +36,9 @@ use crate::report::{NodeReport, NodeSummary};
 use crate::stats::{RecoveryStats, SimResults, StatsCollector};
 use crate::trace::{TraceEvent, TraceSink};
 use noc_core::{
-    router_rng, ActivityCounters, ComponentFault, Coord, Credit, Cycle, Direction, Flit,
-    MeshConfig, NodeStatus, PacketId, RouterNode, RouterOutputs, StepContext, VcDescriptor,
-    VcPhase, WakeSet, WakeView, EJECT_VC, RNG_STREAM_INJECT, RNG_STREAM_STEP,
+    router_rng, ActivityCounters, ComponentFault, Coord, Credit, Cycle, Direction, Flit, LinkMask,
+    MeshConfig, NodeStatus, PacketId, ReachabilityMap, RouterNode, RouterOutputs, StepContext,
+    VcDescriptor, VcPhase, WakeSet, WakeView, EJECT_VC, RNG_STREAM_INJECT, RNG_STREAM_STEP,
 };
 use noc_deadlock::{find_channel_cycle, Channel};
 use noc_fault::{FaultAction, FaultEvent};
@@ -122,6 +122,7 @@ fn shard_phase3(
     occ_cache: &mut [usize],
     statuses: &[NodeStatus],
     neighbor_idx: &[[Option<usize>; 4]],
+    mask: Option<&LinkMask>,
     scratch: &mut ShardScratch,
 ) {
     scratch.stepped.clear();
@@ -139,6 +140,7 @@ fn shard_phase3(
         for dir in Direction::MESH {
             ctx.neighbors[dir.index()] = neighbor_idx[i][dir.index()].map(|n| statuses[n]);
         }
+        ctx.mask = mask;
         router.step(&mut ctx, &mut scratch.outs[local]);
         scratch.stepped.push(local as u32);
         let occ = router.occupancy();
@@ -239,6 +241,18 @@ pub struct Simulation {
     /// every neighbour's look-ahead decision — only updates when the
     /// republication fires `handshake_latency` cycles later.
     pub(crate) statuses: Vec<NodeStatus>,
+    /// Network-wide usable-link mask derived from the *published*
+    /// statuses (ISSUE 8): rebuilt whenever a §4.1 republication lands,
+    /// so it inherits the same bounded `handshake_latency` staleness
+    /// every neighbour view has. `None` unless
+    /// [`SimConfig::fault_routing`] is on — the routers then behave
+    /// exactly as before the mask existed.
+    pub(crate) mask: Option<LinkMask>,
+    /// Source-side reachability map over the reversed masked link
+    /// graph, recomputed together with `mask`. Drives the generation-
+    /// time fail-fast and the retry short-circuit (the `unroutable`
+    /// outcome). `None` unless fault-aware routing is on.
+    pub(crate) reach: Option<ReachabilityMap>,
     /// Reusable router-output scratch ([`RouterNode::step`] contract),
     /// used by the sequential kernels.
     outputs: RouterOutputs,
@@ -387,6 +401,11 @@ impl Simulation {
         let statuses_dead = statuses.iter().map(|s| s.node_dead()).collect();
         let auditor = cfg.audit.map(|a| Box::new(Auditor::new(a, &cfg)));
         let profiler = cfg.profile.then(|| Box::new(Profiler::new()));
+        // Construction faults are part of the initial published statuses
+        // (§4.1 wires post-fault VC lists above), so the initial mask
+        // and reachability view already account for them.
+        let mask = cfg.fault_routing.then(|| LinkMask::from_statuses(mesh, &statuses));
+        let reach = mask.as_ref().map(ReachabilityMap::compute);
         Simulation {
             cfg,
             routers,
@@ -405,6 +424,8 @@ impl Simulation {
             coords: (0..nodes).map(|i| Coord::from_index(i, mesh.width)).collect(),
             neighbor_idx,
             statuses,
+            mask,
+            reach,
             outputs: RouterOutputs::new(),
             threads,
             shards: Vec::new(),
@@ -675,6 +696,7 @@ impl Simulation {
                 ctx.neighbors[dir.index()] =
                     self.neighbor_idx[i][dir.index()].map(|n| self.statuses[n]);
             }
+            ctx.mask = self.mask.as_ref();
             self.routers[i].step(&mut ctx, &mut out);
             self.absorb_step(i, &out);
             // Wake-set + occupancy bookkeeping. Only stepped routers
@@ -739,6 +761,7 @@ impl Simulation {
                     ctx.neighbors[dir.index()] =
                         self.neighbor_idx[i][dir.index()].map(|n| self.statuses[n]);
                 }
+                ctx.mask = self.mask.as_ref();
                 let hot = self.routers[i].step_hot(&mut ctx, &mut out);
                 self.absorb_step(i, &out);
                 self.vc_busy[i] = hot.busy_vcs;
@@ -840,6 +863,7 @@ impl Simulation {
             let seed = self.cfg.seed;
             let statuses = &self.statuses[..];
             let neighbor_idx = &self.neighbor_idx[..];
+            let mask = self.mask.as_ref();
             let jobs = self
                 .routers
                 .chunks_mut(chunk)
@@ -859,6 +883,7 @@ impl Simulation {
                             occ_cache,
                             statuses,
                             neighbor_idx,
+                            mask,
                             scratch,
                         )
                     }
@@ -1156,6 +1181,15 @@ impl Simulation {
                     buffered: s.buffered,
                     credit_starved: s.credit_starved,
                     blocked_since: s.blocked_since,
+                    dst: s.head_dst,
+                    // `unroutable destination` diagnosis class (ISSUE
+                    // 8): the stream is wedged because no usable-link
+                    // path from here reaches where it was going.
+                    unroutable_dst: self
+                        .reach
+                        .as_ref()
+                        .zip(s.head_dst)
+                        .is_some_and(|(r, d)| !r.reachable(coord, d)),
                 });
                 // Observed wait-for edges: an Active VC starved of
                 // credits waits on the specific downstream VC it holds;
@@ -1231,6 +1265,7 @@ impl Simulation {
             suspected_loop,
             fault_timeline: self.fault_log.clone(),
             abandoned_packets: self.recovery.abandoned_packets,
+            unroutable_packets: self.recovery.unroutable_packets,
         }
     }
 
@@ -1272,6 +1307,34 @@ impl Simulation {
             if let Some(dst) = self.traffic.generate(node, self.cycle, &mut self.rng) {
                 let id = PacketId(self.next_packet);
                 self.next_packet += 1;
+                // Generation-time fail-fast (ISSUE 8): when the
+                // reachability map proves no path of usable links leads
+                // to `dst`, the packet is refused at the source instead
+                // of being injected into a retry/abandon cycle. It still
+                // counts as generated — the accounting closes as
+                // delivered + abandoned + unroutable == generated.
+                if self.reach.as_ref().is_some_and(|r| !r.reachable(node, dst)) {
+                    self.stats.generated += 1;
+                    self.recovery.unroutable_packets += 1;
+                    self.last_progress = self.cycle;
+                    if let Some(a) = self.auditor.as_deref_mut() {
+                        a.on_generated(self.cycle, id.0);
+                        a.on_unroutable(self.cycle, id.0);
+                    }
+                    self.emit(TraceEvent::Generated {
+                        cycle: self.cycle,
+                        packet: id,
+                        src: node,
+                        dst,
+                    });
+                    self.emit(TraceEvent::Unroutable {
+                        cycle: self.cycle,
+                        packet: id,
+                        src: node,
+                        dst,
+                    });
+                    continue;
+                }
                 let order = self.computer.choose_order(node, dst, &mut self.rng);
                 self.sources[i].extend(Flit::packet_flit_iter(
                     id,
@@ -1444,12 +1507,39 @@ impl Simulation {
     /// `handshake_latency` is constant, so the queue is naturally
     /// sorted by due cycle and a FIFO scan suffices.
     fn process_republications(&mut self) {
+        let mut changed = false;
         while let Some(&(due, site)) = self.republish_queue.front() {
             if due > self.cycle {
                 break;
             }
             self.republish_queue.pop_front();
             self.republish(site);
+            changed = true;
+        }
+        if changed && self.cfg.fault_routing {
+            self.rebuild_fault_view();
+        }
+    }
+
+    /// Rebuilds the usable-link mask and the source-side reachability
+    /// map from the just-updated published statuses (ISSUE 8). Runs
+    /// only when a §4.1 republication actually landed, so the fault-
+    /// aware routing view changes exactly when the neighbour views do
+    /// — never earlier, never later — and carries the same bounded
+    /// `handshake_latency` staleness.
+    fn rebuild_fault_view(&mut self) {
+        let mask = LinkMask::from_statuses(self.cfg.mesh, &self.statuses);
+        self.reach = Some(ReachabilityMap::compute(&mask));
+        self.mask = Some(mask);
+        // The routing function just changed globally: a router wedged
+        // toward a now-masked (or now-recovered) link may be asleep far
+        // from the republishing site. Wake everyone so the reroute
+        // happens on the same cycle under every kernel — the sequential
+        // Reference kernel steps every router regardless, and digest
+        // equality demands the wake-gated kernels observe the change on
+        // the same cycle.
+        for i in 0..self.routers.len() {
+            self.wake.wake(i);
         }
     }
 
@@ -1501,6 +1591,28 @@ impl Simulation {
                 continue;
             };
             if o.attempt != attempt {
+                continue;
+            }
+            // Retry short-circuit (ISSUE 8): when the destination is
+            // provably unreachable over the usable-link graph, further
+            // retransmissions are a retry storm toward a dead node.
+            // Fail the packet fast as unroutable instead of burning the
+            // remaining retry budget; a late delivery (the destination
+            // repaired mid-flight) is suppressed sink-side as a
+            // duplicate, so the accounting stays closed.
+            if self.reach.as_ref().is_some_and(|r| !r.reachable(o.src, o.dst)) {
+                self.outstanding.remove(&id);
+                self.recovery.unroutable_packets += 1;
+                self.last_progress = self.cycle;
+                if let Some(a) = self.auditor.as_deref_mut() {
+                    a.on_unroutable(self.cycle, id);
+                }
+                self.emit(TraceEvent::Unroutable {
+                    cycle: self.cycle,
+                    packet: PacketId(id),
+                    src: o.src,
+                    dst: o.dst,
+                });
                 continue;
             }
             let src = o.src.index(self.cfg.mesh.width);
@@ -1622,7 +1734,10 @@ impl Simulation {
             energy_per_packet: if delivered == 0 { 0.0 } else { energy.total() / delivered as f64 },
             stalled: self.stalled,
             postmortem: self.postmortem.clone(),
-            recovery: self.cfg.recovery.is_some().then_some(self.recovery),
+            // Fault-aware routing reports its unroutable fail-fasts
+            // through the same counters even without retransmission.
+            recovery: (self.cfg.recovery.is_some() || self.cfg.fault_routing)
+                .then_some(self.recovery),
             audit: self.auditor.as_ref().map(|a| a.report()),
             profile: self.profiler.as_ref().map(|p| p.report()),
         }

@@ -50,6 +50,15 @@ pub struct WedgedPacket {
     pub credit_starved: bool,
     /// The cycle a `Blocked` VC wedged at.
     pub blocked_since: Option<Cycle>,
+    /// Destination of the head flit, when one is buffered.
+    #[serde(default)]
+    pub dst: Option<Coord>,
+    /// `unroutable destination` diagnosis class (ISSUE 8): the packet's
+    /// destination is unreachable over the usable-link graph at stall
+    /// time — the stream is wedged behind dead links, not a deadlock.
+    /// Only ever `true` when fault-aware routing is enabled.
+    #[serde(default)]
+    pub unroutable_dst: bool,
 }
 
 /// Per-router summary of the wedged state.
@@ -106,6 +115,11 @@ pub struct StallPostmortem {
     /// the `wedged` list.
     #[serde(default)]
     pub abandoned_packets: u64,
+    /// Packets the fault-aware routing layer failed fast because their
+    /// destination was provably unreachable (ISSUE 8). Like abandoned
+    /// packets, these left the system deliberately.
+    #[serde(default)]
+    pub unroutable_packets: u64,
 }
 
 impl StallPostmortem {
@@ -140,6 +154,14 @@ impl StallPostmortem {
                 self.abandoned_packets
             );
         }
+        if self.unroutable_packets > 0 {
+            let _ = writeln!(
+                out,
+                "  failed fast as unroutable: {} packets (destination unreachable over the \
+                 usable-link graph; not wedged)",
+                self.unroutable_packets
+            );
+        }
         let _ = writeln!(out, "  wedged packets ({}):", self.wedged.len());
         for w in &self.wedged {
             let packet = match w.packet {
@@ -162,6 +184,14 @@ impl StallPostmortem {
             }
             if let Some(d) = w.out {
                 let _ = write!(line, ", wants {d}");
+            }
+            if w.unroutable_dst {
+                match w.dst {
+                    Some(d) => {
+                        let _ = write!(line, ", unroutable destination {d}");
+                    }
+                    None => line.push_str(", unroutable destination"),
+                }
             }
             line.push(')');
             let _ = writeln!(out, "{line}");
@@ -242,6 +272,15 @@ impl StallPostmortem {
             let _ = write!(out, "{}", w.buffered);
             write_key(&mut out, &mut wf, "credit_starved");
             out.push_str(if w.credit_starved { "true" } else { "false" });
+            write_key(&mut out, &mut wf, "dst");
+            match w.dst {
+                Some(d) => {
+                    let _ = write!(out, "[{},{}]", d.x, d.y);
+                }
+                None => out.push_str("null"),
+            }
+            write_key(&mut out, &mut wf, "unroutable_dst");
+            out.push_str(if w.unroutable_dst { "true" } else { "false" });
             out.push('}');
         }
         out.push(']');
@@ -325,6 +364,8 @@ impl StallPostmortem {
         out.push(']');
         write_key(&mut out, &mut first, "abandoned_packets");
         let _ = write!(out, "{}", self.abandoned_packets);
+        write_key(&mut out, &mut first, "unroutable_packets");
+        let _ = write!(out, "{}", self.unroutable_packets);
         out.push('}');
         out
     }
@@ -350,6 +391,8 @@ mod tests {
                 buffered: 4,
                 credit_starved: false,
                 blocked_since: Some(410),
+                dst: Some(Coord::new(3, 3)),
+                unroutable_dst: true,
             }],
             routers: vec![RouterDiagnosis {
                 node: Coord::new(1, 1),
@@ -370,6 +413,7 @@ mod tests {
                 fault: ComponentFault::new(noc_core::FaultComponent::Crossbar, noc_core::Axis::X),
             }],
             abandoned_packets: 2,
+            unroutable_packets: 3,
         }
     }
 
@@ -384,6 +428,8 @@ mod tests {
         assert!(text.contains("not a deadlock"));
         assert!(text.contains("cycle 405: fault Crossbar"));
         assert!(text.contains("abandoned after retry budget: 2 packets"));
+        assert!(text.contains("failed fast as unroutable: 3 packets"));
+        assert!(text.contains("unroutable destination (3,3)"));
     }
 
     #[test]
@@ -402,6 +448,10 @@ mod tests {
         assert_eq!(timeline[0].get("action").unwrap().as_str(), Some("fault"));
         assert_eq!(timeline[0].get("component").unwrap().as_str(), Some("Crossbar"));
         assert_eq!(v.get("abandoned_packets").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("unroutable_packets").unwrap().as_u64(), Some(3));
+        assert_eq!(wedged[0].get("unroutable_dst"), Some(&Json::Bool(true)));
+        let dst = wedged[0].get("dst").unwrap().as_arr().unwrap();
+        assert_eq!(dst[0].as_u64(), Some(3));
     }
 
     #[test]

@@ -65,6 +65,20 @@ pub enum TraceEvent {
         /// Node that discarded it.
         node: Coord,
     },
+    /// The fault-aware routing layer proved the packet's destination
+    /// unreachable over the usable-link graph and failed it fast
+    /// (ISSUE 8): refused at generation, or short-circuited out of the
+    /// recovery retry loop.
+    Unroutable {
+        /// Event cycle.
+        cycle: Cycle,
+        /// Packet id.
+        packet: PacketId,
+        /// Source node.
+        src: Coord,
+        /// The unreachable destination.
+        dst: Coord,
+    },
     /// A hardware fault struck `node` mid-run (§4).
     Fault {
         /// Event cycle.
@@ -94,7 +108,8 @@ impl TraceEvent {
             | TraceEvent::Injected { packet, .. }
             | TraceEvent::Hop { packet, .. }
             | TraceEvent::Delivered { packet, .. }
-            | TraceEvent::Dropped { packet, .. } => Some(packet),
+            | TraceEvent::Dropped { packet, .. }
+            | TraceEvent::Unroutable { packet, .. } => Some(packet),
             TraceEvent::Fault { .. } | TraceEvent::Repair { .. } => None,
         }
     }
@@ -107,6 +122,7 @@ impl TraceEvent {
             | TraceEvent::Hop { cycle, .. }
             | TraceEvent::Delivered { cycle, .. }
             | TraceEvent::Dropped { cycle, .. }
+            | TraceEvent::Unroutable { cycle, .. }
             | TraceEvent::Fault { cycle, .. }
             | TraceEvent::Repair { cycle, .. } => cycle,
         }
@@ -130,6 +146,9 @@ impl TraceEvent {
             }
             TraceEvent::Dropped { cycle, packet, node } => {
                 format!("{cycle},dropped,{},{node},", packet.0)
+            }
+            TraceEvent::Unroutable { cycle, packet, src, dst } => {
+                format!("{cycle},unroutable,{},{src},{dst}", packet.0)
             }
             TraceEvent::Fault { cycle, node, fault } => {
                 format!("{cycle},fault,,{node},{:?}", fault.component)
@@ -229,6 +248,7 @@ impl TraceEvent {
             TraceEvent::Hop { .. } => "hop",
             TraceEvent::Delivered { .. } => "delivered",
             TraceEvent::Dropped { .. } => "dropped",
+            TraceEvent::Unroutable { .. } => "unroutable",
             TraceEvent::Fault { .. } => "fault",
             TraceEvent::Repair { .. } => "repair",
         };
@@ -255,6 +275,10 @@ impl TraceEvent {
                 let _ = write!(out, "{latency}");
             }
             TraceEvent::Dropped { node: n, .. } => node(&mut out, &mut first, "node", n),
+            TraceEvent::Unroutable { src, dst, .. } => {
+                node(&mut out, &mut first, "src", src);
+                node(&mut out, &mut first, "dst", dst);
+            }
             TraceEvent::Fault { node: n, fault, .. }
             | TraceEvent::Repair { node: n, fault, .. } => {
                 node(&mut out, &mut first, "node", n);
@@ -430,6 +454,10 @@ impl<W: std::io::Write + fmt::Debug> TraceSink for PerfettoTraceSink<W> {
                 self.emit("e", "packet", &track, id, cycle, &[("dropped_at", node.to_string())]);
                 self.open.remove(&id);
             }
+            TraceEvent::Unroutable { dst, .. } => {
+                self.emit("e", "packet", &track, id, cycle, &[("unroutable_dst", dst.to_string())]);
+                self.open.remove(&id);
+            }
             TraceEvent::Fault { node, fault, .. } => {
                 // Global instant marker on its own category, so fault
                 // strikes line up visually against the packet tracks.
@@ -516,6 +544,35 @@ mod tests {
         assert_eq!(v.get("component").unwrap().as_str(), Some("VaArbiter"));
         let e = TraceEvent::Repair { cycle: 50, node: Coord::new(1, 2), fault };
         assert_eq!(e.to_csv_line(), "50,repair,,(1,2),VaArbiter");
+    }
+
+    #[test]
+    fn unroutable_events_render_in_every_format() {
+        let e = TraceEvent::Unroutable {
+            cycle: 12,
+            packet: PacketId(4),
+            src: Coord::new(0, 0),
+            dst: Coord::new(3, 3),
+        };
+        assert_eq!(e.packet(), Some(PacketId(4)));
+        assert_eq!(e.cycle(), 12);
+        assert_eq!(e.to_csv_line(), "12,unroutable,4,(0,0),(3,3)");
+        let v = crate::json::Json::parse(&e.to_json_line()).expect("valid JSON");
+        assert_eq!(v.get("event").unwrap().as_str(), Some("unroutable"));
+        assert_eq!(v.get("packet").unwrap().as_u64(), Some(4));
+        // Perfetto: an unroutable packet's track closes like a drop.
+        let mut sink = PerfettoTraceSink::new(Vec::new()).unwrap();
+        sink.record(TraceEvent::Generated {
+            cycle: 11,
+            packet: PacketId(4),
+            src: Coord::new(0, 0),
+            dst: Coord::new(3, 3),
+        });
+        sink.record(e);
+        sink.finish();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(text.contains("unroutable_dst"));
+        assert!(!text.contains("in flight at trace end"));
     }
 
     #[test]

@@ -157,6 +157,150 @@ fn fault_and_repair_events_reach_the_trace() {
     }
 }
 
+/// A mid-run permanent node death (both crossbar axes) at each `site`.
+fn node_death(sites: &[Coord], at: u64) -> FaultSchedule {
+    let mut schedule = FaultSchedule::none();
+    for &site in sites {
+        for axis in [Axis::X, Axis::Y] {
+            schedule.push_permanent(at, site, ComponentFault::new(FaultComponent::Crossbar, axis));
+        }
+    }
+    schedule
+}
+
+/// Shared scenario for the ISSUE 8 reachability tests: adaptive
+/// routing on a 4x4 mesh; at cycle 1000 a wall of three nodes dies
+/// down column x=1 (only (1,3) survives). A single interior hole is
+/// routable with the always-on one-hop §4.1 status checks alone, so
+/// the wall is what separates the fault-aware layer from the
+/// oblivious baseline: eastbound packets must take the masked
+/// west-first *escape* detour through row y=3, which needs the global
+/// link mask. The slow handshake keeps sources injecting toward the
+/// dead nodes for a while (those packets must be short-circuited at
+/// their next timeout instead of burning retries), and the tight
+/// retry budget makes wasted attempts toward the wall cost real
+/// delivered coverage.
+fn reachability_scenario(fault_aware: bool) -> SimConfig {
+    let wall = [Coord::new(1, 0), Coord::new(1, 1), Coord::new(1, 2)];
+    let mut cfg =
+        SimConfig::paper_scaled(RouterKind::RoCo, RoutingKind::Adaptive, TrafficKind::Uniform);
+    cfg.mesh = MeshConfig::new(4, 4);
+    cfg.warmup_packets = 100;
+    cfg.measured_packets = 3_000;
+    cfg.injection_rate = 0.15;
+    cfg.stall_window = 5_000;
+    cfg.handshake_latency = 100;
+    cfg.fault_routing = fault_aware;
+    cfg.with_schedule(node_death(&wall, 1_000)).with_recovery(RecoveryConfig {
+        timeout: 150,
+        max_retries: 2,
+        backoff_cap: 1_200,
+    })
+}
+
+#[test]
+fn unreachable_destinations_fail_fast_as_unroutable() {
+    let mut sim = Simulation::new(reachability_scenario(true));
+    while !sim.finished() {
+        sim.step();
+    }
+    let results = sim.results();
+    assert!(!results.stalled, "the fault-aware network must drain around the dead node");
+    let recovery = results.recovery.expect("recovery + fault routing expose stats");
+    assert!(
+        recovery.unroutable_packets > 0,
+        "uniform traffic toward the dead node must be refused at the source"
+    );
+    // The ISSUE 8 accounting identity: every generated packet resolves
+    // exactly once, as delivered, abandoned or unroutable.
+    assert_eq!(
+        results.delivered_packets + recovery.abandoned_packets + recovery.unroutable_packets,
+        results.generated_packets,
+        "unroutable packets must stay inside the conservation identity"
+    );
+}
+
+#[test]
+fn retries_toward_dead_destinations_are_short_circuited() {
+    // The short-circuit leg fires for packets already in flight (and
+    // outstanding at the source NI) when their destination dies: the
+    // trace must show `Unroutable` events for packets that were
+    // injected before the death, proving the retry loop was cut rather
+    // than burned down to `max_retries`.
+    let store = Rc::new(RefCell::new(Vec::new()));
+    let mut sim = Simulation::new(reachability_scenario(true));
+    sim.set_trace_sink(Box::new(SharedTrace(store.clone())));
+    while !sim.finished() {
+        sim.step();
+    }
+    drop(sim);
+    let events = Rc::try_unwrap(store).expect("sole owner").into_inner();
+    let injected: std::collections::HashSet<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Injected { packet, .. } => Some(*packet),
+            _ => None,
+        })
+        .collect();
+    let short_circuited = events
+        .iter()
+        .filter(|e| match e {
+            TraceEvent::Unroutable { packet, .. } => injected.contains(packet),
+            _ => false,
+        })
+        .count();
+    let refused_at_source = events
+        .iter()
+        .filter(|e| match e {
+            TraceEvent::Unroutable { packet, .. } => !injected.contains(packet),
+            _ => false,
+        })
+        .count();
+    assert!(
+        short_circuited > 0,
+        "at least one in-flight packet must be short-circuited when its destination dies"
+    );
+    assert!(
+        refused_at_source > 0,
+        "packets generated after the death must be refused before injection"
+    );
+}
+
+#[test]
+fn fault_aware_routing_retains_more_delivered_coverage() {
+    let run = |fault_aware: bool| {
+        let mut sim = Simulation::new(reachability_scenario(fault_aware));
+        while !sim.finished() {
+            sim.step();
+        }
+        sim.results()
+    };
+    let aware = run(true);
+    let oblivious = run(false);
+    // Identical traffic and fault timeline; the only difference is the
+    // ISSUE 8 routing layer. Fault-aware must retain strictly more
+    // delivered coverage than the fault-oblivious baseline.
+    assert_eq!(aware.generated_packets, oblivious.generated_packets, "same offered load");
+    assert!(
+        aware.delivered_packets > oblivious.delivered_packets,
+        "fault-aware must deliver more: aware {} vs oblivious {}",
+        aware.delivered_packets,
+        oblivious.delivered_packets
+    );
+    // And it gets there with less wasted work: the reachability map
+    // stops retry storms toward the dead node instead of burning the
+    // full retry budget per packet.
+    let aware_rec = aware.recovery.expect("stats exposed");
+    let oblivious_rec = oblivious.recovery.expect("stats exposed");
+    assert!(
+        aware_rec.retransmissions < oblivious_rec.retransmissions,
+        "short-circuiting must cut retransmissions: aware {} vs oblivious {}",
+        aware_rec.retransmissions,
+        oblivious_rec.retransmissions
+    );
+    assert_eq!(oblivious_rec.unroutable_packets, 0, "oblivious runs never refuse packets");
+}
+
 #[test]
 fn dynamic_runs_are_deterministic_per_seed() {
     let (a, _) = run_scenario();

@@ -131,6 +131,68 @@ fn kernels_agree_with_midrun_fault_schedules() {
 }
 
 #[test]
+fn kernels_agree_with_fault_aware_rerouting_midrun() {
+    use noc_core::{Axis, ComponentFault, Coord, FaultComponent};
+    use noc_fault::FaultSchedule;
+    for router in [RouterKind::RoCo, RouterKind::Generic] {
+        for seed in [7u64, 0xF00D] {
+            // Node (2,2) dies transiently and node (1,0) dies for good
+            // (both crossbar axes → node-dead). With `fault_routing` on,
+            // every republication rebuilds the link mask and the
+            // reachability map, live packets take masked adaptive routes
+            // around the holes and traffic toward the dead node is
+            // refused as `unroutable` — and all four kernels must do all
+            // of it in lockstep, bit for bit.
+            let mut schedule = FaultSchedule::none();
+            for axis in [Axis::X, Axis::Y] {
+                schedule.push_transient(
+                    500,
+                    Coord::new(2, 2),
+                    ComponentFault::new(FaultComponent::Crossbar, axis),
+                    700,
+                );
+                schedule.push_permanent(
+                    900,
+                    Coord::new(1, 0),
+                    ComponentFault::new(FaultComponent::Crossbar, axis),
+                );
+            }
+            let mut c =
+                SimConfig::paper_scaled(router, RoutingKind::Adaptive, TrafficKind::Uniform)
+                    .with_seed(seed)
+                    .with_schedule(schedule)
+                    .with_recovery(noc_sim::RecoveryConfig::default())
+                    .with_fault_routing();
+            c.warmup_packets = 100;
+            c.measured_packets = 1_500;
+            c.injection_rate = 0.1;
+            c.stall_window = 2_000;
+            let (r, o, p, s) = all_kernels(c);
+            assert_identical(&r, &o, &format!("{router:?} fault-aware seed {seed} (optimized)"));
+            assert_identical(&r, &p, &format!("{router:?} fault-aware seed {seed} (parallel)"));
+            assert_identical(&r, &s, &format!("{router:?} fault-aware seed {seed} (soa)"));
+            assert_eq!(r.digest(), o.digest(), "{router:?} fault-aware seed {seed}: digest");
+            assert_eq!(r.digest(), p.digest(), "{router:?} fault-aware seed {seed}: digest");
+            assert_eq!(r.digest(), s.digest(), "{router:?} fault-aware seed {seed}: digest");
+            // The permanently dead node must actually refuse traffic and
+            // the ISSUE 8 accounting identity must close on the drained
+            // run: delivered + abandoned + unroutable == generated.
+            assert!(!r.stalled, "{router:?} seed {seed}: fault-aware run must drain");
+            let rec = r.recovery.expect("fault routing exposes recovery stats");
+            assert!(
+                rec.unroutable_packets > 0,
+                "{router:?} seed {seed}: dead node must refuse packets"
+            );
+            assert_eq!(
+                r.delivered_packets + rec.abandoned_packets + rec.unroutable_packets,
+                r.generated_packets,
+                "{router:?} seed {seed}: unroutable accounting must balance"
+            );
+        }
+    }
+}
+
+#[test]
 fn kernels_agree_across_seeds_and_meshes() {
     for seed in [1u64, 0xDEAD] {
         let mut c = cfg(RouterKind::RoCo, 0.15).with_seed(seed);

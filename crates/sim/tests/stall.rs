@@ -85,6 +85,52 @@ fn stall_emits_a_structured_postmortem() {
 }
 
 #[test]
+fn postmortem_diagnoses_unroutable_destinations() {
+    // The usual wedge — the packet blocks at (1,1) behind the faulted
+    // crossbar at (2,1) — plus a mid-run schedule that kills the
+    // destination node (3,1) completely at cycle 50, long after the
+    // packet is stuck. With `fault_routing` on, the rebuilt
+    // reachability map proves the wedged stream can never arrive, and
+    // the stall post-mortem must carry the ISSUE 8 `unroutable
+    // destination` diagnosis for it.
+    use noc_fault::FaultSchedule;
+    let (mut cfg, traffic) = wedged_config();
+    cfg.fault_routing = true;
+    let mut schedule = FaultSchedule::none();
+    for axis in [Axis::X, Axis::Y] {
+        schedule.push_permanent(
+            50,
+            Coord::new(3, 1),
+            ComponentFault::new(FaultComponent::Crossbar, axis),
+        );
+    }
+    let cfg = cfg.with_schedule(schedule);
+    let mut sim = Simulation::with_traffic(cfg, Box::new(traffic));
+    while !sim.finished() {
+        sim.step();
+    }
+    sim.finish_observability();
+    let pm = sim.postmortem().expect("the blocked packet must trip the stall detector").clone();
+
+    let w = pm
+        .wedged
+        .iter()
+        .find(|w| w.unroutable_dst)
+        .expect("a wedged stream is classified as heading to an unroutable destination");
+    assert_eq!(w.dst, Some(Coord::new(3, 1)), "the dead destination is named");
+
+    let text = pm.render();
+    assert!(text.contains("unroutable destination (3,1)"), "diagnosis rendered: {text}");
+
+    let json = Json::parse(&pm.to_json()).expect("post-mortem serializes to valid JSON");
+    let wedged = json.get("wedged").unwrap().as_arr().unwrap();
+    assert!(
+        wedged.iter().any(|w| w.get("unroutable_dst") == Some(&Json::Bool(true))),
+        "JSON carries the unroutable_dst flag"
+    );
+}
+
+#[test]
 fn clean_runs_carry_no_postmortem() {
     let mut cfg = SimConfig::paper_scaled(RouterKind::RoCo, RoutingKind::Xy, TrafficKind::Uniform);
     cfg.warmup_packets = 10;

@@ -66,7 +66,10 @@ fn every_packet_has_a_complete_lifecycle() {
                 delivered.insert(*packet, *latency);
             }
             TraceEvent::Hop { packet, .. } => *hops.entry(*packet).or_default() += 1,
-            TraceEvent::Dropped { .. } | TraceEvent::Fault { .. } | TraceEvent::Repair { .. } => {}
+            TraceEvent::Dropped { .. }
+            | TraceEvent::Unroutable { .. }
+            | TraceEvent::Fault { .. }
+            | TraceEvent::Repair { .. } => {}
         }
     }
     assert_eq!(generated.len(), 220, "every generated packet traced");
@@ -90,7 +93,9 @@ fn events_are_causally_ordered_per_packet() {
             TraceEvent::Generated { .. } => 0,
             TraceEvent::Injected { .. } => 1,
             TraceEvent::Hop { .. } => 2,
-            TraceEvent::Delivered { .. } | TraceEvent::Dropped { .. } => 3,
+            TraceEvent::Delivered { .. }
+            | TraceEvent::Dropped { .. }
+            | TraceEvent::Unroutable { .. } => 3,
             TraceEvent::Fault { .. } | TraceEvent::Repair { .. } => continue,
         };
         let p = e.packet().expect("packet lifecycle event");

@@ -51,6 +51,7 @@ impl Traffic for UniformTraffic {
 /// nodes stay silent. A classic adversarial pattern for XY routing [7].
 #[derive(Debug, Clone)]
 pub struct TransposeTraffic {
+    mesh: MeshConfig,
     rate_flits: f64,
     p: f64,
 }
@@ -58,14 +59,18 @@ pub struct TransposeTraffic {
 impl TransposeTraffic {
     /// Creates the generator (the mesh should be square for the pattern
     /// to be a permutation, but rectangular meshes are clamped).
-    pub fn new(_mesh: MeshConfig, rate_flits: f64, flits_per_packet: u16) -> Self {
-        TransposeTraffic { rate_flits, p: packet_probability(rate_flits, flits_per_packet) }
+    pub fn new(mesh: MeshConfig, rate_flits: f64, flits_per_packet: u16) -> Self {
+        TransposeTraffic { mesh, rate_flits, p: packet_probability(rate_flits, flits_per_packet) }
     }
 }
 
 impl Traffic for TransposeTraffic {
     fn generate(&mut self, node: Coord, _cycle: Cycle, rng: &mut SmallRng) -> Option<Coord> {
-        let dst = Coord::new(node.y, node.x);
+        // On a rectangular mesh the mirrored coordinate can fall
+        // outside the grid; clamp it back so every generated packet has
+        // a real destination (nodes whose mirror clamps onto themselves
+        // go silent, like the diagonal).
+        let dst = Coord::new(node.y.min(self.mesh.width - 1), node.x.min(self.mesh.height - 1));
         if dst == node || !rng.gen_bool(self.p) {
             return None;
         }
@@ -200,6 +205,19 @@ mod tests {
         // Diagonal nodes never send.
         for c in 0..100 {
             assert_eq!(t.generate(Coord::new(4, 4), c, &mut rng), None);
+        }
+    }
+
+    #[test]
+    fn transpose_clamps_on_rectangular_meshes() {
+        // 4x3: node (3,1) mirrors to (1,3), whose y falls off the
+        // 3-row grid — it must clamp back onto a real node.
+        let mut t = TransposeTraffic::new(MeshConfig::new(4, 3), 1.0, 1);
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(t.generate(Coord::new(3, 1), 0, &mut rng), Some(Coord::new(1, 2)));
+        // A node whose mirror clamps onto itself goes silent.
+        for c in 0..100 {
+            assert_eq!(t.generate(Coord::new(2, 2), c, &mut rng), None);
         }
     }
 
