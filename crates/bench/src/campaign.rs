@@ -11,7 +11,7 @@
 //! plus end-to-end recovery totals. Everything is deterministic per
 //! seed: reruns byte-match, which the CI smoke job asserts.
 
-use noc_core::{MeshConfig, RouterKind, RoutingKind};
+use noc_core::{MeshConfig, RouterKind, RoutingKind, TopologyConfig};
 use noc_fault::{FaultCategory, FaultSchedule};
 use noc_sim::json::{write_f64, write_key, write_str};
 use noc_sim::{
@@ -25,8 +25,14 @@ use std::rc::Rc;
 /// One campaign's sweep grid and per-run sizing.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
-    /// Mesh dimensions.
+    /// Mesh dimensions (the topology's bounding grid when `topology`
+    /// is not [`TopologyConfig::Mesh`]; snapped by the retarget).
     pub mesh: MeshConfig,
+    /// Network topology (ISSUE 9). Every cell's config is retargeted
+    /// through [`noc_sim::retarget_topology`], which snaps the grid
+    /// and, on wraparound topologies, forces the supported
+    /// router/routing/VC combination for every router column.
+    pub topology: TopologyConfig,
     /// Architectures to compare.
     pub routers: Vec<RouterKind>,
     /// Routing algorithm.
@@ -70,6 +76,7 @@ impl CampaignConfig {
     pub fn smoke() -> Self {
         CampaignConfig {
             mesh: MeshConfig::new(4, 4),
+            topology: TopologyConfig::Mesh,
             routers: RouterKind::ALL.to_vec(),
             routing: RoutingKind::Xy,
             traffic: TrafficKind::Uniform,
@@ -96,6 +103,7 @@ impl CampaignConfig {
     pub fn fault_aware_smoke() -> Self {
         CampaignConfig {
             mesh: MeshConfig::new(4, 4),
+            topology: TopologyConfig::Mesh,
             routers: vec![RouterKind::RoCo],
             routing: RoutingKind::Adaptive,
             traffic: TrafficKind::Uniform,
@@ -220,6 +228,7 @@ fn run_sampled(cfg: SimConfig) -> (noc_sim::SimResults, Vec<IntervalSample>) {
 fn base_config(c: &CampaignConfig, router: RouterKind, seed: u64) -> SimConfig {
     let mut cfg = SimConfig::paper_scaled(router, c.routing, c.traffic);
     cfg.mesh = c.mesh;
+    noc_sim::retarget_topology(&mut cfg, c.topology);
     cfg.injection_rate = c.injection_rate;
     cfg.warmup_packets = c.warmup_packets;
     cfg.measured_packets = c.measured_packets;

@@ -29,10 +29,13 @@
 
 use noc_core::{
     ComponentFault, Coord, LinkMask, MeshConfig, NodeStatus, RouterKind, RouterNode, RoutingKind,
+    TopologyConfig,
 };
 use noc_fault::{FaultAction, FaultCategory, FaultEvent, FaultPlan, FaultSchedule};
 use noc_router::AnyRouter;
-use noc_sim::{AuditConfig, KernelMode, RecoveryConfig, SimConfig, SimResults, Simulation};
+use noc_sim::{
+    retarget_topology, AuditConfig, KernelMode, RecoveryConfig, SimConfig, SimResults, Simulation,
+};
 use noc_traffic::TrafficKind;
 
 /// Default iteration count for a full fuzz run (ISSUE 4 acceptance:
@@ -91,10 +94,15 @@ enum FaultMode {
 ///
 /// Coverage is round-robin on the case index — router `case % 3`,
 /// fault mode `(case / 3) % 3`, recovery `(case / 9) % 2`, fault-aware
-/// routing `(case / 18) % 2` — so the first 36 cases already cross
-/// every router with every fault mode, recovery setting and routing
-/// awareness; the remaining knobs (mesh, routing, traffic, load,
-/// seeds, fault details) are drawn from [`SplitMix64`].
+/// routing `(case / 18) % 2`, topology `case % 4` (mesh, torus,
+/// C(13;1,5) circulant, 2×2 chiplet mesh) — so the first 36 cases
+/// already cross every router with every fault mode, recovery setting,
+/// routing awareness and topology; the remaining knobs (mesh, routing,
+/// traffic, load, seeds, fault details, die-to-die delay) are drawn
+/// from [`SplitMix64`]. Wraparound draws are retargeted through
+/// [`noc_sim::retarget_topology`], which forces the supported
+/// router/routing/VC combination and remaps fault sites onto the new
+/// node set.
 pub fn case_config(case: u64, base_seed: u64) -> SimConfig {
     let mut rng = SplitMix64::new(base_seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let router = RouterKind::ALL[(case % 3) as usize];
@@ -150,6 +158,25 @@ pub fn case_config(case: u64, base_seed: u64) -> SimConfig {
             max_retries: 1 + rng.below(3) as u32,
             backoff_cap: 2_000,
         });
+    }
+    // Topology draw (after faults so retargeting can remap their
+    // sites onto the new node set). The traffic patterns clamp
+    // destinations to the bounding grid, so every pattern is safe on
+    // the circulant's N×1 strip.
+    let topology = match case % 4 {
+        0 => TopologyConfig::Mesh,
+        1 => TopologyConfig::Torus,
+        2 => TopologyConfig::Circulant { nodes: 13, s1: 1, s2: 5 },
+        _ => TopologyConfig::Chiplet {
+            chips_x: 2,
+            chips_y: 2,
+            chip_width: 2,
+            chip_height: 2,
+            d2d_delay: 2 + rng.below(3) as u8,
+        },
+    };
+    if topology != TopologyConfig::Mesh {
+        retarget_topology(&mut cfg, topology);
     }
     // Worker count for the parallel leg of the differential oracle
     // (drawn last so it perturbs no other knob). Any value must yield
@@ -247,6 +274,7 @@ fn masked_cdg_mismatch(cfg: &SimConfig) -> Option<String> {
         return None;
     }
     let mesh = cfg.mesh;
+    let topo = cfg.topology.resolve(mesh).expect("fuzz configs carry a valid topology");
     let rcfg = cfg.router_config();
     let mut active: Vec<Vec<ComponentFault>> = vec![Vec::new(); mesh.nodes()];
     for (site, fault) in &cfg.faults.faults {
@@ -255,15 +283,15 @@ fn masked_cdg_mismatch(cfg: &SimConfig) -> Option<String> {
     let check_state = |active: &[Vec<ComponentFault>], when: &str| -> Option<String> {
         let statuses: Vec<NodeStatus> = (0..mesh.nodes())
             .map(|i| {
-                let mut r = AnyRouter::build(Coord::from_index(i, mesh.width), rcfg, mesh);
+                let mut r = AnyRouter::build_on(Coord::from_index(i, mesh.width), rcfg, &topo);
                 for f in &active[i] {
                     r.inject_fault(*f);
                 }
                 r.status()
             })
             .collect();
-        let mask = LinkMask::from_statuses(mesh, &statuses);
-        let analysis = noc_deadlock::verify_masked(cfg.router, cfg.routing, mesh, mask);
+        let mask = LinkMask::from_statuses(&topo, &statuses);
+        let analysis = noc_deadlock::verify_masked(cfg.router, cfg.routing, mask);
         (!analysis.deadlock_free()).then(|| {
             format!("masked routing function has a CDG cycle {when}: {:?}", analysis.cycle)
         })
@@ -343,10 +371,24 @@ pub fn run_fuzz(iters: u64, base_seed: u64, mut progress: impl FnMut(u64)) -> Fu
     FuzzOutcome { cases_run: iters, failure: None }
 }
 
+/// Drops fault sites (static and scheduled) that fell off the grid
+/// after a shrink transform changed the mesh shape.
+fn drop_offgrid_faults(d: &mut SimConfig) {
+    let (w, h) = (d.mesh.width, d.mesh.height);
+    d.faults.faults.retain(|(site, _)| site.x < w && site.y < h);
+    let kept: Vec<FaultEvent> =
+        d.schedule.events().iter().copied().filter(|e| e.site.x < w && e.site.y < h).collect();
+    d.schedule = FaultSchedule::none();
+    for e in kept {
+        d.schedule.push(e);
+    }
+}
+
 /// Greedily shrinks a failing configuration.
 ///
 /// Transforms are tried in order — drop the fault schedule, drop static
-/// faults, drop recovery, disable fault-aware routing, shrink the mesh
+/// faults, drop recovery, disable fault-aware routing, drop a
+/// non-mesh topology back to the plain mesh, shrink the mesh
 /// to 3×3, shorten the run, simplify traffic/routing, zero the
 /// handshake latency — and each is
 /// kept only when the shrunk config *still fails*. The loop restarts
@@ -383,22 +425,27 @@ pub fn shrink(cfg: &SimConfig, reason: String) -> (SimConfig, String) {
             })
         },
         |c| {
-            (c.mesh.nodes() > 9).then(|| {
+            (c.topology != TopologyConfig::Mesh).then(|| {
+                let mut d = c.clone();
+                d.topology = TopologyConfig::Mesh;
+                if d.mesh.validate().is_err() {
+                    // A circulant's N×1 strip is not a legal mesh grid.
+                    d.mesh = MeshConfig::new(3, 3);
+                }
+                drop_offgrid_faults(&mut d);
+                d
+            })
+        },
+        |c| {
+            // Only the grid topologies survive an arbitrary 3×3 grid; a
+            // circulant or chiplet's grid is fixed by its own shape (the
+            // topology-drop transform above handles those first).
+            (c.mesh.nodes() > 9
+                && matches!(c.topology, TopologyConfig::Mesh | TopologyConfig::Torus))
+            .then(|| {
                 let mut d = c.clone();
                 d.mesh = MeshConfig::new(3, 3);
-                // Retarget fault sites: keep only those still on the mesh.
-                d.faults.faults.retain(|(site, _)| site.x < 3 && site.y < 3);
-                let kept: Vec<FaultEvent> = d
-                    .schedule
-                    .events()
-                    .iter()
-                    .copied()
-                    .filter(|e| e.site.x < 3 && e.site.y < 3)
-                    .collect();
-                d.schedule = FaultSchedule::none();
-                for e in kept {
-                    d.schedule.push(e);
-                }
+                drop_offgrid_faults(&mut d);
                 d
             })
         },
@@ -471,6 +518,15 @@ pub fn render_repro(case: u64, base_seed: u64, cfg: &SimConfig, reason: &str) ->
         cfg.router, cfg.routing, cfg.traffic
     ));
     s.push_str(&format!("cfg.mesh = MeshConfig::new({}, {});\n", cfg.mesh.width, cfg.mesh.height));
+    if cfg.topology != TopologyConfig::Mesh {
+        // retarget_topology replays the same forcing the fuzzer
+        // applied (grid snap, router/routing/VC support, site remap —
+        // a no-op here since the rendered knobs are post-retarget).
+        s.push_str(&format!(
+            "noc_sim::retarget_topology(&mut cfg, TopologyConfig::parse_spec({:?}).unwrap());\n",
+            cfg.topology.to_string()
+        ));
+    }
     s.push_str(&format!("cfg.injection_rate = {:?};\n", cfg.injection_rate));
     s.push_str(&format!("cfg.warmup_packets = {};\n", cfg.warmup_packets));
     s.push_str(&format!("cfg.measured_packets = {};\n", cfg.measured_packets));
@@ -527,6 +583,7 @@ fn fault_expr(f: &noc_core::ComponentFault) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use noc_core::TopologyOps;
 
     #[test]
     fn case_generation_is_deterministic() {
@@ -543,17 +600,28 @@ mod tests {
         let mut saw_recovery = false;
         let mut saw_fault_routing = [false; 2];
         let mut routers = std::collections::HashSet::new();
+        let mut topologies = std::collections::HashSet::new();
         for case in 0..36 {
             let cfg = case_config(case, DEFAULT_SEED);
             routers.insert(cfg.router);
+            // By variant: chiplet draws vary the d2d delay, so the
+            // spec string alone would over-count.
+            topologies.insert(std::mem::discriminant(&cfg.topology));
             saw_faults |= !cfg.faults.is_empty();
             saw_schedule |= !cfg.schedule.is_empty();
             saw_recovery |= cfg.recovery.is_some();
             saw_fault_routing[cfg.fault_routing as usize] = true;
             let threads = cfg.threads.expect("fuzz cases pin a worker count");
             assert!((1..=4).contains(&threads));
+            // Every drawn config must actually build: the resolved
+            // topology accepts the (possibly retargeted) router,
+            // routing function and VC count.
+            let topo = cfg.topology.resolve(cfg.mesh).expect("drawn topology resolves");
+            topo.check_support(cfg.router, cfg.routing, cfg.router_config().vcs_per_port as usize)
+                .expect("retargeted config is supported");
         }
-        assert_eq!(routers.len(), 3);
+        assert_eq!(routers.len(), 3, "mesh/chiplet cases still cover all routers");
+        assert_eq!(topologies.len(), 4, "all four topologies are drawn");
         assert!(saw_faults && saw_schedule && saw_recovery);
         assert!(saw_fault_routing == [true, true], "both routing-awareness legs are drawn");
     }
@@ -575,6 +643,18 @@ mod tests {
         assert!(aware.fault_routing, "cases 18..36 draw the fault-aware leg");
         let text = render_repro(20, DEFAULT_SEED, &aware, "synthetic reason");
         assert!(text.contains("cfg.fault_routing = true;"));
+        // Non-mesh cases render the topology retarget line (case 14 is
+        // a circulant draw: 14 % 4 == 2).
+        let wrap = case_config(14, DEFAULT_SEED);
+        assert_eq!(wrap.topology, TopologyConfig::Circulant { nodes: 13, s1: 1, s2: 5 });
+        let text = render_repro(14, DEFAULT_SEED, &wrap, "synthetic reason");
+        assert!(text.contains("retarget_topology"));
+        assert!(text.contains("circulant:13,1,5"), "spec string round-trips:\n{text}");
+        // Mesh cases stay clean: no topology line at all.
+        let mesh_case = case_config(20, DEFAULT_SEED);
+        assert_eq!(mesh_case.topology, TopologyConfig::Mesh);
+        let text = render_repro(20, DEFAULT_SEED, &mesh_case, "synthetic reason");
+        assert!(!text.contains("retarget_topology"));
     }
 
     #[test]

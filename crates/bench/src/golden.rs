@@ -19,9 +19,9 @@
 //! --update` (or `noc golden --update`); the rewritten files are then
 //! reviewed and committed alongside the change.
 
-use noc_core::{Coord, MeshConfig, RouterKind, RoutingKind};
+use noc_core::{Coord, MeshConfig, RouterKind, RoutingKind, TopologyConfig};
 use noc_fault::{FaultCategory, FaultPlan, FaultSchedule};
-use noc_sim::{AuditConfig, KernelMode, RecoveryConfig, SimConfig, SimResults};
+use noc_sim::{retarget_topology, AuditConfig, KernelMode, RecoveryConfig, SimConfig, SimResults};
 use noc_traffic::TrafficKind;
 use std::path::{Path, PathBuf};
 
@@ -197,6 +197,43 @@ pub fn scenarios() -> Vec<GoldenScenario> {
         );
         push("roco-instant-handshake", cfg);
     }
+
+    // Topology matrix (ISSUE 9): each non-mesh topology fault-free and
+    // under an MTBF fault campaign. Scenarios retarget *before*
+    // drawing the schedule so fault sites land on the topology's own
+    // node set (a remap would also be deterministic, but native sites
+    // make the golden files readable).
+    let wrapped = |topology: TopologyConfig, rate: f64, seed: u64| {
+        let mut cfg = base(Generic, Xy, TrafficKind::Uniform, (4, 4), rate, seed);
+        retarget_topology(&mut cfg, topology);
+        cfg
+    };
+    let with_mtbf = |mut cfg: SimConfig, seed: u64| {
+        cfg.schedule = FaultSchedule::random_mtbf(
+            FaultCategory::Recyclable,
+            cfg.mesh,
+            2_500.0,
+            Some(800),
+            12_000,
+            3,
+            seed,
+        );
+        cfg
+    };
+    let circulant = TopologyConfig::Circulant { nodes: 13, s1: 1, s2: 5 };
+    let chiplet = TopologyConfig::Chiplet {
+        chips_x: 2,
+        chips_y: 2,
+        chip_width: 3,
+        chip_height: 3,
+        d2d_delay: 3,
+    };
+    push("torus-uniform-xy", wrapped(TopologyConfig::Torus, 0.18, 0xA015));
+    push("torus-mtbf-campaign", with_mtbf(wrapped(TopologyConfig::Torus, 0.15, 0xA016), 0xFA07));
+    push("circulant-uniform-xy", wrapped(circulant, 0.18, 0xA017));
+    push("circulant-mtbf-campaign", with_mtbf(wrapped(circulant, 0.15, 0xA018), 0xFA08));
+    push("chiplet-uniform-xy", wrapped(chiplet, 0.18, 0xA019));
+    push("chiplet-mtbf-campaign", with_mtbf(wrapped(chiplet, 0.15, 0xA01A), 0xFA09));
 
     v
 }
@@ -431,6 +468,43 @@ mod tests {
             assert!(names.insert(s.name), "duplicate scenario name {}", s.name);
             assert!(s.config.audit.is_some(), "{}: golden runs must be audited", s.name);
             assert!(s.config.max_cycles > 0);
+            // Every scenario's topology must resolve on its own grid —
+            // a retarget slip here would only surface on CI runners.
+            let topo = s.config.topology.resolve(s.config.mesh).expect(s.name);
+            assert_eq!(noc_core::TopologyOps::grid(&topo), s.config.mesh, "{}: grid", s.name);
+        }
+        // The ISSUE 9 topology corpus: every non-mesh topology, both
+        // fault-free and under an MTBF campaign.
+        for name in [
+            "torus-uniform-xy",
+            "torus-mtbf-campaign",
+            "circulant-uniform-xy",
+            "circulant-mtbf-campaign",
+            "chiplet-uniform-xy",
+            "chiplet-mtbf-campaign",
+        ] {
+            assert!(names.contains(name), "missing topology scenario {name}");
+        }
+    }
+
+    #[test]
+    fn topology_scenarios_draw_faults_on_their_own_grid() {
+        for s in scenarios() {
+            for &(site, _) in &s.config.faults.faults {
+                assert!(
+                    site.x < s.config.mesh.width && site.y < s.config.mesh.height,
+                    "{}: static fault site {site} off-grid",
+                    s.name
+                );
+            }
+            for e in s.config.schedule.events() {
+                assert!(
+                    e.site.x < s.config.mesh.width && e.site.y < s.config.mesh.height,
+                    "{}: scheduled fault site {} off-grid",
+                    s.name,
+                    e.site
+                );
+            }
         }
     }
 

@@ -27,26 +27,27 @@ USAGE:
             [--sample-window N] [--postmortem-out F.json]
             [--kernel optimized|reference|parallel|soa] [--threads N]
             [--slo CLASS:METRIC<=N,...] [--profile true] [--prom-out F.prom]
-            [--fault-routing true]
+            [--fault-routing true] [--topology SPEC]
   noc sweep [--router R|all] [--routing A] [--traffic T] [--rates F,F,...]
-            [--mesh WxH] [--packets N] [--seed N]
+            [--mesh WxH] [--packets N] [--seed N] [--topology SPEC]
   noc fault [--router R|all] [--routing A] [--category critical|recyclable]
             [--faults N] [--rate F] [--packets N] [--seed N]
-            [--fault-routing true]
+            [--fault-routing true] [--topology SPEC]
   noc campaign [--router R|all] [--routing A] [--traffic T] [--rate F]
             [--mesh WxH] [--packets N] [--warmup N] [--seed N]
             [--mtbfs C,C,...] [--repair N|0] [--seeds N] [--recovery true]
             [--category critical|recyclable] [--sample-window N]
             [--json-out F.json] [--prom-out F.prom] [--fault-routing true]
+            [--topology SPEC]
   noc timeline [--router R] [--routing A] [--traffic T] [--rate F] [--mesh WxH]
             [--packets N] [--warmup N] [--seed N] [--sample-window N]
-            [--json true]
+            [--json true] [--topology SPEC]
   noc thermal [--router R] [--routing A] [--traffic T] [--rate F] [--packets N]
   noc audit [--router R] [--routing A] [--traffic T] [--rate F] [--mesh WxH]
             [--packets N] [--warmup N] [--seed N]
             [--kernel optimized|reference|parallel|soa] [--threads N]
             [--interval N] [--faults N] [--category critical|recyclable]
-            [--recovery true] [--fault-routing true]
+            [--recovery true] [--fault-routing true] [--topology SPEC]
   noc golden [--update true]
   noc info
 
@@ -56,6 +57,19 @@ VALUES:
   T: uniform | transpose | self-similar | mpeg | hotspot | bit-complement
   CLASS:  all | local | near | mid | far (hop-distance flow classes)
   METRIC: p50 | p95 | p99 | p999 | mean | max (latency, cycles)
+  SPEC:   mesh | torus | circulant:N,S1,S2 | chiplet:CXxCY,WxH,D
+          (default mesh; DESIGN.md §17)
+
+TOPOLOGY (DESIGN.md §17):
+  --topology selects the network graph the same simulator runs on:
+  'torus' adds wraparound rings (dateline VCs break the ring cycles),
+  'circulant:13,1,5' is the ring circulant C(13;1,5), and
+  'chiplet:2x2,4x4,3' stitches 2x2 chips of 4x4 nodes with 3-cycle
+  die-to-die boundary links. Wraparound topologies require
+  dimension-ordered XY on the generic router with >=2 VCs; the flag
+  retargets the config (and remaps any fault sites) accordingly.
+  --mesh sets the bounding grid for mesh/torus and is snapped to the
+  topology's own grid for circulant/chiplet.
 
 TELEMETRY:
   --metrics-out streams one JSON object per sample window (JSONL);
@@ -89,6 +103,14 @@ fn base_config(args: &Args) -> Result<SimConfig, ArgError> {
     let traffic = parse_traffic(args.get("traffic").unwrap_or("uniform"))?;
     let mut cfg = SimConfig::paper_scaled(router, routing, traffic);
     cfg.mesh = parse_mesh(args.get("mesh").unwrap_or("8x8"))?;
+    // ISSUE 9: topology selection. The retarget snaps the mesh to the
+    // topology's bounding grid and, on wraparound topologies (torus,
+    // circulant), forces the supported generic/XY/2-VC combination.
+    if let Some(spec) = args.get("topology") {
+        let topology = noc_core::TopologyConfig::parse_spec(spec)
+            .map_err(|e| ArgError(format!("--topology: {e}")))?;
+        noc_sim::retarget_topology(&mut cfg, topology);
+    }
     cfg.injection_rate = args.get_or("rate", 0.25)?;
     if cfg.injection_rate <= 0.0 || cfg.injection_rate > 1.0 {
         return Err(ArgError("--rate must be in (0, 1]".into()));
@@ -252,6 +274,7 @@ pub fn cmd_run(args: &Args) -> Result<String, ArgError> {
         "profile",
         "prom-out",
         "fault-routing",
+        "topology",
     ]);
     if !unknown.is_empty() {
         return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
@@ -380,6 +403,7 @@ pub fn cmd_timeline(args: &Args) -> Result<String, ArgError> {
         "seed",
         "sample-window",
         "json",
+        "topology",
     ]);
     if !unknown.is_empty() {
         return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
@@ -453,7 +477,7 @@ fn routers_of(args: &Args) -> Result<Vec<RouterKind>, ArgError> {
 /// `noc sweep`: latency/energy vs injection rate, CSV to stdout.
 pub fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
     let unknown = args.unknown_flags(&[
-        "router", "routing", "traffic", "rates", "mesh", "packets", "warmup", "seed",
+        "router", "routing", "traffic", "rates", "mesh", "packets", "warmup", "seed", "topology",
     ]);
     if !unknown.is_empty() {
         return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
@@ -496,6 +520,7 @@ pub fn cmd_fault(args: &Args) -> Result<String, ArgError> {
         "category",
         "faults",
         "fault-routing",
+        "topology",
     ]);
     if !unknown.is_empty() {
         return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
@@ -560,6 +585,7 @@ pub fn cmd_campaign(args: &Args) -> Result<String, ArgError> {
         "json-out",
         "prom-out",
         "fault-routing",
+        "topology",
     ]);
     if !unknown.is_empty() {
         return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
@@ -580,6 +606,7 @@ pub fn cmd_campaign(args: &Args) -> Result<String, ArgError> {
     let base = base_config(args)?;
     let campaign = CampaignConfig {
         mesh: base.mesh,
+        topology: base.topology,
         routers: routers_of(args)?,
         routing: base.routing,
         traffic: base.traffic,
@@ -685,6 +712,7 @@ pub fn cmd_audit(args: &Args) -> Result<String, ArgError> {
         "category",
         "recovery",
         "fault-routing",
+        "topology",
     ]);
     if !unknown.is_empty() {
         return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));
@@ -740,7 +768,7 @@ pub fn cmd_golden(args: &Args) -> Result<String, ArgError> {
 /// steady-state temperature field and print its heatmap.
 pub fn cmd_thermal(args: &Args) -> Result<String, ArgError> {
     let unknown = args.unknown_flags(&[
-        "router", "routing", "traffic", "rate", "mesh", "packets", "warmup", "seed",
+        "router", "routing", "traffic", "rate", "mesh", "packets", "warmup", "seed", "topology",
     ]);
     if !unknown.is_empty() {
         return Err(ArgError(format!("unknown flags: {}", unknown.join(", "))));

@@ -37,6 +37,20 @@ impl AnyRouter {
         }
     }
 
+    /// Builds a router of `cfg.router`'s architecture at `coord` on an
+    /// arbitrary topology.
+    pub fn build_on(coord: Coord, cfg: RouterConfig, topo: &noc_core::Topology) -> Self {
+        match cfg.router {
+            RouterKind::Generic => {
+                AnyRouter::Generic(GenericRouter::new_on(coord, cfg, topo.clone()))
+            }
+            RouterKind::PathSensitive => {
+                AnyRouter::PathSensitive(PathSensitiveRouter::new_on(coord, cfg, topo.clone()))
+            }
+            RouterKind::RoCo => AnyRouter::RoCo(RocoRouter::new_on(coord, cfg, topo.clone())),
+        }
+    }
+
     /// Wires the output towards `dir` to a neighbour's published VCs.
     pub fn connect_output(&mut self, dir: Direction, descs: &[VcDescriptor]) {
         match self {

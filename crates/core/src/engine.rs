@@ -1002,8 +1002,8 @@ impl RouterCore {
                 let masked_off = ctx.mask.is_some_and(|m| {
                     next_route != Direction::Local
                         && self
-                            .coord
-                            .neighbor(out, self.computer.mesh().width, self.computer.mesh().height)
+                            .computer
+                            .neighbor(self.coord, out)
                             .is_some_and(|b| !m.usable(b, next_route))
                 });
                 if bstat.node_dead() || !bstat.can_serve_output(next_route) || masked_off {
@@ -1025,15 +1025,14 @@ impl RouterCore {
                 continue;
             }
             self.counters.va_local_arbs += 1;
-            let b = self
-                .coord
-                .neighbor(out, self.computer.mesh().width, self.computer.mesh().height)
-                .expect("minimal routes stay in the mesh");
+            let b =
+                self.computer.neighbor(self.coord, out).expect("minimal routes stay in the mesh");
             let req = VcRequest {
                 in_dir: out.opposite(),
                 out_dir: next_route,
                 order: head.order,
                 quadrant_mask: quadrant_mask(b, head.dst),
+                dateline: self.computer.vc_dateline(head.src, head.dst, b, out.opposite()),
             };
             let port = self.outputs[out.index()].as_ref().expect("output wired");
             if let Some(dvc) =
@@ -1150,7 +1149,6 @@ impl RouterCore {
             noc_core::RoutingKind::Adaptive | noc_core::RoutingKind::AdaptiveOddEven
         );
         if adaptive && self.cfg.router != noc_core::RouterKind::RoCo {
-            let mesh = self.computer.mesh();
             let arrival = self.vcs[vc_id].input_side;
             let mut cands = self
                 .route_candidates(head.src, self.coord, head.dst, head.order, arrival, ctx.mask);
@@ -1162,7 +1160,7 @@ impl RouterCore {
                 if d == head.next_out {
                     return false;
                 }
-                let Some(c) = self.coord.neighbor(d, mesh.width, mesh.height) else {
+                let Some(c) = self.computer.neighbor(self.coord, d) else {
                     return false;
                 };
                 let Some(cstat) = ctx.neighbor_status(d) else { return false };
@@ -1215,8 +1213,7 @@ impl RouterCore {
             self.reroute_or_fail(vc_id, head, ctx);
             return;
         }
-        let mesh = self.computer.mesh();
-        let Some(b) = self.coord.neighbor(out, mesh.width, mesh.height) else {
+        let Some(b) = self.computer.neighbor(self.coord, out) else {
             // A route can only point off-mesh after corruption; drop.
             self.start_drop(vc_id);
             return;
@@ -1247,8 +1244,10 @@ impl RouterCore {
             // suffice (no heap).
             let mut scored = [(0i64, Direction::Local); 2];
             let mut n = 0;
+            let dateline = self.computer.vc_dateline(head.src, head.dst, b, in_dir);
             for d in cands.iter() {
-                let req = VcRequest { in_dir, out_dir: d, order: head.order, quadrant_mask };
+                let req =
+                    VcRequest { in_dir, out_dir: d, order: head.order, quadrant_mask, dateline };
                 scored[n] = (port.credit_score(&req), d);
                 n += 1;
             }
@@ -1376,6 +1375,7 @@ impl RouterCore {
                     out_dir: d,
                     order: flit.order,
                     quadrant_mask,
+                    dateline: false,
                 };
                 let Some(vc_id) =
                     self.link_map[Direction::Local.index()].iter().copied().find(|&id| {
@@ -1384,9 +1384,16 @@ impl RouterCore {
                 else {
                     continue;
                 };
-                let score = self.outputs[d.index()]
-                    .as_ref()
-                    .map_or(0, |p| p.credit_score(&VcRequest { in_dir: d.opposite(), ..req }));
+                let downstream_dateline = self.computer.neighbor(self.coord, d).is_some_and(|b| {
+                    self.computer.vc_dateline(flit.src, flit.dst, b, d.opposite())
+                });
+                let score = self.outputs[d.index()].as_ref().map_or(0, |p| {
+                    p.credit_score(&VcRequest {
+                        in_dir: d.opposite(),
+                        dateline: downstream_dateline,
+                        ..req
+                    })
+                });
                 if best.map_or(true, |(s, _, _)| score > s) {
                     best = Some((score, d, vc_id));
                 }

@@ -10,7 +10,7 @@ use noc_arbiter::{SeparableAllocator, SwitchGrant, SwitchRequest};
 use noc_core::{
     ActivityCounters, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit, HotStep,
     MeshConfig, ModuleHealth, NodeStatus, RouterConfig, RouterKind, RouterNode, RouterOutputs,
-    StepContext, VcAdmission, VcDescriptor, VcSnapshot,
+    StepContext, Topology, TopologyOps, VcAdmission, VcDescriptor, VcSnapshot,
 };
 use noc_routing::RouteComputer;
 
@@ -32,15 +32,40 @@ impl GenericRouter {
     /// Panics if `cfg.router != RouterKind::Generic` or the
     /// configuration fails validation.
     pub fn new(coord: Coord, cfg: RouterConfig, mesh: MeshConfig) -> Self {
+        GenericRouter::new_on(coord, cfg, Topology::mesh(mesh))
+    }
+
+    /// Builds a generic router at `coord` on an arbitrary topology.
+    ///
+    /// On wraparound topologies (torus, circulant) the non-Local input
+    /// VCs are partitioned into dateline classes: VC 1 holds packets
+    /// that crossed the current ring's dateline, every other VC holds
+    /// those that have not. The Local (injection) side is unfiltered —
+    /// freshly injected packets have crossed nothing yet, and the class
+    /// only matters once the packet is buffered on a ring channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.router != RouterKind::Generic`, the configuration
+    /// fails validation, or the topology rejects the (router, routing,
+    /// VC) combination.
+    pub fn new_on(coord: Coord, cfg: RouterConfig, topo: Topology) -> Self {
         assert_eq!(cfg.router, RouterKind::Generic, "configuration is for a different router");
         cfg.validate().expect("invalid router configuration");
-        let computer = RouteComputer::new(cfg.routing, mesh);
+        topo.check_support(cfg.router, cfg.routing, cfg.vcs_per_port as usize)
+            .expect("topology rejects this router configuration");
+        let dateline_vcs = topo.needs_dateline_vcs();
+        let computer = RouteComputer::on(cfg.routing, topo);
         let v = cfg.vcs_per_port as usize;
         let mut vcs = Vec::with_capacity(5 * v);
         let mut link_map: [Vec<usize>; 5] = Default::default();
         for side in Direction::ALL {
             for i in 0..v {
-                let desc = VcDescriptor::new(VcAdmission::Any, cfg.buffer_depth).with_arrival(side);
+                let mut desc =
+                    VcDescriptor::new(VcAdmission::Any, cfg.buffer_depth).with_arrival(side);
+                if dateline_vcs && side != Direction::Local {
+                    desc = desc.with_dateline(i == 1);
+                }
                 link_map[side.index()].push(vcs.len());
                 vcs.push(Vc::new(desc, side, i as u8, side.index() as u8));
             }

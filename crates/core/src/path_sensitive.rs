@@ -49,6 +49,20 @@ impl PathSensitiveRouter {
     /// Panics if `cfg.router != RouterKind::PathSensitive` or the
     /// configuration fails validation.
     pub fn new(coord: Coord, cfg: RouterConfig, mesh: MeshConfig) -> Self {
+        PathSensitiveRouter::new_on(coord, cfg, noc_core::Topology::mesh(mesh))
+    }
+
+    /// Builds a Path-Sensitive router at `coord` on an arbitrary
+    /// (mesh-family) topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.router != RouterKind::PathSensitive`, the
+    /// configuration fails validation, or the topology rejects this
+    /// router (wraparound topologies do — quadrant path sets assume a
+    /// bounded mesh).
+    pub fn new_on(coord: Coord, cfg: RouterConfig, topo: noc_core::Topology) -> Self {
+        use noc_core::TopologyOps;
         assert_eq!(
             cfg.router,
             RouterKind::PathSensitive,
@@ -56,7 +70,9 @@ impl PathSensitiveRouter {
         );
         cfg.validate().expect("invalid router configuration");
         assert_eq!(cfg.vcs_per_port, 3, "a path set holds one VC per arrival group");
-        let computer = RouteComputer::new(cfg.routing, mesh);
+        topo.check_support(cfg.router, cfg.routing, cfg.vcs_per_port as usize)
+            .expect("topology rejects this router configuration");
+        let computer = RouteComputer::on(cfg.routing, topo);
         let mut vcs = Vec::with_capacity(12);
         let mut link_map: [Vec<usize>; 5] = Default::default();
         let mut set_vcs: [Vec<usize>; 4] = Default::default();

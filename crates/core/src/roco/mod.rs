@@ -77,9 +77,25 @@ impl RocoRouter {
     /// Panics if `cfg.router != RouterKind::RoCo` or the configuration
     /// fails validation.
     pub fn new(coord: Coord, cfg: RouterConfig, mesh: MeshConfig) -> Self {
+        RocoRouter::new_on(coord, cfg, noc_core::Topology::mesh(mesh))
+    }
+
+    /// Builds a RoCo router at `coord` on an arbitrary (mesh-family)
+    /// topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.router != RouterKind::RoCo`, the configuration
+    /// fails validation, or the topology rejects this router
+    /// (wraparound topologies do — the Table-1 VC layout cannot express
+    /// dateline classes).
+    pub fn new_on(coord: Coord, cfg: RouterConfig, topo: noc_core::Topology) -> Self {
+        use noc_core::TopologyOps;
         assert_eq!(cfg.router, RouterKind::RoCo, "configuration is for a different router");
         cfg.validate().expect("invalid router configuration");
-        let computer = RouteComputer::new(cfg.routing, mesh);
+        topo.check_support(cfg.router, cfg.routing, cfg.vcs_per_port as usize)
+            .expect("topology rejects this router configuration");
+        let computer = RouteComputer::on(cfg.routing, topo);
         let specs = table1_vcs(&cfg);
         // Build VCs and the per-link DEMUX map.
         let mut link_map: [Vec<usize>; 5] = Default::default();

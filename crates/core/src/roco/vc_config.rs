@@ -210,7 +210,13 @@ mod tests {
                         if !reachable(routing, order, in_dir, out_dir) {
                             continue;
                         }
-                        let req = VcRequest { in_dir, out_dir, order, quadrant_mask: 0b1111 };
+                        let req = VcRequest {
+                            in_dir,
+                            out_dir,
+                            order,
+                            quadrant_mask: 0b1111,
+                            dateline: false,
+                        };
                         assert!(
                             specs.iter().any(|s| s.desc.accepts(&req)),
                             "{routing}/{order}: no VC admits {in_dir}->{out_dir}"

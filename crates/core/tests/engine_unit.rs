@@ -60,6 +60,7 @@ fn credit_score_counts_admissible_free_slots() {
         out_dir: Direction::East,
         order: AxisOrder::Xy,
         quadrant_mask: 0b1111,
+        dateline: false,
     };
     // Two free VCs x (4 credits + 1 free bonus) each.
     assert_eq!(port.credit_score(&req), 10);

@@ -39,7 +39,7 @@ fn assert_acyclic(routing: RoutingKind, mask: &LinkMask, what: &str) {
     // draw; rotate through all three so each mask family crosses each
     // architecture.
     for router in RouterKind::ALL {
-        let a = verify_masked(router, routing, MESH, mask.clone());
+        let a = verify_masked(router, routing, mask.clone());
         assert!(
             a.deadlock_free(),
             "{what}: {router}/{routing} CDG cycle under mask: {:?}",

@@ -34,6 +34,7 @@ mod geometry;
 mod mask;
 mod node;
 mod probe;
+mod topology;
 mod vc;
 mod wake;
 
@@ -48,5 +49,9 @@ pub use node::{
     RouterOutputs, StepContext, EJECT_VC, RNG_STREAM_INJECT, RNG_STREAM_STEP,
 };
 pub use probe::{AuditProbe, CreditBook, LatchedFlit, VcAudit, VcPhase, VcSnapshot};
+pub use topology::{
+    ChipletTopology, CirculantTopology, MeshTopology, Topology, TopologyConfig, TopologyOps,
+    TorusTopology, WRAP_AXIS_ORDER,
+};
 pub use vc::{Credit, TurnFilter, VcAdmission, VcClass, VcDescriptor, VcRef, VcRequest};
 pub use wake::{WakeIter, WakeSet, WakeView};

@@ -14,6 +14,7 @@
 use crate::config::MeshConfig;
 use crate::geometry::{Coord, Direction};
 use crate::node::NodeStatus;
+use crate::topology::{Topology, TopologyOps};
 
 /// Per-node usable-output-link bitmask over the four mesh directions.
 ///
@@ -22,9 +23,14 @@ use crate::node::NodeStatus;
 /// not dead — all judged from the **published** statuses, so the mask
 /// carries the same bounded (`handshake_latency`) staleness as the
 /// §4.1 status wires it models.
+///
+/// Adjacency comes from a [`Topology`]: constructors accept anything
+/// convertible into one, so existing mesh call sites can keep passing a
+/// [`MeshConfig`] while topology-aware callers pass the resolved
+/// instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LinkMask {
-    mesh: MeshConfig,
+    topo: Topology,
     /// One 4-bit word per node, bit [`Direction::index`] = output usable.
     bits: Vec<u8>,
 }
@@ -33,43 +39,55 @@ impl LinkMask {
     /// Bitmask with every in-mesh link on all four sides.
     const FULL: u8 = 0b1111;
 
-    /// A mask over `mesh` where every in-mesh link is usable (the
-    /// fault-free view; boundary bits are clear).
-    pub fn all_up(mesh: MeshConfig) -> Self {
-        LinkMask::from_fn(mesh, |_, _| true)
+    /// A mask over `topo` where every connected link is usable (the
+    /// fault-free view; unconnected boundary bits are clear).
+    pub fn all_up(topo: impl Into<Topology>) -> Self {
+        LinkMask::from_fn(topo, |_, _| true)
     }
 
-    /// Builds a mask by asking `usable(node, dir)` for every in-mesh
-    /// link. Links leaving the mesh are always masked off.
-    pub fn from_fn(mesh: MeshConfig, mut usable: impl FnMut(Coord, Direction) -> bool) -> Self {
-        let mut bits = vec![0u8; mesh.nodes()];
+    /// Builds a mask by asking `usable(node, dir)` for every connected
+    /// link. Ports with no neighbour are always masked off.
+    pub fn from_fn(
+        topo: impl Into<Topology>,
+        mut usable: impl FnMut(Coord, Direction) -> bool,
+    ) -> Self {
+        let topo = topo.into();
+        let grid = topo.grid();
+        let mut bits = vec![0u8; topo.nodes()];
         for (i, word) in bits.iter_mut().enumerate() {
-            let node = Coord::from_index(i, mesh.width);
+            let node = Coord::from_index(i, grid.width);
             for dir in Direction::MESH {
-                if node.neighbor(dir, mesh.width, mesh.height).is_some() && usable(node, dir) {
+                if topo.neighbor(node, dir).is_some() && usable(node, dir) {
                     *word |= 1 << dir.index();
                 }
             }
         }
-        LinkMask { mesh, bits }
+        LinkMask { topo, bits }
     }
 
     /// Builds the mask implied by a slice of **published** node
     /// statuses (indexed by [`Coord::index`]): `(node, dir)` is usable
     /// when the node's own output on that side is serviceable and the
     /// neighbour on that side is not dead.
-    pub fn from_statuses(mesh: MeshConfig, statuses: &[NodeStatus]) -> Self {
-        assert_eq!(statuses.len(), mesh.nodes(), "one status per node");
-        LinkMask::from_fn(mesh, |node, dir| {
-            let own = statuses[node.index(mesh.width)];
-            let Some(nb) = node.neighbor(dir, mesh.width, mesh.height) else { return false };
-            own.can_serve_output(dir) && !statuses[nb.index(mesh.width)].node_dead()
+    pub fn from_statuses(topo: impl Into<Topology>, statuses: &[NodeStatus]) -> Self {
+        let topo = topo.into();
+        let grid = topo.grid();
+        assert_eq!(statuses.len(), topo.nodes(), "one status per node");
+        LinkMask::from_fn(topo.clone(), |node, dir| {
+            let own = statuses[node.index(grid.width)];
+            let Some(nb) = topo.neighbor(node, dir) else { return false };
+            own.can_serve_output(dir) && !statuses[nb.index(grid.width)].node_dead()
         })
     }
 
-    /// The mesh this mask covers.
+    /// The bounding grid this mask covers.
     pub fn mesh(&self) -> MeshConfig {
-        self.mesh
+        self.topo.grid()
+    }
+
+    /// The topology this mask covers.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
     }
 
     /// Whether the output link `(node, dir)` is usable.
@@ -78,7 +96,7 @@ impl LinkMask {
         if dir == Direction::Local {
             return true;
         }
-        self.bits[node.index(self.mesh.width)] & (1 << dir.index()) != 0
+        self.bits[node.index(self.topo.grid().width)] & (1 << dir.index()) != 0
     }
 
     /// The raw 4-bit word for the node at flat index `i`.
@@ -86,13 +104,14 @@ impl LinkMask {
         self.bits[i]
     }
 
-    /// `true` when every in-mesh link is usable (fault-free mask).
+    /// `true` when every connected link is usable (fault-free mask).
     pub fn is_full(&self) -> bool {
+        let grid = self.topo.grid();
         self.bits.iter().enumerate().all(|(i, &w)| {
-            let node = Coord::from_index(i, self.mesh.width);
+            let node = Coord::from_index(i, grid.width);
             let full: u8 = Direction::MESH
                 .iter()
-                .filter(|&&d| node.neighbor(d, self.mesh.width, self.mesh.height).is_some())
+                .filter(|&&d| self.topo.neighbor(node, d).is_some())
                 .fold(0, |acc, d| acc | (1 << d.index()));
             w == full & Self::FULL
         })
@@ -109,7 +128,7 @@ impl LinkMask {
 /// the normal retry/abandon path and accounting stays closed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReachabilityMap {
-    mesh: MeshConfig,
+    topo: Topology,
     /// Row-major `[dst][src]` reachability, flattened.
     reach: Vec<bool>,
 }
@@ -119,8 +138,9 @@ impl ReachabilityMap {
     /// over the reversed masked link graph. O(nodes²) — recomputed only
     /// on republication events, never on the cycle hot path.
     pub fn compute(mask: &LinkMask) -> Self {
-        let mesh = mask.mesh();
-        let n = mesh.nodes();
+        let topo = mask.topology().clone();
+        let grid = topo.grid();
+        let n = topo.nodes();
         let mut reach = vec![false; n * n];
         let mut queue = Vec::with_capacity(n);
         for dst in 0..n {
@@ -129,11 +149,12 @@ impl ReachabilityMap {
             queue.clear();
             queue.push(dst);
             while let Some(v) = queue.pop() {
-                let vc = Coord::from_index(v, mesh.width);
+                let vc = Coord::from_index(v, grid.width);
                 // Predecessors: nodes u with a usable link into v.
+                // Port symmetry gives: u --dir.opposite()--> v.
                 for dir in Direction::MESH {
-                    let Some(u) = vc.neighbor(dir, mesh.width, mesh.height) else { continue };
-                    let ui = u.index(mesh.width);
+                    let Some(u) = topo.neighbor(vc, dir) else { continue };
+                    let ui = u.index(grid.width);
                     if !row[ui] && mask.usable(u, dir.opposite()) {
                         row[ui] = true;
                         queue.push(ui);
@@ -141,19 +162,32 @@ impl ReachabilityMap {
                 }
             }
         }
-        ReachabilityMap { mesh, reach }
+        ReachabilityMap { topo, reach }
+    }
+
+    /// The topology this map covers.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Human-readable name of `node` under the covered topology (for
+    /// postmortems and reports; meshes print `(x,y)`, circulants `#i`,
+    /// chiplet meshes `chip(cx,cy)/(lx,ly)`).
+    pub fn node_name(&self, node: Coord) -> String {
+        self.topo.node_name(node)
     }
 
     /// Whether any path of usable links leads from `src` to `dst`.
     pub fn reachable(&self, src: Coord, dst: Coord) -> bool {
-        let n = self.mesh.nodes();
-        self.reach[dst.index(self.mesh.width) * n + src.index(self.mesh.width)]
+        let grid = self.topo.grid();
+        let n = self.topo.nodes();
+        self.reach[dst.index(grid.width) * n + src.index(grid.width)]
     }
 
     /// Number of sources that can reach `dst` (including `dst` itself).
     pub fn sources_reaching(&self, dst: Coord) -> usize {
-        let n = self.mesh.nodes();
-        let d = dst.index(self.mesh.width);
+        let n = self.topo.nodes();
+        let d = dst.index(self.topo.grid().width);
         self.reach[d * n..(d + 1) * n].iter().filter(|&&r| r).count()
     }
 }

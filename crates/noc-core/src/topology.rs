@@ -1,0 +1,1234 @@
+//! Topology abstraction: the node/port graph the simulator runs on.
+//!
+//! Historically the simulator hard-wired a 2D mesh through `Coord`
+//! arithmetic. This module extracts that assumption into a
+//! [`TopologyOps`] trait plus four concrete instances:
+//!
+//! * [`MeshTopology`] — the original 2D mesh. Selecting it reproduces the
+//!   pre-refactor behaviour bit for bit (the safety rail).
+//! * [`TorusTopology`] — 2D torus with wraparound links; deadlock freedom
+//!   restored via dateline virtual channels.
+//! * [`CirculantTopology`] — ring circulant C(N; s1, s2) per Romanov 2019:
+//!   N nodes on a ring, each linked to `i ± s1` and `i ± s2` (mod N).
+//! * [`ChipletTopology`] — hierarchical chiplet mesh: a grid of chips,
+//!   each an on-chip mesh, with slower die-to-die boundary links.
+//!
+//! Every topology embeds its nodes in a bounding `width × height` grid so
+//! the flat row-major [`Coord::index`] addressing used throughout the
+//! simulator keeps working: mesh/torus use the grid directly, a circulant
+//! uses an `N × 1` strip, and a chiplet mesh uses the stitched
+//! `(chips_x·chip_width) × (chips_y·chip_height)` grid.
+//!
+//! Port model: all four topologies are degree-≤4 and reuse the mesh port
+//! set ([`Direction::MESH`]). For a circulant, East/West are the `±s1`
+//! ring links and South/North the `±s2` links. Port maps are symmetric:
+//! if `neighbor(a, d) == Some(b)` then `neighbor(b, d.opposite()) ==
+//! Some(a)` — the invariant link wiring and credit return rely on.
+
+use crate::config::{MeshConfig, RouterKind, RoutingKind};
+use crate::error::ConfigError;
+use crate::geometry::{Axis, AxisOrder, Coord, Direction};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Serializable topology selector stored in a simulation config.
+///
+/// The default is [`TopologyConfig::Mesh`], which defers entirely to the
+/// config's `MeshConfig` and reproduces pre-topology behaviour exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum TopologyConfig {
+    /// Plain 2D mesh over the config's `width × height` grid.
+    #[default]
+    Mesh,
+    /// 2D torus over the config's `width × height` grid (wraparound links).
+    Torus,
+    /// Ring circulant C(nodes; s1, s2): node `i` links to `i ± s1` and
+    /// `i ± s2` modulo `nodes`.
+    Circulant {
+        /// Ring size N.
+        nodes: u16,
+        /// Short generator (East/West ports).
+        s1: u16,
+        /// Long generator (South/North ports).
+        s2: u16,
+    },
+    /// Hierarchical chiplet mesh: `chips_x × chips_y` chips, each an
+    /// on-chip `chip_width × chip_height` mesh, stitched at chip
+    /// boundaries by die-to-die links of latency `d2d_delay` cycles.
+    Chiplet {
+        /// Number of chips along X.
+        chips_x: u16,
+        /// Number of chips along Y.
+        chips_y: u16,
+        /// On-chip mesh width per chip.
+        chip_width: u16,
+        /// On-chip mesh height per chip.
+        chip_height: u16,
+        /// Die-to-die link latency in cycles (on-chip links take 1).
+        d2d_delay: u8,
+    },
+}
+
+impl TopologyConfig {
+    /// The bounding grid this topology occupies, given the configured
+    /// mesh. Mesh and torus use `mesh` as-is; circulants use an `N × 1`
+    /// strip; chiplet meshes use the stitched multi-chip grid.
+    pub fn grid(&self, mesh: MeshConfig) -> MeshConfig {
+        match *self {
+            TopologyConfig::Mesh | TopologyConfig::Torus => mesh,
+            TopologyConfig::Circulant { nodes, .. } => MeshConfig::new(nodes, 1),
+            TopologyConfig::Chiplet { chips_x, chips_y, chip_width, chip_height, .. } => {
+                MeshConfig::new(chips_x * chip_width, chips_y * chip_height)
+            }
+        }
+    }
+
+    /// Resolves the selector into a validated [`Topology`] instance.
+    pub fn resolve(&self, mesh: MeshConfig) -> Result<Topology, ConfigError> {
+        let topo = match *self {
+            TopologyConfig::Mesh => Topology::Mesh(MeshTopology::new(mesh)?),
+            TopologyConfig::Torus => Topology::Torus(TorusTopology::new(mesh)?),
+            TopologyConfig::Circulant { nodes, s1, s2 } => {
+                Topology::Circulant(CirculantTopology::new(nodes, s1, s2)?)
+            }
+            TopologyConfig::Chiplet { chips_x, chips_y, chip_width, chip_height, d2d_delay } => {
+                Topology::Chiplet(ChipletTopology::new(
+                    chips_x,
+                    chips_y,
+                    chip_width,
+                    chip_height,
+                    d2d_delay,
+                )?)
+            }
+        };
+        Ok(topo)
+    }
+
+    /// Parses a CLI/environment topology spec.
+    ///
+    /// Accepted forms:
+    /// * `mesh`
+    /// * `torus`
+    /// * `circulant:N,s1,s2` — e.g. `circulant:13,1,5`
+    /// * `chiplet:CXxCY,WxH,D` — e.g. `chiplet:2x2,4x4,4`
+    pub fn parse_spec(spec: &str) -> Result<TopologyConfig, ConfigError> {
+        fn pair(s: &str, what: &str) -> Result<(u16, u16), ConfigError> {
+            let (a, b) = s
+                .split_once('x')
+                .ok_or_else(|| ConfigError::new(format!("expected WxH for {what}, got `{s}`")))?;
+            let a = a.parse::<u16>().map_err(|_| ConfigError::new(format!("bad {what} `{s}`")))?;
+            let b = b.parse::<u16>().map_err(|_| ConfigError::new(format!("bad {what} `{s}`")))?;
+            Ok((a, b))
+        }
+        match spec {
+            "mesh" => Ok(TopologyConfig::Mesh),
+            "torus" => Ok(TopologyConfig::Torus),
+            _ => {
+                if let Some(rest) = spec.strip_prefix("circulant:") {
+                    let parts: Vec<&str> = rest.split(',').collect();
+                    if parts.len() != 3 {
+                        return Err(ConfigError::new(format!(
+                            "expected circulant:N,s1,s2, got `{spec}`"
+                        )));
+                    }
+                    let nums: Result<Vec<u16>, _> =
+                        parts.iter().map(|p| p.trim().parse::<u16>()).collect();
+                    let nums =
+                        nums.map_err(|_| ConfigError::new(format!("bad circulant spec `{spec}`")))?;
+                    Ok(TopologyConfig::Circulant { nodes: nums[0], s1: nums[1], s2: nums[2] })
+                } else if let Some(rest) = spec.strip_prefix("chiplet:") {
+                    let parts: Vec<&str> = rest.split(',').collect();
+                    if parts.len() != 3 {
+                        return Err(ConfigError::new(format!(
+                            "expected chiplet:CXxCY,WxH,D, got `{spec}`"
+                        )));
+                    }
+                    let (cx, cy) = pair(parts[0].trim(), "chip grid")?;
+                    let (w, h) = pair(parts[1].trim(), "chip size")?;
+                    let d = parts[2]
+                        .trim()
+                        .parse::<u8>()
+                        .map_err(|_| ConfigError::new(format!("bad d2d delay `{}`", parts[2])))?;
+                    Ok(TopologyConfig::Chiplet {
+                        chips_x: cx,
+                        chips_y: cy,
+                        chip_width: w,
+                        chip_height: h,
+                        d2d_delay: d,
+                    })
+                } else {
+                    Err(ConfigError::new(format!(
+                        "unknown topology `{spec}` (expected mesh, torus, circulant:N,s1,s2 \
+                         or chiplet:CXxCY,WxH,D)"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for TopologyConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TopologyConfig::Mesh => f.write_str("mesh"),
+            TopologyConfig::Torus => f.write_str("torus"),
+            TopologyConfig::Circulant { nodes, s1, s2 } => {
+                write!(f, "circulant:{nodes},{s1},{s2}")
+            }
+            TopologyConfig::Chiplet { chips_x, chips_y, chip_width, chip_height, d2d_delay } => {
+                write!(f, "chiplet:{chips_x}x{chips_y},{chip_width}x{chip_height},{d2d_delay}")
+            }
+        }
+    }
+}
+
+/// The contract every topology implements: node set, port/neighbor map,
+/// per-link delay, routing-family restrictions and the deadlock-analysis
+/// hook (dateline classification) consumed by the CDG verifier.
+pub trait TopologyOps {
+    /// Bounding grid in which node coordinates live (row-major indexing
+    /// via [`Coord::index`] over `grid().width`).
+    fn grid(&self) -> MeshConfig;
+
+    /// Number of nodes. Equal to `grid().nodes()` for all shipped
+    /// topologies (the grid is fully populated).
+    fn nodes(&self) -> usize {
+        self.grid().nodes()
+    }
+
+    /// The neighbour reached from `node` through port `dir`, or `None`
+    /// when the port is unconnected (or `dir` is `Local`).
+    fn neighbor(&self, node: Coord, dir: Direction) -> Option<Coord>;
+
+    /// Latency in cycles of the link leaving `node` through `dir`
+    /// (flit and credit traversal alike). Only meaningful when the port
+    /// is connected; defaults to 1.
+    fn link_delay(&self, _node: Coord, _dir: Direction) -> u8 {
+        1
+    }
+
+    /// Upper bound of [`TopologyOps::link_delay`] over all links. The
+    /// simulator sizes its link-delay wheel from this; a value of 1
+    /// selects the legacy single-cycle fast path.
+    fn max_link_delay(&self) -> u8 {
+        1
+    }
+
+    /// Human-readable node name for reports and postmortems.
+    fn node_name(&self, node: Coord) -> String;
+
+    /// Minimal hop count between two nodes under this topology's metric.
+    fn hop_distance(&self, a: Coord, b: Coord) -> u32;
+
+    /// Whether the (router, routing) pair is supported, given the number
+    /// of virtual channels per port. Wraparound topologies require the
+    /// Generic router with deterministic XY routing and ≥ 2 VCs per port
+    /// (the dateline scheme needs a dedicated wrapped class).
+    fn check_support(
+        &self,
+        router: RouterKind,
+        routing: RoutingKind,
+        vcs_per_port: usize,
+    ) -> Result<(), ConfigError>;
+
+    /// True when rings close on themselves and dateline VC classes are
+    /// needed for deadlock freedom.
+    fn needs_dateline_vcs(&self) -> bool {
+        false
+    }
+
+    /// Dateline classification hook for the CDG verifier and VC
+    /// allocator: for a packet `src → dst`, has it already crossed the
+    /// dateline of the ring it is currently traversing when buffered at
+    /// `at` on the input side `in_side`? Non-wraparound topologies always
+    /// answer `false`.
+    fn dateline_class(&self, _src: Coord, _dst: Coord, _at: Coord, _in_side: Direction) -> bool {
+        false
+    }
+
+    /// Next hop of the canonical minimal route `src → dst` when standing
+    /// at `cur`, for wraparound topologies. Returns `None` for
+    /// topologies routed by the mesh DOR family (mesh, chiplet) and
+    /// `Some(Direction::Local)` at the destination.
+    fn wrap_step(&self, _src: Coord, _cur: Coord, _dst: Coord) -> Option<Direction> {
+        None
+    }
+
+    /// Validates the instance's parameters.
+    fn validate(&self) -> Result<(), ConfigError>;
+}
+
+/// Direction of ring travel minimising hops from `cur` to `dst` on a ring
+/// of `len` nodes, together with whether the positive direction was
+/// chosen. Ties (`fwd == bwd`) break towards the positive direction
+/// (East/South) so the choice is deterministic and path-consistent.
+fn ring_forward(cur: u16, dst: u16, len: u16) -> bool {
+    let fwd = (dst + len - cur) % len;
+    let bwd = len - fwd;
+    fwd <= bwd
+}
+
+/// Minimal ring distance between `a` and `b` on a ring of `len` nodes.
+fn ring_distance(a: u16, b: u16, len: u16) -> u32 {
+    let fwd = (b + len - a) % len;
+    (fwd.min(len - fwd)) as u32
+}
+
+/// The original 2D mesh. Behaviour is byte-identical to the pre-topology
+/// simulator when selected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeshTopology {
+    mesh: MeshConfig,
+}
+
+impl MeshTopology {
+    /// Creates a mesh topology over `mesh`, validating its dimensions.
+    pub fn new(mesh: MeshConfig) -> Result<Self, ConfigError> {
+        mesh.validate()?;
+        Ok(MeshTopology { mesh })
+    }
+}
+
+impl TopologyOps for MeshTopology {
+    fn grid(&self) -> MeshConfig {
+        self.mesh
+    }
+
+    fn neighbor(&self, node: Coord, dir: Direction) -> Option<Coord> {
+        node.neighbor(dir, self.mesh.width, self.mesh.height)
+    }
+
+    fn node_name(&self, node: Coord) -> String {
+        node.to_string()
+    }
+
+    fn hop_distance(&self, a: Coord, b: Coord) -> u32 {
+        a.manhattan_distance(b)
+    }
+
+    fn check_support(
+        &self,
+        _router: RouterKind,
+        _routing: RoutingKind,
+        _vcs_per_port: usize,
+    ) -> Result<(), ConfigError> {
+        Ok(())
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        self.mesh.validate()
+    }
+}
+
+/// 2D torus: the mesh plus wraparound links on every row and column.
+///
+/// Deadlock freedom: XY dimension-order routing removes cross-dimension
+/// cycles, and each ring's residual cycle is broken by a dateline —
+/// packets that crossed the wraparound boundary of the ring they are
+/// traversing move to the dedicated dateline VC class, so channel
+/// dependencies cannot close around the ring (Dally & Seitz datelines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TorusTopology {
+    mesh: MeshConfig,
+}
+
+impl TorusTopology {
+    /// Creates a torus over `mesh`. Requires at least 3×3 so that the
+    /// two ring directions reach distinct neighbours.
+    pub fn new(mesh: MeshConfig) -> Result<Self, ConfigError> {
+        let t = TorusTopology { mesh };
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// Has the canonical X-phase route `src → dst` already wrapped when
+    /// standing at `x`? The X ring direction is fixed by `src → dst`
+    /// alone, so this is a pure function of the packet header.
+    fn x_wrapped(&self, src: Coord, dst: Coord, x: u16) -> bool {
+        if src.x == dst.x {
+            return false;
+        }
+        if ring_forward(src.x, dst.x, self.mesh.width) {
+            // Travelling East: a wrap means our position fell below src.
+            x < src.x
+        } else {
+            x > src.x
+        }
+    }
+
+    fn y_wrapped(&self, src: Coord, dst: Coord, y: u16) -> bool {
+        if src.y == dst.y {
+            return false;
+        }
+        if ring_forward(src.y, dst.y, self.mesh.height) {
+            y < src.y
+        } else {
+            y > src.y
+        }
+    }
+}
+
+impl TopologyOps for TorusTopology {
+    fn grid(&self) -> MeshConfig {
+        self.mesh
+    }
+
+    fn neighbor(&self, node: Coord, dir: Direction) -> Option<Coord> {
+        let (w, h) = (self.mesh.width, self.mesh.height);
+        match dir {
+            Direction::North => Some(Coord::new(node.x, (node.y + h - 1) % h)),
+            Direction::South => Some(Coord::new(node.x, (node.y + 1) % h)),
+            Direction::East => Some(Coord::new((node.x + 1) % w, node.y)),
+            Direction::West => Some(Coord::new((node.x + w - 1) % w, node.y)),
+            Direction::Local => None,
+        }
+    }
+
+    fn node_name(&self, node: Coord) -> String {
+        node.to_string()
+    }
+
+    fn hop_distance(&self, a: Coord, b: Coord) -> u32 {
+        ring_distance(a.x, b.x, self.mesh.width) + ring_distance(a.y, b.y, self.mesh.height)
+    }
+
+    fn check_support(
+        &self,
+        router: RouterKind,
+        routing: RoutingKind,
+        vcs_per_port: usize,
+    ) -> Result<(), ConfigError> {
+        wraparound_support("torus", router, routing, vcs_per_port)
+    }
+
+    fn needs_dateline_vcs(&self) -> bool {
+        true
+    }
+
+    fn dateline_class(&self, src: Coord, dst: Coord, at: Coord, in_side: Direction) -> bool {
+        match in_side.axis() {
+            // Buffered on an X-side port: the packet is in its X phase.
+            Some(Axis::X) => self.x_wrapped(src, dst, at.x),
+            Some(Axis::Y) => self.y_wrapped(src, dst, at.y),
+            None => false,
+        }
+    }
+
+    fn wrap_step(&self, _src: Coord, cur: Coord, dst: Coord) -> Option<Direction> {
+        if cur == dst {
+            return Some(Direction::Local);
+        }
+        if cur.x != dst.x {
+            Some(if ring_forward(cur.x, dst.x, self.mesh.width) {
+                Direction::East
+            } else {
+                Direction::West
+            })
+        } else {
+            Some(if ring_forward(cur.y, dst.y, self.mesh.height) {
+                Direction::South
+            } else {
+                Direction::North
+            })
+        }
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.mesh.width < 3 || self.mesh.height < 3 {
+            return Err(ConfigError::new(format!(
+                "torus requires at least a 3x3 grid, got {}x{}",
+                self.mesh.width, self.mesh.height
+            )));
+        }
+        self.mesh.validate()
+    }
+}
+
+/// Ring circulant C(N; s1, s2): N nodes on a ring where node `i` links to
+/// `i ± s1` (East/West ports) and `i ± s2` (South/North ports), all
+/// modulo N. Romanov 2019 shows well-chosen circulants beat meshes and
+/// tori of equal degree on diameter and average distance.
+///
+/// Routing uses a canonical minimal decomposition `delta = a·s1 + b·s2
+/// (mod N)` computed once by BFS: the `a` steps run first (the "s1
+/// phase", East/West), then the `b` steps (the "s2 phase", South/North) —
+/// a dimension-order discipline on the two generators. Deadlock freedom
+/// mirrors the torus argument: the phase order removes cross-generator
+/// cycles, and each generator's ring is cut by a dateline at residue 0
+/// (a step that wraps past node 0 moves the packet to the dateline VC
+/// class). Validation guarantees each phase wraps at most once.
+#[derive(Debug, Clone)]
+pub struct CirculantTopology {
+    n: u16,
+    s1: u16,
+    s2: u16,
+    /// Canonical minimal (a, b) decomposition for every delta in 0..N:
+    /// delta ≡ a·s1 + b·s2 (mod N), |a| + |b| minimal, ties broken by
+    /// BFS step order (+s1, −s1, +s2, −s2).
+    decomp: Arc<[(i16, i16)]>,
+}
+
+impl PartialEq for CirculantTopology {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.s1 == other.s1 && self.s2 == other.s2
+    }
+}
+
+impl Eq for CirculantTopology {}
+
+impl CirculantTopology {
+    /// Builds C(N; s1, s2), computing the canonical route decomposition
+    /// table and validating the parameters.
+    pub fn new(n: u16, s1: u16, s2: u16) -> Result<Self, ConfigError> {
+        if n < 5 {
+            return Err(ConfigError::new(format!("circulant needs at least 5 nodes, got {n}")));
+        }
+        if s1 == 0 || s2 == 0 || s1 >= n || s2 >= n {
+            return Err(ConfigError::new(format!(
+                "circulant generators must satisfy 0 < s1, s2 < N; got s1={s1}, s2={s2}, N={n}"
+            )));
+        }
+        if s1 >= s2 {
+            return Err(ConfigError::new(format!(
+                "circulant generators must satisfy s1 < s2; got s1={s1}, s2={s2}"
+            )));
+        }
+        if 2 * s1 == n || 2 * s2 == n || s1 + s2 == n {
+            return Err(ConfigError::new(format!(
+                "degenerate circulant C({n};{s1},{s2}): generators may not coincide \
+                 or oppose (2*s1, 2*s2 and s1+s2 must differ from N)"
+            )));
+        }
+        let decomp = Self::decompose(n, s1, s2)?;
+        let t = CirculantTopology { n, s1, s2, decomp: decomp.into() };
+        Ok(t)
+    }
+
+    /// BFS over residues from 0 with fixed step order (+s1, −s1, +s2,
+    /// −s2), recording the first (shortest, canonically tie-broken)
+    /// (a, b) decomposition of every delta.
+    fn decompose(n: u16, s1: u16, s2: u16) -> Result<Vec<(i16, i16)>, ConfigError> {
+        let n_us = n as usize;
+        let mut table: Vec<Option<(i16, i16)>> = vec![None; n_us];
+        table[0] = Some((0, 0));
+        let mut frontier = vec![0usize];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &node in &frontier {
+                let (a, b) = table[node].unwrap();
+                let steps = [
+                    ((node + s1 as usize) % n_us, (a + 1, b)),
+                    ((node + n_us - s1 as usize) % n_us, (a - 1, b)),
+                    ((node + s2 as usize) % n_us, (a, b + 1)),
+                    ((node + n_us - s2 as usize) % n_us, (a, b - 1)),
+                ];
+                for (dest, dec) in steps {
+                    if table[dest].is_none() {
+                        table[dest] = Some(dec);
+                        next.push(dest);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        let mut out = Vec::with_capacity(n_us);
+        for (delta, entry) in table.into_iter().enumerate() {
+            let (a, b) = entry.ok_or_else(|| {
+                ConfigError::new(format!(
+                    "circulant C({n};{s1},{s2}) is disconnected: residue {delta} unreachable"
+                ))
+            })?;
+            // Each routing phase must wrap the ring at most once so the
+            // single-dateline VC scheme stays sound.
+            if (a.unsigned_abs() as u32) * (s1 as u32) >= n as u32
+                || (b.unsigned_abs() as u32) * (s2 as u32) >= n as u32
+            {
+                return Err(ConfigError::new(format!(
+                    "circulant C({n};{s1},{s2}): canonical route for delta {delta} \
+                     wraps a generator ring more than once"
+                )));
+            }
+            out.push((a, b));
+        }
+        Ok(out)
+    }
+
+    /// Ring size N.
+    pub fn len(&self) -> u16 {
+        self.n
+    }
+
+    /// True when the ring is empty (never: construction requires N ≥ 5).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The generators (s1, s2).
+    pub fn generators(&self) -> (u16, u16) {
+        (self.s1, self.s2)
+    }
+
+    fn residue(&self, c: Coord) -> u16 {
+        c.x
+    }
+
+    fn step(&self, node: u16, dir: Direction) -> u16 {
+        let n = self.n;
+        match dir {
+            Direction::East => (node + self.s1) % n,
+            Direction::West => (node + n - self.s1) % n,
+            Direction::South => (node + self.s2) % n,
+            Direction::North => (node + n - self.s2) % n,
+            Direction::Local => node,
+        }
+    }
+
+    /// Walks the canonical route `src → dst` and reports, per hop, the
+    /// position *before* the hop, the hop direction, and whether the
+    /// packet has wrapped within the current phase once the hop lands.
+    fn walk<F: FnMut(u16, Direction, bool) -> bool>(&self, src: u16, dst: u16, mut visit: F) {
+        let delta = ((dst + self.n - src) % self.n) as usize;
+        let (a, b) = self.decomp[delta];
+        let mut pos = src;
+        let mut wrapped = false;
+        let (dir_a, steps_a) =
+            if a >= 0 { (Direction::East, a as u16) } else { (Direction::West, a.unsigned_abs()) };
+        for _ in 0..steps_a {
+            let next = self.step(pos, dir_a);
+            // A +s step wraps when it passes residue 0 going up; a −s
+            // step when it passes 0 going down.
+            wrapped |= if dir_a == Direction::East { next < pos } else { next > pos };
+            if !visit(pos, dir_a, wrapped) {
+                return;
+            }
+            pos = next;
+        }
+        wrapped = false;
+        let (dir_b, steps_b) = if b >= 0 {
+            (Direction::South, b as u16)
+        } else {
+            (Direction::North, b.unsigned_abs())
+        };
+        for _ in 0..steps_b {
+            let next = self.step(pos, dir_b);
+            wrapped |= if dir_b == Direction::South { next < pos } else { next > pos };
+            if !visit(pos, dir_b, wrapped) {
+                return;
+            }
+            pos = next;
+        }
+    }
+}
+
+impl TopologyOps for CirculantTopology {
+    fn grid(&self) -> MeshConfig {
+        MeshConfig::new(self.n, 1)
+    }
+
+    fn neighbor(&self, node: Coord, dir: Direction) -> Option<Coord> {
+        if dir == Direction::Local || node.y != 0 || node.x >= self.n {
+            return None;
+        }
+        Some(Coord::new(self.step(node.x, dir), 0))
+    }
+
+    fn node_name(&self, node: Coord) -> String {
+        format!("#{}", node.x)
+    }
+
+    fn hop_distance(&self, a: Coord, b: Coord) -> u32 {
+        let delta = ((self.residue(b) + self.n - self.residue(a)) % self.n) as usize;
+        let (x, y) = self.decomp[delta];
+        x.unsigned_abs() as u32 + y.unsigned_abs() as u32
+    }
+
+    fn check_support(
+        &self,
+        router: RouterKind,
+        routing: RoutingKind,
+        vcs_per_port: usize,
+    ) -> Result<(), ConfigError> {
+        wraparound_support("circulant", router, routing, vcs_per_port)
+    }
+
+    fn needs_dateline_vcs(&self) -> bool {
+        true
+    }
+
+    fn dateline_class(&self, src: Coord, dst: Coord, at: Coord, in_side: Direction) -> bool {
+        let phase_axis = match in_side.axis() {
+            Some(axis) => axis,
+            None => return false,
+        };
+        let (src_r, dst_r, at_r) = (self.residue(src), self.residue(dst), self.residue(at));
+        if src_r == dst_r {
+            return false;
+        }
+        let mut out = false;
+        self.walk(src_r, dst_r, |pos, dir, wrapped| {
+            let landing = self.step(pos, dir);
+            if landing == at_r && dir.axis() == Some(phase_axis) {
+                out = wrapped;
+                return false;
+            }
+            true
+        });
+        out
+    }
+
+    fn wrap_step(&self, src: Coord, cur: Coord, dst: Coord) -> Option<Direction> {
+        if cur == dst {
+            return Some(Direction::Local);
+        }
+        let (src_r, cur_r, dst_r) = (self.residue(src), self.residue(cur), self.residue(dst));
+        let mut found = None;
+        self.walk(src_r, dst_r, |pos, dir, _| {
+            if pos == cur_r {
+                found = Some(dir);
+                return false;
+            }
+            true
+        });
+        // A flit can only sit on its canonical path; fall back to a fresh
+        // minimal route from the current node if the walk missed it.
+        found.or_else(|| {
+            let mut first = None;
+            self.walk(cur_r, dst_r, |_, dir, _| {
+                first = Some(dir);
+                false
+            });
+            first
+        })
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        // Construction already validated; re-run the cheap checks.
+        if self.n < 5 || self.s1 == 0 || self.s1 >= self.s2 {
+            return Err(ConfigError::new("invalid circulant parameters".to_string()));
+        }
+        Ok(())
+    }
+}
+
+/// Hierarchical chiplet mesh: `chips_x × chips_y` chips, each an on-chip
+/// `chip_width × chip_height` mesh. Adjacent chips are stitched along
+/// their facing edges, so the node graph is a plain
+/// `(chips_x·chip_width) × (chips_y·chip_height)` mesh — but links that
+/// cross a chip boundary are die-to-die and take `d2d_delay` cycles
+/// instead of 1 (per-port wire delays as in popnet_chiplet's
+/// `getWireDelay_chipletMesh`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChipletTopology {
+    chips_x: u16,
+    chips_y: u16,
+    chip_width: u16,
+    chip_height: u16,
+    d2d_delay: u8,
+}
+
+impl ChipletTopology {
+    /// Builds a chiplet mesh and validates the parameters.
+    pub fn new(
+        chips_x: u16,
+        chips_y: u16,
+        chip_width: u16,
+        chip_height: u16,
+        d2d_delay: u8,
+    ) -> Result<Self, ConfigError> {
+        let t = ChipletTopology { chips_x, chips_y, chip_width, chip_height, d2d_delay };
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// Die-to-die link latency in cycles.
+    pub fn d2d_delay(&self) -> u8 {
+        self.d2d_delay
+    }
+
+    /// True when the link leaving `node` through `dir` crosses a chip
+    /// boundary (and is therefore a die-to-die link).
+    fn crosses_boundary(&self, node: Coord, dir: Direction) -> bool {
+        match dir {
+            Direction::East => (node.x + 1) % self.chip_width == 0,
+            Direction::West => node.x % self.chip_width == 0,
+            Direction::South => (node.y + 1) % self.chip_height == 0,
+            Direction::North => node.y % self.chip_height == 0,
+            Direction::Local => false,
+        }
+    }
+}
+
+impl TopologyOps for ChipletTopology {
+    fn grid(&self) -> MeshConfig {
+        MeshConfig::new(self.chips_x * self.chip_width, self.chips_y * self.chip_height)
+    }
+
+    fn neighbor(&self, node: Coord, dir: Direction) -> Option<Coord> {
+        let g = self.grid();
+        node.neighbor(dir, g.width, g.height)
+    }
+
+    fn link_delay(&self, node: Coord, dir: Direction) -> u8 {
+        if self.crosses_boundary(node, dir) {
+            self.d2d_delay
+        } else {
+            1
+        }
+    }
+
+    fn max_link_delay(&self) -> u8 {
+        self.d2d_delay.max(1)
+    }
+
+    fn node_name(&self, node: Coord) -> String {
+        let (cx, cy) = (node.x / self.chip_width, node.y / self.chip_height);
+        let (lx, ly) = (node.x % self.chip_width, node.y % self.chip_height);
+        format!("chip({cx},{cy})/({lx},{ly})")
+    }
+
+    fn hop_distance(&self, a: Coord, b: Coord) -> u32 {
+        a.manhattan_distance(b)
+    }
+
+    fn check_support(
+        &self,
+        _router: RouterKind,
+        _routing: RoutingKind,
+        _vcs_per_port: usize,
+    ) -> Result<(), ConfigError> {
+        Ok(())
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.chips_x == 0 || self.chips_y == 0 {
+            return Err(ConfigError::new("chiplet grid must have at least one chip".to_string()));
+        }
+        if self.chip_width == 0 || self.chip_height == 0 {
+            return Err(ConfigError::new("chip dimensions must be positive".to_string()));
+        }
+        if self.d2d_delay == 0 {
+            return Err(ConfigError::new("die-to-die delay must be at least 1 cycle".to_string()));
+        }
+        self.grid().validate()
+    }
+}
+
+/// A resolved topology instance. Delegates [`TopologyOps`] to the
+/// concrete variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Topology {
+    /// The original 2D mesh.
+    Mesh(MeshTopology),
+    /// 2D torus with wraparound links.
+    Torus(TorusTopology),
+    /// Ring circulant C(N; s1, s2).
+    Circulant(CirculantTopology),
+    /// Hierarchical chiplet mesh.
+    Chiplet(ChipletTopology),
+}
+
+impl Topology {
+    /// Convenience constructor for the common mesh case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mesh` fails validation; use [`MeshTopology::new`] for a
+    /// fallible build.
+    pub fn mesh(mesh: MeshConfig) -> Topology {
+        Topology::Mesh(MeshTopology::new(mesh).expect("invalid mesh config"))
+    }
+
+    /// True for mesh-family topologies routed by the DOR/adaptive mesh
+    /// routing functions (mesh and chiplet); false for wraparound
+    /// topologies with their own canonical routes.
+    pub fn is_mesh_routed(&self) -> bool {
+        matches!(self, Topology::Mesh(_) | Topology::Chiplet(_))
+    }
+
+    /// The [`TopologyConfig`] selector that resolves back to this
+    /// instance (given the same grid).
+    pub fn config(&self) -> TopologyConfig {
+        match self {
+            Topology::Mesh(_) => TopologyConfig::Mesh,
+            Topology::Torus(_) => TopologyConfig::Torus,
+            Topology::Circulant(c) => TopologyConfig::Circulant { nodes: c.n, s1: c.s1, s2: c.s2 },
+            Topology::Chiplet(c) => TopologyConfig::Chiplet {
+                chips_x: c.chips_x,
+                chips_y: c.chips_y,
+                chip_width: c.chip_width,
+                chip_height: c.chip_height,
+                d2d_delay: c.d2d_delay,
+            },
+        }
+    }
+}
+
+impl From<MeshConfig> for Topology {
+    fn from(mesh: MeshConfig) -> Topology {
+        Topology::mesh(mesh)
+    }
+}
+
+impl From<&Topology> for Topology {
+    fn from(t: &Topology) -> Topology {
+        t.clone()
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $t:ident => $body:expr) => {
+        match $self {
+            Topology::Mesh($t) => $body,
+            Topology::Torus($t) => $body,
+            Topology::Circulant($t) => $body,
+            Topology::Chiplet($t) => $body,
+        }
+    };
+}
+
+impl TopologyOps for Topology {
+    fn grid(&self) -> MeshConfig {
+        delegate!(self, t => t.grid())
+    }
+
+    fn nodes(&self) -> usize {
+        delegate!(self, t => t.nodes())
+    }
+
+    fn neighbor(&self, node: Coord, dir: Direction) -> Option<Coord> {
+        delegate!(self, t => t.neighbor(node, dir))
+    }
+
+    fn link_delay(&self, node: Coord, dir: Direction) -> u8 {
+        delegate!(self, t => t.link_delay(node, dir))
+    }
+
+    fn max_link_delay(&self) -> u8 {
+        delegate!(self, t => t.max_link_delay())
+    }
+
+    fn node_name(&self, node: Coord) -> String {
+        delegate!(self, t => t.node_name(node))
+    }
+
+    fn hop_distance(&self, a: Coord, b: Coord) -> u32 {
+        delegate!(self, t => t.hop_distance(a, b))
+    }
+
+    fn check_support(
+        &self,
+        router: RouterKind,
+        routing: RoutingKind,
+        vcs_per_port: usize,
+    ) -> Result<(), ConfigError> {
+        delegate!(self, t => t.check_support(router, routing, vcs_per_port))
+    }
+
+    fn needs_dateline_vcs(&self) -> bool {
+        delegate!(self, t => t.needs_dateline_vcs())
+    }
+
+    fn dateline_class(&self, src: Coord, dst: Coord, at: Coord, in_side: Direction) -> bool {
+        delegate!(self, t => t.dateline_class(src, dst, at, in_side))
+    }
+
+    fn wrap_step(&self, src: Coord, cur: Coord, dst: Coord) -> Option<Direction> {
+        delegate!(self, t => t.wrap_step(src, cur, dst))
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        delegate!(self, t => t.validate())
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.config().fmt(f)
+    }
+}
+
+fn wraparound_support(
+    name: &str,
+    router: RouterKind,
+    routing: RoutingKind,
+    vcs_per_port: usize,
+) -> Result<(), ConfigError> {
+    if router != RouterKind::Generic {
+        return Err(ConfigError::new(format!(
+            "{name} topology requires the generic router (RoCo and path-sensitive VC \
+             layouts cannot express dateline classes); got {router}"
+        )));
+    }
+    if routing != RoutingKind::Xy {
+        return Err(ConfigError::new(format!(
+            "{name} topology requires deterministic XY routing (adaptive mesh turn \
+             models are unsound under wraparound); got {routing}"
+        )));
+    }
+    if vcs_per_port < 2 {
+        return Err(ConfigError::new(format!(
+            "{name} topology needs >= 2 VCs per port for the dateline scheme; got \
+             {vcs_per_port}"
+        )));
+    }
+    Ok(())
+}
+
+/// The axis order implied by a wraparound topology's canonical routes.
+/// Both torus XY-DOR and the circulant s1-then-s2 discipline exhaust the
+/// X-mapped generator first.
+pub const WRAP_AXIS_ORDER: AxisOrder = AxisOrder::Xy;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_topologies() -> Vec<Topology> {
+        vec![
+            Topology::Mesh(MeshTopology::new(MeshConfig::new(4, 4)).unwrap()),
+            Topology::Torus(TorusTopology::new(MeshConfig::new(4, 4)).unwrap()),
+            Topology::Circulant(CirculantTopology::new(13, 1, 5).unwrap()),
+            Topology::Chiplet(ChipletTopology::new(2, 2, 3, 3, 4).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn port_maps_are_symmetric() {
+        for topo in all_topologies() {
+            let g = topo.grid();
+            for idx in 0..topo.nodes() {
+                let a = Coord::from_index(idx, g.width);
+                for dir in Direction::MESH {
+                    if let Some(b) = topo.neighbor(a, dir) {
+                        assert_eq!(
+                            topo.neighbor(b, dir.opposite()),
+                            Some(a),
+                            "asymmetric port map on {topo}: {a} --{dir}--> {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_topology_matches_coord_arithmetic() {
+        let mesh = MeshConfig::new(5, 3);
+        let topo = Topology::mesh(mesh);
+        for idx in 0..mesh.nodes() {
+            let c = Coord::from_index(idx, mesh.width);
+            for dir in Direction::ALL {
+                assert_eq!(topo.neighbor(c, dir), c.neighbor(dir, mesh.width, mesh.height));
+            }
+        }
+    }
+
+    #[test]
+    fn torus_wraps_edges() {
+        let t = TorusTopology::new(MeshConfig::new(4, 3)).unwrap();
+        assert_eq!(t.neighbor(Coord::new(0, 0), Direction::West), Some(Coord::new(3, 0)));
+        assert_eq!(t.neighbor(Coord::new(3, 0), Direction::East), Some(Coord::new(0, 0)));
+        assert_eq!(t.neighbor(Coord::new(0, 0), Direction::North), Some(Coord::new(0, 2)));
+        assert_eq!(t.neighbor(Coord::new(0, 2), Direction::South), Some(Coord::new(0, 0)));
+    }
+
+    #[test]
+    fn torus_routes_are_minimal_and_terminate() {
+        let t = TorusTopology::new(MeshConfig::new(5, 4)).unwrap();
+        let g = t.grid();
+        for s in 0..t.nodes() {
+            for d in 0..t.nodes() {
+                let src = Coord::from_index(s, g.width);
+                let dst = Coord::from_index(d, g.width);
+                let mut cur = src;
+                let mut hops = 0;
+                loop {
+                    match t.wrap_step(src, cur, dst) {
+                        Some(Direction::Local) => break,
+                        Some(dir) => {
+                            cur = t.neighbor(cur, dir).unwrap();
+                            hops += 1;
+                            assert!(hops <= 16, "route {src}->{dst} does not terminate");
+                        }
+                        None => panic!("torus must always produce a step"),
+                    }
+                }
+                assert_eq!(cur, dst);
+                assert_eq!(hops, t.hop_distance(src, dst), "non-minimal route {src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_dateline_is_path_consistent() {
+        // Walking any route, the dateline class must start false in each
+        // phase and flip to true at most once (never back to false).
+        let t = TorusTopology::new(MeshConfig::new(5, 5)).unwrap();
+        let g = t.grid();
+        for s in 0..t.nodes() {
+            for d in 0..t.nodes() {
+                let src = Coord::from_index(s, g.width);
+                let dst = Coord::from_index(d, g.width);
+                let mut cur = src;
+                let mut prev_axis = None;
+                let mut prev_class = false;
+                loop {
+                    let dir = match t.wrap_step(src, cur, dst) {
+                        Some(Direction::Local) | None => break,
+                        Some(dir) => dir,
+                    };
+                    let next = t.neighbor(cur, dir).unwrap();
+                    let class = t.dateline_class(src, dst, next, dir.opposite());
+                    let axis = dir.axis();
+                    if axis == prev_axis {
+                        assert!(
+                            class || !prev_class,
+                            "dateline class reverted on {src}->{dst} at {next}"
+                        );
+                    }
+                    prev_axis = axis;
+                    prev_class = class;
+                    cur = next;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn circulant_c13_1_5_has_diameter_two() {
+        // C(13; 1, 5) is the classic optimal circulant: 13 nodes, degree
+        // 4, diameter 2.
+        let c = CirculantTopology::new(13, 1, 5).unwrap();
+        let mut diameter = 0;
+        for a in 0..13 {
+            for b in 0..13 {
+                diameter = diameter.max(c.hop_distance(Coord::new(a, 0), Coord::new(b, 0)));
+            }
+        }
+        assert_eq!(diameter, 2);
+    }
+
+    #[test]
+    fn circulant_routes_are_minimal_and_terminate() {
+        for (n, s1, s2) in [(13u16, 1u16, 5u16), (12, 1, 5), (16, 1, 7), (11, 2, 3)] {
+            let c = match CirculantTopology::new(n, s1, s2) {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            let topo = Topology::Circulant(c.clone());
+            for s in 0..n {
+                for d in 0..n {
+                    let src = Coord::new(s, 0);
+                    let dst = Coord::new(d, 0);
+                    let mut cur = src;
+                    let mut hops = 0;
+                    loop {
+                        match topo.wrap_step(src, cur, dst) {
+                            Some(Direction::Local) => break,
+                            Some(dir) => {
+                                cur = topo.neighbor(cur, dir).unwrap();
+                                hops += 1;
+                                assert!(hops <= n as u32, "no termination {src}->{dst}");
+                            }
+                            None => panic!("circulant must produce a step"),
+                        }
+                    }
+                    assert_eq!(cur, dst);
+                    assert_eq!(hops, topo.hop_distance(src, dst));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn circulant_rejects_degenerate_parameters() {
+        assert!(CirculantTopology::new(4, 1, 2).is_err(), "too small");
+        assert!(CirculantTopology::new(10, 0, 3).is_err(), "zero generator");
+        assert!(CirculantTopology::new(10, 3, 3).is_err(), "equal generators");
+        assert!(CirculantTopology::new(10, 1, 5).is_err(), "2*s2 == N");
+        assert!(CirculantTopology::new(10, 3, 7).is_err(), "s1+s2 == N");
+    }
+
+    #[test]
+    fn chiplet_boundary_links_are_slow() {
+        let c = ChipletTopology::new(2, 2, 3, 3, 4).unwrap();
+        // Inside chip (0,0): short links.
+        assert_eq!(c.link_delay(Coord::new(1, 1), Direction::East), 1);
+        // Crossing from chip (0,0) into chip (1,0): die-to-die.
+        assert_eq!(c.link_delay(Coord::new(2, 1), Direction::East), 4);
+        assert_eq!(c.link_delay(Coord::new(3, 1), Direction::West), 4);
+        // Vertical boundary.
+        assert_eq!(c.link_delay(Coord::new(1, 2), Direction::South), 4);
+        assert_eq!(c.link_delay(Coord::new(1, 3), Direction::North), 4);
+        // Mesh edge ports are unconnected but boundary math still holds.
+        assert_eq!(c.max_link_delay(), 4);
+        assert_eq!(c.grid(), MeshConfig::new(6, 6));
+    }
+
+    #[test]
+    fn chiplet_names_nodes_by_chip() {
+        let c = ChipletTopology::new(2, 2, 3, 3, 4).unwrap();
+        assert_eq!(c.node_name(Coord::new(4, 1)), "chip(1,0)/(1,1)");
+        let circ = CirculantTopology::new(13, 1, 5).unwrap();
+        assert_eq!(circ.node_name(Coord::new(7, 0)), "#7");
+    }
+
+    #[test]
+    fn config_grid_and_resolve_round_trip() {
+        let mesh = MeshConfig::new(6, 6);
+        for cfg in [
+            TopologyConfig::Mesh,
+            TopologyConfig::Torus,
+            TopologyConfig::Circulant { nodes: 13, s1: 1, s2: 5 },
+            TopologyConfig::Chiplet {
+                chips_x: 2,
+                chips_y: 2,
+                chip_width: 3,
+                chip_height: 3,
+                d2d_delay: 4,
+            },
+        ] {
+            let grid = cfg.grid(mesh);
+            let topo = cfg.resolve(grid).unwrap();
+            assert_eq!(topo.grid(), grid);
+            assert_eq!(topo.config(), cfg);
+            assert_eq!(TopologyConfig::parse_spec(&cfg.to_string()).unwrap(), cfg);
+        }
+    }
+
+    #[test]
+    fn parse_spec_rejects_garbage() {
+        assert!(TopologyConfig::parse_spec("hypercube").is_err());
+        assert!(TopologyConfig::parse_spec("circulant:13,1").is_err());
+        assert!(TopologyConfig::parse_spec("chiplet:2x2").is_err());
+        assert_eq!(
+            TopologyConfig::parse_spec("chiplet:2x2,4x4,4").unwrap(),
+            TopologyConfig::Chiplet {
+                chips_x: 2,
+                chips_y: 2,
+                chip_width: 4,
+                chip_height: 4,
+                d2d_delay: 4
+            }
+        );
+    }
+
+    #[test]
+    fn support_restrictions() {
+        let torus = Topology::Torus(TorusTopology::new(MeshConfig::new(4, 4)).unwrap());
+        assert!(torus.check_support(RouterKind::Generic, RoutingKind::Xy, 2).is_ok());
+        assert!(torus.check_support(RouterKind::RoCo, RoutingKind::Xy, 3).is_err());
+        assert!(torus.check_support(RouterKind::Generic, RoutingKind::Adaptive, 2).is_err());
+        assert!(torus.check_support(RouterKind::Generic, RoutingKind::Xy, 1).is_err());
+        let mesh = Topology::mesh(MeshConfig::new(4, 4));
+        assert!(mesh.check_support(RouterKind::RoCo, RoutingKind::Adaptive, 3).is_ok());
+    }
+
+    #[test]
+    fn torus_requires_3x3() {
+        assert!(TorusTopology::new(MeshConfig::new(2, 4)).is_err());
+        assert!(TorusTopology::new(MeshConfig::new(3, 3)).is_ok());
+    }
+}

@@ -145,6 +145,11 @@ pub struct VcRequest {
     /// destinations set two bits; `0` when the destination is the
     /// downstream router itself.
     pub quadrant_mask: u8,
+    /// Dateline class of the packet at the downstream router: `true`
+    /// once it has crossed the wraparound dateline of the ring it is
+    /// currently traversing (always `false` on non-wraparound
+    /// topologies).
+    pub dateline: bool,
 }
 
 /// Static description of one virtual channel at a router input, published
@@ -173,6 +178,12 @@ pub struct VcDescriptor {
     /// Optional restriction to one arrival port ("three groups of VCs to
     /// hold flits from possible directions from the previous router").
     pub arrival: Option<Direction>,
+    /// Optional restriction to one dateline class (wraparound
+    /// topologies): `Some(false)` holds packets that have not crossed
+    /// the current ring's dateline, `Some(true)` those that have.
+    /// `None` admits both (all mesh-topology channels).
+    #[serde(default)]
+    pub dateline: Option<bool>,
 }
 
 impl VcDescriptor {
@@ -186,6 +197,7 @@ impl VcDescriptor {
             order: None,
             quadrant: None,
             arrival: None,
+            dateline: None,
         }
     }
 
@@ -219,6 +231,13 @@ impl VcDescriptor {
         self
     }
 
+    /// Restricts the channel to one dateline class (wraparound
+    /// topologies' deadlock-avoidance partition).
+    pub fn with_dateline(mut self, crossed: bool) -> Self {
+        self.dateline = Some(crossed);
+        self
+    }
+
     /// Whether a flit described by `req` may be allocated this channel.
     pub fn accepts(&self, req: &VcRequest) -> bool {
         if self.capacity == 0 {
@@ -239,6 +258,11 @@ impl VcDescriptor {
         }
         if let Some(a) = self.arrival {
             if a != req.in_dir {
+                return false;
+            }
+        }
+        if let Some(d) = self.dateline {
+            if d != req.dateline {
                 return false;
             }
         }
@@ -332,7 +356,28 @@ mod tests {
     }
 
     fn req(in_dir: Direction, out_dir: Direction) -> VcRequest {
-        VcRequest { in_dir, out_dir, order: crate::geometry::AxisOrder::Xy, quadrant_mask: 0b1111 }
+        VcRequest {
+            in_dir,
+            out_dir,
+            order: crate::geometry::AxisOrder::Xy,
+            quadrant_mask: 0b1111,
+            dateline: false,
+        }
+    }
+
+    #[test]
+    fn descriptor_dateline_filter() {
+        let pre = VcDescriptor::new(VcAdmission::Any, 5).with_dateline(false);
+        let post = VcDescriptor::new(VcAdmission::Any, 5).with_dateline(true);
+        let both = VcDescriptor::new(VcAdmission::Any, 5);
+        let mut r = req(West, East);
+        assert!(pre.accepts(&r));
+        assert!(!post.accepts(&r));
+        assert!(both.accepts(&r));
+        r.dateline = true;
+        assert!(!pre.accepts(&r));
+        assert!(post.accepts(&r));
+        assert!(both.accepts(&r));
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Property tests for the topology abstraction (ISSUE 9), mirroring
+//! the mask sweep style of `noc-deadlock/tests/masked_property.rs`:
+//! every supported topology must expose a *symmetric* port map (a link
+//! is one physical object seen from two ends) and build link masks
+//! that round-trip through published node statuses exactly like the
+//! simulator's fault view does.
+
+use noc_core::{
+    Coord, Direction, LinkMask, MeshConfig, ModuleHealth, NodeStatus, ReachabilityMap, Topology,
+    TopologyConfig, TopologyOps,
+};
+
+/// Dependency-free splitmix64, so the test needs no RNG crate.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Every topology family at a few shapes each.
+fn topologies() -> Vec<(String, Topology)> {
+    let mut out = Vec::new();
+    for (w, h) in [(2u16, 2u16), (4, 3), (5, 5)] {
+        let t = TopologyConfig::Mesh.resolve(MeshConfig::new(w, h)).unwrap();
+        out.push((format!("mesh {w}x{h}"), t));
+    }
+    for (w, h) in [(3u16, 3u16), (4, 4), (5, 3)] {
+        let t = TopologyConfig::Torus.resolve(MeshConfig::new(w, h)).unwrap();
+        out.push((format!("torus {w}x{h}"), t));
+    }
+    for (n, s1, s2) in [(13u16, 1u16, 5u16), (16, 1, 7), (25, 1, 7)] {
+        let cfg = TopologyConfig::Circulant { nodes: n, s1, s2 };
+        let t = cfg.resolve(MeshConfig::new(n, 1)).unwrap();
+        out.push((format!("circulant C({n};{s1},{s2})"), t));
+    }
+    for (cx, cy, w, h, d) in [(2u16, 1u16, 3u16, 3u16, 2u8), (2, 2, 2, 2, 3), (3, 2, 2, 3, 4)] {
+        let cfg = TopologyConfig::Chiplet {
+            chips_x: cx,
+            chips_y: cy,
+            chip_width: w,
+            chip_height: h,
+            d2d_delay: d,
+        };
+        let t = cfg.resolve(cfg.grid(MeshConfig::new(1, 1))).unwrap();
+        out.push((format!("chiplet {cx}x{cy} of {w}x{h} (d2d {d})"), t));
+    }
+    out
+}
+
+fn nodes_of(topo: &Topology) -> impl Iterator<Item = Coord> + '_ {
+    let grid = topo.grid();
+    (0..topo.nodes()).map(move |i| Coord::from_index(i, grid.width))
+}
+
+#[test]
+fn port_map_is_symmetric_on_every_topology() {
+    // A link is one physical object: if `n`'s `d` port reaches `m`,
+    // then `m`'s opposite port must reach `n`, with the same per-link
+    // delay seen from both ends. This is what lets the simulator pay
+    // credits upstream through the same table it forwards flits
+    // downstream through.
+    for (name, topo) in topologies() {
+        let mut links = 0usize;
+        for n in nodes_of(&topo) {
+            for d in Direction::MESH {
+                let Some(m) = topo.neighbor(n, d) else { continue };
+                links += 1;
+                assert_eq!(
+                    topo.neighbor(m, d.opposite()),
+                    Some(n),
+                    "{name}: {n} --{d}--> {m} has no return edge"
+                );
+                assert_eq!(
+                    topo.link_delay(n, d),
+                    topo.link_delay(m, d.opposite()),
+                    "{name}: link {n}--{m} has asymmetric delay"
+                );
+                let delay = topo.link_delay(n, d);
+                assert!(
+                    (1..=topo.max_link_delay()).contains(&delay),
+                    "{name}: delay {delay} outside [1, max]"
+                );
+            }
+        }
+        assert!(links > 0, "{name}: no links at all");
+    }
+}
+
+#[test]
+fn node_names_are_unique_on_every_topology() {
+    for (name, topo) in topologies() {
+        let mut seen = std::collections::HashSet::new();
+        for n in nodes_of(&topo) {
+            assert!(seen.insert(topo.node_name(n)), "{name}: duplicate node name at {n}");
+        }
+        assert_eq!(seen.len(), topo.nodes(), "{name}: name count");
+    }
+}
+
+#[test]
+fn status_masks_round_trip_on_every_topology() {
+    // The simulator's fault view: kill a random node's row/column
+    // modules, build the mask from published statuses, and check the
+    // mask blocks exactly the links touching the dead node — both
+    // directions, on every topology.
+    let mut rng = SplitMix64(0x7090_0009);
+    for (name, topo) in topologies() {
+        let grid = topo.grid();
+        for _round in 0..8 {
+            let dead_idx = (rng.next_u64() % topo.nodes() as u64) as usize;
+            let dead = Coord::from_index(dead_idx, grid.width);
+            let mut statuses = vec![NodeStatus::healthy(); topo.nodes()];
+            statuses[dead_idx] =
+                NodeStatus { row: ModuleHealth::Dead, col: ModuleHealth::Dead, rc_ok: false };
+            let mask = LinkMask::from_statuses(&topo, &statuses);
+            for n in nodes_of(&topo) {
+                for d in Direction::MESH {
+                    let Some(m) = topo.neighbor(n, d) else { continue };
+                    let expect_up = n != dead && m != dead;
+                    assert_eq!(
+                        mask.usable(n, d),
+                        expect_up,
+                        "{name}: link {n} --{d}--> {m} with {dead} dead"
+                    );
+                }
+            }
+            // And reachability honours the holes: nobody reaches the
+            // dead node, every healthy pair on a healthy residual
+            // graph reaches each other through the map's BFS.
+            let map = ReachabilityMap::compute(&mask);
+            for n in nodes_of(&topo) {
+                if n != dead {
+                    assert!(!map.reachable(n, dead), "{name}: {n} reaches dead {dead}");
+                }
+            }
+        }
+        // The healthy mask round-trips trivially: everything usable,
+        // everything mutually reachable.
+        let healthy = LinkMask::from_statuses(&topo, &vec![NodeStatus::healthy(); topo.nodes()]);
+        let map = ReachabilityMap::compute(&healthy);
+        for n in nodes_of(&topo) {
+            for m in nodes_of(&topo) {
+                assert!(map.reachable(n, m), "{name}: healthy {n} cannot reach {m}");
+            }
+        }
+    }
+}

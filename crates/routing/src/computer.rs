@@ -8,21 +8,34 @@
 use crate::dor::{ordered_route, DirSet};
 use crate::odd_even::odd_even_candidates;
 use crate::west_first::west_first_candidates;
-use noc_core::{AxisOrder, Coord, Direction, LinkMask, MeshConfig, RoutingKind};
+use noc_core::{
+    AxisOrder, Coord, Direction, LinkMask, MeshConfig, RoutingKind, Topology, TopologyOps,
+};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-/// Stateless route computation for one mesh under one routing algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Stateless route computation for one topology under one routing
+/// algorithm.
+///
+/// Mesh-family topologies (mesh, chiplet) are routed by the DOR/adaptive
+/// functions exactly as before; wraparound topologies (torus, circulant)
+/// follow their canonical minimal routes from
+/// [`TopologyOps::wrap_step`], always a deterministic singleton.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RouteComputer {
     routing: RoutingKind,
-    mesh: MeshConfig,
+    topo: Topology,
 }
 
 impl RouteComputer {
-    /// Creates a computer for `routing` over `mesh`.
+    /// Creates a computer for `routing` over a plain `mesh`.
     pub fn new(routing: RoutingKind, mesh: MeshConfig) -> Self {
-        RouteComputer { routing, mesh }
+        RouteComputer::on(routing, Topology::mesh(mesh))
+    }
+
+    /// Creates a computer for `routing` over an arbitrary topology.
+    pub fn on(routing: RoutingKind, topo: Topology) -> Self {
+        RouteComputer { routing, topo }
     }
 
     /// The routing algorithm in use.
@@ -30,9 +43,28 @@ impl RouteComputer {
         self.routing
     }
 
-    /// The mesh dimensions.
+    /// The bounding grid of the topology.
     pub fn mesh(&self) -> MeshConfig {
-        self.mesh
+        self.topo.grid()
+    }
+
+    /// The topology routes are computed over.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The neighbour reached from `cur` through `dir` under the
+    /// topology (wraparound links included), or `None` when the port is
+    /// unconnected.
+    pub fn neighbor(&self, cur: Coord, dir: Direction) -> Option<Coord> {
+        self.topo.neighbor(cur, dir)
+    }
+
+    /// Dateline class of a packet `src → dst` buffered at `at` on input
+    /// side `in_side` (see [`TopologyOps::dateline_class`]); always
+    /// `false` on mesh-family topologies.
+    pub fn vc_dateline(&self, src: Coord, dst: Coord, at: Coord, in_side: Direction) -> bool {
+        self.topo.dateline_class(src, dst, at, in_side)
     }
 
     /// Picks the dimension order a freshly injected packet commits to.
@@ -63,6 +95,12 @@ impl RouteComputer {
     /// route under XY and XY-YX, and the escape route under adaptive
     /// routing. Returns [`Direction::Local`] at the destination.
     pub fn deterministic_route(&self, cur: Coord, dst: Coord, order: AxisOrder) -> Direction {
+        if !self.topo.is_mesh_routed() {
+            return self
+                .topo
+                .wrap_step(cur, cur, dst)
+                .expect("wraparound topologies always produce a step");
+        }
         match self.routing {
             RoutingKind::Xy | RoutingKind::Adaptive | RoutingKind::AdaptiveOddEven => {
                 ordered_route(AxisOrder::Xy, cur, dst)
@@ -79,6 +117,14 @@ impl RouteComputer {
     pub fn candidates(&self, src: Coord, cur: Coord, dst: Coord, order: AxisOrder) -> DirSet {
         if cur == dst {
             return DirSet::new();
+        }
+        if !self.topo.is_mesh_routed() {
+            // Canonical minimal route for the wraparound topology:
+            // always a deterministic singleton.
+            return match self.topo.wrap_step(src, cur, dst) {
+                Some(Direction::Local) | None => DirSet::new(),
+                Some(dir) => DirSet::single(dir),
+            };
         }
         match self.routing {
             RoutingKind::Xy => DirSet::single(ordered_route(AxisOrder::Xy, cur, dst)),
@@ -138,10 +184,7 @@ impl RouteComputer {
         if set.is_empty() && cur != dst && self.routing == RoutingKind::Adaptive && dst.x > cur.x {
             let mut escape = DirSet::new();
             for d in [Direction::North, Direction::South] {
-                if d != arrival
-                    && cur.neighbor(d, self.mesh.width, self.mesh.height).is_some()
-                    && mask.usable(cur, d)
-                {
+                if d != arrival && self.topo.neighbor(cur, d).is_some() && mask.usable(cur, d) {
                     escape.push(d);
                 }
             }
@@ -356,6 +399,42 @@ mod tests {
             let c = computer(kind);
             let set = c.masked_candidates(cur, cur, dst, AxisOrder::Xy, Direction::Local, &mask);
             assert!(set.is_empty(), "{kind:?} must not invent detours");
+        }
+    }
+
+    #[test]
+    fn wraparound_topologies_route_as_deterministic_singletons() {
+        use noc_core::{CirculantTopology, TopologyConfig, TopologyOps};
+        let torus = TopologyConfig::Torus.resolve(MeshConfig::new(5, 5)).unwrap();
+        let c = RouteComputer::on(RoutingKind::Xy, torus.clone());
+        // (0,0) -> (4,0): the wrap link West is 1 hop vs 4 going East.
+        let set = c.candidates(Coord::new(0, 0), Coord::new(0, 0), Coord::new(4, 0), AxisOrder::Xy);
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(Direction::West));
+        assert_eq!(c.neighbor(Coord::new(0, 0), Direction::West), Some(Coord::new(4, 0)));
+        assert!(c
+            .candidates(Coord::new(1, 1), Coord::new(3, 3), Coord::new(3, 3), AxisOrder::Xy)
+            .is_empty());
+        // Dateline classification is exposed through the computer.
+        assert!(c.vc_dateline(
+            Coord::new(4, 0),
+            Coord::new(1, 0),
+            Coord::new(0, 0),
+            Direction::West
+        ));
+        assert!(!torus.dateline_class(
+            Coord::new(1, 0),
+            Coord::new(3, 0),
+            Coord::new(2, 0),
+            Direction::West
+        ));
+
+        let circ = Topology::Circulant(CirculantTopology::new(13, 1, 5).unwrap());
+        let c = RouteComputer::on(RoutingKind::Xy, circ);
+        for d in 1..13u16 {
+            let set =
+                c.candidates(Coord::new(0, 0), Coord::new(0, 0), Coord::new(d, 0), AxisOrder::Xy);
+            assert_eq!(set.len(), 1, "circulant routes are singletons");
         }
     }
 

@@ -748,14 +748,17 @@ impl Auditor {
                 *pend_credits.entry((i, side.index() as u8, vc)).or_insert(0) += 1;
             }
         }
+        // `flits_on_links` includes the multi-cycle delay wheel, so
+        // flits mid-flight across a die-to-die link still count
+        // against the upstream credit book.
         let mut on_link: HashMap<(usize, u8, u8), u32> = HashMap::new();
-        for f in &sim.flits_in_flight {
+        for f in sim.flits_on_links() {
             if f.vc != EJECT_VC {
                 *on_link.entry((f.node, f.from.index() as u8, f.vc)).or_insert(0) += 1;
             }
         }
         let mut cred_link: HashMap<(usize, u8, u8), u32> = HashMap::new();
-        for c in &sim.credits_in_flight {
+        for c in sim.credits_on_links() {
             *cred_link.entry((c.node, c.output.index() as u8, c.credit.vc)).or_insert(0) += 1;
         }
 

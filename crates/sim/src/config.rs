@@ -1,7 +1,7 @@
 //! Experiment configuration.
 
-use noc_core::{MeshConfig, RouterConfig, RouterKind, RoutingKind};
-use noc_fault::{FaultPlan, FaultSchedule};
+use noc_core::{Coord, MeshConfig, RouterConfig, RouterKind, RoutingKind, TopologyConfig};
+use noc_fault::{FaultEvent, FaultPlan, FaultSchedule};
 use noc_traffic::TrafficKind;
 use serde::{Deserialize, Serialize};
 
@@ -47,8 +47,17 @@ pub struct SimConfig {
     pub router: RouterKind,
     /// Routing algorithm.
     pub routing: RoutingKind,
-    /// Mesh dimensions (paper: 8×8).
+    /// Mesh dimensions (paper: 8×8). With a non-mesh
+    /// [`SimConfig::topology`] this is the topology's bounding grid and
+    /// must equal `topology.grid(mesh)`.
     pub mesh: MeshConfig,
+    /// Network topology (ISSUE 9). The default [`TopologyConfig::Mesh`]
+    /// reproduces pre-topology behaviour byte for byte; `Torus`,
+    /// `Circulant` and `Chiplet` reshape the port map, link delays and
+    /// routing while every kernel, the fault engine, the audit layer and
+    /// the energy pipeline run unchanged.
+    #[serde(default)]
+    pub topology: TopologyConfig,
     /// Workload family.
     pub traffic: TrafficKind,
     /// Offered load in flits/node/cycle (the paper's x-axis).
@@ -222,6 +231,7 @@ impl SimConfig {
             router,
             routing,
             mesh: MeshConfig::new(8, 8),
+            topology: TopologyConfig::Mesh,
             traffic,
             injection_rate: 0.3,
             warmup_packets: 1_000,
@@ -262,6 +272,15 @@ impl SimConfig {
             cfg.block_timeout = t;
         }
         cfg
+    }
+
+    /// Selects the network topology (builder style), snapping the mesh
+    /// dimensions to the topology's bounding grid so flat node indexing
+    /// stays coherent.
+    pub fn with_topology(mut self, topology: TopologyConfig) -> Self {
+        self.topology = topology;
+        self.mesh = topology.grid(self.mesh);
+        self
     }
 
     /// Sets the injection rate (builder style).
@@ -333,6 +352,97 @@ impl SimConfig {
     }
 }
 
+/// Re-targets an existing config onto `topology`, adjusting whatever
+/// else must move with it (unlike [`SimConfig::with_topology`], which
+/// only snaps the grid):
+///
+/// * a torus grows the mesh to at least 3×3 (rings need three nodes to
+///   wrap meaningfully), and the mesh then snaps to the topology's
+///   bounding grid;
+/// * wraparound topologies (torus, circulant) force the Generic router
+///   with deterministic XY routing and ≥ 2 VCs per port — the dateline
+///   scheme's support envelope ([`noc_core::TopologyOps::check_support`]);
+/// * fault-plan and fault-schedule sites are remapped onto the new node
+///   set by flat index modulo the node count, so a campaign drawn for
+///   an 8×8 mesh keeps striking *somewhere* on a 13-node circulant
+///   instead of panicking off-grid.
+///
+/// This is the transform behind the CI topology matrix
+/// ([`apply_env_topology`]) and the fuzz harness's topology draw.
+pub fn retarget_topology(cfg: &mut SimConfig, topology: TopologyConfig) {
+    if topology == TopologyConfig::Torus {
+        cfg.mesh = MeshConfig::new(cfg.mesh.width.max(3), cfg.mesh.height.max(3));
+    }
+    let old_width = cfg.mesh.width;
+    let old_nodes = cfg.mesh.nodes();
+    cfg.topology = topology;
+    cfg.mesh = topology.grid(cfg.mesh);
+    if matches!(topology, TopologyConfig::Torus | TopologyConfig::Circulant { .. }) {
+        cfg.router = RouterKind::Generic;
+        cfg.routing = RoutingKind::Xy;
+        if cfg.router_config().vcs_per_port < 2 {
+            cfg.vcs_per_port = Some(2);
+        }
+    }
+    let nodes = cfg.mesh.nodes();
+    if cfg.mesh.width != old_width || nodes != old_nodes {
+        let remap = |site: Coord| Coord::from_index(site.index(old_width) % nodes, cfg.mesh.width);
+        for (site, _) in cfg.faults.faults.iter_mut() {
+            *site = remap(*site);
+        }
+        if !cfg.schedule.is_empty() {
+            let mut remapped = FaultSchedule::none();
+            for &ev in cfg.schedule.events() {
+                remapped.push(FaultEvent { site: remap(ev.site), ..ev });
+            }
+            cfg.schedule = remapped;
+        }
+    }
+}
+
+/// Applies the `NOC_TOPOLOGY` environment selection to `cfg` — the hook
+/// the CI topology matrix uses to sweep the kernel-equivalence and
+/// thread-invariance suites across all four topologies without
+/// duplicating their config tables (ISSUE 9).
+///
+/// Recognised values: the bare names `mesh`, `torus`, `circulant` and
+/// `chiplet` (with matrix-friendly defaults: C(13; 1, 5) for the
+/// circulant; the mesh factorised into up to 2×2 chips with a 3-cycle
+/// die-to-die delay for the chiplet), or any full
+/// [`TopologyConfig::parse_spec`] spec such as `circulant:25,1,7` or
+/// `chiplet:2x2,4x4,3`. Unset or empty leaves `cfg` untouched. The
+/// re-targeting semantics are those of [`retarget_topology`].
+///
+/// # Panics
+///
+/// Panics on an unparseable spec: in CI a typo in the matrix must fail
+/// the job, not silently run the mesh again.
+pub fn apply_env_topology(cfg: &mut SimConfig) {
+    let Ok(raw) = std::env::var("NOC_TOPOLOGY") else { return };
+    let spec = raw.trim();
+    if spec.is_empty() {
+        return;
+    }
+    let topology = match spec {
+        "circulant" => TopologyConfig::Circulant { nodes: 13, s1: 1, s2: 5 },
+        "chiplet" => {
+            let chips_x = if cfg.mesh.width % 2 == 0 { 2 } else { 1 };
+            let chips_y = if cfg.mesh.height % 2 == 0 { 2 } else { 1 };
+            TopologyConfig::Chiplet {
+                chips_x,
+                chips_y,
+                chip_width: cfg.mesh.width / chips_x,
+                chip_height: cfg.mesh.height / chips_y,
+                d2d_delay: 3,
+            }
+        }
+        spec => {
+            TopologyConfig::parse_spec(spec).unwrap_or_else(|e| panic!("NOC_TOPOLOGY={spec}: {e}"))
+        }
+    };
+    retarget_topology(cfg, topology);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,6 +471,55 @@ mod tests {
         assert_eq!(c.kernel, KernelMode::Parallel);
         assert_eq!(c.threads, Some(4));
         assert_eq!(c.router_config().buffer_depth, 4);
+    }
+
+    #[test]
+    fn topology_builder_snaps_mesh_to_grid() {
+        let c = SimConfig::paper_scaled(RouterKind::Generic, RoutingKind::Xy, TrafficKind::Uniform);
+        assert_eq!(c.topology, TopologyConfig::Mesh, "mesh topology is the default");
+        let c = c.with_topology(TopologyConfig::Circulant { nodes: 13, s1: 1, s2: 5 });
+        assert_eq!(c.mesh, MeshConfig::new(13, 1));
+        let c = SimConfig::paper_scaled(RouterKind::RoCo, RoutingKind::Xy, TrafficKind::Uniform)
+            .with_topology(TopologyConfig::Chiplet {
+                chips_x: 2,
+                chips_y: 2,
+                chip_width: 4,
+                chip_height: 4,
+                d2d_delay: 3,
+            });
+        assert_eq!(c.mesh, MeshConfig::new(8, 8));
+    }
+
+    #[test]
+    fn retarget_forces_wraparound_support_and_remaps_faults() {
+        use noc_core::{ComponentFault, TopologyOps};
+        let mut c =
+            SimConfig::paper_scaled(RouterKind::RoCo, RoutingKind::Adaptive, TrafficKind::Uniform);
+        let fault = ComponentFault::new(noc_core::FaultComponent::Crossbar, noc_core::Axis::X);
+        // A site valid on the 8×8 mesh but off-grid on a 13×1 strip.
+        c.faults = FaultPlan::single(Coord::new(7, 7), fault);
+        c.schedule.push_permanent(50, Coord::new(7, 7), fault);
+        retarget_topology(&mut c, TopologyConfig::Circulant { nodes: 13, s1: 1, s2: 5 });
+        assert_eq!(c.mesh, MeshConfig::new(13, 1));
+        assert_eq!(c.router, RouterKind::Generic, "wraparound forces Generic");
+        assert_eq!(c.routing, RoutingKind::Xy, "wraparound forces XY");
+        assert!(c.router_config().vcs_per_port >= 2, "dateline scheme needs 2 VCs");
+        let site = c.faults.faults[0].0;
+        assert_eq!(site, Coord::from_index(63 % 13, 13), "site remapped by index mod nodes");
+        assert_eq!(c.schedule.events()[0].site, site);
+        // Resolves and passes the support check end to end.
+        let topo = c.topology.resolve(c.mesh).unwrap();
+        topo.check_support(c.router, c.routing, c.router_config().vcs_per_port as usize).unwrap();
+    }
+
+    #[test]
+    fn retarget_torus_grows_small_grids() {
+        let mut c =
+            SimConfig::paper_scaled(RouterKind::Generic, RoutingKind::Xy, TrafficKind::Uniform);
+        c.mesh = MeshConfig::new(2, 2);
+        retarget_topology(&mut c, TopologyConfig::Torus);
+        assert_eq!(c.mesh, MeshConfig::new(3, 3));
+        assert!(c.topology.resolve(c.mesh).is_ok());
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! # noc-sim
 //!
-//! The flit-level, cycle-accurate NoC simulator of §5.1: an N×M mesh of
-//! routers (generic, Path-Sensitive or RoCo), credit-based virtual-
-//! channel flow control, wormhole switching, single-cycle links,
-//! deterministic seeded execution, warm-up + measurement phases, fault
-//! injection, and full activity/energy/contention accounting.
+//! The flit-level, cycle-accurate NoC simulator of §5.1: a network of
+//! routers (generic, Path-Sensitive or RoCo) on a configurable topology
+//! (mesh, torus, ring circulant, or chiplet mesh — see
+//! [`noc_core::TopologyConfig`]), credit-based virtual-channel flow
+//! control, wormhole switching, single-cycle links (multi-cycle on
+//! chiplet die-to-die boundaries), deterministic seeded execution,
+//! warm-up + measurement phases, fault injection, and full
+//! activity/energy/contention accounting.
 //!
 //! # Examples
 //!
@@ -40,7 +43,9 @@ mod threads;
 mod trace;
 
 pub use audit::{AuditKind, AuditReport, AuditViolation, Auditor};
-pub use config::{AuditConfig, KernelMode, RecoveryConfig, SimConfig};
+pub use config::{
+    apply_env_topology, retarget_topology, AuditConfig, KernelMode, RecoveryConfig, SimConfig,
+};
 pub use export::{Metric, MetricKind, Registry};
 pub use flow::{
     check_slos, parse_slos, ClassHistograms, ClassLatency, FlowClass, SloMetric, SloSpec,

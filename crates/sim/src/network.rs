@@ -37,8 +37,9 @@ use crate::stats::{RecoveryStats, SimResults, StatsCollector};
 use crate::trace::{TraceEvent, TraceSink};
 use noc_core::{
     router_rng, ActivityCounters, ComponentFault, Coord, Credit, Cycle, Direction, Flit, LinkMask,
-    MeshConfig, NodeStatus, PacketId, ReachabilityMap, RouterNode, RouterOutputs, StepContext,
-    VcDescriptor, VcPhase, WakeSet, WakeView, EJECT_VC, RNG_STREAM_INJECT, RNG_STREAM_STEP,
+    NodeStatus, PacketId, ReachabilityMap, RouterNode, RouterOutputs, StepContext, Topology,
+    TopologyOps, VcDescriptor, VcPhase, WakeSet, WakeView, EJECT_VC, RNG_STREAM_INJECT,
+    RNG_STREAM_STEP,
 };
 use noc_deadlock::{find_channel_cycle, Channel};
 use noc_fault::{FaultAction, FaultEvent};
@@ -53,19 +54,39 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::time::Instant;
 
 /// Precomputed adjacency: for each node index, the node index of the
-/// neighbour in every mesh direction (indexed by [`Direction::index`];
-/// `None` at a mesh edge). Built once per simulation so the hot loop
-/// never recomputes [`Coord::neighbor`]; the `kernel_equivalence`
-/// tests check it against the coordinate arithmetic exhaustively for
-/// every mesh shape from 2×2 to 9×7.
-pub fn neighbor_table(mesh: MeshConfig) -> Vec<[Option<usize>; 4]> {
-    (0..mesh.nodes())
+/// neighbour in every port direction (indexed by [`Direction::index`];
+/// `None` at an unconnected port). Built once per simulation so the
+/// hot loop never recomputes [`TopologyOps::neighbor`]; the
+/// `kernel_equivalence` tests check it against the coordinate
+/// arithmetic exhaustively for every mesh shape from 2×2 to 9×7.
+/// Accepts a plain [`noc_core::MeshConfig`] (via `From`) or any resolved
+/// [`Topology`] — wraparound and die-to-die links land in the same
+/// flat table the kernels index.
+pub fn neighbor_table(topo: impl Into<Topology>) -> Vec<[Option<usize>; 4]> {
+    let topo = topo.into();
+    let grid = topo.grid();
+    (0..topo.nodes())
         .map(|i| {
-            let coord = Coord::from_index(i, mesh.width);
+            let coord = Coord::from_index(i, grid.width);
             let mut row = [None; 4];
             for dir in Direction::MESH {
-                row[dir.index()] =
-                    coord.neighbor(dir, mesh.width, mesh.height).map(|n| n.index(mesh.width));
+                row[dir.index()] = topo.neighbor(coord, dir).map(|n| n.index(grid.width));
+            }
+            row
+        })
+        .collect()
+}
+
+/// Per-node, per-direction link delays in cycles (1 everywhere except
+/// a chiplet mesh's die-to-die boundary links).
+fn link_delay_table(topo: &Topology) -> Vec<[u8; 4]> {
+    let grid = topo.grid();
+    (0..topo.nodes())
+        .map(|i| {
+            let coord = Coord::from_index(i, grid.width);
+            let mut row = [1u8; 4];
+            for dir in Direction::MESH {
+                row[dir.index()] = topo.link_delay(coord, dir);
             }
             row
         })
@@ -231,6 +252,25 @@ pub struct Simulation {
     /// steady state reuses two allocations instead of growing new ones.
     flits_arriving: Vec<FlitInFlight>,
     credits_arriving: Vec<CreditInFlight>,
+    /// The resolved network topology ([`SimConfig::topology`]). The
+    /// default mesh reproduces pre-topology behaviour exactly; the
+    /// kernels themselves only see the flat `neighbor_idx` /
+    /// `link_delay` tables derived from it.
+    pub(crate) topology: Topology,
+    /// Per-node, per-direction link delays ([`link_delay_table`]);
+    /// all-ones except on chiplet die-to-die boundaries.
+    link_delay: Vec<[u8; 4]>,
+    /// Delay-wheel slots for flits on multi-cycle links, one slot per
+    /// future arrival cycle beyond the next (`max_link_delay - 1`
+    /// slots; empty on single-cycle topologies, where the legacy
+    /// `flits_in_flight`/`flits_arriving` double buffer is the whole
+    /// story). A flit emitted at cycle `T` over a delay-`d` link sits
+    /// in slot `(T + d) % slots` until promoted into
+    /// `flits_in_flight` one cycle before delivery.
+    flits_future: Vec<Vec<FlitInFlight>>,
+    /// Delay-wheel slots for credits (credits cross the same wires, so
+    /// they pay the same die-to-die latency).
+    credits_future: Vec<Vec<CreditInFlight>>,
     /// Precomputed per-node coordinates (index ↔ coord cache).
     pub(crate) coords: Vec<Coord>,
     /// Precomputed per-node neighbour indices ([`neighbor_table`]).
@@ -362,12 +402,22 @@ impl Simulation {
     ///
     /// Panics if the configuration fails validation.
     pub fn with_traffic(cfg: SimConfig, traffic: Box<dyn Traffic>) -> Self {
-        cfg.mesh.validate().expect("invalid mesh");
+        // Grid legality is per-topology (a circulant's N×1 bounding
+        // strip is not a legal *mesh*), so `resolve` owns it.
         let rcfg = cfg.router_config();
         rcfg.validate().expect("invalid router config");
+        let topo = cfg.topology.resolve(cfg.mesh).expect("invalid topology");
+        assert_eq!(
+            topo.grid(),
+            cfg.mesh,
+            "SimConfig::mesh must equal the topology's bounding grid \
+             (use SimConfig::with_topology, which snaps it)"
+        );
+        topo.check_support(rcfg.router, cfg.routing, rcfg.vcs_per_port as usize)
+            .expect("router/routing unsupported on this topology");
         let mesh = cfg.mesh;
         let mut routers: Vec<AnyRouter> = (0..mesh.nodes())
-            .map(|i| AnyRouter::build(Coord::from_index(i, mesh.width), rcfg, mesh))
+            .map(|i| AnyRouter::build_on(Coord::from_index(i, mesh.width), rcfg, &topo))
             .collect();
         // Faults first: the wiring below publishes post-fault VC lists,
         // modelling the neighbour handshake of §4.1. Construction
@@ -382,7 +432,7 @@ impl Simulation {
         // One scratch vector bridges the `routers[n]` read / `routers[i]`
         // write borrow conflict for all links instead of a fresh copy
         // per link.
-        let neighbor_idx = neighbor_table(mesh);
+        let neighbor_idx = neighbor_table(&topo);
         let mut descs: Vec<VcDescriptor> = Vec::new();
         for i in 0..routers.len() {
             for dir in Direction::MESH {
@@ -393,7 +443,7 @@ impl Simulation {
                 }
             }
         }
-        let computer = RouteComputer::new(cfg.routing, mesh);
+        let computer = RouteComputer::on(cfg.routing, topo.clone());
         let rng = SmallRng::seed_from_u64(cfg.seed);
         let threads = crate::worker_threads(cfg.threads);
         let nodes = mesh.nodes();
@@ -404,8 +454,13 @@ impl Simulation {
         // Construction faults are part of the initial published statuses
         // (§4.1 wires post-fault VC lists above), so the initial mask
         // and reachability view already account for them.
-        let mask = cfg.fault_routing.then(|| LinkMask::from_statuses(mesh, &statuses));
+        let mask = cfg.fault_routing.then(|| LinkMask::from_statuses(&topo, &statuses));
         let reach = mask.as_ref().map(ReachabilityMap::compute);
+        let link_delay = link_delay_table(&topo);
+        // One wheel slot per arrival cycle beyond the next; none at all
+        // on single-cycle topologies, where the double buffer alone
+        // carries every in-flight flit exactly as before.
+        let wheel_slots = topo.max_link_delay().saturating_sub(1) as usize;
         Simulation {
             cfg,
             routers,
@@ -421,6 +476,10 @@ impl Simulation {
             credits_in_flight: Vec::new(),
             flits_arriving: Vec::new(),
             credits_arriving: Vec::new(),
+            topology: topo,
+            link_delay,
+            flits_future: (0..wheel_slots).map(|_| Vec::new()).collect(),
+            credits_future: (0..wheel_slots).map(|_| Vec::new()).collect(),
             coords: (0..nodes).map(|i| Coord::from_index(i, mesh.width)).collect(),
             neighbor_idx,
             statuses,
@@ -524,8 +583,29 @@ impl Simulation {
         &self.routers
     }
 
+    /// The resolved topology the network was built on.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Every flit currently on a link: the next-cycle arrivals plus any
+    /// still riding the multi-cycle delay wheel. The audit layer's
+    /// credit-book check walks this instead of `flits_in_flight` so
+    /// die-to-die links stay conservation-accurate.
+    pub(crate) fn flits_on_links(&self) -> impl Iterator<Item = &FlitInFlight> {
+        self.flits_in_flight.iter().chain(self.flits_future.iter().flatten())
+    }
+
+    /// Every credit currently on a link (see
+    /// [`Simulation::flits_on_links`]).
+    pub(crate) fn credits_on_links(&self) -> impl Iterator<Item = &CreditInFlight> {
+        self.credits_in_flight.iter().chain(self.credits_future.iter().flatten())
+    }
+
     /// Flits currently anywhere in the system (buffers, links, sources).
-    /// O(1): maintained incrementally by the cycle kernel.
+    /// O(1) in the network size: maintained incrementally by the cycle
+    /// kernel (the delay wheel adds one length read per slot, and the
+    /// wheel has at most `max_link_delay - 1` slots).
     pub fn flits_in_system(&self) -> usize {
         debug_assert_eq!(
             self.occ_total,
@@ -537,7 +617,8 @@ impl Simulation {
             self.sources.iter().map(|s| s.len()).sum::<usize>(),
             "incremental source count diverged from the source queues"
         );
-        self.occ_total + self.flits_in_flight.len() + self.source_total
+        let wheel: usize = self.flits_future.iter().map(|s| s.len()).sum();
+        self.occ_total + self.flits_in_flight.len() + wheel + self.source_total
     }
 
     /// Whether the run has finished (drained or stalled). With recovery
@@ -580,6 +661,18 @@ impl Simulation {
         // emission lists below refill the (already sized) originals.
         std::mem::swap(&mut self.flits_in_flight, &mut self.flits_arriving);
         std::mem::swap(&mut self.credits_in_flight, &mut self.credits_arriving);
+        // Delay-wheel promotion (multi-cycle links only): flits and
+        // credits due next cycle move into the just-emptied in-flight
+        // lists ahead of this cycle's emissions, so per-link delivery
+        // order is emission order and identical under every kernel.
+        if !self.flits_future.is_empty() {
+            let slots = self.flits_future.len() as u64;
+            let idx = ((self.cycle + 1) % slots) as usize;
+            let due = &mut self.flits_future[idx];
+            self.flits_in_flight.append(due);
+            let due = &mut self.credits_future[idx];
+            self.credits_in_flight.append(due);
+        }
         if self.cfg.kernel == KernelMode::Soa {
             self.deliver_flits_batched();
         } else {
@@ -984,16 +1077,30 @@ impl Simulation {
                 node: coord,
                 out: dir,
             });
-            self.flits_in_flight.push(FlitInFlight { node: n, from: dir.opposite(), vc, flit });
+            let hop = FlitInFlight { node: n, from: dir.opposite(), vc, flit };
+            let d = self.link_delay[i][dir.index()];
+            if d <= 1 {
+                self.flits_in_flight.push(hop);
+            } else {
+                // Multi-cycle (die-to-die) link: park the flit on the
+                // wheel slot for its arrival cycle `cycle + d`.
+                let slots = self.flits_future.len() as u64;
+                let slot = ((self.cycle + d as u64) % slots) as usize;
+                self.flits_future[slot].push(hop);
+            }
         }
         for &(side, credit) in &out.credits {
             let n =
                 self.neighbor_idx[i][side.index()].expect("credits only flow to real neighbours");
-            self.credits_in_flight.push(CreditInFlight {
-                node: n,
-                output: side.opposite(),
-                credit,
-            });
+            let back = CreditInFlight { node: n, output: side.opposite(), credit };
+            let d = self.link_delay[i][side.index()];
+            if d <= 1 {
+                self.credits_in_flight.push(back);
+            } else {
+                let slots = self.credits_future.len() as u64;
+                let slot = ((self.cycle + d as u64) % slots) as usize;
+                self.credits_future[slot].push(back);
+            }
         }
         for &flit in &out.ejected {
             if flit.poison {
@@ -1182,6 +1289,10 @@ impl Simulation {
                     credit_starved: s.credit_starved,
                     blocked_since: s.blocked_since,
                     dst: s.head_dst,
+                    // Topology-native destination rendering (ISSUE 9):
+                    // a circulant's `#7` or a chiplet's
+                    // `chip(1,0)/(0,1)` instead of the raw grid coord.
+                    dst_name: s.head_dst.map(|d| self.topology.node_name(d)),
                     // `unroutable destination` diagnosis class (ISSUE
                     // 8): the stream is wedged because no usable-link
                     // path from here reaches where it was going.
@@ -1202,7 +1313,7 @@ impl Simulation {
                 if out == Direction::Local {
                     continue;
                 }
-                let Some(n) = coord.neighbor(out, mesh.width, mesh.height) else {
+                let Some(n) = self.topology.neighbor(coord, out) else {
                     continue;
                 };
                 let side = out.opposite();
@@ -1528,7 +1639,7 @@ impl Simulation {
     /// — never earlier, never later — and carries the same bounded
     /// `handshake_latency` staleness.
     fn rebuild_fault_view(&mut self) {
-        let mask = LinkMask::from_statuses(self.cfg.mesh, &self.statuses);
+        let mask = LinkMask::from_statuses(&self.topology, &self.statuses);
         self.reach = Some(ReachabilityMap::compute(&mask));
         self.mask = Some(mask);
         // The routing function just changed globally: a router wedged

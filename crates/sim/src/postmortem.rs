@@ -29,7 +29,7 @@ pub struct FaultTimelineEntry {
 }
 
 /// One packet (or packet fragment) stuck in the network at stall time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WedgedPacket {
     /// The packet at the head of the VC (`None` for a headless fragment
     /// whose head was dropped elsewhere).
@@ -53,6 +53,13 @@ pub struct WedgedPacket {
     /// Destination of the head flit, when one is buffered.
     #[serde(default)]
     pub dst: Option<Coord>,
+    /// Topology-native rendering of `dst` (ISSUE 9): `(x,y)` on a
+    /// mesh/torus, `#i` on a circulant, `chip(cx,cy)/(lx,ly)` on a
+    /// chiplet mesh. `None` in diagnoses recorded before the topology
+    /// layer existed; the renderer then falls back to the raw grid
+    /// coordinate.
+    #[serde(default)]
+    pub dst_name: Option<String>,
     /// `unroutable destination` diagnosis class (ISSUE 8): the packet's
     /// destination is unreachable over the usable-link graph at stall
     /// time — the stream is wedged behind dead links, not a deadlock.
@@ -186,11 +193,14 @@ impl StallPostmortem {
                 let _ = write!(line, ", wants {d}");
             }
             if w.unroutable_dst {
-                match w.dst {
-                    Some(d) => {
+                match (&w.dst_name, w.dst) {
+                    (Some(name), _) => {
+                        let _ = write!(line, ", unroutable destination {name}");
+                    }
+                    (None, Some(d)) => {
                         let _ = write!(line, ", unroutable destination {d}");
                     }
-                    None => line.push_str(", unroutable destination"),
+                    (None, None) => line.push_str(", unroutable destination"),
                 }
             }
             line.push(')');
@@ -277,6 +287,11 @@ impl StallPostmortem {
                 Some(d) => {
                     let _ = write!(out, "[{},{}]", d.x, d.y);
                 }
+                None => out.push_str("null"),
+            }
+            write_key(&mut out, &mut wf, "dst_name");
+            match &w.dst_name {
+                Some(name) => write_str(&mut out, name),
                 None => out.push_str("null"),
             }
             write_key(&mut out, &mut wf, "unroutable_dst");
@@ -392,6 +407,7 @@ mod tests {
                 credit_starved: false,
                 blocked_since: Some(410),
                 dst: Some(Coord::new(3, 3)),
+                dst_name: None,
                 unroutable_dst: true,
             }],
             routers: vec![RouterDiagnosis {
@@ -430,6 +446,18 @@ mod tests {
         assert!(text.contains("abandoned after retry budget: 2 packets"));
         assert!(text.contains("failed fast as unroutable: 3 packets"));
         assert!(text.contains("unroutable destination (3,3)"));
+    }
+
+    #[test]
+    fn topology_node_name_overrides_grid_coordinate() {
+        let mut pm = postmortem();
+        pm.wedged[0].dst_name = Some("chip(1,0)/(1,1)".into());
+        let text = pm.render();
+        assert!(text.contains("unroutable destination chip(1,0)/(1,1)"));
+        assert!(!text.contains("unroutable destination (3,3)"));
+        let v = Json::parse(&pm.to_json()).unwrap();
+        let wedged = v.get("wedged").unwrap().as_arr().unwrap();
+        assert_eq!(wedged[0].get("dst_name").unwrap().as_str(), Some("chip(1,0)/(1,1)"));
     }
 
     #[test]

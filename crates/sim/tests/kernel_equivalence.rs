@@ -10,6 +10,14 @@
 //! count comes from `NOC_THREADS` / the machine — CI runs this suite
 //! under several `NOC_THREADS` values, exercising different shard
 //! layouts against the same expected digests.
+//!
+//! The suite is also topology-generic: CI's topology matrix re-runs it
+//! under `NOC_TOPOLOGY={mesh,torus,circulant,chiplet}`. Every config
+//! funnels through [`all_kernels`], which retargets it via
+//! [`noc_sim::apply_env_topology`] — remapping fault sites onto the
+//! selected topology's node set and forcing the supported
+//! router/routing/VC combination on wraparound topologies — so the
+//! four-kernel digest-equality oracle runs unchanged on all four.
 
 use noc_core::{MeshConfig, RouterKind, RoutingKind};
 use noc_fault::{FaultCategory, FaultPlan};
@@ -53,7 +61,8 @@ fn assert_identical(a: &SimResults, b: &SimResults, what: &str) {
     assert_eq!(a.recovery, b.recovery, "{what}: recovery stats");
 }
 
-fn all_kernels(cfg: SimConfig) -> (SimResults, SimResults, SimResults, SimResults) {
+fn all_kernels(mut cfg: SimConfig) -> (SimResults, SimResults, SimResults, SimResults) {
+    noc_sim::apply_env_topology(&mut cfg);
     let mut reference = cfg.clone();
     reference.kernel = KernelMode::Reference;
     let mut optimized = cfg.clone();
@@ -167,6 +176,14 @@ fn kernels_agree_with_fault_aware_rerouting_midrun() {
             c.measured_packets = 1_500;
             c.injection_rate = 0.1;
             c.stall_window = 2_000;
+            // The topology matrix forces dimension-ordered XY (with
+            // dateline VCs) on wraparound topologies, so the
+            // adaptive-reroute semantics below only hold where the
+            // adaptive function survives retargeting; the four-kernel
+            // digest oracle runs everywhere regardless.
+            let mut probe = c.clone();
+            noc_sim::apply_env_topology(&mut probe);
+            let adaptive_survives = probe.routing == RoutingKind::Adaptive;
             let (r, o, p, s) = all_kernels(c);
             assert_identical(&r, &o, &format!("{router:?} fault-aware seed {seed} (optimized)"));
             assert_identical(&r, &p, &format!("{router:?} fault-aware seed {seed} (parallel)"));
@@ -177,17 +194,19 @@ fn kernels_agree_with_fault_aware_rerouting_midrun() {
             // The permanently dead node must actually refuse traffic and
             // the ISSUE 8 accounting identity must close on the drained
             // run: delivered + abandoned + unroutable == generated.
-            assert!(!r.stalled, "{router:?} seed {seed}: fault-aware run must drain");
-            let rec = r.recovery.expect("fault routing exposes recovery stats");
-            assert!(
-                rec.unroutable_packets > 0,
-                "{router:?} seed {seed}: dead node must refuse packets"
-            );
-            assert_eq!(
-                r.delivered_packets + rec.abandoned_packets + rec.unroutable_packets,
-                r.generated_packets,
-                "{router:?} seed {seed}: unroutable accounting must balance"
-            );
+            if adaptive_survives {
+                assert!(!r.stalled, "{router:?} seed {seed}: fault-aware run must drain");
+                let rec = r.recovery.expect("fault routing exposes recovery stats");
+                assert!(
+                    rec.unroutable_packets > 0,
+                    "{router:?} seed {seed}: dead node must refuse packets"
+                );
+                assert_eq!(
+                    r.delivered_packets + rec.abandoned_packets + rec.unroutable_packets,
+                    r.generated_packets,
+                    "{router:?} seed {seed}: unroutable accounting must balance"
+                );
+            }
         }
     }
 }

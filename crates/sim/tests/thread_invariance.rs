@@ -17,7 +17,11 @@ use noc_traffic::TrafficKind;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
-fn assert_thread_invariant(cfg: SimConfig, what: &str) {
+fn assert_thread_invariant(mut cfg: SimConfig, what: &str) {
+    // CI's topology matrix re-runs this suite on every topology; the
+    // retarget remaps fault sites and (on wraparound topologies)
+    // forces the supported router/routing/VC combination.
+    noc_sim::apply_env_topology(&mut cfg);
     let mut optimized = cfg.clone();
     optimized.kernel = KernelMode::Optimized;
     let expect = run(optimized).digest();
