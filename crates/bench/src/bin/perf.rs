@@ -72,6 +72,17 @@ struct SoaStep {
     digest_match: bool,
 }
 
+/// Flit-slab geometry at one mesh size (ISSUE 10): the flat slab is
+/// sized once at construction, so its footprint is a pure function of
+/// the config and tracks bytes-per-flit-slot over time. The per-phase
+/// wall attribution of the slab-backed kernels lands in the sibling
+/// `profile` section.
+struct SlabPoint {
+    mesh: MeshConfig,
+    footprint_bytes: usize,
+    flit_slots: usize,
+}
+
 /// One parallel-kernel measurement in the thread-scaling sweep.
 struct ScaleStep {
     threads: usize,
@@ -364,6 +375,34 @@ fn main() {
         }
     }
 
+    // Slab geometry: construction is cheap (no run), so measure every
+    // sweep mesh plus the scaling meshes.
+    let mut slab_points = Vec::new();
+    for mesh in [
+        MeshConfig::new(4, 4),
+        MeshConfig::new(8, 8),
+        MeshConfig::new(16, 16),
+        MeshConfig::new(32, 32),
+    ] {
+        let mut cfg = scale.apply(SimConfig::paper_scaled(
+            RouterKind::RoCo,
+            RoutingKind::Xy,
+            TrafficKind::Uniform,
+        ));
+        cfg.mesh = mesh;
+        let sim = noc_sim::Simulation::new(cfg);
+        let (bytes, slots) = (sim.slab().footprint_bytes(), sim.slab().slot_count());
+        println!(
+            "slab {}x{}: {} flit slots, {} bytes ({:.1} bytes/slot)",
+            mesh.width,
+            mesh.height,
+            slots,
+            bytes,
+            bytes as f64 / slots.max(1) as f64
+        );
+        slab_points.push(SlabPoint { mesh, footprint_bytes: bytes, flit_slots: slots });
+    }
+
     let path = noc_bench::results_dir()
         .parent()
         .map(|p| p.join("BENCH_sim_throughput.json"))
@@ -432,6 +471,7 @@ fn main() {
         &soa_scaling,
         soa_geomean,
         &profiles,
+        &slab_points,
         geomean_speedup,
         mismatches,
     );
@@ -484,6 +524,7 @@ fn render_json(
     soa_scaling: &[SoaStep],
     soa_geomean: f64,
     profiles: &[(&str, ProfileReport)],
+    slab_points: &[SlabPoint],
     geomean: f64,
     mismatches: u32,
 ) -> String {
@@ -602,6 +643,33 @@ fn render_json(
         out.push('}');
     }
     out.push(']');
+    // Flat flit-slab geometry (ISSUE 10). Deterministic per config, so
+    // drift here means the slab layout itself changed.
+    write_key(&mut out, &mut first, "slab");
+    out.push('{');
+    let mut sf = true;
+    write_key(&mut out, &mut sf, "flit_bytes");
+    write_f64(&mut out, std::mem::size_of::<noc_core::Flit>() as f64);
+    write_key(&mut out, &mut sf, "meshes");
+    out.push('[');
+    for (i, s) in slab_points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        let mut f = true;
+        write_key(&mut out, &mut f, "mesh");
+        write_str(&mut out, &format!("{}x{}", s.mesh.width, s.mesh.height));
+        write_key(&mut out, &mut f, "flit_slots");
+        write_f64(&mut out, s.flit_slots as f64);
+        write_key(&mut out, &mut f, "footprint_bytes");
+        write_f64(&mut out, s.footprint_bytes as f64);
+        write_key(&mut out, &mut f, "bytes_per_slot");
+        write_f64(&mut out, s.footprint_bytes as f64 / s.flit_slots.max(1) as f64);
+        out.push('}');
+    }
+    out.push(']');
+    out.push('}');
     // Wall-clock self-profiles of one representative point per kernel
     // (diagnostic only: values vary run to run and are never compared).
     write_key(&mut out, &mut first, "profile");

@@ -129,6 +129,12 @@ pub fn case_config(case: u64, base_seed: u64) -> SimConfig {
     cfg.handshake_latency = rng.below(8);
     cfg.fault_routing = fault_routing_on;
     cfg.audit = Some(AuditConfig { interval: 1, max_recorded: 8 });
+    // Per-VC buffer depth: half the cases keep the paper's depth, the
+    // rest draw 2..=7 so the flit-slab ring sizing (nominal capacity
+    // plus the poison slop) is fuzzed across capacities (ISSUE 10).
+    if rng.below(2) == 1 {
+        cfg.buffer_depth = Some(2 + rng.below(6) as u8);
+    }
 
     let category =
         if rng.below(2) == 0 { FaultCategory::Isolating } else { FaultCategory::Recyclable };
@@ -390,7 +396,7 @@ fn drop_offgrid_faults(d: &mut SimConfig) {
 /// faults, drop recovery, disable fault-aware routing, drop a
 /// non-mesh topology back to the plain mesh, shrink the mesh
 /// to 3×3, shorten the run, simplify traffic/routing, zero the
-/// handshake latency — and each is
+/// handshake latency, drop the buffer-depth override — and each is
 /// kept only when the shrunk config *still fails*. The loop restarts
 /// after every accepted shrink and stops at a fixpoint or after a
 /// bounded number of re-runs.
@@ -478,6 +484,13 @@ pub fn shrink(cfg: &SimConfig, reason: String) -> (SimConfig, String) {
                 d
             })
         },
+        |c| {
+            c.buffer_depth.is_some().then(|| {
+                let mut d = c.clone();
+                d.buffer_depth = None;
+                d
+            })
+        },
     ];
 
     let mut best = cfg.clone();
@@ -534,6 +547,11 @@ pub fn render_repro(case: u64, base_seed: u64, cfg: &SimConfig, reason: &str) ->
     s.push_str(&format!("cfg.max_cycles = {};\n", cfg.max_cycles));
     s.push_str(&format!("cfg.stall_window = {};\n", cfg.stall_window));
     s.push_str(&format!("cfg.handshake_latency = {};\n", cfg.handshake_latency));
+    if let Some(depth) = cfg.buffer_depth {
+        // The buffer depth fixes the slab's ring capacities, so a repro
+        // without it would rebuild a differently-shaped slab.
+        s.push_str(&format!("cfg.buffer_depth = Some({depth});\n"));
+    }
     if cfg.fault_routing {
         s.push_str("cfg.fault_routing = true;\n");
     }
@@ -655,6 +673,16 @@ mod tests {
         assert_eq!(mesh_case.topology, TopologyConfig::Mesh);
         let text = render_repro(20, DEFAULT_SEED, &mesh_case, "synthetic reason");
         assert!(!text.contains("retarget_topology"));
+        // A buffer-depth override must survive into the snippet: it
+        // fixes the flit slab's ring capacities (ISSUE 10).
+        let mut deep = case_config(20, DEFAULT_SEED);
+        deep.buffer_depth = Some(6);
+        let text = render_repro(20, DEFAULT_SEED, &deep, "synthetic reason");
+        assert!(text.contains("cfg.buffer_depth = Some(6);"));
+        let mut shallow = deep.clone();
+        shallow.buffer_depth = None;
+        let text = render_repro(20, DEFAULT_SEED, &shallow, "synthetic reason");
+        assert!(!text.contains("cfg.buffer_depth"));
     }
 
     #[test]

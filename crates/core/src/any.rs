@@ -3,8 +3,8 @@
 use crate::{GenericRouter, PathSensitiveRouter, RocoRouter};
 use noc_core::{
     ActivityCounters, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit, HotStep,
-    MeshConfig, NodeStatus, RouterConfig, RouterKind, RouterNode, RouterOutputs, StepContext,
-    VcDescriptor, VcSnapshot,
+    MeshConfig, NodeStatus, RouterConfig, RouterKind, RouterNode, RouterOutputs, SlabView,
+    SlabWindow, StepContext, VcDescriptor, VcSnapshot,
 };
 
 /// A router of any of the three evaluated architectures.
@@ -96,28 +96,47 @@ impl RouterNode for AnyRouter {
         dispatch!(self, r => r.vcs_on_link(dir))
     }
 
-    fn deliver_flit(&mut self, from: Direction, vc: u8, flit: Flit) {
-        dispatch!(self, r => r.deliver_flit(from, vc, flit))
+    fn ring_capacities(&self) -> Vec<u32> {
+        dispatch!(self, r => r.ring_capacities())
+    }
+
+    fn deliver_flit(&mut self, slab: &mut SlabWindow<'_>, from: Direction, vc: u8, flit: Flit) {
+        dispatch!(self, r => r.deliver_flit(slab, from, vc, flit))
     }
 
     fn deliver_credit(&mut self, output: Direction, credit: Credit) {
         dispatch!(self, r => r.deliver_credit(output, credit))
     }
 
-    fn try_inject(&mut self, flit: Flit, ctx: &mut StepContext<'_>) -> bool {
-        dispatch!(self, r => r.try_inject(flit, ctx))
+    fn try_inject(
+        &mut self,
+        slab: &mut SlabWindow<'_>,
+        flit: Flit,
+        ctx: &mut StepContext<'_>,
+    ) -> bool {
+        dispatch!(self, r => r.try_inject(slab, flit, ctx))
     }
 
-    fn step(&mut self, ctx: &mut StepContext<'_>, out: &mut RouterOutputs) {
-        dispatch!(self, r => r.step(ctx, out))
+    fn step(
+        &mut self,
+        ctx: &mut StepContext<'_>,
+        slab: &mut SlabWindow<'_>,
+        out: &mut RouterOutputs,
+    ) {
+        dispatch!(self, r => r.step(ctx, slab, out))
     }
 
-    fn step_hot(&mut self, ctx: &mut StepContext<'_>, out: &mut RouterOutputs) -> HotStep {
-        dispatch!(self, r => r.step_hot(ctx, out))
+    fn step_hot(
+        &mut self,
+        ctx: &mut StepContext<'_>,
+        slab: &mut SlabWindow<'_>,
+        out: &mut RouterOutputs,
+    ) -> HotStep {
+        dispatch!(self, r => r.step_hot(ctx, slab, out))
     }
 
-    fn warm_hot(&self) {
-        dispatch!(self, r => r.warm_hot())
+    fn warm_hot(&self, slab: &SlabView<'_>) {
+        dispatch!(self, r => r.warm_hot(slab))
     }
 
     fn is_quiescent(&self) -> bool {
@@ -140,16 +159,16 @@ impl RouterNode for AnyRouter {
         dispatch!(self, r => r.clear_faults())
     }
 
-    fn purge_faulted(&mut self) {
-        dispatch!(self, r => r.purge_faulted())
+    fn purge_faulted(&mut self, slab: &mut SlabWindow<'_>) {
+        dispatch!(self, r => r.purge_faulted(slab))
     }
 
-    fn resync_output(&mut self, dir: Direction, descs: &[VcDescriptor]) {
-        dispatch!(self, r => r.resync_output(dir, descs))
+    fn resync_output(&mut self, slab: &mut SlabWindow<'_>, dir: Direction, descs: &[VcDescriptor]) {
+        dispatch!(self, r => r.resync_output(slab, dir, descs))
     }
 
-    fn reset_input_link(&mut self, from: Direction) {
-        dispatch!(self, r => r.reset_input_link(from))
+    fn reset_input_link(&mut self, slab: &mut SlabWindow<'_>, from: Direction) {
+        dispatch!(self, r => r.reset_input_link(slab, from))
     }
 
     fn counters(&self) -> &ActivityCounters {
@@ -164,15 +183,15 @@ impl RouterNode for AnyRouter {
         dispatch!(self, r => r.occupancy())
     }
 
-    fn vc_snapshots(&self) -> Vec<VcSnapshot> {
-        dispatch!(self, r => r.vc_snapshots())
+    fn vc_snapshots(&self, slab: &SlabView<'_>) -> Vec<VcSnapshot> {
+        dispatch!(self, r => r.vc_snapshots(slab))
     }
 
     fn credit_map(&self) -> Vec<(Direction, Vec<u8>)> {
         dispatch!(self, r => r.credit_map())
     }
 
-    fn audit_probe(&self) -> noc_core::AuditProbe {
-        dispatch!(self, r => r.audit_probe())
+    fn audit_probe(&self, slab: &SlabView<'_>) -> noc_core::AuditProbe {
+        dispatch!(self, r => r.audit_probe(slab))
     }
 }

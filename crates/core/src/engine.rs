@@ -14,10 +14,10 @@ use noc_arbiter::RoundRobinArbiter;
 use noc_core::{
     ActivityCounters, AuditProbe, Axis, ContentionCounters, Coord, CreditBook, Cycle, Direction,
     Flit, LatchedFlit, LinkMask, ModuleHealth, NodeStatus, PacketId, RouterConfig, RouterOutputs,
-    StepContext, VcAudit, VcDescriptor, VcPhase, VcRequest, VcSnapshot, EJECT_VC,
+    SlabView, SlabWindow, StepContext, VcAudit, VcDescriptor, VcPhase, VcRequest, VcSnapshot,
+    EJECT_VC,
 };
 use noc_routing::{quadrant_mask, DirSet, RouteComputer};
-use std::collections::VecDeque;
 
 /// Allocation state of one virtual channel's resident packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,7 +62,16 @@ pub enum VcState {
     },
 }
 
-/// One virtual channel buffer plus its state machine.
+/// Extra slab ring slots beyond a VC's nominal capacity: headroom for
+/// poison tails, which may transiently exceed the credited capacity
+/// (this is the `+2` credit slop the `VecDeque` implementation hid in
+/// `Vc::with_capacity`).
+pub const RING_SLOP: u32 = 2;
+
+/// One virtual channel's state machine. The flit buffer itself lives in
+/// the network-wide [`noc_core::FlitSlab`] (ISSUE 10): ring `vc_id` of
+/// this router's [`SlabWindow`] holds the flits, fixed at
+/// `nominal_capacity + RING_SLOP` slots for the router's lifetime.
 #[derive(Debug, Clone)]
 pub struct Vc {
     /// Static descriptor (admission rules, capacity).
@@ -74,8 +83,6 @@ pub struct Vc {
     /// Architecture tag: crossbar input port (generic), path set
     /// (Path-Sensitive) or module-port (RoCo).
     pub group: u8,
-    /// Buffered flits.
-    pub queue: VecDeque<Flit>,
     /// Packet-processing state.
     pub state: VcState,
     /// Discarding a dropped packet's remaining flits (§4.1: fragmented
@@ -85,7 +92,8 @@ pub struct Vc {
     pub disabled: bool,
     /// The fault-free buffer capacity this VC was built with; repair
     /// ([`RouterCore::clear_all_faults`]) restores `desc.capacity` to
-    /// this value.
+    /// this value. The slab ring is sized from this, so a fault-time
+    /// capacity shrink never moves buffered flits.
     pub nominal_capacity: u8,
     /// Flits written into this VC over the router's lifetime
     /// (per-class utilization statistics).
@@ -100,12 +108,6 @@ impl Vc {
             input_side,
             link_index,
             group,
-            // Pre-sized so steady-state pushes never touch the heap: a
-            // lazily-allocated queue would take its one growth hit the
-            // first time this VC sees traffic, which can be arbitrarily
-            // deep into a run. +2 leaves headroom for poison tails,
-            // which may transiently exceed the credited capacity.
-            queue: VecDeque::with_capacity(desc.capacity as usize + 2),
             state: VcState::Idle,
             dropping: false,
             disabled: false,
@@ -115,8 +117,10 @@ impl Vc {
     }
 
     /// Whether a new packet head may be injected/enqueued atomically.
-    pub fn ready_for_new_packet(&self) -> bool {
-        !self.disabled && self.state == VcState::Idle && self.queue.is_empty() && !self.dropping
+    /// `empty` is this VC's slab-ring emptiness (the buffer state lives
+    /// outside the struct).
+    pub fn ready_for_new_packet(&self, empty: bool) -> bool {
+        !self.disabled && self.state == VcState::Idle && empty && !self.dropping
     }
 }
 
@@ -245,6 +249,11 @@ pub struct RouterCore {
     /// all-ones defensively. Meaningless (and harmless) when
     /// `vcs.len() > 64`, where the hot path is never taken.
     hot_mask: u64,
+    /// Flits currently buffered across every VC ring, maintained
+    /// incrementally on each push/pop (ISSUE 10): `occupancy`,
+    /// `is_quiescent` and the per-cycle high-water probe read this
+    /// instead of re-summing queue lengths.
+    buffered: u32,
 }
 
 impl RouterCore {
@@ -300,7 +309,35 @@ impl RouterCore {
             va_requests: Vec::with_capacity(n_vcs),
             va_lines: Vec::with_capacity(n_vcs),
             hot_mask: u64::MAX,
+            buffered: 0,
         }
+    }
+
+    /// Fixed slab ring capacity of every VC, in VC-id order (see
+    /// [`noc_core::RouterNode::ring_capacities`]): the nominal depth
+    /// plus [`RING_SLOP`] headroom for poison tails. Fault
+    /// reconfiguration shrinks only `desc.capacity`, never the ring.
+    pub fn ring_capacities(&self) -> Vec<u32> {
+        self.vcs.iter().map(|v| v.nominal_capacity as u32 + RING_SLOP).collect()
+    }
+
+    /// Pushes a flit into `vc_id`'s slab ring, tracking the incremental
+    /// buffered-flit counter.
+    #[inline]
+    fn qpush(&mut self, slab: &mut SlabWindow<'_>, vc_id: usize, flit: Flit) {
+        slab.push_back(vc_id, flit);
+        self.buffered += 1;
+    }
+
+    /// Pops the front flit of `vc_id`'s slab ring, tracking the
+    /// incremental buffered-flit counter.
+    #[inline]
+    fn qpop(&mut self, slab: &mut SlabWindow<'_>, vc_id: usize) -> Option<Flit> {
+        let f = slab.pop_front(vc_id);
+        if f.is_some() {
+            self.buffered -= 1;
+        }
+        f
     }
 
     /// Wires this router's `dir` output to a neighbour's published VC
@@ -350,7 +387,7 @@ impl RouterCore {
     }
 
     /// Accepts a flit from a link.
-    pub fn deliver_flit(&mut self, from: Direction, vc: u8, flit: Flit) {
+    pub fn deliver_flit(&mut self, slab: &mut SlabWindow<'_>, from: Direction, vc: u8, flit: Flit) {
         if self.node_dead() {
             self.pending_drops.push(flit);
             return;
@@ -374,7 +411,7 @@ impl RouterCore {
             return;
         }
         let v = &self.vcs[id];
-        if !flit.kind.is_head() && !v.dropping && v.queue.is_empty() && v.state == VcState::Idle {
+        if !flit.kind.is_head() && !v.dropping && slab.is_empty(id) && v.state == VcState::Idle {
             // Orphan continuation: the head was discarded while this VC
             // was disabled (a transient fault healing before the §4.1
             // republication reaches the sender). A live stream always
@@ -386,7 +423,7 @@ impl RouterCore {
         }
         self.counters.buffer_writes += 1;
         self.vcs[id].writes += 1;
-        self.vcs[id].queue.push_back(flit);
+        self.qpush(slab, id, flit);
         self.mark_hot(id);
     }
 
@@ -411,11 +448,10 @@ impl RouterCore {
     /// credits to the upstream neighbour — yes while that link stays
     /// alive, no when the link's bookkeeping is itself being rebuilt by
     /// the §4.1 status republication.
-    fn abort_stream(&mut self, vc_id: usize, credit_upstream: bool) {
+    fn abort_stream(&mut self, slab: &mut SlabWindow<'_>, vc_id: usize, credit_upstream: bool) {
         if let VcState::Active { out, dvc, next_route, .. } = self.vcs[vc_id].state {
             if dvc != EJECT_VC {
-                let head_still_here =
-                    self.vcs[vc_id].queue.front().is_some_and(|f| f.kind.is_head());
+                let head_still_here = slab.front(vc_id).is_some_and(|f| f.kind.is_head());
                 if head_still_here {
                     // Nothing was forwarded yet: just release the VC.
                     let port = self.outputs[out.index()].as_mut().expect("output wired");
@@ -424,7 +460,7 @@ impl RouterCore {
                     // The head already moved on: close the wormhole with
                     // a poison tail so every downstream hop releases its
                     // VC (§4.1: the fragment is discarded in flight).
-                    let (packet, src, dst) = match self.vcs[vc_id].queue.front() {
+                    let (packet, src, dst) = match slab.front(vc_id) {
                         Some(f) => (f.packet, f.src, f.dst),
                         None => (PacketId(u64::MAX), self.coord, self.coord),
                     };
@@ -437,7 +473,7 @@ impl RouterCore {
                 }
             }
         }
-        while let Some(flit) = self.vcs[vc_id].queue.pop_front() {
+        while let Some(flit) = self.qpop(slab, vc_id) {
             if credit_upstream {
                 self.send_credit(vc_id, flit.kind.is_tail());
             }
@@ -459,17 +495,17 @@ impl RouterCore {
     /// packets fragmented by a fault are discarded, not repaired).
     /// Called by the network right after a mid-run `inject_fault` (and
     /// after a repair re-applies the remaining faults).
-    pub fn purge_faulted(&mut self) {
+    pub fn purge_faulted(&mut self, slab: &mut SlabWindow<'_>) {
         self.hot_mask = u64::MAX;
         let own = self.status();
         for vc_id in 0..self.vcs.len() {
             let vc = &self.vcs[vc_id];
-            if vc.queue.is_empty() && vc.state == VcState::Idle && !vc.dropping {
+            if slab.is_empty(vc_id) && vc.state == VcState::Idle && !vc.dropping {
                 continue;
             }
             let committed_out = match vc.state {
                 VcState::Active { out, .. } => Some(out),
-                _ => vc.queue.front().filter(|f| f.kind.is_head()).map(|f| f.next_out),
+                _ => slab.front(vc_id).filter(|f| f.kind.is_head()).map(|f| f.next_out),
             };
             let dead_route =
                 committed_out.is_some_and(|o| o != Direction::Local && !own.can_serve_output(o));
@@ -478,7 +514,7 @@ impl RouterCore {
                 // upstream books must never leak a credit for a flit it
                 // sent, and the §4.1 resynchronisation only reconciles
                 // genuinely in-flight flits against the new capacity.
-                self.abort_stream(vc_id, true);
+                self.abort_stream(slab, vc_id, true);
             }
         }
         if let Some(id) = self.inj_vc {
@@ -511,7 +547,12 @@ impl RouterCore {
     /// or repair). Credits are recomputed so that flits still counted
     /// as outstanding stay outstanding; streams holding a downstream VC
     /// that vanished are aborted.
-    pub fn resync_output(&mut self, dir: Direction, descs: &[VcDescriptor]) {
+    pub fn resync_output(
+        &mut self,
+        slab: &mut SlabWindow<'_>,
+        dir: Direction,
+        descs: &[VcDescriptor],
+    ) {
         self.hot_mask = u64::MAX;
         let Some(port) = self.outputs[dir.index()].as_mut() else { return };
         debug_assert_eq!(port.vcs.len(), descs.len(), "link VC count is fixed at build time");
@@ -533,7 +574,7 @@ impl RouterCore {
                         .as_ref()
                         .map_or(true, |p| p.vcs[dvc as usize].desc.capacity == 0);
                     if gone {
-                        self.abort_stream(vc_id, true);
+                        self.abort_stream(slab, vc_id, true);
                     }
                 }
             }
@@ -544,11 +585,11 @@ impl RouterCore {
     /// re-established by a repair (§4.1 handshake): fragments a faulty
     /// upstream left behind are discarded so the rebuilt credit and VC
     /// bookkeeping starts from empty buffers.
-    pub fn reset_input_link(&mut self, from: Direction) {
+    pub fn reset_input_link(&mut self, slab: &mut SlabWindow<'_>, from: Direction) {
         self.hot_mask = u64::MAX;
-        let ids = self.link_map[from.index()].clone();
-        for vc_id in ids {
-            self.abort_stream(vc_id, false);
+        for i in 0..self.link_map[from.index()].len() {
+            let vc_id = self.link_map[from.index()][i];
+            self.abort_stream(slab, vc_id, false);
         }
     }
 
@@ -558,7 +599,7 @@ impl RouterCore {
     /// drop accounting — otherwise a drop landing right as the network
     /// drains would end the run before it is ever recorded.
     pub fn occupancy(&self) -> usize {
-        self.vcs.iter().map(|v| v.queue.len()).sum::<usize>()
+        self.buffered as usize
             + self.st_latch.len()
             + self.pending_ejects.len()
             + self.pending_drops.len()
@@ -572,16 +613,14 @@ impl RouterCore {
     /// every effort counter stays zero), `probe_cycle` observes nothing,
     /// and no context RNG is consumed.
     pub fn is_quiescent(&self) -> bool {
-        self.st_latch.is_empty()
+        self.buffered == 0
+            && self.st_latch.is_empty()
             && self.pending_ejects.is_empty()
             && self.pending_credits.is_empty()
             && self.pending_drops.is_empty()
             && !self.inj_dropping
             && self.inj_vc.is_none()
-            && self
-                .vcs
-                .iter()
-                .all(|v| v.queue.is_empty() && v.state == VcState::Idle && !v.dropping)
+            && self.vcs.iter().all(|v| v.state == VcState::Idle && !v.dropping)
     }
 
     /// Accounts one clocked (but skipped) cycle: the leakage-energy
@@ -602,9 +641,10 @@ impl RouterCore {
 
     /// Whether an `Active` VC with flits to send is starved of credits
     /// on its downstream VC (ejection never starves: it needs no VC).
-    fn vc_credit_starved(&self, vc: &Vc) -> bool {
+    /// `has_flits` is the VC's slab-ring non-emptiness.
+    fn vc_credit_starved(&self, vc: &Vc, has_flits: bool) -> bool {
         match vc.state {
-            VcState::Active { out, dvc, .. } if dvc != EJECT_VC && !vc.queue.is_empty() => {
+            VcState::Active { out, dvc, .. } if dvc != EJECT_VC && has_flits => {
                 self.outputs[out.index()].as_ref().is_some_and(|p| p.vcs[dvc as usize].credits == 0)
             }
             _ => false,
@@ -613,13 +653,22 @@ impl RouterCore {
 
     /// Per-cycle telemetry probe: tracks the buffer-occupancy high-water
     /// mark and counts cycles in which at least one VC is credit-starved.
-    /// Called once per `step` by every router architecture.
-    pub fn probe_cycle(&mut self) {
-        let buffered = self.vcs.iter().map(|v| v.queue.len()).sum::<usize>() as u64;
+    /// Called once per `step` by every router architecture. The
+    /// high-water read is O(1) off the incremental counter (ISSUE 10);
+    /// the starvation scan runs only while flits are buffered at all
+    /// (an empty router cannot starve).
+    pub fn probe_cycle(&mut self, slab: &SlabView<'_>) {
+        let buffered = self.buffered as u64;
         if buffered > self.counters.occupancy_high_water {
             self.counters.occupancy_high_water = buffered;
         }
-        if self.vcs.iter().any(|vc| self.vc_credit_starved(vc)) {
+        if buffered != 0
+            && self
+                .vcs
+                .iter()
+                .enumerate()
+                .any(|(i, vc)| self.vc_credit_starved(vc, !slab.is_empty(i)))
+        {
             self.counters.credit_stall_cycles += 1;
         }
     }
@@ -630,7 +679,7 @@ impl RouterCore {
     /// `v` set ⇔ VC `v` is possibly non-idle: non-empty queue, non-Idle
     /// state, or mid-drop). Only valid when `vcs.len() <= 64`; callers
     /// fall back to the classic `step` otherwise.
-    pub fn hot_open(&mut self) -> u64 {
+    pub fn hot_open(&mut self, slab: &SlabView<'_>) -> u64 {
         debug_assert!(self.vcs.len() <= 64, "hot path requires <= 64 VCs");
         // `hot_mask` is a superset of the busy VCs (see its field doc),
         // so scanning only its bits is exact: a VC outside it is empty
@@ -640,19 +689,20 @@ impl RouterCore {
         let all = if self.vcs.len() == 64 { u64::MAX } else { (1u64 << self.vcs.len()) - 1 };
         let mut bits = self.hot_mask & all;
         let mut busy = 0u64;
-        let mut buffered = 0u64;
         let mut starved = false;
         while bits != 0 {
             let v = bits.trailing_zeros() as usize;
             bits &= bits - 1;
             let vc = &self.vcs[v];
-            let qlen = vc.queue.len();
-            buffered += qlen as u64;
+            let qlen = slab.len(v);
             if qlen != 0 || vc.state != VcState::Idle || vc.dropping {
                 busy |= 1u64 << v;
             }
-            starved = starved || self.vc_credit_starved(vc);
+            starved = starved || self.vc_credit_starved(vc, qlen != 0);
         }
+        // VCs outside the hot mask are empty, so the incremental counter
+        // equals the masked queue-length sum the scan used to compute.
+        let buffered = self.buffered as u64;
         if buffered > self.counters.occupancy_high_water {
             self.counters.occupancy_high_water = buffered;
         }
@@ -674,7 +724,9 @@ impl RouterCore {
     /// no-op off x86_64. Called by the `Soa` kernel a few routers ahead
     /// of the serial step sweep so consecutive routers' cache misses
     /// overlap instead of serialising.
-    pub fn warm_hot(&self) {
+    pub fn warm_hot(&self, slab: &SlabView<'_>) {
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = slab;
         #[cfg(target_arch = "x86_64")]
         {
             use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
@@ -696,9 +748,9 @@ impl RouterCore {
                     // live `Vc` allocation.
                     unsafe { _mm_prefetch(p.add(line * 64), _MM_HINT_T0) };
                 }
-                if let Some(f) = vc.queue.front() {
-                    unsafe { _mm_prefetch((f as *const Flit).cast::<i8>(), _MM_HINT_T0) };
-                }
+                // The ring's front slot address is valid even when the
+                // ring is empty (the slot exists, just unoccupied).
+                unsafe { _mm_prefetch(slab.front_ptr(v).cast::<i8>(), _MM_HINT_T0) };
             }
             for port in self.outputs.iter().flatten() {
                 unsafe { _mm_prefetch(port.vcs.as_ptr().cast::<i8>(), _MM_HINT_T0) };
@@ -719,19 +771,21 @@ impl RouterCore {
     /// are empty and `Idle` and cannot change during the step, so they
     /// contribute zero occupancy and never break quiescence.
     pub fn hot_close(&self, busy: u64) -> (usize, bool) {
-        let mut queued = 0usize;
-        let mut vcs_quiet = true;
+        // Queue emptiness is covered by the incremental counter (VCs
+        // outside the mask hold nothing); the scan only needs the
+        // per-VC state machines, so the slab is not touched at all.
+        let mut vcs_quiet = self.buffered == 0;
         let mut bits = busy;
-        while bits != 0 {
+        while vcs_quiet && bits != 0 {
             let v = bits.trailing_zeros() as usize;
             bits &= bits - 1;
             let vc = &self.vcs[v];
-            queued += vc.queue.len();
-            vcs_quiet =
-                vcs_quiet && vc.queue.is_empty() && vc.state == VcState::Idle && !vc.dropping;
+            vcs_quiet = vc.state == VcState::Idle && !vc.dropping;
         }
-        let occupancy =
-            queued + self.st_latch.len() + self.pending_ejects.len() + self.pending_drops.len();
+        let occupancy = self.buffered as usize
+            + self.st_latch.len()
+            + self.pending_ejects.len()
+            + self.pending_drops.len();
         let quiescent = vcs_quiet
             && self.st_latch.is_empty()
             && self.pending_ejects.is_empty()
@@ -744,19 +798,19 @@ impl RouterCore {
 
     /// Point-in-time snapshots of every input VC (see
     /// [`noc_core::RouterNode::vc_snapshots`]).
-    pub fn vc_snapshots(&self) -> Vec<VcSnapshot> {
+    pub fn vc_snapshots(&self, slab: &SlabView<'_>) -> Vec<VcSnapshot> {
         self.vcs
             .iter()
-            .map(|vc| {
+            .enumerate()
+            .map(|(i, vc)| {
                 let (phase, out, downstream_vc, blocked_since) = match vc.state {
                     VcState::Idle => {
-                        let phase =
-                            if vc.queue.is_empty() { VcPhase::Idle } else { VcPhase::Routing };
+                        let phase = if slab.is_empty(i) { VcPhase::Idle } else { VcPhase::Routing };
                         (phase, None, None, None)
                     }
                     VcState::RoutePending { .. } => (VcPhase::Routing, None, None, None),
                     VcState::WaitingVa { .. } => {
-                        (VcPhase::WaitingVa, vc.queue.front().map(|f| f.next_out), None, None)
+                        (VcPhase::WaitingVa, slab.front(i).map(|f| f.next_out), None, None)
                     }
                     VcState::Blocked { since } => (VcPhase::Blocked, None, None, Some(since)),
                     VcState::Active { out, dvc, .. } => {
@@ -766,13 +820,13 @@ impl RouterCore {
                 VcSnapshot {
                     input_side: vc.input_side,
                     link_index: vc.link_index,
-                    buffered: vc.queue.len(),
-                    head_packet: vc.queue.front().map(|f| f.packet),
-                    head_dst: vc.queue.front().map(|f| f.dst),
+                    buffered: slab.len(i),
+                    head_packet: slab.front(i).map(|f| f.packet),
+                    head_dst: slab.front(i).map(|f| f.dst),
                     phase,
                     out,
                     downstream_vc,
-                    credit_starved: self.vc_credit_starved(vc),
+                    credit_starved: self.vc_credit_starved(vc, !slab.is_empty(i)),
                     blocked_since,
                     dropping: vc.dropping,
                     disabled: vc.disabled,
@@ -783,15 +837,15 @@ impl RouterCore {
 
     /// A complete audit snapshot of the shared engine's flow-control
     /// state (see [`noc_core::RouterNode::audit_probe`]).
-    pub fn audit_probe(&self) -> AuditProbe {
+    pub fn audit_probe(&self, slab: &SlabView<'_>) -> AuditProbe {
         let vcs = self
             .vcs
             .iter()
-            .map(|vc| {
+            .enumerate()
+            .map(|(i, vc)| {
                 let (phase, active_out, active_dvc) = match vc.state {
                     VcState::Idle => {
-                        let phase =
-                            if vc.queue.is_empty() { VcPhase::Idle } else { VcPhase::Routing };
+                        let phase = if slab.is_empty(i) { VcPhase::Idle } else { VcPhase::Routing };
                         (phase, None, None)
                     }
                     VcState::RoutePending { .. } => (VcPhase::Routing, None, None),
@@ -802,9 +856,9 @@ impl RouterCore {
                 VcAudit {
                     input_side: vc.input_side,
                     link_index: vc.link_index,
-                    queue_len: vc.queue.len(),
-                    poison_queued: vc.queue.iter().filter(|f| f.poison).count(),
-                    head_is_head_kind: vc.queue.front().map(|f| f.kind.is_head()),
+                    queue_len: slab.len(i),
+                    poison_queued: slab.iter(i).filter(|f| f.poison).count(),
+                    head_is_head_kind: slab.front(i).map(|f| f.kind.is_head()),
                     capacity: vc.desc.capacity,
                     nominal_capacity: vc.nominal_capacity,
                     disabled: vc.disabled,
@@ -842,6 +896,8 @@ impl RouterCore {
             })
             .collect();
         let pending_credits = self.pending_credits.iter().map(|&(side, c)| (side, c.vc)).collect();
+        let rings_coherent = (0..self.vcs.len())
+            .all(|i| slab.head(i) < slab.ring_cap(i) && slab.len(i) <= slab.ring_cap(i) as usize);
         AuditProbe {
             vcs,
             outputs,
@@ -849,6 +905,8 @@ impl RouterCore {
             pending_credits,
             pending_ejects: self.pending_ejects.len(),
             pending_drops: self.pending_drops.len(),
+            buffered_total: self.buffered as usize,
+            rings_coherent,
         }
     }
 
@@ -894,9 +952,9 @@ impl RouterCore {
     /// handshake discards it gracefully (§4.1: fragmented packets are
     /// discarded); the baselines have no such mechanism, so the packet
     /// blocks forever and congests the region around the fault.
-    fn drop_or_block(&mut self, vc_id: usize) {
+    fn drop_or_block(&mut self, slab: &mut SlabWindow<'_>, vc_id: usize) {
         if self.cfg.router == noc_core::RouterKind::RoCo {
-            self.start_drop(vc_id);
+            self.start_drop(slab, vc_id);
         } else {
             self.counters.blocked_packets += 1;
             self.vcs[vc_id].state = VcState::Blocked { since: self.last_cycle };
@@ -904,22 +962,22 @@ impl RouterCore {
     }
 
     /// Starts discarding the packet at the head of `vc_id` (fault drop).
-    fn start_drop(&mut self, vc_id: usize) {
-        let head = self.vcs[vc_id].queue.pop_front().expect("drop requires a head");
+    fn start_drop(&mut self, slab: &mut SlabWindow<'_>, vc_id: usize) {
+        let head = self.qpop(slab, vc_id).expect("drop requires a head");
         let is_tail = head.kind.is_tail();
         self.send_credit(vc_id, is_tail);
         self.pending_drops.push(head);
         self.vcs[vc_id].state = VcState::Idle;
         if !is_tail {
             self.vcs[vc_id].dropping = true;
-            self.drain_dropping(vc_id);
+            self.drain_dropping(slab, vc_id);
         }
     }
 
     /// Discards already-buffered flits of a dropping packet.
-    fn drain_dropping(&mut self, vc_id: usize) {
+    fn drain_dropping(&mut self, slab: &mut SlabWindow<'_>, vc_id: usize) {
         while self.vcs[vc_id].dropping {
-            let Some(flit) = self.vcs[vc_id].queue.pop_front() else { break };
+            let Some(flit) = self.qpop(slab, vc_id) else { break };
             let is_tail = flit.kind.is_tail();
             self.send_credit(vc_id, is_tail);
             self.pending_drops.push(flit);
@@ -931,8 +989,8 @@ impl RouterCore {
 
     /// The look-ahead routing + virtual-channel allocation stage.
     /// Returns per-axis VA activity (used by the SA-offload fault model).
-    pub fn va_stage(&mut self, ctx: &mut StepContext<'_>) -> [bool; 2] {
-        self.va_stage_ids(ctx, 0..self.vcs.len())
+    pub fn va_stage(&mut self, ctx: &mut StepContext<'_>, slab: &mut SlabWindow<'_>) -> [bool; 2] {
+        self.va_stage_ids(ctx, slab, 0..self.vcs.len())
     }
 
     /// [`RouterCore::va_stage`] over an explicit VC id set. The classic
@@ -943,7 +1001,12 @@ impl RouterCore {
     /// `deliver_flit`/`try_inject`, which run between steps), so every
     /// skipped id would fail each sub-pass's guards without any side
     /// effect — including RNG draws and counter bumps.
-    pub fn va_stage_ids<I>(&mut self, ctx: &mut StepContext<'_>, ids: I) -> [bool; 2]
+    pub fn va_stage_ids<I>(
+        &mut self,
+        ctx: &mut StepContext<'_>,
+        slab: &mut SlabWindow<'_>,
+        ids: I,
+    ) -> [bool; 2]
     where
         I: Iterator<Item = usize> + Clone,
     {
@@ -954,7 +1017,7 @@ impl RouterCore {
         // fault-blocked packets that have wedged long enough.
         for vc_id in ids.clone() {
             if self.vcs[vc_id].dropping {
-                self.drain_dropping(vc_id);
+                self.drain_dropping(slab, vc_id);
             }
             if let VcState::RoutePending { next_route, ready_at } = self.vcs[vc_id].state {
                 if ctx.cycle >= ready_at {
@@ -963,9 +1026,9 @@ impl RouterCore {
             }
             if let VcState::Blocked { since } = self.vcs[vc_id].state {
                 if ctx.cycle.saturating_sub(since) >= self.cfg.block_timeout
-                    && !self.vcs[vc_id].queue.is_empty()
+                    && !slab.is_empty(vc_id)
                 {
-                    self.start_drop(vc_id);
+                    self.start_drop(slab, vc_id);
                 }
             }
         }
@@ -975,15 +1038,15 @@ impl RouterCore {
             if self.vcs[vc_id].state != VcState::Idle || self.vcs[vc_id].dropping {
                 continue;
             }
-            let Some(&head) = self.vcs[vc_id].queue.front() else { continue };
+            let Some(&head) = slab.front(vc_id) else { continue };
             if !head.kind.is_head() {
                 // Stray body flit without a head: only possible for a
                 // packet whose head was dropped — keep draining.
                 self.vcs[vc_id].dropping = true;
-                self.drain_dropping(vc_id);
+                self.drain_dropping(slab, vc_id);
                 continue;
             }
-            self.route_head(vc_id, head, ctx);
+            self.route_head(slab, vc_id, head, ctx);
         }
         // Sub-pass 3: collect VA requests (reusing the scratch buffer —
         // the steady-state path allocates nothing).
@@ -991,7 +1054,7 @@ impl RouterCore {
         requests.clear();
         for vc_id in ids {
             let VcState::WaitingVa { next_route } = self.vcs[vc_id].state else { continue };
-            let Some(&head) = self.vcs[vc_id].queue.front() else { continue };
+            let Some(&head) = slab.front(vc_id) else { continue };
             let out = head.next_out;
             if out != Direction::Local {
                 let bstat = ctx.neighbor_status(out).unwrap_or_default();
@@ -1011,7 +1074,7 @@ impl RouterCore {
                     // this route was computed (mid-run fault): re-route
                     // from scratch or discard.
                     self.vcs[vc_id].state = VcState::Idle;
-                    self.reroute_or_fail(vc_id, head, ctx);
+                    self.reroute_or_fail(slab, vc_id, head, ctx);
                     continue;
                 }
             }
@@ -1143,7 +1206,13 @@ impl RouterCore {
         }
     }
 
-    fn reroute_or_fail(&mut self, vc_id: usize, head: Flit, ctx: &mut StepContext<'_>) {
+    fn reroute_or_fail(
+        &mut self,
+        slab: &mut SlabWindow<'_>,
+        vc_id: usize,
+        head: Flit,
+        ctx: &mut StepContext<'_>,
+    ) {
         let adaptive = matches!(
             self.computer.routing(),
             noc_core::RoutingKind::Adaptive | noc_core::RoutingKind::AdaptiveOddEven
@@ -1184,20 +1253,26 @@ impl RouterCore {
             let new_out = cands.iter().next();
             if let Some(new_out) = new_out {
                 self.counters.rc_computations += 1;
-                if let Some(front) = self.vcs[vc_id].queue.front_mut() {
+                if let Some(front) = slab.front_mut(vc_id) {
                     front.next_out = new_out;
                 }
                 // Re-processed (with the new output) next cycle.
                 return;
             }
         }
-        self.drop_or_block(vc_id);
+        self.drop_or_block(slab, vc_id);
     }
 
     /// Computes the look-ahead route for the head of `vc_id` (Fig 1b's
     /// Routing Logic), dropping the packet when faults make every
     /// candidate unserviceable.
-    fn route_head(&mut self, vc_id: usize, head: Flit, ctx: &mut StepContext<'_>) {
+    fn route_head(
+        &mut self,
+        slab: &mut SlabWindow<'_>,
+        vc_id: usize,
+        head: Flit,
+        ctx: &mut StepContext<'_>,
+    ) {
         let out = head.next_out;
         if out == Direction::Local {
             // Generic router: eject through the crossbar's PE column.
@@ -1210,17 +1285,17 @@ impl RouterCore {
             // The committed output's own module died after this route
             // was stamped one hop upstream (mid-run fault): there is no
             // crossbar lane left to reach it.
-            self.reroute_or_fail(vc_id, head, ctx);
+            self.reroute_or_fail(slab, vc_id, head, ctx);
             return;
         }
         let Some(b) = self.computer.neighbor(self.coord, out) else {
             // A route can only point off-mesh after corruption; drop.
-            self.start_drop(vc_id);
+            self.start_drop(slab, vc_id);
             return;
         };
         let bstat = ctx.neighbor_status(out).unwrap_or_default();
         if bstat.node_dead() {
-            self.reroute_or_fail(vc_id, head, ctx);
+            self.reroute_or_fail(slab, vc_id, head, ctx);
             return;
         }
         self.counters.rc_computations += 1;
@@ -1231,7 +1306,7 @@ impl RouterCore {
                 self.route_candidates(head.src, b, head.dst, head.order, out.opposite(), ctx.mask);
             cands.retain(|d| bstat.can_serve_output(d));
             if cands.is_empty() {
-                self.reroute_or_fail(vc_id, head, ctx);
+                self.reroute_or_fail(slab, vc_id, head, ctx);
                 return;
             }
             let port = self.outputs[out.index()].as_ref().expect("output wired");
@@ -1281,10 +1356,10 @@ impl RouterCore {
 
     /// Whether `vc_id` may bid for the crossbar this cycle, and the
     /// output it wants.
-    pub fn sa_candidate(&self, vc_id: usize) -> Option<Direction> {
+    pub fn sa_candidate(&self, slab: &SlabView<'_>, vc_id: usize) -> Option<Direction> {
         let vc = &self.vcs[vc_id];
         let VcState::Active { out, dvc, sa_from, .. } = vc.state else { return None };
-        if vc.queue.is_empty() || vc.disabled || self.last_cycle < sa_from {
+        if slab.is_empty(vc_id) || vc.disabled || self.last_cycle < sa_from {
             return None;
         }
         if dvc != EJECT_VC {
@@ -1302,11 +1377,11 @@ impl RouterCore {
     /// `true` when a tail departure made a downstream VC reallocatable
     /// (so the router can run a further VA iteration this cycle —
     /// "multiple iterative arbitrations", §3.1).
-    pub fn apply_grant(&mut self, vc_id: usize) -> bool {
+    pub fn apply_grant(&mut self, slab: &mut SlabWindow<'_>, vc_id: usize) -> bool {
         let VcState::Active { out, dvc, next_route, .. } = self.vcs[vc_id].state else {
             panic!("SA grant for a VC without an active packet");
         };
-        let mut flit = self.vcs[vc_id].queue.pop_front().expect("SA grant on empty VC");
+        let mut flit = self.qpop(slab, vc_id).expect("SA grant on empty VC");
         self.counters.buffer_reads += 1;
         self.counters.crossbar_traversals += 1;
         let is_tail = flit.kind.is_tail();
@@ -1337,7 +1412,12 @@ impl RouterCore {
     /// Packets whose every first hop is unserviceable because of faults
     /// are accepted and immediately discarded (they count as injected
     /// but lost — §4.1's discard semantics), flagged via `inj_dropping`.
-    pub fn try_inject(&mut self, mut flit: Flit, ctx: &mut StepContext<'_>) -> bool {
+    pub fn try_inject(
+        &mut self,
+        slab: &mut SlabWindow<'_>,
+        mut flit: Flit,
+        ctx: &mut StepContext<'_>,
+    ) -> bool {
         if self.node_dead() {
             return false;
         }
@@ -1379,7 +1459,8 @@ impl RouterCore {
                 };
                 let Some(vc_id) =
                     self.link_map[Direction::Local.index()].iter().copied().find(|&id| {
-                        self.vcs[id].ready_for_new_packet() && self.vcs[id].desc.accepts(&req)
+                        self.vcs[id].ready_for_new_packet(slab.is_empty(id))
+                            && self.vcs[id].desc.accepts(&req)
                     })
                 else {
                     continue;
@@ -1404,7 +1485,7 @@ impl RouterCore {
             flit.injected_at = ctx.cycle;
             self.counters.buffer_writes += 1;
             self.vcs[vc_id].writes += 1;
-            self.vcs[vc_id].queue.push_back(flit);
+            self.qpush(slab, vc_id, flit);
             self.mark_hot(vc_id);
             self.inj_vc = Some(vc_id);
             if flit.kind.is_tail() {
@@ -1420,13 +1501,13 @@ impl RouterCore {
                 return true;
             }
             let Some(vc_id) = self.inj_vc else { return false };
-            if self.vcs[vc_id].queue.len() >= self.vcs[vc_id].desc.capacity as usize {
+            if slab.len(vc_id) >= self.vcs[vc_id].desc.capacity as usize {
                 return false;
             }
             flit.injected_at = ctx.cycle;
             self.counters.buffer_writes += 1;
             self.vcs[vc_id].writes += 1;
-            self.vcs[vc_id].queue.push_back(flit);
+            self.qpush(slab, vc_id, flit);
             self.mark_hot(vc_id);
             if flit.kind.is_tail() {
                 self.inj_vc = None;

@@ -10,7 +10,8 @@ use noc_arbiter::{SeparableAllocator, SwitchGrant, SwitchRequest};
 use noc_core::{
     ActivityCounters, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit, HotStep,
     MeshConfig, ModuleHealth, NodeStatus, RouterConfig, RouterKind, RouterNode, RouterOutputs,
-    StepContext, Topology, TopologyOps, VcAdmission, VcDescriptor, VcSnapshot,
+    SlabView, SlabWindow, StepContext, Topology, TopologyOps, VcAdmission, VcDescriptor,
+    VcSnapshot,
 };
 use noc_routing::RouteComputer;
 
@@ -109,27 +110,41 @@ impl RouterNode for GenericRouter {
         self.core.link_descriptors(dir)
     }
 
-    fn deliver_flit(&mut self, from: Direction, vc: u8, flit: Flit) {
-        self.core.deliver_flit(from, vc, flit);
+    fn ring_capacities(&self) -> Vec<u32> {
+        self.core.ring_capacities()
+    }
+
+    fn deliver_flit(&mut self, slab: &mut SlabWindow<'_>, from: Direction, vc: u8, flit: Flit) {
+        self.core.deliver_flit(slab, from, vc, flit);
     }
 
     fn deliver_credit(&mut self, output: Direction, credit: Credit) {
         self.core.deliver_credit(output, credit);
     }
 
-    fn try_inject(&mut self, flit: Flit, ctx: &mut StepContext<'_>) -> bool {
-        self.core.try_inject(flit, ctx)
+    fn try_inject(
+        &mut self,
+        slab: &mut SlabWindow<'_>,
+        flit: Flit,
+        ctx: &mut StepContext<'_>,
+    ) -> bool {
+        self.core.try_inject(slab, flit, ctx)
     }
 
-    fn step(&mut self, ctx: &mut StepContext<'_>, out: &mut RouterOutputs) {
+    fn step(
+        &mut self,
+        ctx: &mut StepContext<'_>,
+        slab: &mut SlabWindow<'_>,
+        out: &mut RouterOutputs,
+    ) {
         out.clear();
         self.core.counters.cycles += 1;
-        self.core.probe_cycle();
+        self.core.probe_cycle(&slab.as_view());
         self.core.flush(out);
         if self.core.node_dead() {
             return;
         }
-        self.core.va_stage(ctx);
+        self.core.va_stage(ctx, slab);
         // Monolithic separable SA over the 5×5 crossbar.
         let v = self.core.cfg.vcs_per_port as usize;
         let requests = &mut self.sa_requests;
@@ -137,7 +152,7 @@ impl RouterNode for GenericRouter {
         for side in Direction::ALL {
             for i in 0..v {
                 let vc_id = self.core.link_map[side.index()][i];
-                if let Some(want) = self.core.sa_candidate(vc_id) {
+                if let Some(want) = self.core.sa_candidate(&slab.as_view(), vc_id) {
                     requests.push(SwitchRequest {
                         input: side.index(),
                         output: want.index(),
@@ -152,10 +167,10 @@ impl RouterNode for GenericRouter {
         let mut freed = false;
         for g in &self.sa_grants {
             let vc_id = self.core.link_map[g.input][g.vc];
-            freed |= self.core.apply_grant(vc_id);
+            freed |= self.core.apply_grant(slab, vc_id);
         }
         if freed {
-            self.core.va_stage(ctx);
+            self.core.va_stage(ctx, slab);
         }
         // Fig 3 contention accounting: one observation per eligible VC
         // request, classified by its input link's axis ("row input" =
@@ -169,9 +184,14 @@ impl RouterNode for GenericRouter {
         }
     }
 
-    fn step_hot(&mut self, ctx: &mut StepContext<'_>, out: &mut RouterOutputs) -> HotStep {
+    fn step_hot(
+        &mut self,
+        ctx: &mut StepContext<'_>,
+        slab: &mut SlabWindow<'_>,
+        out: &mut RouterOutputs,
+    ) -> HotStep {
         if self.core.vcs.len() > 64 {
-            self.step(ctx, out);
+            self.step(ctx, slab, out);
             return HotStep {
                 occupancy: self.core.occupancy(),
                 quiescent: self.core.is_quiescent(),
@@ -180,13 +200,13 @@ impl RouterNode for GenericRouter {
         }
         out.clear();
         self.core.counters.cycles += 1;
-        let busy = self.core.hot_open();
+        let busy = self.core.hot_open(&slab.as_view());
         self.core.flush(out);
         if self.core.node_dead() {
             let (occupancy, quiescent) = self.core.hot_close(busy);
             return HotStep { occupancy, quiescent, busy_vcs: busy };
         }
-        self.core.va_stage_ids(ctx, BitIds(busy));
+        self.core.va_stage_ids(ctx, slab, BitIds(busy));
         // SA candidates can only be busy VCs (a candidate needs a
         // non-empty Active VC), and VC ids ascend in (side, i) order, so
         // scanning the busy mask yields the same requests in the same
@@ -194,7 +214,7 @@ impl RouterNode for GenericRouter {
         let requests = &mut self.sa_requests;
         requests.clear();
         for vc_id in BitIds(busy) {
-            if let Some(want) = self.core.sa_candidate(vc_id) {
+            if let Some(want) = self.core.sa_candidate(&slab.as_view(), vc_id) {
                 let vc = &self.core.vcs[vc_id];
                 requests.push(SwitchRequest {
                     input: vc.input_side.index(),
@@ -209,10 +229,10 @@ impl RouterNode for GenericRouter {
         let mut freed = false;
         for g in &self.sa_grants {
             let vc_id = self.core.link_map[g.input][g.vc];
-            freed |= self.core.apply_grant(vc_id);
+            freed |= self.core.apply_grant(slab, vc_id);
         }
         if freed {
-            self.core.va_stage_ids(ctx, BitIds(busy));
+            self.core.va_stage_ids(ctx, slab, BitIds(busy));
         }
         for r in &self.sa_requests {
             let side = Direction::from_index(r.input);
@@ -224,8 +244,8 @@ impl RouterNode for GenericRouter {
         HotStep { occupancy, quiescent, busy_vcs: busy }
     }
 
-    fn warm_hot(&self) {
-        self.core.warm_hot();
+    fn warm_hot(&self, slab: &SlabView<'_>) {
+        self.core.warm_hot(slab);
     }
 
     fn is_quiescent(&self) -> bool {
@@ -256,16 +276,16 @@ impl RouterNode for GenericRouter {
         self.core.clear_all_faults();
     }
 
-    fn purge_faulted(&mut self) {
-        self.core.purge_faulted();
+    fn purge_faulted(&mut self, slab: &mut SlabWindow<'_>) {
+        self.core.purge_faulted(slab);
     }
 
-    fn resync_output(&mut self, dir: Direction, descs: &[VcDescriptor]) {
-        self.core.resync_output(dir, descs);
+    fn resync_output(&mut self, slab: &mut SlabWindow<'_>, dir: Direction, descs: &[VcDescriptor]) {
+        self.core.resync_output(slab, dir, descs);
     }
 
-    fn reset_input_link(&mut self, from: Direction) {
-        self.core.reset_input_link(from);
+    fn reset_input_link(&mut self, slab: &mut SlabWindow<'_>, from: Direction) {
+        self.core.reset_input_link(slab, from);
     }
 
     fn counters(&self) -> &ActivityCounters {
@@ -280,15 +300,15 @@ impl RouterNode for GenericRouter {
         self.core.occupancy()
     }
 
-    fn vc_snapshots(&self) -> Vec<VcSnapshot> {
-        self.core.vc_snapshots()
+    fn vc_snapshots(&self, slab: &SlabView<'_>) -> Vec<VcSnapshot> {
+        self.core.vc_snapshots(slab)
     }
 
     fn credit_map(&self) -> Vec<(Direction, Vec<u8>)> {
         self.core.credit_map()
     }
 
-    fn audit_probe(&self) -> noc_core::AuditProbe {
-        self.core.audit_probe()
+    fn audit_probe(&self, slab: &SlabView<'_>) -> noc_core::AuditProbe {
+        self.core.audit_probe(slab)
     }
 }

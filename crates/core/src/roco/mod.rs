@@ -19,7 +19,7 @@ use noc_arbiter::{
 use noc_core::{
     ActivityCounters, Axis, ComponentFault, ContentionCounters, Coord, Credit, Direction, Flit,
     HotStep, MeshConfig, ModuleHealth, NodeStatus, RouterConfig, RouterKind, RouterNode,
-    RouterOutputs, StepContext, VcDescriptor, VcSnapshot,
+    RouterOutputs, SlabView, SlabWindow, StepContext, VcDescriptor, VcSnapshot,
 };
 use noc_fault::{reaction, Reaction};
 use noc_routing::RouteComputer;
@@ -142,7 +142,7 @@ impl RocoRouter {
     /// Ablation SA: plain input-first separable allocation on the 2×2
     /// module (no Mirroring Effect, so head-of-line blocking between a
     /// port's two directions is possible).
-    fn module_sa_separable(&mut self, module: usize, busy: u64) -> bool {
+    fn module_sa_separable(&mut self, slab: &mut SlabWindow<'_>, module: usize, busy: u64) -> bool {
         let mut freed = false;
         let ports = [2 * module, 2 * module + 1];
         let requests = &mut self.sa_requests;
@@ -156,7 +156,7 @@ impl RocoRouter {
                 if !busy_has(busy, vc) {
                     continue;
                 }
-                if let Some(want) = self.core.sa_candidate(vc) {
+                if let Some(want) = self.core.sa_candidate(&slab.as_view(), vc) {
                     let slot = (0..2)
                         .find(|&s| slot_direction(module, s) == want)
                         .expect("module VCs only want module outputs");
@@ -171,7 +171,7 @@ impl RocoRouter {
         let mut port_granted = [false; 2];
         for g in &self.sa_grants {
             let vc = self.port_vcs[ports[g.input]][g.vc];
-            freed |= self.core.apply_grant(vc);
+            freed |= self.core.apply_grant(slab, vc);
             port_granted[g.input] = true;
         }
         let axis = if module == 0 { Axis::X } else { Axis::Y };
@@ -211,7 +211,7 @@ impl RocoRouter {
 
     /// Switch allocation for one module using the Mirroring Effect.
     /// Returns whether a tail departure freed a downstream VC.
-    fn module_sa(&mut self, module: usize, busy: u64) -> bool {
+    fn module_sa(&mut self, slab: &mut SlabWindow<'_>, module: usize, busy: u64) -> bool {
         let mut freed = false;
         let ports = [2 * module, 2 * module + 1];
         // Local stage: per port, per direction, a v:1 arbiter picks one
@@ -230,11 +230,9 @@ impl RocoRouter {
                 // A VC outside the busy mask is empty and Idle, so its
                 // `sa_candidate` is always None: skipping the load is
                 // bit-exact (see `RouterCore::hot_open`).
-                lines.extend(
-                    self.port_vcs[port]
-                        .iter()
-                        .map(|&vc| busy_has(busy, vc) && self.core.sa_candidate(vc) == Some(want)),
-                );
+                lines.extend(self.port_vcs[port].iter().map(|&vc| {
+                    busy_has(busy, vc) && self.core.sa_candidate(&slab.as_view(), vc) == Some(want)
+                }));
                 for (vi, &l) in lines.iter().enumerate() {
                     if l && self.core.vcs[self.port_vcs[port][vi]].input_side != Direction::Local {
                         eligible.push(self.port_vcs[port][vi]);
@@ -261,7 +259,7 @@ impl RocoRouter {
             for (pi, slot) in [(0, grant.port0), (1, grant.port1)] {
                 if let Some(s) = slot {
                     let vc = cand[pi][s].expect("mirror grants only requested slots");
-                    freed |= self.core.apply_grant(vc);
+                    freed |= self.core.apply_grant(slab, vc);
                     granted_vcs[pi] = Some(vc);
                 }
             }
@@ -291,27 +289,41 @@ impl RouterNode for RocoRouter {
         self.core.link_descriptors(dir)
     }
 
-    fn deliver_flit(&mut self, from: Direction, vc: u8, flit: Flit) {
-        self.core.deliver_flit(from, vc, flit);
+    fn ring_capacities(&self) -> Vec<u32> {
+        self.core.ring_capacities()
+    }
+
+    fn deliver_flit(&mut self, slab: &mut SlabWindow<'_>, from: Direction, vc: u8, flit: Flit) {
+        self.core.deliver_flit(slab, from, vc, flit);
     }
 
     fn deliver_credit(&mut self, output: Direction, credit: Credit) {
         self.core.deliver_credit(output, credit);
     }
 
-    fn try_inject(&mut self, flit: Flit, ctx: &mut StepContext<'_>) -> bool {
-        self.core.try_inject(flit, ctx)
+    fn try_inject(
+        &mut self,
+        slab: &mut SlabWindow<'_>,
+        flit: Flit,
+        ctx: &mut StepContext<'_>,
+    ) -> bool {
+        self.core.try_inject(slab, flit, ctx)
     }
 
-    fn step(&mut self, ctx: &mut StepContext<'_>, out: &mut RouterOutputs) {
+    fn step(
+        &mut self,
+        ctx: &mut StepContext<'_>,
+        slab: &mut SlabWindow<'_>,
+        out: &mut RouterOutputs,
+    ) {
         out.clear();
         self.core.counters.cycles += 1;
-        self.core.probe_cycle();
+        self.core.probe_cycle(&slab.as_view());
         self.core.flush(out);
         if self.core.node_dead() {
             return;
         }
-        let va_activity = self.core.va_stage(ctx);
+        let va_activity = self.core.va_stage(ctx, slab);
         let mut freed = false;
         // Index loop on purpose: `module` selects health, degradation,
         // VA activity, and the allocator sweep together.
@@ -327,21 +339,26 @@ impl RouterNode for RocoRouter {
                 continue;
             }
             freed |= if self.core.cfg.mirror_allocator {
-                self.module_sa(module, u64::MAX)
+                self.module_sa(slab, module, u64::MAX)
             } else {
-                self.module_sa_separable(module, u64::MAX)
+                self.module_sa_separable(slab, module, u64::MAX)
             };
         }
         if freed {
             // Tail departures freed downstream VCs: a further VA
             // iteration lets waiting heads claim them without a bubble.
-            self.core.va_stage(ctx);
+            self.core.va_stage(ctx, slab);
         }
     }
 
-    fn step_hot(&mut self, ctx: &mut StepContext<'_>, out: &mut RouterOutputs) -> HotStep {
+    fn step_hot(
+        &mut self,
+        ctx: &mut StepContext<'_>,
+        slab: &mut SlabWindow<'_>,
+        out: &mut RouterOutputs,
+    ) -> HotStep {
         if self.core.vcs.len() > 64 {
-            self.step(ctx, out);
+            self.step(ctx, slab, out);
             return HotStep {
                 occupancy: self.core.occupancy(),
                 quiescent: self.core.is_quiescent(),
@@ -350,13 +367,13 @@ impl RouterNode for RocoRouter {
         }
         out.clear();
         self.core.counters.cycles += 1;
-        let busy = self.core.hot_open();
+        let busy = self.core.hot_open(&slab.as_view());
         self.core.flush(out);
         if self.core.node_dead() {
             let (occupancy, quiescent) = self.core.hot_close(busy);
             return HotStep { occupancy, quiescent, busy_vcs: busy };
         }
-        let va_activity = self.core.va_stage_ids(ctx, BitIds(busy));
+        let va_activity = self.core.va_stage_ids(ctx, slab, BitIds(busy));
         let mut freed = false;
         // Index loop on purpose, as in the classic step above.
         #[allow(clippy::needless_range_loop)]
@@ -374,22 +391,22 @@ impl RouterNode for RocoRouter {
                 continue;
             }
             freed |= if self.core.cfg.mirror_allocator {
-                self.module_sa(module, busy)
+                self.module_sa(slab, module, busy)
             } else {
-                self.module_sa_separable(module, busy)
+                self.module_sa_separable(slab, module, busy)
             };
         }
         if freed {
             // The busy mask stays a sound superset for the second VA
             // pass: no VC gains flits mid-step.
-            self.core.va_stage_ids(ctx, BitIds(busy));
+            self.core.va_stage_ids(ctx, slab, BitIds(busy));
         }
         let (occupancy, quiescent) = self.core.hot_close(busy);
         HotStep { occupancy, quiescent, busy_vcs: busy }
     }
 
-    fn warm_hot(&self) {
-        self.core.warm_hot();
+    fn warm_hot(&self, slab: &SlabView<'_>) {
+        self.core.warm_hot(slab);
         #[cfg(target_arch = "x86_64")]
         {
             use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
@@ -469,16 +486,16 @@ impl RouterNode for RocoRouter {
         self.core.clear_all_faults();
     }
 
-    fn purge_faulted(&mut self) {
-        self.core.purge_faulted();
+    fn purge_faulted(&mut self, slab: &mut SlabWindow<'_>) {
+        self.core.purge_faulted(slab);
     }
 
-    fn resync_output(&mut self, dir: Direction, descs: &[VcDescriptor]) {
-        self.core.resync_output(dir, descs);
+    fn resync_output(&mut self, slab: &mut SlabWindow<'_>, dir: Direction, descs: &[VcDescriptor]) {
+        self.core.resync_output(slab, dir, descs);
     }
 
-    fn reset_input_link(&mut self, from: Direction) {
-        self.core.reset_input_link(from);
+    fn reset_input_link(&mut self, slab: &mut SlabWindow<'_>, from: Direction) {
+        self.core.reset_input_link(slab, from);
     }
 
     fn counters(&self) -> &ActivityCounters {
@@ -493,15 +510,15 @@ impl RouterNode for RocoRouter {
         self.core.occupancy()
     }
 
-    fn vc_snapshots(&self) -> Vec<VcSnapshot> {
-        self.core.vc_snapshots()
+    fn vc_snapshots(&self, slab: &SlabView<'_>) -> Vec<VcSnapshot> {
+        self.core.vc_snapshots(slab)
     }
 
     fn credit_map(&self) -> Vec<(Direction, Vec<u8>)> {
         self.core.credit_map()
     }
 
-    fn audit_probe(&self) -> noc_core::AuditProbe {
-        self.core.audit_probe()
+    fn audit_probe(&self, slab: &SlabView<'_>) -> noc_core::AuditProbe {
+        self.core.audit_probe(slab)
     }
 }

@@ -3,7 +3,7 @@
 //! Early Ejection, credits, guided queuing and fault reactions.
 
 use noc_core::{
-    Axis, AxisOrder, ComponentFault, Coord, Direction, FaultComponent, Flit, MeshConfig,
+    Axis, AxisOrder, ComponentFault, Coord, Direction, FaultComponent, Flit, FlitSlab, MeshConfig,
     ModuleHealth, PacketId, RouterConfig, RouterKind, RouterNode, RoutingKind, StepContext,
     VcAdmission, VcClass, EJECT_VC,
 };
@@ -14,8 +14,9 @@ use rand::SeedableRng;
 const MESH: MeshConfig = MeshConfig::new(3, 3);
 
 /// Builds a router at the mesh centre with all four outputs wired to
-/// representative neighbour VC lists.
-fn wired(kind: RouterKind, routing: RoutingKind) -> AnyRouter {
+/// representative neighbour VC lists, plus a one-router flit slab
+/// backing its VC rings.
+fn wired(kind: RouterKind, routing: RoutingKind) -> (AnyRouter, FlitSlab) {
     let cfg = RouterConfig::paper(kind, routing);
     let mut r = AnyRouter::build(Coord::new(1, 1), cfg, MESH);
     for d in Direction::MESH {
@@ -23,7 +24,8 @@ fn wired(kind: RouterKind, routing: RoutingKind) -> AnyRouter {
         let descs = neighbor.vcs_on_link(d.opposite()).to_vec();
         r.connect_output(d, &descs);
     }
-    r
+    let slab = FlitSlab::new(1, &r.ring_capacities());
+    (r, slab)
 }
 
 fn head(src: Coord, dst: Coord, next_out: Direction) -> Flit {
@@ -32,13 +34,18 @@ fn head(src: Coord, dst: Coord, next_out: Direction) -> Flit {
     flits[0]
 }
 
-fn step(r: &mut AnyRouter, cycle: u64, rng: &mut SmallRng) -> noc_core::RouterOutputs {
+fn step(
+    r: &mut AnyRouter,
+    slab: &mut FlitSlab,
+    cycle: u64,
+    rng: &mut SmallRng,
+) -> noc_core::RouterOutputs {
     let mut ctx = StepContext::new(cycle, rng);
     for d in Direction::MESH {
         ctx.neighbors[d.index()] = Some(noc_core::NodeStatus::healthy());
     }
     let mut out = noc_core::RouterOutputs::new();
-    r.step(&mut ctx, &mut out);
+    r.step(&mut ctx, &mut slab.window(0), &mut out);
     out
 }
 
@@ -47,14 +54,14 @@ fn two_stage_pipeline_timing() {
     // A single-flit packet arriving at cycle 0 must win VA+SA in cycle
     // 0 (speculatively) and appear on the output link at cycle 1.
     for kind in [RouterKind::RoCo, RouterKind::Generic, RouterKind::PathSensitive] {
-        let mut r = wired(kind, RoutingKind::Xy);
+        let (mut r, mut slab) = wired(kind, RoutingKind::Xy);
         let mut rng = SmallRng::seed_from_u64(1);
         // Eastbound through-flit: from West, continuing East to (2,1).
         let f = head(Coord::new(0, 1), Coord::new(2, 1), Direction::East);
-        r.deliver_flit(Direction::West, 0, f);
-        let out0 = step(&mut r, 0, &mut rng);
+        r.deliver_flit(&mut slab.window(0), Direction::West, 0, f);
+        let out0 = step(&mut r, &mut slab, 0, &mut rng);
         assert!(out0.flits.is_empty(), "{kind:?}: ST happens in stage 2");
-        let out1 = step(&mut r, 1, &mut rng);
+        let out1 = step(&mut r, &mut slab, 1, &mut rng);
         assert_eq!(out1.flits.len(), 1, "{kind:?}: flit should depart in cycle 1");
         let (dir, dvc, flit) = out1.flits[0];
         assert_eq!(dir, Direction::East);
@@ -70,12 +77,12 @@ fn two_stage_pipeline_timing() {
 
 #[test]
 fn credit_is_returned_upstream() {
-    let mut r = wired(RouterKind::RoCo, RoutingKind::Xy);
+    let (mut r, mut slab) = wired(RouterKind::RoCo, RoutingKind::Xy);
     let mut rng = SmallRng::seed_from_u64(2);
     let f = head(Coord::new(0, 1), Coord::new(2, 1), Direction::East);
-    r.deliver_flit(Direction::West, 0, f);
-    let out0 = step(&mut r, 0, &mut rng);
-    let out1 = step(&mut r, 1, &mut rng);
+    r.deliver_flit(&mut slab.window(0), Direction::West, 0, f);
+    let out0 = step(&mut r, &mut slab, 0, &mut rng);
+    let out1 = step(&mut r, &mut slab, 1, &mut rng);
     let credits: Vec<_> = out0.credits.iter().chain(&out1.credits).collect();
     assert_eq!(credits.len(), 1, "one flit read out, one credit back");
     let (side, credit) = credits[0];
@@ -87,11 +94,11 @@ fn credit_is_returned_upstream() {
 #[test]
 fn early_ejection_is_immediate_for_roco_and_ps() {
     for kind in [RouterKind::RoCo, RouterKind::PathSensitive] {
-        let mut r = wired(kind, RoutingKind::Xy);
+        let (mut r, mut slab) = wired(kind, RoutingKind::Xy);
         let mut rng = SmallRng::seed_from_u64(3);
         let f = head(Coord::new(0, 1), Coord::new(1, 1), Direction::Local);
-        r.deliver_flit(Direction::West, EJECT_VC, f);
-        let out0 = step(&mut r, 0, &mut rng);
+        r.deliver_flit(&mut slab.window(0), Direction::West, EJECT_VC, f);
+        let out0 = step(&mut r, &mut slab, 0, &mut rng);
         assert_eq!(out0.ejected.len(), 1, "{kind:?}: ejected in the arrival cycle");
         assert_eq!(r.counters().early_ejections, 1);
         assert_eq!(r.counters().crossbar_traversals, 0, "no switch traversal");
@@ -101,13 +108,13 @@ fn early_ejection_is_immediate_for_roco_and_ps() {
 
 #[test]
 fn generic_ejection_goes_through_the_crossbar() {
-    let mut r = wired(RouterKind::Generic, RoutingKind::Xy);
+    let (mut r, mut slab) = wired(RouterKind::Generic, RoutingKind::Xy);
     let mut rng = SmallRng::seed_from_u64(4);
     let f = head(Coord::new(0, 1), Coord::new(1, 1), Direction::Local);
-    r.deliver_flit(Direction::West, 0, f);
-    let out0 = step(&mut r, 0, &mut rng);
+    r.deliver_flit(&mut slab.window(0), Direction::West, 0, f);
+    let out0 = step(&mut r, &mut slab, 0, &mut rng);
     assert!(out0.ejected.is_empty(), "generic ejection takes SA + ST");
-    let out1 = step(&mut r, 1, &mut rng);
+    let out1 = step(&mut r, &mut slab, 1, &mut rng);
     assert_eq!(out1.ejected.len(), 1);
     assert_eq!(r.counters().crossbar_traversals, 1);
     assert_eq!(r.counters().early_ejections, 0);
@@ -115,7 +122,7 @@ fn generic_ejection_goes_through_the_crossbar() {
 
 #[test]
 fn guided_queuing_publishes_table1_classes() {
-    let r = wired(RouterKind::RoCo, RoutingKind::Xy);
+    let (r, _slab) = wired(RouterKind::RoCo, RoutingKind::Xy);
     // West link under XY: two dx buffers (row module) + one txy
     // (column module).
     let west = r.vcs_on_link(Direction::West);
@@ -130,7 +137,7 @@ fn guided_queuing_publishes_table1_classes() {
 
 #[test]
 fn wormhole_streams_flits_in_order() {
-    let mut r = wired(RouterKind::RoCo, RoutingKind::Xy);
+    let (mut r, mut slab) = wired(RouterKind::RoCo, RoutingKind::Xy);
     let mut rng = SmallRng::seed_from_u64(5);
     let mut flits =
         Flit::packet_flits(PacketId(9), Coord::new(0, 1), Coord::new(2, 1), 0, 4, AxisOrder::Xy);
@@ -141,9 +148,9 @@ fn wormhole_streams_flits_in_order() {
     let mut received = Vec::new();
     for cycle in 0..8u64 {
         if let Some(f) = flits.get(cycle as usize) {
-            r.deliver_flit(Direction::West, 0, *f);
+            r.deliver_flit(&mut slab.window(0), Direction::West, 0, *f);
         }
-        let out = step(&mut r, cycle, &mut rng);
+        let out = step(&mut r, &mut slab, cycle, &mut rng);
         received.extend(out.flits.into_iter().map(|(_, _, f)| f.seq));
     }
     assert_eq!(received, vec![0, 1, 2, 3], "flits must stream in order, one per cycle");
@@ -152,7 +159,7 @@ fn wormhole_streams_flits_in_order() {
 
 #[test]
 fn module_fault_reports_degraded_status_and_zeroes_descriptors() {
-    let mut r = wired(RouterKind::RoCo, RoutingKind::Xy);
+    let (mut r, _slab) = wired(RouterKind::RoCo, RoutingKind::Xy);
     r.inject_fault(ComponentFault::new(FaultComponent::Crossbar, Axis::X));
     let status = r.status();
     assert_eq!(status.row, ModuleHealth::Dead);
@@ -170,7 +177,7 @@ fn module_fault_reports_degraded_status_and_zeroes_descriptors() {
 
 #[test]
 fn generic_fault_kills_the_whole_node() {
-    let mut r = wired(RouterKind::Generic, RoutingKind::Xy);
+    let (mut r, mut slab) = wired(RouterKind::Generic, RoutingKind::Xy);
     r.inject_fault(ComponentFault::new(FaultComponent::SaArbiter, Axis::X));
     assert!(r.status().node_dead());
     for d in Direction::MESH {
@@ -178,15 +185,20 @@ fn generic_fault_kills_the_whole_node() {
     }
     // Delivered flits are discarded, not buffered.
     let mut rng = SmallRng::seed_from_u64(6);
-    r.deliver_flit(Direction::West, 0, head(Coord::new(0, 1), Coord::new(2, 1), Direction::East));
-    let out = step(&mut r, 0, &mut rng);
+    r.deliver_flit(
+        &mut slab.window(0),
+        Direction::West,
+        0,
+        head(Coord::new(0, 1), Coord::new(2, 1), Direction::East),
+    );
+    let out = step(&mut r, &mut slab, 0, &mut rng);
     assert_eq!(out.dropped.len(), 1);
     assert_eq!(r.occupancy(), 0);
 }
 
 #[test]
 fn sa_offload_fault_marks_module_degraded() {
-    let mut r = wired(RouterKind::RoCo, RoutingKind::Xy);
+    let (mut r, _slab) = wired(RouterKind::RoCo, RoutingKind::Xy);
     r.inject_fault(ComponentFault::new(FaultComponent::SaArbiter, Axis::Y));
     assert_eq!(r.status().col, ModuleHealth::Degraded);
     assert!(r.status().can_serve_output(Direction::North), "degraded ≠ dead");
@@ -194,7 +206,7 @@ fn sa_offload_fault_marks_module_degraded() {
 
 #[test]
 fn rc_fault_sets_handshake_bit() {
-    let mut r = wired(RouterKind::RoCo, RoutingKind::Xy);
+    let (mut r, _slab) = wired(RouterKind::RoCo, RoutingKind::Xy);
     assert!(r.status().rc_ok);
     r.inject_fault(ComponentFault::new(FaultComponent::RoutingComputation, Axis::X));
     assert!(!r.status().rc_ok);
@@ -203,18 +215,18 @@ fn rc_fault_sets_handshake_bit() {
 
 #[test]
 fn injection_respects_class_buffers() {
-    let mut r = wired(RouterKind::RoCo, RoutingKind::Xy);
+    let (mut r, mut slab) = wired(RouterKind::RoCo, RoutingKind::Xy);
     let mut rng = SmallRng::seed_from_u64(7);
     // A packet going East first must land in an Injxy buffer.
     let f =
         Flit::packet_flits(PacketId(3), Coord::new(1, 1), Coord::new(2, 2), 0, 1, AxisOrder::Xy)[0];
     let mut ctx = StepContext::new(0, &mut rng);
-    assert!(r.try_inject(f, &mut ctx));
+    assert!(r.try_inject(&mut slab.window(0), f, &mut ctx));
     assert_eq!(r.occupancy(), 1);
     // The injected head must depart East (X first) within a few cycles.
     let mut departed = None;
     for cycle in 0..4 {
-        let out = step(&mut r, cycle, &mut rng);
+        let out = step(&mut r, &mut slab, cycle, &mut rng);
         if let Some(&(dir, _, _)) = out.flits.first() {
             departed = Some(dir);
             break;
@@ -225,16 +237,16 @@ fn injection_respects_class_buffers() {
 
 #[test]
 fn mirror_allocator_serves_both_directions_in_one_cycle() {
-    let mut r = wired(RouterKind::RoCo, RoutingKind::Xy);
+    let (mut r, mut slab) = wired(RouterKind::RoCo, RoutingKind::Xy);
     let mut rng = SmallRng::seed_from_u64(8);
     // Eastbound flit from West and westbound flit from East: the row
     // module must grant both in the same cycle (maximal matching).
     let east = head(Coord::new(0, 1), Coord::new(2, 1), Direction::East);
     let west = head(Coord::new(2, 1), Coord::new(0, 1), Direction::West);
-    r.deliver_flit(Direction::West, 0, east);
-    r.deliver_flit(Direction::East, 0, west);
-    let _ = step(&mut r, 0, &mut rng);
-    let out1 = step(&mut r, 1, &mut rng);
+    r.deliver_flit(&mut slab.window(0), Direction::West, 0, east);
+    r.deliver_flit(&mut slab.window(0), Direction::East, 0, west);
+    let _ = step(&mut r, &mut slab, 0, &mut rng);
+    let out1 = step(&mut r, &mut slab, 1, &mut rng);
     let dirs: Vec<_> = out1.flits.iter().map(|(d, _, _)| *d).collect();
     assert!(dirs.contains(&Direction::East) && dirs.contains(&Direction::West));
 }
@@ -248,7 +260,7 @@ fn injection_class_utilization_is_x_heavy_under_xy() {
     // more injections. (Verified network-wide in tests/paper_claims.rs;
     // here we check the per-class accounting plumbing on one router.)
     use noc_core::VcClass;
-    let mut r = wired(RouterKind::RoCo, RoutingKind::Xy);
+    let (mut r, mut slab) = wired(RouterKind::RoCo, RoutingKind::Xy);
     let mut rng = SmallRng::seed_from_u64(99);
     // Inject two X-bound single-flit packets and one Y-bound packet
     // (all to direct neighbours so the detached test harness can drain
@@ -263,8 +275,8 @@ fn injection_class_utilization_is_x_heavy_under_xy() {
             AxisOrder::Xy,
         )[0];
         let mut ctx = StepContext::new(i as u64, &mut rng);
-        assert!(r.try_inject(f, &mut ctx));
-        let _ = step(&mut r, i as u64, &mut rng);
+        assert!(r.try_inject(&mut slab.window(0), f, &mut ctx));
+        let _ = step(&mut r, &mut slab, i as u64, &mut rng);
     }
     let AnyRouter::RoCo(roco) = &r else { panic!("roco") };
     let util = roco.class_utilization();

@@ -34,6 +34,7 @@ mod geometry;
 mod mask;
 mod node;
 mod probe;
+mod slab;
 mod topology;
 mod vc;
 mod wake;
@@ -49,6 +50,7 @@ pub use node::{
     RouterOutputs, StepContext, EJECT_VC, RNG_STREAM_INJECT, RNG_STREAM_STEP,
 };
 pub use probe::{AuditProbe, CreditBook, LatchedFlit, VcAudit, VcPhase, VcSnapshot};
+pub use slab::{FlitSlab, SlabShard, SlabView, SlabWindow};
 pub use topology::{
     ChipletTopology, CirculantTopology, MeshTopology, Topology, TopologyConfig, TopologyOps,
     TorusTopology, WRAP_AXIS_ORDER,

@@ -13,6 +13,7 @@ use crate::counters::{ActivityCounters, ContentionCounters};
 use crate::flit::{Cycle, Flit};
 use crate::geometry::{Axis, Coord, Direction};
 use crate::probe::{AuditProbe, VcSnapshot};
+use crate::slab::{SlabView, SlabWindow};
 use crate::vc::{Credit, VcDescriptor};
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
@@ -235,12 +236,23 @@ pub struct HotStep {
 ///   context RNG.
 /// * Flits emitted from `step` arrive at the neighbour after the link
 ///   delay; credits likewise.
+/// * Flit buffers live outside the router, in the network-wide
+///   [`crate::FlitSlab`] (ISSUE 10): every method that touches buffered
+///   flits receives this router's [`SlabWindow`] (or a read-only
+///   [`SlabView`]), whose ring `r` holds internal VC `r`'s flits. The
+///   ring layout must match [`RouterNode::ring_capacities`].
 pub trait RouterNode {
     /// This router's mesh position.
     fn coord(&self) -> Coord;
 
     /// The configuration the router was built with.
     fn config(&self) -> &RouterConfig;
+
+    /// Fixed slab ring capacity of every internal VC, in VC-id order:
+    /// the nominal buffer depth plus the poison-tail credit slop. The
+    /// simulator sizes the network [`crate::FlitSlab`] from this once at
+    /// construction; fault reconfiguration never changes it.
+    fn ring_capacities(&self) -> Vec<u32>;
 
     /// Descriptors of the input VCs reachable through the link arriving
     /// on side `dir` (what the upstream router runs VA against). For
@@ -249,7 +261,7 @@ pub trait RouterNode {
 
     /// Accepts a flit from the upstream neighbour on side `from` into
     /// input VC `vc` (or hands it to Early Ejection when `vc == EJECT_VC`).
-    fn deliver_flit(&mut self, from: Direction, vc: u8, flit: Flit);
+    fn deliver_flit(&mut self, slab: &mut SlabWindow<'_>, from: Direction, vc: u8, flit: Flit);
 
     /// Accepts a credit returned by the downstream neighbour reached
     /// through output `output`.
@@ -258,14 +270,24 @@ pub trait RouterNode {
     /// Offers one locally generated flit to the router. Returns `false`
     /// when no admissible injection VC has space this cycle (the network
     /// interface will retry).
-    fn try_inject(&mut self, flit: Flit, ctx: &mut StepContext<'_>) -> bool;
+    fn try_inject(
+        &mut self,
+        slab: &mut SlabWindow<'_>,
+        flit: Flit,
+        ctx: &mut StepContext<'_>,
+    ) -> bool;
 
     /// Advances the router one cycle: VA, SA and switch traversal.
     ///
     /// Everything leaving the router this cycle is written into `out`,
     /// a caller-owned scratch buffer that the router clears on entry —
     /// the steady-state hot loop performs no heap allocation this way.
-    fn step(&mut self, ctx: &mut StepContext<'_>, out: &mut RouterOutputs);
+    fn step(
+        &mut self,
+        ctx: &mut StepContext<'_>,
+        slab: &mut SlabWindow<'_>,
+        out: &mut RouterOutputs,
+    );
 
     /// Data-oriented variant of [`RouterNode::step`] for the simulator's
     /// `Soa` kernel: advances the router exactly one cycle with
@@ -274,8 +296,13 @@ pub trait RouterNode {
     /// from it) and must report end-of-step occupancy and quiescence so
     /// the caller performs no extra sweeps. The default implementation
     /// simply wraps `step`.
-    fn step_hot(&mut self, ctx: &mut StepContext<'_>, out: &mut RouterOutputs) -> HotStep {
-        self.step(ctx, out);
+    fn step_hot(
+        &mut self,
+        ctx: &mut StepContext<'_>,
+        slab: &mut SlabWindow<'_>,
+        out: &mut RouterOutputs,
+    ) -> HotStep {
+        self.step(ctx, slab, out);
         HotStep { occupancy: self.occupancy(), quiescent: self.is_quiescent(), busy_vcs: u64::MAX }
     }
 
@@ -284,7 +311,7 @@ pub trait RouterNode {
     /// the `Soa` kernel calls it a few routers ahead of the serial step
     /// sweep so the (otherwise dependent) cache misses of consecutive
     /// routers overlap. The default does nothing.
-    fn warm_hot(&self) {}
+    fn warm_hot(&self, _slab: &SlabView<'_>) {}
 
     /// Whether the router holds no flits, no pending emissions and no
     /// non-idle pipeline state, so that a [`RouterNode::step`] call
@@ -317,13 +344,13 @@ pub trait RouterNode {
     /// in now-disabled VCs (discarding their buffered flits, crediting
     /// the upstream router, and emitting poison tails for fragments
     /// whose head already moved on — see [`Flit::poison`]).
-    fn purge_faulted(&mut self);
+    fn purge_faulted(&mut self, slab: &mut SlabWindow<'_>);
 
     /// Re-synchronizes this router's view of the downstream VCs behind
     /// output `dir` after the neighbour republished its operational
     /// state (the §4.1 handshake): adopts the new descriptors and
     /// clamps credit/free state, without resetting arbiters.
-    fn resync_output(&mut self, dir: Direction, descs: &[VcDescriptor]);
+    fn resync_output(&mut self, slab: &mut SlabWindow<'_>, dir: Direction, descs: &[VcDescriptor]);
 
     /// Discards all state of the input VCs fed by the link arriving on
     /// side `from` — buffered flits, stream state, drop latches —
@@ -331,7 +358,7 @@ pub trait RouterNode {
     /// neighbour's output port toward this router is rebuilt from
     /// scratch, so both ends restart from an empty, fully credited
     /// link.
-    fn reset_input_link(&mut self, from: Direction);
+    fn reset_input_link(&mut self, slab: &mut SlabWindow<'_>, from: Direction);
 
     /// Cumulative activity counters for the energy model.
     fn counters(&self) -> &ActivityCounters;
@@ -344,7 +371,7 @@ pub trait RouterNode {
 
     /// A point-in-time snapshot of every input VC, for telemetry probes
     /// and stall post-mortems.
-    fn vc_snapshots(&self) -> Vec<VcSnapshot>;
+    fn vc_snapshots(&self, slab: &SlabView<'_>) -> Vec<VcSnapshot>;
 
     /// Remaining credits per downstream VC, keyed by output direction.
     /// Only mesh outputs that physically exist on this router appear.
@@ -353,7 +380,7 @@ pub trait RouterNode {
     /// A complete audit snapshot (credit books, VC states, latched
     /// flits) for the runtime invariant checker. Called only when
     /// auditing is enabled.
-    fn audit_probe(&self) -> AuditProbe;
+    fn audit_probe(&self, slab: &SlabView<'_>) -> AuditProbe;
 }
 
 /// The six fundamental router components of §4.1's fault model.

@@ -153,6 +153,16 @@ pub struct AuditProbe {
     pub pending_ejects: usize,
     /// Fault-dropped flits awaiting emission.
     pub pending_drops: usize,
+    /// The router's incrementally maintained buffered-flit counter
+    /// (ISSUE 10). The audit layer cross-checks it against the summed
+    /// slab ring lengths to catch slab/engine divergence.
+    #[serde(default)]
+    pub buffered_total: usize,
+    /// Slab ring-invariant health per VC: `head < ring capacity` and
+    /// `len <= ring capacity` (ISSUE 10). `false` marks a corrupted
+    /// ring index.
+    #[serde(default)]
+    pub rings_coherent: bool,
 }
 
 #[cfg(test)]

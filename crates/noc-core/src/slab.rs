@@ -1,0 +1,494 @@
+//! Per-network flat flit-slab buffer storage (ISSUE 10).
+//!
+//! All VC buffers of every router in the network live in **one**
+//! contiguous [`Vec<Flit>`], organised as fixed-capacity rings indexed
+//! by a precomputed `(router, vc) → slot range` table. A flit hop is an
+//! index move plus a wrapping head bump instead of a `VecDeque`
+//! operation, and the whole pool is allocated exactly once at
+//! construction — the steady-state flit path performs zero heap
+//! allocations.
+//!
+//! # Layout
+//!
+//! Routers are homogeneous (one [`crate::RouterConfig`] per network), so
+//! a single per-router template describes every router's rings:
+//!
+//! * `base[r]` — offset of ring `r`'s first slot within a router window,
+//! * `cap[r]` — ring `r`'s fixed capacity in slots,
+//! * `stride` — `Σ cap`, the width of one router's window.
+//!
+//! Router `i`'s ring `r` occupies slots
+//! `[i * stride + base[r], i * stride + base[r] + cap[r])`. The parallel
+//! `heads`/`lens` arrays are router-major (`i * rings_per_router + r`),
+//! so a shard of routers maps onto disjoint `chunks_mut` slices of all
+//! three arrays and the parallel kernel needs no locking.
+//!
+//! # Ring invariants
+//!
+//! * `heads[g] < cap[r]` — the head index always lies inside the ring,
+//! * `lens[g] <= cap[r]` — a ring never holds more than its capacity,
+//! * pushing into a full ring panics (`"flit ring overflow"`): ring
+//!   capacities are *fixed* at `nominal + 2` (credit slop for poison
+//!   tails), so an overflow is a flow-control bug, never load.
+//!
+//! Fault reconfiguration (Virtual Queuing shrinking a VC to capacity 1,
+//! module isolation zeroing it) changes only the *admission* capacity in
+//! the VC descriptors — the slab's physical rings keep their built size,
+//! which is what lets a mid-run repair restore the original capacity
+//! without reallocating.
+
+use crate::flit::{Flit, PacketId};
+use crate::geometry::{Coord, Direction};
+
+/// Filler value for unoccupied slots (never observed by the engine; the
+/// ring length bounds every read).
+fn filler() -> Flit {
+    Flit::poison_tail(PacketId(u64::MAX), Coord::new(0, 0), Coord::new(0, 0), Direction::Local)
+}
+
+/// The network-wide flit buffer pool. See the module docs for layout.
+#[derive(Debug, Clone)]
+pub struct FlitSlab {
+    /// All slots, router-major: router `i` owns `[i*stride, (i+1)*stride)`.
+    slots: Vec<Flit>,
+    /// Ring head indices (offset of the front flit within its ring),
+    /// router-major: `i * rings_per_router + r`.
+    heads: Vec<u32>,
+    /// Ring occupancy counts, router-major like `heads`.
+    lens: Vec<u32>,
+    /// Per-ring slot offset within a router window (shared template).
+    base: Vec<u32>,
+    /// Per-ring fixed capacity (shared template).
+    cap: Vec<u32>,
+    /// Slots per router (`Σ cap`).
+    stride: usize,
+    /// Rings per router (`cap.len()`).
+    rpr: usize,
+    /// Number of routers.
+    nodes: usize,
+}
+
+impl FlitSlab {
+    /// Allocates the pool for `nodes` homogeneous routers whose VCs have
+    /// the given fixed ring capacities (in internal VC-id order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `ring_caps` is empty, or any capacity is 0.
+    pub fn new(nodes: usize, ring_caps: &[u32]) -> Self {
+        assert!(nodes > 0, "a network has at least one router");
+        assert!(!ring_caps.is_empty(), "a router has at least one VC ring");
+        let mut base = Vec::with_capacity(ring_caps.len());
+        let mut off = 0u32;
+        for &c in ring_caps {
+            assert!(c > 0, "a flit ring needs at least one slot");
+            base.push(off);
+            off += c;
+        }
+        let stride = off as usize;
+        FlitSlab {
+            slots: vec![filler(); nodes * stride],
+            heads: vec![0; nodes * ring_caps.len()],
+            lens: vec![0; nodes * ring_caps.len()],
+            base,
+            cap: ring_caps.to_vec(),
+            stride,
+            rpr: ring_caps.len(),
+            nodes,
+        }
+    }
+
+    /// Mutable window over router `node`'s rings.
+    #[inline]
+    pub fn window(&mut self, node: usize) -> SlabWindow<'_> {
+        let s = node * self.stride;
+        let g = node * self.rpr;
+        SlabWindow {
+            slots: &mut self.slots[s..s + self.stride],
+            heads: &mut self.heads[g..g + self.rpr],
+            lens: &mut self.lens[g..g + self.rpr],
+            base: &self.base,
+            cap: &self.cap,
+        }
+    }
+
+    /// Read-only view over router `node`'s rings.
+    #[inline]
+    pub fn view(&self, node: usize) -> SlabView<'_> {
+        let s = node * self.stride;
+        let g = node * self.rpr;
+        SlabView {
+            slots: &self.slots[s..s + self.stride],
+            heads: &self.heads[g..g + self.rpr],
+            lens: &self.lens[g..g + self.rpr],
+            base: &self.base,
+            cap: &self.cap,
+        }
+    }
+
+    /// Splits the pool into disjoint shards of `routers_per_shard`
+    /// consecutive routers each (the last shard may be short), for the
+    /// parallel kernel. Allocation-free: the shards borrow directly from
+    /// the pool via `chunks_mut`.
+    pub fn shards(&mut self, routers_per_shard: usize) -> impl Iterator<Item = SlabShard<'_>> {
+        let (stride, rpr) = (self.stride, self.rpr);
+        let slot_chunk = routers_per_shard * stride;
+        let ring_chunk = routers_per_shard * rpr;
+        let base = &self.base[..];
+        let cap = &self.cap[..];
+        self.slots
+            .chunks_mut(slot_chunk.max(1))
+            .zip(self.heads.chunks_mut(ring_chunk.max(1)))
+            .zip(self.lens.chunks_mut(ring_chunk.max(1)))
+            .map(move |((slots, heads), lens)| SlabShard {
+                slots,
+                heads,
+                lens,
+                base,
+                cap,
+                stride,
+                rpr,
+            })
+    }
+
+    /// Number of routers the pool serves.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Total number of flit slots in the pool.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Heap footprint of the pool in bytes (slots + ring metadata).
+    pub fn footprint_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<Flit>()
+            + (self.heads.len() + self.lens.len() + self.base.len() + self.cap.len())
+                * std::mem::size_of::<u32>()
+    }
+
+    /// Total flits currently buffered across every ring (audit
+    /// cross-check against the routers' incremental counters).
+    pub fn occupied(&self) -> usize {
+        self.lens.iter().map(|&l| l as usize).sum()
+    }
+
+    /// The shared per-router ring-capacity template.
+    pub fn ring_caps(&self) -> &[u32] {
+        &self.cap
+    }
+
+    /// Corrupts a ring head index in place. Only for mutation-style
+    /// negative tests that prove the audit layer notices slab
+    /// inconsistencies; never call this from simulation code.
+    #[doc(hidden)]
+    pub fn debug_set_head(&mut self, node: usize, ring: usize, head: u32) {
+        self.heads[node * self.rpr + ring] = head;
+    }
+}
+
+/// Mutable access to one router's rings. All flit-path mutation in the
+/// engine goes through this: push at the tail, pop at the head, with
+/// wrap-around by compare (never a modulo) on the hot path.
+#[derive(Debug)]
+pub struct SlabWindow<'a> {
+    slots: &'a mut [Flit],
+    heads: &'a mut [u32],
+    lens: &'a mut [u32],
+    base: &'a [u32],
+    cap: &'a [u32],
+}
+
+impl<'a> SlabWindow<'a> {
+    /// Number of flits buffered in ring `r`.
+    #[inline]
+    pub fn len(&self, r: usize) -> usize {
+        self.lens[r] as usize
+    }
+
+    /// Whether ring `r` is empty.
+    #[inline]
+    pub fn is_empty(&self, r: usize) -> bool {
+        self.lens[r] == 0
+    }
+
+    /// The front (oldest) flit of ring `r`, if any.
+    #[inline]
+    pub fn front(&self, r: usize) -> Option<&Flit> {
+        if self.lens[r] == 0 {
+            return None;
+        }
+        Some(&self.slots[(self.base[r] + self.heads[r]) as usize])
+    }
+
+    /// Mutable front of ring `r`, if any (look-ahead route rewrites).
+    #[inline]
+    pub fn front_mut(&mut self, r: usize) -> Option<&mut Flit> {
+        if self.lens[r] == 0 {
+            return None;
+        }
+        Some(&mut self.slots[(self.base[r] + self.heads[r]) as usize])
+    }
+
+    /// Appends `flit` at the tail of ring `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is full — capacities are fixed at
+    /// `nominal + 2`, so this indicates a flow-control bug.
+    #[inline]
+    pub fn push_back(&mut self, r: usize, flit: Flit) {
+        let cap = self.cap[r];
+        let len = self.lens[r];
+        assert!(len < cap, "flit ring overflow");
+        let mut pos = self.heads[r] + len;
+        if pos >= cap {
+            pos -= cap;
+        }
+        self.slots[(self.base[r] + pos) as usize] = flit;
+        self.lens[r] = len + 1;
+    }
+
+    /// Removes and returns the front flit of ring `r`, if any.
+    #[inline]
+    pub fn pop_front(&mut self, r: usize) -> Option<Flit> {
+        let len = self.lens[r];
+        if len == 0 {
+            return None;
+        }
+        let head = self.heads[r];
+        let f = self.slots[(self.base[r] + head) as usize];
+        let next = head + 1;
+        self.heads[r] = if next == self.cap[r] { 0 } else { next };
+        self.lens[r] = len - 1;
+        Some(f)
+    }
+
+    /// Iterates ring `r` front-to-back.
+    pub fn iter(&self, r: usize) -> impl Iterator<Item = &Flit> {
+        ring_iter(self.slots, self.base[r], self.cap[r], self.heads[r], self.lens[r])
+    }
+
+    /// A read-only view of the same window.
+    #[inline]
+    pub fn as_view(&self) -> SlabView<'_> {
+        SlabView {
+            slots: self.slots,
+            heads: self.heads,
+            lens: self.lens,
+            base: self.base,
+            cap: self.cap,
+        }
+    }
+}
+
+/// Read-only access to one router's rings (probes, audits, prefetch).
+#[derive(Debug, Clone, Copy)]
+pub struct SlabView<'a> {
+    slots: &'a [Flit],
+    heads: &'a [u32],
+    lens: &'a [u32],
+    base: &'a [u32],
+    cap: &'a [u32],
+}
+
+impl<'a> SlabView<'a> {
+    /// Number of flits buffered in ring `r`.
+    #[inline]
+    pub fn len(&self, r: usize) -> usize {
+        self.lens[r] as usize
+    }
+
+    /// Whether ring `r` is empty.
+    #[inline]
+    pub fn is_empty(&self, r: usize) -> bool {
+        self.lens[r] == 0
+    }
+
+    /// The front (oldest) flit of ring `r`, if any.
+    #[inline]
+    pub fn front(&self, r: usize) -> Option<&Flit> {
+        if self.lens[r] == 0 {
+            return None;
+        }
+        Some(&self.slots[(self.base[r] + self.heads[r]) as usize])
+    }
+
+    /// Address of the front slot of ring `r` (prefetch target; valid
+    /// even when the ring is empty — the slot exists, just unoccupied).
+    #[inline]
+    pub fn front_ptr(&self, r: usize) -> *const Flit {
+        &self.slots[(self.base[r] + self.heads[r]) as usize] as *const Flit
+    }
+
+    /// Iterates ring `r` front-to-back.
+    pub fn iter(&self, r: usize) -> impl Iterator<Item = &'a Flit> {
+        ring_iter(self.slots, self.base[r], self.cap[r], self.heads[r], self.lens[r])
+    }
+
+    /// Ring head index of ring `r` (audit invariant: `head < cap`).
+    pub fn head(&self, r: usize) -> u32 {
+        self.heads[r]
+    }
+
+    /// Fixed capacity of ring `r`.
+    pub fn ring_cap(&self, r: usize) -> u32 {
+        self.cap[r]
+    }
+
+    /// Total flits buffered across this router's rings.
+    pub fn occupied(&self) -> usize {
+        self.lens.iter().map(|&l| l as usize).sum()
+    }
+}
+
+#[inline]
+fn ring_iter(
+    slots: &[Flit],
+    base: u32,
+    cap: u32,
+    head: u32,
+    len: u32,
+) -> impl Iterator<Item = &Flit> {
+    (0..len).map(move |i| {
+        let mut pos = head + i;
+        if pos >= cap {
+            pos -= cap;
+        }
+        &slots[(base + pos) as usize]
+    })
+}
+
+/// A disjoint slice of the pool covering a contiguous run of routers
+/// (one parallel-kernel shard). `Send`, so worker threads can own one.
+#[derive(Debug)]
+pub struct SlabShard<'a> {
+    slots: &'a mut [Flit],
+    heads: &'a mut [u32],
+    lens: &'a mut [u32],
+    base: &'a [u32],
+    cap: &'a [u32],
+    stride: usize,
+    rpr: usize,
+}
+
+impl<'a> SlabShard<'a> {
+    /// Mutable window over the shard's `local`-th router.
+    #[inline]
+    pub fn window(&mut self, local: usize) -> SlabWindow<'_> {
+        let s = local * self.stride;
+        let g = local * self.rpr;
+        SlabWindow {
+            slots: &mut self.slots[s..s + self.stride],
+            heads: &mut self.heads[g..g + self.rpr],
+            lens: &mut self.lens[g..g + self.rpr],
+            base: self.base,
+            cap: self.cap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flit(seq: u16) -> Flit {
+        let mut f = filler();
+        f.seq = seq;
+        f.poison = false;
+        f
+    }
+
+    #[test]
+    fn push_pop_wraps_around() {
+        let mut slab = FlitSlab::new(1, &[3]);
+        let mut w = slab.window(0);
+        for round in 0..5u16 {
+            for i in 0..3 {
+                w.push_back(0, flit(round * 10 + i));
+            }
+            assert_eq!(w.len(0), 3);
+            for i in 0..3 {
+                assert_eq!(w.pop_front(0).unwrap().seq, round * 10 + i);
+            }
+            assert!(w.is_empty(0));
+            assert_eq!(w.pop_front(0), None);
+        }
+    }
+
+    #[test]
+    fn rings_are_independent_across_routers_and_vcs() {
+        let mut slab = FlitSlab::new(2, &[2, 4]);
+        slab.window(0).push_back(0, flit(1));
+        slab.window(0).push_back(1, flit(2));
+        slab.window(1).push_back(0, flit(3));
+        assert_eq!(slab.occupied(), 3);
+        assert_eq!(slab.view(0).front(0).unwrap().seq, 1);
+        assert_eq!(slab.view(0).front(1).unwrap().seq, 2);
+        assert_eq!(slab.view(1).front(0).unwrap().seq, 3);
+        assert!(slab.view(1).is_empty(1));
+        assert_eq!(slab.window(1).pop_front(0).unwrap().seq, 3);
+        assert_eq!(slab.occupied(), 2);
+    }
+
+    #[test]
+    fn iter_respects_wrap() {
+        let mut slab = FlitSlab::new(1, &[3]);
+        let mut w = slab.window(0);
+        w.push_back(0, flit(0));
+        w.push_back(0, flit(1));
+        w.pop_front(0);
+        w.push_back(0, flit(2));
+        w.push_back(0, flit(3)); // head=1, len=3: occupies slots 1,2,0
+        let seqs: Vec<u16> = w.iter(0).map(|f| f.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        let seqs: Vec<u16> = slab.view(0).iter(0).map(|f| f.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "flit ring overflow")]
+    fn overflow_panics() {
+        let mut slab = FlitSlab::new(1, &[2]);
+        let mut w = slab.window(0);
+        w.push_back(0, flit(0));
+        w.push_back(0, flit(1));
+        w.push_back(0, flit(2));
+    }
+
+    #[test]
+    fn shards_partition_the_pool() {
+        let mut slab = FlitSlab::new(5, &[2, 3]);
+        for node in 0..5 {
+            slab.window(node).push_back(1, flit(node as u16));
+        }
+        let mut seen = Vec::new();
+        for (si, mut shard) in slab.shards(2).enumerate() {
+            let locals = if si < 2 { 2 } else { 1 };
+            for local in 0..locals {
+                let w = shard.window(local);
+                seen.push(w.front(1).unwrap().seq);
+            }
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(slab.occupied(), 5);
+    }
+
+    #[test]
+    fn footprint_counts_slots_and_metadata() {
+        let slab = FlitSlab::new(4, &[2, 2]);
+        assert_eq!(slab.slot_count(), 16);
+        assert_eq!(slab.nodes(), 4);
+        assert_eq!(slab.ring_caps(), &[2, 2]);
+        assert!(slab.footprint_bytes() >= 16 * std::mem::size_of::<Flit>());
+    }
+
+    #[test]
+    fn debug_head_corruption_is_visible() {
+        let mut slab = FlitSlab::new(1, &[4]);
+        slab.window(0).push_back(0, flit(9));
+        slab.debug_set_head(0, 0, 7); // out of range: head >= cap
+        assert!(slab.view(0).head(0) >= slab.view(0).ring_cap(0));
+    }
+}

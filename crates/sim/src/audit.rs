@@ -67,11 +67,14 @@ pub enum AuditKind {
     Quiescence,
     /// The incremental statistics diverged from a re-derivation.
     Accounting,
+    /// The flat flit slab's ring indices or the router's incremental
+    /// buffered counter diverged from the slab contents (ISSUE 10).
+    SlabCoherence,
 }
 
 impl AuditKind {
     /// Every kind, in reporting order.
-    pub const ALL: [AuditKind; 7] = [
+    pub const ALL: [AuditKind; 8] = [
         AuditKind::Conservation,
         AuditKind::CreditBook,
         AuditKind::StreamOrder,
@@ -79,6 +82,7 @@ impl AuditKind {
         AuditKind::StatusCoherence,
         AuditKind::Quiescence,
         AuditKind::Accounting,
+        AuditKind::SlabCoherence,
     ];
 
     /// Stable index into per-kind count arrays.
@@ -91,6 +95,7 @@ impl AuditKind {
             AuditKind::StatusCoherence => 4,
             AuditKind::Quiescence => 5,
             AuditKind::Accounting => 6,
+            AuditKind::SlabCoherence => 7,
         }
     }
 
@@ -104,6 +109,7 @@ impl AuditKind {
             AuditKind::StatusCoherence => "status-coherence",
             AuditKind::Quiescence => "quiescence",
             AuditKind::Accounting => "accounting",
+            AuditKind::SlabCoherence => "slab-coherence",
         }
     }
 }
@@ -260,7 +266,7 @@ pub struct Auditor {
     checks_run: u64,
     flits_observed: u64,
     total: u64,
-    counts: [u64; 7],
+    counts: [u64; 8],
     recorded: Vec<AuditViolation>,
     /// Whether the final end-of-run checks have fired.
     done: bool,
@@ -286,7 +292,7 @@ impl Auditor {
             checks_run: 0,
             flits_observed: 0,
             total: 0,
-            counts: [0; 7],
+            counts: [0; 8],
             recorded: Vec::new(),
             done: false,
         }
@@ -718,7 +724,8 @@ impl Auditor {
         self.checks_run += 1;
         let cycle = sim.cycle;
         let nodes = sim.routers.len();
-        let probes: Vec<AuditProbe> = sim.routers.iter().map(|r| r.audit_probe()).collect();
+        let probes: Vec<AuditProbe> =
+            sim.routers.iter().enumerate().map(|(i, r)| r.audit_probe(&sim.slab.view(i))).collect();
 
         // Receiver-side index: (node, side, link_index) -> probe VC slot.
         let mut rcv: Vec<[Vec<usize>; 5]> = Vec::with_capacity(nodes);
@@ -970,6 +977,37 @@ impl Auditor {
                     None,
                     None,
                     format!("cached occupancy {} != derived occupancy {derived}", sim.occ_cache[i]),
+                );
+            }
+            // Flat flit-slab coherence (ISSUE 10): the router's
+            // incrementally maintained buffered counter must equal the
+            // summed slab ring lengths, and every ring's head/len must
+            // stay inside its capacity. Divergence means the slab and
+            // the engine's view of it have drifted apart.
+            let ring_total: usize = p.vcs.iter().map(|v| v.queue_len).sum();
+            if p.buffered_total != ring_total {
+                self.violate(
+                    AuditKind::SlabCoherence,
+                    cycle,
+                    Some(self.coord(i)),
+                    None,
+                    None,
+                    None,
+                    format!(
+                        "incremental buffered counter {} != summed slab ring lengths {ring_total}",
+                        p.buffered_total
+                    ),
+                );
+            }
+            if !p.rings_coherent {
+                self.violate(
+                    AuditKind::SlabCoherence,
+                    cycle,
+                    Some(self.coord(i)),
+                    None,
+                    None,
+                    None,
+                    "slab ring index out of bounds (head or len exceeds ring capacity)".into(),
                 );
             }
             if matches!(sim.cfg.kernel, KernelMode::Optimized | KernelMode::Soa)
@@ -1297,7 +1335,7 @@ mod tests {
         // An interior node, on a link VC that is idle, empty, and not
         // about to receive a genuine flit: the forged body is an orphan.
         let node = Coord::new(1, 1).index(4);
-        let probe = sim.routers[node].audit_probe();
+        let probe = sim.routers[node].audit_probe(&sim.slab.view(node));
         let slot = probe
             .vcs
             .iter()
@@ -1346,7 +1384,7 @@ mod tests {
         'search: for _ in 0..500 {
             sim.step();
             for (i, r) in sim.routers.iter().enumerate() {
-                for v in r.audit_probe().vcs {
+                for v in r.audit_probe(&sim.slab.view(i)).vcs {
                     if v.phase == noc_core::VcPhase::Active
                         && v.queue_len >= 2
                         && v.active_dvc.is_some_and(|d| d != noc_core::EJECT_VC)
@@ -1406,7 +1444,11 @@ mod tests {
             // VC, so zeroing its recorded mask must trip the check.
             if let Some(i) = (0..sim.routers.len()).find(|&i| {
                 sim.occ_cache[i] > 0
-                    && sim.routers[i].audit_probe().vcs.iter().any(|v| v.queue_len > 0)
+                    && sim.routers[i]
+                        .audit_probe(&sim.slab.view(i))
+                        .vcs
+                        .iter()
+                        .any(|v| v.queue_len > 0)
             }) {
                 target = Some(i);
                 break;
@@ -1432,6 +1474,37 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_slab_head_flags_slab_coherence() {
+        let mut sim = Simulation::new(small_cfg(RouterKind::RoCo));
+        for _ in 0..50 {
+            sim.step();
+        }
+        sim.audit_sweep_now();
+        assert!(sim.results().audit.expect("enabled").clean(), "violations before mutation");
+        // Push an *empty* ring's head index past its capacity: nothing
+        // else in the router observes an empty ring, so the only report
+        // must come from the slab-coherence check (exact class).
+        let rings = sim.slab.ring_caps().len();
+        let (node, ring, cap) = (0..sim.routers.len())
+            .flat_map(|n| (0..rings).map(move |r| (n, r)))
+            .find_map(|(n, r)| {
+                let v = sim.slab.view(n);
+                v.is_empty(r).then(|| (n, r, v.ring_cap(r)))
+            })
+            .expect("no empty VC ring found");
+        sim.slab.debug_set_head(node, ring, cap);
+        sim.audit_sweep_now();
+        let report = sim.results().audit.expect("enabled");
+        assert!(count_of(&report, AuditKind::SlabCoherence) > 0, "{}", report.render());
+        assert_eq!(
+            report.total_violations,
+            count_of(&report, AuditKind::SlabCoherence),
+            "corruption misattributed to another class: {}",
+            report.render()
+        );
+    }
+
+    #[test]
     fn corrupted_occupancy_total_flags_accounting() {
         let mut sim = Simulation::new(small_cfg(RouterKind::RoCo));
         for _ in 0..20 {
@@ -1450,7 +1523,7 @@ mod tests {
         'search: for _ in 0..500 {
             sim.step();
             for i in 0..sim.routers.len() {
-                let probe = sim.routers[i].audit_probe();
+                let probe = sim.routers[i].audit_probe(&sim.slab.view(i));
                 for v in &probe.vcs {
                     if let (Some(out), Some(dvc)) = (v.active_out, v.active_dvc) {
                         if out != Direction::Local && dvc != EJECT_VC {

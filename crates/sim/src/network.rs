@@ -36,10 +36,10 @@ use crate::report::{NodeReport, NodeSummary};
 use crate::stats::{RecoveryStats, SimResults, StatsCollector};
 use crate::trace::{TraceEvent, TraceSink};
 use noc_core::{
-    router_rng, ActivityCounters, ComponentFault, Coord, Credit, Cycle, Direction, Flit, LinkMask,
-    NodeStatus, PacketId, ReachabilityMap, RouterNode, RouterOutputs, StepContext, Topology,
-    TopologyOps, VcDescriptor, VcPhase, WakeSet, WakeView, EJECT_VC, RNG_STREAM_INJECT,
-    RNG_STREAM_STEP,
+    router_rng, ActivityCounters, ComponentFault, Coord, Credit, Cycle, Direction, Flit, FlitSlab,
+    LinkMask, NodeStatus, PacketId, ReachabilityMap, RouterNode, RouterOutputs, SlabShard,
+    StepContext, Topology, TopologyOps, VcDescriptor, VcPhase, WakeSet, WakeView, EJECT_VC,
+    RNG_STREAM_INJECT, RNG_STREAM_STEP,
 };
 use noc_deadlock::{find_channel_cycle, Channel};
 use noc_fault::{FaultAction, FaultEvent};
@@ -139,6 +139,7 @@ fn shard_phase3(
     cycle: Cycle,
     seed: u64,
     routers: &mut [AnyRouter],
+    mut slab: SlabShard<'_>,
     mut active: WakeView<'_>,
     occ_cache: &mut [usize],
     statuses: &[NodeStatus],
@@ -162,7 +163,7 @@ fn shard_phase3(
             ctx.neighbors[dir.index()] = neighbor_idx[i][dir.index()].map(|n| statuses[n]);
         }
         ctx.mask = mask;
-        router.step(&mut ctx, &mut scratch.outs[local]);
+        router.step(&mut ctx, &mut slab.window(local), &mut scratch.outs[local]);
         scratch.stepped.push(local as u32);
         let occ = router.occupancy();
         scratch.occ_delta += occ as i64 - occ_cache[local] as i64;
@@ -242,6 +243,14 @@ impl Sampler {
 pub struct Simulation {
     pub(crate) cfg: SimConfig,
     pub(crate) routers: Vec<AnyRouter>,
+    /// Flat flit storage for every router's VC buffers (ISSUE 10): one
+    /// contiguous per-network slab of fixed-capacity rings, indexed by
+    /// `(router, ring)`. Routers keep the control state (heads of line,
+    /// credits, phases); the flits themselves live here, so a flit hop
+    /// is an index move instead of a `VecDeque` operation. A separate
+    /// field from `routers` on purpose — the kernels borrow the two
+    /// disjointly (windows/shards of the slab alongside `&mut` routers).
+    pub(crate) slab: FlitSlab,
     traffic: Box<dyn Traffic>,
     computer: RouteComputer,
     pub(crate) sources: Vec<VecDeque<Flit>>,
@@ -461,9 +470,21 @@ impl Simulation {
         // on single-cycle topologies, where the double buffer alone
         // carries every in-flight flit exactly as before.
         let wheel_slots = topo.max_link_delay().saturating_sub(1) as usize;
+        // One slab ring per internal VC, every router identical: the
+        // mesh is homogeneous (same RouterConfig everywhere), and ring
+        // capacities are nominal + slop — construction faults shrink a
+        // VC's *credited* capacity, never its storage, so the slab
+        // layout is fault-invariant.
+        let ring_caps = routers[0].ring_capacities();
+        debug_assert!(
+            routers.iter().all(|r| r.ring_capacities() == ring_caps),
+            "slab layout requires homogeneous routers"
+        );
+        let slab = FlitSlab::new(nodes, &ring_caps);
         Simulation {
             cfg,
             routers,
+            slab,
             traffic,
             computer,
             // Source queues absorb generation bursts that outpace
@@ -583,6 +604,12 @@ impl Simulation {
         &self.routers
     }
 
+    /// Read access to the flat flit slab (benchmarks report its
+    /// footprint; the audit layer derives conservation from it).
+    pub fn slab(&self) -> &FlitSlab {
+        &self.slab
+    }
+
     /// The resolved topology the network was built on.
     pub fn topology(&self) -> &Topology {
         &self.topology
@@ -680,7 +707,12 @@ impl Simulation {
                 if let Some(a) = self.auditor.as_deref_mut() {
                     a.on_link_flit(self.cycle, f.node, f.from, f.vc, &f.flit);
                 }
-                self.routers[f.node].deliver_flit(f.from, f.vc, f.flit);
+                self.routers[f.node].deliver_flit(
+                    &mut self.slab.window(f.node),
+                    f.from,
+                    f.vc,
+                    f.flit,
+                );
                 self.wake.wake(f.node);
             }
         }
@@ -790,7 +822,7 @@ impl Simulation {
                     self.neighbor_idx[i][dir.index()].map(|n| self.statuses[n]);
             }
             ctx.mask = self.mask.as_ref();
-            self.routers[i].step(&mut ctx, &mut out);
+            self.routers[i].step(&mut ctx, &mut self.slab.window(i), &mut out);
             self.absorb_step(i, &out);
             // Wake-set + occupancy bookkeeping. Only stepped routers
             // can change occupancy, so refreshing here keeps the
@@ -845,7 +877,7 @@ impl Simulation {
                     }
                 }
                 if let Some(&j) = idx[..n].get(k + LA_WARM) {
-                    self.routers[j].warm_hot();
+                    self.routers[j].warm_hot(&self.slab.view(j));
                 }
                 let i = idx[k];
                 let mut rng = router_rng(self.cfg.seed, i, self.cycle, RNG_STREAM_STEP);
@@ -855,7 +887,7 @@ impl Simulation {
                         self.neighbor_idx[i][dir.index()].map(|n| self.statuses[n]);
                 }
                 ctx.mask = self.mask.as_ref();
-                let hot = self.routers[i].step_hot(&mut ctx, &mut out);
+                let hot = self.routers[i].step_hot(&mut ctx, &mut self.slab.window(i), &mut out);
                 self.absorb_step(i, &out);
                 self.vc_busy[i] = hot.busy_vcs;
                 self.occ_total = self.occ_total - self.occ_cache[i] + hot.occupancy;
@@ -898,7 +930,10 @@ impl Simulation {
             if let Some(a) = self.auditor.as_deref_mut() {
                 a.on_link_flit(self.cycle, f.node, f.from, f.vc, &f.flit);
             }
-            self.routers[f.node].deliver_flit(f.from, f.vc, f.flit);
+            // Node-grouped delivery writes straight into consecutive
+            // slab windows: one router's rings are contiguous, so the
+            // batched pass streams through the slab in address order.
+            self.routers[f.node].deliver_flit(&mut self.slab.window(f.node), f.from, f.vc, f.flit);
             self.wake.wake(f.node);
         }
     }
@@ -960,11 +995,12 @@ impl Simulation {
             let jobs = self
                 .routers
                 .chunks_mut(chunk)
+                .zip(self.slab.shards(chunk))
                 .zip(self.wake.views_mut(chunk))
                 .zip(self.occ_cache.chunks_mut(chunk))
                 .zip(shards.iter_mut())
                 .enumerate()
-                .map(|(s, (((routers, active), occ_cache), scratch))| {
+                .map(|(s, ((((routers, slab), active), occ_cache), scratch))| {
                     let base = s * chunk;
                     move || {
                         shard_phase3(
@@ -972,6 +1008,7 @@ impl Simulation {
                             cycle,
                             seed,
                             routers,
+                            slab,
                             active,
                             occ_cache,
                             statuses,
@@ -1274,7 +1311,7 @@ impl Simulation {
         let mut adj: HashMap<Channel, Vec<Channel>> = HashMap::new();
         for (i, router) in self.routers.iter().enumerate() {
             let coord = Coord::from_index(i, mesh.width);
-            for s in router.vc_snapshots() {
+            for s in router.vc_snapshots(&self.slab.view(i)) {
                 if s.buffered == 0 {
                     continue;
                 }
@@ -1490,7 +1527,7 @@ impl Simulation {
             // policy stays kernel- and thread-count-independent.
             let mut rng = router_rng(self.cfg.seed, i, self.cycle, RNG_STREAM_INJECT);
             let mut ctx = StepContext::new(self.cycle, &mut rng);
-            if self.routers[i].try_inject(flit, &mut ctx) {
+            if self.routers[i].try_inject(&mut self.slab.window(i), flit, &mut ctx) {
                 self.sources[i].pop_front();
                 self.source_total -= 1;
                 self.wake.wake(i);
@@ -1578,7 +1615,7 @@ impl Simulation {
         // §4: packets caught mid-wormhole through a newly faulted (or
         // just-reconfigured) module are discarded on the spot; poison
         // tails chase the fragments out of downstream routers.
-        self.routers[site].purge_faulted();
+        self.routers[site].purge_faulted(&mut self.slab.window(site));
         self.fault_log.push(FaultTimelineEntry {
             cycle: self.cycle,
             node: ev.site,
@@ -1671,11 +1708,11 @@ impl Simulation {
                 // The output module covering `dir` was repaired: any
                 // stale mid-wormhole demux state on the input side of
                 // that link belongs to packets that no longer exist.
-                self.routers[site].reset_input_link(dir);
+                self.routers[site].reset_input_link(&mut self.slab.window(site), dir);
             }
             descs.clear();
             descs.extend_from_slice(self.routers[site].vcs_on_link(dir));
-            self.routers[n].resync_output(dir.opposite(), &descs);
+            self.routers[n].resync_output(&mut self.slab.window(n), dir.opposite(), &descs);
             self.wake_and_refresh(n);
         }
         self.statuses[site] = now;

@@ -58,9 +58,15 @@ fn steady_state_step_is_allocation_free() {
     // its scope state on every call), so it exercises the recycled
     // `ShardScratch` path. Multi-thread digests are covered by the
     // kernel-equivalence and thread-invariance suites instead.
-    for (kernel, threads) in
-        [(KernelMode::Optimized, None), (KernelMode::Parallel, Some(1)), (KernelMode::Soa, None)]
-    {
+    // All four kernels: the flit slab backs the VC rings everywhere,
+    // so every leg also proves the flit path itself never allocates
+    // (a flit hop is an index move inside the pre-sized slab).
+    for (kernel, threads) in [
+        (KernelMode::Reference, None),
+        (KernelMode::Optimized, None),
+        (KernelMode::Parallel, Some(1)),
+        (KernelMode::Soa, None),
+    ] {
         for router in [RouterKind::RoCo, RouterKind::Generic, RouterKind::PathSensitive] {
             let mut cfg = SimConfig::paper_scaled(router, RoutingKind::Xy, TrafficKind::Uniform);
             // Enough packets that generation never finishes mid-test.
@@ -70,6 +76,11 @@ fn steady_state_step_is_allocation_free() {
             cfg.kernel = kernel;
             cfg.threads = threads;
             let mut sim = Simulation::new(cfg);
+            // The slab is sized once at construction: nominal VC depth
+            // plus the 2-slot poison slop per ring (DESIGN.md §18).
+            let slab_bytes = sim.slab().footprint_bytes();
+            let slab_slots = sim.slab().slot_count();
+            assert!(sim.slab().ring_caps().iter().all(|&c| c >= 2), "+2 slop missing");
             // Warm-up: let every recycled buffer (in-flight lists, router
             // scratch, source queues, arbiter lines) hit its high water.
             for _ in 0..5_000 {
@@ -85,6 +96,11 @@ fn steady_state_step_is_allocation_free() {
             assert_eq!(
                 n, 0,
                 "{kernel:?}/{router:?}: {n} heap allocation(s) in 1000 steady-state cycles"
+            );
+            assert_eq!(
+                (sim.slab().footprint_bytes(), sim.slab().slot_count()),
+                (slab_bytes, slab_slots),
+                "{kernel:?}/{router:?}: slab grew after construction"
             );
         }
     }
